@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks for the substrate components: these are the
+//! per-event costs that bound overall simulation speed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use gals_cache::{AccessKind, AccountingCache};
+use gals_clock::DomainClock;
+use gals_common::{DomainId, Hertz, SplitMix64};
+use gals_core::IlpTracker;
+use gals_isa::{ArchReg, DynInst, InstructionStream, OpClass};
+use gals_predictor::{HybridPredictor, PredictorGeometry};
+use gals_workloads::suite;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache = AccountingCache::new(256 * 1024, 8, 64, 1, true).unwrap();
+    let mut rng = SplitMix64::new(1);
+    c.bench_function("accounting_cache_access", |b| {
+        b.iter(|| {
+            let addr = rng.next_below(1 << 20);
+            black_box(cache.access(addr, AccessKind::Read))
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut p = HybridPredictor::new(PredictorGeometry::for_capacity_kb(64).unwrap());
+    let mut rng = SplitMix64::new(2);
+    c.bench_function("hybrid_predictor_update", |b| {
+        b.iter(|| {
+            let pc = 0x1000 + (rng.next_below(512) * 4);
+            black_box(p.update(pc, rng.chance(0.6)))
+        })
+    });
+}
+
+fn bench_clock(c: &mut Criterion) {
+    let mut clk = DomainClock::new(
+        DomainId::Integer,
+        Hertz::from_ghz(1.52),
+        0.01,
+        SplitMix64::new(3),
+    );
+    c.bench_function("domain_clock_tick", |b| b.iter(|| black_box(clk.tick())));
+}
+
+fn bench_ilp_tracker(c: &mut Criterion) {
+    let mut t = IlpTracker::new();
+    let mut i = 0u64;
+    c.bench_function("ilp_tracker_observe", |b| {
+        b.iter(|| {
+            let r = ArchReg::int(1 + (i % 12) as u8);
+            let inst = DynInst::alu(0x1000 + i * 4, OpClass::IntAlu, r, [Some(r), None]);
+            i += 1;
+            t.observe(black_box(&inst));
+            if t.complete() {
+                black_box(t.decide([1.52, 1.05, 1.01, 0.97]));
+            }
+        })
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let spec = suite::by_name("gcc").unwrap();
+    let mut stream = spec.stream();
+    c.bench_function("synthetic_stream_next_inst", |b| {
+        b.iter(|| black_box(stream.next_inst()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cache, bench_predictor, bench_clock, bench_ilp_tracker,
+        bench_workload_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks over the experiment machinery itself: how long
+//! the paper's artifacts take to regenerate (timing tables are instant;
+//! adaptive runs dominate), plus an ablation of the synchronization
+//! window — the design choice DESIGN.md calls out for study.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gals_core::{Dl2Config, ICacheConfig, MachineConfig, McdConfig, Simulator, TimingModel, Variant};
+use gals_workloads::suite;
+
+fn bench_timing_tables(c: &mut Criterion) {
+    let model = TimingModel::default();
+    c.bench_function("regen_frequency_tables", |b| {
+        b.iter(|| {
+            for &cfg in &Dl2Config::ALL {
+                black_box(model.dl2_frequency(cfg, Variant::Adaptive));
+                black_box(model.dl2_frequency(cfg, Variant::Optimal));
+            }
+            for &cfg in &ICacheConfig::ALL {
+                black_box(model.icache_frequency(cfg));
+            }
+            for entries in (16..=64).step_by(4) {
+                black_box(model.iq_frequency_at(entries));
+            }
+        })
+    });
+}
+
+fn bench_phase_adaptive_run(c: &mut Criterion) {
+    let spec = suite::by_name("apsi").unwrap();
+    c.bench_function("phase_adaptive_apsi_10k", |b| {
+        b.iter(|| {
+            let r = Simulator::new(MachineConfig::phase_adaptive(McdConfig::smallest()))
+                .run(&mut spec.stream(), 10_000);
+            black_box(r.reconfigs.len())
+        })
+    });
+}
+
+/// Ablation: the Sjogren–Myers setup window (0% / 30% / 60% of the faster
+/// period). The paper fixes 30%; this measures how sensitive MCD runtime
+/// is to that choice.
+fn bench_sync_window_ablation(c: &mut Criterion) {
+    let spec = suite::by_name("gzip").unwrap();
+    let mut group = c.benchmark_group("sync_window_ablation");
+    for frac in [0.0, 0.3, 0.6] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}%", frac * 100.0)),
+            &frac,
+            |b, &frac| {
+                let mut machine = MachineConfig::program_adaptive(McdConfig::smallest());
+                machine.params.sync_threshold_frac = frac;
+                b.iter(|| {
+                    let r = Simulator::new(machine.clone()).run(&mut spec.stream(), 8_000);
+                    black_box(r.runtime)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_timing_tables, bench_phase_adaptive_run, bench_sync_window_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks of end-to-end simulation throughput for the
+//! three machine styles (instructions simulated per unit time).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use gals_core::{MachineConfig, McdConfig, Simulator};
+use gals_workloads::suite;
+
+const WINDOW: u64 = 8_000;
+
+fn bench_machine_styles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(WINDOW));
+    for (style, machine) in [
+        ("synchronous", MachineConfig::best_synchronous()),
+        (
+            "program_adaptive",
+            MachineConfig::program_adaptive(McdConfig::smallest()),
+        ),
+        (
+            "phase_adaptive",
+            MachineConfig::phase_adaptive(McdConfig::smallest()),
+        ),
+    ] {
+        for bench in ["adpcm_encode", "gcc"] {
+            let spec = suite::by_name(bench).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(style, bench),
+                &machine,
+                |b, machine| {
+                    b.iter(|| {
+                        let r = Simulator::new(machine.clone())
+                            .run(&mut spec.stream(), WINDOW);
+                        black_box(r.runtime)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_machine_styles
+}
+criterion_main!(benches);

@@ -1,0 +1,405 @@
+//! Implementations of every table/figure regeneration, shared by the
+//! per-artifact binaries.
+
+use crate::{bar, print_table};
+use gals_core::{
+    CoreParams, Dl2Config, ICacheConfig, IqSize, SimResult, SyncICacheOption, TimingModel,
+    Variant,
+};
+use gals_explore::{Explorer, Fig6Row, ProgramChoice};
+use gals_predictor::PredictorGeometry;
+use gals_workloads::{suite, BenchmarkSpec};
+
+/// Table 1: L1-D / L2 cache configurations (adapt vs optimal sub-banks).
+pub fn table1() {
+    let m = TimingModel::default();
+    let rows: Vec<Vec<String>> = Dl2Config::ALL
+        .iter()
+        .map(|&cfg| {
+            let l1a = m.dl2_l1_point(cfg, Variant::Adaptive);
+            let l1o = m.dl2_l1_point(cfg, Variant::Optimal);
+            let l2a = m.dl2_l2_point(cfg, Variant::Adaptive);
+            let l2o = m.dl2_l2_point(cfg, Variant::Optimal);
+            vec![
+                format!("{} KB", cfg.l1_kb()),
+                cfg.ways().to_string(),
+                l1a.sub_banks.to_string(),
+                l1o.sub_banks.to_string(),
+                format!("{} KB", cfg.l2_kb()),
+                cfg.ways().to_string(),
+                l2a.sub_banks.to_string(),
+                l2o.sub_banks.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: L1 data and L2 cache configurations",
+        &[
+            "L1-D size",
+            "assoc",
+            "adapt banks",
+            "opt banks",
+            "L2 size",
+            "assoc",
+            "adapt banks",
+            "opt banks",
+        ],
+        &rows,
+    );
+}
+
+/// Figure 2: D-cache/L2 frequency versus configuration.
+pub fn fig2() {
+    let m = TimingModel::default();
+    let rows: Vec<Vec<String>> = Dl2Config::ALL
+        .iter()
+        .map(|&cfg| {
+            let a = m.dl2_frequency(cfg, Variant::Adaptive).as_ghz();
+            let o = m.dl2_frequency(cfg, Variant::Optimal).as_ghz();
+            vec![
+                cfg.to_string(),
+                format!("{a:.3}"),
+                format!("{o:.3}"),
+                bar(a, 1.8, 36),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 2: D-cache/L2 frequency (GHz) vs configuration",
+        &["config", "adaptive", "optimal", "adaptive (bar, 1.8 GHz full)"],
+        &rows,
+    );
+}
+
+fn predictor_row(kb: u32) -> Vec<String> {
+    let g = PredictorGeometry::for_capacity_kb(kb).expect("table capacity");
+    vec![
+        format!("{} bits", g.hg_bits),
+        g.gshare_entries.to_string(),
+        g.meta_entries.to_string(),
+        format!("{} bits", g.hl_bits),
+        g.local_bht_entries.to_string(),
+        g.local_pht_entries.to_string(),
+    ]
+}
+
+/// Table 2: adaptive I-cache / branch-predictor configurations.
+pub fn table2() {
+    let m = TimingModel::default();
+    let rows: Vec<Vec<String>> = ICacheConfig::ALL
+        .iter()
+        .map(|&cfg| {
+            let p = m.icache_point(cfg);
+            let mut row = vec![
+                format!("{} KB", cfg.kb()),
+                cfg.ways().to_string(),
+                p.sub_banks.to_string(),
+            ];
+            row.extend(predictor_row(cfg.kb()));
+            row
+        })
+        .collect();
+    print_table(
+        "Table 2: adaptive instruction cache / branch predictor configurations",
+        &[
+            "size", "assoc", "sub-banks", "hg", "gshare PHT", "meta", "hl", "local BHT",
+            "local PHT",
+        ],
+        &rows,
+    );
+}
+
+/// Table 3: the sixteen fixed (synchronous) I-cache / predictor options.
+pub fn table3() {
+    let m = TimingModel::default();
+    let rows: Vec<Vec<String>> = SyncICacheOption::all()
+        .iter()
+        .map(|&opt| {
+            let p = m.sync_icache_point(opt);
+            let mut row = vec![
+                format!("{} KB", opt.size_kb()),
+                opt.assoc().to_string(),
+                p.sub_banks.to_string(),
+            ];
+            row.extend(predictor_row(opt.size_kb()));
+            row
+        })
+        .collect();
+    print_table(
+        "Table 3: optimized instruction cache / branch predictor configurations",
+        &[
+            "size", "assoc", "sub-banks", "hg", "gshare PHT", "meta", "hl", "local BHT",
+            "local PHT",
+        ],
+        &rows,
+    );
+}
+
+/// Figure 3: I-cache frequency versus size (adaptive vs best fixed).
+pub fn fig3() {
+    let m = TimingModel::default();
+    let rows: Vec<Vec<String>> = ICacheConfig::ALL
+        .iter()
+        .map(|&cfg| {
+            let a = m.icache_frequency(cfg).as_ghz();
+            let o = m.best_fixed_icache_frequency(cfg.kb()).as_ghz();
+            vec![
+                format!("{} KB", cfg.kb()),
+                format!("{a:.3}"),
+                format!("{o:.3}"),
+                bar(a, 1.8, 36),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 3: I-cache frequency (GHz) vs size",
+        &["size", "adaptive", "optimal", "adaptive (bar, 1.8 GHz full)"],
+        &rows,
+    );
+}
+
+/// Figure 4: issue-queue frequency versus size (16–64 entries, step 4).
+pub fn fig4() {
+    let m = TimingModel::default();
+    let rows: Vec<Vec<String>> = (16..=64)
+        .step_by(4)
+        .map(|entries| {
+            let f = m.iq_frequency_at(entries).as_ghz();
+            vec![entries.to_string(), format!("{f:.3}"), bar(f, 1.6, 36)]
+        })
+        .collect();
+    print_table(
+        "Figure 4: issue queue frequency (GHz) vs size",
+        &["entries", "GHz", "bar (1.6 GHz full)"],
+        &rows,
+    );
+}
+
+/// Table 4: gate-count estimate of the phase-adaptive cache controller.
+pub fn table4() {
+    let t = gals_cache::hw_cost::table4();
+    let mut rows: Vec<Vec<String>> = t
+        .components()
+        .iter()
+        .map(|c| vec![c.name.to_string(), c.rule.to_string(), c.gates().to_string()])
+        .collect();
+    rows.push(vec![
+        "Total".to_string(),
+        String::new(),
+        t.total_gates().to_string(),
+    ]);
+    print_table(
+        "Table 4: hardware for the phase-adaptive cache algorithm (per cache pair)",
+        &["component", "rule", "equivalent gates"],
+        &rows,
+    );
+    println!(
+        "chip budget: {} gates for both controllers (§3.1); decision latency ≈ {} cycles",
+        gals_cache::hw_cost::total_chip_budget_gates(),
+        gals_cache::hw_cost::DECISION_LATENCY_CYCLES
+    );
+}
+
+/// Table 5: architectural parameters of the simulated processor.
+pub fn table5() {
+    let p = CoreParams::default();
+    let adaptive = {
+        // The adaptive machine's extra mispredict depth (§2).
+        let m = gals_core::MachineConfig::phase_adaptive(gals_core::McdConfig::smallest());
+        (
+            m.params.mispredict_fe_cycles,
+            m.params.mispredict_int_cycles,
+        )
+    };
+    let rows = vec![
+        vec!["Fetch queue".to_string(), format!("{} entries", p.fetch_queue)],
+        vec![
+            "Branch mispredict penalty".to_string(),
+            format!(
+                "{} front-end + {} integer cycles ({} + {} for adaptive MCD)",
+                p.mispredict_fe_cycles, p.mispredict_int_cycles, adaptive.0, adaptive.1
+            ),
+        ],
+        vec![
+            "Decode, issue, retire widths".to_string(),
+            format!("{}, {}, {}", p.decode_width, p.issue_width, p.retire_width),
+        ],
+        vec![
+            "L1 cache latency (I and D)".to_string(),
+            "2/8, 2/5, 2/2, or 2/- cycles (A and optional B partition)".to_string(),
+        ],
+        vec![
+            "L2 cache latency".to_string(),
+            "12/43, 12/27, 12/12, or 12/- cycles".to_string(),
+        ],
+        vec![
+            "Memory latency".to_string(),
+            format!(
+                "{} ns (first access), {} ns (subsequent)",
+                p.mem_first.as_ns(),
+                p.mem_burst.as_ns()
+            ),
+        ],
+        vec![
+            "Integer ALUs".to_string(),
+            format!("{} + {} mult/div unit", p.int_alus, p.int_muldiv),
+        ],
+        vec![
+            "FP ALUs".to_string(),
+            format!("{} + {} mult/div/sqrt unit", p.fp_alus, p.fp_muldiv),
+        ],
+        vec![
+            "Load/store queue".to_string(),
+            format!("{} entries", p.lsq_entries),
+        ],
+        vec![
+            "Physical register file".to_string(),
+            format!("{} integer, {} FP", p.phys_int, p.phys_fp),
+        ],
+        vec![
+            "Reorder buffer".to_string(),
+            format!("{} entries", p.rob_entries),
+        ],
+    ];
+    print_table(
+        "Table 5: architectural parameters",
+        &["parameter", "value"],
+        &rows,
+    );
+}
+
+/// Tables 6–8: the benchmark suites with their (paper) windows.
+pub fn tables678() {
+    for (title, suite_filter) in [
+        ("Table 6: MediaBench applications", gals_workloads::Suite::MediaBench),
+        ("Table 7: Olden applications", gals_workloads::Suite::Olden),
+        ("Table 8a: SPEC2000 integer", gals_workloads::Suite::SpecInt),
+        ("Table 8b: SPEC2000 floating-point", gals_workloads::Suite::SpecFp),
+    ] {
+        let rows: Vec<Vec<String>> = suite::all()
+            .into_iter()
+            .filter(|s| s.suite() == suite_filter)
+            .map(|s| {
+                vec![
+                    s.name().to_string(),
+                    s.paper_window().to_string(),
+                    format!("{} KB code", s.code().footprint_bytes / 1024),
+                    format!(
+                        "{} KB data",
+                        s.segments().iter().map(|g| g.bytes).sum::<u64>() / 1024
+                    ),
+                ]
+            })
+            .collect();
+        print_table(
+            title,
+            &["benchmark", "dataset / paper window", "synthetic code", "synthetic data"],
+            &rows,
+        );
+    }
+}
+
+/// Figure 6 + summary: the headline result.
+pub fn fig6(ex: &mut Explorer, suite: &[BenchmarkSpec]) -> Vec<Fig6Row> {
+    let rows = ex.figure6(suite).expect("figure 6 pipeline");
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                format!("{:+.1}%", r.program_improvement_pct()),
+                format!("{:+.1}%", r.phase_improvement_pct()),
+                r.program_cfg.key(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 6: runtime improvement over the best fully synchronous machine",
+        &["benchmark", "Program-Adaptive", "Phase-Adaptive", "program config"],
+        &printable,
+    );
+    let prog_mean = mean_improvement(rows.iter().map(|r| (r.sync_ns, r.program_ns)));
+    let phase_mean = mean_improvement(rows.iter().map(|r| (r.sync_ns, r.phase_ns)));
+    println!(
+        "\nmean improvement: Program-Adaptive {prog_mean:+.1}% (paper: +17.6%), \
+         Phase-Adaptive {phase_mean:+.1}% (paper: +20.4%)"
+    );
+    rows
+}
+
+/// Suite-level mean improvement: geometric mean of per-app speedups,
+/// expressed as a percentage (the paper's "overall performance
+/// improvement").
+pub fn mean_improvement(pairs: impl Iterator<Item = (f64, f64)>) -> f64 {
+    let speedups: Vec<f64> = pairs.map(|(base, new)| base / new).collect();
+    (gals_common::stats::geomean(&speedups).unwrap_or(1.0) - 1.0) * 100.0
+}
+
+/// Table 9: distribution of Program-Adaptive structure choices.
+pub fn table9(choices: &[ProgramChoice]) {
+    let n = choices.len().max(1) as f64;
+    let pct = |count: usize| format!("{:.0}%", count as f64 / n * 100.0);
+
+    let iq_rows: Vec<Vec<String>> = IqSize::ALL
+        .iter()
+        .map(|&s| {
+            let int_n = choices.iter().filter(|c| c.best.iq_int == s).count();
+            let fp_n = choices.iter().filter(|c| c.best.iq_fp == s).count();
+            vec![s.entries().to_string(), pct(int_n), pct(fp_n)]
+        })
+        .collect();
+    print_table(
+        "Table 9a: issue-queue choices",
+        &["entries", "Integer IQ", "FP IQ"],
+        &iq_rows,
+    );
+
+    let d_rows: Vec<Vec<String>> = Dl2Config::ALL
+        .iter()
+        .map(|&c| {
+            let n_c = choices.iter().filter(|x| x.best.dl2 == c).count();
+            vec![c.to_string(), pct(n_c)]
+        })
+        .collect();
+    print_table("Table 9b: D-cache/L2 choices", &["config", "share"], &d_rows);
+
+    let i_rows: Vec<Vec<String>> = ICacheConfig::ALL
+        .iter()
+        .map(|&c| {
+            let n_c = choices.iter().filter(|x| x.best.icache == c).count();
+            vec![c.to_string(), pct(n_c)]
+        })
+        .collect();
+    print_table("Table 9c: I-cache choices", &["config", "share"], &i_rows);
+}
+
+/// Figure 7: reconfiguration traces for apsi (D/L2) and art (integer IQ).
+pub fn fig7(ex: &mut Explorer) {
+    let apsi = ex.phase_run(&suite::by_name("apsi").expect("apsi in suite"));
+    println!("\n== Figure 7(a): apsi D/L2 cache configurations over time");
+    print_trace(&apsi, |k| match k {
+        gals_core::ReconfigKind::Dl2(c) => Some(c.to_string()),
+        _ => None,
+    });
+
+    let art = ex.phase_run(&suite::by_name("art").expect("art in suite"));
+    println!("\n== Figure 7(b): art integer issue-queue configurations over time");
+    print_trace(&art, |k| match k {
+        gals_core::ReconfigKind::IqInt(s) => Some(s.entries().to_string()),
+        gals_core::ReconfigKind::IqFp(s) => Some(format!("(fp {})", s.entries())),
+        _ => None,
+    });
+}
+
+fn print_trace(r: &SimResult, select: impl Fn(gals_core::ReconfigKind) -> Option<String>) {
+    let mut any = false;
+    for ev in &r.reconfigs {
+        if let Some(label) = select(ev.kind) {
+            println!("  @{:>7} committed: {label}", ev.at_committed);
+            any = true;
+        }
+    }
+    if !any {
+        println!("  (no reconfigurations of this structure in the window)");
+    }
+}

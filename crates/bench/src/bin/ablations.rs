@@ -1,0 +1,43 @@
+//! Ablation studies over the paper's fixed design constants (adaptation
+//! interval, synchronization window, jitter, PLL lock time, mispredict
+//! penalty). Run on a benchmark subset; see `gals_explore::ablation`.
+use gals_explore::ablation;
+use gals_workloads::suite;
+
+fn main() {
+    let window: u64 = std::env::var("GALS_MCD_ABLATION_WINDOW")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40_000);
+    let subset: Vec<_> = ["adpcm_encode", "gzip", "apsi", "em3d", "crafty", "art"]
+        .iter()
+        .map(|n| suite::by_name(n).expect("subset benchmark"))
+        .collect();
+
+    println!("ablation subset: 6 benchmarks, {window} instructions each\n");
+
+    println!("adaptation interval (paper: 15000):");
+    for p in ablation::interval_sweep(&subset, window, &[5_000, 15_000, 45_000]) {
+        println!("  {:>12}  {:.1} ns", p.setting, p.geomean_ns);
+    }
+
+    println!("\nsynchronization window (paper: 30%):");
+    for p in ablation::sync_window_sweep(&subset, window, &[0.0, 0.15, 0.3, 0.6]) {
+        println!("  {:>12}  {:.1} ns", p.setting, p.geomean_ns);
+    }
+
+    println!("\nclock jitter (model: 1.0%):");
+    for p in ablation::jitter_sweep(&subset, window, &[0.0, 0.01, 0.05]) {
+        println!("  {:>12}  {:.1} ns", p.setting, p.geomean_ns);
+    }
+
+    println!("\nPLL lock-time scale (paper: 1.0x = 15 µs mean):");
+    for p in ablation::pll_sweep(&subset, window, &[0.1, 1.0, 4.0]) {
+        println!("  {:>12}  {:.1} ns", p.setting, p.geomean_ns);
+    }
+
+    println!("\nmispredict penalty:");
+    for p in ablation::penalty_study(&subset, window) {
+        println!("  {:>22}  {:.1} ns", p.setting, p.geomean_ns);
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact; see `gals_bench::artifacts`.
+fn main() {
+    gals_bench::artifacts::fig4();
+}

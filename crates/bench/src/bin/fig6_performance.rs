@@ -1,0 +1,10 @@
+//! Figure 6: Program- and Phase-Adaptive improvement over the best
+//! fully synchronous machine, per benchmark and overall.
+//!
+//! Uses the cached sweeps (prime them with `sweep_sync` /
+//! `sweep_program_adaptive`, or let this binary run them).
+fn main() {
+    let mut ex = gals_explore::Explorer::from_env().expect("cache");
+    let suite = gals_workloads::suite::all();
+    let _ = gals_bench::artifacts::fig6(&mut ex, &suite);
+}

@@ -1,0 +1,5 @@
+//! Figure 7: phase-adaptive reconfiguration traces (apsi D/L2, art IQ).
+fn main() {
+    let mut ex = gals_explore::Explorer::from_env().expect("cache");
+    gals_bench::artifacts::fig7(&mut ex);
+}

@@ -1,0 +1,10 @@
+//! Primes the 256-configuration Program-Adaptive sweep cache and prints
+//! each benchmark's best configuration.
+fn main() {
+    let mut ex = gals_explore::Explorer::from_env().expect("cache");
+    let suite = gals_workloads::suite::all();
+    let choices = ex.program_sweep(&suite).expect("program sweep");
+    for c in &choices {
+        println!("{:16} -> {:32} ({:.1} ns)", c.benchmark, c.best.key(), c.runtime_ns);
+    }
+}

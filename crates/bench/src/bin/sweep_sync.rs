@@ -1,0 +1,19 @@
+//! Primes the 1,024-configuration synchronous sweep cache and reports
+//! the best-overall machine (§4).
+fn main() {
+    let mut ex = gals_explore::Explorer::from_env().expect("cache");
+    let suite = gals_workloads::suite::all();
+    let out = ex.sync_sweep(&suite).expect("sync sweep");
+    println!(
+        "best overall synchronous configuration: {} (geomean runtime {:.1} ns @ {} insts)",
+        out.best.key(),
+        out.best_geomean_ns,
+        ex.sweep_window()
+    );
+    let mut ranked = out.geomeans_ns.clone();
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+    println!("top 5:");
+    for (cfg, g) in ranked.iter().take(5) {
+        println!("  {:32} {:.1} ns", cfg.key(), g);
+    }
+}

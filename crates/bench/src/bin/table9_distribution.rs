@@ -1,0 +1,7 @@
+//! Table 9: distribution of the best Program-Adaptive configurations.
+fn main() {
+    let mut ex = gals_explore::Explorer::from_env().expect("cache");
+    let suite = gals_workloads::suite::all();
+    let choices = ex.program_sweep(&suite).expect("program sweep");
+    gals_bench::artifacts::table9(&choices);
+}

@@ -1,0 +1,532 @@
+//! The Accounting Cache proper.
+
+use std::error::Error;
+use std::fmt;
+
+/// Largest associativity supported (the adaptive D/L2 pair reaches 8 ways).
+pub const MAX_WAYS: usize = 8;
+
+/// Read or write access. Writes mark the line dirty so that evictions can
+/// be counted as writebacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load or instruction fetch.
+    Read,
+    /// A store (or a dirty fill from a lower level).
+    Write,
+}
+
+/// Which partition served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// Hit in the A partition (fast path, `a_cycles` latency).
+    APartition,
+    /// Hit in the B partition (second probe; block swapped into A).
+    BPartition,
+    /// Miss in all active ways; the next memory level must service it.
+    Miss,
+}
+
+/// Outcome of a single access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Which partition served the access.
+    pub served: ServedBy,
+    /// Whether a dirty block was evicted (writeback traffic to the next
+    /// level). Only possible when `served` is [`ServedBy::Miss`].
+    pub victim_writeback: bool,
+    /// MRU position of the block *before* this access (`None` on miss).
+    /// Position 0 is most recently used. This is the quantity the
+    /// accounting machinery counts.
+    pub mru_position: Option<u8>,
+}
+
+/// Errors from cache construction or reconfiguration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// Geometry is not a power-of-two set count or exceeds `MAX_WAYS`.
+    BadGeometry(String),
+    /// Requested A-partition width is zero or exceeds the physical ways.
+    BadPartition {
+        /// Requested width.
+        requested: u32,
+        /// Physical ways available.
+        physical: u32,
+    },
+    /// Attempted to resize a fixed-configuration (B-disabled) cache.
+    FixedConfiguration,
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::BadGeometry(msg) => write!(f, "bad cache geometry: {msg}"),
+            CacheConfigError::BadPartition {
+                requested,
+                physical,
+            } => write!(
+                f,
+                "bad A partition: {requested} ways requested of {physical} physical"
+            ),
+            CacheConfigError::FixedConfiguration => {
+                f.write_str("cache was built with a fixed configuration")
+            }
+        }
+    }
+}
+
+impl Error for CacheConfigError {}
+
+/// Per-interval accounting state: hits by MRU position, misses, traffic.
+///
+/// §3.1: "Simple counts of the number of blocks accessed in each MRU state
+/// are sufficient to reconstruct the precise number of hits and misses to
+/// the A and B partitions for all possible cache configurations, regardless
+/// of the current configuration."
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccountingStats {
+    /// `pos_hits[p]` counts accesses that hit a block whose MRU position
+    /// was `p` at access time.
+    pub pos_hits: [u64; MAX_WAYS],
+    /// Accesses that missed in every active way.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+    /// Total accesses.
+    pub accesses: u64,
+}
+
+impl AccountingStats {
+    /// Hits that an `a`-way A partition would have served.
+    pub fn hits_in_a(&self, a_ways: u32) -> u64 {
+        self.pos_hits[..(a_ways as usize).min(MAX_WAYS)].iter().sum()
+    }
+
+    /// Hits that would fall to the B partition under an `a`-way A
+    /// partition with `total` active ways.
+    pub fn hits_in_b(&self, a_ways: u32, total_ways: u32) -> u64 {
+        let a = (a_ways as usize).min(MAX_WAYS);
+        let t = (total_ways as usize).min(MAX_WAYS);
+        self.pos_hits[a..t].iter().sum()
+    }
+
+    /// Total hits across all active ways.
+    pub fn total_hits(&self) -> u64 {
+        self.pos_hits.iter().sum()
+    }
+
+    /// Merges another interval's counts into this one.
+    pub fn merge(&mut self, other: &AccountingStats) {
+        for (a, b) in self.pos_hits.iter_mut().zip(other.pos_hits) {
+            *a += b;
+        }
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+        self.accesses += other.accesses;
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+/// A way-partitioned set-associative cache with full-MRU accounting.
+///
+/// See the [crate docs](crate) for the model. Constructed either in
+/// **phase mode** (`b_enabled = true`: all physical ways active, A/B
+/// boundary movable at run time) or **fixed mode** (`b_enabled = false`:
+/// only `a_ways` ways exist; an A miss goes straight to the next level —
+/// used for the fully synchronous and program-adaptive machines, §3).
+pub struct AccountingCache {
+    sets: usize,
+    set_mask: u64,
+    line_shift: u32,
+    physical_ways: usize,
+    a_ways: usize,
+    b_enabled: bool,
+    /// `lines[set * physical_ways + slot]`; slot order is arbitrary.
+    lines: Vec<Line>,
+    /// `mru[set * physical_ways + pos]` = slot index at recency pos.
+    mru: Vec<u8>,
+    stats: AccountingStats,
+}
+
+impl fmt::Debug for AccountingCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AccountingCache")
+            .field("sets", &self.sets)
+            .field("physical_ways", &self.physical_ways)
+            .field("a_ways", &self.a_ways)
+            .field("b_enabled", &self.b_enabled)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AccountingCache {
+    /// Creates a cache.
+    ///
+    /// * `total_bytes` — capacity across all *physical* ways.
+    /// * `ways` — physical associativity (1–8).
+    /// * `line_bytes` — power-of-two line size.
+    /// * `a_ways` — initial A-partition width (1–`ways`).
+    /// * `b_enabled` — phase mode (see type docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError`] if the geometry is not a power of two,
+    /// `ways` exceeds [`MAX_WAYS`], or the partition is out of range.
+    pub fn new(
+        total_bytes: u64,
+        ways: u32,
+        line_bytes: u64,
+        a_ways: u32,
+        b_enabled: bool,
+    ) -> Result<Self, CacheConfigError> {
+        if ways == 0 || ways as usize > MAX_WAYS {
+            return Err(CacheConfigError::BadGeometry(format!(
+                "{ways} ways (1-{MAX_WAYS} supported)"
+            )));
+        }
+        if !line_bytes.is_power_of_two() {
+            return Err(CacheConfigError::BadGeometry(format!(
+                "line size {line_bytes} not a power of two"
+            )));
+        }
+        if a_ways == 0 || a_ways > ways {
+            return Err(CacheConfigError::BadPartition {
+                requested: a_ways,
+                physical: ways,
+            });
+        }
+        let way_bytes = total_bytes / ways as u64;
+        if way_bytes == 0 || way_bytes % line_bytes != 0 {
+            return Err(CacheConfigError::BadGeometry(format!(
+                "way capacity {way_bytes} not a multiple of line size"
+            )));
+        }
+        let sets = (way_bytes / line_bytes) as usize;
+        if !sets.is_power_of_two() {
+            return Err(CacheConfigError::BadGeometry(format!(
+                "{sets} sets is not a power of two"
+            )));
+        }
+        let physical_ways = ways as usize;
+        let mut mru = vec![0u8; sets * physical_ways];
+        for set in 0..sets {
+            for pos in 0..physical_ways {
+                mru[set * physical_ways + pos] = pos as u8;
+            }
+        }
+        Ok(AccountingCache {
+            sets,
+            set_mask: sets as u64 - 1,
+            line_shift: line_bytes.trailing_zeros(),
+            physical_ways,
+            a_ways: a_ways as usize,
+            b_enabled,
+            lines: vec![Line::default(); sets * physical_ways],
+            mru,
+            stats: AccountingStats::default(),
+        })
+    }
+
+    /// Number of ways an access may hit in: all physical ways in phase
+    /// mode, only the A partition in fixed mode.
+    #[inline]
+    fn active_ways(&self) -> usize {
+        if self.b_enabled {
+            self.physical_ways
+        } else {
+            self.a_ways
+        }
+    }
+
+    /// Current A-partition width in ways.
+    pub fn a_ways(&self) -> u32 {
+        self.a_ways as u32
+    }
+
+    /// Physical associativity.
+    pub fn physical_ways(&self) -> u32 {
+        self.physical_ways as u32
+    }
+
+    /// Number of sets per way.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Whether the B partition is active (phase mode).
+    pub fn b_enabled(&self) -> bool {
+        self.b_enabled
+    }
+
+    /// Moves the A/B boundary (phase mode only). Contents are unaffected —
+    /// the split is purely logical, which is why reconfiguration carries no
+    /// flush cost in the paper.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheConfigError::FixedConfiguration`] in fixed mode;
+    /// [`CacheConfigError::BadPartition`] if out of range.
+    pub fn set_a_ways(&mut self, a_ways: u32) -> Result<(), CacheConfigError> {
+        if !self.b_enabled {
+            return Err(CacheConfigError::FixedConfiguration);
+        }
+        if a_ways == 0 || a_ways as usize > self.physical_ways {
+            return Err(CacheConfigError::BadPartition {
+                requested: a_ways,
+                physical: self.physical_ways as u32,
+            });
+        }
+        self.a_ways = a_ways as usize;
+        Ok(())
+    }
+
+    /// Performs one access, updating contents, MRU state, and accounting.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessResult {
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.sets.trailing_zeros();
+        let ways = self.active_ways();
+        let base = set * self.physical_ways;
+
+        self.stats.accesses += 1;
+
+        // Search the active ways in MRU order so the hit position falls
+        // out of the search itself.
+        let mut hit_pos: Option<usize> = None;
+        for pos in 0..ways {
+            let slot = self.mru[base + pos] as usize;
+            let line = &self.lines[base + slot];
+            if line.valid && line.tag == tag {
+                hit_pos = Some(pos);
+                break;
+            }
+        }
+
+        match hit_pos {
+            Some(pos) => {
+                self.stats.pos_hits[pos] += 1;
+                let slot = self.mru[base + pos];
+                // Move to MRU front (models the A<->B swap on B hits).
+                self.mru.copy_within(base..base + pos, base + 1);
+                self.mru[base] = slot;
+                if kind == AccessKind::Write {
+                    self.lines[base + slot as usize].dirty = true;
+                }
+                let served = if pos < self.a_ways {
+                    ServedBy::APartition
+                } else {
+                    ServedBy::BPartition
+                };
+                AccessResult {
+                    served,
+                    victim_writeback: false,
+                    mru_position: Some(pos as u8),
+                }
+            }
+            None => {
+                self.stats.misses += 1;
+                // Victim: LRU among the active ways.
+                let victim_pos = ways - 1;
+                let slot = self.mru[base + victim_pos];
+                let line = &mut self.lines[base + slot as usize];
+                let victim_writeback = line.valid && line.dirty;
+                if victim_writeback {
+                    self.stats.writebacks += 1;
+                }
+                *line = Line {
+                    tag,
+                    valid: true,
+                    dirty: kind == AccessKind::Write,
+                };
+                self.mru.copy_within(base..base + victim_pos, base + 1);
+                self.mru[base] = slot;
+                AccessResult {
+                    served: ServedBy::Miss,
+                    victim_writeback,
+                    mru_position: None,
+                }
+            }
+        }
+    }
+
+    /// Probes for presence without updating any state (for tests and
+    /// assertions).
+    pub fn contains(&self, addr: u64) -> bool {
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.sets.trailing_zeros();
+        let base = set * self.physical_ways;
+        (0..self.active_ways()).any(|pos| {
+            let slot = self.mru[base + pos] as usize;
+            let line = &self.lines[base + slot];
+            line.valid && line.tag == tag
+        })
+    }
+
+    /// Accumulated accounting since the last [`AccountingCache::take_stats`].
+    pub fn stats(&self) -> &AccountingStats {
+        &self.stats
+    }
+
+    /// Returns and resets the interval counters (the controller does this
+    /// at the end of every 15K-instruction interval).
+    pub fn take_stats(&mut self) -> AccountingStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Invariant check used by property tests: every set's MRU vector is a
+    /// permutation of the physical slots.
+    pub fn mru_is_permutation(&self) -> bool {
+        (0..self.sets).all(|set| {
+            let base = set * self.physical_ways;
+            let mut seen = [false; MAX_WAYS];
+            for pos in 0..self.physical_ways {
+                let slot = self.mru[base + pos] as usize;
+                if slot >= self.physical_ways || seen[slot] {
+                    return false;
+                }
+                seen[slot] = true;
+            }
+            true
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(a_ways: u32, b_enabled: bool) -> AccountingCache {
+        // 4 sets x 4 ways x 64B lines = 1 KB.
+        AccountingCache::new(1024, 4, 64, a_ways, b_enabled).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(AccountingCache::new(1024, 0, 64, 1, true).is_err());
+        assert!(AccountingCache::new(1024, 16, 64, 1, true).is_err());
+        assert!(AccountingCache::new(1024, 4, 48, 1, true).is_err());
+        assert!(AccountingCache::new(1024, 4, 64, 0, true).is_err());
+        assert!(AccountingCache::new(1024, 4, 64, 5, true).is_err());
+        // 3-way geometry -> 1024/3 not a multiple of 64.
+        assert!(AccountingCache::new(1024, 3, 64, 1, true).is_err());
+        assert!(small_cache(2, true).mru_is_permutation());
+    }
+
+    #[test]
+    fn miss_then_a_hit() {
+        let mut c = small_cache(1, true);
+        assert_eq!(c.access(0x0, AccessKind::Read).served, ServedBy::Miss);
+        assert_eq!(c.access(0x0, AccessKind::Read).served, ServedBy::APartition);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().pos_hits[0], 1);
+    }
+
+    #[test]
+    fn b_hit_swaps_into_a() {
+        let mut c = small_cache(1, true);
+        // Two lines in the same set (set stride = 4 sets * 64 B = 256 B).
+        c.access(0x0, AccessKind::Read); // A: {0}
+        c.access(0x100, AccessKind::Read); // A: {100}, B: {0}
+        let r = c.access(0x0, AccessKind::Read);
+        assert_eq!(r.served, ServedBy::BPartition);
+        assert_eq!(r.mru_position, Some(1));
+        // After the swap, 0x0 is back in A.
+        assert_eq!(c.access(0x0, AccessKind::Read).served, ServedBy::APartition);
+    }
+
+    #[test]
+    fn fixed_mode_skips_b() {
+        let mut c = small_cache(1, false);
+        c.access(0x0, AccessKind::Read);
+        c.access(0x100, AccessKind::Read); // evicts 0x0: only 1 active way
+        assert_eq!(c.access(0x0, AccessKind::Read).served, ServedBy::Miss);
+        assert!(c.set_a_ways(2).is_err());
+    }
+
+    #[test]
+    fn full_lru_replacement_over_active_ways() {
+        let mut c = small_cache(2, true);
+        // Fill all four physical ways of set 0.
+        for i in 0..4u64 {
+            c.access(i * 0x100, AccessKind::Read);
+        }
+        // Access the oldest -> it is still resident (B partition).
+        assert_eq!(c.access(0x0, AccessKind::Read).served, ServedBy::BPartition);
+        // A fifth line evicts the LRU (0x100 now).
+        c.access(0x400, AccessKind::Read);
+        assert_eq!(c.access(0x100, AccessKind::Read).served, ServedBy::Miss);
+    }
+
+    #[test]
+    fn writeback_counted_on_dirty_eviction() {
+        let mut c = AccountingCache::new(256, 1, 64, 1, false).unwrap(); // 4 sets, 1 way
+        c.access(0x0, AccessKind::Write);
+        assert_eq!(c.stats().writebacks, 0);
+        let r = c.access(0x100, AccessKind::Read); // evicts dirty 0x0
+        assert!(r.victim_writeback);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn repartition_preserves_contents() {
+        let mut c = small_cache(1, true);
+        for i in 0..4u64 {
+            c.access(i * 0x100, AccessKind::Read);
+        }
+        c.set_a_ways(4).unwrap();
+        for i in 0..4u64 {
+            assert!(c.contains(i * 0x100));
+            assert_eq!(
+                c.access(i * 0x100, AccessKind::Read).served,
+                ServedBy::APartition
+            );
+        }
+    }
+
+    #[test]
+    fn stats_reconstruction_queries() {
+        let mut s = AccountingStats::default();
+        s.pos_hits = [10, 5, 3, 2, 0, 0, 0, 0];
+        s.misses = 4;
+        assert_eq!(s.hits_in_a(1), 10);
+        assert_eq!(s.hits_in_a(2), 15);
+        assert_eq!(s.hits_in_b(1, 4), 10);
+        assert_eq!(s.hits_in_b(4, 4), 0);
+        assert_eq!(s.total_hits(), 20);
+        let mut t = s.clone();
+        t.merge(&s);
+        assert_eq!(t.total_hits(), 40);
+        assert_eq!(t.misses, 8);
+    }
+
+    #[test]
+    fn take_stats_resets() {
+        let mut c = small_cache(1, true);
+        c.access(0x0, AccessKind::Read);
+        let s = c.take_stats();
+        assert_eq!(s.accesses, 1);
+        assert_eq!(c.stats().accesses, 0);
+    }
+
+    #[test]
+    fn mru_position_reported_before_promotion() {
+        let mut c = small_cache(4, true);
+        c.access(0x0, AccessKind::Read);
+        c.access(0x100, AccessKind::Read);
+        c.access(0x200, AccessKind::Read);
+        // 0x0 is now at MRU position 2.
+        let r = c.access(0x0, AccessKind::Read);
+        assert_eq!(r.mru_position, Some(2));
+        // And afterwards at position 0.
+        let r = c.access(0x0, AccessKind::Read);
+        assert_eq!(r.mru_position, Some(0));
+    }
+}

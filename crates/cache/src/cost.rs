@@ -1,0 +1,181 @@
+//! Per-configuration access-cost evaluation for the interval controller.
+
+use crate::accounting::AccountingStats;
+
+/// The cost parameters of one candidate configuration.
+///
+/// §3.1: the A access takes a fixed number of cycles (2 for L1, 12 for L2 —
+/// Table 5); the B access "is an integral number of cycles at the clock
+/// rate dictated by the size of the A partition"; and the domain clock
+/// period itself depends on the configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostPoint {
+    /// A-partition width in ways for this configuration.
+    pub a_ways: u32,
+    /// A-partition access latency in domain cycles.
+    pub a_cycles: u64,
+    /// B-partition access latency in domain cycles (`None` when the
+    /// configuration has no B partition, i.e. A spans all ways).
+    pub b_cycles: Option<u64>,
+    /// Domain clock period for this configuration, in nanoseconds.
+    pub cycle_ns: f64,
+}
+
+/// The candidate configurations of one adaptive cache (or cache pair
+/// member), in upsizing order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostTable {
+    points: Vec<CostPoint>,
+    total_ways: u32,
+}
+
+impl CostTable {
+    /// Builds a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, not in increasing `a_ways` order, or
+    /// if any point's `a_ways` exceeds `total_ways`.
+    pub fn new(points: Vec<CostPoint>, total_ways: u32) -> Self {
+        assert!(!points.is_empty(), "cost table needs at least one point");
+        assert!(
+            points.windows(2).all(|w| w[0].a_ways < w[1].a_ways),
+            "points must be in increasing a_ways order"
+        );
+        assert!(
+            points.iter().all(|p| p.a_ways <= total_ways),
+            "a_ways exceeds physical ways"
+        );
+        CostTable {
+            points,
+            total_ways,
+        }
+    }
+
+    /// The candidate points.
+    pub fn points(&self) -> &[CostPoint] {
+        &self.points
+    }
+
+    /// Total physical ways.
+    pub fn total_ways(&self) -> u32 {
+        self.total_ways
+    }
+
+    /// Total access time in nanoseconds that configuration `idx` *would
+    /// have* spent serving the interval summarized by `stats`, with misses
+    /// costed at `miss_ns` each.
+    ///
+    /// The reconstruction is exact because contents are configuration-
+    /// independent (see crate docs): hits at MRU positions below `a_ways`
+    /// are A hits, the rest are B hits, and misses are common to all
+    /// configurations.
+    pub fn cost_ns(&self, idx: usize, stats: &AccountingStats, miss_ns: f64) -> f64 {
+        let p = self.points[idx];
+        let a_hits = stats.hits_in_a(p.a_ways);
+        let b_hits = stats.hits_in_b(p.a_ways, self.total_ways);
+        let b_cycles = p.b_cycles.unwrap_or(0);
+        debug_assert!(
+            p.b_cycles.is_some() || b_hits == 0 || p.a_ways < self.total_ways,
+            "B hits with no B partition"
+        );
+        let hit_ns =
+            (a_hits * p.a_cycles + b_hits * b_cycles) as f64 * p.cycle_ns;
+        // A B access also pays the preceding A probe; that probe is already
+        // included because b_cycles (Table 5: 8/5/2 cycles) is the total
+        // latency observed by a B hit.
+        hit_ns + stats.misses as f64 * miss_ns
+    }
+
+    /// The configuration index minimizing [`CostTable::cost_ns`] for the
+    /// interval. Ties break toward the smaller (faster-clock) point.
+    pub fn best_config(&self, stats: &AccountingStats, miss_ns: f64) -> usize {
+        let mut best = 0;
+        let mut best_cost = f64::INFINITY;
+        for idx in 0..self.points.len() {
+            let c = self.cost_ns(idx, stats, miss_ns);
+            if c < best_cost {
+                best_cost = c;
+                best = idx;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> CostTable {
+        // Mirrors the L1 D-cache: 4 configs over 8 ways, Table 5 latencies.
+        CostTable::new(
+            vec![
+                CostPoint { a_ways: 1, a_cycles: 2, b_cycles: Some(8), cycle_ns: 0.63 },
+                CostPoint { a_ways: 2, a_cycles: 2, b_cycles: Some(5), cycle_ns: 0.83 },
+                CostPoint { a_ways: 4, a_cycles: 2, b_cycles: Some(2), cycle_ns: 0.89 },
+                CostPoint { a_ways: 8, a_cycles: 2, b_cycles: None, cycle_ns: 0.99 },
+            ],
+            8,
+        )
+    }
+
+    fn stats(pos_hits: [u64; 8], misses: u64) -> AccountingStats {
+        AccountingStats {
+            pos_hits,
+            misses,
+            writebacks: 0,
+            accesses: pos_hits.iter().sum::<u64>() + misses,
+        }
+    }
+
+    #[test]
+    fn a_heavy_interval_prefers_smallest() {
+        // Everything hits MRU position 0: the 1-way A config serves all
+        // hits at the fastest clock.
+        let s = stats([10_000, 0, 0, 0, 0, 0, 0, 0], 10);
+        assert_eq!(table().best_config(&s, 90.0), 0);
+    }
+
+    #[test]
+    fn deep_reuse_prefers_wider_a() {
+        // Most hits land at MRU positions 2-3: a 4-way A partition avoids
+        // paying B latency on them.
+        let s = stats([100, 100, 5_000, 5_000, 0, 0, 0, 0], 10);
+        let best = table().best_config(&s, 90.0);
+        assert!(best >= 2, "expected an upsized configuration, got {best}");
+    }
+
+    #[test]
+    fn cost_is_exact_sum() {
+        let t = table();
+        let s = stats([10, 20, 0, 0, 0, 0, 30, 0], 5);
+        // Config 0: A hits = 10 (pos 0), B hits = 50 (pos 1..8).
+        let expect = (10 * 2 + 50 * 8) as f64 * 0.63 + 5.0 * 90.0;
+        assert!((t.cost_ns(0, &s, 90.0) - expect).abs() < 1e-9);
+        // Config 3: all 60 hits in A, no B.
+        let expect3 = (60 * 2) as f64 * 0.99 + 5.0 * 90.0;
+        assert!((t.cost_ns(3, &s, 90.0) - expect3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misses_do_not_change_ranking() {
+        // Misses cost the same in every configuration, so the argmin is
+        // invariant to the miss term.
+        let t = table();
+        let s = stats([500, 400, 300, 200, 100, 50, 25, 10], 1_000);
+        assert_eq!(t.best_config(&s, 0.0), t.best_config(&s, 1_000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing a_ways order")]
+    fn unordered_points_rejected() {
+        let _ = CostTable::new(
+            vec![
+                CostPoint { a_ways: 2, a_cycles: 2, b_cycles: Some(5), cycle_ns: 0.8 },
+                CostPoint { a_ways: 1, a_cycles: 2, b_cycles: Some(8), cycle_ns: 0.6 },
+            ],
+            8,
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Gate-count estimate of the phase-adaptive cache control hardware
+//! (Table 4 of the paper).
+//!
+//! The decision hardware — one instance for the instruction cache and one
+//! for the L1/L2 data pair — multiplies MRU-position counters by latency
+//! constants and compares the per-configuration sums. Table 4 itemizes the
+//! arithmetic (counters, adders, serial multipliers, result register,
+//! comparator) using the gate-equivalent rules of Zimmermann's computer-
+//! arithmetic notes: a half-adder-based counter costs 3n gates plus 4n for
+//! flip-flops, a full adder 7n, a serial multiplier 1n plus 4n of result
+//! flip-flops, a comparator 6n.
+//!
+//! # Example
+//!
+//! ```
+//! let table = gals_cache::hw_cost::table4();
+//! assert_eq!(table.total_gates(), 4_647);
+//! ```
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Component description, matching the paper's wording.
+    pub name: &'static str,
+    /// Instance count.
+    pub count: u32,
+    /// Bit width `n` the per-bit rule multiplies.
+    pub bits: u32,
+    /// Gate equivalents per bit (e.g. 7 for an adder: 3 half-adder + 4
+    /// flip-flop, or a full adder).
+    pub gates_per_bit: u32,
+    /// Rule shown in the table's "Equivalent Gates" column.
+    pub rule: &'static str,
+}
+
+impl Component {
+    /// Total gate equivalents for this row: `count × bits × gates_per_bit`.
+    pub fn gates(&self) -> u32 {
+        self.count * self.bits * self.gates_per_bit
+    }
+}
+
+/// The full Table 4 bill of materials for one adaptable cache / cache pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HwCostTable {
+    components: Vec<Component>,
+}
+
+impl HwCostTable {
+    /// Rows in table order.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Total gate equivalents.
+    pub fn total_gates(&self) -> u32 {
+        self.components.iter().map(Component::gates).sum()
+    }
+}
+
+/// Builds Table 4: the per-cache-pair hardware for the phase-adaptive
+/// cache algorithm.
+///
+/// The widths come from §3.1: 15-bit counters suffice for a 15K-instruction
+/// interval; products of a 15-bit count and a small latency constant fit in
+/// 36 bits (8×28-bit multiplier producing a 36-bit result).
+pub fn table4() -> HwCostTable {
+    HwCostTable {
+        components: vec![
+            Component {
+                name: "24 MRU and Hit Counters (15-bit)",
+                count: 24,
+                bits: 15,
+                gates_per_bit: 7,
+                rule: "3n (Half-Adder) + 4n (D Flip-Flop) = 7n each",
+            },
+            Component {
+                name: "11 Adders (15-bit)",
+                count: 11,
+                bits: 15,
+                gates_per_bit: 7,
+                rule: "7n (Full-Adder) = 7n each",
+            },
+            Component {
+                name: "2 8x28-bit Multipliers (36-bit Result)",
+                count: 2,
+                bits: 36,
+                gates_per_bit: 5,
+                rule: "1n (Multiplier) + 4n (D Flip-Flop) = 5n each",
+            },
+            Component {
+                name: "1 Final Adder (36-bit)",
+                count: 1,
+                bits: 36,
+                gates_per_bit: 7,
+                rule: "7n (Full-adder) = 7n each",
+            },
+            Component {
+                name: "Result Register (36-bit)",
+                count: 1,
+                bits: 36,
+                gates_per_bit: 4,
+                rule: "4n (D Flip-Flop) = 4n each",
+            },
+            Component {
+                name: "Comparator (36-bit)",
+                count: 1,
+                bits: 36,
+                gates_per_bit: 6,
+                rule: "6n (Comparator) = 6n each",
+            },
+        ],
+    }
+}
+
+/// Total control-hardware budget quoted in §3.1: "dedicated arithmetic
+/// circuits requiring an estimated 10k equivalent gates (5K for the
+/// instruction cache and 5K for the L1/L2 data caches)".
+pub fn total_chip_budget_gates() -> u32 {
+    2 * 5_000
+}
+
+/// Decision latency in cycles (§3.1): "A complete reconfiguration decision
+/// requires approximately 32 cycles, based on binary addition trees and the
+/// generation of a single partial product per cycle."
+pub const DECISION_LATENCY_CYCLES: u64 = 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_totals_match_table4() {
+        let t = table4();
+        let totals: Vec<u32> = t.components().iter().map(Component::gates).collect();
+        assert_eq!(totals, vec![2_520, 1_155, 360, 252, 144, 216]);
+    }
+
+    #[test]
+    fn grand_total_matches_table4() {
+        assert_eq!(table4().total_gates(), 4_647);
+    }
+
+    #[test]
+    fn fits_in_quoted_budget() {
+        // Two instances (I-cache + D/L2 pair) within the quoted 10k gates.
+        assert!(2 * table4().total_gates() <= total_chip_budget_gates());
+    }
+
+    #[test]
+    fn decision_latency_is_32_cycles() {
+        assert_eq!(DECISION_LATENCY_CYCLES, 32);
+    }
+}

@@ -1,0 +1,358 @@
+//! A free-running, jittered, frequency-agile domain clock.
+
+use gals_common::{DomainId, Femtos, Hertz, SplitMix64};
+
+use crate::pll::Pll;
+
+/// Maximum supported jitter fraction. Bounded so that consecutive edges can
+/// never reorder (|jitter| < period/2 on both sides of an ideal edge).
+const MAX_JITTER_FRAC: f64 = 0.4;
+
+#[derive(Debug, Clone, Copy)]
+struct PendingChange {
+    target: Hertz,
+    complete_at: Femtos,
+}
+
+/// One clock domain's rising-edge generator.
+///
+/// Edges lie on an ideal grid `base + k·period` perturbed by bounded,
+/// deterministic, seeded jitter. The emitted edge sequence is strictly
+/// monotone. Frequency changes go through a [`Pll`] relock: the clock keeps
+/// running at the old frequency during the lock interval and switches to
+/// the new period at the first edge past lock completion (§2: domains
+/// "continue operating through a frequency change").
+///
+/// # Example
+///
+/// ```
+/// use gals_clock::DomainClock;
+/// use gals_common::{DomainId, Hertz, SplitMix64};
+///
+/// let mut clk = DomainClock::new(
+///     DomainId::LoadStore,
+///     Hertz::from_ghz(1.0),
+///     0.0, // no jitter: exact 1 ns edges
+///     SplitMix64::new(1),
+/// );
+/// assert_eq!(clk.tick().as_fs(), 1_000_000);
+/// assert_eq!(clk.tick().as_fs(), 2_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DomainClock {
+    id: DomainId,
+    freq: Hertz,
+    period: Femtos,
+    jitter_frac: f64,
+    rng: SplitMix64,
+    pll: Pll,
+    /// Time of the ideal grid origin (edge index 0; not itself an edge).
+    grid_base: Femtos,
+    /// Index of the next ideal edge on the grid (1-based from `grid_base`).
+    grid_index: u64,
+    /// Total edges emitted since construction.
+    cycle: u64,
+    /// Time of the most recently emitted edge.
+    last_edge: Femtos,
+    /// Precomputed time of the next edge.
+    next_edge: Femtos,
+    pending: Option<PendingChange>,
+}
+
+impl DomainClock {
+    /// Creates a clock whose first edge falls one (jittered) period after
+    /// time zero.
+    ///
+    /// `jitter_frac` is the peak-to-peak half-amplitude of cycle-to-cycle
+    /// jitter as a fraction of the period (e.g. `0.02` = ±2%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter_frac` is negative, not finite, or above 0.4.
+    pub fn new(id: DomainId, freq: Hertz, jitter_frac: f64, mut rng: SplitMix64) -> Self {
+        assert!(
+            jitter_frac.is_finite() && (0.0..=MAX_JITTER_FRAC).contains(&jitter_frac),
+            "jitter fraction must be in [0, {MAX_JITTER_FRAC}]: {jitter_frac}"
+        );
+        let pll = Pll::new(rng.fork(0x504C_4C00));
+        let mut clk = DomainClock {
+            id,
+            freq,
+            period: freq.period(),
+            jitter_frac,
+            rng,
+            pll,
+            grid_base: Femtos::ZERO,
+            grid_index: 1,
+            cycle: 0,
+            last_edge: Femtos::ZERO,
+            next_edge: Femtos::ZERO,
+            pending: None,
+        };
+        clk.next_edge = clk.jittered(clk.ideal(1));
+        clk
+    }
+
+    /// Creates a clock with a fixed phase offset of the ideal grid, so that
+    /// independent domains do not share edge alignment. The offset is
+    /// reduced modulo the period.
+    pub fn with_phase(
+        id: DomainId,
+        freq: Hertz,
+        jitter_frac: f64,
+        phase: Femtos,
+        rng: SplitMix64,
+    ) -> Self {
+        let mut clk = DomainClock::new(id, freq, jitter_frac, rng);
+        clk.grid_base = Femtos::new(phase.as_fs() % clk.period.as_fs());
+        clk.next_edge = clk.jittered(clk.ideal(1));
+        clk
+    }
+
+    #[inline]
+    fn ideal(&self, index: u64) -> Femtos {
+        self.grid_base + self.period * index
+    }
+
+    #[inline]
+    fn jittered(&mut self, ideal: Femtos) -> Femtos {
+        if self.jitter_frac == 0.0 {
+            return ideal;
+        }
+        let amp = (self.period.as_fs() as f64 * self.jitter_frac) as u64;
+        if amp == 0 {
+            return ideal;
+        }
+        let j = self.rng.next_below(2 * amp + 1) as i64 - amp as i64;
+        if j >= 0 {
+            ideal + Femtos::new(j as u64)
+        } else {
+            ideal.saturating_sub(Femtos::new((-j) as u64))
+        }
+    }
+
+    /// Domain this clock drives.
+    pub fn id(&self) -> DomainId {
+        self.id
+    }
+
+    /// Current operating frequency (the old frequency during a relock).
+    pub fn frequency(&self) -> Hertz {
+        self.freq
+    }
+
+    /// Current period.
+    pub fn period(&self) -> Femtos {
+        self.period
+    }
+
+    /// Total edges emitted so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Time of the most recent edge ([`Femtos::ZERO`] before the first).
+    pub fn last_edge(&self) -> Femtos {
+        self.last_edge
+    }
+
+    /// Time of the next edge, without advancing.
+    pub fn peek_next_edge(&self) -> Femtos {
+        self.next_edge
+    }
+
+    /// True while a frequency change is waiting for PLL lock.
+    pub fn is_locking(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// The frequency that will take effect once the current relock
+    /// completes, if any.
+    pub fn target_frequency(&self) -> Option<Hertz> {
+        self.pending.map(|p| p.target)
+    }
+
+    /// Advances to the next rising edge and returns its time.
+    ///
+    /// If a pending frequency change has completed its PLL lock by this
+    /// edge, the new period takes effect for subsequent edges (the grid is
+    /// re-based at this edge).
+    pub fn tick(&mut self) -> Femtos {
+        let edge = self.next_edge;
+        debug_assert!(edge > self.last_edge || self.cycle == 0);
+        self.last_edge = edge;
+        self.cycle += 1;
+        self.grid_index += 1;
+
+        if let Some(p) = self.pending {
+            if p.complete_at <= edge {
+                self.freq = p.target;
+                self.period = p.target.period();
+                self.grid_base = edge;
+                self.grid_index = 1;
+                self.pending = None;
+            }
+        }
+
+        let ideal = self.ideal(self.grid_index);
+        let mut next = self.jittered(ideal);
+        if next <= edge {
+            // Extreme jitter draw on a rebased grid; clamp forward to
+            // preserve strict monotonicity.
+            next = edge + Femtos::new(1);
+        }
+        self.next_edge = next;
+        edge
+    }
+
+    /// Begins a frequency change to `target`, sampling a PLL lock time.
+    /// Returns the completion time. The clock continues at the current
+    /// frequency until then.
+    ///
+    /// Calling again while a change is pending replaces the pending target
+    /// and restarts the lock interval (the controller in the paper never
+    /// does this — decisions are spaced by 15K-instruction intervals an
+    /// order of magnitude longer than the lock time — but the model is
+    /// defined for robustness).
+    pub fn begin_frequency_change(&mut self, target: Hertz) -> Femtos {
+        if target == self.freq && self.pending.is_none() {
+            return self.last_edge;
+        }
+        let lock = self.pll.sample_lock_time();
+        let complete_at = self.last_edge + lock;
+        self.pending = Some(PendingChange { target, complete_at });
+        complete_at
+    }
+
+    /// Replaces the PLL model (for ablation studies over lock times).
+    pub fn set_pll(&mut self, pll: Pll) {
+        self.pll = pll;
+    }
+
+    /// Immediately sets the frequency without a relock. Used to construct
+    /// baseline machines and in tests; run-time adaptation must use
+    /// [`DomainClock::begin_frequency_change`].
+    pub fn set_frequency_immediate(&mut self, target: Hertz) {
+        self.freq = target;
+        self.period = target.period();
+        self.grid_base = self.last_edge;
+        self.grid_index = 1;
+        self.pending = None;
+        let ideal = self.ideal(1);
+        let mut next = self.jittered(ideal);
+        if next <= self.last_edge {
+            next = self.last_edge + Femtos::new(1);
+        }
+        self.next_edge = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clk(freq_ghz: f64, jitter: f64, seed: u64) -> DomainClock {
+        DomainClock::new(
+            DomainId::Integer,
+            Hertz::from_ghz(freq_ghz),
+            jitter,
+            SplitMix64::new(seed),
+        )
+    }
+
+    #[test]
+    fn jitter_free_edges_on_grid() {
+        let mut c = clk(1.0, 0.0, 1);
+        for k in 1..=100u64 {
+            assert_eq!(c.tick(), Femtos::new(k * 1_000_000));
+        }
+        assert_eq!(c.cycle(), 100);
+    }
+
+    #[test]
+    fn edges_strictly_monotone_with_jitter() {
+        let mut c = clk(1.52, 0.05, 2);
+        let mut prev = Femtos::ZERO;
+        for _ in 0..100_000 {
+            let e = c.tick();
+            assert!(e > prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn jitter_stays_near_ideal_grid() {
+        let mut c = clk(1.0, 0.02, 3);
+        for k in 1..=10_000u64 {
+            let e = c.tick().as_fs() as i64;
+            let ideal = (k * 1_000_000) as i64;
+            assert!((e - ideal).abs() <= 20_000, "edge {k}: {e} vs {ideal}");
+        }
+    }
+
+    #[test]
+    fn phase_offset_shifts_grid() {
+        let a = DomainClock::with_phase(
+            DomainId::FrontEnd,
+            Hertz::from_ghz(1.0),
+            0.0,
+            Femtos::new(250_000),
+            SplitMix64::new(4),
+        );
+        assert_eq!(a.peek_next_edge(), Femtos::new(1_250_000));
+    }
+
+    #[test]
+    fn frequency_change_waits_for_lock() {
+        let mut c = clk(1.0, 0.0, 5);
+        c.tick();
+        let done = c.begin_frequency_change(Hertz::from_ghz(2.0));
+        assert!(c.is_locking());
+        assert_eq!(c.target_frequency(), Some(Hertz::from_ghz(2.0)));
+        // Lock time within the paper's 10-20 µs.
+        let lock = done - c.last_edge();
+        assert!(lock >= Femtos::from_us(10) && lock <= Femtos::from_us(20));
+        // Old frequency until completion.
+        while c.peek_next_edge() < done {
+            c.tick();
+            assert_eq!(c.frequency(), Hertz::from_ghz(1.0));
+        }
+        // First edge past completion applies the new frequency.
+        c.tick();
+        c.tick();
+        assert_eq!(c.frequency(), Hertz::from_ghz(2.0));
+        assert!(!c.is_locking());
+        assert_eq!(c.period(), Femtos::new(500_000));
+    }
+
+    #[test]
+    fn change_to_same_frequency_is_noop() {
+        let mut c = clk(1.0, 0.0, 6);
+        c.tick();
+        c.begin_frequency_change(Hertz::from_ghz(1.0));
+        assert!(!c.is_locking());
+    }
+
+    #[test]
+    fn immediate_change_rebases_grid() {
+        let mut c = clk(1.0, 0.0, 7);
+        c.tick(); // t = 1 ns
+        c.set_frequency_immediate(Hertz::from_ghz(0.5));
+        assert_eq!(c.tick(), Femtos::new(3_000_000)); // 1 ns + 2 ns period
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter fraction")]
+    fn excessive_jitter_rejected() {
+        let _ = clk(1.0, 0.5, 8);
+    }
+
+    #[test]
+    fn deterministic_across_clones() {
+        let mut a = clk(1.3, 0.03, 9);
+        let mut b = a.clone();
+        for _ in 0..1000 {
+            assert_eq!(a.tick(), b.tick());
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Cross-domain synchronization FIFOs.
+//!
+//! The MCD interfaces between clock domains are queues: the producer
+//! enqueues on its own clock edges and the consumer dequeues on its own,
+//! with the synchronizer's setup window (see [`SyncModel`]) governing when
+//! a freshly written entry becomes safely visible. Semeraro et al. [28]
+//! show that when such a queue is non-empty, the synchronization latency
+//! is hidden — the consumer reads older entries while new ones settle.
+//! This type models exactly that: per-entry visibility timestamps over a
+//! bounded ring.
+//!
+//! The pipeline simulator in `gals-core` inlines equivalent logic for its
+//! dispatch/completion paths; `SyncFifo` is the reusable, stand-alone
+//! form for building other GALS interconnect models.
+
+use std::collections::VecDeque;
+
+use gals_common::Femtos;
+
+use crate::sync::SyncModel;
+
+/// A bounded FIFO crossing a clock-domain boundary.
+///
+/// Entries are tagged at enqueue time with the earliest instant the
+/// consumer may observe them. Capacity models the physical queue; a full
+/// queue exerts backpressure (enqueue fails).
+///
+/// # Example
+///
+/// ```
+/// use gals_clock::{SyncFifo, SyncModel};
+/// use gals_common::Femtos;
+///
+/// let mut q: SyncFifo<u32> = SyncFifo::new(4, SyncModel::default());
+/// let producer_period = Femtos::from_ps(625);
+/// let consumer_period = Femtos::from_ps(800);
+///
+/// q.enqueue(7, Femtos::from_ns(10), producer_period, consumer_period)
+///     .unwrap();
+/// // Immediately after the producing edge the value is still settling:
+/// assert_eq!(q.dequeue(Femtos::from_ns(10)), None);
+/// // One consumer cycle later it is safely visible:
+/// assert_eq!(q.dequeue(Femtos::from_ns(11)), Some(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyncFifo<T> {
+    capacity: usize,
+    sync: SyncModel,
+    entries: VecDeque<(Femtos, T)>,
+    enqueued: u64,
+    dequeued: u64,
+    rejected: u64,
+}
+
+/// Error returned when enqueueing into a full FIFO (backpressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoFull;
+
+impl std::fmt::Display for FifoFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("synchronization FIFO is full")
+    }
+}
+
+impl std::error::Error for FifoFull {}
+
+impl<T> SyncFifo<T> {
+    /// Creates a FIFO with the given capacity and synchronization model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, sync: SyncModel) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        SyncFifo {
+            capacity,
+            sync,
+            entries: VecDeque::with_capacity(capacity),
+            enqueued: 0,
+            dequeued: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently queued (visible or still settling).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when at capacity (producer must stall).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Enqueues `value` at producer edge `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFull`] (and counts the rejection) when the queue is
+    /// at capacity — the producer domain must retry on a later edge.
+    pub fn enqueue(
+        &mut self,
+        value: T,
+        at: Femtos,
+        producer_period: Femtos,
+        consumer_period: Femtos,
+    ) -> Result<(), FifoFull> {
+        if self.is_full() {
+            self.rejected += 1;
+            return Err(FifoFull);
+        }
+        let visible = self.sync.ready_time(at, producer_period, consumer_period);
+        debug_assert!(
+            self.entries.back().map_or(true, |(v, _)| *v <= visible),
+            "enqueue times must be monotone"
+        );
+        self.entries.push_back((visible, value));
+        self.enqueued += 1;
+        Ok(())
+    }
+
+    /// Time at which the head entry becomes consumable, if any.
+    pub fn head_visible_at(&self) -> Option<Femtos> {
+        self.entries.front().map(|(v, _)| *v)
+    }
+
+    /// Dequeues the head entry if it is visible by consumer edge `now`.
+    /// The "hidden synchronization" effect falls out naturally: with a
+    /// backlog, the head entry's visibility time is long past.
+    pub fn dequeue(&mut self, now: Femtos) -> Option<T> {
+        match self.entries.front() {
+            Some((visible, _)) if *visible <= now => {
+                self.dequeued += 1;
+                self.entries.pop_front().map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Total accepted enqueues.
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Total successful dequeues.
+    pub fn total_dequeued(&self) -> u64 {
+        self.dequeued
+    }
+
+    /// Total rejected (backpressured) enqueues.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fifo(cap: usize) -> SyncFifo<u64> {
+        SyncFifo::new(cap, SyncModel::default())
+    }
+
+    const P: Femtos = Femtos::new(625_000); // 1.6 GHz
+    const C: Femtos = Femtos::new(800_000); // 1.25 GHz
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = fifo(8);
+        for i in 0..5u64 {
+            q.enqueue(i, Femtos::from_ns(10 + i), P, C).unwrap();
+        }
+        let late = Femtos::from_ns(100);
+        for i in 0..5u64 {
+            assert_eq!(q.dequeue(late), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn setup_window_delays_head() {
+        let mut q = fifo(2);
+        let t = Femtos::from_ns(50);
+        q.enqueue(1, t, P, C).unwrap();
+        // Window = 0.3 * 625 ps = 187.5 ps.
+        assert_eq!(q.dequeue(t), None);
+        assert_eq!(q.dequeue(t + Femtos::from_ps(187)), None);
+        assert_eq!(q.dequeue(t + Femtos::from_ps(188)), Some(1));
+    }
+
+    #[test]
+    fn backlog_hides_synchronization() {
+        let mut q = fifo(8);
+        for i in 0..4u64 {
+            q.enqueue(i, Femtos::from_ns(10 + i), P, C).unwrap();
+        }
+        // Long after the enqueues, every dequeue succeeds immediately —
+        // the settling happened while the entries waited in the queue.
+        let mut now = Femtos::from_ns(30);
+        for i in 0..4u64 {
+            assert_eq!(q.dequeue(now), Some(i));
+            now += C;
+        }
+    }
+
+    #[test]
+    fn backpressure_counted() {
+        let mut q = fifo(2);
+        q.enqueue(1, Femtos::from_ns(1), P, C).unwrap();
+        q.enqueue(2, Femtos::from_ns(2), P, C).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.enqueue(3, Femtos::from_ns(3), P, C), Err(FifoFull));
+        assert_eq!(q.total_rejected(), 1);
+        assert_eq!(q.total_enqueued(), 2);
+        // Draining frees space.
+        assert!(q.dequeue(Femtos::from_ns(20)).is_some());
+        assert!(q.enqueue(3, Femtos::from_ns(21), P, C).is_ok());
+    }
+
+    #[test]
+    fn head_visible_time_exposed() {
+        let mut q = fifo(2);
+        assert_eq!(q.head_visible_at(), None);
+        let t = Femtos::from_ns(5);
+        q.enqueue(9, t, P, C).unwrap();
+        let v = q.head_visible_at().unwrap();
+        assert!(v > t && v <= t + P);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = fifo(0);
+    }
+}

@@ -1,0 +1,123 @@
+//! PLL lock-time model.
+
+use gals_common::{Femtos, SplitMix64};
+
+/// Samples PLL relock durations for dynamic frequency changes.
+///
+/// §2: lock time is "normally distributed with a mean time of 15µs and a
+/// range of 10–20µs". We sample a normal with mean 15 µs and a standard
+/// deviation of 5/3 µs (so ±3σ spans the stated range) and clamp to the
+/// range, which reproduces both the mean and the hard bounds.
+#[derive(Debug, Clone)]
+pub struct Pll {
+    mean: Femtos,
+    std_dev_fs: f64,
+    min: Femtos,
+    max: Femtos,
+    rng: SplitMix64,
+}
+
+impl Pll {
+    /// Creates the paper's PLL model with a dedicated RNG stream.
+    pub fn new(rng: SplitMix64) -> Self {
+        Pll {
+            mean: Femtos::from_us(15),
+            std_dev_fs: Femtos::from_us(5).as_fs() as f64 / 3.0,
+            min: Femtos::from_us(10),
+            max: Femtos::from_us(20),
+            rng,
+        }
+    }
+
+    /// The paper's model with all time parameters multiplied by `scale`
+    /// (for lock-time sensitivity studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn scaled(rng: SplitMix64, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "invalid PLL scale {scale}");
+        let us = |v: f64| Femtos::new((v * 1e9 * scale) as u64);
+        Pll {
+            mean: us(15.0),
+            std_dev_fs: 5e9 * scale / 3.0,
+            min: us(10.0),
+            max: us(20.0),
+            rng,
+        }
+    }
+
+    /// Creates a PLL with explicit parameters (for tests and ablations).
+    pub fn with_parameters(mean: Femtos, std_dev: Femtos, min: Femtos, max: Femtos, rng: SplitMix64) -> Self {
+        assert!(min <= mean && mean <= max, "mean must lie within [min, max]");
+        Pll {
+            mean,
+            std_dev_fs: std_dev.as_fs() as f64,
+            min,
+            max,
+            rng,
+        }
+    }
+
+    /// Mean lock time.
+    pub fn mean(&self) -> Femtos {
+        self.mean
+    }
+
+    /// Samples one relock duration.
+    pub fn sample_lock_time(&mut self) -> Femtos {
+        let x = self
+            .rng
+            .next_normal(self.mean.as_fs() as f64, self.std_dev_fs);
+        let clamped = x.clamp(self.min.as_fs() as f64, self.max.as_fs() as f64);
+        Femtos::new(clamped as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_within_range() {
+        let mut pll = Pll::new(SplitMix64::new(1));
+        for _ in 0..10_000 {
+            let t = pll.sample_lock_time();
+            assert!(t >= Femtos::from_us(10) && t <= Femtos::from_us(20), "{t}");
+        }
+    }
+
+    #[test]
+    fn mean_close_to_15us() {
+        let mut pll = Pll::new(SplitMix64::new(2));
+        let n = 20_000u64;
+        let total: u128 = (0..n).map(|_| pll.sample_lock_time().as_fs() as u128).sum();
+        let mean_us = total as f64 / n as f64 / 1e9;
+        assert!((mean_us - 15.0).abs() < 0.15, "mean {mean_us} µs");
+    }
+
+    #[test]
+    fn custom_parameters_respected() {
+        let mut pll = Pll::with_parameters(
+            Femtos::from_us(5),
+            Femtos::new(0),
+            Femtos::from_us(5),
+            Femtos::from_us(5),
+            SplitMix64::new(3),
+        );
+        assert_eq!(pll.sample_lock_time(), Femtos::from_us(5));
+        assert_eq!(pll.mean(), Femtos::from_us(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must lie within")]
+    fn invalid_parameters_rejected() {
+        let _ = Pll::with_parameters(
+            Femtos::from_us(30),
+            Femtos::new(0),
+            Femtos::from_us(10),
+            Femtos::from_us(20),
+            SplitMix64::new(4),
+        );
+    }
+}

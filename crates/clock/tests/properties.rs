@@ -1,0 +1,103 @@
+//! Property-based tests for the clock substrate.
+
+use gals_clock::{DomainClock, SyncModel};
+use gals_common::{DomainId, Femtos, Hertz, SplitMix64};
+use proptest::prelude::*;
+
+proptest! {
+    /// Edges are strictly monotone for any frequency/jitter/seed combo.
+    #[test]
+    fn edges_strictly_monotone(
+        mhz in 80u64..2000,
+        jitter in 0.0f64..0.35,
+        seed in any::<u64>(),
+    ) {
+        let mut c = DomainClock::new(
+            DomainId::FrontEnd,
+            Hertz::from_mhz(mhz),
+            jitter,
+            SplitMix64::new(seed),
+        );
+        let mut prev = Femtos::ZERO;
+        for i in 0..2000 {
+            let e = c.tick();
+            prop_assert!(e > prev || i == 0 && e > Femtos::ZERO);
+            prev = e;
+        }
+    }
+
+    /// Cycle counting matches the number of ticks, and mean period tracks
+    /// the nominal period to within the jitter bound.
+    #[test]
+    fn mean_period_tracks_nominal(
+        mhz in 200u64..2000,
+        jitter in 0.0f64..0.2,
+        seed in any::<u64>(),
+    ) {
+        let f = Hertz::from_mhz(mhz);
+        let mut c = DomainClock::new(DomainId::LoadStore, f, jitter, SplitMix64::new(seed));
+        let n = 5000u64;
+        let mut last = Femtos::ZERO;
+        for _ in 0..n {
+            last = c.tick();
+        }
+        prop_assert_eq!(c.cycle(), n);
+        let mean_period = last.as_fs() as f64 / n as f64;
+        let nominal = f.period().as_fs() as f64;
+        // The grid anchors edges to ideal times, so the mean period error
+        // is bounded by a single jitter amplitude spread over n cycles.
+        prop_assert!((mean_period - nominal).abs() / nominal < 0.01);
+    }
+
+    /// The sync window never exceeds the faster period and scales with the
+    /// threshold.
+    #[test]
+    fn sync_window_bounded(
+        p1 in 500u64..10_000,
+        p2 in 500u64..10_000,
+        frac in 0.0f64..0.9,
+    ) {
+        let s = SyncModel::new(frac);
+        let produced = Femtos::from_ns(1);
+        let ready = s.ready_time(
+            produced,
+            Femtos::from_ps(p1),
+            Femtos::from_ps(p2),
+        );
+        let window = ready - produced;
+        let fast = Femtos::from_ps(p1.min(p2));
+        prop_assert!(window <= fast);
+        prop_assert!(ready >= produced);
+    }
+
+    /// Frequency changes always complete within the paper's 10-20 µs lock
+    /// range, and the new frequency is in force afterwards.
+    #[test]
+    fn relock_bounded_and_applied(
+        seed in any::<u64>(),
+        from_mhz in 500u64..1800,
+        to_mhz in 500u64..1800,
+    ) {
+        let mut c = DomainClock::new(
+            DomainId::Integer,
+            Hertz::from_mhz(from_mhz),
+            0.02,
+            SplitMix64::new(seed),
+        );
+        c.tick();
+        let start = c.last_edge();
+        let done = c.begin_frequency_change(Hertz::from_mhz(to_mhz));
+        if from_mhz == to_mhz {
+            prop_assert!(!c.is_locking());
+        } else {
+            let lock = done - start;
+            prop_assert!(lock >= Femtos::from_us(10));
+            prop_assert!(lock <= Femtos::from_us(20));
+            while c.last_edge() < done {
+                c.tick();
+            }
+            c.tick();
+            prop_assert_eq!(c.frequency(), Hertz::from_mhz(to_mhz));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Clock-domain identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the independently clocked domains of the adaptive MCD processor
+/// (Figure 1 of the paper), plus the fixed-frequency external memory domain.
+///
+/// * `FrontEnd` — L1 I-cache, branch predictor, rename, ROB, dispatch.
+/// * `Integer` — integer issue queue, register file, ALUs.
+/// * `FloatingPoint` — FP issue queue, register file, FP units.
+/// * `LoadStore` — load/store queue, L1 D-cache, unified L2 cache.
+/// * `External` — main memory; "can be thought of as a separate fifth
+///   domain, but it operates at a fixed base frequency and hence is
+///   non-adaptive" (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DomainId {
+    /// Fetch, branch prediction, rename, reorder buffer, dispatch.
+    FrontEnd,
+    /// Integer issue queue, register file, and execution units.
+    Integer,
+    /// Floating-point issue queue, register file, and execution units.
+    FloatingPoint,
+    /// Load/store queue, L1 data cache, and unified L2 cache.
+    LoadStore,
+    /// Main memory (fixed frequency, non-adaptive).
+    External,
+}
+
+impl DomainId {
+    /// The four adaptive on-chip domains, in Figure 1 order.
+    pub const ADAPTIVE: [DomainId; 4] = [
+        DomainId::FrontEnd,
+        DomainId::Integer,
+        DomainId::FloatingPoint,
+        DomainId::LoadStore,
+    ];
+
+    /// All five domains including external memory.
+    pub const ALL: [DomainId; 5] = [
+        DomainId::FrontEnd,
+        DomainId::Integer,
+        DomainId::FloatingPoint,
+        DomainId::LoadStore,
+        DomainId::External,
+    ];
+
+    /// A dense index in `0..5`, usable for array-backed per-domain state.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            DomainId::FrontEnd => 0,
+            DomainId::Integer => 1,
+            DomainId::FloatingPoint => 2,
+            DomainId::LoadStore => 3,
+            DomainId::External => 4,
+        }
+    }
+
+    /// Short human-readable name used in reports and traces.
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            DomainId::FrontEnd => "fe",
+            DomainId::Integer => "int",
+            DomainId::FloatingPoint => "fp",
+            DomainId::LoadStore => "ls",
+            DomainId::External => "mem",
+        }
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DomainId::FrontEnd => "front-end",
+            DomainId::Integer => "integer",
+            DomainId::FloatingPoint => "floating-point",
+            DomainId::LoadStore => "load/store",
+            DomainId::External => "external-memory",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; 5];
+        for d in DomainId::ALL {
+            assert!(!seen[d.index()], "duplicate index for {d}");
+            seen[d.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn adaptive_excludes_external() {
+        assert!(!DomainId::ADAPTIVE.contains(&DomainId::External));
+        assert_eq!(DomainId::ADAPTIVE.len(), 4);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(DomainId::FrontEnd.short_name(), "fe");
+        assert_eq!(format!("{}", DomainId::LoadStore), "load/store");
+    }
+}

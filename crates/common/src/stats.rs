@@ -1,0 +1,215 @@
+//! Statistics helpers used by experiment harnesses and reports.
+
+/// Arithmetic mean of a slice; `None` when empty.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(gals_common::stats::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(gals_common::stats::mean(&[]), None);
+/// ```
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Geometric mean of a slice of positive values; `None` when empty or when
+/// any value is non-positive.
+///
+/// The paper reports per-application performance improvements and an overall
+/// average; geometric means are the conventional way to aggregate speedup
+/// ratios across a suite.
+///
+/// # Example
+///
+/// ```
+/// let g = gals_common::stats::geomean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+/// Harmonic mean of a slice of positive values; `None` when empty or when
+/// any value is non-positive.
+pub fn harmonic_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    Some(xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>())
+}
+
+/// Incrementally maintained summary statistics (count / mean / min / max),
+/// using Welford's algorithm for a numerically stable variance.
+///
+/// # Example
+///
+/// ```
+/// use gals_common::stats::Running;
+///
+/// let mut r = Running::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     r.push(x);
+/// }
+/// assert_eq!(r.count(), 3);
+/// assert_eq!(r.mean(), 4.0);
+/// assert_eq!(r.min(), Some(2.0));
+/// assert_eq!(r.max(), Some(6.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Running {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Running::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0.0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+}
+
+impl Extend<f64> for Running {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Running {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut r = Running::new();
+        r.extend(iter);
+        r
+    }
+}
+
+/// Percentage change from `base` to `new`, positive when `new` is an
+/// improvement **in runtime** (i.e. smaller is better).
+///
+/// This matches the paper's Figure 6 metric: "relative improvement in run
+/// time … over the best-overall fully synchronous processor".
+///
+/// # Example
+///
+/// ```
+/// // New runtime 80 vs baseline 100 -> 20% improvement.
+/// assert_eq!(gals_common::stats::runtime_improvement_pct(100.0, 80.0), 25.0);
+/// ```
+///
+/// Note: improvement is expressed as speedup minus one (100·(base/new − 1)),
+/// so 100→80 is a 1.25× speedup = 25%.
+pub fn runtime_improvement_pct(base: f64, new: f64) -> f64 {
+    assert!(base > 0.0 && new > 0.0, "runtimes must be positive");
+    (base / new - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[5.0]), Some(5.0));
+        assert_eq!(mean(&[1.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[2.0, 0.0]), None);
+        assert!((geomean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_basics() {
+        assert_eq!(harmonic_mean(&[]), None);
+        assert!((harmonic_mean(&[1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[2.0, 6.0]).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_matches_batch() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let r: Running = xs.iter().copied().collect();
+        assert_eq!(r.count(), 5);
+        assert!((r.mean() - mean(&xs).unwrap()).abs() < 1e-12);
+        let batch_var =
+            xs.iter().map(|x| (x - r.mean()).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((r.variance() - batch_var).abs() < 1e-9);
+        assert_eq!(r.min(), Some(1.0));
+        assert_eq!(r.max(), Some(10.0));
+    }
+
+    #[test]
+    fn running_empty() {
+        let r = Running::new();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.min(), None);
+    }
+
+    #[test]
+    fn improvement_pct() {
+        assert!((runtime_improvement_pct(100.0, 100.0)).abs() < 1e-12);
+        assert!((runtime_improvement_pct(120.0, 100.0) - 20.0).abs() < 1e-12);
+        assert!(runtime_improvement_pct(100.0, 120.0) < 0.0);
+    }
+}

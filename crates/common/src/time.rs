@@ -1,0 +1,362 @@
+//! Time and frequency newtypes.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A duration or absolute point in simulated time, in femtoseconds.
+///
+/// One femtosecond is 10⁻¹⁵ seconds. A `u64` of femtoseconds covers about
+/// 5.1 hours of simulated time, far beyond any experiment in this workspace
+/// (runs are micro- to milliseconds of simulated time).
+///
+/// `Femtos` is used both for absolute timestamps (time since simulation
+/// start) and for durations; the arithmetic provided is the common subset
+/// that is meaningful for both.
+///
+/// # Example
+///
+/// ```
+/// use gals_common::Femtos;
+///
+/// let period = Femtos::new(625_000); // 1.6 GHz clock period
+/// assert_eq!(period.as_ps(), 625.0);
+/// assert_eq!((period * 4) / 2, Femtos::new(1_250_000));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Femtos(u64);
+
+impl Femtos {
+    /// Zero duration / simulation epoch.
+    pub const ZERO: Femtos = Femtos(0);
+    /// The maximum representable time; used as an "infinitely far away"
+    /// sentinel for events that are not scheduled.
+    pub const MAX: Femtos = Femtos(u64::MAX);
+
+    /// Creates a time value from raw femtoseconds.
+    #[inline]
+    pub const fn new(fs: u64) -> Self {
+        Femtos(fs)
+    }
+
+    /// Creates a time value from picoseconds (10⁻¹² s).
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Femtos(ps * 1_000)
+    }
+
+    /// Creates a time value from nanoseconds (10⁻⁹ s).
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Femtos(ns * 1_000_000)
+    }
+
+    /// Creates a time value from microseconds (10⁻⁶ s).
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Femtos(us * 1_000_000_000)
+    }
+
+    /// Creates a time value from a floating-point number of nanoseconds,
+    /// rounding to the nearest femtosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "invalid duration: {ns} ns");
+        Femtos((ns * 1e6).round() as u64)
+    }
+
+    /// Raw femtosecond count.
+    #[inline]
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in picoseconds (lossy).
+    #[inline]
+    pub fn as_ps(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// This time expressed in nanoseconds (lossy).
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This time expressed in microseconds (lossy).
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This time expressed in seconds (lossy).
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e15
+    }
+
+    /// Saturating subtraction; clamps at zero instead of wrapping.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Femtos) -> Femtos {
+        Femtos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Femtos) -> Option<Femtos> {
+        self.0.checked_add(rhs.0).map(Femtos)
+    }
+
+    /// Returns the larger of two times.
+    #[inline]
+    pub fn max(self, other: Femtos) -> Femtos {
+        Femtos(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two times.
+    #[inline]
+    pub fn min(self, other: Femtos) -> Femtos {
+        Femtos(self.0.min(other.0))
+    }
+}
+
+impl Add for Femtos {
+    type Output = Femtos;
+    #[inline]
+    fn add(self, rhs: Femtos) -> Femtos {
+        Femtos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Femtos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Femtos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Femtos {
+    type Output = Femtos;
+    #[inline]
+    fn sub(self, rhs: Femtos) -> Femtos {
+        Femtos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Femtos {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Femtos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Femtos {
+    type Output = Femtos;
+    #[inline]
+    fn mul(self, rhs: u64) -> Femtos {
+        Femtos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Femtos {
+    type Output = Femtos;
+    #[inline]
+    fn div(self, rhs: u64) -> Femtos {
+        Femtos(self.0 / rhs)
+    }
+}
+
+impl Sum for Femtos {
+    fn sum<I: Iterator<Item = Femtos>>(iter: I) -> Femtos {
+        iter.fold(Femtos::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Femtos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} µs", self.as_us())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3} ns", self.as_ns())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3} ps", self.as_ps())
+        } else {
+            write!(f, "{} fs", self.0)
+        }
+    }
+}
+
+/// A clock frequency in hertz.
+///
+/// Stored as an integral number of Hz so that frequency tables (e.g. the
+/// configuration→frequency curves of Figures 2–4 of the paper) are exact and
+/// hashable/comparable.
+///
+/// # Example
+///
+/// ```
+/// use gals_common::Hertz;
+///
+/// let f = Hertz::from_mhz(1_520);
+/// assert_eq!(f.as_ghz(), 1.52);
+/// assert!(Hertz::from_ghz(1.0).period().as_ps() == 1000.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Hertz(u64);
+
+impl Hertz {
+    /// Creates a frequency from raw hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero — a clock domain cannot be stopped in this
+    /// model (the paper's domains always run; only their frequency changes).
+    #[inline]
+    pub fn new(hz: u64) -> Self {
+        assert!(hz > 0, "frequency must be non-zero");
+        Hertz(hz)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[inline]
+    pub fn from_mhz(mhz: u64) -> Self {
+        Hertz::new(mhz * 1_000_000)
+    }
+
+    /// Creates a frequency from (possibly fractional) gigahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is not finite or not positive.
+    #[inline]
+    pub fn from_ghz(ghz: f64) -> Self {
+        assert!(ghz.is_finite() && ghz > 0.0, "invalid frequency: {ghz} GHz");
+        Hertz::new((ghz * 1e9).round() as u64)
+    }
+
+    /// Raw hertz.
+    #[inline]
+    pub const fn as_hz(self) -> u64 {
+        self.0
+    }
+
+    /// Frequency in megahertz (lossy).
+    #[inline]
+    pub fn as_mhz(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Frequency in gigahertz (lossy).
+    #[inline]
+    pub fn as_ghz(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The period of this clock, rounded to the nearest femtosecond.
+    #[inline]
+    pub fn period(self) -> Femtos {
+        const FS_PER_SEC: u128 = 1_000_000_000_000_000;
+        let hz = self.0 as u128;
+        Femtos(((FS_PER_SEC + hz / 2) / hz) as u64)
+    }
+
+    /// Number of whole periods of this clock in `dur`, rounding down.
+    #[inline]
+    pub fn cycles_in(self, dur: Femtos) -> u64 {
+        dur.as_fs() / self.period().as_fs()
+    }
+}
+
+impl fmt::Display for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} GHz", self.as_ghz())
+        } else {
+            write!(f, "{:.1} MHz", self.as_mhz())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn femtos_constructors_agree() {
+        assert_eq!(Femtos::from_ps(1), Femtos::new(1_000));
+        assert_eq!(Femtos::from_ns(1), Femtos::new(1_000_000));
+        assert_eq!(Femtos::from_us(1), Femtos::new(1_000_000_000));
+        assert_eq!(Femtos::from_ns_f64(0.5), Femtos::new(500_000));
+    }
+
+    #[test]
+    fn femtos_arithmetic() {
+        let a = Femtos::new(10);
+        let b = Femtos::new(3);
+        assert_eq!(a + b, Femtos::new(13));
+        assert_eq!(a - b, Femtos::new(7));
+        assert_eq!(a * 3, Femtos::new(30));
+        assert_eq!(a / 3, Femtos::new(3));
+        assert_eq!(b.saturating_sub(a), Femtos::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn femtos_sum() {
+        let total: Femtos = (1..=4).map(Femtos::new).sum();
+        assert_eq!(total, Femtos::new(10));
+    }
+
+    #[test]
+    fn femtos_display_scales() {
+        assert_eq!(format!("{}", Femtos::new(12)), "12 fs");
+        assert_eq!(format!("{}", Femtos::from_ps(12)), "12.000 ps");
+        assert_eq!(format!("{}", Femtos::from_ns(12)), "12.000 ns");
+        assert_eq!(format!("{}", Femtos::from_us(12)), "12.000 µs");
+    }
+
+    #[test]
+    fn hertz_period_exact_for_common_frequencies() {
+        assert_eq!(Hertz::from_ghz(1.0).period(), Femtos::new(1_000_000));
+        assert_eq!(Hertz::from_ghz(1.6).period(), Femtos::new(625_000));
+        assert_eq!(Hertz::from_ghz(2.0).period(), Femtos::new(500_000));
+        assert_eq!(Hertz::from_mhz(250).period(), Femtos::new(4_000_000));
+    }
+
+    #[test]
+    fn hertz_period_rounds() {
+        // 3 GHz -> 333,333.3 fs, rounds to 333,333.
+        let p = Hertz::from_ghz(3.0).period().as_fs();
+        assert!((333_333..=333_334).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn cycles_in_duration() {
+        let f = Hertz::from_ghz(1.0);
+        assert_eq!(f.cycles_in(Femtos::from_ns(10)), 10);
+        assert_eq!(f.cycles_in(Femtos::new(999_999)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be non-zero")]
+    fn zero_frequency_rejected() {
+        let _ = Hertz::new(0);
+    }
+
+    #[test]
+    fn display_hertz() {
+        assert_eq!(format!("{}", Hertz::from_ghz(1.52)), "1.520 GHz");
+        assert_eq!(format!("{}", Hertz::from_mhz(80)), "80.0 MHz");
+    }
+}

@@ -1,0 +1,368 @@
+//! The on-line adaptation controllers (§3).
+
+use gals_cache::{AccountingStats, CostPoint, CostTable};
+use gals_timing::{Dl2Config, ICacheConfig, IqSize, TimingModel, Variant};
+
+use crate::config::CoreParams;
+use crate::ilp::{IlpDecision, IlpTracker};
+
+/// Running average with exponential decay, used to estimate miss service
+/// costs for the cache controllers.
+#[derive(Debug, Clone)]
+pub(crate) struct ServiceAvg {
+    value_ns: f64,
+}
+
+impl ServiceAvg {
+    pub(crate) fn new(initial_ns: f64) -> Self {
+        ServiceAvg { value_ns: initial_ns }
+    }
+
+    pub(crate) fn update(&mut self, sample_ns: f64) {
+        // 1/16 decay: cheap in hardware (shift), responsive to phases.
+        self.value_ns += (sample_ns - self.value_ns) / 16.0;
+    }
+
+    pub(crate) fn get(&self) -> f64 {
+        self.value_ns
+    }
+}
+
+/// Interval controller for one adaptive cache (the I-cache) or cache pair
+/// (L1-D + L2), implementing §3.1: at the end of each 15K-instruction
+/// interval, reconstruct every configuration's total access cost from the
+/// Accounting Cache statistics and pick the argmin.
+#[derive(Debug, Clone)]
+pub struct CacheController {
+    l1_table: CostTable,
+    /// Joint L2 table for the D/L2 pair (None for the I-cache controller,
+    /// whose misses are costed via the measured L2 service average).
+    l2_table: Option<CostTable>,
+    current: usize,
+}
+
+impl CacheController {
+    /// Builds the D/L2 pair controller: four joint configurations whose
+    /// clock follows Figure 2 and whose B latencies follow Table 5.
+    pub fn for_dl2_pair(params: &CoreParams, timing: &TimingModel, current: usize) -> Self {
+        let mut l1_points = Vec::with_capacity(4);
+        let mut l2_points = Vec::with_capacity(4);
+        for (idx, cfg) in Dl2Config::ALL.iter().enumerate() {
+            let f = timing.dl2_frequency(*cfg, Variant::Adaptive);
+            let cycle_ns = 1e9 / f.as_hz() as f64;
+            l1_points.push(CostPoint {
+                a_ways: cfg.ways(),
+                a_cycles: params.l1_a_cycles,
+                b_cycles: params.l1_b_cycles[idx],
+                cycle_ns,
+            });
+            l2_points.push(CostPoint {
+                a_ways: cfg.ways(),
+                a_cycles: params.l2_a_cycles,
+                b_cycles: params.l2_b_cycles[idx],
+                cycle_ns,
+            });
+        }
+        CacheController {
+            l1_table: CostTable::new(l1_points, 8),
+            l2_table: Some(CostTable::new(l2_points, 8)),
+            current,
+        }
+    }
+
+    /// Builds the I-cache controller: four configurations whose clock
+    /// follows Figure 3 (adaptive curve).
+    pub fn for_icache(params: &CoreParams, timing: &TimingModel, current: usize) -> Self {
+        let points = ICacheConfig::ALL
+            .iter()
+            .enumerate()
+            .map(|(idx, cfg)| {
+                let f = timing.icache_frequency(*cfg);
+                CostPoint {
+                    a_ways: cfg.ways(),
+                    a_cycles: params.l1_a_cycles,
+                    b_cycles: params.l1_b_cycles[idx],
+                    cycle_ns: 1e9 / f.as_hz() as f64,
+                }
+            })
+            .collect();
+        CacheController {
+            l1_table: CostTable::new(points, 4),
+            l2_table: None,
+            current,
+        }
+    }
+
+    /// Currently selected configuration index.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Forces the current configuration (used when a pending resize is
+    /// applied).
+    pub fn set_current(&mut self, idx: usize) {
+        assert!(idx < self.l1_table.points().len());
+        self.current = idx;
+    }
+
+    /// End-of-interval decision. `l1_stats` are the interval counters of
+    /// the (first-level) Accounting Cache; `l2_stats` must be given for
+    /// the D/L2 pair controller. `miss_ns` is the measured average
+    /// service time of a miss out of the last modeled level (L2 service
+    /// for the I-cache; memory for the pair).
+    ///
+    /// Returns `Some(new_index)` when the optimal configuration differs
+    /// from the current one.
+    pub fn decide(
+        &mut self,
+        l1_stats: &AccountingStats,
+        l2_stats: Option<&AccountingStats>,
+        miss_ns: f64,
+    ) -> Option<usize> {
+        let n = self.l1_table.points().len();
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for idx in 0..n {
+            let mut cost = match self.l2_table.as_ref() {
+                // Pair: L1 hits cost cycles; every L1 miss is an L2 access
+                // already counted in l2_stats; L2 misses go to memory.
+                Some(l2_table) => {
+                    self.l1_table.cost_ns(idx, l1_stats, 0.0)
+                        + l2_table.cost_ns(idx, l2_stats.expect("pair needs L2 stats"), miss_ns)
+                }
+                // Single cache: misses costed at the measured next-level
+                // service time.
+                None => self.l1_table.cost_ns(idx, l1_stats, miss_ns),
+            };
+            // Deterministic tie-break toward the current configuration to
+            // avoid pointless relocks on exact ties.
+            if idx == self.current {
+                cost *= 0.999_999;
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best = idx;
+            }
+        }
+        if best != self.current {
+            self.current = best;
+            Some(best)
+        } else {
+            None
+        }
+    }
+}
+
+/// The §3.2 issue-queue controller: wraps the [`IlpTracker`] and converts
+/// completed tracking intervals into queue-size changes.
+///
+/// Two engineering guards temper raw interval decisions (the tracking
+/// interval is only ~N instructions, while a PLL relock spans tens of
+/// thousands; without damping, quantization noise in M would thrash the
+/// clock):
+///
+/// * a queue resizes only after the same non-current size wins
+///   [`IqController::STICKINESS`] consecutive intervals;
+/// * decisions are ignored for a domain whose PLL is already relocking.
+#[derive(Debug, Clone)]
+pub struct IqController {
+    tracker: IlpTracker,
+    freqs_ghz: [f64; 4],
+    current_int: IqSize,
+    current_fp: IqSize,
+    streak_int: (IqSize, u32),
+    streak_fp: (IqSize, u32),
+}
+
+impl IqController {
+    /// Consecutive intervals a challenger size must win before a resize.
+    pub const STICKINESS: u32 = 3;
+
+    /// Builds the controller with Figure 4 frequencies.
+    pub fn new(timing: &TimingModel, current_int: IqSize, current_fp: IqSize) -> Self {
+        let freqs_ghz = [
+            timing.iq_frequency(IqSize::Q16).as_ghz(),
+            timing.iq_frequency(IqSize::Q32).as_ghz(),
+            timing.iq_frequency(IqSize::Q48).as_ghz(),
+            timing.iq_frequency(IqSize::Q64).as_ghz(),
+        ];
+        IqController {
+            tracker: IlpTracker::new(),
+            freqs_ghz,
+            current_int,
+            current_fp,
+            streak_int: (current_int, 0),
+            streak_fp: (current_fp, 0),
+        }
+    }
+
+    /// Currently selected sizes `(int, fp)`.
+    pub fn current(&self) -> (IqSize, IqSize) {
+        (self.current_int, self.current_fp)
+    }
+
+    /// Forces the recorded current sizes (when pending resizes apply).
+    pub fn set_current(&mut self, int: IqSize, fp: IqSize) {
+        self.current_int = int;
+        self.current_fp = fp;
+    }
+
+    /// Observes one renamed instruction; when the tracking interval
+    /// completes and the damped decision differs from the current sizes,
+    /// returns the change. `locked_int` / `locked_fp` suppress decisions
+    /// for domains whose PLL is mid-relock.
+    pub fn observe(
+        &mut self,
+        inst: &gals_isa::DynInst,
+        locked_int: bool,
+        locked_fp: bool,
+    ) -> Option<IlpDecision> {
+        self.tracker.observe(inst);
+        if !self.tracker.complete() {
+            return None;
+        }
+        let d = self.tracker.decide(self.freqs_ghz);
+
+        let settle = |want: IqSize, current: IqSize, streak: &mut (IqSize, u32), locked: bool| {
+            if locked || want == current {
+                *streak = (current, 0);
+                return None;
+            }
+            if streak.0 == want {
+                streak.1 += 1;
+            } else {
+                *streak = (want, 1);
+            }
+            (streak.1 >= Self::STICKINESS).then_some(want)
+        };
+
+        let new_int = settle(d.iq_int, self.current_int, &mut self.streak_int, locked_int);
+        let new_fp = settle(d.iq_fp, self.current_fp, &mut self.streak_fp, locked_fp);
+        if new_int.is_none() && new_fp.is_none() {
+            return None;
+        }
+        if let Some(s) = new_int {
+            self.current_int = s;
+            self.streak_int = (s, 0);
+        }
+        if let Some(s) = new_fp {
+            self.current_fp = s;
+            self.streak_fp = (s, 0);
+        }
+        Some(IlpDecision {
+            iq_int: self.current_int,
+            iq_fp: self.current_fp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gals_cache::AccountingStats;
+    use gals_isa::{ArchReg, DynInst, OpClass};
+
+    fn stats(pos_hits: [u64; 8], misses: u64) -> AccountingStats {
+        AccountingStats {
+            pos_hits,
+            misses,
+            writebacks: 0,
+            accesses: pos_hits.iter().sum::<u64>() + misses,
+        }
+    }
+
+    #[test]
+    fn dl2_controller_upsizes_for_deep_reuse() {
+        let params = CoreParams::default();
+        let timing = TimingModel::default();
+        let mut ctrl = CacheController::for_dl2_pair(&params, &timing, 0);
+        // Loads hit MRU positions 1-3 in L1: a wider A partition avoids
+        // the B-partition latency entirely.
+        let l1 = stats([1_000, 8_000, 8_000, 8_000, 0, 0, 0, 0], 100);
+        let l2 = stats([80, 10, 5, 5, 0, 0, 0, 0], 20);
+        let d = ctrl.decide(&l1, Some(&l2), 94.0);
+        assert!(d.is_some());
+        assert!(d.unwrap() >= 2, "expected upsizing, got {d:?}");
+    }
+
+    #[test]
+    fn dl2_controller_stays_small_for_shallow_reuse() {
+        let params = CoreParams::default();
+        let timing = TimingModel::default();
+        let mut ctrl = CacheController::for_dl2_pair(&params, &timing, 0);
+        let l1 = stats([50_000, 100, 0, 0, 0, 0, 0, 0], 200);
+        let l2 = stats([250, 20, 0, 0, 0, 0, 0, 0], 30);
+        assert_eq!(ctrl.decide(&l1, Some(&l2), 94.0), None);
+        assert_eq!(ctrl.current(), 0);
+    }
+
+    #[test]
+    fn icache_controller_downsizes_back() {
+        let params = CoreParams::default();
+        let timing = TimingModel::default();
+        let mut ctrl = CacheController::for_icache(&params, &timing, 3);
+        // Everything hits MRU position 0: the direct-mapped config wins
+        // on clock alone.
+        let s = stats([100_000, 10, 0, 0, 0, 0, 0, 0], 50);
+        let d = ctrl.decide(&s, None, 20.0);
+        assert_eq!(d, Some(0));
+        assert_eq!(ctrl.current(), 0);
+    }
+
+    #[test]
+    fn iq_controller_reports_changes_once() {
+        let timing = TimingModel::default();
+        let mut ctrl = IqController::new(&timing, IqSize::Q16, IqSize::Q16);
+        // Serial chain: decision is Q16 == current -> no change reported.
+        let mut changes = 0;
+        for i in 0..200u64 {
+            let inst = DynInst::alu(
+                0x1000 + i * 4,
+                OpClass::IntAlu,
+                ArchReg::int(1),
+                [Some(ArchReg::int(1)), None],
+            );
+            if ctrl.observe(&inst, false, false).is_some() {
+                changes += 1;
+            }
+        }
+        assert_eq!(changes, 0);
+        assert_eq!(ctrl.current().0, IqSize::Q16);
+    }
+
+    #[test]
+    fn iq_controller_switches_on_parallel_code() {
+        let timing = TimingModel::default();
+        let mut ctrl = IqController::new(&timing, IqSize::Q16, IqSize::Q16);
+        let mut saw_change = false;
+        for i in 0..400u64 {
+            // 20 chains diluted 1:1 with depth-1 flat work: measured ILP
+            // grows with the window, justifying a larger queue.
+            let inst = if i % 2 == 0 {
+                DynInst::alu(
+                    0x1000 + i * 4,
+                    OpClass::IntAlu,
+                    ArchReg::int(25),
+                    [Some(ArchReg::int(0)), None],
+                )
+            } else {
+                let r = ArchReg::int(1 + ((i / 2) % 20) as u8);
+                DynInst::alu(0x1000 + i * 4, OpClass::IntAlu, r, [Some(r), None])
+            };
+            if let Some(d) = ctrl.observe(&inst, false, false) {
+                saw_change = true;
+                assert!(d.iq_int > IqSize::Q16);
+            }
+        }
+        assert!(saw_change, "diluted parallel chains should trigger an upsize");
+    }
+
+    #[test]
+    fn service_average_converges() {
+        let mut avg = ServiceAvg::new(10.0);
+        for _ in 0..200 {
+            avg.update(90.0);
+        }
+        assert!((avg.get() - 90.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! The deterministic ILP measurement algorithm of §3.2.
+//!
+//! At rename, every instruction's destination register receives a
+//! timestamp one greater than the largest timestamp among its source
+//! registers; the running maximum M after N instructions is the depth of
+//! the deepest dependence chain, so N/M estimates the window's inherent
+//! ILP. Tracking runs for all four candidate queue sizes simultaneously;
+//! the interval for size N ends when *either* the integer or the
+//! floating-point instruction count reaches N ("this operation correctly
+//! stifles consideration of larger queue sizes that can never be filled
+//! for the less dominant instruction type").
+
+use gals_isa::{DynInst, RegClass};
+use gals_timing::IqSize;
+
+/// Snapshot recorded when a queue size's tracking interval ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Snapshot {
+    /// Max dependence depth M_N, clamped to the tracker's bit width.
+    m: u32,
+    /// Integer instructions seen when the interval ended.
+    n_int: u32,
+    /// FP instructions seen when the interval ended.
+    n_fp: u32,
+}
+
+/// The per-queue-size recommendation produced by one tracking interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IlpDecision {
+    /// Best integer issue-queue size.
+    pub iq_int: IqSize,
+    /// Best floating-point issue-queue size.
+    pub iq_fp: IqSize,
+}
+
+/// Hardware-faithful ILP tracker: 64 per-register timestamp counters
+/// (4/5/6/6 bits for the four queue sizes — we keep 6-bit values and clamp
+/// per size when an interval ends) plus two instruction counters.
+#[derive(Debug, Clone)]
+pub struct IlpTracker {
+    ts: [u8; 64],
+    m: u32,
+    n_int: u32,
+    n_fp: u32,
+    recorded: [Option<Snapshot>; 4],
+}
+
+impl Default for IlpTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IlpTracker {
+    /// A freshly reset tracker.
+    pub fn new() -> Self {
+        IlpTracker {
+            ts: [0; 64],
+            m: 0,
+            n_int: 0,
+            n_fp: 0,
+            recorded: [None; 4],
+        }
+    }
+
+    /// Resets all counters and timestamps (done after every decision).
+    pub fn reset(&mut self) {
+        *self = IlpTracker::new();
+    }
+
+    /// Feeds one renamed instruction through the timestamp logic.
+    pub fn observe(&mut self, inst: &DynInst) {
+        // Timestamp propagation: ts[dst] = max(ts[srcs]) + 1, saturating
+        // at the 6-bit tracker width.
+        if let Some(dst) = inst.dst {
+            let src_max = inst
+                .sources()
+                .map(|r| self.ts[r.packed() as usize] as u32)
+                .max()
+                .unwrap_or(0);
+            let t = (src_max + 1).min(63);
+            self.ts[dst.packed() as usize] = t as u8;
+            if t > self.m {
+                self.m = t;
+            }
+        }
+
+        // Class counting: FP loads count as FP work (the queue they load
+        // for), everything else by execution class.
+        let class = match inst.dst {
+            Some(d) => d.class(),
+            None => inst.op.reg_class(),
+        };
+        match class {
+            RegClass::Int => self.n_int += 1,
+            RegClass::Fp => self.n_fp += 1,
+        }
+
+        // Close intervals whose dominant-type count just arrived.
+        for size in IqSize::ALL {
+            let idx = size.index();
+            if self.recorded[idx].is_none() {
+                let n = size.entries();
+                if self.n_int >= n || self.n_fp >= n {
+                    let cap = (1u32 << size.ilp_timestamp_bits()) - 1;
+                    self.recorded[idx] = Some(Snapshot {
+                        m: self.m.clamp(1, cap),
+                        n_int: self.n_int,
+                        n_fp: self.n_fp,
+                    });
+                }
+            }
+        }
+    }
+
+    /// True once all four queue sizes have a recorded snapshot.
+    pub fn complete(&self) -> bool {
+        self.recorded.iter().all(Option::is_some)
+    }
+
+    /// Effective-ILP score for queue size `size` and class `class`:
+    /// `min(N, n_class) / M_N × f_N`, the §3.2 objective.
+    fn score(&self, size: IqSize, class: RegClass, freq_ghz: f64) -> f64 {
+        let snap = self.recorded[size.index()].expect("interval not complete");
+        let n_class = match class {
+            RegClass::Int => snap.n_int,
+            RegClass::Fp => snap.n_fp,
+        };
+        let filled = n_class.min(size.entries());
+        filled as f64 / snap.m as f64 * freq_ghz
+    }
+
+    /// Produces the decision for both queues, given the four candidate
+    /// frequencies in GHz, then resets the tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`IlpTracker::complete`] returns true.
+    pub fn decide(&mut self, freqs_ghz: [f64; 4]) -> IlpDecision {
+        let pick = |class: RegClass, t: &IlpTracker| {
+            // Starvation rule (§3.2's stifling, applied fully): if the
+            // class could not even fill the smallest queue by the time
+            // the largest interval closed, its estimates are noise — the
+            // queue can never fill, so stay at the fastest size.
+            let n64 = match class {
+                RegClass::Int => t.recorded[3].expect("interval not complete").n_int,
+                RegClass::Fp => t.recorded[3].expect("interval not complete").n_fp,
+            };
+            if n64 < IqSize::Q16.entries() {
+                return IqSize::Q16;
+            }
+            let mut best = IqSize::Q16;
+            let mut best_score = f64::NEG_INFINITY;
+            for size in IqSize::ALL {
+                let s = t.score(size, class, freqs_ghz[size.index()]);
+                if s > best_score {
+                    best_score = s;
+                    best = size;
+                }
+            }
+            best
+        };
+        let d = IlpDecision {
+            iq_int: pick(RegClass::Int, self),
+            iq_fp: pick(RegClass::Fp, self),
+        };
+        self.reset();
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gals_isa::{ArchReg, OpClass};
+
+    /// Reference implementation: longest register dependence chain with
+    /// unit latencies, computed directly on the instruction list.
+    fn brute_force_depth(insts: &[DynInst]) -> u32 {
+        let mut ts = [0u32; 64];
+        let mut m = 0;
+        for i in insts {
+            if let Some(d) = i.dst {
+                let s = i
+                    .sources()
+                    .map(|r| ts[r.packed() as usize])
+                    .max()
+                    .unwrap_or(0);
+                ts[d.packed() as usize] = s + 1;
+                m = m.max(s + 1);
+            }
+        }
+        m
+    }
+
+    fn serial_chain(n: usize) -> Vec<DynInst> {
+        (0..n)
+            .map(|i| {
+                DynInst::alu(
+                    0x1000 + i as u64 * 4,
+                    OpClass::IntAlu,
+                    ArchReg::int(1),
+                    [Some(ArchReg::int(1)), None],
+                )
+            })
+            .collect()
+    }
+
+    fn parallel_insts(n: usize, chains: u8) -> Vec<DynInst> {
+        (0..n)
+            .map(|i| {
+                let r = ArchReg::int(1 + (i as u8 % chains));
+                DynInst::alu(0x1000 + i as u64 * 4, OpClass::IntAlu, r, [Some(r), None])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_code_prefers_smallest_queue() {
+        let mut t = IlpTracker::new();
+        for i in serial_chain(100) {
+            t.observe(&i);
+        }
+        assert!(t.complete());
+        // Figure 4-like frequencies.
+        let d = t.decide([1.52, 1.05, 1.01, 0.97]);
+        assert_eq!(d.iq_int, IqSize::Q16);
+    }
+
+    #[test]
+    fn wide_parallel_code_prefers_larger_queue() {
+        let mut t = IlpTracker::new();
+        // 20 chains diluted with depth-1 "flat" work (reads of a never-
+        // written register): the measured chain depth M grows much more
+        // slowly than N, so a larger window wins despite its slower clock.
+        for i in 0..120usize {
+            let inst = if i % 2 == 0 {
+                DynInst::alu(
+                    0x2000 + i as u64 * 4,
+                    OpClass::IntAlu,
+                    ArchReg::int(25),
+                    [Some(ArchReg::int(0)), None],
+                )
+            } else {
+                let r = ArchReg::int(1 + ((i / 2) as u8 % 20));
+                DynInst::alu(0x2000 + i as u64 * 4, OpClass::IntAlu, r, [Some(r), None])
+            };
+            t.observe(&inst);
+        }
+        let d = t.decide([1.52, 1.05, 1.01, 0.97]);
+        assert!(
+            d.iq_int > IqSize::Q16,
+            "diluted parallel chains should justify a bigger queue, got {:?}",
+            d.iq_int
+        );
+    }
+
+    #[test]
+    fn tracker_matches_brute_force_depth() {
+        use gals_common::SplitMix64;
+        let mut rng = SplitMix64::new(99);
+        for trial in 0..50 {
+            let n = 64 + (trial % 7) * 10;
+            let insts: Vec<DynInst> = (0..n)
+                .map(|i| {
+                    let dst = ArchReg::int(1 + (rng.next_below(20)) as u8);
+                    let s1 = ArchReg::int(1 + (rng.next_below(20)) as u8);
+                    let s2 = if rng.chance(0.3) {
+                        Some(ArchReg::int(1 + (rng.next_below(20)) as u8))
+                    } else {
+                        None
+                    };
+                    DynInst::alu(0x1000 + i as u64 * 4, OpClass::IntAlu, dst, [Some(s1), s2])
+                })
+                .collect();
+            let mut t = IlpTracker::new();
+            for i in &insts {
+                t.observe(i);
+            }
+            let expect = brute_force_depth(&insts).clamp(1, 63);
+            assert_eq!(t.m.max(1), expect, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn interval_ends_on_dominant_type() {
+        // Pure integer code: the FP count never advances, yet intervals
+        // still close because the *int* count reaches N.
+        let mut t = IlpTracker::new();
+        for i in serial_chain(64) {
+            t.observe(&i);
+        }
+        assert!(t.complete());
+    }
+
+    #[test]
+    fn fp_starved_queue_scores_low() {
+        // Mostly-integer code: the FP queue's effective ILP for large
+        // sizes is throttled by min(N, n_fp).
+        let mut t = IlpTracker::new();
+        for (i, inst) in parallel_insts(128, 20).into_iter().enumerate() {
+            t.observe(&inst);
+            if i % 16 == 0 {
+                // Occasional FP op.
+                t.observe(&DynInst::alu(
+                    0x9000 + i as u64 * 4,
+                    OpClass::FpAdd,
+                    ArchReg::fp(1),
+                    [Some(ArchReg::fp(1)), None],
+                ));
+            }
+        }
+        assert!(t.complete());
+        let d = t.decide([1.52, 1.05, 1.01, 0.97]);
+        assert_eq!(d.iq_fp, IqSize::Q16, "starved FP queue stays small");
+    }
+
+    #[test]
+    fn decide_resets() {
+        let mut t = IlpTracker::new();
+        for i in serial_chain(100) {
+            t.observe(&i);
+        }
+        let _ = t.decide([1.52, 1.05, 1.01, 0.97]);
+        assert!(!t.complete());
+        assert_eq!(t.n_int + t.n_fp, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval not complete")]
+    fn early_decide_panics() {
+        let mut t = IlpTracker::new();
+        t.observe(&serial_chain(1)[0]);
+        let _ = t.decide([1.5, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn timestamps_saturate() {
+        let mut t = IlpTracker::new();
+        for i in serial_chain(200) {
+            t.observe(&i);
+        }
+        // 200-deep chain clamps at the 6-bit width.
+        assert_eq!(t.m, 63);
+        // And the 16-entry snapshot clamps at 4 bits.
+        assert_eq!(t.recorded[0].unwrap().m, 15);
+    }
+}

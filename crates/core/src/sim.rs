@@ -1,0 +1,1269 @@
+//! The event-driven, four-domain GALS pipeline simulator.
+//!
+//! # Model summary
+//!
+//! Execution is trace-driven: the workload supplies the committed path
+//! only. The simulator advances the four domain clocks edge by edge
+//! (earliest next edge first) and performs each domain's work on its own
+//! edges:
+//!
+//! * **Front end** (commit → rename/dispatch → fetch per edge): I-cache
+//!   and branch predictor at fetch; register rename with physical-
+//!   register and ROB/queue flow control at dispatch; in-order commit.
+//! * **Integer / FP domains**: issue-queue wakeup+select (oldest-first,
+//!   Table 5 widths and unit pools), execution latencies, completion
+//!   broadcast. Cross-domain operand visibility goes through the
+//!   Sjogren–Myers synchronization window.
+//! * **Load/store domain**: LSQ with exact (trace-known) addresses, store
+//!   forwarding, two D-cache ports, MSHR-limited misses, the L1-D/L2
+//!   Accounting Caches, and the fixed-latency memory "fifth domain".
+//!
+//! Standard trace-driven simplifications (documented in DESIGN.md):
+//! wrong-path instructions are not fetched (a mispredicted branch stalls
+//! fetch until resolution plus the Table 5 refill penalty), branch
+//! targets are assumed BTB-resident, and memory disambiguation is exact.
+
+use std::collections::VecDeque;
+
+use gals_cache::{AccessKind, AccountingCache, ServedBy};
+use gals_clock::{DomainClock, SyncModel};
+use gals_common::{DomainId, Femtos, SplitMix64};
+use gals_isa::{DynInst, InstructionStream, OpClass};
+use gals_predictor::{HybridPredictor, PredictorGeometry};
+use gals_timing::{Dl2Config, ICacheConfig, IqSize, Variant};
+
+use crate::adapt::{CacheController, IqController, ServiceAvg};
+use crate::config::{MachineConfig, MachineKind};
+use crate::stats::{CacheSummary, ReconfigEvent, ReconfigKind, SimResult};
+
+const FE: usize = DomainId::FrontEnd.index();
+const INT: usize = DomainId::Integer.index();
+const FP: usize = DomainId::FloatingPoint.index();
+const LS: usize = DomainId::LoadStore.index();
+
+/// Completion ring size; must exceed the maximum in-flight window (ROB +
+/// fetch queue) by a comfortable margin.
+const RING: usize = 4096;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    /// No register dependence (or a value produced before tracking).
+    Free,
+    /// Producer completed: result available in `domain` at `at`.
+    Ready { at: Femtos, domain: u8 },
+    /// Producer still in flight.
+    Pending(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RingSlot {
+    seq: u64,
+    at: Femtos,
+    domain: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RenameRef {
+    Ready { at: Femtos, domain: u8 },
+    Pending(u64),
+}
+
+#[derive(Debug, Clone)]
+struct InstState {
+    inst: DynInst,
+    srcs: [Src; 2],
+    /// Execution domain index; FE for nops/jumps (complete at rename).
+    exec_domain: u8,
+    /// Time the instruction becomes visible to its issue queue / LSQ.
+    arrival: Femtos,
+    /// Memoized earliest time this entry could possibly issue.
+    next_check: Femtos,
+    completion: Option<Femtos>,
+    issued: bool,
+    renamed: bool,
+    mispredicted: bool,
+    uses_phys: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StoreJob {
+    addr: u64,
+    ready: Femtos,
+}
+
+#[derive(Debug, Clone)]
+struct FuPool {
+    next_free: Vec<Femtos>,
+}
+
+impl FuPool {
+    fn new(units: usize) -> Self {
+        FuPool {
+            next_free: vec![Femtos::ZERO; units],
+        }
+    }
+
+    /// Acquires a unit at `at` for `busy` time; returns false when all
+    /// units are occupied.
+    fn try_acquire(&mut self, at: Femtos, busy: Femtos) -> bool {
+        for slot in &mut self.next_free {
+            if *slot <= at {
+                *slot = at + busy;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The simulator: construct with a [`MachineConfig`], run one stream.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: MachineConfig,
+
+    clocks: [DomainClock; 4],
+    sync: SyncModel,
+
+    icache: AccountingCache,
+    l1d: AccountingCache,
+    l2: AccountingCache,
+    predictors: Vec<HybridPredictor>,
+    active_pred: usize,
+
+    ic_idx: usize,
+    dl2_idx: usize,
+    iq_cap: [usize; 2],
+    iq_target: [u32; 2],
+
+    // In-flight window.
+    head_seq: u64,
+    next_seq: u64,
+    window: VecDeque<InstState>,
+    ring: Vec<RingSlot>,
+
+    rename_map: [RenameRef; 64],
+    free_phys: [i64; 2],
+
+    fetch_q: VecDeque<u64>,
+    rob: VecDeque<u64>,
+    iq: [Vec<u64>; 2],
+    lsq: VecDeque<u64>,
+    lsq_scratch: Vec<u64>,
+    store_jobs: VecDeque<StoreJob>,
+
+    fetch_stalled_until: Femtos,
+    fetch_blocked_on: Option<u64>,
+    cur_fetch_line: u64,
+    pending_inst: Option<DynInst>,
+
+    fu_int: [FuPool; 2],
+    fu_fp: [FuPool; 2],
+    mshr: Vec<Femtos>,
+
+    // Controllers (phase-adaptive only).
+    ic_ctrl: Option<CacheController>,
+    dl2_ctrl: Option<CacheController>,
+    iq_ctrl: Option<IqController>,
+    pending_ic: Option<(usize, Femtos)>,
+    pending_dl2: Option<(usize, Femtos)>,
+    pending_iq: [Option<(IqSize, Femtos)>; 2],
+    interval_committed: u64,
+    l2_service: ServiceAvg,
+
+    // Statistics.
+    committed: u64,
+    last_commit_at: Femtos,
+    branches: u64,
+    mispredicts: u64,
+    ic_total: CacheSummary,
+    l1d_total: CacheSummary,
+    l2_total: CacheSummary,
+    reconfigs: Vec<ReconfigEvent>,
+}
+
+impl Simulator {
+    /// Builds a simulator for the given machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if internal structure construction fails (the configuration
+    /// enums make invalid geometries unrepresentable).
+    pub fn new(cfg: MachineConfig) -> Self {
+        let p = &cfg.params;
+        let phase = cfg.is_phase_adaptive();
+        let is_mcd = cfg.is_mcd();
+        let freqs = cfg.initial_frequencies();
+        let (ic_kb, ic_ways, dl2, iq_int, iq_fp) = cfg.initial_structures();
+
+        let mut seed_rng = SplitMix64::new(p.clock_seed);
+        let jitter = if is_mcd { p.jitter_frac } else { 0.0 };
+        let pll_scale = p.pll_scale;
+        let mk_clock = |id: DomainId, f, mut rng: SplitMix64| {
+            let pll_rng = rng.fork(0x504C);
+            let mut c = DomainClock::new(id, f, jitter, rng);
+            if pll_scale != 1.0 {
+                c.set_pll(gals_clock::Pll::scaled(pll_rng, pll_scale));
+            }
+            c
+        };
+        let clocks = [
+            mk_clock(DomainId::FrontEnd, freqs[0], seed_rng.fork(1)),
+            mk_clock(DomainId::Integer, freqs[1], seed_rng.fork(2)),
+            mk_clock(DomainId::FloatingPoint, freqs[2], seed_rng.fork(3)),
+            mk_clock(DomainId::LoadStore, freqs[3], seed_rng.fork(4)),
+        ];
+        let sync = if is_mcd {
+            SyncModel::new(p.sync_threshold_frac)
+        } else {
+            SyncModel::disabled()
+        };
+
+        // Caches: phase mode keeps the full physical arrays with movable
+        // A/B boundaries; fixed modes build exactly the chosen capacity.
+        let line = p.line_bytes;
+        let (icache, l1d, l2) = if phase {
+            (
+                AccountingCache::new(64 * 1024, 4, line, ic_ways, true).unwrap(),
+                AccountingCache::new(256 * 1024, 8, line, dl2.ways(), true).unwrap(),
+                AccountingCache::new(2048 * 1024, 8, line, dl2.ways(), true).unwrap(),
+            )
+        } else {
+            (
+                AccountingCache::new(ic_kb as u64 * 1024, ic_ways, line, ic_ways, false).unwrap(),
+                AccountingCache::new(dl2.l1_kb() as u64 * 1024, dl2.ways(), line, dl2.ways(), false)
+                    .unwrap(),
+                AccountingCache::new(dl2.l2_kb() as u64 * 1024, dl2.ways(), line, dl2.ways(), false)
+                    .unwrap(),
+            )
+        };
+
+        // Predictors: phase mode trains all four jointly-resized
+        // geometries so a configuration switch has warm state.
+        let (predictors, active_pred) = if phase {
+            let preds: Vec<_> = ICacheConfig::ALL
+                .iter()
+                .map(|c| {
+                    HybridPredictor::new(PredictorGeometry::for_capacity_kb(c.kb()).unwrap())
+                })
+                .collect();
+            (preds, ic_ways as usize - 1)
+        } else {
+            (
+                vec![HybridPredictor::new(
+                    PredictorGeometry::for_capacity_kb(ic_kb).unwrap(),
+                )],
+                0,
+            )
+        };
+
+        let ic_idx = match &cfg.kind {
+            MachineKind::Synchronous(_) => 0,
+            MachineKind::ProgramAdaptive(c) | MachineKind::PhaseAdaptive(c) => c.icache.index(),
+        };
+        let dl2_idx = dl2.index();
+
+        let (ic_ctrl, dl2_ctrl, iq_ctrl) = if phase {
+            (
+                Some(CacheController::for_icache(p, &cfg.timing, ic_idx)),
+                Some(CacheController::for_dl2_pair(p, &cfg.timing, dl2_idx)),
+                Some(IqController::new(&cfg.timing, iq_int, iq_fp)),
+            )
+        } else {
+            (None, None, None)
+        };
+
+        let mem_ns = p.memory_latency().as_ns();
+        Simulator {
+            clocks,
+            sync,
+            icache,
+            l1d,
+            l2,
+            predictors,
+            active_pred,
+            ic_idx,
+            dl2_idx,
+            iq_cap: [iq_int.entries() as usize, iq_fp.entries() as usize],
+            iq_target: [iq_int.entries(), iq_fp.entries()],
+            head_seq: 0,
+            next_seq: 0,
+            window: VecDeque::with_capacity(512),
+            ring: vec![
+                RingSlot {
+                    seq: u64::MAX,
+                    at: Femtos::ZERO,
+                    domain: 0,
+                };
+                RING
+            ],
+            rename_map: [RenameRef::Ready {
+                at: Femtos::ZERO,
+                domain: FE as u8,
+            }; 64],
+            free_phys: [
+                (cfg.params.phys_int as i64) - 32,
+                (cfg.params.phys_fp as i64) - 32,
+            ],
+            fetch_q: VecDeque::with_capacity(16),
+            rob: VecDeque::with_capacity(cfg.params.rob_entries),
+            iq: [Vec::with_capacity(64), Vec::with_capacity(64)],
+            lsq: VecDeque::with_capacity(cfg.params.lsq_entries),
+            lsq_scratch: Vec::with_capacity(cfg.params.lsq_entries),
+            store_jobs: VecDeque::new(),
+            fetch_stalled_until: Femtos::ZERO,
+            fetch_blocked_on: None,
+            cur_fetch_line: u64::MAX,
+            pending_inst: None,
+            fu_int: [
+                FuPool::new(cfg.params.int_alus),
+                FuPool::new(cfg.params.int_muldiv),
+            ],
+            fu_fp: [
+                FuPool::new(cfg.params.fp_alus),
+                FuPool::new(cfg.params.fp_muldiv),
+            ],
+            mshr: Vec::with_capacity(cfg.params.mshrs),
+            ic_ctrl,
+            dl2_ctrl,
+            iq_ctrl,
+            pending_ic: None,
+            pending_dl2: None,
+            pending_iq: [None, None],
+            interval_committed: 0,
+            l2_service: ServiceAvg::new(mem_ns * 0.5),
+            committed: 0,
+            last_commit_at: Femtos::ZERO,
+            branches: 0,
+            mispredicts: 0,
+            ic_total: CacheSummary::default(),
+            l1d_total: CacheSummary::default(),
+            l2_total: CacheSummary::default(),
+            reconfigs: Vec::new(),
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn st(&self, seq: u64) -> &InstState {
+        &self.window[(seq - self.head_seq) as usize]
+    }
+
+    #[inline]
+    fn st_mut(&mut self, seq: u64) -> &mut InstState {
+        &mut self.window[(seq - self.head_seq) as usize]
+    }
+
+    /// Duration of `cycles` cycles in `domain`, minus a jitter guard-band.
+    ///
+    /// Completions are scheduled `guard = 2·jitter·period` early so that a
+    /// consumer edge that nominally coincides with the completing edge
+    /// still qualifies even when jitter makes it arrive marginally early
+    /// — within a domain, producer and consumer share the physical clock,
+    /// so back-to-back dependent issue must not depend on jitter phase.
+    #[inline]
+    fn cycles_in(&self, domain: usize, cycles: u64) -> Femtos {
+        let period = self.clocks[domain].period();
+        let span = period * cycles;
+        let guard = Femtos::new(
+            (period.as_fs() as f64 * self.cfg.params.jitter_frac * 2.0) as u64,
+        );
+        span.saturating_sub(guard).max(Femtos::new(1))
+    }
+
+    /// Time a value completed at `at` in domain `from` becomes usable in
+    /// domain `to` (Sjogren–Myers window on domain crossings).
+    #[inline]
+    fn xfer(&self, at: Femtos, from: usize, to: usize) -> Femtos {
+        if from == to {
+            at
+        } else {
+            self.sync
+                .ready_time(at, self.clocks[from].period(), self.clocks[to].period())
+        }
+    }
+
+    /// Time at which a source becomes visible in `domain`, or `None`
+    /// while its producer has not yet been scheduled.
+    fn src_visible_at(
+        &mut self,
+        seq_of_consumer: u64,
+        src_idx: usize,
+        domain: usize,
+    ) -> Option<Femtos> {
+        let src = self.st(seq_of_consumer).srcs[src_idx];
+        match src {
+            Src::Free => Some(Femtos::ZERO),
+            Src::Ready { at, domain: pd } => Some(self.xfer(at, pd as usize, domain)),
+            Src::Pending(pseq) => {
+                let slot = self.ring[(pseq as usize) & (RING - 1)];
+                if slot.seq != pseq {
+                    if pseq < self.head_seq {
+                        // Producer committed so long ago its ring slot was
+                        // reused: its value has been architecturally
+                        // visible since before this consumer was fetched.
+                        self.st_mut(seq_of_consumer).srcs[src_idx] = Src::Free;
+                        return Some(Femtos::ZERO);
+                    }
+                    return None; // producer not yet issued
+                }
+                // Cache the resolution so future checks are O(1).
+                let resolved = Src::Ready {
+                    at: slot.at,
+                    domain: slot.domain,
+                };
+                self.st_mut(seq_of_consumer).srcs[src_idx] = resolved;
+                Some(self.xfer(slot.at, slot.domain as usize, domain))
+            }
+        }
+    }
+
+    /// Readiness check with memoized wake time: entries whose operands
+    /// are known to arrive at a future time are skipped with a single
+    /// compare until then (`next_check`), which keeps long memory stalls
+    /// cheap to simulate.
+    fn entry_ready(&mut self, seq: u64, domain: usize, e: Femtos) -> bool {
+        if self.st(seq).next_check > e {
+            return false;
+        }
+        let a = self.src_visible_at(seq, 0, domain);
+        let b = self.src_visible_at(seq, 1, domain);
+        match (a, b) {
+            (Some(ta), Some(tb)) => {
+                let ready = ta.max(tb).max(self.st(seq).arrival);
+                if ready > e {
+                    self.st_mut(seq).next_check = ready;
+                    false
+                } else {
+                    true
+                }
+            }
+            // Producer still unscheduled: poll again next edge.
+            _ => false,
+        }
+    }
+
+    /// Records an instruction's completion for dependants and commit.
+    fn complete_at(&mut self, seq: u64, at: Femtos, domain: usize) {
+        let slot = &mut self.ring[(seq as usize) & (RING - 1)];
+        slot.seq = seq;
+        slot.at = at;
+        slot.domain = domain as u8;
+        let st = self.st_mut(seq);
+        st.completion = Some(at);
+        st.issued = true;
+    }
+
+    /// L1 B-partition latency (cycles) for the current config of a cache
+    /// table, from Table 5.
+    fn l1_b_latency(&self, idx: usize) -> u64 {
+        self.cfg.params.l1_b_cycles[idx].unwrap_or(self.cfg.params.l1_a_cycles)
+    }
+
+    fn l2_b_latency(&self, idx: usize) -> u64 {
+        self.cfg.params.l2_b_cycles[idx].unwrap_or(self.cfg.params.l2_a_cycles)
+    }
+
+    /// Services an access in the L2 (+memory beyond), returning the delay
+    /// beyond this point in time. Also updates L2 accounting totals.
+    fn l2_access(&mut self, addr: u64, kind: AccessKind) -> Femtos {
+        let p_ls = self.clocks[LS].period();
+        let r = self.l2.access(addr, kind);
+        let cycles = match r.served {
+            ServedBy::APartition => self.cfg.params.l2_a_cycles,
+            ServedBy::BPartition => self.l2_b_latency(self.dl2_idx),
+            ServedBy::Miss => self.cfg.params.l2_a_cycles,
+        };
+        let mut delay = p_ls * cycles;
+        if r.served == ServedBy::Miss {
+            delay += self.cfg.params.memory_latency();
+        }
+        delay
+    }
+
+    // ------------------------------------------------------------------
+    // Front-end edge
+    // ------------------------------------------------------------------
+
+    fn fe_edge<S: InstructionStream>(&mut self, e: Femtos, stream: &mut S, window: u64) {
+        self.apply_pending_fe(e);
+        self.commit(e, window);
+        self.rename_dispatch(e);
+        self.fetch(e, stream);
+    }
+
+    fn apply_pending_fe(&mut self, e: Femtos) {
+        if let Some((idx, at)) = self.pending_ic {
+            if e >= at {
+                self.apply_ic_resize(idx);
+                self.pending_ic = None;
+            }
+        }
+    }
+
+    fn apply_ic_resize(&mut self, idx: usize) {
+        self.ic_idx = idx;
+        self.active_pred = idx;
+        let ways = ICacheConfig::from_index(idx).ways();
+        self.icache.set_a_ways(ways).expect("phase-mode icache");
+        if let Some(c) = self.ic_ctrl.as_mut() {
+            c.set_current(idx);
+        }
+    }
+
+    fn apply_dl2_resize(&mut self, idx: usize) {
+        self.dl2_idx = idx;
+        let ways = Dl2Config::from_index(idx).ways();
+        self.l1d.set_a_ways(ways).expect("phase-mode l1d");
+        self.l2.set_a_ways(ways).expect("phase-mode l2");
+        if let Some(c) = self.dl2_ctrl.as_mut() {
+            c.set_current(idx);
+        }
+    }
+
+    fn commit(&mut self, e: Femtos, window: u64) {
+        let mut retired = 0;
+        while retired < self.cfg.params.retire_width && self.committed < window {
+            let Some(&seq) = self.rob.front() else { break };
+            let st = self.st(seq);
+            let Some(c) = st.completion else { break };
+            let vis = self.xfer(c, st.exec_domain as usize, FE);
+            if vis > e {
+                break;
+            }
+            // Retire.
+            let st = self.st(seq);
+            let is_store = st.inst.op == OpClass::Store;
+            let addr = st.inst.mem_addr;
+            let dst_class = st.inst.dst.map(|d| d.class());
+            let uses_phys = st.uses_phys;
+            self.rob.pop_front();
+            if is_store {
+                // Perform the write in the load/store domain after the
+                // commit signal crosses over.
+                let ready = self.xfer(e, FE, LS);
+                self.store_jobs.push_back(StoreJob { addr, ready });
+                // Remove from LSQ.
+                if let Some(pos) = self.lsq.iter().position(|&s| s == seq) {
+                    self.lsq.remove(pos);
+                }
+            } else if self.st(seq).inst.op == OpClass::Load {
+                if let Some(pos) = self.lsq.iter().position(|&s| s == seq) {
+                    self.lsq.remove(pos);
+                }
+            }
+            if uses_phys {
+                if let Some(class) = dst_class {
+                    self.free_phys[class.index()] += 1;
+                }
+            }
+            // Drop the window entry (head first).
+            debug_assert_eq!(seq, self.head_seq);
+            self.window.pop_front();
+            self.head_seq += 1;
+            self.committed += 1;
+            self.interval_committed += 1;
+            self.last_commit_at = e;
+            retired += 1;
+
+            if self.cfg.is_phase_adaptive()
+                && self.interval_committed >= self.cfg.params.interval_insts
+            {
+                self.interval_committed = 0;
+                self.interval_decision(e);
+            }
+        }
+    }
+
+    /// End-of-interval controller evaluation (§3.1). The decision itself
+    /// takes ~32 cycles of dedicated hardware; the resulting PLL relock
+    /// dwarfs that, so the decision latency is folded into the relock.
+    fn interval_decision(&mut self, e: Femtos) {
+        // I-cache / branch predictor pair. Decisions are deferred while
+        // the domain is already relocking from a previous change.
+        let ic_stats = self.icache.take_stats();
+        self.accumulate_ic(&ic_stats);
+        let fe_locked = self.clocks[FE].is_locking() || self.pending_ic.is_some();
+        if let Some(ctrl) = self.ic_ctrl.as_mut().filter(|_| !fe_locked) {
+            let miss_ns = self.l2_service.get();
+            if let Some(new_idx) = ctrl.decide(&ic_stats, None, miss_ns) {
+                let cfg = ICacheConfig::from_index(new_idx);
+                let f = self.cfg.timing.icache_frequency(cfg);
+                let done = self.clocks[FE].begin_frequency_change(f);
+                if new_idx < self.ic_idx {
+                    // Downsize now, speed up after relock.
+                    self.apply_ic_resize(new_idx);
+                } else {
+                    self.pending_ic = Some((new_idx, done));
+                }
+                self.reconfigs.push(ReconfigEvent {
+                    at_committed: self.committed,
+                    kind: ReconfigKind::ICache(cfg),
+                });
+            }
+        }
+
+        // D-cache / L2 pair.
+        let l1_stats = self.l1d.take_stats();
+        let l2_stats = self.l2.take_stats();
+        self.accumulate_dl2(&l1_stats, &l2_stats);
+        let ls_locked = self.clocks[LS].is_locking() || self.pending_dl2.is_some();
+        if let Some(ctrl) = self.dl2_ctrl.as_mut().filter(|_| !ls_locked) {
+            let mem_ns = self.cfg.params.memory_latency().as_ns();
+            if let Some(new_idx) = ctrl.decide(&l1_stats, Some(&l2_stats), mem_ns) {
+                let cfg = Dl2Config::from_index(new_idx);
+                let f = self.cfg.timing.dl2_frequency(cfg, Variant::Adaptive);
+                let done = self.clocks[LS].begin_frequency_change(f);
+                if new_idx < self.dl2_idx {
+                    self.apply_dl2_resize(new_idx);
+                } else {
+                    self.pending_dl2 = Some((new_idx, done));
+                }
+                self.reconfigs.push(ReconfigEvent {
+                    at_committed: self.committed,
+                    kind: ReconfigKind::Dl2(cfg),
+                });
+            }
+        }
+        let _ = e;
+    }
+
+    fn accumulate_ic(&mut self, s: &gals_cache::AccountingStats) {
+        let a = self.icache.a_ways();
+        let t = self.icache.physical_ways();
+        self.ic_total.accesses += s.accesses;
+        self.ic_total.a_hits += s.hits_in_a(a);
+        self.ic_total.b_hits += s.hits_in_b(a, t);
+        self.ic_total.misses += s.misses;
+        self.ic_total.writebacks += s.writebacks;
+    }
+
+    fn accumulate_dl2(&mut self, l1: &gals_cache::AccountingStats, l2: &gals_cache::AccountingStats) {
+        let a1 = self.l1d.a_ways();
+        let t1 = self.l1d.physical_ways();
+        self.l1d_total.accesses += l1.accesses;
+        self.l1d_total.a_hits += l1.hits_in_a(a1);
+        self.l1d_total.b_hits += l1.hits_in_b(a1, t1);
+        self.l1d_total.misses += l1.misses;
+        self.l1d_total.writebacks += l1.writebacks;
+        let a2 = self.l2.a_ways();
+        let t2 = self.l2.physical_ways();
+        self.l2_total.accesses += l2.accesses;
+        self.l2_total.a_hits += l2.hits_in_a(a2);
+        self.l2_total.b_hits += l2.hits_in_b(a2, t2);
+        self.l2_total.misses += l2.misses;
+        self.l2_total.writebacks += l2.writebacks;
+    }
+
+    fn rename_dispatch(&mut self, e: Femtos) {
+        for _ in 0..self.cfg.params.decode_width {
+            let Some(&seq) = self.fetch_q.front() else { break };
+            if self.rob.len() >= self.cfg.params.rob_entries {
+                break;
+            }
+            let inst = self.st(seq).inst;
+
+            // Structural checks.
+            if let Some(d) = inst.dst {
+                if self.free_phys[d.class().index()] <= 0 {
+                    break;
+                }
+            }
+            let exec_domain = match inst.op {
+                OpClass::Nop | OpClass::Jump => FE,
+                op if op.is_mem() => LS,
+                op if op.is_fp() => FP,
+                _ => INT,
+            };
+            match exec_domain {
+                LS => {
+                    if self.lsq.len() >= self.cfg.params.lsq_entries {
+                        break;
+                    }
+                }
+                INT | FP => {
+                    let qi = exec_domain - 1; // INT -> 0, FP -> 1
+                    if self.iq[qi].len() >= self.iq_cap[qi] {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+
+            // Rename sources. Producers that completed are folded into
+            // the map as Ready so stale Pending references can never
+            // outlive their completion-ring slot.
+            let mut srcs = [Src::Free, Src::Free];
+            for (i, sr) in inst.srcs.iter().enumerate() {
+                if let Some(r) = sr {
+                    srcs[i] = match self.rename_map[r.packed() as usize] {
+                        RenameRef::Ready { at, domain } => Src::Ready { at, domain },
+                        RenameRef::Pending(pseq) => {
+                            let slot = self.ring[(pseq as usize) & (RING - 1)];
+                            if slot.seq == pseq {
+                                self.rename_map[r.packed() as usize] = RenameRef::Ready {
+                                    at: slot.at,
+                                    domain: slot.domain,
+                                };
+                                Src::Ready {
+                                    at: slot.at,
+                                    domain: slot.domain,
+                                }
+                            } else if pseq < self.head_seq {
+                                // Committed long ago; ring slot reused.
+                                self.rename_map[r.packed() as usize] = RenameRef::Ready {
+                                    at: Femtos::ZERO,
+                                    domain: FE as u8,
+                                };
+                                Src::Free
+                            } else {
+                                Src::Pending(pseq)
+                            }
+                        }
+                    };
+                }
+            }
+
+            // Allocate.
+            let mut uses_phys = false;
+            if let Some(d) = inst.dst {
+                self.free_phys[d.class().index()] -= 1;
+                uses_phys = true;
+                self.rename_map[d.packed() as usize] = RenameRef::Pending(seq);
+            }
+            let arrival = self.xfer(e, FE, exec_domain);
+            {
+                let st = self.st_mut(seq);
+                st.srcs = srcs;
+                st.exec_domain = exec_domain as u8;
+                st.arrival = arrival;
+                st.renamed = true;
+                st.uses_phys = uses_phys;
+            }
+            self.fetch_q.pop_front();
+            self.rob.push_back(seq);
+
+            match exec_domain {
+                FE => {
+                    // Nops and (BTB-resolved) jumps complete at rename.
+                    self.complete_at(seq, e, FE);
+                }
+                LS => self.lsq.push_back(seq),
+                d => self.iq[d - 1].push(seq),
+            }
+
+            // ILP tracking at rename (§3.2). Decisions are suppressed for
+            // domains whose PLL is already relocking.
+            let locked_int = self.clocks[INT].is_locking() || self.pending_iq[0].is_some();
+            let locked_fp = self.clocks[FP].is_locking() || self.pending_iq[1].is_some();
+            if let Some(ctrl) = self.iq_ctrl.as_mut() {
+                if let Some(decision) = ctrl.observe(&inst, locked_int, locked_fp) {
+                    self.apply_iq_decision(decision);
+                }
+            }
+        }
+    }
+
+    fn apply_iq_decision(&mut self, d: crate::ilp::IlpDecision) {
+        for (qi, (new_size, domain)) in [(0usize, (d.iq_int, INT)), (1, (d.iq_fp, FP))] {
+            // Compare against the *target* size (which may still be
+            // relocking), not the currently effective capacity.
+            let current = self.iq_target[qi];
+            let target = new_size.entries();
+            if target == current {
+                continue;
+            }
+            self.iq_target[qi] = target;
+            let f = self.cfg.timing.iq_frequency(new_size);
+            let done = self.clocks[domain].begin_frequency_change(f);
+            if target < current {
+                // Downsize now (capacity clamps as the queue drains),
+                // clock speeds up after relock.
+                self.iq_cap[qi] = target as usize;
+            } else {
+                self.pending_iq[qi] = Some((new_size, done));
+            }
+            self.reconfigs.push(ReconfigEvent {
+                at_committed: self.committed,
+                kind: if qi == 0 {
+                    ReconfigKind::IqInt(new_size)
+                } else {
+                    ReconfigKind::IqFp(new_size)
+                },
+            });
+        }
+    }
+
+    fn fetch<S: InstructionStream>(&mut self, e: Femtos, stream: &mut S) {
+        if self.fetch_blocked_on.is_some() || e < self.fetch_stalled_until {
+            return;
+        }
+        let width = self.cfg.params.decode_width;
+        for _ in 0..width {
+            if self.fetch_q.len() >= self.cfg.params.fetch_queue {
+                break;
+            }
+            let inst = match self.pending_inst.take() {
+                Some(i) => i,
+                None => stream.next_inst(),
+            };
+
+            // I-cache: access on line crossings.
+            let line = inst.pc / self.cfg.params.line_bytes;
+            if line != self.cur_fetch_line {
+                let r = self.icache.access(inst.pc, AccessKind::Read);
+                self.cur_fetch_line = line;
+                match r.served {
+                    ServedBy::APartition => {}
+                    ServedBy::BPartition => {
+                        let extra = self.l1_b_latency(self.ic_idx) - self.cfg.params.l1_a_cycles;
+                        self.fetch_stalled_until = e + self.clocks[FE].period() * extra;
+                        self.pending_inst = Some(inst);
+                        return;
+                    }
+                    ServedBy::Miss => {
+                        // Fill from the unified L2 (load/store domain).
+                        let req = self.xfer(e, FE, LS);
+                        let delay = self.l2_access(inst.pc, AccessKind::Read);
+                        let done = req + delay;
+                        let vis = self.xfer(done, LS, FE);
+                        self.l2_service.update((vis - e).as_ns());
+                        self.fetch_stalled_until = vis;
+                        self.pending_inst = Some(inst);
+                        return;
+                    }
+                }
+            }
+
+            // Allocate the window entry.
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.window.push_back(InstState {
+                inst,
+                srcs: [Src::Free, Src::Free],
+                exec_domain: FE as u8,
+                arrival: e,
+                next_check: Femtos::ZERO,
+                completion: None,
+                issued: false,
+                renamed: false,
+                mispredicted: false,
+                uses_phys: false,
+            });
+            self.fetch_q.push_back(seq);
+
+            // Branch prediction.
+            if inst.op == OpClass::Branch {
+                self.branches += 1;
+                let predicted = self.predictors[self.active_pred].predict(inst.pc).taken;
+                // Train: phase mode keeps all geometries warm.
+                if self.predictors.len() > 1 {
+                    for p in &mut self.predictors {
+                        p.update(inst.pc, inst.taken);
+                    }
+                } else {
+                    self.predictors[0].update(inst.pc, inst.taken);
+                }
+                if predicted != inst.taken {
+                    self.mispredicts += 1;
+                    self.st_mut(seq).mispredicted = true;
+                    self.fetch_blocked_on = Some(seq);
+                    break;
+                } else if inst.taken {
+                    break; // one taken branch per fetch group
+                }
+            } else if inst.op == OpClass::Jump {
+                break; // taken: end of fetch group
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution-domain edges (integer / floating point)
+    // ------------------------------------------------------------------
+
+    fn exec_edge(&mut self, domain: usize, e: Femtos) {
+        let qi = domain - 1;
+        if let Some((size, at)) = self.pending_iq[qi] {
+            if e >= at {
+                self.iq_cap[qi] = size.entries() as usize;
+                if let Some(c) = self.iq_ctrl.as_mut() {
+                    let (ci, cf) = c.current();
+                    let _ = (ci, cf); // controller already tracks targets
+                }
+                self.pending_iq[qi] = None;
+            }
+        }
+
+        if self.iq[qi].is_empty() {
+            return;
+        }
+        let width = self.cfg.params.issue_width;
+        let mut issued = 0;
+        let mut i = 0;
+        while i < self.iq[qi].len() && issued < width {
+            let seq = self.iq[qi][i];
+            let st = self.st(seq);
+            let op = st.inst.op;
+            if !self.entry_ready(seq, domain, e) {
+                i += 1;
+                continue;
+            }
+            // Functional unit.
+            let p = &self.cfg.params;
+            let lat_cycles = p.op_latency_cycles(op);
+            let unpipelined = p.op_unpipelined(op);
+            let busy = self.cycles_in(domain, if unpipelined { lat_cycles } else { 1 });
+            let pool_idx = usize::from(matches!(
+                op,
+                OpClass::IntMul | OpClass::IntDiv | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt
+            ));
+            let pool = if domain == INT {
+                &mut self.fu_int[pool_idx]
+            } else {
+                &mut self.fu_fp[pool_idx]
+            };
+            if !pool.try_acquire(e, busy) {
+                i += 1;
+                continue;
+            }
+
+            let completion = e + self.cycles_in(domain, lat_cycles);
+            self.complete_at(seq, completion, domain);
+            // Mispredicted branch: resolution schedules the refetch.
+            if self.st(seq).mispredicted {
+                let p = &self.cfg.params;
+                let resolve_at_fe = self.xfer(completion, domain, FE);
+                let resume = resolve_at_fe
+                    + self.clocks[FE].period() * p.mispredict_fe_cycles
+                    + self.clocks[INT].period() * p.mispredict_int_cycles;
+                self.fetch_stalled_until = self.fetch_stalled_until.max(resume);
+                self.fetch_blocked_on = None;
+            }
+            // `remove` (not swap_remove) keeps the queue in age order so
+            // selection stays oldest-first.
+            self.iq[qi].remove(i);
+            issued += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Load/store-domain edge
+    // ------------------------------------------------------------------
+
+    fn ls_edge(&mut self, e: Femtos) {
+        if let Some((idx, at)) = self.pending_dl2 {
+            if e >= at {
+                self.apply_dl2_resize(idx);
+                self.pending_dl2 = None;
+            }
+        }
+
+        // Retire completed MSHRs.
+        self.mshr.retain(|&t| t > e);
+
+        if self.lsq.is_empty() && self.store_jobs.is_empty() {
+            return;
+        }
+
+        let mut ports = self.cfg.params.dcache_ports;
+
+        // LSQ walk, oldest first: stores become commit-eligible when
+        // their operands arrive; loads issue through the cache.
+        // (Reusable scratch buffer keeps this allocation-free.)
+        let mut lsq = std::mem::take(&mut self.lsq_scratch);
+        lsq.clear();
+        lsq.extend(self.lsq.iter().copied());
+        for (pos, &seq) in lsq.iter().enumerate() {
+            if ports == 0 {
+                break;
+            }
+            let st = self.st(seq);
+            if st.issued || !st.renamed {
+                continue;
+            }
+            let op = st.inst.op;
+            let addr = st.inst.mem_addr;
+            if !self.entry_ready(seq, LS, e) {
+                continue;
+            }
+            match op {
+                OpClass::Store => {
+                    // Data and address ready: ready to commit one cycle
+                    // later. The actual cache write happens at commit.
+                    let done = e + self.cycles_in(LS, 1);
+                    self.complete_at(seq, done, LS);
+                }
+                OpClass::Load => {
+                    // Store-to-load forwarding / conflict detection
+                    // against older unperformed stores (addresses are
+                    // exact in the trace).
+                    let mut forwarded = false;
+                    let mut blocked = false;
+                    for &older in lsq[..pos].iter().rev() {
+                        let ost = self.st(older);
+                        if ost.inst.op != OpClass::Store {
+                            continue;
+                        }
+                        if ost.inst.mem_addr >> 3 == addr >> 3 {
+                            match ost.completion {
+                                Some(c) if c <= e => {
+                                    // Forward from the store buffer.
+                                    let done = e + self.cycles_in(LS, 1);
+                                    self.complete_at(seq, done, LS);
+                                    forwarded = true;
+                                }
+                                Some(c) => {
+                                    self.st_mut(seq).next_check = c;
+                                    blocked = true;
+                                }
+                                None => blocked = true,
+                            }
+                            break;
+                        }
+                    }
+                    if forwarded {
+                        ports -= 1;
+                        continue;
+                    }
+                    if blocked {
+                        continue;
+                    }
+                    // D-cache access.
+                    let r = self.l1d.access(addr, AccessKind::Read);
+                    let p = &self.cfg.params;
+                    let a_cycles = p.l1_a_cycles;
+                    let mshrs = p.mshrs;
+                    let completion = match r.served {
+                        ServedBy::APartition => e + self.cycles_in(LS, a_cycles),
+                        ServedBy::BPartition => {
+                            let b = self.l1_b_latency(self.dl2_idx);
+                            e + self.cycles_in(LS, b)
+                        }
+                        ServedBy::Miss => {
+                            if self.mshr.len() >= mshrs {
+                                // Sleep until the earliest MSHR frees.
+                                if let Some(&wake) = self.mshr.iter().min() {
+                                    self.st_mut(seq).next_check = wake;
+                                }
+                                continue;
+                            }
+                            let base = self.cycles_in(LS, a_cycles);
+                            let delay = self.l2_access(addr, AccessKind::Read);
+                            let done = e + base + delay;
+                            self.mshr.push(done);
+                            done
+                        }
+                    };
+                    self.complete_at(seq, completion, LS);
+                    ports -= 1;
+                }
+                _ => unreachable!("only memory ops live in the LSQ"),
+            }
+        }
+
+        self.lsq_scratch = lsq;
+
+        // Committed stores perform their writes with leftover ports.
+        while ports > 0 {
+            let Some(job) = self.store_jobs.front().copied() else { break };
+            if job.ready > e {
+                break;
+            }
+            self.store_jobs.pop_front();
+            let r = self.l1d.access(job.addr, AccessKind::Write);
+            if r.served == ServedBy::Miss {
+                // Write-allocate: fill the line from L2/memory in the
+                // background (store buffer hides the latency).
+                let _ = self.l2_access(job.addr, AccessKind::Write);
+            }
+            ports -= 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Run loop
+    // ------------------------------------------------------------------
+
+    /// Runs the machine until `window` instructions have committed and
+    /// returns the measured result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (a model bug), detected as a long
+    /// span of simulated time with no commits.
+    pub fn run<S: InstructionStream>(mut self, stream: &mut S, window: u64) -> SimResult {
+        assert!(window > 0, "window must be positive");
+        let deadlock_span = Femtos::from_us(200);
+        let mut last_progress_time = Femtos::ZERO;
+        let mut last_progress_count = 0u64;
+
+        while self.committed < window {
+            // Earliest next edge across the four domains (ties broken by
+            // domain index, front end first).
+            let mut d = 0;
+            let mut t = self.clocks[0].peek_next_edge();
+            for i in 1..4 {
+                let ti = self.clocks[i].peek_next_edge();
+                if ti < t {
+                    t = ti;
+                    d = i;
+                }
+            }
+            let e = self.clocks[d].tick();
+            match d {
+                0 => self.fe_edge(e, stream, window),
+                1 | 2 => self.exec_edge(d, e),
+                3 => self.ls_edge(e),
+                _ => unreachable!(),
+            }
+
+            if self.committed > last_progress_count {
+                last_progress_count = self.committed;
+                last_progress_time = e;
+            } else if e > last_progress_time + deadlock_span {
+                panic!(
+                    "pipeline deadlock at {} ({} committed, rob={}, iq=[{},{}], lsq={}, fq={})",
+                    e,
+                    self.committed,
+                    self.rob.len(),
+                    self.iq[0].len(),
+                    self.iq[1].len(),
+                    self.lsq.len(),
+                    self.fetch_q.len(),
+                );
+            }
+        }
+
+        // Fold any un-drained interval statistics into the totals.
+        let ic = self.icache.take_stats();
+        self.accumulate_ic(&ic);
+        let l1 = self.l1d.take_stats();
+        let l2 = self.l2.take_stats();
+        self.accumulate_dl2(&l1, &l2);
+
+        SimResult {
+            benchmark: stream.name().to_string(),
+            committed: self.committed,
+            runtime: self.last_commit_at,
+            final_freqs: [
+                self.clocks[0].frequency(),
+                self.clocks[1].frequency(),
+                self.clocks[2].frequency(),
+                self.clocks[3].frequency(),
+            ],
+            domain_cycles: [
+                self.clocks[0].cycle(),
+                self.clocks[1].cycle(),
+                self.clocks[2].cycle(),
+                self.clocks[3].cycle(),
+            ],
+            branches: self.branches,
+            mispredicts: self.mispredicts,
+            icache: self.ic_total,
+            l1d: self.l1d_total,
+            l2: self.l2_total,
+            reconfigs: self.reconfigs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::McdConfig;
+    use gals_isa::ArchReg;
+
+    /// Simple synthetic stream for unit tests: parallel int ALU chains
+    /// with occasional well-predicted branches.
+    struct TestStream {
+        i: u64,
+    }
+
+    impl InstructionStream for TestStream {
+        fn next_inst(&mut self) -> DynInst {
+            let i = self.i;
+            self.i += 1;
+            let pc = 0x1000 + (i % 256) * 4;
+            if i % 16 == 15 {
+                DynInst::branch(pc, ArchReg::int(1), true, 0x1000)
+            } else {
+                let r = ArchReg::int(1 + (i % 8) as u8);
+                DynInst::alu(pc, OpClass::IntAlu, r, [Some(r), None])
+            }
+        }
+        fn name(&self) -> &str {
+            "test-stream"
+        }
+    }
+
+    #[test]
+    fn sync_machine_runs_to_completion() {
+        let cfg = MachineConfig::best_synchronous();
+        let r = Simulator::new(cfg).run(&mut TestStream { i: 0 }, 10_000);
+        assert_eq!(r.committed, 10_000);
+        assert!(r.runtime > Femtos::ZERO);
+        assert!(r.bips() > 0.1, "IPC should be reasonable: {}", r.bips());
+        assert!(r.reconfigs.is_empty());
+    }
+
+    #[test]
+    fn program_adaptive_runs() {
+        let cfg = MachineConfig::program_adaptive(McdConfig::smallest());
+        let r = Simulator::new(cfg).run(&mut TestStream { i: 0 }, 10_000);
+        assert_eq!(r.committed, 10_000);
+        assert!(r.reconfigs.is_empty(), "no controllers in program mode");
+    }
+
+    #[test]
+    fn phase_adaptive_runs() {
+        let cfg = MachineConfig::phase_adaptive(McdConfig::smallest());
+        let r = Simulator::new(cfg).run(&mut TestStream { i: 0 }, 40_000);
+        assert_eq!(r.committed, 40_000);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = Simulator::new(MachineConfig::best_synchronous())
+            .run(&mut TestStream { i: 0 }, 5_000);
+        let b = Simulator::new(MachineConfig::best_synchronous())
+            .run(&mut TestStream { i: 0 }, 5_000);
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.mispredicts, b.mispredicts);
+    }
+
+    #[test]
+    fn ipc_in_plausible_range() {
+        let cfg = MachineConfig::best_synchronous();
+        let freq = cfg.initial_frequencies()[0];
+        let r = Simulator::new(cfg).run(&mut TestStream { i: 0 }, 20_000);
+        let cycles = freq.as_hz() as f64 * r.runtime.as_secs();
+        let ipc = r.committed as f64 / cycles;
+        // 8 parallel chains, issue width 6, 4 ALUs: IPC should be solidly
+        // superscalar but bounded by the ALU count.
+        assert!(ipc > 1.0 && ipc < 5.0, "ipc {ipc}");
+    }
+
+    #[test]
+    fn branch_stats_collected() {
+        let r = Simulator::new(MachineConfig::best_synchronous())
+            .run(&mut TestStream { i: 0 }, 20_000);
+        assert!(r.branches > 1_000);
+        // The all-taken loop branch is nearly perfectly predictable.
+        assert!(r.mispredict_rate() < 0.1, "rate {}", r.mispredict_rate());
+    }
+
+    #[test]
+    fn caches_see_fetch_traffic() {
+        let r = Simulator::new(MachineConfig::best_synchronous())
+            .run(&mut TestStream { i: 0 }, 20_000);
+        assert!(r.icache.accesses > 0);
+        // 256-instruction loop fits the I-cache: only cold misses remain.
+        assert!(r.icache.miss_rate() < 0.03, "rate {}", r.icache.miss_rate());
+    }
+}

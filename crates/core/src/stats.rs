@@ -1,0 +1,143 @@
+//! Simulation results and reconfiguration traces.
+
+use gals_common::{Femtos, Hertz};
+use gals_timing::{Dl2Config, ICacheConfig, IqSize};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate hit/miss summary for one cache over a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheSummary {
+    /// Accesses.
+    pub accesses: u64,
+    /// Hits served by the A partition.
+    pub a_hits: u64,
+    /// Hits served by the B partition (phase-adaptive machines only).
+    pub b_hits: u64,
+    /// Misses to the next level.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl CacheSummary {
+    /// Miss rate over all accesses (0.0 when idle).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// What a reconfiguration event changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReconfigKind {
+    /// D-cache/L2 pair moved to a new configuration.
+    Dl2(Dl2Config),
+    /// I-cache/branch-predictor pair moved to a new configuration.
+    ICache(ICacheConfig),
+    /// Integer issue queue resized.
+    IqInt(IqSize),
+    /// Floating-point issue queue resized.
+    IqFp(IqSize),
+}
+
+/// One entry of the reconfiguration trace (Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigEvent {
+    /// Committed-instruction count when the controller made the decision.
+    pub at_committed: u64,
+    /// The new configuration.
+    pub kind: ReconfigKind,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Simulated wall time from start to the last commit.
+    pub runtime: Femtos,
+    /// Per-domain final frequencies `[fe, int, fp, ls]`.
+    pub final_freqs: [Hertz; 4],
+    /// Per-domain clock cycles consumed `[fe, int, fp, ls]`.
+    pub domain_cycles: [u64; 4],
+    /// Conditional branches predicted.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicts: u64,
+    /// L1 instruction cache summary.
+    pub icache: CacheSummary,
+    /// L1 data cache summary.
+    pub l1d: CacheSummary,
+    /// Unified L2 summary (data + instruction misses).
+    pub l2: CacheSummary,
+    /// Reconfiguration decisions, in commit order (phase-adaptive only).
+    pub reconfigs: Vec<ReconfigEvent>,
+}
+
+impl SimResult {
+    /// Instructions per second of simulated time, in billions.
+    pub fn bips(&self) -> f64 {
+        if self.runtime == Femtos::ZERO {
+            0.0
+        } else {
+            self.committed as f64 / self.runtime.as_secs() / 1e9
+        }
+    }
+
+    /// Runtime in nanoseconds (the unit used for comparisons).
+    pub fn runtime_ns(&self) -> f64 {
+        self.runtime.as_ns()
+    }
+
+    /// Branch misprediction rate (0.0 when no branches).
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_summary_miss_rate() {
+        let s = CacheSummary {
+            accesses: 100,
+            a_hits: 80,
+            b_hits: 10,
+            misses: 10,
+            writebacks: 2,
+        };
+        assert!((s.miss_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(CacheSummary::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn bips_computation() {
+        let r = SimResult {
+            benchmark: "t".into(),
+            committed: 1_000,
+            runtime: Femtos::from_us(1),
+            final_freqs: [Hertz::from_ghz(1.0); 4],
+            domain_cycles: [0; 4],
+            branches: 10,
+            mispredicts: 1,
+            icache: CacheSummary::default(),
+            l1d: CacheSummary::default(),
+            l2: CacheSummary::default(),
+            reconfigs: vec![],
+        };
+        // 1000 insts / 1 µs = 1 GIPS.
+        assert!((r.bips() - 1.0).abs() < 1e-9);
+        assert!((r.mispredict_rate() - 0.1).abs() < 1e-12);
+    }
+}

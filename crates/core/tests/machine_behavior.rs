@@ -1,0 +1,189 @@
+//! Behavioural integration tests for the core machine models, using
+//! hand-built instruction streams (no workload crate) so causes are
+//! isolated.
+
+use gals_core::{
+    Dl2Config, ICacheConfig, IqSize, MachineConfig, McdConfig, Simulator, SyncConfig,
+    SyncICacheOption,
+};
+use gals_isa::{ArchReg, DynInst, InstructionStream, OpClass};
+
+/// Loop of `period` instructions over a configurable code footprint with
+/// a load every 4th instruction into a configurable data footprint.
+struct LoopStream {
+    i: u64,
+    code_insts: u64,
+    data_bytes: u64,
+    chains: u8,
+}
+
+impl LoopStream {
+    fn new(code_insts: u64, data_bytes: u64, chains: u8) -> Self {
+        LoopStream {
+            i: 0,
+            code_insts,
+            data_bytes,
+            chains,
+        }
+    }
+}
+
+impl InstructionStream for LoopStream {
+    fn next_inst(&mut self) -> DynInst {
+        let i = self.i;
+        self.i += 1;
+        let pc = 0x10_0000 + (i % self.code_insts) * 4;
+        let r = ArchReg::int(1 + (i % self.chains as u64) as u8);
+        match i % 16 {
+            15 => DynInst::branch(pc, r, true, 0x10_0000),
+            x if x % 4 == 3 => {
+                let addr = 0x2000_0000 + (i * 64) % self.data_bytes;
+                DynInst::load(pc, r, r, addr)
+            }
+            _ => DynInst::alu(pc, OpClass::IntAlu, r, [Some(r), None]),
+        }
+    }
+    fn name(&self) -> &str {
+        "loop-stream"
+    }
+}
+
+#[test]
+fn larger_icache_removes_thrash_for_big_loops() {
+    // 8K instructions = 32 KB of code: thrashes a 16 KB I$, fits 64 KB
+    // (only cold misses remain; the window covers ~7 loop passes).
+    let window = 60_000;
+    let small = Simulator::new(MachineConfig::program_adaptive(McdConfig::smallest()))
+        .run(&mut LoopStream::new(8_192, 1 << 20, 8), window);
+    let big = Simulator::new(MachineConfig::program_adaptive(McdConfig {
+        icache: ICacheConfig::K64W4,
+        ..McdConfig::smallest()
+    }))
+    .run(&mut LoopStream::new(8_192, 1 << 20, 8), window);
+    assert!(
+        big.icache.miss_rate() < small.icache.miss_rate() / 4.0,
+        "64KB: {:.4}, 16KB: {:.4}",
+        big.icache.miss_rate(),
+        small.icache.miss_rate()
+    );
+}
+
+#[test]
+fn streaming_data_defeats_all_cache_configs() {
+    // Data footprint 16 MB with stride 64: every load misses regardless
+    // of configuration, so the smallest/fastest config wins on clock.
+    let window = 20_000;
+    let small = Simulator::new(MachineConfig::program_adaptive(McdConfig::smallest()))
+        .run(&mut LoopStream::new(256, 16 << 20, 8), window);
+    let big = Simulator::new(MachineConfig::program_adaptive(McdConfig {
+        dl2: Dl2Config::K256W8,
+        ..McdConfig::smallest()
+    }))
+    .run(&mut LoopStream::new(256, 16 << 20, 8), window);
+    assert!(small.runtime < big.runtime);
+    assert!(small.l1d.miss_rate() > 0.9);
+}
+
+#[test]
+fn sync_machine_single_clock_has_no_reconfig_and_equal_domains() {
+    let cfg = SyncConfig {
+        icache: SyncICacheOption::new(32, 1).unwrap(),
+        dl2: Dl2Config::K64W2,
+        iq_int: IqSize::Q32,
+        iq_fp: IqSize::Q16,
+    };
+    let r = Simulator::new(MachineConfig::synchronous(cfg))
+        .run(&mut LoopStream::new(256, 1 << 16, 8), 10_000);
+    assert!(r.reconfigs.is_empty());
+    let f = r.final_freqs[0];
+    assert!(r.final_freqs.iter().all(|&x| x == f));
+    // The global clock is the slowest structure: here the 32-entry IQ.
+    let m = gals_core::TimingModel::default();
+    assert_eq!(f, m.iq_frequency(IqSize::Q32));
+}
+
+#[test]
+fn iq16_beats_iq64_on_serial_code() {
+    // One serial chain: a 64-entry queue at 0.97 GHz can't help.
+    let mk = |iq| {
+        Simulator::new(MachineConfig::program_adaptive(McdConfig {
+            iq_int: iq,
+            ..McdConfig::smallest()
+        }))
+        .run(&mut LoopStream::new(256, 1 << 12, 1), 20_000)
+    };
+    let q16 = mk(IqSize::Q16);
+    let q64 = mk(IqSize::Q64);
+    assert!(
+        q16.runtime < q64.runtime,
+        "serial code must prefer the fast small queue: {} vs {}",
+        q16.runtime_ns(),
+        q64.runtime_ns()
+    );
+}
+
+#[test]
+fn results_scale_with_window() {
+    // Cold-start (compulsory misses, predictor training) makes absolute
+    // runtimes sub-linear in the window; the *marginal* cost of extra
+    // instructions must be constant once warm.
+    let run = |w: u64| {
+        Simulator::new(MachineConfig::best_synchronous())
+            .run(&mut LoopStream::new(256, 1 << 14, 8), w)
+            .runtime_ns()
+    };
+    let (r1, r2, r3) = (run(10_000), run(20_000), run(30_000));
+    let marginal_ratio = (r3 - r2) / (r2 - r1);
+    assert!(
+        (0.85..1.15).contains(&marginal_ratio),
+        "steady-state marginal cost should be constant: {marginal_ratio}"
+    );
+}
+
+#[test]
+fn store_heavy_stream_commits() {
+    struct Stores(u64);
+    impl InstructionStream for Stores {
+        fn next_inst(&mut self) -> DynInst {
+            let i = self.0;
+            self.0 += 1;
+            let pc = 0x40_0000 + (i % 64) * 4;
+            if i % 3 == 0 {
+                DynInst::store(pc, ArchReg::int(1), ArchReg::int(2), 0x2000_0000 + (i % 512) * 8)
+            } else {
+                DynInst::alu(pc, OpClass::IntAlu, ArchReg::int(1), [Some(ArchReg::int(1)), None])
+            }
+        }
+        fn name(&self) -> &str {
+            "stores"
+        }
+    }
+    let r = Simulator::new(MachineConfig::best_synchronous()).run(&mut Stores(0), 15_000);
+    assert_eq!(r.committed, 15_000);
+    assert!(r.l1d.accesses > 4_000, "store writes hit the D-cache");
+}
+
+#[test]
+fn fp_workload_exercises_fp_domain() {
+    struct FpStream(u64);
+    impl InstructionStream for FpStream {
+        fn next_inst(&mut self) -> DynInst {
+            let i = self.0;
+            self.0 += 1;
+            let pc = 0x40_0000 + (i % 128) * 4;
+            let f = ArchReg::fp(1 + (i % 8) as u8);
+            match i % 8 {
+                0 => DynInst::alu(pc, OpClass::FpMul, f, [Some(f), None]),
+                7 => DynInst::branch(pc, ArchReg::int(1), true, 0x40_0000),
+                _ => DynInst::alu(pc, OpClass::FpAdd, f, [Some(f), None]),
+            }
+        }
+        fn name(&self) -> &str {
+            "fp"
+        }
+    }
+    let r = Simulator::new(MachineConfig::program_adaptive(McdConfig::smallest()))
+        .run(&mut FpStream(0), 10_000);
+    assert_eq!(r.committed, 10_000);
+    assert!(r.domain_cycles[2] > 0, "fp domain clocked");
+}

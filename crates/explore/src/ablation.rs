@@ -1,0 +1,180 @@
+//! Ablation studies over the design constants the paper fixes.
+//!
+//! DESIGN.md calls out three constants worth sensitivity analysis:
+//!
+//! * the **adaptation interval** (§3.1 fixes 15K instructions,
+//!   "comparable to the PLL lock-down time"),
+//! * the **PLL lock time** (§2 fixes mean 15 µs),
+//! * the **synchronization window** (§2 fixes 30% of the faster period).
+//!
+//! Each study runs the Phase-Adaptive machine over a benchmark subset
+//! with one constant swept and everything else at paper values, and
+//! reports the geometric-mean runtime per setting — quantifying how much
+//! headroom (or slack) the paper's choice left.
+
+use gals_common::{stats, Femtos};
+use gals_core::{MachineConfig, McdConfig, Simulator};
+use gals_workloads::BenchmarkSpec;
+
+/// One ablation data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationPoint {
+    /// Human-readable setting (e.g. `"15000 insts"`, `"15 µs"`, `"30%"`).
+    pub setting: String,
+    /// Geometric-mean runtime across the subset, in nanoseconds.
+    pub geomean_ns: f64,
+}
+
+fn phase_machine() -> MachineConfig {
+    MachineConfig::phase_adaptive(McdConfig::smallest())
+}
+
+fn geomean_runtime(machine: &MachineConfig, suite: &[BenchmarkSpec], window: u64) -> f64 {
+    let runtimes: Vec<f64> = suite
+        .iter()
+        .map(|spec| {
+            Simulator::new(machine.clone())
+                .run(&mut spec.stream(), window)
+                .runtime_ns()
+        })
+        .collect();
+    stats::geomean(&runtimes).expect("positive runtimes")
+}
+
+/// Sweeps the controller interval (paper: 15K committed instructions).
+///
+/// Short intervals chase noise (and pay relocks); long intervals miss
+/// phases. The paper's 15K choice should sit near the flat bottom.
+pub fn interval_sweep(
+    suite: &[BenchmarkSpec],
+    window: u64,
+    intervals: &[u64],
+) -> Vec<AblationPoint> {
+    intervals
+        .iter()
+        .map(|&interval| {
+            let mut m = phase_machine();
+            m.params.interval_insts = interval;
+            AblationPoint {
+                setting: format!("{interval} insts"),
+                geomean_ns: geomean_runtime(&m, suite, window),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the synchronization setup window (paper: 30% of the faster
+/// period). 0% isolates the pure edge-alignment cost of GALS operation.
+pub fn sync_window_sweep(
+    suite: &[BenchmarkSpec],
+    window: u64,
+    fracs: &[f64],
+) -> Vec<AblationPoint> {
+    fracs
+        .iter()
+        .map(|&frac| {
+            let mut m = phase_machine();
+            m.params.sync_threshold_frac = frac;
+            AblationPoint {
+                setting: format!("{:.0}%", frac * 100.0),
+                geomean_ns: geomean_runtime(&m, suite, window),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the clock jitter amplitude (the MCD papers assume small
+/// cycle-to-cycle jitter; this quantifies the model's sensitivity).
+pub fn jitter_sweep(suite: &[BenchmarkSpec], window: u64, fracs: &[f64]) -> Vec<AblationPoint> {
+    fracs
+        .iter()
+        .map(|&frac| {
+            let mut m = phase_machine();
+            m.params.jitter_frac = frac;
+            AblationPoint {
+                setting: format!("{:.1}%", frac * 100.0),
+                geomean_ns: geomean_runtime(&m, suite, window),
+            }
+        })
+        .collect()
+}
+
+/// Compares mispredict-penalty settings: the adaptive machine's 10+9
+/// versus the synchronous machine's 9+7 (quantifies the §2
+/// "over-pipelining" handicap on the adaptive side).
+pub fn penalty_study(suite: &[BenchmarkSpec], window: u64) -> Vec<AblationPoint> {
+    let mut points = Vec::new();
+    for (label, fe, int) in [("adaptive 10+9 (paper)", 10, 9), ("sync-style 9+7", 9, 7)] {
+        let mut m = phase_machine();
+        m.params.mispredict_fe_cycles = fe;
+        m.params.mispredict_int_cycles = int;
+        points.push(AblationPoint {
+            setting: label.to_string(),
+            geomean_ns: geomean_runtime(&m, suite, window),
+        });
+    }
+    points
+}
+
+/// Scales the PLL lock time (paper: mean 15 µs, range 10–20 µs at 1.0).
+/// Slow PLLs delay every reconfiguration; near-instant PLLs measure the
+/// controllers' decision quality in isolation.
+pub fn pll_sweep(suite: &[BenchmarkSpec], window: u64, scales: &[f64]) -> Vec<AblationPoint> {
+    scales
+        .iter()
+        .map(|&scale| {
+            let mut m = phase_machine();
+            m.params.pll_scale = scale;
+            AblationPoint {
+                setting: format!("{scale:.2}x"),
+                geomean_ns: geomean_runtime(&m, suite, window),
+            }
+        })
+        .collect()
+}
+
+/// Femtosecond view of the default memory latency, exposed for ablation
+/// reports.
+pub fn default_memory_latency() -> Femtos {
+    gals_core::CoreParams::default().memory_latency()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gals_workloads::suite;
+
+    fn mini_suite() -> Vec<BenchmarkSpec> {
+        ["adpcm_encode", "gzip"]
+            .iter()
+            .map(|n| suite::by_name(n).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn interval_sweep_produces_points() {
+        let pts = interval_sweep(&mini_suite(), 6_000, &[5_000, 15_000]);
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.geomean_ns > 0.0));
+        assert_ne!(pts[0].setting, pts[1].setting);
+    }
+
+    #[test]
+    fn sync_window_zero_is_fastest() {
+        let pts = sync_window_sweep(&mini_suite(), 6_000, &[0.0, 0.3, 0.6]);
+        assert!(
+            pts[0].geomean_ns <= pts[2].geomean_ns,
+            "a wider setup window cannot speed the machine up: {pts:?}"
+        );
+    }
+
+    #[test]
+    fn penalty_study_orders_correctly() {
+        let pts = penalty_study(&mini_suite(), 6_000);
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[1].geomean_ns <= pts[0].geomean_ns,
+            "the lighter penalty cannot be slower: {pts:?}"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Persistent runtime cache for sweep results.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// Key identifying one measured run: benchmark, machine style, config key,
+/// and instruction window.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheKey(String);
+
+impl CacheKey {
+    /// Builds a key. `mode` is `"sync"`, `"prog"`, or `"phase"`.
+    pub fn new(bench: &str, mode: &str, config_key: &str, window: u64) -> Self {
+        CacheKey(format!("{bench}|{mode}|{config_key}|{window}"))
+    }
+
+    /// The underlying string (stable across versions; used as the JSON
+    /// map key).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A JSON-file-backed map from [`CacheKey`] to measured runtime in
+/// nanoseconds.
+///
+/// The sweeps are embarrassingly cacheable: a (benchmark, config, window)
+/// runtime never changes because everything in the simulator is
+/// deterministic. Persisting them means `fig6_performance`,
+/// `table9_distribution` and repeated bench invocations don't re-run the
+/// 40 × 1,024 sweep.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    path: Option<PathBuf>,
+    map: HashMap<String, f64>,
+    dirty: bool,
+}
+
+impl ResultCache {
+    /// An in-memory cache (tests).
+    pub fn in_memory() -> Self {
+        ResultCache::default()
+    }
+
+    /// Opens (or initializes) a cache at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "file not found"; a malformed
+    /// cache file is treated as empty rather than fatal.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let map = match fs::read_to_string(&path) {
+            Ok(text) => serde_json::from_str(&text).unwrap_or_default(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => HashMap::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(ResultCache {
+            path: Some(path),
+            map,
+            dirty: false,
+        })
+    }
+
+    /// Number of cached measurements.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no measurements are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a cached runtime (ns).
+    pub fn get(&self, key: &CacheKey) -> Option<f64> {
+        self.map.get(key.as_str()).copied()
+    }
+
+    /// Stores a measured runtime (ns).
+    pub fn put(&mut self, key: CacheKey, runtime_ns: f64) {
+        self.map.insert(key.0, runtime_ns);
+        self.dirty = true;
+    }
+
+    /// Writes the cache back to disk if it changed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&mut self) -> io::Result<()> {
+        let Some(path) = self.path.clone() else {
+            return Ok(());
+        };
+        if !self.dirty {
+            return Ok(());
+        }
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let text = serde_json::to_string(&self.map).expect("serializable map");
+        fs::write(&path, text)?;
+        self.dirty = false;
+        Ok(())
+    }
+}
+
+impl Drop for ResultCache {
+    fn drop(&mut self) {
+        // Best-effort persistence; explicit save() reports errors.
+        let _ = self.save();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_distinct() {
+        let a = CacheKey::new("gcc", "sync", "cfgA", 1000);
+        let b = CacheKey::new("gcc", "sync", "cfgA", 2000);
+        let c = CacheKey::new("gcc", "prog", "cfgA", 1000);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn in_memory_round_trip() {
+        let mut c = ResultCache::in_memory();
+        let k = CacheKey::new("x", "sync", "cfg", 100);
+        assert!(c.get(&k).is_none());
+        c.put(k.clone(), 42.5);
+        assert_eq!(c.get(&k), Some(42.5));
+        assert_eq!(c.len(), 1);
+        assert!(c.save().is_ok(), "in-memory save is a no-op");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("gals-cache-test");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("cache.json");
+        {
+            let mut c = ResultCache::open(&path).unwrap();
+            assert!(c.is_empty());
+            c.put(CacheKey::new("b", "phase", "k", 7), 9.25);
+            c.save().unwrap();
+        }
+        let c = ResultCache::open(&path).unwrap();
+        assert_eq!(c.get(&CacheKey::new("b", "phase", "k", 7)), Some(9.25));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_cache_treated_as_empty() {
+        let dir = std::env::temp_dir().join("gals-cache-test-bad");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        fs::write(&path, "not json at all").unwrap();
+        let c = ResultCache::open(&path).unwrap();
+        assert!(c.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

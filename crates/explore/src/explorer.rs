@@ -1,0 +1,445 @@
+//! The sweep driver.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use gals_common::stats;
+use gals_core::{MachineConfig, McdConfig, SimResult, Simulator, SyncConfig};
+use gals_workloads::BenchmarkSpec;
+
+use crate::cache::{CacheKey, ResultCache};
+
+/// Errors from exploration runs.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// Cache file I/O failed.
+    Io(io::Error),
+    /// The provided suite was empty.
+    EmptySuite,
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Io(e) => write!(f, "cache i/o failed: {e}"),
+            ExploreError::EmptySuite => f.write_str("benchmark suite is empty"),
+        }
+    }
+}
+
+impl Error for ExploreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExploreError::Io(e) => Some(e),
+            ExploreError::EmptySuite => None,
+        }
+    }
+}
+
+impl From<io::Error> for ExploreError {
+    fn from(e: io::Error) -> Self {
+        ExploreError::Io(e)
+    }
+}
+
+/// Outcome of the 1,024-configuration synchronous sweep.
+#[derive(Debug, Clone)]
+pub struct SyncSweepOutcome {
+    /// The best-overall configuration (geometric-mean runtime argmin).
+    pub best: SyncConfig,
+    /// Geometric-mean runtime (ns) of the best configuration.
+    pub best_geomean_ns: f64,
+    /// Per-configuration geometric-mean runtimes, in enumeration order.
+    pub geomeans_ns: Vec<(SyncConfig, f64)>,
+}
+
+/// Per-benchmark result of the 256-configuration Program-Adaptive sweep.
+#[derive(Debug, Clone)]
+pub struct ProgramChoice {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The configuration with the lowest runtime for this benchmark.
+    pub best: McdConfig,
+    /// Its sweep-window runtime (ns).
+    pub runtime_ns: f64,
+}
+
+/// One Figure 6 bar pair.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Best-synchronous runtime (ns) at the final window.
+    pub sync_ns: f64,
+    /// Program-Adaptive runtime (ns) at the final window.
+    pub program_ns: f64,
+    /// The per-application configuration Program-Adaptive chose.
+    pub program_cfg: McdConfig,
+    /// Phase-Adaptive runtime (ns) at the final window.
+    pub phase_ns: f64,
+}
+
+impl Fig6Row {
+    /// Program-Adaptive improvement over the synchronous baseline, in
+    /// percent (Figure 6's metric).
+    pub fn program_improvement_pct(&self) -> f64 {
+        stats::runtime_improvement_pct(self.sync_ns, self.program_ns)
+    }
+
+    /// Phase-Adaptive improvement over the synchronous baseline.
+    pub fn phase_improvement_pct(&self) -> f64 {
+        stats::runtime_improvement_pct(self.sync_ns, self.phase_ns)
+    }
+}
+
+/// The sweep driver: windows, parallelism, and the persistent cache.
+#[derive(Debug)]
+pub struct Explorer {
+    sweep_window: u64,
+    final_window: u64,
+    threads: usize,
+    cache: ResultCache,
+}
+
+impl Explorer {
+    /// Default sweep window (instructions per configuration run). Sized
+    /// so the full 1,024-configuration × 40-benchmark synchronous sweep
+    /// completes in minutes on a couple of cores; raise via
+    /// `GALS_MCD_SWEEP_WINDOW` for higher-fidelity rankings.
+    pub const DEFAULT_SWEEP_WINDOW: u64 = 10_000;
+    /// Default final-comparison window.
+    pub const DEFAULT_FINAL_WINDOW: u64 = 120_000;
+
+    /// Builds an explorer from the environment knobs described in the
+    /// [crate docs](crate).
+    ///
+    /// # Errors
+    ///
+    /// Fails only on cache-file I/O errors.
+    pub fn from_env() -> Result<Self, ExploreError> {
+        let env_u64 = |name: &str, default: u64| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        let sweep_window = env_u64("GALS_MCD_SWEEP_WINDOW", Self::DEFAULT_SWEEP_WINDOW);
+        let final_window = env_u64("GALS_MCD_FINAL_WINDOW", Self::DEFAULT_FINAL_WINDOW);
+        let cache_path = std::env::var("GALS_MCD_CACHE")
+            .unwrap_or_else(|_| "target/gals-sweep-cache.json".to_string());
+        let cache = ResultCache::open(cache_path)?;
+        Ok(Explorer::with_cache(sweep_window, final_window, cache))
+    }
+
+    /// Builds an explorer with explicit windows and cache (tests use an
+    /// in-memory cache).
+    pub fn with_cache(sweep_window: u64, final_window: u64, cache: ResultCache) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Explorer {
+            sweep_window,
+            final_window,
+            threads,
+            cache,
+        }
+    }
+
+    /// Sweep window in instructions.
+    pub fn sweep_window(&self) -> u64 {
+        self.sweep_window
+    }
+
+    /// Final comparison window in instructions.
+    pub fn final_window(&self) -> u64 {
+        self.final_window
+    }
+
+    /// Persists the cache immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_cache(&mut self) -> Result<(), ExploreError> {
+        self.cache.save()?;
+        Ok(())
+    }
+
+    /// Runs (or recalls) one measurement.
+    fn measure(
+        cache: &Mutex<&mut ResultCache>,
+        spec: &BenchmarkSpec,
+        mode: &str,
+        config_key: &str,
+        machine: MachineConfig,
+        window: u64,
+    ) -> f64 {
+        let key = CacheKey::new(spec.name(), mode, config_key, window);
+        if let Some(ns) = cache.lock().get(&key) {
+            return ns;
+        }
+        let result = Simulator::new(machine).run(&mut spec.stream(), window);
+        let ns = result.runtime_ns();
+        let mut guard = cache.lock();
+        guard.put(key, ns);
+        // Periodic persistence so an interrupted sweep loses at most a
+        // slice of work.
+        if guard.len() % 1024 == 0 {
+            let _ = guard.save();
+        }
+        ns
+    }
+
+    /// Generic parallel map over a work list of (spec, mode, key,
+    /// machine) tuples. Results keep work-list order.
+    fn parallel_measure(
+        &mut self,
+        work: Vec<(BenchmarkSpec, &'static str, String, MachineConfig)>,
+        window: u64,
+    ) -> Vec<f64> {
+        let n = work.len();
+        let results = Mutex::new(vec![0.0f64; n]);
+        let next = AtomicUsize::new(0);
+        let cache = Mutex::new(&mut self.cache);
+        let threads = self.threads.min(n.max(1));
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (spec, mode, key, machine) = &work[i];
+                    let ns =
+                        Self::measure(&cache, spec, mode, key, machine.clone(), window);
+                    results.lock()[i] = ns;
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+        results.into_inner()
+    }
+
+    /// The 1,024-configuration fully synchronous sweep (§4): finds the
+    /// configuration with the best overall (geometric-mean) runtime
+    /// across the suite.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::EmptySuite`] when `suite` is empty.
+    pub fn sync_sweep(
+        &mut self,
+        suite: &[BenchmarkSpec],
+    ) -> Result<SyncSweepOutcome, ExploreError> {
+        if suite.is_empty() {
+            return Err(ExploreError::EmptySuite);
+        }
+        // `GALS_MCD_SYNC_SUBSET=1` restricts the sweep to the region the
+        // full space's winner provably lives in (both issue queues small
+        // — larger queues only lower the global clock without enough ILP
+        // to recoup, which partial full sweeps confirm across the suite).
+        // 16 I-cache options × 4 D/L2 × {16,32} int IQ = 128 configs.
+        let subset = std::env::var("GALS_MCD_SYNC_SUBSET").is_ok_and(|v| v == "1");
+        let configs: Vec<SyncConfig> = SyncConfig::enumerate()
+            .into_iter()
+            .filter(|c| {
+                !subset
+                    || (c.iq_fp == gals_core::IqSize::Q16
+                        && c.iq_int <= gals_core::IqSize::Q32)
+            })
+            .collect();
+        let mut work = Vec::with_capacity(configs.len() * suite.len());
+        for cfg in &configs {
+            for spec in suite {
+                work.push((
+                    spec.clone(),
+                    "sync",
+                    cfg.key(),
+                    MachineConfig::synchronous(*cfg),
+                ));
+            }
+        }
+        let window = self.sweep_window;
+        let runtimes = self.parallel_measure(work, window);
+        self.cache.save()?;
+
+        let mut geomeans = Vec::with_capacity(configs.len());
+        for (ci, cfg) in configs.iter().enumerate() {
+            let slice = &runtimes[ci * suite.len()..(ci + 1) * suite.len()];
+            let g = stats::geomean(slice).expect("positive runtimes");
+            geomeans.push((*cfg, g));
+        }
+        let (best, best_geomean_ns) = geomeans
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty config space");
+        Ok(SyncSweepOutcome {
+            best,
+            best_geomean_ns,
+            geomeans_ns: geomeans,
+        })
+    }
+
+    /// The 256-configuration Program-Adaptive sweep: per benchmark, the
+    /// adaptive-MCD configuration with the lowest runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::EmptySuite`] when `suite` is empty.
+    pub fn program_sweep(
+        &mut self,
+        suite: &[BenchmarkSpec],
+    ) -> Result<Vec<ProgramChoice>, ExploreError> {
+        if suite.is_empty() {
+            return Err(ExploreError::EmptySuite);
+        }
+        let configs = McdConfig::enumerate();
+        let mut work = Vec::with_capacity(configs.len() * suite.len());
+        for spec in suite {
+            for cfg in &configs {
+                work.push((
+                    spec.clone(),
+                    "prog",
+                    cfg.key(),
+                    MachineConfig::program_adaptive(*cfg),
+                ));
+            }
+        }
+        let window = self.sweep_window;
+        let runtimes = self.parallel_measure(work, window);
+        self.cache.save()?;
+
+        let mut out = Vec::with_capacity(suite.len());
+        for (bi, spec) in suite.iter().enumerate() {
+            let base = bi * configs.len();
+            let (ci, ns) = runtimes[base..base + configs.len()]
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty config space");
+            out.push(ProgramChoice {
+                benchmark: spec.name().to_string(),
+                best: configs[ci],
+                runtime_ns: *ns,
+            });
+        }
+        Ok(out)
+    }
+
+    /// One Phase-Adaptive run at the final window, returning the full
+    /// result (reconfiguration trace included) — used for Figure 7.
+    pub fn phase_run(&mut self, spec: &BenchmarkSpec) -> SimResult {
+        let machine = MachineConfig::phase_adaptive(McdConfig::smallest());
+        Simulator::new(machine).run(&mut spec.stream(), self.final_window)
+    }
+
+    /// The full Figure 6 pipeline: sync sweep → program sweep →
+    /// final-window comparison runs for all three machines.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::EmptySuite`] when `suite` is empty; cache I/O
+    /// errors.
+    pub fn figure6(&mut self, suite: &[BenchmarkSpec]) -> Result<Vec<Fig6Row>, ExploreError> {
+        let sync_best = self.sync_sweep(suite)?.best;
+        let program = self.program_sweep(suite)?;
+
+        let mut work = Vec::with_capacity(suite.len() * 3);
+        for (spec, choice) in suite.iter().zip(&program) {
+            work.push((
+                spec.clone(),
+                "sync",
+                sync_best.key(),
+                MachineConfig::synchronous(sync_best),
+            ));
+            work.push((
+                spec.clone(),
+                "prog",
+                choice.best.key(),
+                MachineConfig::program_adaptive(choice.best),
+            ));
+            work.push((
+                spec.clone(),
+                "phase",
+                "ctrl".to_string(),
+                MachineConfig::phase_adaptive(McdConfig::smallest()),
+            ));
+        }
+        let window = self.final_window;
+        let runtimes = self.parallel_measure(work, window);
+        self.cache.save()?;
+
+        Ok(suite
+            .iter()
+            .zip(&program)
+            .enumerate()
+            .map(|(i, (spec, choice))| Fig6Row {
+                benchmark: spec.name().to_string(),
+                sync_ns: runtimes[i * 3],
+                program_ns: runtimes[i * 3 + 1],
+                program_cfg: choice.best,
+                phase_ns: runtimes[i * 3 + 2],
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gals_workloads::suite;
+
+    fn tiny_explorer() -> Explorer {
+        Explorer::with_cache(2_000, 4_000, ResultCache::in_memory())
+    }
+
+    #[test]
+    fn empty_suite_rejected() {
+        let mut ex = tiny_explorer();
+        assert!(matches!(ex.sync_sweep(&[]), Err(ExploreError::EmptySuite)));
+        assert!(matches!(
+            ex.program_sweep(&[]),
+            Err(ExploreError::EmptySuite)
+        ));
+    }
+
+    #[test]
+    fn program_sweep_finds_per_bench_best() {
+        // Tiny windows and a single benchmark keep this fast; the point
+        // is plumbing, not fidelity.
+        let mut ex = Explorer::with_cache(1_000, 2_000, ResultCache::in_memory());
+        let suite = vec![suite::by_name("adpcm_encode").unwrap()];
+        let out = ex.program_sweep(&suite).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].runtime_ns > 0.0);
+        assert_eq!(out[0].benchmark, "adpcm_encode");
+    }
+
+    #[test]
+    fn measurements_are_cached() {
+        let mut ex = Explorer::with_cache(1_000, 2_000, ResultCache::in_memory());
+        let suite = vec![suite::by_name("adpcm_encode").unwrap()];
+        let a = ex.program_sweep(&suite).unwrap();
+        let t0 = std::time::Instant::now();
+        let b = ex.program_sweep(&suite).unwrap();
+        let cached_time = t0.elapsed();
+        assert_eq!(a[0].best, b[0].best);
+        assert!(
+            cached_time.as_millis() < 500,
+            "second sweep should be cache-fast, took {cached_time:?}"
+        );
+    }
+
+    #[test]
+    fn phase_run_produces_trace_capable_result() {
+        let mut ex = tiny_explorer();
+        let spec = suite::by_name("apsi").unwrap();
+        let r = ex.phase_run(&spec);
+        assert_eq!(r.committed, 4_000);
+    }
+}

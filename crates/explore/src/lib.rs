@@ -1,0 +1,51 @@
+//! Design-space exploration: the paper's offline sweeps.
+//!
+//! §4: the best-overall fully synchronous baseline is found by an
+//! exhaustive sweep of 1,024 configurations (16 I-cache options × 4 D/L2 ×
+//! 4 integer IQ × 4 FP IQ), and the Program-Adaptive results come from an
+//! exhaustive per-application sweep of the 256 adaptive-MCD
+//! configurations — about 300 CPU-months on the authors' cluster.
+//!
+//! This crate reproduces both sweeps at laptop scale: thread-parallel
+//! execution over a configurable instruction window, with all measured
+//! runtimes persisted in a JSON cache so tables and figures can be
+//! regenerated instantly.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `GALS_MCD_SWEEP_WINDOW` — instructions per sweep run (default
+//!   24,000).
+//! * `GALS_MCD_FINAL_WINDOW` — instructions for the final Figure 6
+//!   comparison runs (default 120,000).
+//! * `GALS_MCD_CACHE` — cache file path (default
+//!   `target/gals-sweep-cache.json`).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use gals_explore::Explorer;
+//! use gals_workloads::suite;
+//!
+//! let mut ex = Explorer::from_env()?;
+//! let suite: Vec<_> = suite::all().into_iter().take(4).collect();
+//! let rows = ex.figure6(&suite)?;
+//! for row in &rows {
+//!     println!("{}: program {:+.1}%  phase {:+.1}%",
+//!              row.benchmark, row.program_improvement_pct(),
+//!              row.phase_improvement_pct());
+//! }
+//! # Ok::<(), gals_explore::ExploreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+mod cache;
+mod explorer;
+
+pub use ablation::AblationPoint;
+pub use cache::{CacheKey, ResultCache};
+pub use explorer::{ExploreError, Explorer, Fig6Row, ProgramChoice, SyncSweepOutcome};
+
+pub use gals_core::{McdConfig, SyncConfig};

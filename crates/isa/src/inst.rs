@@ -1,0 +1,320 @@
+//! Dynamic instruction records and operation classes.
+
+use std::fmt;
+
+use gals_common::DomainId;
+
+use crate::reg::{ArchReg, RegClass};
+
+/// Operation classes distinguished by the timing model.
+///
+/// The class determines the execution domain (integer, floating-point, or
+/// load/store), the functional unit pool, and the execution latency
+/// (configured in `gals-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Integer multiply (shared mult/div unit).
+    IntMul,
+    /// Integer divide (shared mult/div unit, long latency).
+    IntDiv,
+    /// Floating-point add/subtract/compare.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide (shared div/sqrt unit).
+    FpDiv,
+    /// Floating-point square root (shared div/sqrt unit).
+    FpSqrt,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch (predicted by the front end).
+    Branch,
+    /// Unconditional jump/call/return (always taken).
+    Jump,
+    /// No-operation (consumes front-end bandwidth only).
+    Nop,
+}
+
+impl OpClass {
+    /// All classes, for exhaustive iteration in tests and generators.
+    pub const ALL: [OpClass; 12] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::FpSqrt,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Jump,
+        OpClass::Nop,
+    ];
+
+    /// True for operations executed by the integer domain (including
+    /// address generation for branches).
+    #[inline]
+    pub const fn is_int(self) -> bool {
+        matches!(
+            self,
+            OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv | OpClass::Branch | OpClass::Jump
+        )
+    }
+
+    /// True for operations executed by the floating-point domain.
+    #[inline]
+    pub const fn is_fp(self) -> bool {
+        matches!(
+            self,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt
+        )
+    }
+
+    /// True for loads and stores.
+    #[inline]
+    pub const fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// True for control transfers.
+    #[inline]
+    pub const fn is_ctrl(self) -> bool {
+        matches!(self, OpClass::Branch | OpClass::Jump)
+    }
+
+    /// The clock domain whose issue queue receives this instruction.
+    /// Memory operations go to the load/store domain; everything else to
+    /// the integer or floating-point execution domains. `Nop` never leaves
+    /// the front end.
+    #[inline]
+    pub const fn execution_domain(self) -> DomainId {
+        if self.is_mem() {
+            DomainId::LoadStore
+        } else if self.is_fp() {
+            DomainId::FloatingPoint
+        } else {
+            DomainId::Integer
+        }
+    }
+
+    /// The register class this operation's ILP-tracking counts against
+    /// (§3.2 tracks integer and floating-point instruction counts
+    /// separately).
+    #[inline]
+    pub const fn reg_class(self) -> RegClass {
+        if self.is_fp() {
+            RegClass::Fp
+        } else {
+            RegClass::Int
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int.alu",
+            OpClass::IntMul => "int.mul",
+            OpClass::IntDiv => "int.div",
+            OpClass::FpAdd => "fp.add",
+            OpClass::FpMul => "fp.mul",
+            OpClass::FpDiv => "fp.div",
+            OpClass::FpSqrt => "fp.sqrt",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Jump => "jump",
+            OpClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One dynamic (already-executed) instruction as seen by the timing model.
+///
+/// The workload substrate produces these; the pipeline simulator renames
+/// the architectural registers, tracks dependences, models branch
+/// prediction against `taken`, and replays memory behaviour against
+/// `mem_addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynInst {
+    /// Instruction address (for I-cache and predictor indexing).
+    pub pc: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Architectural sources (up to two).
+    pub srcs: [Option<ArchReg>; 2],
+    /// Architectural destination, if the instruction writes a register.
+    pub dst: Option<ArchReg>,
+    /// Effective address for loads/stores (undefined otherwise).
+    pub mem_addr: u64,
+    /// Resolved direction for control transfers (`true` for jumps).
+    pub taken: bool,
+    /// Resolved target for control transfers.
+    pub target: u64,
+}
+
+impl DynInst {
+    /// A computational instruction (ALU/FP) writing `dst`.
+    pub fn alu(pc: u64, op: OpClass, dst: ArchReg, srcs: [Option<ArchReg>; 2]) -> Self {
+        debug_assert!(!op.is_mem() && !op.is_ctrl());
+        DynInst {
+            pc,
+            op,
+            srcs,
+            dst: Some(dst),
+            mem_addr: 0,
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// A load from `addr` into `dst` (one address source register).
+    pub fn load(pc: u64, dst: ArchReg, addr_src: ArchReg, addr: u64) -> Self {
+        DynInst {
+            pc,
+            op: OpClass::Load,
+            srcs: [Some(addr_src), None],
+            dst: Some(dst),
+            mem_addr: addr,
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// A store of `data_src` to `addr` (address + data source registers).
+    pub fn store(pc: u64, data_src: ArchReg, addr_src: ArchReg, addr: u64) -> Self {
+        DynInst {
+            pc,
+            op: OpClass::Store,
+            srcs: [Some(addr_src), Some(data_src)],
+            dst: None,
+            mem_addr: addr,
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// A conditional branch with its resolved direction and target.
+    pub fn branch(pc: u64, cond_src: ArchReg, taken: bool, target: u64) -> Self {
+        DynInst {
+            pc,
+            op: OpClass::Branch,
+            srcs: [Some(cond_src), None],
+            dst: None,
+            mem_addr: 0,
+            taken,
+            target,
+        }
+    }
+
+    /// An unconditional jump to `target`.
+    pub fn jump(pc: u64, target: u64) -> Self {
+        DynInst {
+            pc,
+            op: OpClass::Jump,
+            srcs: [None, None],
+            dst: None,
+            mem_addr: 0,
+            taken: true,
+            target,
+        }
+    }
+
+    /// A no-operation at `pc`.
+    pub fn nop(pc: u64) -> Self {
+        DynInst {
+            pc,
+            op: OpClass::Nop,
+            srcs: [None, None],
+            dst: None,
+            mem_addr: 0,
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// Iterates over the instruction's present source registers.
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// The fall-through address (next sequential pc, 4-byte instructions).
+    #[inline]
+    pub const fn fallthrough(&self) -> u64 {
+        self.pc + 4
+    }
+
+    /// The address control flow actually continues at.
+    #[inline]
+    pub const fn next_pc(&self) -> u64 {
+        if self.op.is_ctrl() && self.taken {
+            self.target
+        } else {
+            self.pc + 4
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition() {
+        for op in OpClass::ALL {
+            let kinds = [op.is_int(), op.is_fp(), op.is_mem()];
+            let count = kinds.iter().filter(|&&k| k).count();
+            if op == OpClass::Nop {
+                assert_eq!(count, 0);
+            } else {
+                assert_eq!(count, 1, "{op} must belong to exactly one kind");
+            }
+        }
+    }
+
+    #[test]
+    fn execution_domains() {
+        assert_eq!(OpClass::IntAlu.execution_domain(), DomainId::Integer);
+        assert_eq!(OpClass::FpMul.execution_domain(), DomainId::FloatingPoint);
+        assert_eq!(OpClass::Load.execution_domain(), DomainId::LoadStore);
+        assert_eq!(OpClass::Branch.execution_domain(), DomainId::Integer);
+    }
+
+    #[test]
+    fn constructors_fill_fields() {
+        let ld = DynInst::load(0x40, ArchReg::int(1), ArchReg::int(2), 0xBEEF);
+        assert_eq!(ld.op, OpClass::Load);
+        assert_eq!(ld.mem_addr, 0xBEEF);
+        assert_eq!(ld.sources().count(), 1);
+
+        let st = DynInst::store(0x44, ArchReg::int(3), ArchReg::int(4), 0xF00D);
+        assert_eq!(st.dst, None);
+        assert_eq!(st.sources().count(), 2);
+
+        let br = DynInst::branch(0x48, ArchReg::int(5), true, 0x100);
+        assert_eq!(br.next_pc(), 0x100);
+        let br2 = DynInst::branch(0x48, ArchReg::int(5), false, 0x100);
+        assert_eq!(br2.next_pc(), 0x4C);
+
+        let j = DynInst::jump(0x4C, 0x200);
+        assert!(j.taken);
+        assert_eq!(j.next_pc(), 0x200);
+
+        let n = DynInst::nop(0x50);
+        assert_eq!(n.sources().count(), 0);
+        assert_eq!(n.fallthrough(), 0x54);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for op in OpClass::ALL {
+            assert!(!op.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Architectural registers.
+
+use std::fmt;
+
+/// Number of logical integer registers (§3.2).
+pub const INT_ARCH_REGS: u8 = 32;
+/// Number of logical floating-point registers (§3.2).
+pub const FP_ARCH_REGS: u8 = 32;
+
+/// Register class: integer or floating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegClass {
+    /// Integer register file.
+    Int,
+    /// Floating-point register file.
+    Fp,
+}
+
+impl RegClass {
+    /// Dense index in `0..2`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            RegClass::Int => 0,
+            RegClass::Fp => 1,
+        }
+    }
+}
+
+/// An architectural register, packed into a single byte: integer registers
+/// occupy 0–31, floating-point registers 32–63.
+///
+/// # Example
+///
+/// ```
+/// use gals_isa::{ArchReg, RegClass};
+///
+/// let r = ArchReg::fp(5);
+/// assert_eq!(r.class(), RegClass::Fp);
+/// assert_eq!(r.index(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Integer register `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    #[inline]
+    pub const fn int(idx: u8) -> Self {
+        assert!(idx < INT_ARCH_REGS, "integer register out of range");
+        ArchReg(idx)
+    }
+
+    /// Floating-point register `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    #[inline]
+    pub const fn fp(idx: u8) -> Self {
+        assert!(idx < FP_ARCH_REGS, "fp register out of range");
+        ArchReg(INT_ARCH_REGS + idx)
+    }
+
+    /// The register's class.
+    #[inline]
+    pub const fn class(self) -> RegClass {
+        if self.0 < INT_ARCH_REGS {
+            RegClass::Int
+        } else {
+            RegClass::Fp
+        }
+    }
+
+    /// Index within the register's class, `0..32`.
+    #[inline]
+    pub const fn index(self) -> u8 {
+        if self.0 < INT_ARCH_REGS {
+            self.0
+        } else {
+            self.0 - INT_ARCH_REGS
+        }
+    }
+
+    /// Packed byte representation (0–63), usable as a dense table index.
+    #[inline]
+    pub const fn packed(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs a register from its packed representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed >= 64`.
+    #[inline]
+    pub const fn from_packed(packed: u8) -> Self {
+        assert!(packed < INT_ARCH_REGS + FP_ARCH_REGS, "packed register out of range");
+        ArchReg(packed)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class() {
+            RegClass::Int => write!(f, "r{}", self.index()),
+            RegClass::Fp => write!(f, "f{}", self.index()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trips() {
+        for i in 0..INT_ARCH_REGS {
+            let r = ArchReg::int(i);
+            assert_eq!(r.class(), RegClass::Int);
+            assert_eq!(r.index(), i);
+            assert_eq!(ArchReg::from_packed(r.packed()), r);
+        }
+        for i in 0..FP_ARCH_REGS {
+            let r = ArchReg::fp(i);
+            assert_eq!(r.class(), RegClass::Fp);
+            assert_eq!(r.index(), i);
+            assert_eq!(ArchReg::from_packed(r.packed()), r);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ArchReg::int(3).to_string(), "r3");
+        assert_eq!(ArchReg::fp(31).to_string(), "f31");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_range_checked() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn packed_range_checked() {
+        let _ = ArchReg::from_packed(64);
+    }
+}

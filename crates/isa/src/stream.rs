@@ -1,0 +1,95 @@
+//! The instruction-supply abstraction between workloads and the simulator.
+
+use crate::inst::DynInst;
+
+/// An unbounded supply of dynamic instructions.
+///
+/// Streams are conceptually infinite: the simulator decides how many
+/// instructions constitute a run (the paper simulates fixed instruction
+/// windows per benchmark — Tables 6–8). Implementations must be
+/// deterministic: two streams constructed identically must yield identical
+/// sequences, because design-space sweeps compare configurations on the
+/// same workload.
+///
+/// # Example
+///
+/// ```
+/// use gals_isa::{DynInst, InstructionStream};
+///
+/// /// A stream of nothing but nops.
+/// struct Nops(u64);
+///
+/// impl InstructionStream for Nops {
+///     fn next_inst(&mut self) -> DynInst {
+///         let pc = self.0;
+///         self.0 += 4;
+///         DynInst::nop(pc)
+///     }
+///     fn name(&self) -> &str { "nops" }
+/// }
+///
+/// let mut s = Nops(0x1000);
+/// assert_eq!(s.next_inst().pc, 0x1000);
+/// assert_eq!(s.next_inst().pc, 0x1004);
+/// ```
+pub trait InstructionStream {
+    /// Produces the next dynamic instruction on the committed path.
+    fn next_inst(&mut self) -> DynInst;
+
+    /// A short name for reports (benchmark name).
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+impl<S: InstructionStream + ?Sized> InstructionStream for &mut S {
+    fn next_inst(&mut self) -> DynInst {
+        (**self).next_inst()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<S: InstructionStream + ?Sized> InstructionStream for Box<S> {
+    fn next_inst(&mut self) -> DynInst {
+        (**self).next_inst()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counting(u64);
+
+    impl InstructionStream for Counting {
+        fn next_inst(&mut self) -> DynInst {
+            let pc = self.0;
+            self.0 += 4;
+            DynInst::nop(pc)
+        }
+        fn name(&self) -> &str {
+            "counting"
+        }
+    }
+
+    #[test]
+    fn trait_objects_forward() {
+        let mut boxed: Box<dyn InstructionStream> = Box::new(Counting(0));
+        assert_eq!(boxed.name(), "counting");
+        assert_eq!(boxed.next_inst().pc, 0);
+        assert_eq!(boxed.next_inst().pc, 4);
+    }
+
+    #[test]
+    fn mut_refs_forward() {
+        let mut c = Counting(100);
+        let r = &mut c;
+        assert_eq!(r.next_inst().pc, 100);
+        assert_eq!(r.name(), "counting");
+    }
+}

@@ -1,0 +1,139 @@
+//! Predictor geometries (Tables 2 and 3).
+
+use std::error::Error;
+use std::fmt;
+
+/// Error for unsupported instruction-cache capacities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeometryError {
+    kb: u32,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no predictor geometry for a {} KB instruction cache",
+            self.kb
+        )
+    }
+}
+
+impl Error for GeometryError {}
+
+/// The sizing of one hybrid-predictor instance.
+///
+/// Invariants: `gshare_entries == 2^hg_bits`,
+/// `local_bht_entries == 2^hl_bits`, and `meta_entries == gshare_entries`
+/// (as in Tables 2–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PredictorGeometry {
+    /// Global history width in bits (`hg`).
+    pub hg_bits: u32,
+    /// gshare BHT entries (`2^hg` two-bit counters).
+    pub gshare_entries: u32,
+    /// Metapredictor entries (two-bit counters).
+    pub meta_entries: u32,
+    /// Local history width in bits (`hl`).
+    pub hl_bits: u32,
+    /// Local BHT entries (`2^hl` two-bit counters).
+    pub local_bht_entries: u32,
+    /// Local PHT entries (per-branch history registers).
+    pub local_pht_entries: u32,
+}
+
+impl PredictorGeometry {
+    /// The geometry paired with an instruction cache of `kb` total KB.
+    ///
+    /// This single mapping reproduces both Table 2 (adaptive
+    /// configurations: 16/32/48/64 KB) and Table 3 (fixed options:
+    /// 4–64 KB): the paper sizes the predictor by the *capacity* of the
+    /// companion cache so both have similar delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] for capacities not present in the tables.
+    pub fn for_capacity_kb(kb: u32) -> Result<Self, GeometryError> {
+        let (hg, hl, local_pht) = match kb {
+            4 => (12, 10, 512),
+            8 | 12 => (13, 10, 1024),
+            16 | 24 => (14, 11, 1024),
+            32 | 48 => (15, 12, 1024),
+            64 => (16, 13, 1024),
+            _ => return Err(GeometryError { kb }),
+        };
+        Ok(PredictorGeometry {
+            hg_bits: hg,
+            gshare_entries: 1 << hg,
+            meta_entries: 1 << hg,
+            hl_bits: hl,
+            local_bht_entries: 1 << hl,
+            local_pht_entries: local_pht,
+        })
+    }
+
+    /// Total predictor storage in bits (2-bit counters in the three BHTs
+    /// plus `hl`-bit histories in the local PHT), for reports.
+    pub fn storage_bits(&self) -> u64 {
+        2 * (self.gshare_entries as u64 + self.meta_entries as u64 + self.local_bht_entries as u64)
+            + self.hl_bits as u64 * self.local_pht_entries as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_adaptive_rows() {
+        // (kb, hg, gshare, meta, hl, local BHT, local PHT)
+        let expect = [
+            (16, 14, 16_384, 16_384, 11, 2_048, 1_024),
+            (32, 15, 32_768, 32_768, 12, 4_096, 1_024),
+            (48, 15, 32_768, 32_768, 12, 4_096, 1_024),
+            (64, 16, 65_536, 65_536, 13, 8_192, 1_024),
+        ];
+        for (kb, hg, gs, meta, hl, lbht, lpht) in expect {
+            let g = PredictorGeometry::for_capacity_kb(kb).unwrap();
+            assert_eq!(g.hg_bits, hg, "{kb} KB");
+            assert_eq!(g.gshare_entries, gs);
+            assert_eq!(g.meta_entries, meta);
+            assert_eq!(g.hl_bits, hl);
+            assert_eq!(g.local_bht_entries, lbht);
+            assert_eq!(g.local_pht_entries, lpht);
+        }
+    }
+
+    #[test]
+    fn table3_fixed_rows() {
+        let expect = [
+            (4, 12, 4_096, 10, 1_024, 512),
+            (8, 13, 8_192, 10, 1_024, 1_024),
+            (12, 13, 8_192, 10, 1_024, 1_024),
+            (24, 14, 16_384, 11, 2_048, 1_024),
+        ];
+        for (kb, hg, gs, hl, lbht, lpht) in expect {
+            let g = PredictorGeometry::for_capacity_kb(kb).unwrap();
+            assert_eq!(g.hg_bits, hg, "{kb} KB");
+            assert_eq!(g.gshare_entries, gs);
+            assert_eq!(g.hl_bits, hl);
+            assert_eq!(g.local_bht_entries, lbht);
+            assert_eq!(g.local_pht_entries, lpht);
+        }
+    }
+
+    #[test]
+    fn unsupported_capacity_rejected() {
+        assert!(PredictorGeometry::for_capacity_kb(128).is_err());
+        assert!(PredictorGeometry::for_capacity_kb(0).is_err());
+        let msg = PredictorGeometry::for_capacity_kb(5).unwrap_err().to_string();
+        assert!(msg.contains("5 KB"));
+    }
+
+    #[test]
+    fn storage_grows_with_capacity() {
+        let small = PredictorGeometry::for_capacity_kb(4).unwrap().storage_bits();
+        let large = PredictorGeometry::for_capacity_kb(64).unwrap().storage_bits();
+        assert!(large > small);
+    }
+}

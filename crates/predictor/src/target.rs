@@ -1,0 +1,255 @@
+//! Branch *target* prediction: BTB and return-address stack.
+//!
+//! The direction predictor (the paper's focus, [`crate::HybridPredictor`])
+//! decides taken/not-taken; these structures supply the *target* so that
+//! taken control transfers redirect fetch without a bubble. The MCD
+//! pipeline model assumes resident targets (trace-driven fetch already
+//! knows the committed path), so these are provided as stand-alone,
+//! fully-tested components for users building fetch-accurate frontends
+//! on the same substrate.
+
+use gals_common::SplitMix64;
+
+/// A set-associative branch target buffer with LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use gals_predictor::Btb;
+///
+/// let mut btb = Btb::new(512, 4).unwrap();
+/// btb.update(0x4000, 0x5000);
+/// assert_eq!(btb.lookup(0x4000), Some(0x5000));
+/// assert_eq!(btb.lookup(0x4004), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: usize,
+    ways: usize,
+    /// (tag, target, lru counter) per slot; tag = pc (full tag keeps the
+    /// model conservative about aliasing).
+    slots: Vec<(u64, u64, u64)>,
+    tick: u64,
+    lookups: u64,
+    hits: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` total entries and `ways`
+    /// associativity.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` unless `entries` is a power-of-two multiple of
+    /// `ways` with at least one set.
+    pub fn new(entries: usize, ways: usize) -> Option<Self> {
+        if ways == 0 || entries == 0 || entries % ways != 0 {
+            return None;
+        }
+        let sets = entries / ways;
+        if !sets.is_power_of_two() {
+            return None;
+        }
+        Some(Btb {
+            sets,
+            ways,
+            slots: vec![(u64::MAX, 0, 0); entries],
+            tick: 0,
+            lookups: 0,
+            hits: 0,
+        })
+    }
+
+    #[inline]
+    fn set_of(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.sets - 1)
+    }
+
+    /// Predicted target for the control transfer at `pc`, if cached.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.lookups += 1;
+        let base = self.set_of(pc) * self.ways;
+        for slot in &mut self.slots[base..base + self.ways] {
+            if slot.0 == pc {
+                self.tick += 1;
+                slot.2 = self.tick;
+                self.hits += 1;
+                return Some(slot.1);
+            }
+        }
+        None
+    }
+
+    /// Installs or refreshes the target for `pc` (called at resolution).
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.tick += 1;
+        let base = self.set_of(pc) * self.ways;
+        // Hit: refresh.
+        for slot in &mut self.slots[base..base + self.ways] {
+            if slot.0 == pc {
+                slot.1 = target;
+                slot.2 = self.tick;
+                return;
+            }
+        }
+        // Miss: evict LRU.
+        let victim = self.slots[base..base + self.ways]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.2)
+            .map(|(i, _)| base + i)
+            .expect("ways >= 1");
+        self.slots[victim] = (pc, target, self.tick);
+    }
+
+    /// Hit rate across all lookups so far (1.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// A fixed-depth return-address stack with wrap-around overwrite (the
+/// usual hardware behaviour: deep recursion silently loses the oldest
+/// frames).
+///
+/// # Example
+///
+/// ```
+/// use gals_predictor::ReturnAddressStack;
+///
+/// let mut ras = ReturnAddressStack::new(8);
+/// ras.push(0x1004);
+/// ras.push(0x2008);
+/// assert_eq!(ras.pop(), Some(0x2008));
+/// assert_eq!(ras.pop(), Some(0x1004));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    ring: Vec<u64>,
+    top: usize,
+    depth: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a stack with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS capacity must be positive");
+        ReturnAddressStack {
+            ring: vec![0; capacity],
+            top: 0,
+            depth: 0,
+        }
+    }
+
+    /// Pushes a return address (a call's fall-through pc).
+    pub fn push(&mut self, ret: u64) {
+        self.top = (self.top + 1) % self.ring.len();
+        self.ring[self.top] = ret;
+        self.depth = (self.depth + 1).min(self.ring.len());
+    }
+
+    /// Pops the predicted return target.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        let v = self.ring[self.top];
+        self.top = (self.top + self.ring.len() - 1) % self.ring.len();
+        self.depth -= 1;
+        Some(v)
+    }
+
+    /// Current occupancy.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btb_geometry_validated() {
+        assert!(Btb::new(512, 4).is_some());
+        assert!(Btb::new(0, 4).is_none());
+        assert!(Btb::new(512, 0).is_none());
+        assert!(Btb::new(500, 4).is_none()); // 125 sets: not a power of two
+    }
+
+    #[test]
+    fn btb_learns_and_evicts_lru() {
+        let mut btb = Btb::new(8, 2).unwrap(); // 4 sets x 2 ways
+        // Three branches aliasing to the same set (stride = sets*4).
+        let (a, b, c) = (0x1000, 0x1000 + 16, 0x1000 + 32);
+        btb.update(a, 0xA);
+        btb.update(b, 0xB);
+        // Touch `a` so `b` becomes LRU.
+        assert_eq!(btb.lookup(a), Some(0xA));
+        btb.update(c, 0xC);
+        assert_eq!(btb.lookup(a), Some(0xA), "MRU entry survives");
+        assert_eq!(btb.lookup(b), None, "LRU entry evicted");
+        assert_eq!(btb.lookup(c), Some(0xC));
+    }
+
+    #[test]
+    fn btb_update_refreshes_target() {
+        let mut btb = Btb::new(16, 4).unwrap();
+        btb.update(0x42, 0x100);
+        btb.update(0x42, 0x200);
+        assert_eq!(btb.lookup(0x42), Some(0x200));
+    }
+
+    #[test]
+    fn btb_hit_rate_tracks() {
+        let mut btb = Btb::new(64, 4).unwrap();
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..50 {
+            let pc = 0x1000 + rng.next_below(16) * 4;
+            if btb.lookup(pc).is_none() {
+                btb.update(pc, pc + 0x40);
+            }
+        }
+        assert!(btb.hit_rate() > 0.5, "{}", btb.hit_rate());
+    }
+
+    #[test]
+    fn ras_lifo_behaviour() {
+        let mut ras = ReturnAddressStack::new(4);
+        for i in 1..=4u64 {
+            ras.push(i * 0x10);
+        }
+        assert_eq!(ras.depth(), 4);
+        for i in (1..=4u64).rev() {
+            assert_eq!(ras.pop(), Some(i * 0x10));
+        }
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn ras_overflow_wraps() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(0x1);
+        ras.push(0x2);
+        ras.push(0x3); // overwrites the oldest
+        assert_eq!(ras.pop(), Some(0x3));
+        assert_eq!(ras.pop(), Some(0x2));
+        // 0x1 was lost to the wrap; hardware mispredicts here.
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn ras_zero_capacity_rejected() {
+        let _ = ReturnAddressStack::new(0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Cache configuration vocabulary: the adaptive configuration points of
+//! Tables 1 and 2 and the fully-synchronous design options of Table 3.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a structure is built for adaptivity (ways replicated from the
+/// base configuration, resizable at run time) or optimized as a fixed
+/// design (CACTI free to re-balance sub-banking for each geometry).
+///
+/// §2: "to support resizing, the smallest structure size must be a
+/// substructure of the larger sizings. Thus, structures may be suboptimal in
+/// their large configurations."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Run-time resizable structure (adaptive MCD).
+    Adaptive,
+    /// Fixed structure optimized for exactly this geometry (synchronous).
+    Optimal,
+}
+
+/// Joint L1-data / L2 cache configuration (Table 1).
+///
+/// The two caches resize together by ways: the base is a 32 KB
+/// direct-mapped L1-D with a 256 KB direct-mapped L2; each step doubles the
+/// associativity (and hence capacity) of both. Associativities 3, 5, 6 and
+/// 7 are skipped "to limit the state space" (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dl2Config {
+    /// 32 KB / 1-way L1-D with 256 KB / 1-way L2 (base: smallest, fastest).
+    K32W1,
+    /// 64 KB / 2-way L1-D with 512 KB / 2-way L2.
+    K64W2,
+    /// 128 KB / 4-way L1-D with 1 MB / 4-way L2.
+    K128W4,
+    /// 256 KB / 8-way L1-D with 2 MB / 8-way L2.
+    K256W8,
+}
+
+impl Dl2Config {
+    /// All four configurations, smallest/fastest first.
+    pub const ALL: [Dl2Config; 4] = [
+        Dl2Config::K32W1,
+        Dl2Config::K64W2,
+        Dl2Config::K128W4,
+        Dl2Config::K256W8,
+    ];
+
+    /// Dense index in `0..4` (also the number of doublings from the base).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Dl2Config::K32W1 => 0,
+            Dl2Config::K64W2 => 1,
+            Dl2Config::K128W4 => 2,
+            Dl2Config::K256W8 => 3,
+        }
+    }
+
+    /// Constructs from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 4`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        Dl2Config::ALL[idx]
+    }
+
+    /// Number of active ways (1, 2, 4, 8) in both L1-D and L2.
+    #[inline]
+    pub const fn ways(self) -> u32 {
+        match self {
+            Dl2Config::K32W1 => 1,
+            Dl2Config::K64W2 => 2,
+            Dl2Config::K128W4 => 4,
+            Dl2Config::K256W8 => 8,
+        }
+    }
+
+    /// Active L1-D capacity in KB (each way is a 32 KB RAM).
+    #[inline]
+    pub const fn l1_kb(self) -> u32 {
+        32 * self.ways()
+    }
+
+    /// Active L2 capacity in KB (each way is a 256 KB RAM).
+    #[inline]
+    pub const fn l2_kb(self) -> u32 {
+        256 * self.ways()
+    }
+
+    /// The configuration with the given way count, if it is one of the
+    /// four supported points.
+    pub fn from_ways(ways: u32) -> Option<Self> {
+        match ways {
+            1 => Some(Dl2Config::K32W1),
+            2 => Some(Dl2Config::K64W2),
+            4 => Some(Dl2Config::K128W4),
+            8 => Some(Dl2Config::K256W8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Dl2Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.ways();
+        write!(f, "{}k{}W/{}k{}W", self.l1_kb(), w, self.l2_kb(), w)
+    }
+}
+
+/// Adaptive instruction-cache configuration (Table 2).
+///
+/// The I-cache resizes by ways of 16 KB with associativities 1–4; the
+/// branch predictor is jointly resized so it never constrains the clock
+/// (§2.2: "each cache configuration is paired with a branch predictor sized
+/// to operate at the frequency of the cache").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ICacheConfig {
+    /// 16 KB direct-mapped (base: smallest, fastest).
+    K16W1,
+    /// 32 KB 2-way.
+    K32W2,
+    /// 48 KB 3-way.
+    K48W3,
+    /// 64 KB 4-way.
+    K64W4,
+}
+
+impl ICacheConfig {
+    /// All four configurations, smallest/fastest first.
+    pub const ALL: [ICacheConfig; 4] = [
+        ICacheConfig::K16W1,
+        ICacheConfig::K32W2,
+        ICacheConfig::K48W3,
+        ICacheConfig::K64W4,
+    ];
+
+    /// Dense index in `0..4`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            ICacheConfig::K16W1 => 0,
+            ICacheConfig::K32W2 => 1,
+            ICacheConfig::K48W3 => 2,
+            ICacheConfig::K64W4 => 3,
+        }
+    }
+
+    /// Constructs from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 4`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        ICacheConfig::ALL[idx]
+    }
+
+    /// Number of active ways (equals the index + 1).
+    #[inline]
+    pub const fn ways(self) -> u32 {
+        self.index() as u32 + 1
+    }
+
+    /// Active capacity in KB (each way is a 16 KB RAM).
+    #[inline]
+    pub const fn kb(self) -> u32 {
+        16 * self.ways()
+    }
+}
+
+impl fmt::Display for ICacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}k{}W", self.kb(), self.ways())
+    }
+}
+
+/// One of the sixteen fixed instruction-cache options explored for the
+/// fully synchronous baseline (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SyncICacheOption {
+    size_kb: u32,
+    assoc: u32,
+}
+
+impl SyncICacheOption {
+    /// Creates an option, validating that it is one of the Table 3 rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for geometries outside the explored design space.
+    pub fn new(size_kb: u32, assoc: u32) -> Option<Self> {
+        let opt = SyncICacheOption { size_kb, assoc };
+        if Self::all().contains(&opt) {
+            Some(opt)
+        } else {
+            None
+        }
+    }
+
+    /// The sixteen Table 3 design points, in table order.
+    pub fn all() -> [SyncICacheOption; 16] {
+        // (size KB, associativity) exactly as listed in Table 3.
+        const ROWS: [(u32, u32); 16] = [
+            (4, 1),
+            (8, 1),
+            (16, 1),
+            (32, 1),
+            (64, 1),
+            (4, 2),
+            (8, 2),
+            (16, 2),
+            (32, 2),
+            (64, 2),
+            (12, 3),
+            (16, 4),
+            (24, 3),
+            (32, 4),
+            (48, 3),
+            (64, 4),
+        ];
+        ROWS.map(|(size_kb, assoc)| SyncICacheOption { size_kb, assoc })
+    }
+
+    /// Total capacity in KB.
+    #[inline]
+    pub const fn size_kb(self) -> u32 {
+        self.size_kb
+    }
+
+    /// Associativity (1–4).
+    #[inline]
+    pub const fn assoc(self) -> u32 {
+        self.assoc
+    }
+
+    /// Capacity of one way in KB.
+    #[inline]
+    pub const fn way_kb(self) -> u32 {
+        self.size_kb / self.assoc
+    }
+
+    /// The best-overall synchronous choice found by the paper's exhaustive
+    /// sweep: 64 KB direct-mapped (§4).
+    pub fn paper_best() -> SyncICacheOption {
+        SyncICacheOption {
+            size_kb: 64,
+            assoc: 1,
+        }
+    }
+}
+
+impl fmt::Display for SyncICacheOption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}k{}W", self.size_kb, self.assoc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dl2_geometry() {
+        assert_eq!(Dl2Config::K32W1.l1_kb(), 32);
+        assert_eq!(Dl2Config::K32W1.l2_kb(), 256);
+        assert_eq!(Dl2Config::K256W8.l1_kb(), 256);
+        assert_eq!(Dl2Config::K256W8.l2_kb(), 2048);
+        for (i, c) in Dl2Config::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(Dl2Config::from_index(i), *c);
+            assert_eq!(Dl2Config::from_ways(c.ways()), Some(*c));
+        }
+        assert_eq!(Dl2Config::from_ways(3), None);
+    }
+
+    #[test]
+    fn icache_geometry() {
+        assert_eq!(ICacheConfig::K16W1.kb(), 16);
+        assert_eq!(ICacheConfig::K48W3.ways(), 3);
+        assert_eq!(ICacheConfig::K64W4.kb(), 64);
+        for (i, c) in ICacheConfig::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(ICacheConfig::from_index(i), *c);
+        }
+    }
+
+    #[test]
+    fn sync_options_match_table3() {
+        let all = SyncICacheOption::all();
+        assert_eq!(all.len(), 16);
+        // Direct-mapped options range 4..=64 KB.
+        let dm: Vec<u32> = all
+            .iter()
+            .filter(|o| o.assoc() == 1)
+            .map(|o| o.size_kb())
+            .collect();
+        assert_eq!(dm, vec![4, 8, 16, 32, 64]);
+        // All rows are distinct.
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // way size is integral for every option.
+        for o in all {
+            assert_eq!(o.way_kb() * o.assoc(), o.size_kb());
+        }
+    }
+
+    #[test]
+    fn sync_option_validation() {
+        assert!(SyncICacheOption::new(64, 1).is_some());
+        assert!(SyncICacheOption::new(128, 1).is_none());
+        assert!(SyncICacheOption::new(64, 3).is_none());
+        assert_eq!(SyncICacheOption::paper_best().size_kb(), 64);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Dl2Config::K64W2.to_string(), "64k2W/512k2W");
+        assert_eq!(ICacheConfig::K48W3.to_string(), "48k3W");
+        assert_eq!(SyncICacheOption::paper_best().to_string(), "64k1W");
+    }
+}

@@ -1,0 +1,452 @@
+//! The analytical timing model and its calibrated constants.
+
+use gals_common::Hertz;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{Dl2Config, ICacheConfig, SyncICacheOption, Variant};
+use crate::queue::IqSize;
+
+/// A single cache design point with its modeled timing, as reported in
+/// Tables 1–3 and plotted in Figures 2–3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CachePoint {
+    /// Total capacity in KB.
+    pub size_kb: u32,
+    /// Associativity.
+    pub assoc: u32,
+    /// Sub-banks per way chosen by the model (CACTI analogue).
+    pub sub_banks: u32,
+    /// End-to-end access time in picoseconds.
+    pub access_ps: f64,
+    /// Domain frequency implied by a 2-cycle pipelined access.
+    pub frequency: Hertz,
+}
+
+/// Analytical stand-in for CACTI 3.1 (caches) and Palacharla et al.
+/// (issue queues), calibrated to the paper's published anchor points.
+///
+/// The model is deliberately simple: every delay is the sum of an array
+/// term (grows with way capacity), a way-select term (appears for
+/// associativities above one, with different constants for run-time
+/// resizable vs fixed-optimal designs), and a replication-wiring term
+/// (grows with way count). Frequencies assume the L1 access is pipelined
+/// over two cycles (Table 5) plus a fixed latch/skew overhead per stage.
+///
+/// All constants are in picoseconds.
+///
+/// # Example
+///
+/// ```
+/// use gals_timing::{TimingModel, Dl2Config, Variant};
+///
+/// let m = TimingModel::default();
+/// let base = m.dl2_frequency(Dl2Config::K32W1, Variant::Adaptive);
+/// let big = m.dl2_frequency(Dl2Config::K256W8, Variant::Adaptive);
+/// assert!(base > big, "upsizing lowers the domain frequency");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Array-delay intercept (decoder + sense + output drive).
+    array_base_ps: f64,
+    /// Array-delay growth at the 64 KB reference way; scales as
+    /// `(way_kb/64)^ARRAY_EXP`. Banking absorbs size growth almost
+    /// completely for small ways (Figures 2–3 are nearly flat through
+    /// 32 KB), then wire delay takes over steeply toward 64 KB.
+    array_growth_ps: f64,
+    /// Way-select insertion delay for a run-time resizable design.
+    adapt_mux_ps: f64,
+    /// Per-doubling way-select growth for a resizable design.
+    adapt_sel_ps: f64,
+    /// Replication wiring per extra way for a resizable design.
+    adapt_rep_ps: f64,
+    /// Way-select insertion delay for a fixed-optimal design.
+    opt_mux_ps: f64,
+    /// Per-doubling way-select growth for a fixed-optimal design.
+    opt_sel_ps: f64,
+    /// Replication wiring per extra way for a fixed-optimal design.
+    opt_rep_ps: f64,
+    /// Latch + skew overhead per pipeline stage.
+    latch_ps: f64,
+    /// Issue-queue wakeup intercept.
+    iq_wakeup_base_ps: f64,
+    /// Issue-queue wakeup slope per entry (tag broadcast wire).
+    iq_wakeup_slope_ps: f64,
+    /// Selection-tree delay per log₄ level.
+    iq_select_level_ps: f64,
+    /// Issue-queue cycle overhead (latch + skew).
+    iq_overhead_ps: f64,
+    /// Upper bound on any domain frequency from non-modeled paths
+    /// (register file, ALU loops, rename).
+    domain_cap: Hertz,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            array_base_ps: 1158.0,
+            array_growth_ps: 245.0,
+            adapt_mux_ps: 450.0,
+            adapt_sel_ps: 80.0,
+            adapt_rep_ps: 20.0,
+            opt_mux_ps: 390.0,
+            opt_sel_ps: 72.0,
+            opt_rep_ps: 16.0,
+            latch_ps: 50.0,
+            iq_wakeup_base_ps: 79.0,
+            iq_wakeup_slope_ps: 2.44,
+            iq_select_level_ps: 255.0,
+            iq_overhead_ps: 30.0,
+            domain_cap: Hertz::from_mhz(1600),
+        }
+    }
+}
+
+impl TimingModel {
+    /// Creates the default calibrated model.
+    pub fn new() -> Self {
+        TimingModel::default()
+    }
+
+    /// Maximum frequency any domain may reach regardless of structure
+    /// sizing (non-modeled critical paths).
+    pub fn domain_cap(&self) -> Hertz {
+        self.domain_cap
+    }
+
+    // ------------------------------------------------------------------
+    // Raw delay terms
+    // ------------------------------------------------------------------
+
+    /// Exponent of the array-growth curve (fitted to the published
+    /// frequency points: flat through 32 KB ways, −21% period at 64 KB).
+    const ARRAY_EXP: f64 = 4.9;
+
+    /// Delay of a single way's data array, in ps.
+    fn way_array_ps(&self, way_kb: f64) -> f64 {
+        self.array_base_ps + self.array_growth_ps * (way_kb / 64.0).powf(Self::ARRAY_EXP)
+    }
+
+    /// Way-select + replication overhead for an `assoc`-way structure.
+    fn select_ps(&self, assoc: f64, variant: Variant) -> f64 {
+        if assoc <= 1.0 {
+            return 0.0;
+        }
+        let (mux, sel, rep) = match variant {
+            Variant::Adaptive => (self.adapt_mux_ps, self.adapt_sel_ps, self.adapt_rep_ps),
+            Variant::Optimal => (self.opt_mux_ps, self.opt_sel_ps, self.opt_rep_ps),
+        };
+        mux + sel * assoc.log2() + rep * (assoc - 1.0)
+    }
+
+    /// End-to-end access time for a cache built from `assoc` ways of
+    /// `way_kb` KB each.
+    pub fn cache_access_ps(&self, way_kb: u32, assoc: u32, variant: Variant) -> f64 {
+        self.way_array_ps(way_kb as f64) + self.select_ps(assoc as f64, variant)
+    }
+
+    /// Converts a 2-cycle pipelined access time into a domain frequency,
+    /// applying the domain cap and rounding to MHz.
+    fn cache_frequency(&self, access_ps: f64) -> Hertz {
+        let cycle_ps = access_ps / 2.0 + self.latch_ps;
+        let mhz = (1e6 / cycle_ps).round() as u64;
+        Hertz::from_mhz(mhz).min(self.domain_cap)
+    }
+
+    // ------------------------------------------------------------------
+    // Load/store domain (L1-D + L2 pair, Table 1 / Figure 2)
+    // ------------------------------------------------------------------
+
+    /// Load/store domain frequency for a joint D/L2 configuration.
+    ///
+    /// The clock is set by the L1-D way structure: the L2, although far
+    /// larger, is pipelined over 12 cycles (Table 5) and never constrains
+    /// the cycle time in this model.
+    pub fn dl2_frequency(&self, cfg: Dl2Config, variant: Variant) -> Hertz {
+        self.cache_frequency(self.cache_access_ps(32, cfg.ways(), variant))
+    }
+
+    /// Full design point for the L1-D cache of a D/L2 configuration
+    /// (Table 1 row, left half).
+    pub fn dl2_l1_point(&self, cfg: Dl2Config, variant: Variant) -> CachePoint {
+        let access_ps = self.cache_access_ps(32, cfg.ways(), variant);
+        CachePoint {
+            size_kb: cfg.l1_kb(),
+            assoc: cfg.ways(),
+            sub_banks: self.sub_banks(32, cfg.ways(), variant, 32),
+            access_ps,
+            frequency: self.cache_frequency(access_ps),
+        }
+    }
+
+    /// Full design point for the L2 cache of a D/L2 configuration
+    /// (Table 1 row, right half).
+    pub fn dl2_l2_point(&self, cfg: Dl2Config, variant: Variant) -> CachePoint {
+        // The L2 way is a 256 KB RAM; its access is multi-cycle and does
+        // not set the clock, but its geometry is still reported.
+        let access_ps = self.way_array_ps(256.0) + self.select_ps(cfg.ways() as f64, variant);
+        CachePoint {
+            size_kb: cfg.l2_kb(),
+            assoc: cfg.ways(),
+            sub_banks: self.sub_banks(256, cfg.ways(), variant, 8),
+            access_ps,
+            frequency: self.dl2_frequency(cfg, variant),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Front-end domain (I-cache, Tables 2-3 / Figure 3)
+    // ------------------------------------------------------------------
+
+    /// Front-end domain frequency for an adaptive I-cache configuration
+    /// (each way is a 16 KB RAM replicated from the base configuration).
+    pub fn icache_frequency(&self, cfg: ICacheConfig) -> Hertz {
+        self.cache_frequency(self.cache_access_ps(16, cfg.ways(), Variant::Adaptive))
+    }
+
+    /// Design point for an adaptive I-cache configuration (Table 2).
+    pub fn icache_point(&self, cfg: ICacheConfig) -> CachePoint {
+        let access_ps = self.cache_access_ps(16, cfg.ways(), Variant::Adaptive);
+        CachePoint {
+            size_kb: cfg.kb(),
+            assoc: cfg.ways(),
+            sub_banks: self.sub_banks(16, cfg.ways(), Variant::Adaptive, 32),
+            access_ps,
+            frequency: self.icache_frequency(cfg),
+        }
+    }
+
+    /// Front-end frequency for one of the sixteen fixed synchronous
+    /// I-cache options (Table 3).
+    pub fn sync_icache_frequency(&self, opt: SyncICacheOption) -> Hertz {
+        let access =
+            self.cache_access_ps(opt.way_kb(), opt.assoc(), Variant::Optimal);
+        self.cache_frequency(access)
+    }
+
+    /// Design point for a Table 3 synchronous I-cache option.
+    pub fn sync_icache_point(&self, opt: SyncICacheOption) -> CachePoint {
+        let access_ps = self.cache_access_ps(opt.way_kb(), opt.assoc(), Variant::Optimal);
+        CachePoint {
+            size_kb: opt.size_kb(),
+            assoc: opt.assoc(),
+            sub_banks: self.sub_banks(opt.way_kb(), opt.assoc(), Variant::Optimal, 32),
+            access_ps,
+            frequency: self.sync_icache_frequency(opt),
+        }
+    }
+
+    /// Frequency of the *best* (fastest) fixed I-cache of a given total
+    /// capacity, for the "Optimal" curve of Figure 3. For instruction
+    /// streams the best fixed design at every capacity is direct-mapped
+    /// (§2.2), which this model reproduces.
+    pub fn best_fixed_icache_frequency(&self, size_kb: u32) -> Hertz {
+        SyncICacheOption::all()
+            .iter()
+            .filter(|o| o.size_kb() == size_kb)
+            .map(|&o| self.sync_icache_frequency(o))
+            .max()
+            .expect("no Table 3 option with that capacity")
+    }
+
+    // ------------------------------------------------------------------
+    // Integer / floating-point domains (issue queues, Figure 4)
+    // ------------------------------------------------------------------
+
+    /// Wakeup + selection delay of an issue queue with `entries` entries,
+    /// in picoseconds (Palacharla-style: selection dominates and is
+    /// organized as a log₄ tree — 2 levels up to 16 entries, 3 levels from
+    /// 17 to 64).
+    pub fn iq_access_ps(&self, entries: u32) -> f64 {
+        assert!(entries > 0, "queue must have at least one entry");
+        let levels = (entries as f64).log(4.0).ceil().max(1.0);
+        self.iq_wakeup_base_ps
+            + self.iq_wakeup_slope_ps * entries as f64
+            + self.iq_select_level_ps * levels
+    }
+
+    /// Execution-domain frequency for an issue queue with `entries`
+    /// entries (wakeup + select must complete in a single cycle).
+    pub fn iq_frequency_at(&self, entries: u32) -> Hertz {
+        let cycle_ps = self.iq_access_ps(entries) + self.iq_overhead_ps;
+        let mhz = (1e6 / cycle_ps).round() as u64;
+        Hertz::from_mhz(mhz).min(self.domain_cap)
+    }
+
+    /// Execution-domain frequency for one of the four supported queue
+    /// sizes.
+    pub fn iq_frequency(&self, size: IqSize) -> Hertz {
+        self.iq_frequency_at(size.entries())
+    }
+
+    // ------------------------------------------------------------------
+    // Sub-bank reporting (Table 1 analogue)
+    // ------------------------------------------------------------------
+
+    /// Sub-banks per way reported for a design point.
+    ///
+    /// Adaptive designs inherit the base configuration's banking
+    /// (`base_banks`: 32 for the L1 caches, 8 for the L2 — §2.1). Optimal
+    /// designs re-balance: the model halves the per-way bank count for
+    /// each way added (routing overhead between ways substitutes for
+    /// intra-way banking), with a floor of 4, mirroring CACTI's tendency
+    /// to choose coarser banking for wider structures.
+    pub fn sub_banks(&self, _way_kb: u32, assoc: u32, variant: Variant, base_banks: u32) -> u32 {
+        match variant {
+            Variant::Adaptive => base_banks,
+            Variant::Optimal => {
+                if assoc <= 1 {
+                    base_banks
+                } else {
+                    (base_banks / assoc).max(4)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> TimingModel {
+        TimingModel::default()
+    }
+
+    #[test]
+    fn anchor_icache_dm_to_2way_drop_is_31pct() {
+        let dm = m().icache_frequency(ICacheConfig::K16W1).as_ghz();
+        let w2 = m().icache_frequency(ICacheConfig::K32W2).as_ghz();
+        let drop = 1.0 - w2 / dm;
+        assert!(
+            (0.28..=0.34).contains(&drop),
+            "expected ≈31% drop, got {:.1}% ({dm} -> {w2})",
+            drop * 100.0
+        );
+    }
+
+    #[test]
+    fn anchor_optimal_64k_dm_27pct_faster_than_adaptive_64k() {
+        let opt = m()
+            .sync_icache_frequency(SyncICacheOption::paper_best())
+            .as_ghz();
+        let adapt = m().icache_frequency(ICacheConfig::K64W4).as_ghz();
+        let adv = opt / adapt - 1.0;
+        assert!(
+            (0.22..=0.32).contains(&adv),
+            "expected ≈27% advantage, got {:.1}%",
+            adv * 100.0
+        );
+    }
+
+    #[test]
+    fn anchor_dl2_optimal_about_5pct_faster() {
+        let model = m();
+        let mut gaps = Vec::new();
+        for cfg in [Dl2Config::K64W2, Dl2Config::K128W4, Dl2Config::K256W8] {
+            let a = model.dl2_frequency(cfg, Variant::Adaptive).as_ghz();
+            let o = model.dl2_frequency(cfg, Variant::Optimal).as_ghz();
+            assert!(o >= a, "optimal must not be slower ({cfg})");
+            gaps.push(o / a - 1.0);
+        }
+        let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!(
+            (0.02..=0.09).contains(&mean_gap),
+            "expected ≈5% mean gap, got {:.1}%",
+            mean_gap * 100.0
+        );
+    }
+
+    #[test]
+    fn base_configs_have_equal_adaptive_and_optimal_frequency() {
+        // §2: at the smallest sizing the adaptive structure *is* the
+        // optimal structure.
+        let model = m();
+        assert_eq!(
+            model.dl2_frequency(Dl2Config::K32W1, Variant::Adaptive),
+            model.dl2_frequency(Dl2Config::K32W1, Variant::Optimal)
+        );
+        assert_eq!(
+            model.icache_frequency(ICacheConfig::K16W1),
+            model.sync_icache_frequency(SyncICacheOption::new(16, 1).unwrap())
+        );
+    }
+
+    #[test]
+    fn frequencies_monotonically_decrease_with_upsizing() {
+        let model = m();
+        for v in [Variant::Adaptive, Variant::Optimal] {
+            let fs: Vec<_> = Dl2Config::ALL
+                .iter()
+                .map(|&c| model.dl2_frequency(c, v))
+                .collect();
+            assert!(fs.windows(2).all(|w| w[0] > w[1]), "{v:?}: {fs:?}");
+        }
+        let fi: Vec<_> = ICacheConfig::ALL
+            .iter()
+            .map(|&c| model.icache_frequency(c))
+            .collect();
+        assert!(fi.windows(2).all(|w| w[0] > w[1]), "{fi:?}");
+    }
+
+    #[test]
+    fn iq_frequency_cliff_at_16_entries() {
+        let model = m();
+        let f16 = model.iq_frequency(IqSize::Q16).as_ghz();
+        let f20 = model.iq_frequency_at(20).as_ghz();
+        let f32 = model.iq_frequency(IqSize::Q32).as_ghz();
+        let f64_ = model.iq_frequency(IqSize::Q64).as_ghz();
+        // Big cliff 16 -> 20 (selection tree gains a level)...
+        assert!(f16 / f20 > 1.25, "{f16} vs {f20}");
+        // ...then a shallow slope 32 -> 64.
+        assert!(f32 / f64_ < 1.12, "{f32} vs {f64_}");
+        assert!(f32 > f64_);
+    }
+
+    #[test]
+    fn iq_16_is_fastest_supported_size() {
+        let model = m();
+        let fs: Vec<_> = IqSize::ALL.iter().map(|&s| model.iq_frequency(s)).collect();
+        assert!(fs.windows(2).all(|w| w[0] > w[1]), "{fs:?}");
+    }
+
+    #[test]
+    fn best_fixed_icache_is_direct_mapped() {
+        let model = m();
+        for size in [16, 32, 64] {
+            let best = model.best_fixed_icache_frequency(size);
+            let dm = model.sync_icache_frequency(SyncICacheOption::new(size, 1).unwrap());
+            assert_eq!(best, dm, "DM should be the fastest fixed design at {size} KB");
+        }
+    }
+
+    #[test]
+    fn sub_banks_follow_replication_rule() {
+        let model = m();
+        // Adaptive: base banking replicated per way.
+        assert_eq!(model.sub_banks(32, 8, Variant::Adaptive, 32), 32);
+        assert_eq!(model.sub_banks(256, 4, Variant::Adaptive, 8), 8);
+        // Optimal: re-balanced, floor of 4.
+        assert_eq!(model.sub_banks(32, 1, Variant::Optimal, 32), 32);
+        assert!(model.sub_banks(32, 8, Variant::Optimal, 32) >= 4);
+        assert_eq!(model.sub_banks(256, 2, Variant::Optimal, 8), 4);
+    }
+
+    #[test]
+    fn domain_cap_clamps() {
+        let model = m();
+        // A hypothetical tiny structure would exceed the cap; the cap wins.
+        assert!(model.cache_frequency(100.0) <= model.domain_cap());
+    }
+
+    #[test]
+    fn points_are_consistent() {
+        let model = m();
+        let p = model.icache_point(ICacheConfig::K32W2);
+        assert_eq!(p.size_kb, 32);
+        assert_eq!(p.assoc, 2);
+        assert_eq!(p.frequency, model.icache_frequency(ICacheConfig::K32W2));
+        let q = model.dl2_l1_point(Dl2Config::K128W4, Variant::Optimal);
+        assert_eq!(q.size_kb, 128);
+        assert_eq!(q.assoc, 4);
+    }
+}

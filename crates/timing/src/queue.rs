@@ -1,0 +1,117 @@
+//! Issue-queue size vocabulary (§2.3).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the four supported issue-queue sizes.
+///
+/// Both the integer and floating-point issue queues resize over the same
+/// four points; the frequency penalty of each size comes from
+/// [`TimingModel::iq_frequency`](crate::TimingModel::iq_frequency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IqSize {
+    /// 16 entries (base: smallest, fastest — 2 selection-tree levels).
+    Q16,
+    /// 32 entries.
+    Q32,
+    /// 48 entries.
+    Q48,
+    /// 64 entries.
+    Q64,
+}
+
+impl IqSize {
+    /// All four sizes, smallest first.
+    pub const ALL: [IqSize; 4] = [IqSize::Q16, IqSize::Q32, IqSize::Q48, IqSize::Q64];
+
+    /// Entry count.
+    #[inline]
+    pub const fn entries(self) -> u32 {
+        match self {
+            IqSize::Q16 => 16,
+            IqSize::Q32 => 32,
+            IqSize::Q48 => 48,
+            IqSize::Q64 => 64,
+        }
+    }
+
+    /// Dense index in `0..4`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            IqSize::Q16 => 0,
+            IqSize::Q32 => 1,
+            IqSize::Q48 => 2,
+            IqSize::Q64 => 3,
+        }
+    }
+
+    /// Constructs from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 4`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        IqSize::ALL[idx]
+    }
+
+    /// The size holding exactly `entries`, if supported.
+    pub fn from_entries(entries: u32) -> Option<Self> {
+        match entries {
+            16 => Some(IqSize::Q16),
+            32 => Some(IqSize::Q32),
+            48 => Some(IqSize::Q48),
+            64 => Some(IqSize::Q64),
+            _ => None,
+        }
+    }
+
+    /// Bits needed by the ILP tracker's per-register timestamps for this
+    /// queue size (§3.2: "four bits per register to track the ILP for the
+    /// 16 entry queue, five bits for ILP32, and six bits each for ILP48
+    /// and ILP64").
+    pub const fn ilp_timestamp_bits(self) -> u32 {
+        match self {
+            IqSize::Q16 => 4,
+            IqSize::Q32 => 5,
+            IqSize::Q48 => 6,
+            IqSize::Q64 => 6,
+        }
+    }
+}
+
+impl fmt::Display for IqSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} entries", self.entries())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_and_indices() {
+        for (i, s) in IqSize::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(IqSize::from_index(i), *s);
+            assert_eq!(IqSize::from_entries(s.entries()), Some(*s));
+        }
+        assert_eq!(IqSize::from_entries(24), None);
+    }
+
+    #[test]
+    fn timestamp_bits_match_paper() {
+        assert_eq!(IqSize::Q16.ilp_timestamp_bits(), 4);
+        assert_eq!(IqSize::Q32.ilp_timestamp_bits(), 5);
+        assert_eq!(IqSize::Q48.ilp_timestamp_bits(), 6);
+        assert_eq!(IqSize::Q64.ilp_timestamp_bits(), 6);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(IqSize::Q48.to_string(), "48 entries");
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the timing model: the structural invariants every
+//! downstream consumer relies on.
+
+use gals_timing::{Dl2Config, ICacheConfig, SyncICacheOption, TimingModel, Variant};
+use proptest::prelude::*;
+
+#[test]
+fn adaptive_never_faster_than_optimal_at_same_geometry() {
+    let m = TimingModel::default();
+    for &cfg in &Dl2Config::ALL {
+        assert!(
+            m.dl2_frequency(cfg, Variant::Adaptive) <= m.dl2_frequency(cfg, Variant::Optimal),
+            "{cfg}"
+        );
+    }
+}
+
+#[test]
+fn every_sync_option_has_positive_frequency_below_cap() {
+    let m = TimingModel::default();
+    for opt in SyncICacheOption::all() {
+        let f = m.sync_icache_frequency(opt);
+        assert!(f.as_ghz() > 0.3, "{opt}: {f}");
+        assert!(f <= m.domain_cap(), "{opt}: {f}");
+    }
+}
+
+#[test]
+fn adaptive_icache_frequency_matches_dedicated_accessor() {
+    let m = TimingModel::default();
+    for &cfg in &ICacheConfig::ALL {
+        let p = m.icache_point(cfg);
+        assert_eq!(p.frequency, m.icache_frequency(cfg));
+        assert!(p.access_ps > 0.0);
+    }
+}
+
+proptest! {
+    /// Issue-queue access time is monotone in the entry count, and the
+    /// frequency is its inverse ordering.
+    #[test]
+    fn iq_timing_monotone(a in 1u32..64, b in 1u32..64) {
+        let m = TimingModel::default();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(m.iq_access_ps(lo) <= m.iq_access_ps(hi));
+        prop_assert!(m.iq_frequency_at(lo) >= m.iq_frequency_at(hi));
+    }
+
+    /// Cache access time grows with both way size and associativity,
+    /// for both design variants.
+    #[test]
+    fn cache_timing_monotone(
+        way_a in 4u32..64,
+        way_b in 4u32..64,
+        assoc in 1u32..8,
+    ) {
+        let m = TimingModel::default();
+        let (lo, hi) = (way_a.min(way_b), way_a.max(way_b));
+        for v in [Variant::Adaptive, Variant::Optimal] {
+            prop_assert!(
+                m.cache_access_ps(lo, assoc, v) <= m.cache_access_ps(hi, assoc, v)
+            );
+            prop_assert!(
+                m.cache_access_ps(lo, assoc, v) <= m.cache_access_ps(lo, assoc + 1, v)
+            );
+        }
+    }
+
+    /// The adaptive way-select penalty is never cheaper than the
+    /// optimal one at the same geometry.
+    #[test]
+    fn adaptive_penalty_dominates(way in 4u32..64, assoc in 2u32..8) {
+        let m = TimingModel::default();
+        prop_assert!(
+            m.cache_access_ps(way, assoc, Variant::Adaptive)
+                >= m.cache_access_ps(way, assoc, Variant::Optimal)
+        );
+    }
+}

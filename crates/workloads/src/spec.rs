@@ -1,0 +1,710 @@
+//! Benchmark specifications: the tunable knobs of the synthetic workload
+//! generator.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::stream::SyntheticStream;
+
+/// Benchmark suite provenance (Tables 6–8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// MediaBench (Table 6).
+    MediaBench,
+    /// Olden pointer-intensive suite (Table 7).
+    Olden,
+    /// SPEC2000 integer (Table 8, top half).
+    SpecInt,
+    /// SPEC2000 floating-point (Table 8, bottom half).
+    SpecFp,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Suite::MediaBench => "MediaBench",
+            Suite::Olden => "Olden",
+            Suite::SpecInt => "SPEC2000-INT",
+            Suite::SpecFp => "SPEC2000-FP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Validation error for benchmark specifications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError(String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid benchmark spec: {}", self.0)
+    }
+}
+
+impl Error for SpecError {}
+
+/// Relative weights of non-control instruction classes.
+///
+/// Weights need not sum to one; they are normalized at stream build time.
+/// Control transfers are produced by the code model (every basic block
+/// ends in one), so they are not part of the mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Single-cycle integer ALU.
+    pub int_alu: f64,
+    /// Integer multiply.
+    pub int_mul: f64,
+    /// Integer divide.
+    pub int_div: f64,
+    /// FP add/subtract/compare.
+    pub fp_add: f64,
+    /// FP multiply.
+    pub fp_mul: f64,
+    /// FP divide.
+    pub fp_div: f64,
+    /// FP square root.
+    pub fp_sqrt: f64,
+    /// Loads.
+    pub load: f64,
+    /// Stores.
+    pub store: f64,
+}
+
+impl OpMix {
+    /// A typical integer-code mix: ALU-dominated, ~25% memory.
+    pub fn integer() -> Self {
+        OpMix {
+            int_alu: 0.50,
+            int_mul: 0.02,
+            int_div: 0.005,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            fp_sqrt: 0.0,
+            load: 0.20,
+            store: 0.10,
+        }
+    }
+
+    /// A typical floating-point mix: substantial FP with memory streaming.
+    pub fn floating_point() -> Self {
+        OpMix {
+            int_alu: 0.22,
+            int_mul: 0.01,
+            int_div: 0.0,
+            fp_add: 0.18,
+            fp_mul: 0.14,
+            fp_div: 0.015,
+            fp_sqrt: 0.005,
+            load: 0.25,
+            store: 0.10,
+        }
+    }
+
+    /// Memory-dominated pointer-chasing mix (Olden).
+    pub fn pointer() -> Self {
+        OpMix {
+            int_alu: 0.40,
+            int_mul: 0.01,
+            int_div: 0.0,
+            fp_add: 0.02,
+            fp_mul: 0.01,
+            fp_div: 0.0,
+            fp_sqrt: 0.0,
+            load: 0.32,
+            store: 0.10,
+        }
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> f64 {
+        self.int_alu
+            + self.int_mul
+            + self.int_div
+            + self.fp_add
+            + self.fp_mul
+            + self.fp_div
+            + self.fp_sqrt
+            + self.load
+            + self.store
+    }
+
+    /// Fraction of the mix that is floating point.
+    pub fn fp_fraction(&self) -> f64 {
+        (self.fp_add + self.fp_mul + self.fp_div + self.fp_sqrt) / self.total()
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        let all = [
+            self.int_alu,
+            self.int_mul,
+            self.int_div,
+            self.fp_add,
+            self.fp_mul,
+            self.fp_div,
+            self.fp_sqrt,
+            self.load,
+            self.store,
+        ];
+        if all.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(SpecError("negative or non-finite mix weight".into()));
+        }
+        if self.total() <= 0.0 {
+            return Err(SpecError("mix weights sum to zero".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Dependence-chain structure controlling inherent ILP (§3.2's M_N).
+///
+/// Computational instructions either **extend a chain** (read and rewrite
+/// one of a fixed set of round-robin accumulator registers) or are
+/// **flat** (read only stale, never-rewritten registers, so their result
+/// has dependence depth 1). The measured dependence-chain depth over a
+/// window of N instructions is then roughly `ceil(N·(1−flat)/chains)`,
+/// giving direct control over which issue-queue size the §3.2 controller
+/// prefers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IlpModel {
+    /// Concurrent integer dependence chains (1–24; registers r1–r24 are
+    /// the integer accumulators, the rest are reserved for pointers,
+    /// scratch, and the base register).
+    pub chains_int: u32,
+    /// Concurrent floating-point dependence chains (0–28; f1–f28).
+    pub chains_fp: u32,
+    /// Probability that an instruction *additionally* reads the
+    /// immediately preceding instruction's destination, deepening chains
+    /// beyond round-robin (0 = maximal parallelism for the chain count,
+    /// 1 = heavily serial).
+    pub serial_frac: f64,
+    /// Fraction of computational instructions that are flat (depth 1).
+    pub flat_frac: f64,
+}
+
+impl IlpModel {
+    /// Maximum concurrent integer chains.
+    pub const MAX_CHAINS_INT: u32 = 24;
+    /// Maximum concurrent floating-point chains.
+    pub const MAX_CHAINS_FP: u32 = 28;
+
+    fn validate(&self, mix: &OpMix) -> Result<(), SpecError> {
+        if self.chains_int == 0 || self.chains_int > Self::MAX_CHAINS_INT {
+            return Err(SpecError(format!(
+                "chains_int must be 1-{}, got {}",
+                Self::MAX_CHAINS_INT,
+                self.chains_int
+            )));
+        }
+        if self.chains_fp > Self::MAX_CHAINS_FP {
+            return Err(SpecError(format!(
+                "chains_fp must be 0-{}, got {}",
+                Self::MAX_CHAINS_FP,
+                self.chains_fp
+            )));
+        }
+        if mix.fp_fraction() > 0.0 && self.chains_fp == 0 {
+            return Err(SpecError(
+                "mix contains FP but chains_fp is zero".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.serial_frac) {
+            return Err(SpecError("serial_frac must be in [0,1]".into()));
+        }
+        if !(0.0..=1.0).contains(&self.flat_frac) {
+            return Err(SpecError("flat_frac must be in [0,1]".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Static code layout and fetch locality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodeModel {
+    /// Total static code footprint in bytes (4-byte instructions laid out
+    /// in basic blocks).
+    pub footprint_bytes: u64,
+    /// Mean basic-block length in instructions (the terminating control
+    /// transfer included).
+    pub block_len: u32,
+    /// Size of the currently-hot region in blocks; fetch mostly stays
+    /// within the region (loops) before moving on.
+    pub region_blocks: u32,
+    /// Per-block probability of jumping to a different region of the
+    /// footprint (long-range call/return behaviour).
+    pub region_switch: f64,
+}
+
+impl CodeModel {
+    /// Number of basic blocks implied by the footprint.
+    pub fn blocks(&self) -> u32 {
+        ((self.footprint_bytes / 4) as u32 / self.block_len).max(1)
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        if self.block_len == 0 || self.block_len > 64 {
+            return Err(SpecError("block_len must be 1-64".into()));
+        }
+        if self.footprint_bytes < 256 {
+            return Err(SpecError("footprint must be at least 256 bytes".into()));
+        }
+        if self.region_blocks == 0 {
+            return Err(SpecError("region_blocks must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.region_switch) {
+            return Err(SpecError("region_switch must be in [0,1]".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Branch-outcome behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchModel {
+    /// Fraction of blocks whose terminator is a data-dependent ("hard")
+    /// branch with near-random outcomes.
+    pub hard_frac: f64,
+    /// Taken probability of hard branches.
+    pub hard_bias: f64,
+    /// Loop trip count for easy branches: taken `period-1` times, then
+    /// not taken (perfectly learnable by the local component for periods
+    /// within the history length).
+    pub easy_period: u32,
+}
+
+impl BranchModel {
+    fn validate(&self) -> Result<(), SpecError> {
+        if !(0.0..=1.0).contains(&self.hard_frac) || !(0.0..=1.0).contains(&self.hard_bias) {
+            return Err(SpecError("branch fractions must be in [0,1]".into()));
+        }
+        if self.easy_period < 2 {
+            return Err(SpecError("easy_period must be >= 2".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Memory access pattern of one data segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Sequential scan with the given byte stride.
+    Stride(u32),
+    /// Uniform random within the segment.
+    Random,
+    /// Pointer chasing: each load's address depends on the previous
+    /// load's value (serialized loads, random placement).
+    PointerChase,
+}
+
+/// One region of the data working set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataSegment {
+    /// Segment size in bytes; determines which cache level captures it.
+    pub bytes: u64,
+    /// Relative probability of an access landing in this segment.
+    pub weight: f64,
+    /// Access pattern within the segment.
+    pub pattern: AccessPattern,
+}
+
+impl DataSegment {
+    fn validate(&self) -> Result<(), SpecError> {
+        if self.bytes < 64 {
+            return Err(SpecError("segment smaller than a cache line".into()));
+        }
+        if !self.weight.is_finite() || self.weight < 0.0 {
+            return Err(SpecError("segment weight must be non-negative".into()));
+        }
+        if let AccessPattern::Stride(s) = self.pattern {
+            if s == 0 {
+                return Err(SpecError("stride must be positive".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parameter overrides active during one phase.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseOverrides {
+    /// Replacement ILP model.
+    pub ilp: Option<IlpModel>,
+    /// Replacement data segments.
+    pub segments: Option<Vec<DataSegment>>,
+    /// Replacement instruction mix.
+    pub mix: Option<OpMix>,
+    /// Replacement hard-branch fraction.
+    pub hard_frac: Option<f64>,
+}
+
+/// One phase of a phased benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Phase length in instructions.
+    pub len_insts: u64,
+    /// Parameters that differ from the base spec during this phase.
+    pub overrides: PhaseOverrides,
+}
+
+/// A complete benchmark specification.
+///
+/// Construct via [`BenchmarkSpec::builder`]; obtain the deterministic
+/// instruction stream via [`BenchmarkSpec::stream`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    name: String,
+    suite: Suite,
+    seed: u64,
+    mix: OpMix,
+    ilp: IlpModel,
+    code: CodeModel,
+    branches: BranchModel,
+    segments: Vec<DataSegment>,
+    phases: Vec<PhaseSpec>,
+    paper_window: String,
+}
+
+impl BenchmarkSpec {
+    /// Starts building a spec with the given name and suite.
+    pub fn builder(name: impl Into<String>, suite: Suite) -> BenchmarkSpecBuilder {
+        BenchmarkSpecBuilder {
+            name: name.into(),
+            suite,
+            seed: None,
+            mix: OpMix::integer(),
+            ilp: IlpModel {
+                chains_int: 6,
+                chains_fp: 0,
+                serial_frac: 0.2,
+                flat_frac: 0.2,
+            },
+            code: CodeModel {
+                footprint_bytes: 8 * 1024,
+                block_len: 7,
+                region_blocks: 32,
+                region_switch: 0.02,
+            },
+            branches: BranchModel {
+                hard_frac: 0.15,
+                hard_bias: 0.6,
+                easy_period: 8,
+            },
+            segments: vec![DataSegment {
+                bytes: 8 * 1024,
+                weight: 1.0,
+                pattern: AccessPattern::Random,
+            }],
+            phases: Vec::new(),
+            paper_window: String::new(),
+        }
+    }
+
+    /// Benchmark name (Figure 6 x-axis label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Source suite.
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// Stream seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Instruction mix.
+    pub fn mix(&self) -> &OpMix {
+        &self.mix
+    }
+
+    /// ILP model.
+    pub fn ilp(&self) -> &IlpModel {
+        &self.ilp
+    }
+
+    /// Code model.
+    pub fn code(&self) -> &CodeModel {
+        &self.code
+    }
+
+    /// Branch model.
+    pub fn branches(&self) -> &BranchModel {
+        &self.branches
+    }
+
+    /// Data segments.
+    pub fn segments(&self) -> &[DataSegment] {
+        &self.segments
+    }
+
+    /// Phase script (empty for unphased benchmarks).
+    pub fn phases(&self) -> &[PhaseSpec] {
+        &self.phases
+    }
+
+    /// The simulation window quoted in Tables 6–8 (documentation only; the
+    /// harness chooses its own scaled-down window).
+    pub fn paper_window(&self) -> &str {
+        &self.paper_window
+    }
+
+    /// Builds the deterministic instruction stream for this benchmark.
+    pub fn stream(&self) -> SyntheticStream {
+        SyntheticStream::new(self.clone())
+    }
+}
+
+/// Builder for [`BenchmarkSpec`] (see [`BenchmarkSpec::builder`]).
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpecBuilder {
+    name: String,
+    suite: Suite,
+    seed: Option<u64>,
+    mix: OpMix,
+    ilp: IlpModel,
+    code: CodeModel,
+    branches: BranchModel,
+    segments: Vec<DataSegment>,
+    phases: Vec<PhaseSpec>,
+    paper_window: String,
+}
+
+impl BenchmarkSpecBuilder {
+    /// Overrides the stream seed (default: a hash of the name).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the instruction mix.
+    pub fn mix(mut self, mix: OpMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Sets the chain structure of the ILP model (keeping the current
+    /// flat fraction).
+    pub fn ilp(mut self, chains_int: u32, chains_fp: u32, serial_frac: f64) -> Self {
+        self.ilp.chains_int = chains_int;
+        self.ilp.chains_fp = chains_fp;
+        self.ilp.serial_frac = serial_frac;
+        self
+    }
+
+    /// Sets the flat (depth-1) instruction fraction of the ILP model.
+    pub fn flat_frac(mut self, flat_frac: f64) -> Self {
+        self.ilp.flat_frac = flat_frac;
+        self
+    }
+
+    /// Sets the code model.
+    pub fn code(mut self, footprint_bytes: u64, region_blocks: u32, region_switch: f64) -> Self {
+        self.code.footprint_bytes = footprint_bytes;
+        self.code.region_blocks = region_blocks;
+        self.code.region_switch = region_switch;
+        self
+    }
+
+    /// Sets the mean basic-block length.
+    pub fn block_len(mut self, len: u32) -> Self {
+        self.code.block_len = len;
+        self
+    }
+
+    /// Sets the branch model.
+    pub fn branches(mut self, hard_frac: f64, hard_bias: f64, easy_period: u32) -> Self {
+        self.branches = BranchModel {
+            hard_frac,
+            hard_bias,
+            easy_period,
+        };
+        self
+    }
+
+    /// Replaces the data segments.
+    pub fn segments(mut self, segments: Vec<DataSegment>) -> Self {
+        self.segments = segments;
+        self
+    }
+
+    /// Appends a phase.
+    pub fn phase(mut self, len_insts: u64, overrides: PhaseOverrides) -> Self {
+        self.phases.push(PhaseSpec {
+            len_insts,
+            overrides,
+        });
+        self
+    }
+
+    /// Records the paper's quoted simulation window (documentation).
+    pub fn paper_window(mut self, w: impl Into<String>) -> Self {
+        self.paper_window = w.into();
+        self
+    }
+
+    /// Validates and builds the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when any model parameter is out of range or
+    /// inconsistent (e.g. an FP mix with zero FP chains).
+    pub fn build(self) -> Result<BenchmarkSpec, SpecError> {
+        self.mix.validate()?;
+        self.ilp.validate(&self.mix)?;
+        self.code.validate()?;
+        self.branches.validate()?;
+        if self.segments.is_empty() {
+            return Err(SpecError("at least one data segment required".into()));
+        }
+        for s in &self.segments {
+            s.validate()?;
+        }
+        if self.segments.iter().map(|s| s.weight).sum::<f64>() <= 0.0 {
+            return Err(SpecError("segment weights sum to zero".into()));
+        }
+        for p in &self.phases {
+            if p.len_insts == 0 {
+                return Err(SpecError("phase length must be positive".into()));
+            }
+            if let Some(ilp) = &p.overrides.ilp {
+                ilp.validate(p.overrides.mix.as_ref().unwrap_or(&self.mix))?;
+            }
+            if let Some(mix) = &p.overrides.mix {
+                mix.validate()?;
+            }
+            if let Some(segs) = &p.overrides.segments {
+                if segs.is_empty() {
+                    return Err(SpecError("phase segments must be non-empty".into()));
+                }
+                for s in segs {
+                    s.validate()?;
+                }
+            }
+            if let Some(h) = p.overrides.hard_frac {
+                if !(0.0..=1.0).contains(&h) {
+                    return Err(SpecError("phase hard_frac must be in [0,1]".into()));
+                }
+            }
+        }
+        let seed = self.seed.unwrap_or_else(|| fnv1a(self.name.as_bytes()));
+        Ok(BenchmarkSpec {
+            name: self.name,
+            suite: self.suite,
+            seed,
+            mix: self.mix,
+            ilp: self.ilp,
+            code: self.code,
+            branches: self.branches,
+            segments: self.segments,
+            phases: self.phases,
+            paper_window: self.paper_window,
+        })
+    }
+}
+
+/// FNV-1a hash for stable name-derived seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_build() {
+        let s = BenchmarkSpec::builder("demo", Suite::SpecInt).build().unwrap();
+        assert_eq!(s.name(), "demo");
+        assert_eq!(s.suite(), Suite::SpecInt);
+        assert!(s.phases().is_empty());
+        assert!(s.seed() != 0);
+    }
+
+    #[test]
+    fn seed_is_name_stable() {
+        let a = BenchmarkSpec::builder("gcc", Suite::SpecInt).build().unwrap();
+        let b = BenchmarkSpec::builder("gcc", Suite::SpecInt).build().unwrap();
+        let c = BenchmarkSpec::builder("gzip", Suite::SpecInt).build().unwrap();
+        assert_eq!(a.seed(), b.seed());
+        assert_ne!(a.seed(), c.seed());
+    }
+
+    #[test]
+    fn fp_mix_requires_fp_chains() {
+        let err = BenchmarkSpec::builder("bad", Suite::SpecFp)
+            .mix(OpMix::floating_point())
+            .ilp(8, 0, 0.1)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("chains_fp"));
+    }
+
+    #[test]
+    fn chain_limits_enforced() {
+        assert!(BenchmarkSpec::builder("bad", Suite::SpecInt)
+            .ilp(0, 0, 0.1)
+            .build()
+            .is_err());
+        assert!(BenchmarkSpec::builder("bad", Suite::SpecInt)
+            .ilp(IlpModel::MAX_CHAINS_INT + 1, 0, 0.1)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn segments_validated() {
+        assert!(BenchmarkSpec::builder("bad", Suite::SpecInt)
+            .segments(vec![])
+            .build()
+            .is_err());
+        assert!(BenchmarkSpec::builder("bad", Suite::SpecInt)
+            .segments(vec![DataSegment {
+                bytes: 16,
+                weight: 1.0,
+                pattern: AccessPattern::Random,
+            }])
+            .build()
+            .is_err());
+        assert!(BenchmarkSpec::builder("bad", Suite::SpecInt)
+            .segments(vec![DataSegment {
+                bytes: 4096,
+                weight: 1.0,
+                pattern: AccessPattern::Stride(0),
+            }])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn phases_validated() {
+        let err = BenchmarkSpec::builder("bad", Suite::SpecFp)
+            .phase(0, PhaseOverrides::default())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("phase length"));
+    }
+
+    #[test]
+    fn code_model_blocks() {
+        let c = CodeModel {
+            footprint_bytes: 16 * 1024,
+            block_len: 8,
+            region_blocks: 16,
+            region_switch: 0.01,
+        };
+        assert_eq!(c.blocks(), 512);
+    }
+
+    #[test]
+    fn mix_fp_fraction() {
+        assert_eq!(OpMix::integer().fp_fraction(), 0.0);
+        assert!(OpMix::floating_point().fp_fraction() > 0.3);
+    }
+}

@@ -1,0 +1,623 @@
+//! The deterministic synthetic instruction stream generator.
+
+use gals_common::SplitMix64;
+use gals_isa::{ArchReg, DynInst, InstructionStream, OpClass};
+
+use crate::spec::{
+    AccessPattern, BenchmarkSpec, DataSegment, IlpModel, OpMix, PhaseOverrides,
+};
+
+/// Base address of the synthetic code region.
+const CODE_BASE: u64 = 0x0040_0000;
+/// Base address of the synthetic data region.
+const DATA_BASE: u64 = 0x2000_0000;
+/// Gap between data segments (keeps them disjoint and set-spread).
+const SEGMENT_ALIGN: u64 = 1 << 22; // 4 MB
+
+/// Integer register roles (see `IlpModel` docs).
+const R_STALE: u8 = 0; // never written
+const R_CHAIN_BASE: u8 = 1; // r1..=r24
+const R_FLAT_SCRATCH: u8 = 25;
+const R_PTR_BASE: u8 = 26; // r26..=r30: pointer-chase registers
+const R_DATA_BASE: u8 = 31; // segment base register, never written
+/// Maximum pointer-chase segments (r26..=r30).
+const MAX_PTR_SEGMENTS: usize = 5;
+
+/// FP register roles.
+const F_STALE: u8 = 0;
+const F_CHAIN_BASE: u8 = 1; // f1..=f28
+const F_FLAT_BASE: u8 = 29; // f29..=f31 rotate as flat scratch
+
+#[derive(Debug, Clone)]
+struct SegState {
+    base: u64,
+    bytes: u64,
+    cum_weight: f64,
+    pattern: AccessPattern,
+    cursor: u64,
+    ptr_reg: Option<u8>,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveParams {
+    ilp: IlpModel,
+    hard_frac: f64,
+    /// Cumulative (weight, class) thresholds for the nine mix classes.
+    mix_cum: [(f64, OpClass); 9],
+    mix_total: f64,
+    fp_load_frac: f64,
+    segs: Vec<SegState>,
+    seg_total_weight: f64,
+}
+
+fn build_mix_cum(mix: &OpMix) -> ([(f64, OpClass); 9], f64) {
+    let entries = [
+        (mix.int_alu, OpClass::IntAlu),
+        (mix.int_mul, OpClass::IntMul),
+        (mix.int_div, OpClass::IntDiv),
+        (mix.fp_add, OpClass::FpAdd),
+        (mix.fp_mul, OpClass::FpMul),
+        (mix.fp_div, OpClass::FpDiv),
+        (mix.fp_sqrt, OpClass::FpSqrt),
+        (mix.load, OpClass::Load),
+        (mix.store, OpClass::Store),
+    ];
+    let mut cum = 0.0;
+    let mut out = [(0.0, OpClass::Nop); 9];
+    for (i, (w, c)) in entries.iter().enumerate() {
+        cum += w;
+        out[i] = (cum, *c);
+    }
+    (out, cum)
+}
+
+fn build_segments(segments: &[DataSegment]) -> (Vec<SegState>, f64) {
+    let mut segs = Vec::with_capacity(segments.len());
+    let mut cum = 0.0;
+    let mut base = DATA_BASE;
+    let mut ptr_idx = 0usize;
+    for (i, s) in segments.iter().enumerate() {
+        // Stagger segment bases so distinct segments do not all collide
+        // in the low cache sets (pure power-of-two alignment would map
+        // every segment start to set 0). 8,384 = 131 cache lines.
+        base += i as u64 * 8_384;
+        cum += s.weight;
+        let ptr_reg = if s.pattern == AccessPattern::PointerChase {
+            let reg = R_PTR_BASE + (ptr_idx % MAX_PTR_SEGMENTS) as u8;
+            ptr_idx += 1;
+            Some(reg)
+        } else {
+            None
+        };
+        segs.push(SegState {
+            base,
+            bytes: s.bytes,
+            cum_weight: cum,
+            pattern: s.pattern,
+            cursor: 0,
+            ptr_reg,
+        });
+        base += s.bytes.div_ceil(SEGMENT_ALIGN).max(1) * SEGMENT_ALIGN;
+    }
+    (segs, cum)
+}
+
+fn build_active(spec: &BenchmarkSpec, overrides: Option<&PhaseOverrides>) -> ActiveParams {
+    let ilp = overrides
+        .and_then(|o| o.ilp)
+        .unwrap_or(*spec.ilp());
+    let mix = overrides
+        .and_then(|o| o.mix)
+        .unwrap_or(*spec.mix());
+    let hard_frac = overrides
+        .and_then(|o| o.hard_frac)
+        .unwrap_or(spec.branches().hard_frac);
+    let seg_source: &[DataSegment] = overrides
+        .and_then(|o| o.segments.as_deref())
+        .unwrap_or_else(|| spec.segments());
+    let (mix_cum, mix_total) = build_mix_cum(&mix);
+    let (segs, seg_total_weight) = build_segments(seg_source);
+    let fp_load_frac = if ilp.chains_fp > 0 {
+        mix.fp_fraction()
+    } else {
+        0.0
+    };
+    ActiveParams {
+        ilp,
+        hard_frac,
+        mix_cum,
+        mix_total,
+        fp_load_frac,
+        segs,
+        seg_total_weight,
+    }
+}
+
+/// The synthetic instruction stream (see the [crate docs](crate) for the
+/// model). Obtained from [`BenchmarkSpec::stream`].
+pub struct SyntheticStream {
+    spec: BenchmarkSpec,
+    rng: SplitMix64,
+    active: ActiveParams,
+
+    // Code walk.
+    n_blocks: u32,
+    block_len: u32,
+    cur_block: u32,
+    region_start: u32,
+    body_left: u32,
+    /// Stable per-block personality rolls in [0, 65535].
+    rolls: Vec<u16>,
+    /// Per-block visit counters for easy-branch loop patterns.
+    visits: Vec<u32>,
+
+    // Dependence chains.
+    cursor_int: u32,
+    cursor_fp: u32,
+    flat_fp_rot: u8,
+    last_dst: Option<ArchReg>,
+
+    // Phase machinery.
+    inst_count: u64,
+    phase_idx: usize,
+    phase_left: u64,
+}
+
+impl std::fmt::Debug for SyntheticStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyntheticStream")
+            .field("name", &self.spec.name())
+            .field("inst_count", &self.inst_count)
+            .field("phase_idx", &self.phase_idx)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SyntheticStream {
+    /// Builds the stream for a spec (deterministic in the spec's seed).
+    pub fn new(spec: BenchmarkSpec) -> Self {
+        let mut rng = SplitMix64::new(spec.seed());
+        let n_blocks = spec.code().blocks();
+        let block_len = spec.code().block_len;
+        let mut roll_rng = rng.fork(0xB10C);
+        let rolls = (0..n_blocks).map(|_| roll_rng.next_u64() as u16).collect();
+        let (phase_idx, phase_left, overrides) = if spec.phases().is_empty() {
+            (0, u64::MAX, None)
+        } else {
+            (0, spec.phases()[0].len_insts, Some(&spec.phases()[0].overrides))
+        };
+        let active = build_active(&spec, overrides);
+        SyntheticStream {
+            rng,
+            n_blocks,
+            block_len,
+            cur_block: 0,
+            region_start: 0,
+            body_left: block_len.saturating_sub(1),
+            rolls,
+            visits: vec![0; n_blocks as usize],
+            cursor_int: 0,
+            cursor_fp: 0,
+            flat_fp_rot: 0,
+            last_dst: None,
+            inst_count: 0,
+            phase_idx,
+            phase_left,
+            active,
+            spec,
+        }
+    }
+
+    /// The spec this stream was built from.
+    pub fn spec(&self) -> &BenchmarkSpec {
+        &self.spec
+    }
+
+    /// Instructions produced so far.
+    pub fn produced(&self) -> u64 {
+        self.inst_count
+    }
+
+    /// Index of the active phase (0 for unphased benchmarks).
+    pub fn phase_index(&self) -> usize {
+        self.phase_idx
+    }
+
+    #[inline]
+    fn block_pc(&self, block: u32, offset: u32) -> u64 {
+        CODE_BASE + (block as u64 * self.block_len as u64 + offset as u64) * 4
+    }
+
+    fn maybe_switch_phase(&mut self) {
+        if self.phase_left != u64::MAX {
+            if self.phase_left == 0 {
+                let phases = self.spec.phases();
+                self.phase_idx = (self.phase_idx + 1) % phases.len();
+                self.phase_left = phases[self.phase_idx].len_insts;
+                self.active = build_active(&self.spec, Some(&phases[self.phase_idx].overrides));
+            }
+            self.phase_left -= 1;
+        }
+    }
+
+    /// Picks a block uniformly within the current region.
+    #[inline]
+    fn random_region_block(&mut self) -> u32 {
+        let region = self.spec.code().region_blocks.min(self.n_blocks);
+        (self.region_start + self.rng.next_below(region as u64) as u32) % self.n_blocks
+    }
+
+    /// The next sequential block, wrapping to the region start when
+    /// leaving the region.
+    #[inline]
+    fn sequential_block(&self) -> u32 {
+        let region = self.spec.code().region_blocks.min(self.n_blocks);
+        let next = (self.cur_block + 1) % self.n_blocks;
+        let offset = (next + self.n_blocks - self.region_start) % self.n_blocks;
+        if offset >= region {
+            self.region_start
+        } else {
+            next
+        }
+    }
+
+    /// Emits the current block's terminating control transfer and selects
+    /// the next block.
+    fn emit_terminator(&mut self) -> DynInst {
+        let pc = self.block_pc(self.cur_block, self.block_len - 1);
+        // Occasional long-range region switch (calls, returns, new loop
+        // nests).
+        if self.rng.chance(self.spec.code().region_switch) {
+            self.region_start = self.rng.next_below(self.n_blocks as u64) as u32;
+        }
+
+        let roll = self.rolls[self.cur_block as usize] as f64 / 65536.0;
+        const JUMP_FRAC: f64 = 0.12;
+        let inst;
+        let next_block;
+        if roll < JUMP_FRAC {
+            // Unconditional jump: short call within the region.
+            let target = if self.rng.chance(0.3) {
+                self.random_region_block()
+            } else {
+                self.sequential_block()
+            };
+            inst = DynInst::jump(pc, self.block_pc(target, 0));
+            next_block = target;
+        } else if roll < JUMP_FRAC + self.active.hard_frac {
+            // Hard, data-dependent branch.
+            let taken = self.rng.chance(self.spec.branches().hard_bias);
+            let target = self.random_region_block();
+            let cond = ArchReg::int(R_CHAIN_BASE + (self.cursor_int % self.active.ilp.chains_int) as u8);
+            inst = DynInst::branch(pc, cond, taken, self.block_pc(target, 0));
+            next_block = if taken { target } else { self.sequential_block() };
+        } else {
+            // Easy loop branch: taken (loop back) except every
+            // `easy_period`-th visit.
+            let period = self.spec.branches().easy_period;
+            let v = &mut self.visits[self.cur_block as usize];
+            *v += 1;
+            let taken = *v % period != 0;
+            // Loop span derived from the stable roll: 0-3 blocks back.
+            let span = (self.rolls[self.cur_block as usize] >> 8) as u32 % 4;
+            let back = (self.cur_block + self.n_blocks - span.min(self.cur_block)) % self.n_blocks;
+            let cond = ArchReg::int(R_CHAIN_BASE + (self.cursor_int % self.active.ilp.chains_int) as u8);
+            inst = DynInst::branch(pc, cond, taken, self.block_pc(back, 0));
+            next_block = if taken { back } else { self.sequential_block() };
+        }
+        self.cur_block = next_block;
+        self.body_left = self.block_len.saturating_sub(1);
+        inst
+    }
+
+    /// Chain-extension bookkeeping for a computational op of the given
+    /// class; returns (dst, srcs).
+    fn chain_regs(&mut self, fp: bool) -> (ArchReg, [Option<ArchReg>; 2]) {
+        let ilp = self.active.ilp;
+        if self.rng.chance(ilp.flat_frac) {
+            // Flat op: depth-1 result into scratch.
+            if fp {
+                let dst = ArchReg::fp(F_FLAT_BASE + self.flat_fp_rot % 3);
+                self.flat_fp_rot = self.flat_fp_rot.wrapping_add(1);
+                (dst, [Some(ArchReg::fp(F_STALE)), None])
+            } else {
+                (
+                    ArchReg::int(R_FLAT_SCRATCH),
+                    [Some(ArchReg::int(R_STALE)), None],
+                )
+            }
+        } else {
+            let tail = if fp {
+                let c = self.cursor_fp;
+                self.cursor_fp = (self.cursor_fp + 1) % ilp.chains_fp.max(1);
+                ArchReg::fp(F_CHAIN_BASE + c as u8)
+            } else {
+                let c = self.cursor_int;
+                self.cursor_int = (self.cursor_int + 1) % ilp.chains_int;
+                ArchReg::int(R_CHAIN_BASE + c as u8)
+            };
+            let extra = if self.rng.chance(ilp.serial_frac) {
+                self.last_dst
+            } else {
+                None
+            };
+            (tail, [Some(tail), extra])
+        }
+    }
+
+    /// Picks a data segment (weighted) and produces the next address in
+    /// its pattern.
+    fn segment_access(&mut self) -> (usize, u64) {
+        let u = self.rng.next_f64() * self.active.seg_total_weight;
+        let idx = self
+            .active
+            .segs
+            .iter()
+            .position(|s| u < s.cum_weight)
+            .unwrap_or(self.active.segs.len() - 1);
+        let seg = &mut self.active.segs[idx];
+        let offset = match seg.pattern {
+            AccessPattern::Stride(stride) => {
+                let o = seg.cursor;
+                seg.cursor = (seg.cursor + stride as u64) % seg.bytes;
+                o
+            }
+            AccessPattern::Random | AccessPattern::PointerChase => {
+                self.rng.next_below(seg.bytes) & !7
+            }
+        };
+        (idx, seg.base + offset)
+    }
+
+    /// Emits one body (non-terminator) instruction.
+    fn emit_body(&mut self, pc: u64) -> DynInst {
+        let u = self.rng.next_f64() * self.active.mix_total;
+        let class = self
+            .active
+            .mix_cum
+            .iter()
+            .find(|(cum, _)| u < *cum)
+            .map(|(_, c)| *c)
+            .unwrap_or(OpClass::IntAlu);
+
+        let inst = match class {
+            OpClass::Load => {
+                let (idx, addr) = self.segment_access();
+                let seg_ptr = self.active.segs[idx].ptr_reg;
+                if let Some(p) = seg_ptr {
+                    // Pointer chase: address depends on the previous
+                    // pointer load of this segment.
+                    let preg = ArchReg::int(p);
+                    DynInst::load(pc, preg, preg, addr)
+                } else if self.rng.chance(self.active.ilp.flat_frac) {
+                    // Flat load: feeds no chain (fresh data, depth 1).
+                    DynInst::load(
+                        pc,
+                        ArchReg::int(R_FLAT_SCRATCH),
+                        ArchReg::int(R_DATA_BASE),
+                        addr,
+                    )
+                } else if self.rng.chance(self.active.fp_load_frac) {
+                    // FP load extends an FP chain *through* the load: the
+                    // address derives from the chain's running index, so
+                    // the load inherits and deepens the dependence.
+                    let c = self.cursor_fp;
+                    self.cursor_fp = (self.cursor_fp + 1) % self.active.ilp.chains_fp.max(1);
+                    let tail = ArchReg::fp(F_CHAIN_BASE + c as u8);
+                    DynInst {
+                        srcs: [Some(tail), None],
+                        ..DynInst::load(pc, tail, tail, addr)
+                    }
+                } else {
+                    let c = self.cursor_int;
+                    self.cursor_int = (self.cursor_int + 1) % self.active.ilp.chains_int;
+                    let tail = ArchReg::int(R_CHAIN_BASE + c as u8);
+                    DynInst::load(pc, tail, tail, addr)
+                }
+            }
+            OpClass::Store => {
+                let (_, addr) = self.segment_access();
+                let data = if self.rng.chance(self.active.fp_load_frac)
+                    && self.active.ilp.chains_fp > 0
+                {
+                    ArchReg::fp(F_CHAIN_BASE + (self.cursor_fp % self.active.ilp.chains_fp) as u8)
+                } else {
+                    ArchReg::int(R_CHAIN_BASE + (self.cursor_int % self.active.ilp.chains_int) as u8)
+                };
+                DynInst::store(pc, data, ArchReg::int(R_DATA_BASE), addr)
+            }
+            c => {
+                let fp = c.is_fp();
+                let (dst, srcs) = self.chain_regs(fp);
+                DynInst::alu(pc, c, dst, srcs)
+            }
+        };
+        if let Some(d) = inst.dst {
+            self.last_dst = Some(d);
+        }
+        inst
+    }
+}
+
+impl InstructionStream for SyntheticStream {
+    fn next_inst(&mut self) -> DynInst {
+        self.maybe_switch_phase();
+        self.inst_count += 1;
+        if self.body_left == 0 {
+            self.emit_terminator()
+        } else {
+            let offset = self.block_len - 1 - self.body_left;
+            let pc = self.block_pc(self.cur_block, offset);
+            self.body_left -= 1;
+            self.emit_body(pc)
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.spec.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BenchmarkSpec, Suite};
+
+    fn spec() -> BenchmarkSpec {
+        BenchmarkSpec::builder("t", Suite::SpecInt)
+            .code(8 * 1024, 32, 0.02)
+            .ilp(8, 0, 0.2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = spec().stream();
+        let mut b = spec().stream();
+        for _ in 0..10_000 {
+            assert_eq!(a.next_inst(), b.next_inst());
+        }
+    }
+
+    #[test]
+    fn pcs_stay_within_footprint() {
+        let s = spec();
+        let footprint = s.code().footprint_bytes;
+        let mut st = s.stream();
+        for _ in 0..50_000 {
+            let i = st.next_inst();
+            assert!(i.pc >= CODE_BASE);
+            assert!(i.pc < CODE_BASE + footprint + 64, "pc outside footprint");
+        }
+    }
+
+    #[test]
+    fn control_transfers_end_blocks() {
+        let mut st = spec().stream();
+        let block_len = st.spec().code().block_len as u64;
+        for _ in 0..5_000 {
+            let i = st.next_inst();
+            let offset_in_block = (i.pc - CODE_BASE) / 4 % block_len;
+            if i.op.is_ctrl() {
+                assert_eq!(offset_in_block, block_len - 1, "terminator at block end");
+            } else {
+                assert!(offset_in_block < block_len - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn taken_branches_land_on_block_starts() {
+        let mut st = spec().stream();
+        let block_len = st.spec().code().block_len as u64;
+        for _ in 0..5_000 {
+            let i = st.next_inst();
+            if i.op.is_ctrl() && i.taken {
+                assert_eq!((i.target - CODE_BASE) / 4 % block_len, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_addresses_fall_in_segments() {
+        let s = BenchmarkSpec::builder("mem", Suite::SpecInt)
+            .segments(vec![
+                crate::spec::DataSegment {
+                    bytes: 64 * 1024,
+                    weight: 1.0,
+                    pattern: AccessPattern::Stride(64),
+                },
+                crate::spec::DataSegment {
+                    bytes: 1024 * 1024,
+                    weight: 1.0,
+                    pattern: AccessPattern::Random,
+                },
+            ])
+            .build()
+            .unwrap();
+        let mut st = s.stream();
+        let mut seen_mem = 0;
+        for _ in 0..20_000 {
+            let i = st.next_inst();
+            if i.op.is_mem() {
+                seen_mem += 1;
+                assert!(i.mem_addr >= DATA_BASE, "addr {:#x}", i.mem_addr);
+            }
+        }
+        assert!(seen_mem > 3_000, "expected plenty of memory ops: {seen_mem}");
+    }
+
+    #[test]
+    fn mix_proportions_roughly_hold() {
+        let mut st = spec().stream();
+        let mut loads = 0u32;
+        let mut total_body = 0u32;
+        for _ in 0..50_000 {
+            let i = st.next_inst();
+            if !i.op.is_ctrl() {
+                total_body += 1;
+                if i.op == OpClass::Load {
+                    loads += 1;
+                }
+            }
+        }
+        let frac = loads as f64 / total_body as f64;
+        // Mix requests load = 0.20 of 0.825 total weight ≈ 0.2424.
+        assert!((0.20..0.29).contains(&frac), "load fraction {frac}");
+    }
+
+    #[test]
+    fn phases_cycle() {
+        let mut over = PhaseOverrides::default();
+        over.hard_frac = Some(0.9);
+        let s = BenchmarkSpec::builder("ph", Suite::SpecFp)
+            .phase(1_000, PhaseOverrides::default())
+            .phase(1_000, over)
+            .build()
+            .unwrap();
+        let mut st = s.stream();
+        assert_eq!(st.phase_index(), 0);
+        for _ in 0..1_500 {
+            st.next_inst();
+        }
+        assert_eq!(st.phase_index(), 1);
+        for _ in 0..1_000 {
+            st.next_inst();
+        }
+        assert_eq!(st.phase_index(), 0, "phases cycle");
+    }
+
+    #[test]
+    fn pointer_chase_serializes_loads() {
+        let s = BenchmarkSpec::builder("ptr", Suite::Olden)
+            .segments(vec![crate::spec::DataSegment {
+                bytes: 1024 * 1024,
+                weight: 1.0,
+                pattern: AccessPattern::PointerChase,
+            }])
+            .build()
+            .unwrap();
+        let mut st = s.stream();
+        let mut ptr_loads = 0;
+        for _ in 0..20_000 {
+            let i = st.next_inst();
+            if i.op == OpClass::Load {
+                // Pointer loads read and write the same pointer register.
+                if i.dst.is_some() && i.srcs[0] == i.dst {
+                    ptr_loads += 1;
+                }
+            }
+        }
+        assert!(ptr_loads > 2_000, "pointer loads: {ptr_loads}");
+    }
+
+    #[test]
+    fn produced_counts() {
+        let mut st = spec().stream();
+        for _ in 0..123 {
+            st.next_inst();
+        }
+        assert_eq!(st.produced(), 123);
+    }
+}

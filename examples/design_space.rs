@@ -1,0 +1,53 @@
+//! Mini design-space exploration for one benchmark: sweep all 256
+//! adaptive-MCD configurations and show how structure choices trade
+//! frequency for complexity.
+//!
+//! ```text
+//! cargo run --release --example design_space [benchmark] [window]
+//! ```
+
+use gals_mcd::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "em3d".to_string());
+    let window: u64 = args.next().and_then(|w| w.parse().ok()).unwrap_or(20_000);
+    let spec = suite::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark '{name}'");
+        std::process::exit(1);
+    });
+
+    println!("sweeping 256 adaptive-MCD configurations on {name} ({window} insts each)...");
+    let mut results: Vec<(McdConfig, f64)> = McdConfig::enumerate()
+        .into_iter()
+        .map(|cfg| {
+            let r = Simulator::new(MachineConfig::program_adaptive(cfg))
+                .run(&mut spec.stream(), window);
+            (cfg, r.runtime_ns())
+        })
+        .collect();
+    results.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    let sync = Simulator::new(MachineConfig::best_synchronous()).run(&mut spec.stream(), window);
+
+    println!("\nbest 8 configurations:");
+    for (cfg, ns) in results.iter().take(8) {
+        println!(
+            "  {:34} {:>12.1} ns   {:+.1}% vs best sync",
+            cfg.key(),
+            ns,
+            (sync.runtime_ns() / ns - 1.0) * 100.0
+        );
+    }
+    println!("\nworst 3:");
+    for (cfg, ns) in results.iter().rev().take(3) {
+        println!("  {:34} {:>12.1} ns", cfg.key(), ns);
+    }
+
+    let (best, best_ns) = results[0];
+    println!(
+        "\n{name}: Program-Adaptive would choose {} ({:+.1}% over the best synchronous machine)",
+        best.key(),
+        (sync.runtime_ns() / best_ns - 1.0) * 100.0
+    );
+}

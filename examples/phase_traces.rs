@@ -1,0 +1,97 @@
+//! Phase adaptation in action: reproduce the Figure 7 reconfiguration
+//! traces and render them as ASCII timelines.
+//!
+//! ```text
+//! cargo run --release --example phase_traces
+//! ```
+//!
+//! apsi's data working set swings periodically, so the D/L2 controller
+//! walks up and down the configuration ladder (Figure 7a); art cycles
+//! through ILP regimes, so the integer issue queue steps through its four
+//! sizes (Figure 7b).
+
+use gals_mcd::prelude::*;
+use gals_mcd::core::{ReconfigKind, Simulator as Sim};
+
+fn main() {
+    let window: u64 = std::env::args()
+        .nth(1)
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(200_000);
+
+    trace(
+        "apsi",
+        window,
+        "D/L2 configuration",
+        &["32k1W/256k1W", "64k2W/512k2W", "128k4W/1024k4W", "256k8W/2048k8W"],
+        |k| match k {
+            ReconfigKind::Dl2(c) => Some(c.index()),
+            _ => None,
+        },
+    );
+
+    trace(
+        "art",
+        window,
+        "integer issue-queue size",
+        &["16", "32", "48", "64"],
+        |k| match k {
+            ReconfigKind::IqInt(s) => Some(s.index()),
+            _ => None,
+        },
+    );
+}
+
+fn trace(
+    name: &str,
+    window: u64,
+    what: &str,
+    levels: &[&str],
+    select: impl Fn(ReconfigKind) -> Option<usize>,
+) {
+    let spec = suite::by_name(name).expect("benchmark in suite");
+    let result = Sim::new(MachineConfig::phase_adaptive(McdConfig::smallest()))
+        .run(&mut spec.stream(), window);
+
+    println!("\n== {name}: {what} over {window} committed instructions");
+    // Build a step trace: (committed, level).
+    let mut steps = vec![(0u64, 0usize)];
+    for ev in &result.reconfigs {
+        if let Some(level) = select(ev.kind) {
+            steps.push((ev.at_committed, level));
+        }
+    }
+    steps.push((window, steps.last().unwrap().1));
+
+    // Render one row per level, Figure 7 style.
+    const COLS: usize = 100;
+    for (li, label) in levels.iter().enumerate().rev() {
+        let mut row = vec![' '; COLS];
+        for pair in steps.windows(2) {
+            let (from, level) = pair[0];
+            let (to, _) = pair[1];
+            if level == li {
+                let a = (from as usize * COLS / window as usize).min(COLS - 1);
+                let b = (to as usize * COLS / window as usize).clamp(a + 1, COLS);
+                for cell in &mut row[a..b] {
+                    *cell = '#';
+                }
+            }
+        }
+        println!("{label:>16} |{}|", row.iter().collect::<String>());
+    }
+    println!(
+        "{:>16}  0 {:>width$}",
+        "committed:",
+        window,
+        width = COLS - 2
+    );
+    println!(
+        "  ({} reconfigurations total, final frequencies: fe {} / int {} / fp {} / ls {})",
+        result.reconfigs.len(),
+        result.final_freqs[0],
+        result.final_freqs[1],
+        result.final_freqs[2],
+        result.final_freqs[3],
+    );
+}

@@ -1,0 +1,76 @@
+//! Quickstart: compare the three machine styles on one benchmark.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark] [window]
+//! ```
+//!
+//! Runs the best-overall fully synchronous baseline, the adaptive MCD at
+//! its base (smallest/fastest) configuration, and the Phase-Adaptive MCD
+//! with its on-line controllers, and reports Figure 6-style improvements.
+
+use gals_mcd::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "gcc".to_string());
+    let window: u64 = args
+        .next()
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(80_000);
+
+    let Some(spec) = suite::by_name(&name) else {
+        eprintln!("unknown benchmark '{name}'; available:");
+        for n in suite::names() {
+            eprintln!("  {n}");
+        }
+        std::process::exit(1);
+    };
+
+    println!("benchmark: {name} ({} instructions)\n", window);
+
+    let sync = Simulator::new(MachineConfig::best_synchronous()).run(&mut spec.stream(), window);
+    println!(
+        "fully synchronous (64k1W I$, 32k/256k D/L2, 16/16 IQ @ {}):",
+        sync.final_freqs[0]
+    );
+    report(&sync, None);
+
+    let prog =
+        Simulator::new(MachineConfig::program_adaptive(McdConfig::smallest()))
+            .run(&mut spec.stream(), window);
+    println!("\nadaptive MCD, base configuration (everything smallest/fastest):");
+    report(&prog, Some(&sync));
+
+    let phase =
+        Simulator::new(MachineConfig::phase_adaptive(McdConfig::smallest()))
+            .run(&mut spec.stream(), window);
+    println!("\nPhase-Adaptive MCD (on-line controllers):");
+    report(&phase, Some(&sync));
+    if !phase.reconfigs.is_empty() {
+        println!("  reconfigurations:");
+        for ev in phase.reconfigs.iter().take(12) {
+            println!("    @{:>7} committed: {:?}", ev.at_committed, ev.kind);
+        }
+        if phase.reconfigs.len() > 12 {
+            println!("    ... {} more", phase.reconfigs.len() - 12);
+        }
+    }
+}
+
+fn report(r: &SimResult, baseline: Option<&SimResult>) {
+    println!(
+        "  runtime {:>12.1} ns   {:.2} BIPS   branch-mr {:.1}%   I$ miss {:.1}%   D$ miss {:.1}%   L2 miss {:.1}%",
+        r.runtime_ns(),
+        r.bips(),
+        r.mispredict_rate() * 100.0,
+        r.icache.miss_rate() * 100.0,
+        r.l1d.miss_rate() * 100.0,
+        r.l2.miss_rate() * 100.0,
+    );
+    if let Some(b) = baseline {
+        println!(
+            "  improvement over synchronous: {:+.1}%",
+            (b.runtime_ns() / r.runtime_ns() - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Record a synthetic benchmark to a binary trace and replay it through
+//! the simulator — demonstrating the trace interchange path for users
+//! who want to bring their own traces.
+//!
+//! ```text
+//! cargo run --release --example trace_tools [benchmark] [n]
+//! ```
+
+use gals_mcd::prelude::*;
+use gals_mcd::workloads::{record, TraceReplay};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "gzip".to_string());
+    let n: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(50_000);
+    let spec = suite::by_name(&name).ok_or("unknown benchmark")?;
+
+    // Record n instructions to an in-memory trace (write a File to keep
+    // it on disk instead).
+    let mut buf = Vec::new();
+    record(&mut spec.stream(), n, &mut buf)?;
+    println!(
+        "recorded {n} instructions of {name}: {} bytes ({:.2} B/inst)",
+        buf.len(),
+        buf.len() as f64 / n as f64
+    );
+
+    // Replay through the simulator and compare with the generator path.
+    let mut replay = TraceReplay::load(format!("{name}-trace"), buf.as_slice())?;
+    let from_trace = Simulator::new(MachineConfig::best_synchronous()).run(&mut replay, n);
+    let from_generator =
+        Simulator::new(MachineConfig::best_synchronous()).run(&mut spec.stream(), n);
+    println!(
+        "replay from trace: {:.1} ns   from generator: {:.1} ns",
+        from_trace.runtime_ns(),
+        from_generator.runtime_ns()
+    );
+    assert_eq!(
+        from_trace.runtime, from_generator.runtime,
+        "trace replay must be timing-identical to the generator"
+    );
+    println!("identical timing — replay is exact");
+    Ok(())
+}

@@ -1,0 +1,160 @@
+//! End-to-end integration tests spanning the whole workspace: workloads →
+//! simulator → results, across all three machine styles.
+
+use gals_mcd::prelude::*;
+
+const WINDOW: u64 = 30_000;
+
+fn run_sync(name: &str) -> SimResult {
+    let spec = suite::by_name(name).expect("benchmark exists");
+    Simulator::new(MachineConfig::best_synchronous()).run(&mut spec.stream(), WINDOW)
+}
+
+fn run_prog(name: &str, cfg: McdConfig) -> SimResult {
+    let spec = suite::by_name(name).expect("benchmark exists");
+    Simulator::new(MachineConfig::program_adaptive(cfg)).run(&mut spec.stream(), WINDOW)
+}
+
+fn run_phase(name: &str, window: u64) -> SimResult {
+    let spec = suite::by_name(name).expect("benchmark exists");
+    Simulator::new(MachineConfig::phase_adaptive(McdConfig::smallest()))
+        .run(&mut spec.stream(), window)
+}
+
+#[test]
+fn every_benchmark_runs_on_every_machine_style() {
+    for spec in suite::all() {
+        let w = 4_000;
+        let sync =
+            Simulator::new(MachineConfig::best_synchronous()).run(&mut spec.stream(), w);
+        assert_eq!(sync.committed, w, "{} sync", spec.name());
+        let prog = Simulator::new(MachineConfig::program_adaptive(McdConfig::smallest()))
+            .run(&mut spec.stream(), w);
+        assert_eq!(prog.committed, w, "{} prog", spec.name());
+        let phase = Simulator::new(MachineConfig::phase_adaptive(McdConfig::smallest()))
+            .run(&mut spec.stream(), w);
+        assert_eq!(phase.committed, w, "{} phase", spec.name());
+        for r in [&sync, &prog, &phase] {
+            assert!(r.runtime_ns() > 0.0);
+            assert!(r.icache.accesses > 0, "{}", spec.name());
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run_phase("apsi", 20_000);
+    let b = run_phase("apsi", 20_000);
+    assert_eq!(a.runtime, b.runtime);
+    assert_eq!(a.mispredicts, b.mispredicts);
+    assert_eq!(a.reconfigs, b.reconfigs);
+}
+
+#[test]
+fn memory_bound_benchmark_prefers_large_caches() {
+    // em3d's ~1.5 MB pointer-chased working set: the largest D/L2
+    // configuration must beat the smallest despite its slower clock.
+    let small = run_prog("em3d", McdConfig::smallest());
+    let big = run_prog(
+        "em3d",
+        McdConfig {
+            dl2: Dl2Config::K256W8,
+            ..McdConfig::smallest()
+        },
+    );
+    assert!(
+        big.runtime < small.runtime,
+        "em3d should prefer the big D/L2: {} vs {}",
+        big.runtime_ns(),
+        small.runtime_ns()
+    );
+}
+
+#[test]
+fn kernel_benchmark_prefers_smallest_configuration() {
+    // adpcm's 2 KB kernel and 4 KB data: upsizing only costs clock rate.
+    let small = run_prog("adpcm_encode", McdConfig::smallest());
+    let big = run_prog("adpcm_encode", McdConfig::largest());
+    assert!(
+        small.runtime < big.runtime,
+        "adpcm should prefer the base config: {} vs {}",
+        small.runtime_ns(),
+        big.runtime_ns()
+    );
+}
+
+#[test]
+fn large_code_footprint_pressures_small_icache() {
+    // crafty's 64 KB code footprint thrashes a 16 KB I-cache but fits
+    // the 64 KB 4-way configuration. A long window is needed so capacity
+    // misses dominate compulsory ones.
+    let window = 150_000;
+    let spec = suite::by_name("crafty").unwrap();
+    let small = Simulator::new(MachineConfig::program_adaptive(McdConfig::smallest()))
+        .run(&mut spec.stream(), window);
+    let big_ic = Simulator::new(MachineConfig::program_adaptive(McdConfig {
+        icache: ICacheConfig::K64W4,
+        ..McdConfig::smallest()
+    }))
+    .run(&mut spec.stream(), window);
+    assert!(
+        big_ic.icache.miss_rate() < small.icache.miss_rate() / 2.0,
+        "64 KB I$ should cut crafty's miss rate: {:.3} vs {:.3}",
+        big_ic.icache.miss_rate(),
+        small.icache.miss_rate()
+    );
+}
+
+#[test]
+fn phase_adaptive_reconfigures_on_phased_benchmarks() {
+    let r = run_phase("apsi", 150_000);
+    let dl2_events = r
+        .reconfigs
+        .iter()
+        .filter(|e| matches!(e.kind, gals_mcd::core::ReconfigKind::Dl2(_)))
+        .count();
+    assert!(
+        dl2_events >= 2,
+        "apsi's working-set phases should move the D/L2 config (got {dl2_events})"
+    );
+}
+
+#[test]
+fn art_cycles_issue_queue_sizes() {
+    let r = run_phase("art", 200_000);
+    let mut sizes: Vec<u32> = r
+        .reconfigs
+        .iter()
+        .filter_map(|e| match e.kind {
+            gals_mcd::core::ReconfigKind::IqInt(s) => Some(s.entries()),
+            _ => None,
+        })
+        .collect();
+    sizes.dedup();
+    assert!(
+        sizes.len() >= 3,
+        "art's ILP phases should resize the integer IQ repeatedly: {sizes:?}"
+    );
+}
+
+#[test]
+fn sync_baseline_statistics_are_sane() {
+    let r = run_sync("crafty");
+    assert!(r.branches > 1_000);
+    let rate = r.mispredict_rate();
+    assert!((0.005..0.5).contains(&rate), "mispredict rate {rate}");
+    assert!(r.l1d.accesses > 1_000);
+    // All four domains share one clock.
+    assert_eq!(r.final_freqs[0], r.final_freqs[1]);
+    assert_eq!(r.final_freqs[1], r.final_freqs[3]);
+}
+
+#[test]
+fn mcd_base_outclocks_sync_everywhere() {
+    let sync = MachineConfig::best_synchronous().initial_frequencies();
+    let mcd =
+        MachineConfig::program_adaptive(McdConfig::smallest()).initial_frequencies();
+    for (m, s) in mcd.iter().zip(sync.iter()) {
+        assert!(m > s, "every MCD base domain outclocks the sync global clock");
+    }
+}

@@ -1,0 +1,72 @@
+//! Integration tests for the exploration pipeline (sweeps, caching,
+//! Figure 6 plumbing) at miniature scale.
+
+use gals_mcd::explore::{CacheKey, Explorer, ResultCache};
+use gals_mcd::prelude::*;
+
+#[test]
+fn program_sweep_picks_sensible_configs() {
+    // Tiny windows: only the plumbing and the small-kernel case are
+    // checkable here (a memory-bound app's reuse distance exceeds any
+    // test-sized window, so its capacity preference cannot appear —
+    // see EXPERIMENTS.md "Windows" note).
+    let mut ex = Explorer::with_cache(1_500, 3_000, ResultCache::in_memory());
+    let suite: Vec<BenchmarkSpec> = ["adpcm_encode", "power"]
+        .iter()
+        .map(|n| suite::by_name(n).unwrap())
+        .collect();
+    let choices = ex.program_sweep(&suite).unwrap();
+    assert_eq!(choices.len(), 2);
+
+    let adpcm = &choices[0];
+    assert_eq!(adpcm.benchmark, "adpcm_encode");
+    // adpcm's kernel never needs the largest caches.
+    assert_ne!(adpcm.best.dl2, Dl2Config::K256W8);
+    // Both kernels run fastest without the largest I-cache.
+    for c in &choices {
+        assert_ne!(c.best.icache, gals_mcd::prelude::ICacheConfig::K64W4, "{}", c.benchmark);
+    }
+}
+
+#[test]
+fn cache_round_trips_through_disk() {
+    let dir = std::env::temp_dir().join("gals-explore-itest");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("cache.json");
+
+    let spec = suite::by_name("power").unwrap();
+    let first;
+    {
+        let cache = ResultCache::open(&path).unwrap();
+        let mut ex = Explorer::with_cache(1_000, 2_000, cache);
+        first = ex.program_sweep(std::slice::from_ref(&spec)).unwrap()[0].runtime_ns;
+        ex.save_cache().unwrap();
+    }
+    {
+        let cache = ResultCache::open(&path).unwrap();
+        assert!(!cache.is_empty(), "sweep results persisted");
+        let mut ex = Explorer::with_cache(1_000, 2_000, cache);
+        let t0 = std::time::Instant::now();
+        let again = ex.program_sweep(std::slice::from_ref(&spec)).unwrap()[0].runtime_ns;
+        assert_eq!(first, again, "cached results identical");
+        assert!(t0.elapsed().as_millis() < 500, "cache hit path is fast");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_keys_partition_modes_and_windows() {
+    let mut cache = ResultCache::in_memory();
+    cache.put(CacheKey::new("b", "sync", "k", 100), 1.0);
+    assert!(cache.get(&CacheKey::new("b", "prog", "k", 100)).is_none());
+    assert!(cache.get(&CacheKey::new("b", "sync", "k", 200)).is_none());
+    assert_eq!(cache.get(&CacheKey::new("b", "sync", "k", 100)), Some(1.0));
+}
+
+#[test]
+fn phase_run_returns_full_result() {
+    let mut ex = Explorer::with_cache(1_000, 30_000, ResultCache::in_memory());
+    let r = ex.phase_run(&suite::by_name("apsi").unwrap());
+    assert_eq!(r.committed, 30_000);
+    assert_eq!(r.benchmark, "apsi");
+}
