@@ -5,7 +5,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use gals_core::{Dl2Config, ICacheConfig, MachineConfig, McdConfig, Simulator, TimingModel, Variant};
+use gals_core::{
+    Dl2Config, ICacheConfig, MachineConfig, McdConfig, Simulator, TimingModel, Variant,
+};
 use gals_workloads::suite;
 
 fn bench_timing_tables(c: &mut Criterion) {

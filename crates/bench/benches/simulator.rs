@@ -1,5 +1,7 @@
 //! Criterion benchmarks of end-to-end simulation throughput for the
-//! three machine styles (instructions simulated per unit time).
+//! three machine styles (instructions simulated per unit time), with the
+//! event-driven fast loop and the straightforward reference loop side by
+//! side so the hot-path speedup stays visible in every bench run.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -24,17 +26,22 @@ fn bench_machine_styles(c: &mut Criterion) {
     ] {
         for bench in ["adpcm_encode", "gcc"] {
             let spec = suite::by_name(bench).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(style, bench),
-                &machine,
-                |b, machine| {
-                    b.iter(|| {
-                        let r = Simulator::new(machine.clone())
-                            .run(&mut spec.stream(), WINDOW);
-                        black_box(r.runtime)
-                    })
-                },
-            );
+            for loop_kind in ["fast", "reference"] {
+                group.bench_with_input(
+                    BenchmarkId::new(style, format!("{bench}/{loop_kind}")),
+                    &machine,
+                    |b, machine| {
+                        b.iter(|| {
+                            let mut sim = Simulator::new(machine.clone());
+                            if loop_kind == "reference" {
+                                sim = sim.use_reference_loop();
+                            }
+                            let r = sim.run(&mut spec.stream(), WINDOW);
+                            black_box(r.runtime)
+                        })
+                    },
+                );
+            }
         }
     }
     group.finish();

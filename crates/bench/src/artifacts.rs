@@ -3,8 +3,7 @@
 
 use crate::{bar, print_table};
 use gals_core::{
-    CoreParams, Dl2Config, ICacheConfig, IqSize, SimResult, SyncICacheOption, TimingModel,
-    Variant,
+    CoreParams, Dl2Config, ICacheConfig, IqSize, SimResult, SyncICacheOption, TimingModel, Variant,
 };
 use gals_explore::{Explorer, Fig6Row, ProgramChoice};
 use gals_predictor::PredictorGeometry;
@@ -66,7 +65,12 @@ pub fn fig2() {
         .collect();
     print_table(
         "Figure 2: D-cache/L2 frequency (GHz) vs configuration",
-        &["config", "adaptive", "optimal", "adaptive (bar, 1.8 GHz full)"],
+        &[
+            "config",
+            "adaptive",
+            "optimal",
+            "adaptive (bar, 1.8 GHz full)",
+        ],
         &rows,
     );
 }
@@ -102,7 +106,14 @@ pub fn table2() {
     print_table(
         "Table 2: adaptive instruction cache / branch predictor configurations",
         &[
-            "size", "assoc", "sub-banks", "hg", "gshare PHT", "meta", "hl", "local BHT",
+            "size",
+            "assoc",
+            "sub-banks",
+            "hg",
+            "gshare PHT",
+            "meta",
+            "hl",
+            "local BHT",
             "local PHT",
         ],
         &rows,
@@ -128,7 +139,14 @@ pub fn table3() {
     print_table(
         "Table 3: optimized instruction cache / branch predictor configurations",
         &[
-            "size", "assoc", "sub-banks", "hg", "gshare PHT", "meta", "hl", "local BHT",
+            "size",
+            "assoc",
+            "sub-banks",
+            "hg",
+            "gshare PHT",
+            "meta",
+            "hl",
+            "local BHT",
             "local PHT",
         ],
         &rows,
@@ -153,7 +171,12 @@ pub fn fig3() {
         .collect();
     print_table(
         "Figure 3: I-cache frequency (GHz) vs size",
-        &["size", "adaptive", "optimal", "adaptive (bar, 1.8 GHz full)"],
+        &[
+            "size",
+            "adaptive",
+            "optimal",
+            "adaptive (bar, 1.8 GHz full)",
+        ],
         &rows,
     );
 }
@@ -181,7 +204,13 @@ pub fn table4() {
     let mut rows: Vec<Vec<String>> = t
         .components()
         .iter()
-        .map(|c| vec![c.name.to_string(), c.rule.to_string(), c.gates().to_string()])
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                c.rule.to_string(),
+                c.gates().to_string(),
+            ]
+        })
         .collect();
     rows.push(vec![
         "Total".to_string(),
@@ -212,7 +241,10 @@ pub fn table5() {
         )
     };
     let rows = vec![
-        vec!["Fetch queue".to_string(), format!("{} entries", p.fetch_queue)],
+        vec![
+            "Fetch queue".to_string(),
+            format!("{} entries", p.fetch_queue),
+        ],
         vec![
             "Branch mispredict penalty".to_string(),
             format!(
@@ -271,10 +303,16 @@ pub fn table5() {
 /// Tables 6–8: the benchmark suites with their (paper) windows.
 pub fn tables678() {
     for (title, suite_filter) in [
-        ("Table 6: MediaBench applications", gals_workloads::Suite::MediaBench),
+        (
+            "Table 6: MediaBench applications",
+            gals_workloads::Suite::MediaBench,
+        ),
         ("Table 7: Olden applications", gals_workloads::Suite::Olden),
         ("Table 8a: SPEC2000 integer", gals_workloads::Suite::SpecInt),
-        ("Table 8b: SPEC2000 floating-point", gals_workloads::Suite::SpecFp),
+        (
+            "Table 8b: SPEC2000 floating-point",
+            gals_workloads::Suite::SpecFp,
+        ),
     ] {
         let rows: Vec<Vec<String>> = suite::all()
             .into_iter()
@@ -293,7 +331,12 @@ pub fn tables678() {
             .collect();
         print_table(
             title,
-            &["benchmark", "dataset / paper window", "synthetic code", "synthetic data"],
+            &[
+                "benchmark",
+                "dataset / paper window",
+                "synthetic code",
+                "synthetic data",
+            ],
             &rows,
         );
     }
@@ -315,7 +358,12 @@ pub fn fig6(ex: &mut Explorer, suite: &[BenchmarkSpec]) -> Vec<Fig6Row> {
         .collect();
     print_table(
         "Figure 6: runtime improvement over the best fully synchronous machine",
-        &["benchmark", "Program-Adaptive", "Phase-Adaptive", "program config"],
+        &[
+            "benchmark",
+            "Program-Adaptive",
+            "Phase-Adaptive",
+            "program config",
+        ],
         &printable,
     );
     let prog_mean = mean_improvement(rows.iter().map(|r| (r.sync_ns, r.program_ns)));
@@ -361,7 +409,11 @@ pub fn table9(choices: &[ProgramChoice]) {
             vec![c.to_string(), pct(n_c)]
         })
         .collect();
-    print_table("Table 9b: D-cache/L2 choices", &["config", "share"], &d_rows);
+    print_table(
+        "Table 9b: D-cache/L2 choices",
+        &["config", "share"],
+        &d_rows,
+    );
 
     let i_rows: Vec<Vec<String>> = ICacheConfig::ALL
         .iter()

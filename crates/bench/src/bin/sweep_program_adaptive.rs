@@ -5,6 +5,11 @@ fn main() {
     let suite = gals_workloads::suite::all();
     let choices = ex.program_sweep(&suite).expect("program sweep");
     for c in &choices {
-        println!("{:16} -> {:32} ({:.1} ns)", c.benchmark, c.best.key(), c.runtime_ns);
+        println!(
+            "{:16} -> {:32} ({:.1} ns)",
+            c.benchmark,
+            c.best.key(),
+            c.runtime_ns
+        );
     }
 }

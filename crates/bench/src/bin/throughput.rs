@@ -1,0 +1,159 @@
+//! Throughput reporter: measures simulated-instructions/sec for the
+//! three machine styles and sweep configurations/sec for the synchronous
+//! design-space sweep, for both the event-driven fast loop and the
+//! straightforward reference loop, and emits the numbers as JSON.
+//!
+//! This feeds the checked-in `BENCH_sim.json` trajectory:
+//!
+//! ```text
+//! cargo run --release -p gals-bench --bin throughput -- --out BENCH_sim.json
+//! ```
+//!
+//! Knobs: `GALS_BENCH_SIM_WINDOW` (default 60,000 instructions per
+//! simulator measurement), `GALS_BENCH_SWEEP_WINDOW` (default 4,000
+//! instructions per sweep run).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gals_core::{MachineConfig, McdConfig, Simulator};
+use gals_explore::{Explorer, ResultCache};
+use gals_workloads::suite;
+
+const STYLES: [&str; 3] = ["synchronous", "program_adaptive", "phase_adaptive"];
+const BENCHES: [&str; 3] = ["adpcm_encode", "gcc", "equake"];
+/// Benchmarks for the sweep throughput measurement (a slice of the suite
+/// keeps the reporter under a couple of minutes end to end).
+const SWEEP_BENCHES: [&str; 4] = ["adpcm_encode", "gcc", "power", "art"];
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn machine_for(style: &str) -> MachineConfig {
+    match style {
+        "synchronous" => MachineConfig::best_synchronous(),
+        "program_adaptive" => MachineConfig::program_adaptive(McdConfig::smallest()),
+        "phase_adaptive" => MachineConfig::phase_adaptive(McdConfig::smallest()),
+        _ => unreachable!(),
+    }
+}
+
+/// Best-of-`reps` wall time for one full simulation run.
+fn time_run(machine: &MachineConfig, bench: &str, window: u64, reference: bool, reps: u32) -> f64 {
+    let spec = suite::by_name(bench).expect("benchmark in suite");
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut sim = Simulator::new(machine.clone());
+        if reference {
+            sim = sim.use_reference_loop();
+        }
+        let mut stream = spec.stream();
+        let t0 = Instant::now();
+        let r = sim.run(&mut stream, window);
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(r.committed, window);
+        best = best.min(dt);
+    }
+    best
+}
+
+/// One timed synchronous-subset sweep; returns (runs, seconds).
+fn time_sweep(window: u64, reference: bool) -> (usize, f64) {
+    let suite: Vec<_> = SWEEP_BENCHES
+        .iter()
+        .map(|n| suite::by_name(n).expect("benchmark in suite"))
+        .collect();
+    let mut ex = Explorer::with_cache(window, window, ResultCache::in_memory());
+    if reference {
+        ex = ex.with_reference_simulator();
+    }
+    let t0 = Instant::now();
+    let out = ex.sync_sweep(&suite).expect("sweep");
+    let dt = t0.elapsed().as_secs_f64();
+    (out.geomeans_ns.len() * suite.len(), dt)
+}
+
+fn main() {
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let sim_window = env_u64("GALS_BENCH_SIM_WINDOW", 60_000);
+    let sweep_window = env_u64("GALS_BENCH_SWEEP_WINDOW", 4_000);
+    // Restrict the sweep to the 128-configuration subset so the reporter
+    // stays fast; throughput per configuration is what matters here.
+    std::env::set_var("GALS_MCD_SYNC_SUBSET", "1");
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"gals-mcd-throughput-v1\",\n");
+    let _ = writeln!(json, "  \"sim_window\": {sim_window},");
+
+    // Simulator throughput matrix.
+    eprintln!("simulator throughput ({sim_window} instructions per run):");
+    let mut speedups: Vec<f64> = Vec::new();
+    json.push_str("  \"simulator\": [\n");
+    for (si, style) in STYLES.iter().enumerate() {
+        let machine = machine_for(style);
+        for (bi, bench) in BENCHES.iter().enumerate() {
+            let fast_s = time_run(&machine, bench, sim_window, false, 2);
+            let ref_s = time_run(&machine, bench, sim_window, true, 2);
+            let fast_mips = sim_window as f64 / fast_s / 1e6;
+            let ref_mips = sim_window as f64 / ref_s / 1e6;
+            let speedup = ref_s / fast_s;
+            speedups.push(speedup);
+            eprintln!(
+                "  {style:>16} {bench:<14} fast {fast_mips:7.2} Minst/s   \
+                 reference {ref_mips:7.2} Minst/s   speedup {speedup:.2}x"
+            );
+            let _ = write!(
+                json,
+                "    {{\"style\": \"{style}\", \"benchmark\": \"{bench}\", \
+                 \"fast_minst_per_sec\": {fast_mips:.3}, \
+                 \"reference_minst_per_sec\": {ref_mips:.3}, \
+                 \"speedup\": {speedup:.3}}}"
+            );
+            let last = si == STYLES.len() - 1 && bi == BENCHES.len() - 1;
+            json.push_str(if last { "\n" } else { ",\n" });
+        }
+    }
+    json.push_str("  ],\n");
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let _ = writeln!(json, "  \"simulator_geomean_speedup\": {geomean:.3},");
+    eprintln!("  geomean simulator speedup: {geomean:.2}x");
+
+    // Sweep throughput (the sweep_sync hot path end to end: work
+    // stealing, sharded result cache, and the simulator itself).
+    eprintln!("sweep_sync throughput ({sweep_window} instructions per configuration):");
+    let (runs, fast_s) = time_sweep(sweep_window, false);
+    let (runs_ref, ref_s) = time_sweep(sweep_window, true);
+    assert_eq!(runs, runs_ref);
+    let fast_cps = runs as f64 / fast_s;
+    let ref_cps = runs as f64 / ref_s;
+    let sweep_speedup = ref_s / fast_s;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "  {runs} runs: fast {fast_cps:.1} configs/s   reference {ref_cps:.1} configs/s   \
+         speedup {sweep_speedup:.2}x ({threads} threads)"
+    );
+    let _ = writeln!(
+        json,
+        "  \"sweep_sync\": {{\"runs\": {runs}, \"window\": {sweep_window}, \
+         \"threads\": {threads}, \"fast_configs_per_sec\": {fast_cps:.3}, \
+         \"reference_configs_per_sec\": {ref_cps:.3}, \"speedup\": {sweep_speedup:.3}}}"
+    );
+    json.push_str("}\n");
+
+    println!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).expect("write report");
+        eprintln!("wrote {path}");
+    }
+}

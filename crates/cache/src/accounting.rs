@@ -99,7 +99,9 @@ pub struct AccountingStats {
 impl AccountingStats {
     /// Hits that an `a`-way A partition would have served.
     pub fn hits_in_a(&self, a_ways: u32) -> u64 {
-        self.pos_hits[..(a_ways as usize).min(MAX_WAYS)].iter().sum()
+        self.pos_hits[..(a_ways as usize).min(MAX_WAYS)]
+            .iter()
+            .sum()
     }
 
     /// Hits that would fall to the B partition under an `a`-way A
@@ -203,7 +205,7 @@ impl AccountingCache {
             });
         }
         let way_bytes = total_bytes / ways as u64;
-        if way_bytes == 0 || way_bytes % line_bytes != 0 {
+        if way_bytes == 0 || !way_bytes.is_multiple_of(line_bytes) {
             return Err(CacheConfigError::BadGeometry(format!(
                 "way capacity {way_bytes} not a multiple of line size"
             )));
@@ -493,9 +495,11 @@ mod tests {
 
     #[test]
     fn stats_reconstruction_queries() {
-        let mut s = AccountingStats::default();
-        s.pos_hits = [10, 5, 3, 2, 0, 0, 0, 0];
-        s.misses = 4;
+        let s = AccountingStats {
+            pos_hits: [10, 5, 3, 2, 0, 0, 0, 0],
+            misses: 4,
+            ..AccountingStats::default()
+        };
         assert_eq!(s.hits_in_a(1), 10);
         assert_eq!(s.hits_in_a(2), 15);
         assert_eq!(s.hits_in_b(1, 4), 10);

@@ -46,10 +46,7 @@ impl CostTable {
             points.iter().all(|p| p.a_ways <= total_ways),
             "a_ways exceeds physical ways"
         );
-        CostTable {
-            points,
-            total_ways,
-        }
+        CostTable { points, total_ways }
     }
 
     /// The candidate points.
@@ -79,8 +76,7 @@ impl CostTable {
             p.b_cycles.is_some() || b_hits == 0 || p.a_ways < self.total_ways,
             "B hits with no B partition"
         );
-        let hit_ns =
-            (a_hits * p.a_cycles + b_hits * b_cycles) as f64 * p.cycle_ns;
+        let hit_ns = (a_hits * p.a_cycles + b_hits * b_cycles) as f64 * p.cycle_ns;
         // A B access also pays the preceding A probe; that probe is already
         // included because b_cycles (Table 5: 8/5/2 cycles) is the total
         // latency observed by a B hit.
@@ -111,10 +107,30 @@ mod tests {
         // Mirrors the L1 D-cache: 4 configs over 8 ways, Table 5 latencies.
         CostTable::new(
             vec![
-                CostPoint { a_ways: 1, a_cycles: 2, b_cycles: Some(8), cycle_ns: 0.63 },
-                CostPoint { a_ways: 2, a_cycles: 2, b_cycles: Some(5), cycle_ns: 0.83 },
-                CostPoint { a_ways: 4, a_cycles: 2, b_cycles: Some(2), cycle_ns: 0.89 },
-                CostPoint { a_ways: 8, a_cycles: 2, b_cycles: None, cycle_ns: 0.99 },
+                CostPoint {
+                    a_ways: 1,
+                    a_cycles: 2,
+                    b_cycles: Some(8),
+                    cycle_ns: 0.63,
+                },
+                CostPoint {
+                    a_ways: 2,
+                    a_cycles: 2,
+                    b_cycles: Some(5),
+                    cycle_ns: 0.83,
+                },
+                CostPoint {
+                    a_ways: 4,
+                    a_cycles: 2,
+                    b_cycles: Some(2),
+                    cycle_ns: 0.89,
+                },
+                CostPoint {
+                    a_ways: 8,
+                    a_cycles: 2,
+                    b_cycles: None,
+                    cycle_ns: 0.99,
+                },
             ],
             8,
         )
@@ -172,8 +188,18 @@ mod tests {
     fn unordered_points_rejected() {
         let _ = CostTable::new(
             vec![
-                CostPoint { a_ways: 2, a_cycles: 2, b_cycles: Some(5), cycle_ns: 0.8 },
-                CostPoint { a_ways: 1, a_cycles: 2, b_cycles: Some(8), cycle_ns: 0.6 },
+                CostPoint {
+                    a_ways: 2,
+                    a_cycles: 2,
+                    b_cycles: Some(5),
+                    cycle_ns: 0.8,
+                },
+                CostPoint {
+                    a_ways: 1,
+                    a_cycles: 2,
+                    b_cycles: Some(8),
+                    cycle_ns: 0.6,
+                },
             ],
             8,
         );

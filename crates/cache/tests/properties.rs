@@ -16,16 +16,15 @@ fn trace_strategy() -> impl Strategy<Value = Vec<(u64, bool)>> {
     prop::collection::vec((0u64..4096, any::<bool>()), 1..2000)
 }
 
-fn run_counts(
-    trace: &[(u64, bool)],
-    total_bytes: u64,
-    ways: u32,
-    a_ways: u32,
-) -> (u64, u64, u64) {
+fn run_counts(trace: &[(u64, bool)], total_bytes: u64, ways: u32, a_ways: u32) -> (u64, u64, u64) {
     let mut c = AccountingCache::new(total_bytes, ways, 64, a_ways, true).unwrap();
     let (mut a, mut b, mut m) = (0u64, 0u64, 0u64);
     for &(addr, write) in trace {
-        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         match c.access(addr, kind).served {
             ServedBy::APartition => a += 1,
             ServedBy::BPartition => b += 1,

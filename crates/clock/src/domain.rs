@@ -220,7 +220,10 @@ impl DomainClock {
         }
         let lock = self.pll.sample_lock_time();
         let complete_at = self.last_edge + lock;
-        self.pending = Some(PendingChange { target, complete_at });
+        self.pending = Some(PendingChange {
+            target,
+            complete_at,
+        });
         complete_at
     }
 

@@ -121,7 +121,7 @@ impl<T> SyncFifo<T> {
         }
         let visible = self.sync.ready_time(at, producer_period, consumer_period);
         debug_assert!(
-            self.entries.back().map_or(true, |(v, _)| *v <= visible),
+            self.entries.back().is_none_or(|(v, _)| *v <= visible),
             "enqueue times must be monotone"
         );
         self.entries.push_back((visible, value));

@@ -36,7 +36,10 @@ impl Pll {
     ///
     /// Panics if `scale` is not finite and positive.
     pub fn scaled(rng: SplitMix64, scale: f64) -> Self {
-        assert!(scale.is_finite() && scale > 0.0, "invalid PLL scale {scale}");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "invalid PLL scale {scale}"
+        );
         let us = |v: f64| Femtos::new((v * 1e9 * scale) as u64);
         Pll {
             mean: us(15.0),
@@ -48,8 +51,17 @@ impl Pll {
     }
 
     /// Creates a PLL with explicit parameters (for tests and ablations).
-    pub fn with_parameters(mean: Femtos, std_dev: Femtos, min: Femtos, max: Femtos, rng: SplitMix64) -> Self {
-        assert!(min <= mean && mean <= max, "mean must lie within [min, max]");
+    pub fn with_parameters(
+        mean: Femtos,
+        std_dev: Femtos,
+        min: Femtos,
+        max: Femtos,
+        rng: SplitMix64,
+    ) -> Self {
+        assert!(
+            min <= mean && mean <= max,
+            "mean must lie within [min, max]"
+        );
         Pll {
             mean,
             std_dev_fs: std_dev.as_fs() as f64,

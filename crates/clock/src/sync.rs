@@ -112,7 +112,10 @@ mod tests {
     fn disabled_imposes_nothing() {
         let s = SyncModel::disabled();
         let t = Femtos::from_ns(5);
-        assert_eq!(s.ready_time(t, Femtos::from_ps(625), Femtos::from_ps(625)), t);
+        assert_eq!(
+            s.ready_time(t, Femtos::from_ps(625), Femtos::from_ps(625)),
+            t
+        );
     }
 
     #[test]

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One of the independently clocked domains of the adaptive MCD processor
 /// (Figure 1 of the paper), plus the fixed-frequency external memory domain.
 ///
@@ -14,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// * `External` — main memory; "can be thought of as a separate fifth
 ///   domain, but it operates at a fixed base frequency and hence is
 ///   non-adaptive" (§2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DomainId {
     /// Fetch, branch prediction, rename, reorder buffer, dispatch.
     FrontEnd,

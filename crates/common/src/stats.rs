@@ -190,8 +190,7 @@ mod tests {
         let r: Running = xs.iter().copied().collect();
         assert_eq!(r.count(), 5);
         assert!((r.mean() - mean(&xs).unwrap()).abs() < 1e-12);
-        let batch_var =
-            xs.iter().map(|x| (x - r.mean()).powi(2)).sum::<f64>() / xs.len() as f64;
+        let batch_var = xs.iter().map(|x| (x - r.mean()).powi(2)).sum::<f64>() / xs.len() as f64;
         assert!((r.variance() - batch_var).abs() < 1e-9);
         assert_eq!(r.min(), Some(1.0));
         assert_eq!(r.max(), Some(10.0));

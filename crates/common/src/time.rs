@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A duration or absolute point in simulated time, in femtoseconds.
 ///
 /// One femtosecond is 10⁻¹⁵ seconds. A `u64` of femtoseconds covers about
@@ -25,9 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(period.as_ps(), 625.0);
 /// assert_eq!((period * 4) / 2, Femtos::new(1_250_000));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Femtos(u64);
 
 impl Femtos {
@@ -209,9 +205,7 @@ impl fmt::Display for Femtos {
 /// assert_eq!(f.as_ghz(), 1.52);
 /// assert!(Hertz::from_ghz(1.0).period().as_ps() == 1000.0);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Hertz(u64);
 
 impl Hertz {

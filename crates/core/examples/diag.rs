@@ -6,9 +6,16 @@ fn main() {
         let spec = gals_workloads::suite::by_name(name).unwrap();
         let r = Simulator::new(MachineConfig::phase_adaptive(McdConfig::smallest()))
             .run(&mut spec.stream(), 80_000);
-        println!("== {name}: {} reconfigs, l1d a/b/m = {}/{}/{}  l2 a/b/m = {}/{}/{}",
-            r.reconfigs.len(), r.l1d.a_hits, r.l1d.b_hits, r.l1d.misses,
-            r.l2.a_hits, r.l2.b_hits, r.l2.misses);
+        println!(
+            "== {name}: {} reconfigs, l1d a/b/m = {}/{}/{}  l2 a/b/m = {}/{}/{}",
+            r.reconfigs.len(),
+            r.l1d.a_hits,
+            r.l1d.b_hits,
+            r.l1d.misses,
+            r.l2.a_hits,
+            r.l2.b_hits,
+            r.l2.misses
+        );
         for ev in r.reconfigs.iter().take(25) {
             println!("   @{:6}k {:?}", ev.at_committed / 1000, ev.kind);
         }

@@ -3,13 +3,27 @@ use gals_core::{MachineConfig, McdConfig, Simulator};
 use std::time::Instant;
 
 fn main() {
-    let window: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
-    for name in ["adpcm_encode", "gcc", "em3d", "art", "apsi", "gsm_encode", "vpr"] {
+    let window: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
+    for name in [
+        "adpcm_encode",
+        "gcc",
+        "em3d",
+        "art",
+        "apsi",
+        "gsm_encode",
+        "vpr",
+    ] {
         let spec = gals_workloads::suite::by_name(name).unwrap();
         let t0 = Instant::now();
-        let sync = Simulator::new(MachineConfig::best_synchronous()).run(&mut spec.stream(), window);
-        let prog = Simulator::new(MachineConfig::program_adaptive(McdConfig::smallest())).run(&mut spec.stream(), window);
-        let phase = Simulator::new(MachineConfig::phase_adaptive(McdConfig::smallest())).run(&mut spec.stream(), window);
+        let sync =
+            Simulator::new(MachineConfig::best_synchronous()).run(&mut spec.stream(), window);
+        let prog = Simulator::new(MachineConfig::program_adaptive(McdConfig::smallest()))
+            .run(&mut spec.stream(), window);
+        let phase = Simulator::new(MachineConfig::phase_adaptive(McdConfig::smallest()))
+            .run(&mut spec.stream(), window);
         let dt = t0.elapsed().as_secs_f64();
         let imp_prog = (sync.runtime_ns() / prog.runtime_ns() - 1.0) * 100.0;
         let imp_phase = (sync.runtime_ns() / phase.runtime_ns() - 1.0) * 100.0;

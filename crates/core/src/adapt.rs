@@ -15,7 +15,9 @@ pub(crate) struct ServiceAvg {
 
 impl ServiceAvg {
     pub(crate) fn new(initial_ns: f64) -> Self {
-        ServiceAvg { value_ns: initial_ns }
+        ServiceAvg {
+            value_ns: initial_ns,
+        }
     }
 
     pub(crate) fn update(&mut self, sample_ns: f64) {
@@ -354,7 +356,10 @@ mod tests {
                 assert!(d.iq_int > IqSize::Q16);
             }
         }
-        assert!(saw_change, "diluted parallel chains should trigger an upsize");
+        assert!(
+            saw_change,
+            "diluted parallel chains should trigger an upsize"
+        );
     }
 
     #[test]

@@ -4,11 +4,10 @@
 use gals_common::{Femtos, Hertz};
 use gals_isa::OpClass;
 use gals_timing::{Dl2Config, ICacheConfig, IqSize, SyncICacheOption, TimingModel, Variant};
-use serde::{Deserialize, Serialize};
 
 /// One point in the adaptive MCD configuration space: 4 × 4 × 4 × 4 = 256
 /// combinations (the space the Program-Adaptive sweep searches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct McdConfig {
     /// Front-end I-cache / branch-predictor configuration (Table 2).
     pub icache: ICacheConfig,
@@ -75,7 +74,7 @@ impl McdConfig {
 
 /// One point in the fully synchronous design space: 16 I-cache options ×
 /// 4 D/L2 × 4 int IQ × 4 FP IQ = 1,024 combinations (§4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SyncConfig {
     /// Fixed I-cache option (Table 3).
     pub icache: SyncICacheOption,
@@ -145,7 +144,7 @@ impl SyncConfig {
 
 /// Microarchitectural parameters (Table 5) and model constants shared by
 /// all machine styles.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreParams {
     /// Fetch queue entries.
     pub fetch_queue: usize,
@@ -278,7 +277,7 @@ impl CoreParams {
 }
 
 /// Machine style plus its structure choices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MachineKind {
     /// Single-clock processor; caches have no B partitions; mispredict
     /// penalty 9 + 7.
@@ -468,10 +467,7 @@ mod tests {
 
     #[test]
     fn config_keys_distinct() {
-        assert_ne!(
-            McdConfig::smallest().key(),
-            McdConfig::largest().key()
-        );
+        assert_ne!(McdConfig::smallest().key(), McdConfig::largest().key());
         assert!(SyncConfig::paper_best().key().contains("64k1W"));
     }
 }

@@ -22,8 +22,31 @@
 //! wrong-path instructions are not fetched (a mispredicted branch stalls
 //! fetch until resolution plus the Table 5 refill penalty), branch
 //! targets are assumed BTB-resident, and memory disambiguation is exact.
+//!
+//! # Hot-path architecture
+//!
+//! The simulator has two run loops producing **bit-identical** results:
+//!
+//! * The **event-driven fast path** (default). Issue-queue and LSQ
+//!   entries carry a memoized earliest-possible-issue time
+//!   (`next_check`); entries whose producer has not issued yet register
+//!   in a per-producer waiter list and are woken by the producer's
+//!   completion broadcast instead of being polled. Each domain maintains
+//!   `next_work`, a sound lower bound on the next edge at which its
+//!   handler can change any state: edges before that bound tick the
+//!   clock (consuming the identical jitter-RNG sequence) but skip the
+//!   handler, and when *every* domain is idle the run loop fast-forwards
+//!   all four clocks to the earliest bound in one batch. Store-to-load
+//!   forwarding consults an address-indexed map of in-flight stores, and
+//!   LSQ commit-time removal is O(1) head popping.
+//! * The **straightforward reference path**
+//!   ([`Simulator::use_reference_loop`]): every edge of every domain
+//!   runs its full handler, forwarding reverse-scans the LSQ, and
+//!   removal is a linear search — the naive implementation the
+//!   determinism regression tests compare against, and the baseline the
+//!   criterion benches measure speedups from.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use gals_cache::{AccessKind, AccountingCache, ServedBy};
 use gals_clock::{DomainClock, SyncModel};
@@ -68,6 +91,9 @@ enum RenameRef {
     Pending(u64),
 }
 
+/// Sentinel for the intrusive waiter lists: "no waiter".
+const NO_WAITER: u64 = u64::MAX;
+
 #[derive(Debug, Clone)]
 struct InstState {
     inst: DynInst,
@@ -83,6 +109,11 @@ struct InstState {
     renamed: bool,
     mispredicted: bool,
     uses_phys: bool,
+    /// Head of this instruction's waiter chain: the seq of the first
+    /// consumer parked on its completion broadcast (fast path only).
+    waiter_head: u64,
+    /// Next link when this instruction is itself parked in a chain.
+    waiter_next: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -152,6 +183,20 @@ pub struct Simulator {
     lsq: VecDeque<u64>,
     lsq_scratch: Vec<u64>,
     store_jobs: VecDeque<StoreJob>,
+
+    // Event-driven fast-path state (unused in reference mode).
+    /// False selects the straightforward reference loop.
+    event_driven: bool,
+    /// Per-domain lower bound on the next edge time at which the
+    /// domain's handler can change state. `Femtos::MAX` = fully idle.
+    next_work: [Femtos; 4],
+    /// `addr >> 3` → in-flight (LSQ-resident) stores to that 8-byte
+    /// line, in ascending seq order. Gives store-to-load forwarding its
+    /// O(log n) candidate lookup.
+    stores_by_line: HashMap<u64, Vec<u64>>,
+    /// Un-issued LSQ entries in age order (the subset the LS edge walk
+    /// actually needs to visit).
+    lsq_pending: VecDeque<u64>,
 
     fetch_stalled_until: Femtos,
     fetch_blocked_on: Option<u64>,
@@ -232,10 +277,22 @@ impl Simulator {
         } else {
             (
                 AccountingCache::new(ic_kb as u64 * 1024, ic_ways, line, ic_ways, false).unwrap(),
-                AccountingCache::new(dl2.l1_kb() as u64 * 1024, dl2.ways(), line, dl2.ways(), false)
-                    .unwrap(),
-                AccountingCache::new(dl2.l2_kb() as u64 * 1024, dl2.ways(), line, dl2.ways(), false)
-                    .unwrap(),
+                AccountingCache::new(
+                    dl2.l1_kb() as u64 * 1024,
+                    dl2.ways(),
+                    line,
+                    dl2.ways(),
+                    false,
+                )
+                .unwrap(),
+                AccountingCache::new(
+                    dl2.l2_kb() as u64 * 1024,
+                    dl2.ways(),
+                    line,
+                    dl2.ways(),
+                    false,
+                )
+                .unwrap(),
             )
         };
 
@@ -244,9 +301,7 @@ impl Simulator {
         let (predictors, active_pred) = if phase {
             let preds: Vec<_> = ICacheConfig::ALL
                 .iter()
-                .map(|c| {
-                    HybridPredictor::new(PredictorGeometry::for_capacity_kb(c.kb()).unwrap())
-                })
+                .map(|c| HybridPredictor::new(PredictorGeometry::for_capacity_kb(c.kb()).unwrap()))
                 .collect();
             (preds, ic_ways as usize - 1)
         } else {
@@ -312,6 +367,10 @@ impl Simulator {
             lsq: VecDeque::with_capacity(cfg.params.lsq_entries),
             lsq_scratch: Vec::with_capacity(cfg.params.lsq_entries),
             store_jobs: VecDeque::new(),
+            event_driven: true,
+            next_work: [Femtos::ZERO; 4],
+            stores_by_line: HashMap::with_capacity(64),
+            lsq_pending: VecDeque::with_capacity(cfg.params.lsq_entries),
             fetch_stalled_until: Femtos::ZERO,
             fetch_blocked_on: None,
             cur_fetch_line: u64::MAX,
@@ -345,9 +404,41 @@ impl Simulator {
         }
     }
 
+    /// Switches this simulator to the straightforward reference loop:
+    /// every domain edge runs its full handler and the LSQ uses linear
+    /// scans. Results are bit-identical to the default event-driven fast
+    /// path (the determinism regression tests assert this); only wall
+    /// clock differs. Call before [`Simulator::run`].
+    pub fn use_reference_loop(mut self) -> Self {
+        self.event_driven = false;
+        self
+    }
+
     // ------------------------------------------------------------------
     // Helpers
     // ------------------------------------------------------------------
+
+    /// Lowers a domain's next-work bound (fast path bookkeeping; no-op
+    /// in reference mode where the bound is never consulted).
+    #[inline]
+    fn wake_domain(&mut self, domain: usize, at: Femtos) {
+        if at < self.next_work[domain] {
+            self.next_work[domain] = at;
+        }
+    }
+
+    /// Parks `seq` on `producer`'s completion broadcast: pushes it onto
+    /// the producer's intrusive waiter chain and freezes its wake time
+    /// until [`Simulator::complete_at`] unchains it. O(1), allocation
+    /// free.
+    #[inline]
+    fn park_on(&mut self, producer: u64, seq: u64) {
+        let head = self.st(producer).waiter_head;
+        self.st_mut(producer).waiter_head = seq;
+        let st = self.st_mut(seq);
+        st.waiter_next = head;
+        st.next_check = Femtos::MAX;
+    }
 
     #[inline]
     fn st(&self, seq: u64) -> &InstState {
@@ -370,9 +461,7 @@ impl Simulator {
     fn cycles_in(&self, domain: usize, cycles: u64) -> Femtos {
         let period = self.clocks[domain].period();
         let span = period * cycles;
-        let guard = Femtos::new(
-            (period.as_fs() as f64 * self.cfg.params.jitter_frac * 2.0) as u64,
-        );
+        let guard = Femtos::new((period.as_fs() as f64 * self.cfg.params.jitter_frac * 2.0) as u64);
         span.saturating_sub(guard).max(Femtos::new(1))
     }
 
@@ -427,6 +516,11 @@ impl Simulator {
     /// are known to arrive at a future time are skipped with a single
     /// compare until then (`next_check`), which keeps long memory stalls
     /// cheap to simulate.
+    ///
+    /// Fast path: an entry whose producer has not issued yet cannot have
+    /// a known wake time, so instead of being re-polled every edge it
+    /// registers in the producer's waiter list and parks at
+    /// `next_check = MAX` until [`Simulator::complete_at`] wakes it.
     fn entry_ready(&mut self, seq: u64, domain: usize, e: Femtos) -> bool {
         if self.st(seq).next_check > e {
             return false;
@@ -443,12 +537,28 @@ impl Simulator {
                     true
                 }
             }
-            // Producer still unscheduled: poll again next edge.
-            _ => false,
+            // Producer still unscheduled: reference mode polls again
+            // next edge; fast mode parks on the producer's completion.
+            _ => {
+                if self.event_driven {
+                    let idx = usize::from(a.is_some());
+                    if let Src::Pending(pseq) = self.st(seq).srcs[idx] {
+                        self.park_on(pseq, seq);
+                    } else {
+                        debug_assert!(false, "None visibility only arises from Pending");
+                    }
+                }
+                false
+            }
         }
     }
 
     /// Records an instruction's completion for dependants and commit.
+    ///
+    /// Fast path: this is the wake event — parked consumers get their
+    /// `next_check` lowered to (a sound lower bound on) their new wake
+    /// time and their domain's `next_work` follows; if the completing
+    /// instruction is the ROB head, the front end is woken for commit.
     fn complete_at(&mut self, seq: u64, at: Femtos, domain: usize) {
         let slot = &mut self.ring[(seq as usize) & (RING - 1)];
         slot.seq = seq;
@@ -457,6 +567,25 @@ impl Simulator {
         let st = self.st_mut(seq);
         st.completion = Some(at);
         st.issued = true;
+        if self.event_driven {
+            let mut w = self.st(seq).waiter_head;
+            self.st_mut(seq).waiter_head = NO_WAITER;
+            while w != NO_WAITER {
+                let wake = at.max(self.st(w).arrival);
+                let wdomain = self.st(w).exec_domain as usize;
+                let wst = self.st_mut(w);
+                let next = wst.waiter_next;
+                wst.waiter_next = NO_WAITER;
+                if wake < wst.next_check {
+                    wst.next_check = wake;
+                }
+                self.wake_domain(wdomain, wake);
+                w = next;
+            }
+            if self.rob.front() == Some(&seq) {
+                self.wake_domain(FE, at);
+            }
+        }
     }
 
     /// L1 B-partition latency (cycles) for the current config of a cache
@@ -495,6 +624,42 @@ impl Simulator {
         self.commit(e, window);
         self.rename_dispatch(e);
         self.fetch(e, stream);
+        if self.event_driven {
+            self.recompute_fe_wake(e);
+        }
+    }
+
+    /// Tightens the front end's `next_work` bound after an edge ran. A
+    /// bound of `e` means "poll every edge" (the candidate action is
+    /// either possible now or cheap to re-check); `MAX` means the front
+    /// end is fully blocked and will be woken by an event hook
+    /// ([`Simulator::complete_at`] for the ROB head, mispredict
+    /// resolution in [`Simulator::exec_edge`]).
+    fn recompute_fe_wake(&mut self, e: Femtos) {
+        let mut w = Femtos::MAX;
+        if let Some((_, at)) = self.pending_ic {
+            w = w.min(at);
+        }
+        // Commit: the head's completion time lower-bounds its
+        // cross-domain commit visibility. An unissued head wakes us via
+        // the complete_at hook instead.
+        if let Some(&head) = self.rob.front() {
+            if let Some(c) = self.st(head).completion {
+                w = w.min(c.max(e));
+            }
+        }
+        // Rename/dispatch: all blocking conditions are O(1) compares, so
+        // polling while work is queued is cheaper than modelling them.
+        if !self.fetch_q.is_empty() {
+            w = w.min(e);
+        }
+        // Fetch: bounded by an I-cache/mispredict stall when one is in
+        // force; a mispredict block (fetch_blocked_on) is cleared — and
+        // this bound lowered — at branch resolution.
+        if self.fetch_blocked_on.is_none() && self.fetch_q.len() < self.cfg.params.fetch_queue {
+            w = w.min(self.fetch_stalled_until.max(e));
+        }
+        self.next_work[FE] = w;
     }
 
     fn apply_pending_fe(&mut self, e: Femtos) {
@@ -548,14 +713,23 @@ impl Simulator {
                 // commit signal crosses over.
                 let ready = self.xfer(e, FE, LS);
                 self.store_jobs.push_back(StoreJob { addr, ready });
-                // Remove from LSQ.
-                if let Some(pos) = self.lsq.iter().position(|&s| s == seq) {
-                    self.lsq.remove(pos);
+                self.remove_lsq_head(seq);
+                if self.event_driven {
+                    // The store leaves the forwarding window at commit;
+                    // being the oldest in-flight instruction it must be
+                    // the oldest store on its line.
+                    let line = addr >> 3;
+                    if let Some(list) = self.stores_by_line.get_mut(&line) {
+                        debug_assert_eq!(list.first(), Some(&seq));
+                        list.remove(0);
+                        if list.is_empty() {
+                            self.stores_by_line.remove(&line);
+                        }
+                    }
+                    self.wake_domain(LS, ready);
                 }
             } else if self.st(seq).inst.op == OpClass::Load {
-                if let Some(pos) = self.lsq.iter().position(|&s| s == seq) {
-                    self.lsq.remove(pos);
-                }
+                self.remove_lsq_head(seq);
             }
             if uses_phys {
                 if let Some(class) = dst_class {
@@ -580,6 +754,19 @@ impl Simulator {
         }
     }
 
+    /// Removes the committing memory instruction from the LSQ. Commit is
+    /// strictly in age order and the LSQ is age-ordered, so in fast mode
+    /// the entry is simply the head; the reference path keeps the
+    /// original linear search.
+    fn remove_lsq_head(&mut self, seq: u64) {
+        if self.event_driven {
+            debug_assert_eq!(self.lsq.front(), Some(&seq));
+            self.lsq.pop_front();
+        } else if let Some(pos) = self.lsq.iter().position(|&s| s == seq) {
+            self.lsq.remove(pos);
+        }
+    }
+
     /// End-of-interval controller evaluation (§3.1). The decision itself
     /// takes ~32 cycles of dedicated hardware; the resulting PLL relock
     /// dwarfs that, so the decision latency is folded into the relock.
@@ -600,6 +787,7 @@ impl Simulator {
                     self.apply_ic_resize(new_idx);
                 } else {
                     self.pending_ic = Some((new_idx, done));
+                    self.wake_domain(FE, done);
                 }
                 self.reconfigs.push(ReconfigEvent {
                     at_committed: self.committed,
@@ -623,6 +811,7 @@ impl Simulator {
                     self.apply_dl2_resize(new_idx);
                 } else {
                     self.pending_dl2 = Some((new_idx, done));
+                    self.wake_domain(LS, done);
                 }
                 self.reconfigs.push(ReconfigEvent {
                     at_committed: self.committed,
@@ -643,7 +832,11 @@ impl Simulator {
         self.ic_total.writebacks += s.writebacks;
     }
 
-    fn accumulate_dl2(&mut self, l1: &gals_cache::AccountingStats, l2: &gals_cache::AccountingStats) {
+    fn accumulate_dl2(
+        &mut self,
+        l1: &gals_cache::AccountingStats,
+        l2: &gals_cache::AccountingStats,
+    ) {
         let a1 = self.l1d.a_ways();
         let t1 = self.l1d.physical_ways();
         self.l1d_total.accesses += l1.accesses;
@@ -662,7 +855,9 @@ impl Simulator {
 
     fn rename_dispatch(&mut self, e: Femtos) {
         for _ in 0..self.cfg.params.decode_width {
-            let Some(&seq) = self.fetch_q.front() else { break };
+            let Some(&seq) = self.fetch_q.front() else {
+                break;
+            };
             if self.rob.len() >= self.cfg.params.rob_entries {
                 break;
             }
@@ -681,10 +876,8 @@ impl Simulator {
                 _ => INT,
             };
             match exec_domain {
-                LS => {
-                    if self.lsq.len() >= self.cfg.params.lsq_entries {
-                        break;
-                    }
+                LS if self.lsq.len() >= self.cfg.params.lsq_entries => {
+                    break;
                 }
                 INT | FP => {
                     let qi = exec_domain - 1; // INT -> 0, FP -> 1
@@ -753,8 +946,25 @@ impl Simulator {
                     // Nops and (BTB-resolved) jumps complete at rename.
                     self.complete_at(seq, e, FE);
                 }
-                LS => self.lsq.push_back(seq),
-                d => self.iq[d - 1].push(seq),
+                LS => {
+                    self.lsq.push_back(seq);
+                    if self.event_driven {
+                        self.lsq_pending.push_back(seq);
+                        if inst.op == OpClass::Store {
+                            self.stores_by_line
+                                .entry(inst.mem_addr >> 3)
+                                .or_default()
+                                .push(seq);
+                        }
+                        self.wake_domain(LS, arrival);
+                    }
+                }
+                d => {
+                    self.iq[d - 1].push(seq);
+                    if self.event_driven {
+                        self.wake_domain(d, arrival);
+                    }
+                }
             }
 
             // ILP tracking at rename (§3.2). Decisions are suppressed for
@@ -787,6 +997,7 @@ impl Simulator {
                 self.iq_cap[qi] = target as usize;
             } else {
                 self.pending_iq[qi] = Some((new_size, done));
+                self.wake_domain(domain, done);
             }
             self.reconfigs.push(ReconfigEvent {
                 at_committed: self.committed,
@@ -854,6 +1065,8 @@ impl Simulator {
                 renamed: false,
                 mispredicted: false,
                 uses_phys: false,
+                waiter_head: NO_WAITER,
+                waiter_next: NO_WAITER,
             });
             self.fetch_q.push_back(seq);
 
@@ -901,6 +1114,9 @@ impl Simulator {
         }
 
         if self.iq[qi].is_empty() {
+            if self.event_driven {
+                self.recompute_exec_wake(qi, domain, e);
+            }
             return;
         }
         let width = self.cfg.params.issue_width;
@@ -921,7 +1137,11 @@ impl Simulator {
             let busy = self.cycles_in(domain, if unpipelined { lat_cycles } else { 1 });
             let pool_idx = usize::from(matches!(
                 op,
-                OpClass::IntMul | OpClass::IntDiv | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt
+                OpClass::IntMul
+                    | OpClass::IntDiv
+                    | OpClass::FpMul
+                    | OpClass::FpDiv
+                    | OpClass::FpSqrt
             ));
             let pool = if domain == INT {
                 &mut self.fu_int[pool_idx]
@@ -944,12 +1164,44 @@ impl Simulator {
                     + self.clocks[INT].period() * p.mispredict_int_cycles;
                 self.fetch_stalled_until = self.fetch_stalled_until.max(resume);
                 self.fetch_blocked_on = None;
+                if self.event_driven {
+                    // The front end may have parked with nothing to do;
+                    // resolution re-opens fetch, so make it re-evaluate.
+                    self.wake_domain(FE, e);
+                }
             }
             // `remove` (not swap_remove) keeps the queue in age order so
             // selection stays oldest-first.
             self.iq[qi].remove(i);
             issued += 1;
         }
+        if self.event_driven {
+            self.recompute_exec_wake(qi, domain, e);
+        }
+    }
+
+    /// Tightens an execution domain's `next_work` bound: the earliest
+    /// memoized wake time over its issue-queue entries (entries parked
+    /// on an unissued producer sit at `MAX` and are woken by
+    /// [`Simulator::complete_at`]), or a pending queue-resize
+    /// application. Entries that were ready but lost functional-unit or
+    /// issue-width arbitration still carry `next_check <= e`, which
+    /// correctly degrades this to per-edge polling while the queue is
+    /// saturated.
+    fn recompute_exec_wake(&mut self, qi: usize, domain: usize, e: Femtos) {
+        let mut w = Femtos::MAX;
+        if let Some((_, at)) = self.pending_iq[qi] {
+            w = w.min(at);
+        }
+        for &seq in &self.iq[qi] {
+            w = w.min(self.st(seq).next_check);
+            if w <= e {
+                // Any bound at or below the current edge already means
+                // "run the very next edge"; no need for a tighter min.
+                break;
+            }
+        }
+        self.next_work[domain] = w;
     }
 
     // ------------------------------------------------------------------
@@ -964,9 +1216,126 @@ impl Simulator {
             }
         }
 
-        // Retire completed MSHRs.
+        // Retire completed MSHRs. (In fast mode this runs only on work
+        // edges, which is equivalent: retention is monotone in `e` and
+        // only the occupancy *at a load's issue attempt* is observable.)
         self.mshr.retain(|&t| t > e);
 
+        if self.event_driven {
+            self.ls_edge_fast(e);
+        } else {
+            self.ls_edge_reference(e);
+        }
+    }
+
+    /// Fast-path LS edge: walks only the un-issued LSQ entries, resolves
+    /// store-to-load forwarding through the address-indexed store map,
+    /// and finishes by tightening the domain's `next_work` bound.
+    fn ls_edge_fast(&mut self, e: Femtos) {
+        let mut ports = self.cfg.params.dcache_ports;
+        let mut i = 0;
+        while i < self.lsq_pending.len() {
+            if ports == 0 {
+                break;
+            }
+            let seq = self.lsq_pending[i];
+            let st = self.st(seq);
+            debug_assert!(st.renamed && !st.issued);
+            let op = st.inst.op;
+            let addr = st.inst.mem_addr;
+            if !self.entry_ready(seq, LS, e) {
+                i += 1;
+                continue;
+            }
+            match op {
+                OpClass::Store => {
+                    // Data and address ready: ready to commit one cycle
+                    // later. The actual cache write happens at commit.
+                    let done = e + self.cycles_in(LS, 1);
+                    self.complete_at(seq, done, LS);
+                    self.lsq_pending.remove(i);
+                }
+                OpClass::Load => {
+                    // Forwarding / conflict detection against the
+                    // youngest older in-flight store to the same 8-byte
+                    // line: O(log n) via the per-line store index
+                    // instead of a reverse scan over all older entries.
+                    let mut forwarded = false;
+                    let mut blocked = false;
+                    if let Some(list) = self.stores_by_line.get(&(addr >> 3)) {
+                        let idx = list.partition_point(|&s| s < seq);
+                        if idx > 0 {
+                            let older = list[idx - 1];
+                            match self.st(older).completion {
+                                Some(c) if c <= e => {
+                                    // Forward from the store buffer.
+                                    let done = e + self.cycles_in(LS, 1);
+                                    self.complete_at(seq, done, LS);
+                                    forwarded = true;
+                                }
+                                Some(c) => {
+                                    self.st_mut(seq).next_check = c;
+                                    blocked = true;
+                                }
+                                None => {
+                                    // The store's own issue time is
+                                    // unknown; park on its completion
+                                    // broadcast.
+                                    self.park_on(older, seq);
+                                    blocked = true;
+                                }
+                            }
+                        }
+                    }
+                    if forwarded {
+                        ports -= 1;
+                        self.lsq_pending.remove(i);
+                        continue;
+                    }
+                    if blocked {
+                        i += 1;
+                        continue;
+                    }
+                    let Some(completion) = self.load_dcache_access(seq, addr, e) else {
+                        i += 1;
+                        continue;
+                    };
+                    self.complete_at(seq, completion, LS);
+                    ports -= 1;
+                    self.lsq_pending.remove(i);
+                }
+                _ => unreachable!("only memory ops live in the LSQ"),
+            }
+        }
+
+        self.perform_committed_stores(ports, e);
+        self.recompute_ls_wake(e);
+    }
+
+    /// Tightens the load/store domain's `next_work` bound: earliest
+    /// memoized wake over pending LSQ entries, the head committed-store
+    /// write, or a pending D/L2 resize application.
+    fn recompute_ls_wake(&mut self, e: Femtos) {
+        let mut w = Femtos::MAX;
+        if let Some((_, at)) = self.pending_dl2 {
+            w = w.min(at);
+        }
+        if let Some(job) = self.store_jobs.front() {
+            w = w.min(job.ready);
+        }
+        for &seq in &self.lsq_pending {
+            w = w.min(self.st(seq).next_check);
+            if w <= e {
+                break;
+            }
+        }
+        self.next_work[LS] = w;
+    }
+
+    /// Reference LS edge: the straightforward full-LSQ walk with the
+    /// reverse linear forwarding scan (the baseline the fast path is
+    /// benchmarked and determinism-checked against).
+    fn ls_edge_reference(&mut self, e: Femtos) {
         if self.lsq.is_empty() && self.store_jobs.is_empty() {
             return;
         }
@@ -1034,31 +1403,8 @@ impl Simulator {
                     if blocked {
                         continue;
                     }
-                    // D-cache access.
-                    let r = self.l1d.access(addr, AccessKind::Read);
-                    let p = &self.cfg.params;
-                    let a_cycles = p.l1_a_cycles;
-                    let mshrs = p.mshrs;
-                    let completion = match r.served {
-                        ServedBy::APartition => e + self.cycles_in(LS, a_cycles),
-                        ServedBy::BPartition => {
-                            let b = self.l1_b_latency(self.dl2_idx);
-                            e + self.cycles_in(LS, b)
-                        }
-                        ServedBy::Miss => {
-                            if self.mshr.len() >= mshrs {
-                                // Sleep until the earliest MSHR frees.
-                                if let Some(&wake) = self.mshr.iter().min() {
-                                    self.st_mut(seq).next_check = wake;
-                                }
-                                continue;
-                            }
-                            let base = self.cycles_in(LS, a_cycles);
-                            let delay = self.l2_access(addr, AccessKind::Read);
-                            let done = e + base + delay;
-                            self.mshr.push(done);
-                            done
-                        }
+                    let Some(completion) = self.load_dcache_access(seq, addr, e) else {
+                        continue;
                     };
                     self.complete_at(seq, completion, LS);
                     ports -= 1;
@@ -1068,10 +1414,46 @@ impl Simulator {
         }
 
         self.lsq_scratch = lsq;
+        self.perform_committed_stores(ports, e);
+    }
 
-        // Committed stores perform their writes with leftover ports.
+    /// Issues one load into the D-cache hierarchy, returning its
+    /// completion time, or `None` when all MSHRs are occupied (the entry
+    /// is put to sleep until the earliest one frees).
+    fn load_dcache_access(&mut self, seq: u64, addr: u64, e: Femtos) -> Option<Femtos> {
+        let r = self.l1d.access(addr, AccessKind::Read);
+        let p = &self.cfg.params;
+        let a_cycles = p.l1_a_cycles;
+        let mshrs = p.mshrs;
+        match r.served {
+            ServedBy::APartition => Some(e + self.cycles_in(LS, a_cycles)),
+            ServedBy::BPartition => {
+                let b = self.l1_b_latency(self.dl2_idx);
+                Some(e + self.cycles_in(LS, b))
+            }
+            ServedBy::Miss => {
+                if self.mshr.len() >= mshrs {
+                    // Sleep until the earliest MSHR frees.
+                    if let Some(&wake) = self.mshr.iter().min() {
+                        self.st_mut(seq).next_check = wake;
+                    }
+                    return None;
+                }
+                let base = self.cycles_in(LS, a_cycles);
+                let delay = self.l2_access(addr, AccessKind::Read);
+                let done = e + base + delay;
+                self.mshr.push(done);
+                Some(done)
+            }
+        }
+    }
+
+    /// Committed stores perform their writes with leftover ports.
+    fn perform_committed_stores(&mut self, mut ports: usize, e: Femtos) {
         while ports > 0 {
-            let Some(job) = self.store_jobs.front().copied() else { break };
+            let Some(job) = self.store_jobs.front().copied() else {
+                break;
+            };
             if job.ready > e {
                 break;
             }
@@ -1115,12 +1497,36 @@ impl Simulator {
                     d = i;
                 }
             }
+
+            if self.event_driven {
+                // Bulk idle-edge skip: any edge strictly before every
+                // domain's next-work bound provably runs a no-op
+                // handler, so fast-forward all four clocks to the
+                // earliest bound at once. Each skipped edge still ticks
+                // its clock (consuming the identical jitter/relock RNG
+                // sequence), which is what keeps results bit-identical
+                // to the reference loop. The deadlock span caps the jump
+                // so a buggy bound still trips the detector below.
+                let horizon = (last_progress_time + deadlock_span)
+                    .min(*self.next_work.iter().min().expect("four domains"));
+                if t < horizon {
+                    for clock in &mut self.clocks {
+                        while clock.peek_next_edge() < horizon {
+                            clock.tick();
+                        }
+                    }
+                    continue;
+                }
+            }
+
             let e = self.clocks[d].tick();
-            match d {
-                0 => self.fe_edge(e, stream, window),
-                1 | 2 => self.exec_edge(d, e),
-                3 => self.ls_edge(e),
-                _ => unreachable!(),
+            if !self.event_driven || e >= self.next_work[d] {
+                match d {
+                    0 => self.fe_edge(e, stream, window),
+                    1 | 2 => self.exec_edge(d, e),
+                    3 => self.ls_edge(e),
+                    _ => unreachable!(),
+                }
             }
 
             if self.committed > last_progress_count {
@@ -1229,10 +1635,10 @@ mod tests {
 
     #[test]
     fn deterministic_runs() {
-        let a = Simulator::new(MachineConfig::best_synchronous())
-            .run(&mut TestStream { i: 0 }, 5_000);
-        let b = Simulator::new(MachineConfig::best_synchronous())
-            .run(&mut TestStream { i: 0 }, 5_000);
+        let a =
+            Simulator::new(MachineConfig::best_synchronous()).run(&mut TestStream { i: 0 }, 5_000);
+        let b =
+            Simulator::new(MachineConfig::best_synchronous()).run(&mut TestStream { i: 0 }, 5_000);
         assert_eq!(a.runtime, b.runtime);
         assert_eq!(a.mispredicts, b.mispredicts);
     }
@@ -1251,8 +1657,8 @@ mod tests {
 
     #[test]
     fn branch_stats_collected() {
-        let r = Simulator::new(MachineConfig::best_synchronous())
-            .run(&mut TestStream { i: 0 }, 20_000);
+        let r =
+            Simulator::new(MachineConfig::best_synchronous()).run(&mut TestStream { i: 0 }, 20_000);
         assert!(r.branches > 1_000);
         // The all-taken loop branch is nearly perfectly predictable.
         assert!(r.mispredict_rate() < 0.1, "rate {}", r.mispredict_rate());
@@ -1260,8 +1666,8 @@ mod tests {
 
     #[test]
     fn caches_see_fetch_traffic() {
-        let r = Simulator::new(MachineConfig::best_synchronous())
-            .run(&mut TestStream { i: 0 }, 20_000);
+        let r =
+            Simulator::new(MachineConfig::best_synchronous()).run(&mut TestStream { i: 0 }, 20_000);
         assert!(r.icache.accesses > 0);
         // 256-instruction loop fits the I-cache: only cold misses remain.
         assert!(r.icache.miss_rate() < 0.03, "rate {}", r.icache.miss_rate());

@@ -2,10 +2,9 @@
 
 use gals_common::{Femtos, Hertz};
 use gals_timing::{Dl2Config, ICacheConfig, IqSize};
-use serde::{Deserialize, Serialize};
 
 /// Aggregate hit/miss summary for one cache over a whole run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheSummary {
     /// Accesses.
     pub accesses: u64,
@@ -31,7 +30,7 @@ impl CacheSummary {
 }
 
 /// What a reconfiguration event changed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReconfigKind {
     /// D-cache/L2 pair moved to a new configuration.
     Dl2(Dl2Config),
@@ -44,7 +43,7 @@ pub enum ReconfigKind {
 }
 
 /// One entry of the reconfiguration trace (Figure 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReconfigEvent {
     /// Committed-instruction count when the controller made the decision.
     pub at_committed: u64,
@@ -53,7 +52,11 @@ pub struct ReconfigEvent {
 }
 
 /// The result of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Implements `PartialEq` so the determinism regression tests can assert
+/// that the event-driven fast path and the straightforward reference path
+/// produce bit-identical results.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Benchmark name.
     pub benchmark: String,

@@ -148,10 +148,20 @@ fn store_heavy_stream_commits() {
             let i = self.0;
             self.0 += 1;
             let pc = 0x40_0000 + (i % 64) * 4;
-            if i % 3 == 0 {
-                DynInst::store(pc, ArchReg::int(1), ArchReg::int(2), 0x2000_0000 + (i % 512) * 8)
+            if i.is_multiple_of(3) {
+                DynInst::store(
+                    pc,
+                    ArchReg::int(1),
+                    ArchReg::int(2),
+                    0x2000_0000 + (i % 512) * 8,
+                )
             } else {
-                DynInst::alu(pc, OpClass::IntAlu, ArchReg::int(1), [Some(ArchReg::int(1)), None])
+                DynInst::alu(
+                    pc,
+                    OpClass::IntAlu,
+                    ArchReg::int(1),
+                    [Some(ArchReg::int(1)), None],
+                )
             }
         }
         fn name(&self) -> &str {

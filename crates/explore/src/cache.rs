@@ -1,15 +1,26 @@
 //! Persistent runtime cache for sweep results.
+//!
+//! The cache is sharded: keys hash to one of [`SHARDS`] independent
+//! `Mutex<HashMap>` shards, so concurrent sweep workers recording results
+//! almost never contend. Persistence is batched — workers call
+//! [`ResultCache::maybe_save_batched`] after inserting, and the file is
+//! rewritten at most once per batch, by whichever thread wins the
+//! non-blocking save guard.
 
 use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use serde::{Deserialize, Serialize};
+/// Number of independently locked shards. A small power of two is plenty:
+/// the critical section is one `HashMap` insert.
+const SHARDS: usize = 16;
 
 /// Key identifying one measured run: benchmark, machine style, config key,
 /// and instruction window.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey(String);
 
 impl CacheKey {
@@ -25,6 +36,17 @@ impl CacheKey {
     }
 }
 
+/// FNV-1a over the key string; used only for shard selection so it needs
+/// to be fast and stable, not cryptographic.
+fn shard_of(key: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h as usize) % SHARDS
+}
+
 /// A JSON-file-backed map from [`CacheKey`] to measured runtime in
 /// nanoseconds.
 ///
@@ -33,11 +55,28 @@ impl CacheKey {
 /// deterministic. Persisting them means `fig6_performance`,
 /// `table9_distribution` and repeated bench invocations don't re-run the
 /// 40 × 1,024 sweep.
-#[derive(Debug, Default)]
+///
+/// All methods take `&self`; the cache is safe to share across sweep
+/// worker threads.
+#[derive(Debug)]
 pub struct ResultCache {
     path: Option<PathBuf>,
-    map: HashMap<String, f64>,
-    dirty: bool,
+    shards: Vec<Mutex<HashMap<String, f64>>>,
+    /// Inserts since the last successful save (drives batched persistence).
+    unsaved: AtomicUsize,
+    /// Non-blocking guard so only one thread performs file I/O at a time.
+    save_guard: Mutex<()>,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache {
+            path: None,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            unsaved: AtomicUsize::new(0),
+            save_guard: Mutex::new(()),
+        }
+    }
 }
 
 impl ResultCache {
@@ -54,37 +93,71 @@ impl ResultCache {
     /// cache file is treated as empty rather than fatal.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let map = match fs::read_to_string(&path) {
-            Ok(text) => serde_json::from_str(&text).unwrap_or_default(),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => HashMap::new(),
+        let mut cache = ResultCache::default();
+        cache.path = Some(path.clone());
+        match fs::read_to_string(&path) {
+            Ok(text) => {
+                if let Some(entries) = parse_flat_json_map(&text) {
+                    for (k, v) in entries {
+                        let shard = shard_of(&k);
+                        cache.shards[shard]
+                            .lock()
+                            .expect("cache shard")
+                            .insert(k, v);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
-        };
-        Ok(ResultCache {
-            path: Some(path),
-            map,
-            dirty: false,
-        })
+        }
+        Ok(cache)
     }
 
     /// Number of cached measurements.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").len())
+            .sum()
     }
 
     /// True when no measurements are cached.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 
     /// Looks up a cached runtime (ns).
     pub fn get(&self, key: &CacheKey) -> Option<f64> {
-        self.map.get(key.as_str()).copied()
+        self.shards[shard_of(&key.0)]
+            .lock()
+            .expect("cache shard")
+            .get(key.as_str())
+            .copied()
     }
 
     /// Stores a measured runtime (ns).
-    pub fn put(&mut self, key: CacheKey, runtime_ns: f64) {
-        self.map.insert(key.0, runtime_ns);
-        self.dirty = true;
+    pub fn put(&self, key: CacheKey, runtime_ns: f64) {
+        self.shards[shard_of(&key.0)]
+            .lock()
+            .expect("cache shard")
+            .insert(key.0, runtime_ns);
+        self.unsaved.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Batched persistence: saves when at least `batch` results were
+    /// recorded since the last save and no other thread is already
+    /// saving. Sweep workers call this after every insert; at most one of
+    /// them pays the file-write cost per batch.
+    pub fn maybe_save_batched(&self, batch: usize) {
+        if self.path.is_none() || self.unsaved.load(Ordering::Relaxed) < batch {
+            return;
+        }
+        if let Ok(_guard) = self.save_guard.try_lock() {
+            // Re-check under the guard; a concurrent save may have run.
+            if self.unsaved.load(Ordering::Relaxed) >= batch {
+                let _ = self.write_file();
+            }
+        }
     }
 
     /// Writes the cache back to disk if it changed.
@@ -92,19 +165,48 @@ impl ResultCache {
     /// # Errors
     ///
     /// Propagates filesystem errors.
-    pub fn save(&mut self) -> io::Result<()> {
+    pub fn save(&self) -> io::Result<()> {
+        if self.path.is_none() || self.unsaved.load(Ordering::Relaxed) == 0 {
+            return Ok(());
+        }
+        let _guard = self.save_guard.lock().expect("save guard");
+        self.write_file()
+    }
+
+    fn write_file(&self) -> io::Result<()> {
         let Some(path) = self.path.clone() else {
             return Ok(());
         };
-        if !self.dirty {
-            return Ok(());
-        }
         if let Some(dir) = path.parent() {
             fs::create_dir_all(dir)?;
         }
-        let text = serde_json::to_string(&self.map).expect("serializable map");
+        // Snapshot the unsaved count *before* reading the shards:
+        // results inserted concurrently during the snapshot may or may
+        // not make this file, so their increments must survive (an
+        // extra save later is cheap; a silently unpersisted result is
+        // not). The caller holds `save_guard`, so nobody else resets
+        // the counter underneath us.
+        let drained = self.unsaved.load(Ordering::Relaxed);
+        // Deterministic output: merge the shards and sort by key.
+        let mut entries: Vec<(String, f64)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let map = shard.lock().expect("cache shard");
+            entries.extend(map.iter().map(|(k, v)| (k.clone(), *v)));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut text = String::with_capacity(entries.len() * 48 + 2);
+        text.push('{');
+        for (i, (k, v)) in entries.iter().enumerate() {
+            if i > 0 {
+                text.push(',');
+            }
+            write_json_string(&mut text, k);
+            text.push(':');
+            text.push_str(&format_json_number(*v));
+        }
+        text.push('}');
         fs::write(&path, text)?;
-        self.dirty = false;
+        self.unsaved.fetch_sub(drained, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -113,6 +215,112 @@ impl Drop for ResultCache {
     fn drop(&mut self) {
         // Best-effort persistence; explicit save() reports errors.
         let _ = self.save();
+    }
+}
+
+/// Emits `v` so that parsing it back yields the identical `f64` (Rust's
+/// shortest round-trip float formatting), with a `.0` suffix on integral
+/// values so the file stays unambiguously float-typed.
+fn format_json_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Minimal parser for the only JSON shape the cache writes: one object
+/// mapping strings to numbers. Returns `None` on any malformation (the
+/// caller treats that as an empty cache, matching previous behaviour).
+fn parse_flat_json_map(text: &str) -> Option<Vec<(String, f64)>> {
+    let mut chars = text.chars().peekable();
+    let mut out = Vec::new();
+    skip_ws(&mut chars);
+    if chars.next()? != '{' {
+        return None;
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        return Some(out);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_json_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let mut num = String::new();
+        while let Some(&c) = chars.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                num.push(c);
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        let value: f64 = num.parse().ok()?;
+        out.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next()? {
+            ',' => continue,
+            '}' => return Some(out),
+            _ => return None,
+        }
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+        chars.next();
+    }
+}
+
+fn parse_json_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(s),
+            '\\' => match chars.next()? {
+                '"' => s.push('"'),
+                '\\' => s.push('\\'),
+                '/' => s.push('/'),
+                'n' => s.push('\n'),
+                'r' => s.push('\r'),
+                't' => s.push('\t'),
+                'u' => {
+                    let code: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let v = u32::from_str_radix(&code, 16).ok()?;
+                    s.push(char::from_u32(v)?);
+                }
+                _ => return None,
+            },
+            c => s.push(c),
+        }
     }
 }
 
@@ -131,7 +339,7 @@ mod tests {
 
     #[test]
     fn in_memory_round_trip() {
-        let mut c = ResultCache::in_memory();
+        let c = ResultCache::in_memory();
         let k = CacheKey::new("x", "sync", "cfg", 100);
         assert!(c.get(&k).is_none());
         c.put(k.clone(), 42.5);
@@ -146,7 +354,7 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         let path = dir.join("cache.json");
         {
-            let mut c = ResultCache::open(&path).unwrap();
+            let c = ResultCache::open(&path).unwrap();
             assert!(c.is_empty());
             c.put(CacheKey::new("b", "phase", "k", 7), 9.25);
             c.save().unwrap();
@@ -165,6 +373,69 @@ mod tests {
         fs::write(&path, "not json at all").unwrap();
         let c = ResultCache::open(&path).unwrap();
         assert!(c.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn float_values_round_trip_exactly() {
+        let dir = std::env::temp_dir().join("gals-cache-test-float");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("cache.json");
+        let values = [
+            0.1 + 0.2,
+            1.0 / 3.0,
+            123_456_789.000_001,
+            4.0,
+            f64::MIN_POSITIVE,
+        ];
+        {
+            let c = ResultCache::open(&path).unwrap();
+            for (i, v) in values.iter().enumerate() {
+                c.put(CacheKey::new("b", "sync", &format!("k{i}"), 1), *v);
+            }
+            c.save().unwrap();
+        }
+        let c = ResultCache::open(&path).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(
+                c.get(&CacheKey::new("b", "sync", &format!("k{i}"), 1)),
+                Some(*v),
+                "value {i} must round-trip bit-exactly"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_save_defers_until_threshold() {
+        let dir = std::env::temp_dir().join("gals-cache-test-batch");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("cache.json");
+        let c = ResultCache::open(&path).unwrap();
+        c.put(CacheKey::new("b", "sync", "k0", 1), 1.0);
+        c.maybe_save_batched(8);
+        assert!(!path.exists(), "below batch threshold: no file yet");
+        for i in 1..8 {
+            c.put(CacheKey::new("b", "sync", &format!("k{i}"), 1), 1.0);
+        }
+        c.maybe_save_batched(8);
+        assert!(path.exists(), "batch threshold reached: file written");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaped_keys_survive() {
+        let dir = std::env::temp_dir().join("gals-cache-test-esc");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("cache.json");
+        let weird = CacheKey::new("a\"b\\c", "sync", "k\tx", 3);
+        {
+            let c = ResultCache::open(&path).unwrap();
+            c.put(weird.clone(), 2.5);
+            c.save().unwrap();
+        }
+        let c = ResultCache::open(&path).unwrap();
+        assert_eq!(c.get(&weird), Some(2.5));
         let _ = fs::remove_dir_all(&dir);
     }
 }

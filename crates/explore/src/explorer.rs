@@ -1,11 +1,10 @@
 //! The sweep driver.
 
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
 
 use gals_common::stats;
 use gals_core::{MachineConfig, McdConfig, SimResult, Simulator, SyncConfig};
@@ -102,6 +101,7 @@ pub struct Explorer {
     sweep_window: u64,
     final_window: u64,
     threads: usize,
+    reference_loop: bool,
     cache: ResultCache,
 }
 
@@ -145,8 +145,27 @@ impl Explorer {
             sweep_window,
             final_window,
             threads,
+            reference_loop: false,
             cache,
         }
+    }
+
+    /// Makes every measurement use the simulator's straightforward
+    /// reference loop instead of the event-driven fast path. Results are
+    /// identical; only wall clock differs. This exists so the throughput
+    /// reporter and benches can quote honest before/after sweep numbers.
+    #[must_use]
+    pub fn with_reference_simulator(mut self) -> Self {
+        self.reference_loop = true;
+        self
+    }
+
+    /// Caps the sweep worker thread count (primarily for single-thread
+    /// baseline measurements; defaults to the available parallelism).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Sweep window in instructions.
@@ -169,59 +188,102 @@ impl Explorer {
         Ok(())
     }
 
-    /// Runs (or recalls) one measurement.
-    fn measure(
-        cache: &Mutex<&mut ResultCache>,
-        spec: &BenchmarkSpec,
-        mode: &str,
-        config_key: &str,
-        machine: MachineConfig,
-        window: u64,
-    ) -> f64 {
-        let key = CacheKey::new(spec.name(), mode, config_key, window);
-        if let Some(ns) = cache.lock().get(&key) {
-            return ns;
-        }
-        let result = Simulator::new(machine).run(&mut spec.stream(), window);
-        let ns = result.runtime_ns();
-        let mut guard = cache.lock();
-        guard.put(key, ns);
-        // Periodic persistence so an interrupted sweep loses at most a
-        // slice of work.
-        if guard.len() % 1024 == 0 {
-            let _ = guard.save();
-        }
-        ns
-    }
+    /// How many freshly measured results accumulate before a worker
+    /// flushes the cache file (batched persistence: an interrupted sweep
+    /// loses at most one batch).
+    const SAVE_BATCH: usize = 256;
 
-    /// Generic parallel map over a work list of (spec, mode, key,
+    /// Work-stealing parallel map over a list of (spec, mode, key,
     /// machine) tuples. Results keep work-list order.
+    ///
+    /// Three phases:
+    ///
+    /// 1. **Resolve** — cache hits are filled in single-threaded (no
+    ///    locking) and duplicate keys inside the batch are collapsed so
+    ///    each distinct configuration is simulated exactly once.
+    /// 2. **Steal** — worker threads claim outstanding items from a
+    ///    shared atomic index (dynamic load balancing: a thread stuck on
+    ///    a slow phase-adaptive run doesn't hold up the others, unlike a
+    ///    static partition). Each worker accumulates results locally —
+    ///    there is no shared results lock — and records them in the
+    ///    sharded [`ResultCache`] with batched persistence.
+    /// 3. **Merge** — per-worker result lists are folded back into
+    ///    work-list order after the scope joins.
     fn parallel_measure(
         &mut self,
         work: Vec<(BenchmarkSpec, &'static str, String, MachineConfig)>,
         window: u64,
     ) -> Vec<f64> {
         let n = work.len();
-        let results = Mutex::new(vec![0.0f64; n]);
-        let next = AtomicUsize::new(0);
-        let cache = Mutex::new(&mut self.cache);
-        let threads = self.threads.min(n.max(1));
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let (spec, mode, key, machine) = &work[i];
-                    let ns =
-                        Self::measure(&cache, spec, mode, key, machine.clone(), window);
-                    results.lock()[i] = ns;
-                });
+        let mut results = vec![0.0f64; n];
+
+        // Phase 1: resolve hits and dedupe.
+        let keys: Vec<CacheKey> = work
+            .iter()
+            .map(|(spec, mode, key, _)| CacheKey::new(spec.name(), mode, key, window))
+            .collect();
+        let mut todo: Vec<usize> = Vec::new();
+        let mut first_with_key: HashMap<&str, usize> = HashMap::with_capacity(n);
+        let mut duplicates: Vec<(usize, usize)> = Vec::new();
+        for i in 0..n {
+            if let Some(ns) = self.cache.get(&keys[i]) {
+                results[i] = ns;
+            } else if let Some(&j) = first_with_key.get(keys[i].as_str()) {
+                duplicates.push((i, j));
+            } else {
+                first_with_key.insert(keys[i].as_str(), i);
+                todo.push(i);
             }
-        })
-        .expect("sweep worker panicked");
-        results.into_inner()
+        }
+
+        // Phase 2: work-stealing execution of the misses.
+        if !todo.is_empty() {
+            let next = AtomicUsize::new(0);
+            let threads = self.threads.min(todo.len()).max(1);
+            let reference_loop = self.reference_loop;
+            let work = &work;
+            let keys = &keys;
+            let todo = &todo;
+            let next = &next;
+            let cache = &self.cache;
+            let measured: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut local: Vec<(usize, f64)> = Vec::new();
+                            loop {
+                                let t = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&i) = todo.get(t) else { break };
+                                let (spec, _, _, machine) = &work[i];
+                                let mut sim = Simulator::new(machine.clone());
+                                if reference_loop {
+                                    sim = sim.use_reference_loop();
+                                }
+                                let result = sim.run(&mut spec.stream(), window);
+                                let ns = result.runtime_ns();
+                                cache.put(keys[i].clone(), ns);
+                                cache.maybe_save_batched(Self::SAVE_BATCH);
+                                local.push((i, ns));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            });
+
+            // Phase 3: merge.
+            for (i, ns) in measured.into_iter().flatten() {
+                results[i] = ns;
+            }
+        }
+        for (i, j) in duplicates {
+            results[i] = results[j];
+        }
+        results
     }
 
     /// The 1,024-configuration fully synchronous sweep (§4): finds the
@@ -247,9 +309,7 @@ impl Explorer {
         let configs: Vec<SyncConfig> = SyncConfig::enumerate()
             .into_iter()
             .filter(|c| {
-                !subset
-                    || (c.iq_fp == gals_core::IqSize::Q16
-                        && c.iq_int <= gals_core::IqSize::Q32)
+                !subset || (c.iq_fp == gals_core::IqSize::Q16 && c.iq_int <= gals_core::IqSize::Q32)
             })
             .collect();
         let mut work = Vec::with_capacity(configs.len() * suite.len());

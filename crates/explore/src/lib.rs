@@ -6,15 +6,17 @@
 //! exhaustive per-application sweep of the 256 adaptive-MCD
 //! configurations — about 300 CPU-months on the authors' cluster.
 //!
-//! This crate reproduces both sweeps at laptop scale: thread-parallel
-//! execution over a configurable instruction window, with all measured
-//! runtimes persisted in a JSON cache so tables and figures can be
+//! This crate reproduces both sweeps at laptop scale: a work-stealing
+//! sweep engine (workers claim configurations from a shared atomic index,
+//! so one slow run never idles the other threads) over a configurable
+//! instruction window, with all measured runtimes recorded in a sharded
+//! result cache with batched persistence so tables and figures can be
 //! regenerated instantly.
 //!
 //! Environment knobs (all optional):
 //!
 //! * `GALS_MCD_SWEEP_WINDOW` — instructions per sweep run (default
-//!   24,000).
+//!   10,000).
 //! * `GALS_MCD_FINAL_WINDOW` — instructions for the final Figure 6
 //!   comparison runs (default 120,000).
 //! * `GALS_MCD_CACHE` — cache file path (default

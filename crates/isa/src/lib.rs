@@ -29,5 +29,5 @@ mod reg;
 mod stream;
 
 pub use inst::{DynInst, OpClass};
-pub use reg::{ArchReg, RegClass, INT_ARCH_REGS, FP_ARCH_REGS};
+pub use reg::{ArchReg, RegClass, FP_ARCH_REGS, INT_ARCH_REGS};
 pub use stream::InstructionStream;

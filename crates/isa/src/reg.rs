@@ -98,7 +98,10 @@ impl ArchReg {
     /// Panics if `packed >= 64`.
     #[inline]
     pub const fn from_packed(packed: u8) -> Self {
-        assert!(packed < INT_ARCH_REGS + FP_ARCH_REGS, "packed register out of range");
+        assert!(
+            packed < INT_ARCH_REGS + FP_ARCH_REGS,
+            "packed register out of range"
+        );
         ArchReg(packed)
     }
 }

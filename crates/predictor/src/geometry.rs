@@ -126,14 +126,20 @@ mod tests {
     fn unsupported_capacity_rejected() {
         assert!(PredictorGeometry::for_capacity_kb(128).is_err());
         assert!(PredictorGeometry::for_capacity_kb(0).is_err());
-        let msg = PredictorGeometry::for_capacity_kb(5).unwrap_err().to_string();
+        let msg = PredictorGeometry::for_capacity_kb(5)
+            .unwrap_err()
+            .to_string();
         assert!(msg.contains("5 KB"));
     }
 
     #[test]
     fn storage_grows_with_capacity() {
-        let small = PredictorGeometry::for_capacity_kb(4).unwrap().storage_bits();
-        let large = PredictorGeometry::for_capacity_kb(64).unwrap().storage_bits();
+        let small = PredictorGeometry::for_capacity_kb(4)
+            .unwrap()
+            .storage_bits();
+        let large = PredictorGeometry::for_capacity_kb(64)
+            .unwrap()
+            .storage_bits();
         assert!(large > small);
     }
 }

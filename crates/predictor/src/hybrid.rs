@@ -237,7 +237,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 195, "loop pattern should be near-perfect: {correct}/200");
+        assert!(
+            correct >= 195,
+            "loop pattern should be near-perfect: {correct}/200"
+        );
     }
 
     #[test]
@@ -252,7 +255,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 195, "alternating should be near-perfect: {correct}/200");
+        assert!(
+            correct >= 195,
+            "alternating should be near-perfect: {correct}/200"
+        );
     }
 
     #[test]

@@ -8,8 +8,6 @@
 //! fully-tested components for users building fetch-accurate frontends
 //! on the same substrate.
 
-use gals_common::SplitMix64;
-
 /// A set-associative branch target buffer with LRU replacement.
 ///
 /// # Example
@@ -43,7 +41,7 @@ impl Btb {
     /// Returns `None` unless `entries` is a power-of-two multiple of
     /// `ways` with at least one set.
     pub fn new(entries: usize, ways: usize) -> Option<Self> {
-        if ways == 0 || entries == 0 || entries % ways != 0 {
+        if ways == 0 || entries == 0 || !entries.is_multiple_of(ways) {
             return None;
         }
         let sets = entries / ways;
@@ -177,6 +175,7 @@ impl ReturnAddressStack {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gals_common::SplitMix64;
 
     #[test]
     fn btb_geometry_validated() {
@@ -189,7 +188,7 @@ mod tests {
     #[test]
     fn btb_learns_and_evicts_lru() {
         let mut btb = Btb::new(8, 2).unwrap(); // 4 sets x 2 ways
-        // Three branches aliasing to the same set (stride = sets*4).
+                                               // Three branches aliasing to the same set (stride = sets*4).
         let (a, b, c) = (0x1000, 0x1000 + 16, 0x1000 + 32);
         btb.update(a, 0xA);
         btb.update(b, 0xB);

@@ -3,8 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Whether a structure is built for adaptivity (ways replicated from the
 /// base configuration, resizable at run time) or optimized as a fixed
 /// design (CACTI free to re-balance sub-banking for each geometry).
@@ -12,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// §2: "to support resizing, the smallest structure size must be a
 /// substructure of the larger sizings. Thus, structures may be suboptimal in
 /// their large configurations."
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// Run-time resizable structure (adaptive MCD).
     Adaptive,
@@ -26,7 +24,7 @@ pub enum Variant {
 /// direct-mapped L1-D with a 256 KB direct-mapped L2; each step doubles the
 /// associativity (and hence capacity) of both. Associativities 3, 5, 6 and
 /// 7 are skipped "to limit the state space" (§2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Dl2Config {
     /// 32 KB / 1-way L1-D with 256 KB / 1-way L2 (base: smallest, fastest).
     K32W1,
@@ -117,7 +115,7 @@ impl fmt::Display for Dl2Config {
 /// branch predictor is jointly resized so it never constrains the clock
 /// (§2.2: "each cache configuration is paired with a branch predictor sized
 /// to operate at the frequency of the cache").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ICacheConfig {
     /// 16 KB direct-mapped (base: smallest, fastest).
     K16W1,
@@ -180,7 +178,7 @@ impl fmt::Display for ICacheConfig {
 
 /// One of the sixteen fixed instruction-cache options explored for the
 /// fully synchronous baseline (Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SyncICacheOption {
     size_kb: u32,
     assoc: u32,

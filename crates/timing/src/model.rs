@@ -1,14 +1,13 @@
 //! The analytical timing model and its calibrated constants.
 
 use gals_common::Hertz;
-use serde::{Deserialize, Serialize};
 
 use crate::cache::{Dl2Config, ICacheConfig, SyncICacheOption, Variant};
 use crate::queue::IqSize;
 
 /// A single cache design point with its modeled timing, as reported in
 /// Tables 1–3 and plotted in Figures 2–3.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CachePoint {
     /// Total capacity in KB.
     pub size_kb: u32,
@@ -44,7 +43,7 @@ pub struct CachePoint {
 /// let big = m.dl2_frequency(Dl2Config::K256W8, Variant::Adaptive);
 /// assert!(base > big, "upsizing lowers the domain frequency");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimingModel {
     /// Array-delay intercept (decoder + sense + output drive).
     array_base_ps: f64,
@@ -218,8 +217,7 @@ impl TimingModel {
     /// Front-end frequency for one of the sixteen fixed synchronous
     /// I-cache options (Table 3).
     pub fn sync_icache_frequency(&self, opt: SyncICacheOption) -> Hertz {
-        let access =
-            self.cache_access_ps(opt.way_kb(), opt.assoc(), Variant::Optimal);
+        let access = self.cache_access_ps(opt.way_kb(), opt.assoc(), Variant::Optimal);
         self.cache_frequency(access)
     }
 
@@ -415,7 +413,10 @@ mod tests {
         for size in [16, 32, 64] {
             let best = model.best_fixed_icache_frequency(size);
             let dm = model.sync_icache_frequency(SyncICacheOption::new(size, 1).unwrap());
-            assert_eq!(best, dm, "DM should be the fastest fixed design at {size} KB");
+            assert_eq!(
+                best, dm,
+                "DM should be the fastest fixed design at {size} KB"
+            );
         }
     }
 

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One of the four supported issue-queue sizes.
 ///
 /// Both the integer and floating-point issue queues resize over the same
 /// four points; the frequency penalty of each size comes from
 /// [`TimingModel::iq_frequency`](crate::TimingModel::iq_frequency).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum IqSize {
     /// 16 entries (base: smallest, fastest — 2 selection-tree levels).
     Q16,

@@ -204,9 +204,7 @@ impl IlpModel {
             )));
         }
         if mix.fp_fraction() > 0.0 && self.chains_fp == 0 {
-            return Err(SpecError(
-                "mix contains FP but chains_fp is zero".into(),
-            ));
+            return Err(SpecError("mix contains FP but chains_fp is zero".into()));
         }
         if !(0.0..=1.0).contains(&self.serial_frac) {
             return Err(SpecError("serial_frac must be in [0,1]".into()));
@@ -620,7 +618,9 @@ mod tests {
 
     #[test]
     fn builder_defaults_build() {
-        let s = BenchmarkSpec::builder("demo", Suite::SpecInt).build().unwrap();
+        let s = BenchmarkSpec::builder("demo", Suite::SpecInt)
+            .build()
+            .unwrap();
         assert_eq!(s.name(), "demo");
         assert_eq!(s.suite(), Suite::SpecInt);
         assert!(s.phases().is_empty());
@@ -629,9 +629,15 @@ mod tests {
 
     #[test]
     fn seed_is_name_stable() {
-        let a = BenchmarkSpec::builder("gcc", Suite::SpecInt).build().unwrap();
-        let b = BenchmarkSpec::builder("gcc", Suite::SpecInt).build().unwrap();
-        let c = BenchmarkSpec::builder("gzip", Suite::SpecInt).build().unwrap();
+        let a = BenchmarkSpec::builder("gcc", Suite::SpecInt)
+            .build()
+            .unwrap();
+        let b = BenchmarkSpec::builder("gcc", Suite::SpecInt)
+            .build()
+            .unwrap();
+        let c = BenchmarkSpec::builder("gzip", Suite::SpecInt)
+            .build()
+            .unwrap();
         assert_eq!(a.seed(), b.seed());
         assert_ne!(a.seed(), c.seed());
     }

@@ -3,9 +3,7 @@
 use gals_common::SplitMix64;
 use gals_isa::{ArchReg, DynInst, InstructionStream, OpClass};
 
-use crate::spec::{
-    AccessPattern, BenchmarkSpec, DataSegment, IlpModel, OpMix, PhaseOverrides,
-};
+use crate::spec::{AccessPattern, BenchmarkSpec, DataSegment, IlpModel, OpMix, PhaseOverrides};
 
 /// Base address of the synthetic code region.
 const CODE_BASE: u64 = 0x0040_0000;
@@ -103,12 +101,8 @@ fn build_segments(segments: &[DataSegment]) -> (Vec<SegState>, f64) {
 }
 
 fn build_active(spec: &BenchmarkSpec, overrides: Option<&PhaseOverrides>) -> ActiveParams {
-    let ilp = overrides
-        .and_then(|o| o.ilp)
-        .unwrap_or(*spec.ilp());
-    let mix = overrides
-        .and_then(|o| o.mix)
-        .unwrap_or(*spec.mix());
+    let ilp = overrides.and_then(|o| o.ilp).unwrap_or(*spec.ilp());
+    let mix = overrides.and_then(|o| o.mix).unwrap_or(*spec.mix());
     let hard_frac = overrides
         .and_then(|o| o.hard_frac)
         .unwrap_or(spec.branches().hard_frac);
@@ -184,7 +178,11 @@ impl SyntheticStream {
         let (phase_idx, phase_left, overrides) = if spec.phases().is_empty() {
             (0, u64::MAX, None)
         } else {
-            (0, spec.phases()[0].len_insts, Some(&spec.phases()[0].overrides))
+            (
+                0,
+                spec.phases()[0].len_insts,
+                Some(&spec.phases()[0].overrides),
+            )
         };
         let active = build_active(&spec, overrides);
         SyntheticStream {
@@ -288,20 +286,26 @@ impl SyntheticStream {
             // Hard, data-dependent branch.
             let taken = self.rng.chance(self.spec.branches().hard_bias);
             let target = self.random_region_block();
-            let cond = ArchReg::int(R_CHAIN_BASE + (self.cursor_int % self.active.ilp.chains_int) as u8);
+            let cond =
+                ArchReg::int(R_CHAIN_BASE + (self.cursor_int % self.active.ilp.chains_int) as u8);
             inst = DynInst::branch(pc, cond, taken, self.block_pc(target, 0));
-            next_block = if taken { target } else { self.sequential_block() };
+            next_block = if taken {
+                target
+            } else {
+                self.sequential_block()
+            };
         } else {
             // Easy loop branch: taken (loop back) except every
             // `easy_period`-th visit.
             let period = self.spec.branches().easy_period;
             let v = &mut self.visits[self.cur_block as usize];
             *v += 1;
-            let taken = *v % period != 0;
+            let taken = !(*v).is_multiple_of(period);
             // Loop span derived from the stable roll: 0-3 blocks back.
             let span = (self.rolls[self.cur_block as usize] >> 8) as u32 % 4;
             let back = (self.cur_block + self.n_blocks - span.min(self.cur_block)) % self.n_blocks;
-            let cond = ArchReg::int(R_CHAIN_BASE + (self.cursor_int % self.active.ilp.chains_int) as u8);
+            let cond =
+                ArchReg::int(R_CHAIN_BASE + (self.cursor_int % self.active.ilp.chains_int) as u8);
             inst = DynInst::branch(pc, cond, taken, self.block_pc(back, 0));
             next_block = if taken { back } else { self.sequential_block() };
         }
@@ -422,7 +426,9 @@ impl SyntheticStream {
                 {
                     ArchReg::fp(F_CHAIN_BASE + (self.cursor_fp % self.active.ilp.chains_fp) as u8)
                 } else {
-                    ArchReg::int(R_CHAIN_BASE + (self.cursor_int % self.active.ilp.chains_int) as u8)
+                    ArchReg::int(
+                        R_CHAIN_BASE + (self.cursor_int % self.active.ilp.chains_int) as u8,
+                    )
                 };
                 DynInst::store(pc, data, ArchReg::int(R_DATA_BASE), addr)
             }
@@ -545,7 +551,10 @@ mod tests {
                 assert!(i.mem_addr >= DATA_BASE, "addr {:#x}", i.mem_addr);
             }
         }
-        assert!(seen_mem > 3_000, "expected plenty of memory ops: {seen_mem}");
+        assert!(
+            seen_mem > 3_000,
+            "expected plenty of memory ops: {seen_mem}"
+        );
     }
 
     #[test]
@@ -569,8 +578,10 @@ mod tests {
 
     #[test]
     fn phases_cycle() {
-        let mut over = PhaseOverrides::default();
-        over.hard_frac = Some(0.9);
+        let over = PhaseOverrides {
+            hard_frac: Some(0.9),
+            ..PhaseOverrides::default()
+        };
         let s = BenchmarkSpec::builder("ph", Suite::SpecFp)
             .phase(1_000, PhaseOverrides::default())
             .phase(1_000, over)

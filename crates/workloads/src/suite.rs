@@ -269,6 +269,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
 }
 
 /// Olden profiles (Table 7): pointer-intensive, memory-bound kernels.
+#[allow(clippy::vec_init_then_push)]
 fn olden() -> Vec<BenchmarkSpec> {
     let mut v = Vec::new();
 
@@ -412,6 +413,7 @@ fn olden() -> Vec<BenchmarkSpec> {
 }
 
 /// SPEC2000 integer profiles (Table 8, top).
+#[allow(clippy::vec_init_then_push)]
 fn spec_int() -> Vec<BenchmarkSpec> {
     let mut v = Vec::new();
 

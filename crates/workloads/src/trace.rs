@@ -61,10 +61,14 @@ fn decode(buf: &[u8; RECORD_BYTES]) -> io::Result<DynInst> {
     let pc = u64::from_le_bytes(buf[0..8].try_into().unwrap());
     let op = byte_to_op(buf[8])
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad opcode byte"))?;
-    if buf[9] != 0xFF && buf[9] >= 64 || buf[10] != 0xFF && buf[10] >= 64
+    if buf[9] != 0xFF && buf[9] >= 64
+        || buf[10] != 0xFF && buf[10] >= 64
         || buf[11] != 0xFF && buf[11] >= 64
     {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad register byte"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad register byte",
+        ));
     }
     let mem_addr = u64::from_le_bytes(buf[12..20].try_into().unwrap());
     let mut target_bytes = [0u8; 8];
@@ -127,7 +131,10 @@ impl TraceReplay {
         let mut magic = [0u8; 8];
         reader.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad trace magic",
+            ));
         }
         let mut word = [0u8; 4];
         reader.read_exact(&mut word)?;
@@ -237,7 +244,12 @@ mod tests {
     fn all_op_classes_round_trip() {
         use gals_isa::ArchReg;
         let insts = vec![
-            DynInst::alu(0x10, OpClass::FpSqrt, ArchReg::fp(3), [Some(ArchReg::fp(1)), None]),
+            DynInst::alu(
+                0x10,
+                OpClass::FpSqrt,
+                ArchReg::fp(3),
+                [Some(ArchReg::fp(1)), None],
+            ),
             DynInst::load(0x14, ArchReg::int(5), ArchReg::int(6), 0xDEAD_BEE0),
             DynInst::store(0x18, ArchReg::int(7), ArchReg::int(8), 0xFEED_F00D & !7),
             DynInst::branch(0x1C, ArchReg::int(9), true, 0x40),

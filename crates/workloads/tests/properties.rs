@@ -98,7 +98,9 @@ fn full_suite_streams_are_mutually_distinct() {
     let mut first_kilos: Vec<(String, Vec<u64>)> = Vec::new();
     for spec in suite::all() {
         let mut st = spec.stream();
-        let sig: Vec<u64> = (0..1_000).map(|_| st.next_inst().pc ^ st.next_inst().mem_addr).collect();
+        let sig: Vec<u64> = (0..1_000)
+            .map(|_| st.next_inst().pc ^ st.next_inst().mem_addr)
+            .collect();
         for (other, other_sig) in &first_kilos {
             assert_ne!(&sig, other_sig, "{} aliases {}", spec.name(), other);
         }

@@ -1,0 +1,281 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing exactly the API subset this workspace's property
+//! tests use: the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`,
+//! range and `any` strategies, tuple composition, `prop::collection::vec`,
+//! and `prop::sample::select`.
+//!
+//! The build environment has no registry access, so this crate keeps the
+//! property tests runnable. It generates deterministic pseudo-random cases
+//! (seeded from the test name) with no shrinking: a failing case panics
+//! with the normal assertion message.
+
+/// Per-test configuration (`cases` is the number of generated inputs).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic splitmix64 generator used for case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator (tests derive the seed from their name).
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` (`bound` &gt; 0).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator: the (tiny) analogue of proptest's `Strategy`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.next_below(span)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_unit() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.next_unit() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident / $i:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// Strategy for "any value of a primitive type" (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Uniform strategy over all values of `T` (`bool`, integers, floats).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! any_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.next_unit()
+    }
+}
+
+/// Combinator modules mirroring proptest's `prop::` namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy producing `Vec`s with lengths drawn from `len` and
+        /// elements drawn from `element`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        /// Vector strategy over `element` with length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.len.clone().generate(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy choosing uniformly from a fixed set of values.
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        /// Uniform choice among `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select requires options");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.next_below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Seed derivation: stable FNV-1a hash of the test name, so each property
+/// gets its own deterministic case sequence.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Asserts a condition inside a property (no shrinking; panics directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (no shrinking; panics directly).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { [$config] $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( [$config:expr] ) => {};
+    (
+        [$config:expr]
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::new($crate::seed_from_name(stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { [$config] $($rest)* }
+    };
+}

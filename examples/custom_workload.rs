@@ -10,9 +10,7 @@
 //! should upsize for the second phase and downsize again for the first.
 
 use gals_mcd::prelude::*;
-use gals_mcd::workloads::{
-    AccessPattern, DataSegment, IlpModel, PhaseOverrides, Suite,
-};
+use gals_mcd::workloads::{AccessPattern, DataSegment, IlpModel, PhaseOverrides, Suite};
 
 fn main() {
     let seg = |bytes: u64, weight: f64, pattern| DataSegment {

@@ -10,8 +10,8 @@
 //! through ILP regimes, so the integer issue queue steps through its four
 //! sizes (Figure 7b).
 
-use gals_mcd::prelude::*;
 use gals_mcd::core::{ReconfigKind, Simulator as Sim};
+use gals_mcd::prelude::*;
 
 fn main() {
     let window: u64 = std::env::args()
@@ -23,7 +23,12 @@ fn main() {
         "apsi",
         window,
         "D/L2 configuration",
-        &["32k1W/256k1W", "64k2W/512k2W", "128k4W/1024k4W", "256k8W/2048k8W"],
+        &[
+            "32k1W/256k1W",
+            "64k2W/512k2W",
+            "128k4W/1024k4W",
+            "256k8W/2048k8W",
+        ],
         |k| match k {
             ReconfigKind::Dl2(c) => Some(c.index()),
             _ => None,

@@ -13,10 +13,7 @@ use gals_mcd::prelude::*;
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "gcc".to_string());
-    let window: u64 = args
-        .next()
-        .and_then(|w| w.parse().ok())
-        .unwrap_or(80_000);
+    let window: u64 = args.next().and_then(|w| w.parse().ok()).unwrap_or(80_000);
 
     let Some(spec) = suite::by_name(&name) else {
         eprintln!("unknown benchmark '{name}'; available:");
@@ -35,15 +32,13 @@ fn main() {
     );
     report(&sync, None);
 
-    let prog =
-        Simulator::new(MachineConfig::program_adaptive(McdConfig::smallest()))
-            .run(&mut spec.stream(), window);
+    let prog = Simulator::new(MachineConfig::program_adaptive(McdConfig::smallest()))
+        .run(&mut spec.stream(), window);
     println!("\nadaptive MCD, base configuration (everything smallest/fastest):");
     report(&prog, Some(&sync));
 
-    let phase =
-        Simulator::new(MachineConfig::phase_adaptive(McdConfig::smallest()))
-            .run(&mut spec.stream(), window);
+    let phase = Simulator::new(MachineConfig::phase_adaptive(McdConfig::smallest()))
+        .run(&mut spec.stream(), window);
     println!("\nPhase-Adaptive MCD (on-line controllers):");
     report(&phase, Some(&sync));
     if !phase.reconfigs.is_empty() {

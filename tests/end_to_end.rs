@@ -25,8 +25,7 @@ fn run_phase(name: &str, window: u64) -> SimResult {
 fn every_benchmark_runs_on_every_machine_style() {
     for spec in suite::all() {
         let w = 4_000;
-        let sync =
-            Simulator::new(MachineConfig::best_synchronous()).run(&mut spec.stream(), w);
+        let sync = Simulator::new(MachineConfig::best_synchronous()).run(&mut spec.stream(), w);
         assert_eq!(sync.committed, w, "{} sync", spec.name());
         let prog = Simulator::new(MachineConfig::program_adaptive(McdConfig::smallest()))
             .run(&mut spec.stream(), w);
@@ -152,9 +151,11 @@ fn sync_baseline_statistics_are_sane() {
 #[test]
 fn mcd_base_outclocks_sync_everywhere() {
     let sync = MachineConfig::best_synchronous().initial_frequencies();
-    let mcd =
-        MachineConfig::program_adaptive(McdConfig::smallest()).initial_frequencies();
+    let mcd = MachineConfig::program_adaptive(McdConfig::smallest()).initial_frequencies();
     for (m, s) in mcd.iter().zip(sync.iter()) {
-        assert!(m > s, "every MCD base domain outclocks the sync global clock");
+        assert!(
+            m > s,
+            "every MCD base domain outclocks the sync global clock"
+        );
     }
 }

@@ -24,7 +24,12 @@ fn program_sweep_picks_sensible_configs() {
     assert_ne!(adpcm.best.dl2, Dl2Config::K256W8);
     // Both kernels run fastest without the largest I-cache.
     for c in &choices {
-        assert_ne!(c.best.icache, gals_mcd::prelude::ICacheConfig::K64W4, "{}", c.benchmark);
+        assert_ne!(
+            c.best.icache,
+            gals_mcd::prelude::ICacheConfig::K64W4,
+            "{}",
+            c.benchmark
+        );
     }
 }
 
@@ -56,7 +61,7 @@ fn cache_round_trips_through_disk() {
 
 #[test]
 fn cache_keys_partition_modes_and_windows() {
-    let mut cache = ResultCache::in_memory();
+    let cache = ResultCache::in_memory();
     cache.put(CacheKey::new("b", "sync", "k", 100), 1.0);
     assert!(cache.get(&CacheKey::new("b", "prog", "k", 100)).is_none());
     assert!(cache.get(&CacheKey::new("b", "sync", "k", 200)).is_none());

@@ -4,7 +4,6 @@
 //! EXPERIMENTS.md instead.
 
 use gals_mcd::prelude::*;
-use gals_mcd::timing::Variant;
 
 #[test]
 fn frequency_anchors_hold() {
@@ -27,7 +26,14 @@ fn sweep_best_sync_config_beats_rival_configs_on_suite_average() {
     // spot-check that the sweep's best-overall synchronous machine (32 KB
     // DM I$, smallest D/L2, 16/16 IQs — see EXPERIMENTS.md) beats
     // plausible rivals on a suite subset average.
-    let subset = ["gcc", "crafty", "gsm_encode", "adpcm_encode", "em3d", "twolf"];
+    let subset = [
+        "gcc",
+        "crafty",
+        "gsm_encode",
+        "adpcm_encode",
+        "em3d",
+        "twolf",
+    ];
     let window = 12_000;
 
     let run = |cfg: SyncConfig| -> f64 {
@@ -60,8 +66,14 @@ fn sweep_best_sync_config_beats_rival_configs_on_suite_average() {
         iq_fp: IqSize::Q64,
         ..sweep_best
     });
-    assert!(best < assoc_ic, "DM I$ should beat 4-way: {best} vs {assoc_ic}");
-    assert!(best < big_iq, "16-entry IQs should beat 64-entry: {best} vs {big_iq}");
+    assert!(
+        best < assoc_ic,
+        "DM I$ should beat 4-way: {best} vs {assoc_ic}"
+    );
+    assert!(
+        best < big_iq,
+        "16-entry IQs should beat 64-entry: {best} vs {big_iq}"
+    );
 }
 
 #[test]
@@ -69,8 +81,8 @@ fn phase_adaptive_beats_sync_on_memory_phased_apps() {
     for name in ["em3d", "apsi"] {
         let spec = suite::by_name(name).unwrap();
         let window = 90_000;
-        let sync = Simulator::new(MachineConfig::best_synchronous())
-            .run(&mut spec.stream(), window);
+        let sync =
+            Simulator::new(MachineConfig::best_synchronous()).run(&mut spec.stream(), window);
         let phase = Simulator::new(MachineConfig::phase_adaptive(McdConfig::smallest()))
             .run(&mut spec.stream(), window);
         assert!(
