@@ -1,7 +1,7 @@
 //! Ablation studies over the paper's fixed design constants (adaptation
 //! interval, synchronization window, jitter, PLL lock time, mispredict
 //! penalty). Run on a benchmark subset; see `gals_explore::ablation`.
-use gals_explore::ablation;
+use gals_explore::{ablation, ControlPolicy};
 use gals_workloads::suite;
 
 fn main() {
@@ -38,6 +38,11 @@ fn main() {
 
     println!("\nmispredict penalty:");
     for p in ablation::penalty_study(&subset, window) {
+        println!("  {:>22}  {:.1} ns", p.setting, p.geomean_ns);
+    }
+
+    println!("\ncontrol policy (paper: argmin):");
+    for p in ablation::policy_sweep(&subset, window, &ControlPolicy::BUILTIN) {
         println!("  {:>22}  {:.1} ns", p.setting, p.geomean_ns);
     }
 }

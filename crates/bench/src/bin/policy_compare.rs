@@ -1,0 +1,137 @@
+//! Adaptation-policy comparison: runs the Phase-Adaptive machine under
+//! each selectable `ControlPolicy` over a benchmark subset and reports
+//! per-policy geometric-mean runtime, as a table and as a JSON artifact.
+//!
+//! ```text
+//! cargo run --release -p gals-bench --bin policy_compare -- \
+//!     --policies argmin,hyst3,pi,static --out target/policy_compare.json
+//! ```
+//!
+//! Knobs: `GALS_MCD_POLICY_WINDOW` (instructions per run, default
+//! 40,000), `GALS_MCD_POLICY_BENCHES` (comma-separated names, default a
+//! six-benchmark subset covering cache-phased, ILP-phased, and
+//! memory-bound behavior), plus the usual `GALS_MCD_CACHE`.
+
+use std::fmt::Write as _;
+
+use gals_bench::print_table;
+use gals_explore::{ControlPolicy, Explorer, PolicyOutcome, ResultCache};
+use gals_workloads::{suite, BenchmarkSpec};
+
+const DEFAULT_BENCHES: [&str; 6] = ["adpcm_encode", "gzip", "apsi", "em3d", "crafty", "art"];
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_policies(spec: &str) -> Vec<ControlPolicy> {
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse::<ControlPolicy>()
+                .unwrap_or_else(|e| panic!("--policies: {e}"))
+        })
+        .collect()
+}
+
+fn bench_subset() -> Vec<BenchmarkSpec> {
+    let names = std::env::var("GALS_MCD_POLICY_BENCHES")
+        .map(|v| v.split(',').map(str::to_string).collect::<Vec<_>>())
+        .unwrap_or_else(|_| DEFAULT_BENCHES.iter().map(|s| s.to_string()).collect());
+    names
+        .iter()
+        .map(|n| {
+            suite::by_name(n.trim()).unwrap_or_else(|| panic!("unknown benchmark {n:?} in subset"))
+        })
+        .collect()
+}
+
+fn artifact_json(window: u64, subset: &[BenchmarkSpec], outcomes: &[PolicyOutcome]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"gals-mcd-policy-compare-v1\",\n");
+    let _ = writeln!(json, "  \"window\": {window},");
+    let names: Vec<String> = subset.iter().map(|s| format!("\"{}\"", s.name())).collect();
+    let _ = writeln!(json, "  \"benchmarks\": [{}],", names.join(", "));
+    json.push_str("  \"policies\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"key\": \"{}\", \"name\": \"{}\", \"geomean_ns\": {:.3}, \"per_benchmark\": {{",
+            o.policy.key(),
+            o.policy,
+            o.geomean_ns
+        );
+        let per: Vec<String> = o
+            .per_benchmark
+            .iter()
+            .map(|(b, ns)| format!("\"{b}\": {ns:.3}"))
+            .collect();
+        let _ = write!(json, "{}}}}}", per.join(", "));
+        json.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let window: u64 = std::env::var("GALS_MCD_POLICY_WINDOW")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40_000);
+    let policies = arg_value(&args, "--policies")
+        .map(|spec| parse_policies(&spec))
+        .unwrap_or_else(|| ControlPolicy::BUILTIN.to_vec());
+    let out_path =
+        arg_value(&args, "--out").unwrap_or_else(|| "target/policy_compare.json".to_string());
+
+    let subset = bench_subset();
+    let cache_path = std::env::var("GALS_MCD_CACHE")
+        .unwrap_or_else(|_| "target/gals-sweep-cache.json".to_string());
+    let cache = ResultCache::open(&cache_path).expect("open result cache");
+    let mut ex = Explorer::with_cache(window, window, cache);
+
+    println!(
+        "policy comparison: {} policies x {} benchmarks, {window} instructions each",
+        policies.len(),
+        subset.len()
+    );
+    let outcomes = ex.policy_compare(&subset, &policies).expect("policy sweep");
+
+    let baseline = outcomes
+        .iter()
+        .find(|o| o.policy == ControlPolicy::PaperArgmin)
+        .map(|o| o.geomean_ns);
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            let vs = match baseline {
+                Some(base) if base > 0.0 => {
+                    format!("{:+.2}%", (o.geomean_ns / base - 1.0) * 100.0)
+                }
+                _ => "-".to_string(),
+            };
+            vec![
+                o.policy.to_string(),
+                format!("{:.1}", o.geomean_ns),
+                vs,
+                o.policy.key(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Adaptation-policy comparison (geomean runtime; lower is better)",
+        &["policy", "geomean ns", "vs paper-argmin", "key"],
+        &rows,
+    );
+
+    let json = artifact_json(window, &subset, &outcomes);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).expect("write policy artifact");
+    println!("\nwrote {out_path}");
+}

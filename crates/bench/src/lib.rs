@@ -17,6 +17,7 @@
 //! | Figure 6 (headline performance) | `fig6_performance` |
 //! | Table 9 (program-adaptive choices) | `table9_distribution` |
 //! | Figure 7 (reconfiguration traces) | `fig7_traces` |
+//! | Policy comparison (beyond the paper) | `policy_compare` |
 //!
 //! The sweeps behind Figure 6 / Table 9 can also be primed separately via
 //! `sweep_sync` and `sweep_program_adaptive`; all measured runtimes are

@@ -1,0 +1,339 @@
+//! The paper's §3 argmin controllers, behind the [`DomainController`]
+//! trait.
+
+use gals_cache::{CostPoint, CostTable};
+use gals_timing::{Dl2Config, ICacheConfig, TimingModel, Variant};
+
+use crate::controller::{Decision, DomainController, IntervalStats};
+
+/// The cache-latency constants (Table 5) the cost tables are built from.
+///
+/// This mirrors the relevant slice of the core crate's `CoreParams` so
+/// the control subsystem does not depend on the pipeline model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheLatencies {
+    /// L1 A-partition latency in cycles (I and D).
+    pub l1_a_cycles: u64,
+    /// L1 B-partition latency per configuration index (Table 5:
+    /// 2/8, 2/5, 2/2, 2/–).
+    pub l1_b_cycles: [Option<u64>; 4],
+    /// L2 A-partition latency in cycles.
+    pub l2_a_cycles: u64,
+    /// L2 B-partition latency per configuration index (12/43, 12/27,
+    /// 12/12, 12/–).
+    pub l2_b_cycles: [Option<u64>; 4],
+}
+
+impl Default for CacheLatencies {
+    fn default() -> Self {
+        CacheLatencies {
+            l1_a_cycles: 2,
+            l1_b_cycles: [Some(8), Some(5), Some(2), None],
+            l2_a_cycles: 12,
+            l2_b_cycles: [Some(43), Some(27), Some(12), None],
+        }
+    }
+}
+
+/// Interval controller for one adaptive cache (the I-cache) or cache pair
+/// (L1-D + L2), implementing §3.1: at the end of each 15K-instruction
+/// interval, reconstruct every configuration's total access cost from the
+/// Accounting Cache statistics and pick the argmin.
+#[derive(Debug, Clone)]
+pub struct ArgminCacheController {
+    l1_table: CostTable,
+    /// Joint L2 table for the D/L2 pair (None for the I-cache controller,
+    /// whose misses are costed via the measured L2 service average).
+    l2_table: Option<CostTable>,
+    current: usize,
+}
+
+impl ArgminCacheController {
+    /// Builds the D/L2 pair controller: four joint configurations whose
+    /// clock follows Figure 2 and whose B latencies follow Table 5.
+    pub fn for_dl2_pair(lat: &CacheLatencies, timing: &TimingModel, current: usize) -> Self {
+        let mut l1_points = Vec::with_capacity(4);
+        let mut l2_points = Vec::with_capacity(4);
+        for (idx, cfg) in Dl2Config::ALL.iter().enumerate() {
+            let f = timing.dl2_frequency(*cfg, Variant::Adaptive);
+            let cycle_ns = 1e9 / f.as_hz() as f64;
+            l1_points.push(CostPoint {
+                a_ways: cfg.ways(),
+                a_cycles: lat.l1_a_cycles,
+                b_cycles: lat.l1_b_cycles[idx],
+                cycle_ns,
+            });
+            l2_points.push(CostPoint {
+                a_ways: cfg.ways(),
+                a_cycles: lat.l2_a_cycles,
+                b_cycles: lat.l2_b_cycles[idx],
+                cycle_ns,
+            });
+        }
+        ArgminCacheController {
+            l1_table: CostTable::new(l1_points, 8),
+            l2_table: Some(CostTable::new(l2_points, 8)),
+            current,
+        }
+    }
+
+    /// Builds the I-cache controller: four configurations whose clock
+    /// follows Figure 3 (adaptive curve).
+    pub fn for_icache(lat: &CacheLatencies, timing: &TimingModel, current: usize) -> Self {
+        let points = ICacheConfig::ALL
+            .iter()
+            .enumerate()
+            .map(|(idx, cfg)| {
+                let f = timing.icache_frequency(*cfg);
+                CostPoint {
+                    a_ways: cfg.ways(),
+                    a_cycles: lat.l1_a_cycles,
+                    b_cycles: lat.l1_b_cycles[idx],
+                    cycle_ns: 1e9 / f.as_hz() as f64,
+                }
+            })
+            .collect();
+        ArgminCacheController {
+            l1_table: CostTable::new(points, 4),
+            l2_table: None,
+            current,
+        }
+    }
+
+    /// Reconstructed total access cost (ns) of candidate `idx` for the
+    /// interval.
+    fn cost_ns(&self, idx: usize, stats: &IntervalStats<'_>) -> f64 {
+        let IntervalStats::Cache {
+            l1, l2, miss_ns, ..
+        } = stats
+        else {
+            unreachable!("guarded by decide");
+        };
+        match self.l2_table.as_ref() {
+            // Pair: L1 hits cost cycles; every L1 miss is an L2 access
+            // already counted in l2_stats; L2 misses go to memory.
+            Some(l2_table) => {
+                self.l1_table.cost_ns(idx, l1, 0.0)
+                    + l2_table.cost_ns(idx, l2.expect("pair needs L2 stats"), *miss_ns)
+            }
+            // Single cache: misses costed at the measured next-level
+            // service time.
+            None => self.l1_table.cost_ns(idx, l1, *miss_ns),
+        }
+    }
+}
+
+impl DomainController for ArgminCacheController {
+    fn name(&self) -> &'static str {
+        "argmin"
+    }
+
+    fn decide(&mut self, stats: &IntervalStats<'_>) -> Decision {
+        if !matches!(stats, IntervalStats::Cache { .. }) {
+            debug_assert!(false, "cache controller fed non-cache stats");
+            return Decision::Stay;
+        }
+        if stats.locked() {
+            return Decision::Stay;
+        }
+        // Exact tie-break toward the current configuration: a challenger
+        // must be *strictly cheaper* than the incumbent (and than every
+        // earlier challenger) to win, so exact ties never relock the PLL
+        // and near-ties are decided by the actual costs — not by an
+        // epsilon scale factor that could flip a genuine argmin.
+        let mut best = self.current;
+        let mut best_cost = self.cost_ns(self.current, stats);
+        for idx in 0..self.l1_table.points().len() {
+            if idx == self.current {
+                continue;
+            }
+            let cost = self.cost_ns(idx, stats);
+            if cost < best_cost {
+                best_cost = cost;
+                best = idx;
+            }
+        }
+        if best != self.current {
+            Decision::Switch(best)
+        } else {
+            Decision::Stay
+        }
+    }
+
+    fn current(&self) -> usize {
+        self.current
+    }
+
+    fn set_current(&mut self, idx: usize) {
+        assert!(idx < self.l1_table.points().len());
+        self.current = idx;
+    }
+
+    fn candidates(&self) -> usize {
+        self.l1_table.points().len()
+    }
+}
+
+/// The raw §3.2 issue-queue preference: follow the ILP tracker's
+/// recommendation immediately. Undamped — the engine composes this with
+/// a [`Hysteresis`](crate::Hysteresis) wrapper (the paper's stickiness
+/// guard) before letting it near a PLL.
+#[derive(Debug, Clone)]
+pub struct ArgminIqController {
+    current: usize,
+}
+
+impl ArgminIqController {
+    /// Starts at queue-size index `current` (into `IqSize::ALL`).
+    pub fn new(current: usize) -> Self {
+        ArgminIqController { current }
+    }
+}
+
+impl DomainController for ArgminIqController {
+    fn name(&self) -> &'static str {
+        "argmin-ilp"
+    }
+
+    fn decide(&mut self, stats: &IntervalStats<'_>) -> Decision {
+        let IntervalStats::Ilp { want, .. } = stats else {
+            debug_assert!(false, "issue-queue controller fed non-ILP stats");
+            return Decision::Stay;
+        };
+        if *want != self.current {
+            Decision::Switch(*want)
+        } else {
+            Decision::Stay
+        }
+    }
+
+    fn current(&self) -> usize {
+        self.current
+    }
+
+    fn set_current(&mut self, idx: usize) {
+        assert!(idx < 4);
+        self.current = idx;
+    }
+
+    fn candidates(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gals_cache::AccountingStats;
+
+    fn stats(pos_hits: [u64; 8], misses: u64) -> AccountingStats {
+        AccountingStats {
+            pos_hits,
+            misses,
+            writebacks: 0,
+            accesses: pos_hits.iter().sum::<u64>() + misses,
+        }
+    }
+
+    fn cache_stats<'a>(
+        l1: &'a AccountingStats,
+        l2: Option<&'a AccountingStats>,
+        miss_ns: f64,
+    ) -> IntervalStats<'a> {
+        IntervalStats::Cache {
+            l1,
+            l2,
+            miss_ns,
+            locked: false,
+        }
+    }
+
+    #[test]
+    fn dl2_controller_upsizes_for_deep_reuse() {
+        let lat = CacheLatencies::default();
+        let timing = TimingModel::default();
+        let mut ctrl = ArgminCacheController::for_dl2_pair(&lat, &timing, 0);
+        // Loads hit MRU positions 1-3 in L1: a wider A partition avoids
+        // the B-partition latency entirely.
+        let l1 = stats([1_000, 8_000, 8_000, 8_000, 0, 0, 0, 0], 100);
+        let l2 = stats([80, 10, 5, 5, 0, 0, 0, 0], 20);
+        let d = ctrl.decide(&cache_stats(&l1, Some(&l2), 94.0));
+        let Decision::Switch(idx) = d else {
+            panic!("expected upsizing, got {d:?}");
+        };
+        assert!(idx >= 2, "expected upsizing, got {idx}");
+    }
+
+    #[test]
+    fn dl2_controller_stays_small_for_shallow_reuse() {
+        let lat = CacheLatencies::default();
+        let timing = TimingModel::default();
+        let mut ctrl = ArgminCacheController::for_dl2_pair(&lat, &timing, 0);
+        let l1 = stats([50_000, 100, 0, 0, 0, 0, 0, 0], 200);
+        let l2 = stats([250, 20, 0, 0, 0, 0, 0, 0], 30);
+        assert_eq!(
+            ctrl.decide(&cache_stats(&l1, Some(&l2), 94.0)),
+            Decision::Stay
+        );
+        assert_eq!(ctrl.current(), 0);
+    }
+
+    #[test]
+    fn icache_controller_downsizes_back() {
+        let lat = CacheLatencies::default();
+        let timing = TimingModel::default();
+        let mut ctrl = ArgminCacheController::for_icache(&lat, &timing, 3);
+        // Everything hits MRU position 0: the direct-mapped config wins
+        // on clock alone.
+        let s = stats([100_000, 10, 0, 0, 0, 0, 0, 0], 50);
+        let d = ctrl.decide(&cache_stats(&s, None, 20.0));
+        assert_eq!(d, Decision::Switch(0));
+        // The decision is a preference; the engine confirms it.
+        assert_eq!(ctrl.current(), 3);
+        ctrl.set_current(0);
+        assert_eq!(ctrl.current(), 0);
+    }
+
+    #[test]
+    fn locked_interval_is_a_hold() {
+        let lat = CacheLatencies::default();
+        let timing = TimingModel::default();
+        let mut ctrl = ArgminCacheController::for_icache(&lat, &timing, 3);
+        let s = stats([100_000, 10, 0, 0, 0, 0, 0, 0], 50);
+        let d = ctrl.decide(&IntervalStats::Cache {
+            l1: &s,
+            l2: None,
+            miss_ns: 20.0,
+            locked: true,
+        });
+        assert_eq!(d, Decision::Stay);
+    }
+
+    #[test]
+    fn exact_tie_keeps_current() {
+        // Two configurations with identical reconstructed cost: the
+        // incumbent must win (no pointless PLL relock), and a strictly
+        // cheaper challenger must win even by a hair.
+        let lat = CacheLatencies::default();
+        let timing = TimingModel::default();
+        let mut ctrl = ArgminCacheController::for_icache(&lat, &timing, 1);
+        // No accesses at all: every configuration costs exactly 0.
+        let s = stats([0; 8], 0);
+        assert_eq!(ctrl.decide(&cache_stats(&s, None, 20.0)), Decision::Stay);
+        assert_eq!(ctrl.current(), 1);
+    }
+
+    #[test]
+    fn raw_iq_follows_want() {
+        let mut ctrl = ArgminIqController::new(0);
+        let ilp = |want| IntervalStats::Ilp {
+            scores: [0.0; 4],
+            want,
+            locked: false,
+        };
+        assert_eq!(ctrl.decide(&ilp(0)), Decision::Stay);
+        assert_eq!(ctrl.decide(&ilp(2)), Decision::Switch(2));
+        ctrl.set_current(2);
+        assert_eq!(ctrl.decide(&ilp(2)), Decision::Stay);
+    }
+}

@@ -1,0 +1,100 @@
+//! The policy boundary: interval statistics in, a resize decision out.
+
+use gals_cache::AccountingStats;
+
+/// End-of-interval statistics handed to a [`DomainController`].
+///
+/// Two interval flavors exist, matching the paper's two control loops:
+/// cache domains are evaluated every 15K committed instructions from
+/// their Accounting Cache counters (§3.1), issue queues every completed
+/// ILP tracking interval from the rename-time timestamp tracker (§3.2).
+/// A policy that only understands one flavor should return
+/// [`Decision::Stay`] for the other.
+#[derive(Debug)]
+pub enum IntervalStats<'a> {
+    /// Accounting-cache interval counters for an adaptive cache (or the
+    /// jointly-resized D/L2 pair).
+    Cache {
+        /// First-level (I-cache or L1-D) interval counters.
+        l1: &'a AccountingStats,
+        /// Joint second-level counters (D/L2 pair controller only).
+        l2: Option<&'a AccountingStats>,
+        /// Average service time (ns) of a miss out of the last modeled
+        /// level: measured L2 service for the I-cache, memory for the
+        /// D/L2 pair.
+        miss_ns: f64,
+        /// The domain's PLL is mid-relock or a resize is still pending;
+        /// the engine will not act this interval, and stateful policies
+        /// should suspend streaks/integrators rather than accumulate
+        /// stale pressure.
+        locked: bool,
+    },
+    /// One completed ILP tracking interval for an issue queue.
+    Ilp {
+        /// Effective-ILP score (`min(N, n_class)/M_N × f_N`, higher is
+        /// better) per candidate queue size, indexed like
+        /// `IqSize::ALL`.
+        scores: [f64; 4],
+        /// The raw §3.2 recommendation: argmax over `scores` with the
+        /// starvation rule applied (index into `IqSize::ALL`).
+        want: usize,
+        /// See [`IntervalStats::Cache::locked`].
+        locked: bool,
+    },
+}
+
+impl IntervalStats<'_> {
+    /// Whether the domain is locked (PLL relock or pending resize).
+    pub fn locked(&self) -> bool {
+        match self {
+            IntervalStats::Cache { locked, .. } | IntervalStats::Ilp { locked, .. } => *locked,
+        }
+    }
+}
+
+/// A controller's verdict for the next interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep the current configuration.
+    Stay,
+    /// Reconfigure to the candidate with this index (into the domain's
+    /// upsizing-ordered configuration list).
+    Switch(usize),
+}
+
+/// One adaptive domain's control policy: at the end of each interval the
+/// engine feeds it that interval's statistics and it answers with a
+/// [`Decision`].
+///
+/// Contract:
+///
+/// * `decide` expresses a *preference* — it must not assume the switch
+///   happens. The engine (or a wrapper such as
+///   [`Hysteresis`](crate::Hysteresis)) confirms an accepted decision
+///   via [`DomainController::set_current`].
+/// * Implementations must be deterministic: the same statistics sequence
+///   must produce the same decision sequence (sweep results are cached
+///   on that assumption).
+/// * When `stats.locked()` is true the engine will discard a `Switch`,
+///   so policies should return [`Decision::Stay`] and treat the interval
+///   as a hold (reset streaks, freeze integrators) rather than let state
+///   accumulate toward a move they cannot make.
+pub trait DomainController: std::fmt::Debug {
+    /// Short policy name, used in decision traces and artifacts.
+    fn name(&self) -> &'static str;
+
+    /// End-of-interval decision.
+    fn decide(&mut self, stats: &IntervalStats<'_>) -> Decision;
+
+    /// The currently targeted configuration index (the last confirmed
+    /// decision; the physically effective configuration may lag while a
+    /// PLL relock is in flight).
+    fn current(&self) -> usize;
+
+    /// Confirms a configuration (decision accepted by the engine, or an
+    /// externally forced reset).
+    fn set_current(&mut self, idx: usize);
+
+    /// Number of candidate configurations.
+    fn candidates(&self) -> usize;
+}

@@ -1,0 +1,553 @@
+//! The adaptation engine: owns the per-domain controllers, the ILP
+//! tracker, PLL-relock gating, pending-resize state, and the decision
+//! trace. The simulator feeds it statistics and executes the structural
+//! changes it approves.
+
+use gals_cache::AccountingStats;
+use gals_common::Femtos;
+use gals_isa::{DynInst, RegClass};
+use gals_timing::{Dl2Config, ICacheConfig, IqSize, TimingModel};
+
+use crate::argmin::{ArgminCacheController, ArgminIqController, CacheLatencies};
+use crate::controller::{Decision, DomainController, IntervalStats};
+use crate::hysteresis::Hysteresis;
+use crate::ilp::{IlpDecision, IlpTracker};
+use crate::pi::PiController;
+use crate::policy::{ControlPolicy, StaticController};
+use crate::service::ServiceAvg;
+
+/// One adaptive structure, for decision-trace records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlDomain {
+    /// Front-end I-cache / branch-predictor pair.
+    ICache,
+    /// Jointly resized L1-D / L2 pair.
+    Dl2,
+    /// Integer issue queue.
+    IqInt,
+    /// Floating-point issue queue.
+    IqFp,
+}
+
+/// One accepted reconfiguration decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// Which structure the decision targets.
+    pub domain: ControlDomain,
+    /// Committed-instruction count when the decision was taken.
+    pub at_committed: u64,
+    /// Configuration index before the decision.
+    pub from: usize,
+    /// Configuration index the policy switched to.
+    pub to: usize,
+}
+
+/// Everything the engine needs from the machine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineSetup<'a> {
+    /// Circuit timing model (per-configuration frequencies).
+    pub timing: &'a TimingModel,
+    /// Table 5 cache latencies for the cost tables.
+    pub latencies: CacheLatencies,
+    /// §3.1 adaptation interval in committed instructions.
+    pub interval_insts: u64,
+    /// Memory miss service time (ns) for the D/L2 pair costing.
+    pub mem_ns: f64,
+    /// Initial estimate for the measured L2 service average (ns).
+    pub l2_service_init_ns: f64,
+    /// Initial I-cache configuration index.
+    pub ic_idx: usize,
+    /// Initial D/L2 configuration index.
+    pub dl2_idx: usize,
+    /// Initial integer issue-queue size.
+    pub iq_int: IqSize,
+    /// Initial floating-point issue-queue size.
+    pub iq_fp: IqSize,
+}
+
+/// A boxed policy instance driving one adaptive domain.
+type BoxedController = Box<dyn DomainController>;
+
+#[derive(Debug, Clone, Copy)]
+struct PendingCache {
+    idx: usize,
+    at: Femtos,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingIq {
+    size: IqSize,
+    at: Femtos,
+}
+
+/// The policy-pluggable adaptation subsystem of a phase-adaptive
+/// machine.
+///
+/// Division of labor with the simulator: the engine decides *whether*
+/// to reconfigure (policy evaluation, relock gating, hysteresis,
+/// pending-resize bookkeeping); the simulator executes *how* (PLL
+/// frequency changes, A-partition moves, predictor swaps, capacity
+/// clamps) because those touch pipeline state the engine must not own.
+#[derive(Debug)]
+pub struct AdaptationEngine {
+    policy: ControlPolicy,
+    ic: BoxedController,
+    dl2: BoxedController,
+    iq: [BoxedController; 2],
+    tracker: IlpTracker,
+    iq_freqs_ghz: [f64; 4],
+    mem_ns: f64,
+    l2_service: ServiceAvg,
+    pending_ic: Option<PendingCache>,
+    pending_dl2: Option<PendingCache>,
+    pending_iq: [Option<PendingIq>; 2],
+    interval_insts: u64,
+    interval_committed: u64,
+    trace: Vec<DecisionRecord>,
+}
+
+impl AdaptationEngine {
+    /// Builds the engine for `policy` from the machine setup.
+    pub fn new(policy: ControlPolicy, setup: &EngineSetup<'_>) -> Self {
+        // Figure 4 frequencies, derived from the size enum itself so the
+        // table can never desync from `IqSize::ALL`.
+        let iq_freqs_ghz = IqSize::ALL.map(|s| setup.timing.iq_frequency(s).as_ghz());
+        debug_assert!(IqSize::ALL.iter().enumerate().all(|(i, s)| s.index() == i));
+
+        let argmin_ic =
+            || ArgminCacheController::for_icache(&setup.latencies, setup.timing, setup.ic_idx);
+        let argmin_dl2 =
+            || ArgminCacheController::for_dl2_pair(&setup.latencies, setup.timing, setup.dl2_idx);
+        let raw_iq = |size: IqSize| ArgminIqController::new(size.index());
+
+        let (ic, dl2, iq): (BoxedController, BoxedController, [BoxedController; 2]) = match policy {
+            // The paper: caches act on the argmin immediately; the issue
+            // queues are damped by the fixed 3-interval stickiness.
+            ControlPolicy::PaperArgmin => (
+                Box::new(argmin_ic()),
+                Box::new(argmin_dl2()),
+                [
+                    Box::new(Hysteresis::new(
+                        Box::new(raw_iq(setup.iq_int)),
+                        Hysteresis::PAPER_IQ_STICKINESS,
+                    )),
+                    Box::new(Hysteresis::new(
+                        Box::new(raw_iq(setup.iq_fp)),
+                        Hysteresis::PAPER_IQ_STICKINESS,
+                    )),
+                ],
+            ),
+            // Uniform tunable stickiness on every domain.
+            ControlPolicy::Hysteresis { threshold } => (
+                Box::new(Hysteresis::new(Box::new(argmin_ic()), threshold)),
+                Box::new(Hysteresis::new(Box::new(argmin_dl2()), threshold)),
+                [
+                    Box::new(Hysteresis::new(Box::new(raw_iq(setup.iq_int)), threshold)),
+                    Box::new(Hysteresis::new(Box::new(raw_iq(setup.iq_fp)), threshold)),
+                ],
+            ),
+            ControlPolicy::PiFeedback => (
+                Box::new(PiController::cache(
+                    ICacheConfig::ALL.map(|c| c.ways()),
+                    4,
+                    setup.ic_idx,
+                )),
+                Box::new(PiController::cache(
+                    Dl2Config::ALL.map(|c| c.ways()),
+                    8,
+                    setup.dl2_idx,
+                )),
+                [
+                    Box::new(PiController::issue_queue(setup.iq_int.index())),
+                    Box::new(PiController::issue_queue(setup.iq_fp.index())),
+                ],
+            ),
+            ControlPolicy::Static => (
+                Box::new(StaticController::new(setup.ic_idx, 4)),
+                Box::new(StaticController::new(setup.dl2_idx, 4)),
+                [
+                    Box::new(StaticController::new(setup.iq_int.index(), 4)),
+                    Box::new(StaticController::new(setup.iq_fp.index(), 4)),
+                ],
+            ),
+        };
+
+        AdaptationEngine {
+            policy,
+            ic,
+            dl2,
+            iq,
+            tracker: IlpTracker::new(),
+            iq_freqs_ghz,
+            mem_ns: setup.mem_ns,
+            l2_service: ServiceAvg::new(setup.l2_service_init_ns),
+            pending_ic: None,
+            pending_dl2: None,
+            pending_iq: [None, None],
+            interval_insts: setup.interval_insts,
+            interval_committed: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> ControlPolicy {
+        self.policy
+    }
+
+    /// Accepted reconfiguration decisions, in decision order.
+    pub fn trace(&self) -> &[DecisionRecord] {
+        &self.trace
+    }
+
+    /// Feeds one measured L2 service time (an I-cache miss's round trip)
+    /// into the running average the I-cache policy costs misses at.
+    pub fn note_l2_service(&mut self, ns: f64) {
+        self.l2_service.update(ns);
+    }
+
+    /// Counts one committed instruction; returns true when the §3.1
+    /// interval just ended (the caller then runs the cache interval
+    /// evaluations and resets the count implicitly).
+    pub fn commit_tick(&mut self) -> bool {
+        self.interval_committed += 1;
+        if self.interval_committed >= self.interval_insts {
+            self.interval_committed = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Confirms a `Switch` on the domain's controller and records it.
+    /// `from` is the configuration current *before* the decision was
+    /// evaluated — it must be captured before `decide`, because a
+    /// wrapper like [`Hysteresis`] confirms its inner controller as part
+    /// of deciding.
+    fn accept(
+        &mut self,
+        domain: ControlDomain,
+        from: usize,
+        decision: Decision,
+        committed: u64,
+    ) -> Option<usize> {
+        let Decision::Switch(to) = decision else {
+            return None;
+        };
+        let ctrl = match domain {
+            ControlDomain::ICache => &mut self.ic,
+            ControlDomain::Dl2 => &mut self.dl2,
+            ControlDomain::IqInt => &mut self.iq[0],
+            ControlDomain::IqFp => &mut self.iq[1],
+        };
+        ctrl.set_current(to);
+        self.trace.push(DecisionRecord {
+            domain,
+            at_committed: committed,
+            from,
+            to,
+        });
+        Some(to)
+    }
+
+    /// End-of-interval I-cache evaluation. `pll_locking` is the front-end
+    /// domain's relock status; a pending resize gates the same way.
+    /// Returns the accepted new configuration index, if any.
+    pub fn icache_interval(
+        &mut self,
+        l1: &AccountingStats,
+        pll_locking: bool,
+        committed: u64,
+    ) -> Option<usize> {
+        let locked = pll_locking || self.pending_ic.is_some();
+        let miss_ns = self.l2_service.get();
+        let from = self.ic.current();
+        let d = self.ic.decide(&IntervalStats::Cache {
+            l1,
+            l2: None,
+            miss_ns,
+            locked,
+        });
+        if locked {
+            return None;
+        }
+        self.accept(ControlDomain::ICache, from, d, committed)
+    }
+
+    /// End-of-interval D/L2 pair evaluation (see
+    /// [`AdaptationEngine::icache_interval`]).
+    pub fn dl2_interval(
+        &mut self,
+        l1: &AccountingStats,
+        l2: &AccountingStats,
+        pll_locking: bool,
+        committed: u64,
+    ) -> Option<usize> {
+        let locked = pll_locking || self.pending_dl2.is_some();
+        let miss_ns = self.mem_ns;
+        let from = self.dl2.current();
+        let d = self.dl2.decide(&IntervalStats::Cache {
+            l1,
+            l2: Some(l2),
+            miss_ns,
+            locked,
+        });
+        if locked {
+            return None;
+        }
+        self.accept(ControlDomain::Dl2, from, d, committed)
+    }
+
+    /// Observes one renamed instruction (§3.2). When an ILP tracking
+    /// interval completes and the policy accepts a change on either
+    /// queue, returns the *new target sizes* of both queues.
+    /// `locking_int` / `locking_fp` are the domains' PLL relock states.
+    pub fn observe_rename(
+        &mut self,
+        inst: &DynInst,
+        locking_int: bool,
+        locking_fp: bool,
+        committed: u64,
+    ) -> Option<IlpDecision> {
+        self.tracker.observe(inst);
+        if !self.tracker.complete() {
+            return None;
+        }
+        let scores_int = self.tracker.scores(RegClass::Int, self.iq_freqs_ghz);
+        let scores_fp = self.tracker.scores(RegClass::Fp, self.iq_freqs_ghz);
+        let raw = self.tracker.decide(self.iq_freqs_ghz);
+
+        let locked = [
+            locking_int || self.pending_iq[0].is_some(),
+            locking_fp || self.pending_iq[1].is_some(),
+        ];
+        let views = [
+            IntervalStats::Ilp {
+                scores: scores_int,
+                want: raw.iq_int.index(),
+                locked: locked[0],
+            },
+            IntervalStats::Ilp {
+                scores: scores_fp,
+                want: raw.iq_fp.index(),
+                locked: locked[1],
+            },
+        ];
+        let mut changed = false;
+        for (qi, view) in views.iter().enumerate() {
+            let from = self.iq[qi].current();
+            let d = self.iq[qi].decide(view);
+            if locked[qi] {
+                continue;
+            }
+            let domain = if qi == 0 {
+                ControlDomain::IqInt
+            } else {
+                ControlDomain::IqFp
+            };
+            changed |= self.accept(domain, from, d, committed).is_some();
+        }
+        changed.then(|| IlpDecision {
+            iq_int: IqSize::from_index(self.iq[0].current()),
+            iq_fp: IqSize::from_index(self.iq[1].current()),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Pending-resize bookkeeping (upsizes wait for the PLL relock; the
+    // simulator applies the structural change when the due time passes).
+    // ------------------------------------------------------------------
+
+    /// Registers an I-cache upsize to apply at `at`.
+    pub fn set_pending_ic(&mut self, idx: usize, at: Femtos) {
+        debug_assert!(self.pending_ic.is_none());
+        self.pending_ic = Some(PendingCache { idx, at });
+    }
+
+    /// Takes the pending I-cache resize if its apply time has passed.
+    pub fn take_due_ic(&mut self, now: Femtos) -> Option<usize> {
+        match self.pending_ic {
+            Some(p) if now >= p.at => {
+                self.pending_ic = None;
+                Some(p.idx)
+            }
+            _ => None,
+        }
+    }
+
+    /// Apply time of the pending I-cache resize, if one is in flight.
+    pub fn pending_ic_at(&self) -> Option<Femtos> {
+        self.pending_ic.map(|p| p.at)
+    }
+
+    /// Registers a D/L2 upsize to apply at `at`.
+    pub fn set_pending_dl2(&mut self, idx: usize, at: Femtos) {
+        debug_assert!(self.pending_dl2.is_none());
+        self.pending_dl2 = Some(PendingCache { idx, at });
+    }
+
+    /// Takes the pending D/L2 resize if its apply time has passed.
+    pub fn take_due_dl2(&mut self, now: Femtos) -> Option<usize> {
+        match self.pending_dl2 {
+            Some(p) if now >= p.at => {
+                self.pending_dl2 = None;
+                Some(p.idx)
+            }
+            _ => None,
+        }
+    }
+
+    /// Apply time of the pending D/L2 resize, if one is in flight.
+    pub fn pending_dl2_at(&self) -> Option<Femtos> {
+        self.pending_dl2.map(|p| p.at)
+    }
+
+    /// Registers an issue-queue upsize (`qi`: 0 = int, 1 = fp).
+    pub fn set_pending_iq(&mut self, qi: usize, size: IqSize, at: Femtos) {
+        debug_assert!(self.pending_iq[qi].is_none());
+        self.pending_iq[qi] = Some(PendingIq { size, at });
+    }
+
+    /// Takes the pending resize of queue `qi` if its apply time passed.
+    pub fn take_due_iq(&mut self, qi: usize, now: Femtos) -> Option<IqSize> {
+        match self.pending_iq[qi] {
+            Some(p) if now >= p.at => {
+                self.pending_iq[qi] = None;
+                Some(p.size)
+            }
+            _ => None,
+        }
+    }
+
+    /// Apply time of queue `qi`'s pending resize, if one is in flight.
+    pub fn pending_iq_at(&self, qi: usize) -> Option<Femtos> {
+        self.pending_iq[qi].map(|p| p.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gals_isa::{ArchReg, OpClass};
+
+    fn setup(timing: &TimingModel) -> EngineSetup<'_> {
+        EngineSetup {
+            timing,
+            latencies: CacheLatencies::default(),
+            interval_insts: 100,
+            mem_ns: 94.0,
+            l2_service_init_ns: 47.0,
+            ic_idx: 0,
+            dl2_idx: 0,
+            iq_int: IqSize::Q16,
+            iq_fp: IqSize::Q16,
+        }
+    }
+
+    fn stats(pos_hits: [u64; 8], misses: u64) -> AccountingStats {
+        AccountingStats {
+            pos_hits,
+            misses,
+            writebacks: 0,
+            accesses: pos_hits.iter().sum::<u64>() + misses,
+        }
+    }
+
+    #[test]
+    fn commit_tick_fires_every_interval() {
+        let timing = TimingModel::default();
+        let mut en = AdaptationEngine::new(ControlPolicy::PaperArgmin, &setup(&timing));
+        let fired: u32 = (0..250).map(|_| u32::from(en.commit_tick())).sum();
+        assert_eq!(fired, 2);
+    }
+
+    #[test]
+    fn dl2_upsize_traced_and_gated_while_pending() {
+        let timing = TimingModel::default();
+        let mut en = AdaptationEngine::new(ControlPolicy::PaperArgmin, &setup(&timing));
+        let l1 = stats([1_000, 8_000, 8_000, 8_000, 0, 0, 0, 0], 100);
+        let l2 = stats([80, 10, 5, 5, 0, 0, 0, 0], 20);
+        let idx = en
+            .dl2_interval(&l1, &l2, false, 15_000)
+            .expect("deep reuse upsizes");
+        assert!(idx >= 2);
+        assert_eq!(en.trace().len(), 1);
+        assert_eq!(en.trace()[0].domain, ControlDomain::Dl2);
+        assert_eq!(en.trace()[0].from, 0);
+        assert_eq!(en.trace()[0].to, idx);
+
+        // While the resize is pending, further intervals are gated.
+        en.set_pending_dl2(idx, Femtos::from_ns(100));
+        assert_eq!(en.dl2_interval(&l1, &l2, false, 30_000), None);
+        assert_eq!(en.take_due_dl2(Femtos::from_ns(50)), None);
+        assert_eq!(en.take_due_dl2(Femtos::from_ns(100)), Some(idx));
+        assert_eq!(en.pending_dl2_at(), None);
+    }
+
+    #[test]
+    fn static_policy_never_reconfigures() {
+        let timing = TimingModel::default();
+        let mut en = AdaptationEngine::new(ControlPolicy::Static, &setup(&timing));
+        let l1 = stats([1_000, 8_000, 8_000, 8_000, 0, 0, 0, 0], 100);
+        let l2 = stats([80, 10, 5, 5, 0, 0, 0, 0], 20);
+        assert_eq!(en.dl2_interval(&l1, &l2, false, 15_000), None);
+        assert_eq!(en.icache_interval(&l1, false, 15_000), None);
+        assert!(en.trace().is_empty());
+    }
+
+    #[test]
+    fn iq_stickiness_defers_then_switches() {
+        let timing = TimingModel::default();
+        let mut en = AdaptationEngine::new(ControlPolicy::PaperArgmin, &setup(&timing));
+        // Diluted parallel chains (the ilp.rs upsizing pattern), streamed
+        // until the stickiness streak is consumed.
+        let mut first_change = None;
+        for i in 0..2_000u64 {
+            let inst = if i % 2 == 0 {
+                DynInst::alu(
+                    0x1000 + i * 4,
+                    OpClass::IntAlu,
+                    ArchReg::int(25),
+                    [Some(ArchReg::int(0)), None],
+                )
+            } else {
+                let r = ArchReg::int(1 + ((i / 2) % 20) as u8);
+                DynInst::alu(0x1000 + i * 4, OpClass::IntAlu, r, [Some(r), None])
+            };
+            if let Some(d) = en.observe_rename(&inst, false, false, i) {
+                first_change.get_or_insert((i, d));
+                break;
+            }
+        }
+        let (_, d) = first_change.expect("parallel code upsizes the int queue");
+        assert!(d.iq_int > IqSize::Q16);
+        assert_eq!(d.iq_fp, IqSize::Q16);
+        assert_eq!(en.trace().len(), 1);
+        assert_eq!(en.trace()[0].domain, ControlDomain::IqInt);
+        // `from` must be the pre-decision configuration even though the
+        // hysteresis wrapper confirms its inner controller mid-decide.
+        assert_eq!(en.trace()[0].from, IqSize::Q16.index());
+        assert_eq!(en.trace()[0].to, d.iq_int.index());
+    }
+
+    #[test]
+    fn locked_iq_domain_blocks_changes() {
+        let timing = TimingModel::default();
+        let mut en = AdaptationEngine::new(ControlPolicy::PaperArgmin, &setup(&timing));
+        for i in 0..4_000u64 {
+            let inst = if i % 2 == 0 {
+                DynInst::alu(
+                    0x1000 + i * 4,
+                    OpClass::IntAlu,
+                    ArchReg::int(25),
+                    [Some(ArchReg::int(0)), None],
+                )
+            } else {
+                let r = ArchReg::int(1 + ((i / 2) % 20) as u8);
+                DynInst::alu(0x1000 + i * 4, OpClass::IntAlu, r, [Some(r), None])
+            };
+            assert_eq!(en.observe_rename(&inst, true, true, i), None);
+        }
+        assert!(en.trace().is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Streak-damped decision wrapper (the generalized form of the old
+//! issue-queue controller's `STICKINESS` guard).
+
+use crate::controller::{Decision, DomainController, IntervalStats};
+
+/// Wraps any [`DomainController`] and only forwards a switch after the
+/// same non-current candidate has won `threshold` *consecutive*
+/// intervals.
+///
+/// Rationale (§3.2): a tracking interval is only ~N instructions while a
+/// PLL relock spans tens of thousands; without damping, quantization
+/// noise in the measured dependence depth would thrash the clock. The
+/// streak resets whenever the inner policy prefers the incumbent, a
+/// different challenger takes the lead, or the domain is locked
+/// (mid-relock decisions must not bank progress toward the next one).
+///
+/// A `threshold` of 1 degenerates to the inner policy with lock-gating
+/// only; the paper's issue-queue controller is `threshold == 3`
+/// ([`Hysteresis::PAPER_IQ_STICKINESS`]) around the raw ILP argmax.
+#[derive(Debug)]
+pub struct Hysteresis {
+    inner: Box<dyn DomainController>,
+    threshold: u32,
+    /// Leading challenger and its consecutive-win count.
+    streak: (usize, u32),
+}
+
+impl Hysteresis {
+    /// Consecutive intervals a challenger must win before a resize, as
+    /// the paper's issue-queue controller fixes it.
+    pub const PAPER_IQ_STICKINESS: u32 = 3;
+
+    /// Wraps `inner` with a `threshold`-interval streak requirement
+    /// (`threshold >= 1`).
+    pub fn new(inner: Box<dyn DomainController>, threshold: u32) -> Self {
+        assert!(threshold >= 1, "hysteresis threshold must be positive");
+        let streak = (inner.current(), 0);
+        Hysteresis {
+            inner,
+            threshold,
+            streak,
+        }
+    }
+
+    /// The streak threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+}
+
+impl DomainController for Hysteresis {
+    fn name(&self) -> &'static str {
+        "hysteresis"
+    }
+
+    fn decide(&mut self, stats: &IntervalStats<'_>) -> Decision {
+        let current = self.inner.current();
+        if stats.locked() {
+            self.streak = (current, 0);
+            return Decision::Stay;
+        }
+        let want = match self.inner.decide(stats) {
+            Decision::Stay => {
+                self.streak = (current, 0);
+                return Decision::Stay;
+            }
+            Decision::Switch(w) => w,
+        };
+        if self.streak.0 == want {
+            self.streak.1 += 1;
+        } else {
+            self.streak = (want, 1);
+        }
+        if self.streak.1 >= self.threshold {
+            self.inner.set_current(want);
+            self.streak = (want, 0);
+            Decision::Switch(want)
+        } else {
+            Decision::Stay
+        }
+    }
+
+    fn current(&self) -> usize {
+        self.inner.current()
+    }
+
+    fn set_current(&mut self, idx: usize) {
+        self.inner.set_current(idx);
+        self.streak = (idx, 0);
+    }
+
+    fn candidates(&self) -> usize {
+        self.inner.candidates()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::argmin::ArgminIqController;
+
+    fn ilp(want: usize, locked: bool) -> IntervalStats<'static> {
+        IntervalStats::Ilp {
+            scores: [0.0; 4],
+            want,
+            locked,
+        }
+    }
+
+    #[test]
+    fn switches_only_after_streak() {
+        let mut h = Hysteresis::new(Box::new(ArgminIqController::new(0)), 3);
+        assert_eq!(h.decide(&ilp(2, false)), Decision::Stay);
+        assert_eq!(h.decide(&ilp(2, false)), Decision::Stay);
+        assert_eq!(h.decide(&ilp(2, false)), Decision::Switch(2));
+        assert_eq!(h.current(), 2);
+        // Streak consumed: the next win starts a fresh count.
+        assert_eq!(h.decide(&ilp(0, false)), Decision::Stay);
+    }
+
+    #[test]
+    fn challenger_change_resets_streak() {
+        let mut h = Hysteresis::new(Box::new(ArgminIqController::new(0)), 3);
+        assert_eq!(h.decide(&ilp(2, false)), Decision::Stay);
+        assert_eq!(h.decide(&ilp(3, false)), Decision::Stay);
+        assert_eq!(h.decide(&ilp(2, false)), Decision::Stay);
+        assert_eq!(h.decide(&ilp(2, false)), Decision::Stay);
+        assert_eq!(h.decide(&ilp(2, false)), Decision::Switch(2));
+    }
+
+    #[test]
+    fn incumbent_win_resets_streak() {
+        let mut h = Hysteresis::new(Box::new(ArgminIqController::new(1)), 2);
+        assert_eq!(h.decide(&ilp(3, false)), Decision::Stay);
+        assert_eq!(h.decide(&ilp(1, false)), Decision::Stay);
+        assert_eq!(h.decide(&ilp(3, false)), Decision::Stay);
+        assert_eq!(h.decide(&ilp(3, false)), Decision::Switch(3));
+    }
+
+    #[test]
+    fn lock_resets_streak() {
+        let mut h = Hysteresis::new(Box::new(ArgminIqController::new(0)), 2);
+        assert_eq!(h.decide(&ilp(2, false)), Decision::Stay);
+        assert_eq!(h.decide(&ilp(2, true)), Decision::Stay);
+        assert_eq!(h.decide(&ilp(2, false)), Decision::Stay);
+        assert_eq!(h.decide(&ilp(2, false)), Decision::Switch(2));
+    }
+
+    #[test]
+    fn threshold_one_is_lock_gating_only() {
+        let mut h = Hysteresis::new(Box::new(ArgminIqController::new(0)), 1);
+        assert_eq!(h.decide(&ilp(3, false)), Decision::Switch(3));
+    }
+}

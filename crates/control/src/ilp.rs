@@ -130,6 +130,20 @@ impl IlpTracker {
         filled as f64 / snap.m as f64 * freq_ghz
     }
 
+    /// All four effective-ILP scores for `class`, indexed like
+    /// `IqSize::ALL` (the raw signal handed to pluggable policies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`IlpTracker::complete`] returns true.
+    pub fn scores(&self, class: RegClass, freqs_ghz: [f64; 4]) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        for size in IqSize::ALL {
+            out[size.index()] = self.score(size, class, freqs_ghz[size.index()]);
+        }
+        out
+    }
+
     /// Produces the decision for both queues, given the four candidate
     /// frequencies in GHz, then resets the tracker.
     ///
@@ -313,6 +327,25 @@ mod tests {
         assert!(t.complete());
         let d = t.decide([1.52, 1.05, 1.01, 0.97]);
         assert_eq!(d.iq_fp, IqSize::Q16, "starved FP queue stays small");
+    }
+
+    #[test]
+    fn scores_agree_with_decide() {
+        let mut t = IlpTracker::new();
+        for i in parallel_insts(200, 12) {
+            t.observe(&i);
+        }
+        assert!(t.complete());
+        let freqs = [1.52, 1.05, 1.01, 0.97];
+        let scores = t.scores(RegClass::Int, freqs);
+        let argmax = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap();
+        let d = t.decide(freqs);
+        assert_eq!(d.iq_int.index(), argmax);
     }
 
     #[test]

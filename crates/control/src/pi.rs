@@ -1,0 +1,260 @@
+//! A PI-feedback control policy, after the control-loop literature on
+//! GALS chip multiprocessors: instead of reconstructing every candidate
+//! configuration's cost and jumping to the argmin, regulate a single
+//! measured pressure signal toward a setpoint and move one configuration
+//! step at a time when the accumulated control effort crosses a
+//! threshold.
+
+use crate::controller::{Decision, DomainController, IntervalStats};
+
+/// What the pressure signal means for this domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PiSignal {
+    /// Cache domain: pressure is the fraction of interval accesses served
+    /// beyond the A partition (B hits + misses), computed for the
+    /// *current* candidate's A width. High pressure argues for a wider A
+    /// partition; pressure under the setpoint argues for shedding ways to
+    /// regain clock frequency.
+    Cache {
+        /// A-partition ways per candidate index.
+        a_ways: [u32; 4],
+        /// Physical ways of the accounting array.
+        total_ways: u32,
+    },
+    /// Issue-queue domain: the error is the (signed) distance from the
+    /// current size index to the tracker's recommended index, normalized
+    /// to the candidate range.
+    Ilp,
+}
+
+/// A proportional–integral step controller over one adaptive domain.
+///
+/// Per interval: `u = kp·error + ∫ki·error`; when `u` leaves the
+/// `±deadband` the configuration moves one step in `u`'s direction and
+/// the integrator resets (anti-windup). Locked intervals freeze the
+/// integrator entirely so relock time cannot bank control effort.
+#[derive(Debug, Clone)]
+pub struct PiController {
+    signal: PiSignal,
+    current: usize,
+    kp: f64,
+    ki: f64,
+    setpoint: f64,
+    deadband: f64,
+    integral: f64,
+}
+
+impl PiController {
+    /// Default proportional gain.
+    pub const KP: f64 = 1.0;
+    /// Default integral gain.
+    pub const KI: f64 = 0.25;
+    /// Default cache-pressure setpoint (fraction of accesses allowed
+    /// beyond the A partition before upsizing pressure accumulates).
+    pub const CACHE_SETPOINT: f64 = 0.05;
+    /// Default control-effort deadband.
+    pub const DEADBAND: f64 = 0.5;
+
+    /// A PI controller for a cache domain whose candidates have the given
+    /// A-partition widths over `total_ways` physical ways.
+    pub fn cache(a_ways: [u32; 4], total_ways: u32, current: usize) -> Self {
+        PiController {
+            signal: PiSignal::Cache { a_ways, total_ways },
+            current,
+            kp: Self::KP,
+            ki: Self::KI,
+            setpoint: Self::CACHE_SETPOINT,
+            deadband: Self::DEADBAND,
+            integral: 0.0,
+        }
+    }
+
+    /// A PI controller for an issue-queue domain.
+    pub fn issue_queue(current: usize) -> Self {
+        PiController {
+            signal: PiSignal::Ilp,
+            current,
+            kp: Self::KP,
+            ki: Self::KI,
+            setpoint: 0.0,
+            deadband: Self::DEADBAND,
+            integral: 0.0,
+        }
+    }
+
+    /// The signed error for this interval, or `None` when the interval
+    /// carries no usable signal (e.g. an idle cache).
+    fn error(&self, stats: &IntervalStats<'_>) -> Option<f64> {
+        match (&self.signal, stats) {
+            (PiSignal::Cache { a_ways, total_ways }, IntervalStats::Cache { l1, l2, .. }) => {
+                let a = a_ways[self.current];
+                let mut beyond = l1.hits_in_b(a, *total_ways) + l1.misses;
+                let mut total = l1.accesses;
+                if let Some(l2) = l2 {
+                    beyond += l2.hits_in_b(a, *total_ways) + l2.misses;
+                    total += l2.accesses;
+                }
+                if total == 0 {
+                    return None;
+                }
+                Some(beyond as f64 / total as f64 - self.setpoint)
+            }
+            (PiSignal::Ilp, IntervalStats::Ilp { want, .. }) => {
+                Some((*want as f64 - self.current as f64) / 3.0 - self.setpoint)
+            }
+            _ => {
+                debug_assert!(false, "PI controller fed mismatched stats flavor");
+                None
+            }
+        }
+    }
+}
+
+impl DomainController for PiController {
+    fn name(&self) -> &'static str {
+        "pi"
+    }
+
+    fn decide(&mut self, stats: &IntervalStats<'_>) -> Decision {
+        if stats.locked() {
+            return Decision::Stay;
+        }
+        let Some(error) = self.error(stats) else {
+            return Decision::Stay;
+        };
+        self.integral += self.ki * error;
+        let u = self.kp * error + self.integral;
+        if u > self.deadband && self.current + 1 < 4 {
+            self.integral = 0.0;
+            Decision::Switch(self.current + 1)
+        } else if u < -self.deadband && self.current > 0 {
+            self.integral = 0.0;
+            Decision::Switch(self.current - 1)
+        } else {
+            // Clamp the integrator when pinned at a rail so a long
+            // saturated phase cannot wind up an instant multi-step swing.
+            if (self.current + 1 == 4 && u > self.deadband)
+                || (self.current == 0 && u < -self.deadband)
+            {
+                self.integral = 0.0;
+            }
+            Decision::Stay
+        }
+    }
+
+    fn current(&self) -> usize {
+        self.current
+    }
+
+    fn set_current(&mut self, idx: usize) {
+        assert!(idx < 4);
+        self.current = idx;
+    }
+
+    fn candidates(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gals_cache::AccountingStats;
+
+    fn stats(pos_hits: [u64; 8], misses: u64) -> AccountingStats {
+        AccountingStats {
+            pos_hits,
+            misses,
+            writebacks: 0,
+            accesses: pos_hits.iter().sum::<u64>() + misses,
+        }
+    }
+
+    fn cache_view(l1: &AccountingStats) -> IntervalStats<'_> {
+        IntervalStats::Cache {
+            l1,
+            l2: None,
+            miss_ns: 20.0,
+            locked: false,
+        }
+    }
+
+    fn step(ctrl: &mut PiController, stats: &IntervalStats<'_>) -> Decision {
+        let d = ctrl.decide(stats);
+        if let Decision::Switch(i) = d {
+            ctrl.set_current(i);
+        }
+        d
+    }
+
+    #[test]
+    fn sustained_pressure_upsizes_one_step_at_a_time() {
+        let mut ctrl = PiController::cache([1, 2, 3, 4], 4, 0);
+        // 60% of accesses fall beyond a 1-way A partition, 30% beyond a
+        // 2-way one: pressure persists through the first upsize.
+        let s = stats([400, 300, 300, 0, 0, 0, 0, 0], 0);
+        let mut switches = Vec::new();
+        for _ in 0..20 {
+            if let Decision::Switch(i) = step(&mut ctrl, &cache_view(&s)) {
+                switches.push(i);
+            }
+        }
+        assert!(!switches.is_empty(), "pressure should eventually upsize");
+        // Monotone single steps: 1, then 2 (after which position-1 hits
+        // land in A and the pressure vanishes).
+        for w in switches.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "PI moves one step at a time");
+        }
+        assert!(ctrl.current() >= 2);
+    }
+
+    #[test]
+    fn low_pressure_downsizes() {
+        let mut ctrl = PiController::cache([1, 2, 3, 4], 4, 3);
+        // Everything hits way 0: A width 1 suffices, clock is being
+        // wasted at width 4.
+        let s = stats([1_000, 0, 0, 0, 0, 0, 0, 0], 0);
+        for _ in 0..160 {
+            let _ = step(&mut ctrl, &cache_view(&s));
+        }
+        assert_eq!(ctrl.current(), 0, "steady low pressure sheds all ways");
+    }
+
+    #[test]
+    fn locked_intervals_freeze_the_integrator() {
+        let mut a = PiController::cache([1, 2, 3, 4], 4, 0);
+        let mut b = a.clone();
+        let s = stats([500, 500, 0, 0, 0, 0, 0, 0], 0);
+        let locked = IntervalStats::Cache {
+            l1: &s,
+            l2: None,
+            miss_ns: 20.0,
+            locked: true,
+        };
+        // `a` sees two locked intervals interleaved; `b` does not. The
+        // locked intervals must not advance `a` toward the switch.
+        assert_eq!(a.decide(&locked), Decision::Stay);
+        assert_eq!(a.decide(&locked), Decision::Stay);
+        let (da, db) = (a.decide(&cache_view(&s)), b.decide(&cache_view(&s)));
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn iq_error_follows_want() {
+        let mut ctrl = PiController::issue_queue(0);
+        let want3 = IntervalStats::Ilp {
+            scores: [0.0; 4],
+            want: 3,
+            locked: false,
+        };
+        let mut first_switch = None;
+        for round in 0..10 {
+            if let Decision::Switch(i) = step(&mut ctrl, &want3) {
+                first_switch.get_or_insert((round, i));
+            }
+        }
+        let (_, idx) = first_switch.expect("persistent want must move the queue");
+        assert_eq!(idx, 1, "first move is a single step");
+        assert!(ctrl.current() > 1, "persistent want keeps stepping");
+    }
+}

@@ -1,0 +1,230 @@
+//! The selectable adaptation-control policies.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::controller::{Decision, DomainController, IntervalStats};
+
+/// Which control policy drives a phase-adaptive machine's resizing.
+///
+/// The policy is selected on `MachineConfig` (the core crate threads it
+/// through to the [`AdaptationEngine`](crate::AdaptationEngine)) and
+/// applies to all four adaptive structures — I-cache, D/L2 pair, and
+/// both issue queues. Every policy sees exactly the same interval
+/// statistics ([`IntervalStats`](crate::IntervalStats)); only the
+/// decision rule differs:
+///
+/// * [`PaperArgmin`](ControlPolicy::PaperArgmin) — the paper's §3
+///   algorithm and the **default**: exact per-configuration cost
+///   reconstruction with an argmin jump for the caches, and the §3.2
+///   effective-ILP argmax damped by a 3-interval stickiness streak for
+///   the issue queues. Matches the pre-refactor hard-wired controllers
+///   bit-for-bit on the golden-pinned determinism runs; the one
+///   intentional deviation is the argmin tie-break, which now requires
+///   a challenger to be *strictly* cheaper than the incumbent instead
+///   of beating an epsilon-scaled (×0.999999) incumbent cost, so
+///   decisions can differ from the old code only when two
+///   configurations' reconstructed costs agree to within 1e-6 relative.
+/// * [`Hysteresis`](ControlPolicy::Hysteresis) — the same argmin/argmax
+///   preferences, but *every* domain (caches included) must see the same
+///   challenger win `threshold` consecutive intervals before a resize.
+///   Generalizes the old `IqController::STICKINESS` constant into a
+///   tunable, composable damper.
+/// * [`PiFeedback`](ControlPolicy::PiFeedback) — a proportional–integral
+///   step controller regulating a measured pressure signal toward a
+///   setpoint, after the control-loop-feedback GALS literature; moves at
+///   most one configuration step per interval.
+/// * [`Static`](ControlPolicy::Static) — never reconfigures. The machine
+///   keeps its Accounting Caches and B partitions but holds the initial
+///   configuration, isolating the adaptation benefit from the MCD
+///   substrate cost in ablations.
+///
+/// To add a policy: implement
+/// [`DomainController`](crate::DomainController) for each domain flavor
+/// you care about (return `Stay` for the other), add a variant here, and
+/// extend the engine's factory — the simulator, sweeps, and `bench`
+/// binaries pick it up through this enum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ControlPolicy {
+    /// The paper's §3 controllers (default).
+    #[default]
+    PaperArgmin,
+    /// Argmin/argmax preferences damped by a `threshold`-interval streak
+    /// requirement on every domain.
+    Hysteresis {
+        /// Consecutive intervals a challenger must win before a resize.
+        threshold: u32,
+    },
+    /// Proportional–integral single-step feedback control.
+    PiFeedback,
+    /// No adaptation: hold the initial configuration for the whole run.
+    Static,
+}
+
+impl ControlPolicy {
+    /// Every selectable policy at its default parameters (the set the
+    /// comparison sweeps iterate).
+    pub const BUILTIN: [ControlPolicy; 4] = [
+        ControlPolicy::PaperArgmin,
+        ControlPolicy::Hysteresis { threshold: 3 },
+        ControlPolicy::PiFeedback,
+        ControlPolicy::Static,
+    ];
+
+    /// Stable short key for cache files and artifacts (`argmin`,
+    /// `hyst3`, `pi`, `static`).
+    pub fn key(&self) -> String {
+        match self {
+            ControlPolicy::PaperArgmin => "argmin".to_string(),
+            ControlPolicy::Hysteresis { threshold } => format!("hyst{threshold}"),
+            ControlPolicy::PiFeedback => "pi".to_string(),
+            ControlPolicy::Static => "static".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ControlPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlPolicy::PaperArgmin => f.write_str("paper-argmin"),
+            ControlPolicy::Hysteresis { threshold } => {
+                write!(f, "hysteresis({threshold})")
+            }
+            ControlPolicy::PiFeedback => f.write_str("pi-feedback"),
+            ControlPolicy::Static => f.write_str("static"),
+        }
+    }
+}
+
+/// Error from parsing a [`ControlPolicy`] key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown control policy {:?} (expected argmin, hyst<N>, pi, or static)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for ControlPolicy {
+    type Err = ParsePolicyError;
+
+    /// Parses the [`ControlPolicy::key`] form (`argmin`, `hyst<N>`,
+    /// `pi`, `static`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "argmin" | "paper" => Ok(ControlPolicy::PaperArgmin),
+            "pi" => Ok(ControlPolicy::PiFeedback),
+            "static" => Ok(ControlPolicy::Static),
+            _ => {
+                if let Some(n) = s.strip_prefix("hyst") {
+                    let threshold: u32 = n
+                        .parse()
+                        .ok()
+                        .filter(|&t| t >= 1)
+                        .ok_or_else(|| ParsePolicyError(s.to_string()))?;
+                    Ok(ControlPolicy::Hysteresis { threshold })
+                } else {
+                    Err(ParsePolicyError(s.to_string()))
+                }
+            }
+        }
+    }
+}
+
+/// The no-op policy: a controller that always stays put.
+#[derive(Debug, Clone)]
+pub struct StaticController {
+    current: usize,
+    candidates: usize,
+}
+
+impl StaticController {
+    /// A controller pinned at `current` among `candidates` options.
+    pub fn new(current: usize, candidates: usize) -> Self {
+        assert!(current < candidates);
+        StaticController {
+            current,
+            candidates,
+        }
+    }
+}
+
+impl DomainController for StaticController {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn decide(&mut self, _stats: &IntervalStats<'_>) -> Decision {
+        Decision::Stay
+    }
+
+    fn current(&self) -> usize {
+        self.current
+    }
+
+    fn set_current(&mut self, idx: usize) {
+        assert!(idx < self.candidates);
+        self.current = idx;
+    }
+
+    fn candidates(&self) -> usize {
+        self.candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_round_trip() {
+        for p in ControlPolicy::BUILTIN {
+            assert_eq!(p.key().parse::<ControlPolicy>().unwrap(), p);
+        }
+        assert_eq!(
+            "hyst7".parse::<ControlPolicy>().unwrap(),
+            ControlPolicy::Hysteresis { threshold: 7 }
+        );
+    }
+
+    #[test]
+    fn bad_keys_rejected() {
+        assert!("".parse::<ControlPolicy>().is_err());
+        assert!("hyst0".parse::<ControlPolicy>().is_err());
+        assert!("hystx".parse::<ControlPolicy>().is_err());
+        assert!("argmax".parse::<ControlPolicy>().is_err());
+    }
+
+    #[test]
+    fn default_is_the_paper() {
+        assert_eq!(ControlPolicy::default(), ControlPolicy::PaperArgmin);
+    }
+
+    #[test]
+    fn static_controller_never_moves() {
+        let mut c = StaticController::new(2, 4);
+        let l1 = gals_cache::AccountingStats {
+            pos_hits: [100; 8],
+            misses: 50,
+            writebacks: 0,
+            accesses: 850,
+        };
+        let stats = IntervalStats::Cache {
+            l1: &l1,
+            l2: None,
+            miss_ns: 20.0,
+            locked: false,
+        };
+        for _ in 0..10 {
+            assert_eq!(c.decide(&stats), Decision::Stay);
+        }
+        assert_eq!(c.current(), 2);
+    }
+}

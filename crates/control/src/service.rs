@@ -1,0 +1,42 @@
+//! Miss-service-time estimation shared by the cache policies.
+
+/// Running average with exponential decay, used to estimate miss service
+/// costs for the cache controllers.
+#[derive(Debug, Clone)]
+pub struct ServiceAvg {
+    value_ns: f64,
+}
+
+impl ServiceAvg {
+    /// Starts the average at `initial_ns`.
+    pub fn new(initial_ns: f64) -> Self {
+        ServiceAvg {
+            value_ns: initial_ns,
+        }
+    }
+
+    /// Folds in one observed service time.
+    pub fn update(&mut self, sample_ns: f64) {
+        // 1/16 decay: cheap in hardware (shift), responsive to phases.
+        self.value_ns += (sample_ns - self.value_ns) / 16.0;
+    }
+
+    /// The current estimate in nanoseconds.
+    pub fn get(&self) -> f64 {
+        self.value_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_average_converges() {
+        let mut avg = ServiceAvg::new(10.0);
+        for _ in 0..200 {
+            avg.update(90.0);
+        }
+        assert!((avg.get() - 90.0).abs() < 1.0);
+    }
+}

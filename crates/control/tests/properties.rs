@@ -1,0 +1,113 @@
+//! Property-based tests for the hysteresis damper: the guard between
+//! noisy interval preferences and a tens-of-thousands-of-cycles PLL
+//! relock must provably (a) never fire early and (b) always settle when
+//! the input stops being noisy.
+
+use gals_control::{ArgminIqController, Decision, DomainController, Hysteresis, IntervalStats};
+use proptest::prelude::*;
+
+fn ilp(want: usize, locked: bool) -> IntervalStats<'static> {
+    IntervalStats::Ilp {
+        scores: [0.0; 4],
+        want,
+        locked,
+    }
+}
+
+fn hysteresis(start: usize, threshold: u32) -> Hysteresis {
+    Hysteresis::new(Box::new(ArgminIqController::new(start)), threshold)
+}
+
+proptest! {
+    /// A resize never fires before the same challenger has won
+    /// `threshold` *consecutive, unlocked* intervals: whenever a Switch
+    /// is emitted, the trailing `threshold` inputs were exactly
+    /// (that challenger, unlocked) — and the challenger differed from
+    /// the configuration current at every one of those intervals.
+    #[test]
+    fn never_resizes_before_streak_threshold(
+        threshold in 1u32..6,
+        start in 0usize..4,
+        events in prop::collection::vec((0usize..4, 0u8..5), 0..120),
+    ) {
+        let mut h = hysteresis(start, threshold);
+        // ~20% of intervals arrive while the domain is locked.
+        let inputs: Vec<(usize, bool)> =
+            events.iter().map(|&(w, l)| (w, l == 0)).collect();
+        let mut currents: Vec<usize> = Vec::new();
+        for (i, &(want, locked)) in inputs.iter().enumerate() {
+            currents.push(h.current());
+            match h.decide(&ilp(want, locked)) {
+                Decision::Stay => {}
+                Decision::Switch(to) => {
+                    prop_assert_eq!(to, want);
+                    prop_assert!(!locked);
+                    let t = threshold as usize;
+                    prop_assert!(i + 1 >= t, "switch after {} inputs, threshold {}", i + 1, t);
+                    for j in (i + 1 - t)..=i {
+                        prop_assert_eq!(inputs[j], (to, false),
+                            "input {j} was not an unlocked win for {to}");
+                        prop_assert!(currents[j] != to,
+                            "input {j} was not a challenger interval");
+                    }
+                    prop_assert_eq!(h.current(), to);
+                }
+            }
+        }
+    }
+
+    /// On a constant-winner input the damper always settles: no switch
+    /// for the first `threshold - 1` intervals, the switch exactly at
+    /// interval `threshold`, and silence (no thrashing) ever after.
+    #[test]
+    fn settles_on_constant_winner(
+        threshold in 1u32..6,
+        start in 0usize..4,
+        winner in 0usize..4,
+        extra in 0usize..40,
+    ) {
+        if winner == start {
+            // A "winner" equal to the start is the incumbent: nothing
+            // may ever fire.
+            let mut h = hysteresis(start, threshold);
+            for _ in 0..(threshold as usize + extra) {
+                prop_assert_eq!(h.decide(&ilp(winner, false)), Decision::Stay);
+            }
+            prop_assert_eq!(h.current(), start);
+        } else {
+            let mut h = hysteresis(start, threshold);
+            for round in 1..threshold {
+                prop_assert_eq!(h.decide(&ilp(winner, false)), Decision::Stay,
+                    "premature switch at round {round}");
+            }
+            prop_assert_eq!(h.decide(&ilp(winner, false)), Decision::Switch(winner));
+            prop_assert_eq!(h.current(), winner);
+            for _ in 0..extra {
+                prop_assert_eq!(h.decide(&ilp(winner, false)), Decision::Stay);
+            }
+            prop_assert_eq!(h.current(), winner);
+        }
+    }
+
+    /// Locked intervals are pure holds: interleaving any number of
+    /// locked intervals anywhere in a winning streak only delays the
+    /// switch, and the streak restarts from zero after each one.
+    #[test]
+    fn locked_intervals_restart_the_streak(
+        threshold in 2u32..6,
+        prefix in 1u32..5,
+    ) {
+        let mut h = hysteresis(0, threshold);
+        // `prefix` wins (fewer than threshold), then a locked interval.
+        let prefix = prefix.min(threshold - 1);
+        for _ in 0..prefix {
+            prop_assert_eq!(h.decide(&ilp(3, false)), Decision::Stay);
+        }
+        prop_assert_eq!(h.decide(&ilp(3, true)), Decision::Stay);
+        // The full threshold is required again from scratch.
+        for _ in 1..threshold {
+            prop_assert_eq!(h.decide(&ilp(3, false)), Decision::Stay);
+        }
+        prop_assert_eq!(h.decide(&ilp(3, false)), Decision::Switch(3));
+    }
+}

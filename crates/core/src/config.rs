@@ -2,6 +2,7 @@
 //! structure choices.
 
 use gals_common::{Femtos, Hertz};
+use gals_control::{CacheLatencies, ControlPolicy};
 use gals_isa::OpClass;
 use gals_timing::{Dl2Config, ICacheConfig, IqSize, SyncICacheOption, TimingModel, Variant};
 
@@ -274,6 +275,17 @@ impl CoreParams {
     pub fn op_unpipelined(&self, op: OpClass) -> bool {
         matches!(op, OpClass::IntDiv | OpClass::FpDiv | OpClass::FpSqrt)
     }
+
+    /// The Table 5 cache-latency slice the adaptation engine's cost
+    /// tables are built from.
+    pub fn cache_latencies(&self) -> CacheLatencies {
+        CacheLatencies {
+            l1_a_cycles: self.l1_a_cycles,
+            l1_b_cycles: self.l1_b_cycles,
+            l2_a_cycles: self.l2_a_cycles,
+            l2_b_cycles: self.l2_b_cycles,
+        }
+    }
 }
 
 /// Machine style plus its structure choices.
@@ -299,6 +311,10 @@ pub struct MachineConfig {
     pub params: CoreParams,
     /// Circuit timing model (frequencies per configuration).
     pub timing: TimingModel,
+    /// Adaptation-control policy driving a phase-adaptive machine's
+    /// resizing (ignored by the fixed machine styles). Defaults to the
+    /// paper's [`ControlPolicy::PaperArgmin`].
+    pub control: ControlPolicy,
 }
 
 impl MachineConfig {
@@ -308,6 +324,7 @@ impl MachineConfig {
             kind: MachineKind::Synchronous(cfg),
             params: CoreParams::default(),
             timing: TimingModel::default(),
+            control: ControlPolicy::default(),
         }
     }
 
@@ -322,21 +339,36 @@ impl MachineConfig {
             kind: MachineKind::ProgramAdaptive(cfg),
             params: CoreParams::default(),
             timing: TimingModel::default(),
+            control: ControlPolicy::default(),
         };
         m.apply_adaptive_penalties();
         m
     }
 
     /// A phase-adaptive MCD machine starting from `cfg` (conventionally
-    /// [`McdConfig::smallest`]).
+    /// [`McdConfig::smallest`]), driven by the paper's default control
+    /// policy.
     pub fn phase_adaptive(cfg: McdConfig) -> Self {
         let mut m = MachineConfig {
             kind: MachineKind::PhaseAdaptive(cfg),
             params: CoreParams::default(),
             timing: TimingModel::default(),
+            control: ControlPolicy::default(),
         };
         m.apply_adaptive_penalties();
         m
+    }
+
+    /// A phase-adaptive machine driven by an explicit control policy.
+    pub fn phase_adaptive_with(cfg: McdConfig, policy: ControlPolicy) -> Self {
+        MachineConfig::phase_adaptive(cfg).with_control(policy)
+    }
+
+    /// Replaces the adaptation-control policy.
+    #[must_use]
+    pub fn with_control(mut self, policy: ControlPolicy) -> Self {
+        self.control = policy;
+        self
     }
 
     /// §2: the adaptive MCD is over-pipelined at lower frequencies and
@@ -463,6 +495,29 @@ mod tests {
         assert!(p.op_latency_cycles(OpClass::IntDiv) > p.op_latency_cycles(OpClass::IntMul));
         assert!(p.op_unpipelined(OpClass::FpDiv));
         assert!(!p.op_unpipelined(OpClass::FpMul));
+    }
+
+    #[test]
+    fn control_policy_defaults_to_paper_and_is_overridable() {
+        let m = MachineConfig::phase_adaptive(McdConfig::smallest());
+        assert_eq!(m.control, ControlPolicy::PaperArgmin);
+        let m = MachineConfig::phase_adaptive_with(McdConfig::smallest(), ControlPolicy::Static);
+        assert_eq!(m.control, ControlPolicy::Static);
+        let m = MachineConfig::best_synchronous()
+            .with_control(ControlPolicy::Hysteresis { threshold: 5 });
+        assert_eq!(m.control, ControlPolicy::Hysteresis { threshold: 5 });
+    }
+
+    #[test]
+    fn cache_latencies_mirror_params() {
+        let p = CoreParams::default();
+        let lat = p.cache_latencies();
+        assert_eq!(lat.l1_a_cycles, p.l1_a_cycles);
+        assert_eq!(lat.l1_b_cycles, p.l1_b_cycles);
+        assert_eq!(lat.l2_a_cycles, p.l2_a_cycles);
+        assert_eq!(lat.l2_b_cycles, p.l2_b_cycles);
+        // And the control crate's own default stays in sync with Table 5.
+        assert_eq!(lat, gals_control::CacheLatencies::default());
     }
 
     #[test]

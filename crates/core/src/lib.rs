@@ -3,12 +3,12 @@
 //!
 //! This crate assembles the substrates (clock domains, accounting caches,
 //! hybrid branch predictor, timing models) into the four-domain
-//! microarchitecture of Figure 1 and implements the two on-line control
-//! algorithms of §3:
-//!
-//! * the **phase-adaptive cache controller** (per 15K-instruction
-//!   interval, exact cost reconstruction via the Accounting Cache),
-//! * the **ILP issue-queue controller** (rename-time timestamp tracking).
+//! microarchitecture of Figure 1. The §3 on-line control algorithms live
+//! behind the `gals-control` trait boundary: the simulator feeds an
+//! [`AdaptationEngine`] interval statistics and executes the resizes it
+//! approves, and [`MachineConfig::control`] selects which
+//! [`ControlPolicy`] drives the engine (the paper's argmin controllers
+//! by default).
 //!
 //! Three machine styles are supported, matching the paper's evaluation:
 //!
@@ -34,16 +34,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-mod adapt;
 mod config;
-mod ilp;
 mod sim;
 mod stats;
 
-pub use adapt::{CacheController, IqController};
 pub use config::{CoreParams, MachineConfig, MachineKind, McdConfig, SyncConfig};
-pub use ilp::{IlpDecision, IlpTracker};
 pub use sim::Simulator;
 pub use stats::{CacheSummary, ReconfigEvent, ReconfigKind, SimResult};
 
+pub use gals_control::{
+    AdaptationEngine, CacheLatencies, ControlDomain, ControlPolicy, Decision, DecisionRecord,
+    DomainController, EngineSetup, Hysteresis, IlpDecision, IlpTracker, IntervalStats,
+};
 pub use gals_timing::{Dl2Config, ICacheConfig, IqSize, SyncICacheOption, TimingModel, Variant};

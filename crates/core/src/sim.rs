@@ -51,11 +51,11 @@ use std::collections::{HashMap, VecDeque};
 use gals_cache::{AccessKind, AccountingCache, ServedBy};
 use gals_clock::{DomainClock, SyncModel};
 use gals_common::{DomainId, Femtos, SplitMix64};
+use gals_control::{AdaptationEngine, EngineSetup, IlpDecision};
 use gals_isa::{DynInst, InstructionStream, OpClass};
 use gals_predictor::{HybridPredictor, PredictorGeometry};
-use gals_timing::{Dl2Config, ICacheConfig, IqSize, Variant};
+use gals_timing::{Dl2Config, ICacheConfig, Variant};
 
-use crate::adapt::{CacheController, IqController, ServiceAvg};
 use crate::config::{MachineConfig, MachineKind};
 use crate::stats::{CacheSummary, ReconfigEvent, ReconfigKind, SimResult};
 
@@ -207,15 +207,11 @@ pub struct Simulator {
     fu_fp: [FuPool; 2],
     mshr: Vec<Femtos>,
 
-    // Controllers (phase-adaptive only).
-    ic_ctrl: Option<CacheController>,
-    dl2_ctrl: Option<CacheController>,
-    iq_ctrl: Option<IqController>,
-    pending_ic: Option<(usize, Femtos)>,
-    pending_dl2: Option<(usize, Femtos)>,
-    pending_iq: [Option<(IqSize, Femtos)>; 2],
-    interval_committed: u64,
-    l2_service: ServiceAvg,
+    /// The adaptation-control subsystem (phase-adaptive only): policy
+    /// evaluation, relock gating, pending-resize bookkeeping, decision
+    /// trace. The simulator feeds it interval statistics and executes
+    /// the structural changes it approves.
+    engine: Option<AdaptationEngine>,
 
     // Statistics.
     committed: u64,
@@ -319,17 +315,23 @@ impl Simulator {
         };
         let dl2_idx = dl2.index();
 
-        let (ic_ctrl, dl2_ctrl, iq_ctrl) = if phase {
-            (
-                Some(CacheController::for_icache(p, &cfg.timing, ic_idx)),
-                Some(CacheController::for_dl2_pair(p, &cfg.timing, dl2_idx)),
-                Some(IqController::new(&cfg.timing, iq_int, iq_fp)),
-            )
-        } else {
-            (None, None, None)
-        };
-
         let mem_ns = p.memory_latency().as_ns();
+        let engine = phase.then(|| {
+            AdaptationEngine::new(
+                cfg.control,
+                &EngineSetup {
+                    timing: &cfg.timing,
+                    latencies: p.cache_latencies(),
+                    interval_insts: p.interval_insts,
+                    mem_ns,
+                    l2_service_init_ns: mem_ns * 0.5,
+                    ic_idx,
+                    dl2_idx,
+                    iq_int,
+                    iq_fp,
+                },
+            )
+        });
         Simulator {
             clocks,
             sync,
@@ -384,14 +386,7 @@ impl Simulator {
                 FuPool::new(cfg.params.fp_muldiv),
             ],
             mshr: Vec::with_capacity(cfg.params.mshrs),
-            ic_ctrl,
-            dl2_ctrl,
-            iq_ctrl,
-            pending_ic: None,
-            pending_dl2: None,
-            pending_iq: [None, None],
-            interval_committed: 0,
-            l2_service: ServiceAvg::new(mem_ns * 0.5),
+            engine,
             committed: 0,
             last_commit_at: Femtos::ZERO,
             branches: 0,
@@ -637,7 +632,7 @@ impl Simulator {
     /// resolution in [`Simulator::exec_edge`]).
     fn recompute_fe_wake(&mut self, e: Femtos) {
         let mut w = Femtos::MAX;
-        if let Some((_, at)) = self.pending_ic {
+        if let Some(at) = self.engine.as_ref().and_then(|en| en.pending_ic_at()) {
             w = w.min(at);
         }
         // Commit: the head's completion time lower-bounds its
@@ -663,11 +658,8 @@ impl Simulator {
     }
 
     fn apply_pending_fe(&mut self, e: Femtos) {
-        if let Some((idx, at)) = self.pending_ic {
-            if e >= at {
-                self.apply_ic_resize(idx);
-                self.pending_ic = None;
-            }
+        if let Some(idx) = self.engine.as_mut().and_then(|en| en.take_due_ic(e)) {
+            self.apply_ic_resize(idx);
         }
     }
 
@@ -676,9 +668,6 @@ impl Simulator {
         self.active_pred = idx;
         let ways = ICacheConfig::from_index(idx).ways();
         self.icache.set_a_ways(ways).expect("phase-mode icache");
-        if let Some(c) = self.ic_ctrl.as_mut() {
-            c.set_current(idx);
-        }
     }
 
     fn apply_dl2_resize(&mut self, idx: usize) {
@@ -686,9 +675,6 @@ impl Simulator {
         let ways = Dl2Config::from_index(idx).ways();
         self.l1d.set_a_ways(ways).expect("phase-mode l1d");
         self.l2.set_a_ways(ways).expect("phase-mode l2");
-        if let Some(c) = self.dl2_ctrl.as_mut() {
-            c.set_current(idx);
-        }
     }
 
     fn commit(&mut self, e: Femtos, window: u64) {
@@ -741,15 +727,13 @@ impl Simulator {
             self.window.pop_front();
             self.head_seq += 1;
             self.committed += 1;
-            self.interval_committed += 1;
             self.last_commit_at = e;
             retired += 1;
 
-            if self.cfg.is_phase_adaptive()
-                && self.interval_committed >= self.cfg.params.interval_insts
-            {
-                self.interval_committed = 0;
-                self.interval_decision(e);
+            if let Some(en) = self.engine.as_mut() {
+                if en.commit_tick() {
+                    self.interval_decision(e);
+                }
             }
         }
     }
@@ -767,57 +751,71 @@ impl Simulator {
         }
     }
 
-    /// End-of-interval controller evaluation (§3.1). The decision itself
+    /// End-of-interval policy evaluation (§3.1). The decision itself
     /// takes ~32 cycles of dedicated hardware; the resulting PLL relock
     /// dwarfs that, so the decision latency is folded into the relock.
+    ///
+    /// The engine decides; this method executes: it begins the PLL
+    /// frequency change and either applies the structural resize now
+    /// (downsizes — the clock speeds up after relock) or registers it to
+    /// apply once the relock completes (upsizes).
     fn interval_decision(&mut self, e: Femtos) {
-        // I-cache / branch predictor pair. Decisions are deferred while
-        // the domain is already relocking from a previous change.
+        // I-cache / branch predictor pair. Decisions are deferred (by
+        // the engine) while the domain is already relocking.
         let ic_stats = self.icache.take_stats();
         self.accumulate_ic(&ic_stats);
-        let fe_locked = self.clocks[FE].is_locking() || self.pending_ic.is_some();
-        if let Some(ctrl) = self.ic_ctrl.as_mut().filter(|_| !fe_locked) {
-            let miss_ns = self.l2_service.get();
-            if let Some(new_idx) = ctrl.decide(&ic_stats, None, miss_ns) {
-                let cfg = ICacheConfig::from_index(new_idx);
-                let f = self.cfg.timing.icache_frequency(cfg);
-                let done = self.clocks[FE].begin_frequency_change(f);
-                if new_idx < self.ic_idx {
-                    // Downsize now, speed up after relock.
-                    self.apply_ic_resize(new_idx);
-                } else {
-                    self.pending_ic = Some((new_idx, done));
-                    self.wake_domain(FE, done);
-                }
-                self.reconfigs.push(ReconfigEvent {
-                    at_committed: self.committed,
-                    kind: ReconfigKind::ICache(cfg),
-                });
+        let fe_locking = self.clocks[FE].is_locking();
+        let committed = self.committed;
+        if let Some(new_idx) = self
+            .engine
+            .as_mut()
+            .and_then(|en| en.icache_interval(&ic_stats, fe_locking, committed))
+        {
+            let cfg = ICacheConfig::from_index(new_idx);
+            let f = self.cfg.timing.icache_frequency(cfg);
+            let done = self.clocks[FE].begin_frequency_change(f);
+            if new_idx < self.ic_idx {
+                // Downsize now, speed up after relock.
+                self.apply_ic_resize(new_idx);
+            } else {
+                self.engine
+                    .as_mut()
+                    .expect("engine decided")
+                    .set_pending_ic(new_idx, done);
+                self.wake_domain(FE, done);
             }
+            self.reconfigs.push(ReconfigEvent {
+                at_committed: self.committed,
+                kind: ReconfigKind::ICache(cfg),
+            });
         }
 
         // D-cache / L2 pair.
         let l1_stats = self.l1d.take_stats();
         let l2_stats = self.l2.take_stats();
         self.accumulate_dl2(&l1_stats, &l2_stats);
-        let ls_locked = self.clocks[LS].is_locking() || self.pending_dl2.is_some();
-        if let Some(ctrl) = self.dl2_ctrl.as_mut().filter(|_| !ls_locked) {
-            let mem_ns = self.cfg.params.memory_latency().as_ns();
-            if let Some(new_idx) = ctrl.decide(&l1_stats, Some(&l2_stats), mem_ns) {
-                let cfg = Dl2Config::from_index(new_idx);
-                let f = self.cfg.timing.dl2_frequency(cfg, Variant::Adaptive);
-                let done = self.clocks[LS].begin_frequency_change(f);
-                if new_idx < self.dl2_idx {
-                    self.apply_dl2_resize(new_idx);
-                } else {
-                    self.pending_dl2 = Some((new_idx, done));
-                    self.wake_domain(LS, done);
-                }
-                self.reconfigs.push(ReconfigEvent {
-                    at_committed: self.committed,
-                    kind: ReconfigKind::Dl2(cfg),
-                });
+        let ls_locking = self.clocks[LS].is_locking();
+        if let Some(new_idx) = self
+            .engine
+            .as_mut()
+            .and_then(|en| en.dl2_interval(&l1_stats, &l2_stats, ls_locking, committed))
+        {
+            let cfg = Dl2Config::from_index(new_idx);
+            let f = self.cfg.timing.dl2_frequency(cfg, Variant::Adaptive);
+            let done = self.clocks[LS].begin_frequency_change(f);
+            if new_idx < self.dl2_idx {
+                self.apply_dl2_resize(new_idx);
+            } else {
+                self.engine
+                    .as_mut()
+                    .expect("engine decided")
+                    .set_pending_dl2(new_idx, done);
+                self.wake_domain(LS, done);
             }
+            self.reconfigs.push(ReconfigEvent {
+                at_committed: self.committed,
+                kind: ReconfigKind::Dl2(cfg),
+            });
         }
         let _ = e;
     }
@@ -967,19 +965,22 @@ impl Simulator {
                 }
             }
 
-            // ILP tracking at rename (§3.2). Decisions are suppressed for
-            // domains whose PLL is already relocking.
-            let locked_int = self.clocks[INT].is_locking() || self.pending_iq[0].is_some();
-            let locked_fp = self.clocks[FP].is_locking() || self.pending_iq[1].is_some();
-            if let Some(ctrl) = self.iq_ctrl.as_mut() {
-                if let Some(decision) = ctrl.observe(&inst, locked_int, locked_fp) {
-                    self.apply_iq_decision(decision);
-                }
+            // ILP tracking at rename (§3.2). Decisions are suppressed (by
+            // the engine) for domains whose PLL is already relocking.
+            let locking_int = self.clocks[INT].is_locking();
+            let locking_fp = self.clocks[FP].is_locking();
+            let committed = self.committed;
+            let decision = self
+                .engine
+                .as_mut()
+                .and_then(|en| en.observe_rename(&inst, locking_int, locking_fp, committed));
+            if let Some(decision) = decision {
+                self.apply_iq_decision(decision);
             }
         }
     }
 
-    fn apply_iq_decision(&mut self, d: crate::ilp::IlpDecision) {
+    fn apply_iq_decision(&mut self, d: IlpDecision) {
         for (qi, (new_size, domain)) in [(0usize, (d.iq_int, INT)), (1, (d.iq_fp, FP))] {
             // Compare against the *target* size (which may still be
             // relocking), not the currently effective capacity.
@@ -996,7 +997,10 @@ impl Simulator {
                 // clock speeds up after relock.
                 self.iq_cap[qi] = target as usize;
             } else {
-                self.pending_iq[qi] = Some((new_size, done));
+                self.engine
+                    .as_mut()
+                    .expect("engine decided")
+                    .set_pending_iq(qi, new_size, done);
                 self.wake_domain(domain, done);
             }
             self.reconfigs.push(ReconfigEvent {
@@ -1043,7 +1047,9 @@ impl Simulator {
                         let delay = self.l2_access(inst.pc, AccessKind::Read);
                         let done = req + delay;
                         let vis = self.xfer(done, LS, FE);
-                        self.l2_service.update((vis - e).as_ns());
+                        if let Some(en) = self.engine.as_mut() {
+                            en.note_l2_service((vis - e).as_ns());
+                        }
                         self.fetch_stalled_until = vis;
                         self.pending_inst = Some(inst);
                         return;
@@ -1102,15 +1108,10 @@ impl Simulator {
 
     fn exec_edge(&mut self, domain: usize, e: Femtos) {
         let qi = domain - 1;
-        if let Some((size, at)) = self.pending_iq[qi] {
-            if e >= at {
-                self.iq_cap[qi] = size.entries() as usize;
-                if let Some(c) = self.iq_ctrl.as_mut() {
-                    let (ci, cf) = c.current();
-                    let _ = (ci, cf); // controller already tracks targets
-                }
-                self.pending_iq[qi] = None;
-            }
+        if let Some(size) = self.engine.as_mut().and_then(|en| en.take_due_iq(qi, e)) {
+            // The engine already tracks the target; only the effective
+            // capacity changes here.
+            self.iq_cap[qi] = size.entries() as usize;
         }
 
         if self.iq[qi].is_empty() {
@@ -1190,7 +1191,7 @@ impl Simulator {
     /// saturated.
     fn recompute_exec_wake(&mut self, qi: usize, domain: usize, e: Femtos) {
         let mut w = Femtos::MAX;
-        if let Some((_, at)) = self.pending_iq[qi] {
+        if let Some(at) = self.engine.as_ref().and_then(|en| en.pending_iq_at(qi)) {
             w = w.min(at);
         }
         for &seq in &self.iq[qi] {
@@ -1209,11 +1210,8 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn ls_edge(&mut self, e: Femtos) {
-        if let Some((idx, at)) = self.pending_dl2 {
-            if e >= at {
-                self.apply_dl2_resize(idx);
-                self.pending_dl2 = None;
-            }
+        if let Some(idx) = self.engine.as_mut().and_then(|en| en.take_due_dl2(e)) {
+            self.apply_dl2_resize(idx);
         }
 
         // Retire completed MSHRs. (In fast mode this runs only on work
@@ -1317,7 +1315,7 @@ impl Simulator {
     /// write, or a pending D/L2 resize application.
     fn recompute_ls_wake(&mut self, e: Femtos) {
         let mut w = Femtos::MAX;
-        if let Some((_, at)) = self.pending_dl2 {
+        if let Some(at) = self.engine.as_ref().and_then(|en| en.pending_dl2_at()) {
             w = w.min(at);
         }
         if let Some(job) = self.store_jobs.front() {

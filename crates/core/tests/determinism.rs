@@ -5,7 +5,7 @@
 //! paper's sweeps assume a (benchmark, config, window) runtime is a pure
 //! function of its inputs.
 
-use gals_core::{MachineConfig, McdConfig, SimResult, Simulator, SyncConfig};
+use gals_core::{ControlPolicy, MachineConfig, McdConfig, SimResult, Simulator, SyncConfig};
 use gals_workloads::suite;
 
 /// Runs one spec/config pair through both loops and asserts full
@@ -86,6 +86,98 @@ fn alternate_sync_configs_are_path_independent() {
     let last = *all.last().unwrap();
     for cfg in [first, last] {
         assert_paths_identical(MachineConfig::synchronous(cfg), "crafty", 12_000);
+    }
+}
+
+/// Golden results captured from the **pre-refactor** build (commit
+/// 2b7b282), where the §3 controllers were hard-wired into the simulator
+/// as an `Option<CacheController>` triplet. The extracted `gals-control`
+/// subsystem under `ControlPolicy::PaperArgmin` (the default) must
+/// reproduce them bit-for-bit — runtime, reconfiguration count,
+/// mispredicts, and every domain's cycle count — under both the fast and
+/// the reference loop.
+#[test]
+fn paper_argmin_matches_pre_refactor_goldens() {
+    /// (benchmark, window, runtime fs, reconfig count, mispredicts,
+    /// per-domain cycle counts).
+    type Golden = (&'static str, u64, u64, usize, u64, [u64; 4]);
+    const GOLDENS: &[Golden] = &[
+        (
+            "apsi",
+            60_000,
+            61_310_289_014,
+            8,
+            463,
+            [97_422, 79_999, 84_341, 83_555],
+        ),
+        (
+            "art",
+            60_000,
+            100_815_670_502,
+            10,
+            694,
+            [160_196, 136_733, 143_129, 138_179],
+        ),
+        (
+            "em3d",
+            60_000,
+            1_174_259_363_386,
+            1,
+            645,
+            [1_865_897, 1_784_873, 1_784_873, 1_424_197],
+        ),
+        (
+            "gcc",
+            45_000,
+            204_934_048_978,
+            5,
+            1_205,
+            [325_640, 294_079, 311_499, 261_029],
+        ),
+        (
+            "mst",
+            45_000,
+            782_243_391_287,
+            1,
+            204,
+            [1_242_984, 1_189_009, 1_189_009, 1_001_582],
+        ),
+    ];
+    for &(bench, window, runtime_fs, n_reconfigs, mispredicts, cycles) in GOLDENS {
+        let machine = MachineConfig::phase_adaptive(McdConfig::smallest());
+        assert_eq!(machine.control, ControlPolicy::PaperArgmin);
+        // assert_paths_identical covers the reference loop: both loops
+        // produce this result or the equality there already failed.
+        let r = assert_paths_identical(machine, bench, window);
+        assert_eq!(r.runtime.as_fs(), runtime_fs, "{bench}: runtime drifted");
+        assert_eq!(
+            r.reconfigs.len(),
+            n_reconfigs,
+            "{bench}: reconfig trace drifted"
+        );
+        assert_eq!(r.mispredicts, mispredicts, "{bench}");
+        assert_eq!(r.domain_cycles, cycles, "{bench}: domain cycles drifted");
+    }
+}
+
+#[test]
+fn alternate_policies_are_path_independent() {
+    // Every selectable policy must satisfy the same fast ≡ reference
+    // invariant as the default (their decisions move PLLs and resize
+    // structures mid-run, exactly like the paper controller).
+    for policy in [
+        ControlPolicy::Hysteresis { threshold: 2 },
+        ControlPolicy::PiFeedback,
+        ControlPolicy::Static,
+    ] {
+        let machine = MachineConfig::phase_adaptive_with(McdConfig::smallest(), policy);
+        let r = assert_paths_identical(machine, "apsi", 45_000);
+        if policy == ControlPolicy::Static {
+            assert!(
+                r.reconfigs.is_empty(),
+                "static policy must never reconfigure"
+            );
+        }
     }
 }
 

@@ -13,7 +13,7 @@
 //! headroom (or slack) the paper's choice left.
 
 use gals_common::{stats, Femtos};
-use gals_core::{MachineConfig, McdConfig, Simulator};
+use gals_core::{ControlPolicy, MachineConfig, McdConfig, Simulator};
 use gals_workloads::BenchmarkSpec;
 
 /// One ablation data point.
@@ -116,6 +116,27 @@ pub fn penalty_study(suite: &[BenchmarkSpec], window: u64) -> Vec<AblationPoint>
     points
 }
 
+/// Sweeps the adaptation-control policy (paper: the §3 argmin
+/// controllers). `Static` isolates the MCD substrate cost from the
+/// adaptation benefit; `Hysteresis`/`PiFeedback` quantify how much
+/// decision damping costs or saves against the argmin's jumpiness.
+pub fn policy_sweep(
+    suite: &[BenchmarkSpec],
+    window: u64,
+    policies: &[ControlPolicy],
+) -> Vec<AblationPoint> {
+    policies
+        .iter()
+        .map(|&policy| {
+            let m = phase_machine().with_control(policy);
+            AblationPoint {
+                setting: policy.to_string(),
+                geomean_ns: geomean_runtime(&m, suite, window),
+            }
+        })
+        .collect()
+}
+
 /// Scales the PLL lock time (paper: mean 15 µs, range 10–20 µs at 1.0).
 /// Slow PLLs delay every reconfiguration; near-instant PLLs measure the
 /// controllers' decision quality in isolation.
@@ -166,6 +187,19 @@ mod tests {
             pts[0].geomean_ns <= pts[2].geomean_ns,
             "a wider setup window cannot speed the machine up: {pts:?}"
         );
+    }
+
+    #[test]
+    fn policy_sweep_covers_requested_policies() {
+        let pts = policy_sweep(
+            &mini_suite(),
+            6_000,
+            &[ControlPolicy::PaperArgmin, ControlPolicy::Static],
+        );
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.geomean_ns > 0.0));
+        assert_eq!(pts[0].setting, "paper-argmin");
+        assert_eq!(pts[1].setting, "static");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use gals_common::stats;
-use gals_core::{MachineConfig, McdConfig, SimResult, Simulator, SyncConfig};
+use gals_core::{ControlPolicy, MachineConfig, McdConfig, SimResult, Simulator, SyncConfig};
 use gals_workloads::BenchmarkSpec;
 
 use crate::cache::{CacheKey, ResultCache};
@@ -65,6 +65,18 @@ pub struct ProgramChoice {
     pub best: McdConfig,
     /// Its sweep-window runtime (ns).
     pub runtime_ns: f64,
+}
+
+/// One row of the adaptation-policy comparison: a control policy and its
+/// suite-wide result.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// The control policy compared.
+    pub policy: ControlPolicy,
+    /// Geometric-mean runtime (ns) across the suite.
+    pub geomean_ns: f64,
+    /// Per-benchmark runtimes (ns), in suite order.
+    pub per_benchmark: Vec<(String, f64)>,
 }
 
 /// One Figure 6 bar pair.
@@ -398,6 +410,61 @@ impl Explorer {
         Simulator::new(machine).run(&mut spec.stream(), self.final_window)
     }
 
+    /// Cache key for a phase-adaptive run under `policy`.
+    fn phase_key(policy: ControlPolicy) -> String {
+        format!("ctrl-{}", policy.key())
+    }
+
+    /// The adaptation-policy comparison: runs the Phase-Adaptive machine
+    /// under each control policy over the whole suite at the sweep
+    /// window and reports per-policy geomean runtimes (cached like every
+    /// other sweep measurement).
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::EmptySuite`] when `suite` or `policies` is empty;
+    /// cache I/O errors.
+    pub fn policy_compare(
+        &mut self,
+        suite: &[BenchmarkSpec],
+        policies: &[ControlPolicy],
+    ) -> Result<Vec<PolicyOutcome>, ExploreError> {
+        if suite.is_empty() || policies.is_empty() {
+            return Err(ExploreError::EmptySuite);
+        }
+        let mut work = Vec::with_capacity(policies.len() * suite.len());
+        for &policy in policies {
+            for spec in suite {
+                work.push((
+                    spec.clone(),
+                    "phase",
+                    Self::phase_key(policy),
+                    MachineConfig::phase_adaptive(McdConfig::smallest()).with_control(policy),
+                ));
+            }
+        }
+        let window = self.sweep_window;
+        let runtimes = self.parallel_measure(work, window);
+        self.cache.save()?;
+
+        Ok(policies
+            .iter()
+            .enumerate()
+            .map(|(pi, &policy)| {
+                let slice = &runtimes[pi * suite.len()..(pi + 1) * suite.len()];
+                PolicyOutcome {
+                    policy,
+                    geomean_ns: stats::geomean(slice).expect("positive runtimes"),
+                    per_benchmark: suite
+                        .iter()
+                        .zip(slice)
+                        .map(|(spec, &ns)| (spec.name().to_string(), ns))
+                        .collect(),
+                }
+            })
+            .collect())
+    }
+
     /// The full Figure 6 pipeline: sync sweep → program sweep →
     /// final-window comparison runs for all three machines.
     ///
@@ -426,7 +493,7 @@ impl Explorer {
             work.push((
                 spec.clone(),
                 "phase",
-                "ctrl".to_string(),
+                Self::phase_key(ControlPolicy::default()),
                 MachineConfig::phase_adaptive(McdConfig::smallest()),
             ));
         }
@@ -493,6 +560,29 @@ mod tests {
             cached_time.as_millis() < 500,
             "second sweep should be cache-fast, took {cached_time:?}"
         );
+    }
+
+    #[test]
+    fn policy_compare_measures_each_policy() {
+        let mut ex = Explorer::with_cache(1_500, 3_000, ResultCache::in_memory());
+        let suite = vec![suite::by_name("adpcm_encode").unwrap()];
+        let policies = [ControlPolicy::PaperArgmin, ControlPolicy::Static];
+        let out = ex.policy_compare(&suite, &policies).unwrap();
+        assert_eq!(out.len(), 2);
+        for (o, p) in out.iter().zip(policies) {
+            assert_eq!(o.policy, p);
+            assert!(o.geomean_ns > 0.0);
+            assert_eq!(o.per_benchmark.len(), 1);
+            assert_eq!(o.per_benchmark[0].0, "adpcm_encode");
+        }
+        assert!(matches!(
+            ex.policy_compare(&[], &policies),
+            Err(ExploreError::EmptySuite)
+        ));
+        assert!(matches!(
+            ex.policy_compare(&suite, &[]),
+            Err(ExploreError::EmptySuite)
+        ));
     }
 
     #[test]

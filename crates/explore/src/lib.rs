@@ -48,6 +48,8 @@ mod explorer;
 
 pub use ablation::AblationPoint;
 pub use cache::{CacheKey, ResultCache};
-pub use explorer::{ExploreError, Explorer, Fig6Row, ProgramChoice, SyncSweepOutcome};
+pub use explorer::{
+    ExploreError, Explorer, Fig6Row, PolicyOutcome, ProgramChoice, SyncSweepOutcome,
+};
 
-pub use gals_core::{McdConfig, SyncConfig};
+pub use gals_core::{ControlPolicy, McdConfig, SyncConfig};

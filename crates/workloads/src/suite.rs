@@ -61,7 +61,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
             .segments(vec![stride(4 * KB, 1.0)])
             .paper_window("ref; encode (6.6M)")
             .build()
-            .unwrap(),
+            .expect("adpcm_encode"),
     );
     v.push(
         BenchmarkSpec::builder("adpcm_decode", Suite::MediaBench)
@@ -72,7 +72,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
             .segments(vec![stride(4 * KB, 1.0)])
             .paper_window("ref; decode (5.5M)")
             .build()
-            .unwrap(),
+            .expect("adpcm_decode"),
     );
 
     let epic_mix = OpMix {
@@ -90,7 +90,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
             .segments(vec![stride(320 * KB, 3.0), random(16 * KB, 1.0)])
             .paper_window("ref; encode (53M)")
             .build()
-            .unwrap(),
+            .expect("epic_encode"),
     );
     v.push(
         BenchmarkSpec::builder("epic_decode", Suite::MediaBench)
@@ -102,7 +102,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
             .segments(vec![stride(160 * KB, 2.0), random(8 * KB, 1.0)])
             .paper_window("ref; decode (6.7M)")
             .build()
-            .unwrap(),
+            .expect("epic_decode"),
     );
 
     v.push(
@@ -119,7 +119,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
             .segments(vec![stride(96 * KB, 2.0), random(8 * KB, 1.0)])
             .paper_window("ref; compress (15.5M)")
             .build()
-            .unwrap(),
+            .expect("jpeg_compress"),
     );
     // Program-Adaptive loser: mid-large code footprint, fetch bound.
     v.push(
@@ -136,7 +136,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
             .segments(vec![stride(64 * KB, 2.0), random(8 * KB, 1.0)])
             .paper_window("ref; decompress (4.6M)")
             .build()
-            .unwrap(),
+            .expect("jpeg_decompress"),
     );
 
     for (name, window) in [
@@ -152,7 +152,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
                 .segments(vec![random(3 * KB, 1.0)])
                 .paper_window(window)
                 .build()
-                .unwrap(),
+                .expect(name),
         );
     }
 
@@ -166,7 +166,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
             .segments(vec![random(8 * KB, 1.0)])
             .paper_window("ref; encode (0-200M)")
             .build()
-            .unwrap(),
+            .expect("gsm_encode"),
     );
     v.push(
         BenchmarkSpec::builder("gsm_decode", Suite::MediaBench)
@@ -177,7 +177,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
             .segments(vec![random(8 * KB, 1.0)])
             .paper_window("ref; decode (0-74M)")
             .build()
-            .unwrap(),
+            .expect("gsm_decode"),
     );
 
     // ghostscript: ≈96 KB of hot code; "performs well whenever the
@@ -191,7 +191,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
             .segments(vec![random(64 * KB, 2.0), random(512 * KB, 1.0)])
             .paper_window("ref; 0-200M")
             .build()
-            .unwrap(),
+            .expect("ghostscript"),
     );
 
     // mesa mipmap: Program-Adaptive loser (-4.9%): big code + branchy.
@@ -205,7 +205,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
             .segments(vec![stride(512 * KB, 2.0), random(16 * KB, 1.0)])
             .paper_window("ref; mipmap (44.7M)")
             .build()
-            .unwrap(),
+            .expect("mesa_mipmap"),
     );
     v.push(
         BenchmarkSpec::builder("mesa_osdemo", Suite::MediaBench)
@@ -217,7 +217,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
             .segments(vec![stride(256 * KB, 2.0), random(16 * KB, 1.0)])
             .paper_window("ref; osdemo (7.6M)")
             .build()
-            .unwrap(),
+            .expect("mesa_osdemo"),
     );
     v.push(
         BenchmarkSpec::builder("mesa_texgen", Suite::MediaBench)
@@ -229,7 +229,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
             .segments(vec![random(384 * KB, 2.0), random(32 * KB, 1.0)])
             .paper_window("ref; texgen (75.8M)")
             .build()
-            .unwrap(),
+            .expect("mesa_texgen"),
     );
 
     v.push(
@@ -246,7 +246,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
             .segments(vec![stride(384 * KB, 3.0), random(32 * KB, 1.0)])
             .paper_window("ref; encode (0-171M)")
             .build()
-            .unwrap(),
+            .expect("mpeg2_encode"),
     );
     v.push(
         BenchmarkSpec::builder("mpeg2_decode", Suite::MediaBench)
@@ -262,7 +262,7 @@ fn mediabench() -> Vec<BenchmarkSpec> {
             .segments(vec![stride(256 * KB, 2.0), random(16 * KB, 1.0)])
             .paper_window("ref; decode (0-200M)")
             .build()
-            .unwrap(),
+            .expect("mpeg2_decode"),
     );
 
     v
@@ -287,7 +287,7 @@ fn olden() -> Vec<BenchmarkSpec> {
             .segments(vec![chase(256 * KB, 2.0), random(16 * KB, 1.0)])
             .paper_window("2048 1; 0-200M")
             .build()
-            .unwrap(),
+            .expect("bh"),
     );
     v.push(
         BenchmarkSpec::builder("bisort", Suite::Olden)
@@ -299,7 +299,7 @@ fn olden() -> Vec<BenchmarkSpec> {
             .segments(vec![chase(512 * KB, 3.0), random(8 * KB, 1.0)])
             .paper_window("65000 0; entire program (127M)")
             .build()
-            .unwrap(),
+            .expect("bisort"),
     );
     // em3d: the headline winner (+49% phase-adaptive) — a ~1.5 MB
     // working set with real reuse that only the 2 MB L2 captures.
@@ -313,7 +313,7 @@ fn olden() -> Vec<BenchmarkSpec> {
             .segments(vec![chase(1500 * KB, 5.0), random(8 * KB, 1.0)])
             .paper_window("4000 10; 70M-178M (108M)")
             .build()
-            .unwrap(),
+            .expect("em3d"),
     );
     v.push(
         BenchmarkSpec::builder("health", Suite::Olden)
@@ -325,7 +325,7 @@ fn olden() -> Vec<BenchmarkSpec> {
             .segments(vec![chase(700 * KB, 3.0), random(8 * KB, 1.0)])
             .paper_window("4 1000 1; 80M-127M (47M)")
             .build()
-            .unwrap(),
+            .expect("health"),
     );
     // mst: strong winner, but Phase-Adaptive trails Program-Adaptive:
     // short conflict bursts arrive and end within one 15K-instruction
@@ -352,7 +352,7 @@ fn olden() -> Vec<BenchmarkSpec> {
             )
             .paper_window("1024 1; 70M-170M (100M)")
             .build()
-            .unwrap(),
+            .expect("mst"),
     );
     v.push(
         BenchmarkSpec::builder("perimeter", Suite::Olden)
@@ -364,7 +364,7 @@ fn olden() -> Vec<BenchmarkSpec> {
             .segments(vec![chase(384 * KB, 2.0), random(8 * KB, 1.0)])
             .paper_window("12 1; 0-200M")
             .build()
-            .unwrap(),
+            .expect("perimeter"),
     );
     v.push(
         BenchmarkSpec::builder("power", Suite::Olden)
@@ -376,7 +376,7 @@ fn olden() -> Vec<BenchmarkSpec> {
             .segments(vec![random(32 * KB, 3.0), random(8 * KB, 1.0)])
             .paper_window("1 1; 0-200M")
             .build()
-            .unwrap(),
+            .expect("power"),
     );
     // treeadd: pure streaming traversal — misses at every configuration,
     // so the smallest/fastest sizing wins.
@@ -390,7 +390,7 @@ fn olden() -> Vec<BenchmarkSpec> {
             .segments(vec![chase(4096 * KB, 3.0), random(4 * KB, 1.0)])
             .paper_window("20 1; entire program (189M)")
             .build()
-            .unwrap(),
+            .expect("treeadd"),
     );
     v.push(
         BenchmarkSpec::builder("tsp", Suite::Olden)
@@ -406,7 +406,7 @@ fn olden() -> Vec<BenchmarkSpec> {
             .segments(vec![chase(256 * KB, 2.0), random(16 * KB, 1.0)])
             .paper_window("100000 1; 0-200M")
             .build()
-            .unwrap(),
+            .expect("tsp"),
     );
 
     v
@@ -433,7 +433,7 @@ fn spec_int() -> Vec<BenchmarkSpec> {
             .segments(vec![stride(192 * KB, 2.0), random(20 * KB, 2.0)])
             .paper_window("source 58; 1000M-1100M")
             .build()
-            .unwrap(),
+            .expect("bzip2"),
     );
     v.push(
         BenchmarkSpec::builder("crafty", Suite::SpecInt)
@@ -444,7 +444,7 @@ fn spec_int() -> Vec<BenchmarkSpec> {
             .segments(vec![random(96 * KB, 2.0), random(16 * KB, 1.0)])
             .paper_window("ref; 1000M-1100M")
             .build()
-            .unwrap(),
+            .expect("crafty"),
     );
     v.push(
         BenchmarkSpec::builder("eon", Suite::SpecInt)
@@ -460,7 +460,7 @@ fn spec_int() -> Vec<BenchmarkSpec> {
             .segments(vec![random(32 * KB, 1.0)])
             .paper_window("ref; 1000M-1100M")
             .build()
-            .unwrap(),
+            .expect("eon"),
     );
     // gcc: the headline integer winner (+41/45%). Mechanism: a huge code
     // + data footprint that spills the 256 KB sync L2 but lives in the
@@ -474,7 +474,7 @@ fn spec_int() -> Vec<BenchmarkSpec> {
             .segments(vec![random(640 * KB, 4.0), random(24 * KB, 1.0)])
             .paper_window("166.i; 2000M-2100M")
             .build()
-            .unwrap(),
+            .expect("gcc"),
     );
     v.push(
         BenchmarkSpec::builder("gzip", Suite::SpecInt)
@@ -485,7 +485,7 @@ fn spec_int() -> Vec<BenchmarkSpec> {
             .segments(vec![stride(192 * KB, 2.0), random(64 * KB, 1.0)])
             .paper_window("source 60; 1000M-1100M")
             .build()
-            .unwrap(),
+            .expect("gzip"),
     );
     v.push(
         BenchmarkSpec::builder("parser", Suite::SpecInt)
@@ -497,7 +497,7 @@ fn spec_int() -> Vec<BenchmarkSpec> {
             .segments(vec![chase(256 * KB, 2.0), random(16 * KB, 1.0)])
             .paper_window("ref; 1000M-1100M")
             .build()
-            .unwrap(),
+            .expect("parser"),
     );
     v.push(
         BenchmarkSpec::builder("twolf", Suite::SpecInt)
@@ -508,7 +508,7 @@ fn spec_int() -> Vec<BenchmarkSpec> {
             .segments(vec![random(384 * KB, 3.0), random(16 * KB, 1.0)])
             .paper_window("ref; 1000M-1100M")
             .build()
-            .unwrap(),
+            .expect("twolf"),
     );
     // vortex: big winner (+33%): large code + object database in L2.
     v.push(
@@ -520,7 +520,7 @@ fn spec_int() -> Vec<BenchmarkSpec> {
             .segments(vec![random(512 * KB, 4.0), random(24 * KB, 1.0)])
             .paper_window("ref; 1000M-1100M")
             .build()
-            .unwrap(),
+            .expect("vortex"),
     );
     // vpr: the biggest Program-Adaptive loser (-6.6%): branchy, mid-size
     // code, data that the sync design already captures.
@@ -533,7 +533,7 @@ fn spec_int() -> Vec<BenchmarkSpec> {
             .segments(vec![stride(20 * KB, 2.0), random(6 * KB, 1.0)])
             .paper_window("ref; 1000M-1100M")
             .build()
-            .unwrap(),
+            .expect("vpr"),
     );
 
     v
@@ -570,7 +570,7 @@ fn spec_fp() -> Vec<BenchmarkSpec> {
             )
             .paper_window("ref; 1000M-1100M")
             .build()
-            .unwrap(),
+            .expect("apsi"),
     );
     // art: cycles through ILP regimes in a regular pattern (Figure 7b).
     let art_ilp = |ci, cf, serial, flat| IlpModel {
@@ -617,7 +617,7 @@ fn spec_fp() -> Vec<BenchmarkSpec> {
             )
             .paper_window("ref; 300M-400M")
             .build()
-            .unwrap(),
+            .expect("art"),
     );
     v.push(
         BenchmarkSpec::builder("equake", Suite::SpecFp)
@@ -633,7 +633,7 @@ fn spec_fp() -> Vec<BenchmarkSpec> {
             ])
             .paper_window("ref; 1000M-1100M")
             .build()
-            .unwrap(),
+            .expect("equake"),
     );
     v.push(
         BenchmarkSpec::builder("galgel", Suite::SpecFp)
@@ -645,7 +645,7 @@ fn spec_fp() -> Vec<BenchmarkSpec> {
             .segments(vec![stride(256 * KB, 3.0), random(32 * KB, 1.0)])
             .paper_window("ref; 1000M-1100M")
             .build()
-            .unwrap(),
+            .expect("galgel"),
     );
     // mesa (SPEC ref input): larger code, Phase-Adaptive winner.
     v.push(
@@ -658,7 +658,7 @@ fn spec_fp() -> Vec<BenchmarkSpec> {
             .segments(vec![random(128 * KB, 2.0), random(16 * KB, 1.0)])
             .paper_window("ref; 1000M-1100M")
             .build()
-            .unwrap(),
+            .expect("mesa"),
     );
     v.push(
         BenchmarkSpec::builder("wupwise", Suite::SpecFp)
@@ -670,7 +670,7 @@ fn spec_fp() -> Vec<BenchmarkSpec> {
             .segments(vec![stride(512 * KB, 3.0), random(32 * KB, 1.0)])
             .paper_window("ref; 1000M-1100M")
             .build()
-            .unwrap(),
+            .expect("wupwise"),
     );
 
     v

@@ -10,8 +10,10 @@
 //!   standing in for MediaBench / Olden / SPEC2000 (Tables 6–8).
 //! * [`cache`] — the Accounting Cache and the Table 4 cost model.
 //! * [`predictor`] — the hybrid gshare/local/meta predictor.
-//! * [`core`] — the four-domain adaptive MCD pipeline, its controllers,
-//!   and the fully synchronous baseline machine.
+//! * [`control`] — the policy-pluggable adaptation subsystem (the §3
+//!   controllers and their alternatives behind a trait boundary).
+//! * [`core`] — the four-domain adaptive MCD pipeline and the fully
+//!   synchronous baseline machine.
 //! * [`explore`] — the §4 design-space sweeps with persistent caching.
 //!
 //! # Quickstart
@@ -35,6 +37,7 @@
 pub use gals_cache as cache;
 pub use gals_clock as clock;
 pub use gals_common as common;
+pub use gals_control as control;
 pub use gals_core as core;
 pub use gals_explore as explore;
 pub use gals_isa as isa;
@@ -46,8 +49,8 @@ pub use gals_workloads as workloads;
 pub mod prelude {
     pub use gals_common::{Femtos, Hertz};
     pub use gals_core::{
-        Dl2Config, ICacheConfig, IqSize, MachineConfig, McdConfig, SimResult, Simulator,
-        SyncConfig, SyncICacheOption, TimingModel,
+        ControlPolicy, Dl2Config, ICacheConfig, IqSize, MachineConfig, McdConfig, SimResult,
+        Simulator, SyncConfig, SyncICacheOption, TimingModel,
     };
     pub use gals_explore::Explorer;
     pub use gals_isa::InstructionStream;
