@@ -64,12 +64,21 @@ fn artifact_json(window: u64, subset: &[BenchmarkSpec], outcomes: &[PolicyOutcom
             o.policy,
             o.geomean_ns
         );
+        // Unusable runtimes (a skipped benchmark's NaN/0 marker) would
+        // not be valid JSON numbers; they are reported in "skipped"
+        // instead of inlined here.
         let per: Vec<String> = o
             .per_benchmark
             .iter()
+            .filter(|(_, ns)| ns.is_finite() && *ns > 0.0)
             .map(|(b, ns)| format!("\"{b}\": {ns:.3}"))
             .collect();
-        let _ = write!(json, "{}}}}}", per.join(", "));
+        let _ = write!(json, "{}}}", per.join(", "));
+        if !o.skipped.is_empty() {
+            let skipped: Vec<String> = o.skipped.iter().map(|s| format!("\"{}\"", s.key)).collect();
+            let _ = write!(json, ", \"skipped\": [{}]", skipped.join(", "));
+        }
+        json.push('}');
         json.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");

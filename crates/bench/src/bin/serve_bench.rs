@@ -1,0 +1,216 @@
+//! `gals-serve` batching benchmark: drives a mixed request stream from
+//! many concurrent clients against an in-process server and compares it
+//! with the same stream executed as independent `Explorer`-style
+//! invocations (a fresh engine and a cold private cache per request —
+//! what N scripts calling the library would do). Also asserts the
+//! determinism invariant: every served runtime is bit-identical to the
+//! same configuration run directly through the simulator.
+//!
+//! Writes `BENCH_serve.json`. Knobs: `GALS_SERVE_BENCH_WINDOW`
+//! (instructions per run, default 3,000), `GALS_SERVE_BENCH_CLIENTS`
+//! (default 8), `GALS_SERVE_BENCH_OUT` (default `BENCH_serve.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gals_core::{ControlPolicy, McdConfig, Simulator, SyncConfig};
+use gals_explore::{MeasureItem, ResultCache, SweepEngine};
+use gals_serve::{Client, Request, RequestKind, Response, ServeConfig, Server};
+use gals_workloads::suite;
+
+/// One logical unit of the mixed stream, in both its wire form and its
+/// direct (library) form.
+#[derive(Clone)]
+struct Unit {
+    kind: RequestKind,
+    item: MeasureItem,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A pool of distinct work units mixing machine styles, benchmarks, and
+/// policies — the "mixed request stream" clients draw from (with heavy
+/// overlap, which is what the batching layer exists to exploit).
+fn unit_pool(window: u64) -> Vec<Unit> {
+    let benches = ["adpcm_encode", "gzip", "apsi", "crafty", "art"];
+    let mut units = Vec::new();
+    for (bi, bench) in benches.iter().enumerate() {
+        let spec = suite::by_name(bench).expect("benchmark in suite");
+        // Phase-adaptive under two policies.
+        for policy in [ControlPolicy::PaperArgmin, ControlPolicy::Static] {
+            units.push(Unit {
+                kind: RequestKind::RunConfig {
+                    bench: bench.to_string(),
+                    mode: "phase".to_string(),
+                    cfg: None,
+                    policy: Some(policy),
+                    window,
+                },
+                item: MeasureItem::phase(spec.clone(), policy),
+            });
+        }
+        // One program-adaptive and one synchronous point per benchmark,
+        // spread across the spaces.
+        let prog_cfgs = McdConfig::enumerate();
+        let prog_idx = (bi * 61) % prog_cfgs.len();
+        units.push(Unit {
+            kind: RequestKind::RunConfig {
+                bench: bench.to_string(),
+                mode: "prog".to_string(),
+                cfg: Some(prog_idx),
+                policy: None,
+                window,
+            },
+            item: MeasureItem::program(spec.clone(), prog_cfgs[prog_idx]),
+        });
+        let sync_cfgs = SyncConfig::enumerate();
+        let sync_idx = (bi * 197) % sync_cfgs.len();
+        units.push(Unit {
+            kind: RequestKind::RunConfig {
+                bench: bench.to_string(),
+                mode: "sync".to_string(),
+                cfg: Some(sync_idx),
+                policy: None,
+                window,
+            },
+            item: MeasureItem::sync(spec.clone(), sync_cfgs[sync_idx]),
+        });
+    }
+    units
+}
+
+fn main() {
+    let window = env_u64("GALS_SERVE_BENCH_WINDOW", 3_000);
+    let clients = env_u64("GALS_SERVE_BENCH_CLIENTS", 8) as usize;
+    let out_path =
+        std::env::var("GALS_SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+
+    let pool = unit_pool(window);
+    // Each client walks the pool from a different offset: every unit is
+    // requested by several clients (the multi-tenant overlap case).
+    let per_client = pool.len();
+    let streams: Vec<Vec<Unit>> = (0..clients)
+        .map(|c| {
+            (0..per_client)
+                .map(|j| pool[(c * 3 + j) % pool.len()].clone())
+                .collect()
+        })
+        .collect();
+    let total_requests = clients * per_client;
+
+    // --- Batched, through the server. --------------------------------
+    let server = Server::start(ServeConfig::default()).expect("start server");
+    let addr = server.local_addr();
+    let t0 = Instant::now();
+    let served: Vec<Vec<(String, f64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .enumerate()
+            .map(|(c, stream)| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut results = Vec::new();
+                    for (j, unit) in stream.iter().enumerate() {
+                        let responses = client
+                            .request(&Request {
+                                id: format!("c{c}-{j}"),
+                                kind: unit.kind.clone(),
+                            })
+                            .expect("request");
+                        for resp in responses {
+                            if let Response::Result {
+                                key, runtime_ns, ..
+                            } = resp
+                            {
+                                results.push((key, runtime_ns));
+                            }
+                        }
+                    }
+                    results
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let serve_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let simulated = server.simulated_count();
+    server.shutdown();
+
+    // --- The same stream as independent library invocations. ---------
+    let t1 = Instant::now();
+    let mut independent: Vec<f64> = Vec::with_capacity(total_requests);
+    for stream in &streams {
+        for unit in stream {
+            // A fresh engine with a cold private cache per request:
+            // nothing shared, nothing batched.
+            let engine = SweepEngine::new(ResultCache::in_memory());
+            let ns = engine.measure(std::slice::from_ref(&unit.item), window)[0];
+            independent.push(ns);
+        }
+    }
+    let independent_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    // --- Determinism: served ≡ direct. -------------------------------
+    let mut checked = 0usize;
+    for unit in &pool {
+        let direct = Simulator::new(unit.item.machine.clone())
+            .run(&mut unit.item.spec.stream(), window)
+            .runtime_ns();
+        // Compare against every served occurrence of this unit.
+        let spec_name = unit.item.spec.name();
+        for (c, stream) in streams.iter().enumerate() {
+            for (j, u) in stream.iter().enumerate() {
+                if u.item.config_key == unit.item.config_key
+                    && u.item.spec.name() == spec_name
+                    && u.item.mode == unit.item.mode
+                {
+                    let (_, ns) = &served[c][j];
+                    assert_eq!(
+                        ns.to_bits(),
+                        direct.to_bits(),
+                        "served result for {spec_name}/{} must be bit-identical",
+                        unit.item.config_key
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked >= total_requests, "every request verified");
+
+    let speedup = independent_ms / serve_ms;
+    println!("gals-serve batching benchmark");
+    println!("  clients            {clients}");
+    println!(
+        "  requests           {total_requests} ({} distinct configs)",
+        pool.len()
+    );
+    println!("  window             {window} insts");
+    println!("  simulations run    {simulated}");
+    println!("  batched (server)   {serve_ms:.1} ms");
+    println!("  independent        {independent_ms:.1} ms");
+    println!("  speedup            {speedup:.2}x");
+    assert!(
+        speedup > 1.0,
+        "the batched server must beat independent invocations"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"gals-mcd-serve-bench-v1\",\n");
+    let _ = writeln!(json, "  \"window\": {window},");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"requests\": {total_requests},");
+    let _ = writeln!(json, "  \"distinct_configs\": {},", pool.len());
+    let _ = writeln!(json, "  \"simulations_run\": {simulated},");
+    let _ = writeln!(json, "  \"batched_ms\": {serve_ms:.1},");
+    let _ = writeln!(json, "  \"independent_ms\": {independent_ms:.1},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.2},");
+    json.push_str("  \"bit_identical_to_direct\": true\n}\n");
+    std::fs::write(&out_path, json).expect("write artifact");
+    println!("  wrote {out_path}");
+}

@@ -1,0 +1,128 @@
+//! Command-line client for a running `gals-serve` server.
+//!
+//! ```text
+//! serve_client --addr 127.0.0.1:7411 --op run_config --bench gzip \
+//!     --mode phase --policy argmin --window 2000
+//! serve_client --addr 127.0.0.1:7411 --op sweep --bench art --mode prog
+//! serve_client --addr 127.0.0.1:7411 --op status
+//! ```
+//!
+//! Prints one response line per streamed result (tab-separated key /
+//! runtime / cache flag) and exits non-zero on protocol errors.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use gals_serve::{Client, Request, RequestKind, Response};
+
+fn parse_args() -> Result<(String, Request), String> {
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument {flag:?}"))?;
+        let value = args
+            .next()
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value);
+    }
+    let addr = flags
+        .remove("addr")
+        .unwrap_or_else(|| "127.0.0.1:7411".to_string());
+    let id = flags.remove("id").unwrap_or_else(|| "cli".to_string());
+    let op = flags.remove("op").ok_or("missing --op")?;
+    let window = match flags.remove("window") {
+        None => 0,
+        Some(w) => w
+            .parse::<u64>()
+            .map_err(|_| "--window must be an integer")?,
+    };
+    let bench = |flags: &mut HashMap<String, String>| {
+        flags.remove("bench").ok_or("missing --bench".to_string())
+    };
+    let kind = match op.as_str() {
+        "run_config" => RequestKind::RunConfig {
+            bench: bench(&mut flags)?,
+            mode: flags.remove("mode").ok_or("missing --mode")?,
+            cfg: match flags.remove("cfg") {
+                None => None,
+                Some(c) => Some(c.parse().map_err(|_| "--cfg must be an integer")?),
+            },
+            policy: match flags.remove("policy") {
+                None => None,
+                Some(p) => Some(p.parse().map_err(|e| format!("{e}"))?),
+            },
+            window,
+        },
+        "sweep" => RequestKind::Sweep {
+            bench: bench(&mut flags)?,
+            mode: flags.remove("mode").ok_or("missing --mode")?,
+            window,
+        },
+        "policy_compare" => RequestKind::PolicyCompare {
+            bench: bench(&mut flags)?,
+            policies: flags
+                .remove("policies")
+                .unwrap_or_else(|| "argmin,hyst3,pi,static".to_string())
+                .split(',')
+                .map(|p| p.trim().parse().map_err(|e| format!("{e}")))
+                .collect::<Result<Vec<_>, _>>()?,
+            window,
+        },
+        "status" => RequestKind::Status,
+        other => return Err(format!("unknown --op {other:?}")),
+    };
+    if let Some(stray) = flags.keys().next() {
+        return Err(format!("unknown flag --{stray}"));
+    }
+    Ok((addr, Request { id, kind }))
+}
+
+fn main() -> ExitCode {
+    let (addr, request) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("serve_client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve_client: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let responses = match client.request(&request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve_client: request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for resp in &responses {
+        match resp {
+            Response::Result {
+                key,
+                runtime_ns,
+                cached,
+                ..
+            } => println!(
+                "{key}\t{runtime_ns:.3}\t{}",
+                if *cached { "cached" } else { "simulated" }
+            ),
+            Response::Done { results, .. } => println!("done\t{results} results"),
+            Response::Status { counters, .. } => {
+                for (k, v) in counters {
+                    println!("{k}\t{v}");
+                }
+            }
+            Response::Error { message, .. } => {
+                eprintln!("serve_client: server error: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

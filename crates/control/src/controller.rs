@@ -5,11 +5,15 @@ use gals_cache::AccountingStats;
 /// End-of-interval statistics handed to a [`DomainController`].
 ///
 /// Two interval flavors exist, matching the paper's two control loops:
-/// cache domains are evaluated every 15K committed instructions from
-/// their Accounting Cache counters (§3.1), issue queues every completed
-/// ILP tracking interval from the rename-time timestamp tracker (§3.2).
-/// A policy that only understands one flavor should return
-/// [`Decision::Stay`] for the other.
+/// cache domains are evaluated from their Accounting Cache counters
+/// (§3.1), issue queues from the rename-time ILP timestamp tracker
+/// (§3.2). Both are evaluated once per adaptation interval (15K
+/// committed instructions, sized "comparable to the PLL lock-down
+/// time"); the issue-queue flavor aggregates the many ~N-instruction
+/// tracking intervals that completed inside the adaptation interval,
+/// because deciding per tracking interval would thrash the PLLs on
+/// measurement noise. A policy that only understands one flavor should
+/// return [`Decision::Stay`] for the other.
 #[derive(Debug)]
 pub enum IntervalStats<'a> {
     /// Accounting-cache interval counters for an adaptive cache (or the
@@ -29,14 +33,17 @@ pub enum IntervalStats<'a> {
         /// stale pressure.
         locked: bool,
     },
-    /// One completed ILP tracking interval for an issue queue.
+    /// One adaptation interval's aggregated ILP measurements for an
+    /// issue queue.
     Ilp {
-        /// Effective-ILP score (`min(N, n_class)/M_N × f_N`, higher is
-        /// better) per candidate queue size, indexed like
-        /// `IqSize::ALL`.
+        /// Mean effective-ILP score (`min(N, n_class)/M_N × f_N`, higher
+        /// is better) per candidate queue size over the interval's
+        /// completed tracking intervals, indexed like `IqSize::ALL`.
         scores: [f64; 4],
-        /// The raw §3.2 recommendation: argmax over `scores` with the
-        /// starvation rule applied (index into `IqSize::ALL`).
+        /// The interval's recommendation: the candidate that won the
+        /// majority of the completed tracking intervals' raw §3.2
+        /// decisions (argmax over scores with the starvation rule,
+        /// per tracking interval), ties kept by the incumbent.
         want: usize,
         /// See [`IntervalStats::Cache::locked`].
         locked: bool,

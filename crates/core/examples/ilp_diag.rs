@@ -1,0 +1,38 @@
+//! Dev diagnostic: raw §3.2 ILP recommendations per tracking interval,
+//! straight off the rename stream (no pipeline, no damping, no relocks).
+use gals_control::IlpTracker;
+use gals_core::{MachineConfig, McdConfig};
+use gals_isa::InstructionStream;
+use gals_timing::IqSize;
+
+fn main() {
+    let cfg = MachineConfig::phase_adaptive(McdConfig::smallest());
+    let freqs = IqSize::ALL.map(|s| cfg.timing.iq_frequency(s).as_ghz());
+    for name in ["adpcm_encode", "apsi", "crafty", "em3d"] {
+        let spec = gals_workloads::suite::by_name(name).unwrap();
+        let mut stream = spec.stream();
+        let mut t = IlpTracker::new();
+        let mut counts = [0u32; 4];
+        let mut seq: Vec<usize> = Vec::new();
+        for _ in 0..200_000u64 {
+            t.observe(&stream.next_inst());
+            if t.complete() {
+                let d = t.decide(freqs);
+                counts[d.iq_int.index()] += 1;
+                seq.push(d.iq_int.index());
+            }
+        }
+        let n = seq.len();
+        // Interval-to-interval instability of the raw recommendation.
+        let mut flips = 0;
+        for w in seq.windows(2) {
+            if w[0] != w[1] {
+                flips += 1;
+            }
+        }
+        println!(
+            "{name}: {n} intervals, int want counts {counts:?}, flips {flips}, first 60: {:?}",
+            &seq[..60.min(n)]
+        );
+    }
+}

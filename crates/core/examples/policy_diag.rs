@@ -1,0 +1,35 @@
+//! Dev diagnostic for the policy anomaly: argmin vs static per benchmark,
+//! with reconfiguration traces and final frequencies.
+use gals_core::{ControlPolicy, MachineConfig, McdConfig, Simulator};
+
+fn main() {
+    let window: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120_000);
+    for name in ["adpcm_encode", "gzip", "apsi", "em3d", "crafty", "art"] {
+        let spec = gals_workloads::suite::by_name(name).unwrap();
+        let run = |policy| {
+            Simulator::new(
+                MachineConfig::phase_adaptive(McdConfig::smallest()).with_control(policy),
+            )
+            .run(&mut spec.stream(), window)
+        };
+        let a = run(ControlPolicy::PaperArgmin);
+        let s = run(ControlPolicy::Static);
+        println!(
+            "== {name}: argmin {:.0} ns vs static {:.0} ns ({:+.1}%)  {} reconfigs",
+            a.runtime_ns(),
+            s.runtime_ns(),
+            (a.runtime_ns() / s.runtime_ns() - 1.0) * 100.0,
+            a.reconfigs.len(),
+        );
+        println!(
+            "   final freqs argmin: {:?}",
+            a.final_freqs.map(|f| format!("{:.2}", f.as_ghz()))
+        );
+        for ev in a.reconfigs.iter().take(30) {
+            println!("   @{:6} {:?}", ev.at_committed, ev.kind);
+        }
+    }
+}

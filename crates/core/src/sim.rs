@@ -817,6 +817,20 @@ impl Simulator {
                 kind: ReconfigKind::Dl2(cfg),
             });
         }
+
+        // Issue queues: the §3.2 measurements banked at rename are
+        // evaluated here, at the same relock-commensurate cadence as the
+        // caches (deciding per ~N-instruction tracking interval thrashed
+        // the execution-domain PLLs on measurement noise).
+        let locking_int = self.clocks[INT].is_locking();
+        let locking_fp = self.clocks[FP].is_locking();
+        if let Some(d) = self
+            .engine
+            .as_mut()
+            .and_then(|en| en.iq_interval(locking_int, locking_fp, committed))
+        {
+            self.apply_iq_decision(d);
+        }
         let _ = e;
     }
 
@@ -965,17 +979,11 @@ impl Simulator {
                 }
             }
 
-            // ILP tracking at rename (§3.2). Decisions are suppressed (by
-            // the engine) for domains whose PLL is already relocking.
-            let locking_int = self.clocks[INT].is_locking();
-            let locking_fp = self.clocks[FP].is_locking();
-            let committed = self.committed;
-            let decision = self
-                .engine
-                .as_mut()
-                .and_then(|en| en.observe_rename(&inst, locking_int, locking_fp, committed));
-            if let Some(decision) = decision {
-                self.apply_iq_decision(decision);
+            // ILP tracking at rename (§3.2). Measurements accumulate in
+            // the engine; decisions are taken at adaptation-interval
+            // boundaries (see `interval_decision`).
+            if let Some(en) = self.engine.as_mut() {
+                en.observe_rename(&inst);
             }
         }
     }

@@ -89,15 +89,18 @@ fn alternate_sync_configs_are_path_independent() {
     }
 }
 
-/// Golden results captured from the **pre-refactor** build (commit
-/// 2b7b282), where the §3 controllers were hard-wired into the simulator
-/// as an `Option<CacheController>` triplet. The extracted `gals-control`
-/// subsystem under `ControlPolicy::PaperArgmin` (the default) must
-/// reproduce them bit-for-bit — runtime, reconfiguration count,
-/// mispredicts, and every domain's cycle count — under both the fast and
-/// the reference loop.
+/// Golden results for `ControlPolicy::PaperArgmin` (the default),
+/// captured after the issue-queue decision-cadence fix: §3.2
+/// measurements are aggregated over each adaptation interval and the
+/// queues are resized at the §3.1 boundary (the pre-fix engine decided
+/// per ~N-instruction tracking interval, which thrashed the execution
+/// PLLs on measurement noise and let `Static` beat adaptation — the
+/// original `BENCH_policy.json` anomaly). Any drift in these tuples —
+/// runtime, reconfiguration count, mispredicts, or a domain cycle count,
+/// under either loop — means the default policy's behavior changed and
+/// must be an intentional, documented decision.
 #[test]
-fn paper_argmin_matches_pre_refactor_goldens() {
+fn paper_argmin_matches_goldens() {
     /// (benchmark, window, runtime fs, reconfig count, mispredicts,
     /// per-domain cycle counts).
     type Golden = (&'static str, u64, u64, usize, u64, [u64; 4]);
@@ -105,18 +108,18 @@ fn paper_argmin_matches_pre_refactor_goldens() {
         (
             "apsi",
             60_000,
-            61_310_289_014,
-            8,
+            59_818_793_897,
+            2,
             463,
-            [97_422, 79_999, 84_341, 83_555],
+            [95_052, 90_924, 90_924, 81_913],
         ),
         (
             "art",
             60_000,
-            100_815_670_502,
-            10,
+            100_316_612_922,
+            2,
             694,
-            [160_196, 136_733, 143_129, 138_179],
+            [159_403, 152_481, 152_481, 137_658],
         ),
         (
             "em3d",
@@ -129,10 +132,10 @@ fn paper_argmin_matches_pre_refactor_goldens() {
         (
             "gcc",
             45_000,
-            204_934_048_978,
-            5,
+            204_072_493_049,
+            1,
             1_205,
-            [325_640, 294_079, 311_499, 261_029],
+            [324_271, 310_190, 310_190, 260_139],
         ),
         (
             "mst",

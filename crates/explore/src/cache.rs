@@ -12,7 +12,9 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError, TryLockError};
+
+use crate::json::{format_json_number, parse_flat_number_map, write_json_string};
 
 /// Number of independently locked shards. A small power of two is plenty:
 /// the critical section is one `HashMap` insert.
@@ -85,6 +87,17 @@ impl ResultCache {
         ResultCache::default()
     }
 
+    /// Locks shard `idx`, recovering from poisoning: a sweep worker that
+    /// panicked mid-insert leaves at worst one key/value pair it was
+    /// inserting (both plain data, never half-written), so the map is
+    /// safe to keep using — and one bad configuration must not abort
+    /// every subsequent lookup in a long-lived server process.
+    fn shard(&self, idx: usize) -> MutexGuard<'_, HashMap<String, f64>> {
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Opens (or initializes) a cache at `path`.
     ///
     /// # Errors
@@ -97,13 +110,10 @@ impl ResultCache {
         cache.path = Some(path.clone());
         match fs::read_to_string(&path) {
             Ok(text) => {
-                if let Some(entries) = parse_flat_json_map(&text) {
+                if let Some(entries) = parse_flat_number_map(&text) {
                     for (k, v) in entries {
                         let shard = shard_of(&k);
-                        cache.shards[shard]
-                            .lock()
-                            .expect("cache shard")
-                            .insert(k, v);
+                        cache.shard(shard).insert(k, v);
                     }
                 }
             }
@@ -115,10 +125,7 @@ impl ResultCache {
 
     /// Number of cached measurements.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard").len())
-            .sum()
+        (0..SHARDS).map(|i| self.shard(i).len()).sum()
     }
 
     /// True when no measurements are cached.
@@ -128,19 +135,12 @@ impl ResultCache {
 
     /// Looks up a cached runtime (ns).
     pub fn get(&self, key: &CacheKey) -> Option<f64> {
-        self.shards[shard_of(&key.0)]
-            .lock()
-            .expect("cache shard")
-            .get(key.as_str())
-            .copied()
+        self.shard(shard_of(&key.0)).get(key.as_str()).copied()
     }
 
     /// Stores a measured runtime (ns).
     pub fn put(&self, key: CacheKey, runtime_ns: f64) {
-        self.shards[shard_of(&key.0)]
-            .lock()
-            .expect("cache shard")
-            .insert(key.0, runtime_ns);
+        self.shard(shard_of(&key.0)).insert(key.0, runtime_ns);
         self.unsaved.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -152,7 +152,14 @@ impl ResultCache {
         if self.path.is_none() || self.unsaved.load(Ordering::Relaxed) < batch {
             return;
         }
-        if let Ok(_guard) = self.save_guard.try_lock() {
+        let guard = match self.save_guard.try_lock() {
+            Ok(g) => Some(g),
+            // A thread that panicked while holding the guard was only
+            // doing file I/O; the in-memory state is intact.
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        };
+        if let Some(_guard) = guard {
             // Re-check under the guard; a concurrent save may have run.
             if self.unsaved.load(Ordering::Relaxed) >= batch {
                 let _ = self.write_file();
@@ -169,7 +176,10 @@ impl ResultCache {
         if self.path.is_none() || self.unsaved.load(Ordering::Relaxed) == 0 {
             return Ok(());
         }
-        let _guard = self.save_guard.lock().expect("save guard");
+        let _guard = self
+            .save_guard
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         self.write_file()
     }
 
@@ -189,8 +199,8 @@ impl ResultCache {
         let drained = self.unsaved.load(Ordering::Relaxed);
         // Deterministic output: merge the shards and sort by key.
         let mut entries: Vec<(String, f64)> = Vec::with_capacity(self.len());
-        for shard in &self.shards {
-            let map = shard.lock().expect("cache shard");
+        for i in 0..SHARDS {
+            let map = self.shard(i);
             entries.extend(map.iter().map(|(k, v)| (k.clone(), *v)));
         }
         entries.sort_by(|a, b| a.0.cmp(&b.0));
@@ -215,112 +225,6 @@ impl Drop for ResultCache {
     fn drop(&mut self) {
         // Best-effort persistence; explicit save() reports errors.
         let _ = self.save();
-    }
-}
-
-/// Emits `v` so that parsing it back yields the identical `f64` (Rust's
-/// shortest round-trip float formatting), with a `.0` suffix on integral
-/// values so the file stays unambiguously float-typed.
-fn format_json_number(v: f64) -> String {
-    if !v.is_finite() {
-        return "0".to_string();
-    }
-    let s = format!("{v}");
-    if s.contains('.') || s.contains('e') || s.contains('E') {
-        s
-    } else {
-        format!("{s}.0")
-    }
-}
-
-fn write_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Minimal parser for the only JSON shape the cache writes: one object
-/// mapping strings to numbers. Returns `None` on any malformation (the
-/// caller treats that as an empty cache, matching previous behaviour).
-fn parse_flat_json_map(text: &str) -> Option<Vec<(String, f64)>> {
-    let mut chars = text.chars().peekable();
-    let mut out = Vec::new();
-    skip_ws(&mut chars);
-    if chars.next()? != '{' {
-        return None;
-    }
-    skip_ws(&mut chars);
-    if chars.peek() == Some(&'}') {
-        return Some(out);
-    }
-    loop {
-        skip_ws(&mut chars);
-        let key = parse_json_string(&mut chars)?;
-        skip_ws(&mut chars);
-        if chars.next()? != ':' {
-            return None;
-        }
-        skip_ws(&mut chars);
-        let mut num = String::new();
-        while let Some(&c) = chars.peek() {
-            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
-                num.push(c);
-                chars.next();
-            } else {
-                break;
-            }
-        }
-        let value: f64 = num.parse().ok()?;
-        out.push((key, value));
-        skip_ws(&mut chars);
-        match chars.next()? {
-            ',' => continue,
-            '}' => return Some(out),
-            _ => return None,
-        }
-    }
-}
-
-fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
-    while matches!(chars.peek(), Some(' ' | '\t' | '\n' | '\r')) {
-        chars.next();
-    }
-}
-
-fn parse_json_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
-    if chars.next()? != '"' {
-        return None;
-    }
-    let mut s = String::new();
-    loop {
-        match chars.next()? {
-            '"' => return Some(s),
-            '\\' => match chars.next()? {
-                '"' => s.push('"'),
-                '\\' => s.push('\\'),
-                '/' => s.push('/'),
-                'n' => s.push('\n'),
-                'r' => s.push('\r'),
-                't' => s.push('\t'),
-                'u' => {
-                    let code: String = (0..4).filter_map(|_| chars.next()).collect();
-                    let v = u32::from_str_radix(&code, 16).ok()?;
-                    s.push(char::from_u32(v)?);
-                }
-                _ => return None,
-            },
-            c => s.push(c),
-        }
     }
 }
 

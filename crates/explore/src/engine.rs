@@ -1,0 +1,361 @@
+//! The reentrant work-stealing sweep engine.
+//!
+//! [`SweepEngine`] is the measurement core shared by the batch-oriented
+//! [`Explorer`](crate::Explorer) and the long-lived `gals-serve`
+//! process: every method takes `&self`, so one engine (and its sharded
+//! [`ResultCache`]) can be wrapped in an `Arc` and driven by many
+//! threads concurrently. Results stream back through a callback as they
+//! complete, which is what lets a server push per-configuration
+//! responses to clients while the rest of a batch is still running.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use gals_core::{ControlPolicy, MachineConfig, McdConfig, Simulator, SyncConfig};
+use gals_workloads::BenchmarkSpec;
+
+use crate::cache::{CacheKey, ResultCache};
+
+/// One unit of sweep work: a benchmark run under a machine configuration
+/// at some instruction window.
+#[derive(Debug, Clone)]
+pub struct MeasureItem {
+    /// The workload to stream.
+    pub spec: BenchmarkSpec,
+    /// Cache namespace: `"sync"`, `"prog"`, or `"phase"`.
+    pub mode: &'static str,
+    /// Configuration key within the namespace (stable across runs).
+    pub config_key: String,
+    /// The machine to simulate.
+    pub machine: MachineConfig,
+}
+
+impl MeasureItem {
+    /// A fully synchronous run of `cfg`.
+    ///
+    /// These constructors are the *only* place the cache-key formats
+    /// live: the offline sweeps and the `gals-serve` request expansion
+    /// both build items through them, which is what keeps their cache
+    /// namespaces shared and their results bit-identical.
+    pub fn sync(spec: BenchmarkSpec, cfg: SyncConfig) -> Self {
+        MeasureItem {
+            spec,
+            mode: "sync",
+            config_key: cfg.key(),
+            machine: MachineConfig::synchronous(cfg),
+        }
+    }
+
+    /// A program-adaptive run fixed at `cfg`.
+    pub fn program(spec: BenchmarkSpec, cfg: McdConfig) -> Self {
+        MeasureItem {
+            spec,
+            mode: "prog",
+            config_key: cfg.key(),
+            machine: MachineConfig::program_adaptive(cfg),
+        }
+    }
+
+    /// A phase-adaptive run from the base configuration under `policy`.
+    pub fn phase(spec: BenchmarkSpec, policy: ControlPolicy) -> Self {
+        MeasureItem {
+            spec,
+            mode: "phase",
+            config_key: format!("ctrl-{}", policy.key()),
+            machine: MachineConfig::phase_adaptive(McdConfig::smallest()).with_control(policy),
+        }
+    }
+
+    /// The cache key for this item at `window` instructions.
+    pub fn cache_key(&self, window: u64) -> CacheKey {
+        CacheKey::new(self.spec.name(), self.mode, &self.config_key, window)
+    }
+}
+
+/// How many freshly measured results accumulate before a worker flushes
+/// the cache file (batched persistence: an interrupted sweep loses at
+/// most one batch).
+const SAVE_BATCH: usize = 256;
+
+/// The work-stealing measurement engine over a sharded result cache.
+///
+/// All state is interior-mutable behind `&self`; see the
+/// [module docs](self) for the sharing story.
+#[derive(Debug)]
+pub struct SweepEngine {
+    threads: usize,
+    reference_loop: bool,
+    cache: ResultCache,
+    /// Simulations actually executed (cache misses), for observability.
+    simulated: AtomicU64,
+    /// Requests served straight from the cache.
+    cache_hits: AtomicU64,
+}
+
+impl SweepEngine {
+    /// Builds an engine over `cache`, sized to the available parallelism.
+    pub fn new(cache: ResultCache) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        SweepEngine {
+            threads,
+            reference_loop: false,
+            cache,
+            simulated: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Caps the worker thread count (primarily for single-thread baseline
+    /// measurements; defaults to the available parallelism).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Makes every measurement use the simulator's straightforward
+    /// reference loop instead of the event-driven fast path (results are
+    /// identical; only wall clock differs).
+    #[must_use]
+    pub fn with_reference_simulator(mut self) -> Self {
+        self.reference_loop = true;
+        self
+    }
+
+    /// The worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shared result cache.
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Simulations executed since construction (excludes cache hits).
+    pub fn simulated_count(&self) -> u64 {
+        self.simulated.load(Ordering::Relaxed)
+    }
+
+    /// Measurements served from the cache since construction.
+    pub fn cache_hit_count(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Work-stealing parallel map over `work`. Returns runtimes (ns) in
+    /// work order; [`f64::NAN`] marks an item whose simulation panicked
+    /// (callers skip-and-report those instead of losing the batch).
+    pub fn measure(&self, work: &[MeasureItem], window: u64) -> Vec<f64> {
+        self.measure_with(work, window, |_, _| {})
+    }
+
+    /// [`SweepEngine::measure`] with a streaming callback: `on_result(i,
+    /// ns)` fires exactly once per item, from whichever thread resolved
+    /// it, as soon as its value is known — cache hits during the resolve
+    /// phase, fresh measurements as workers finish them, intra-batch
+    /// duplicates when their representative completes.
+    ///
+    /// Three phases:
+    ///
+    /// 1. **Resolve** — cache hits are filled in single-threaded and
+    ///    duplicate keys inside the batch are collapsed so each distinct
+    ///    configuration is simulated exactly once.
+    /// 2. **Steal** — worker threads claim outstanding items from a
+    ///    shared atomic index (dynamic load balancing: a thread stuck on
+    ///    a slow phase-adaptive run doesn't hold up the others). Each
+    ///    worker accumulates results locally — there is no shared
+    ///    results lock — and records them in the sharded cache with
+    ///    batched persistence. A panicking simulation (e.g. a deadlocked
+    ///    model configuration) is caught and reported as NaN; the worker
+    ///    moves on to its next item.
+    /// 3. **Merge** — per-worker result lists are folded back into work
+    ///    order and duplicates copied from their representatives.
+    pub fn measure_with(
+        &self,
+        work: &[MeasureItem],
+        window: u64,
+        on_result: impl Fn(usize, f64) + Sync,
+    ) -> Vec<f64> {
+        let n = work.len();
+        let mut results = vec![0.0f64; n];
+
+        // Phase 1: resolve hits and dedupe.
+        let keys: Vec<CacheKey> = work.iter().map(|it| it.cache_key(window)).collect();
+        let mut todo: Vec<usize> = Vec::new();
+        let mut first_with_key: std::collections::HashMap<&str, usize> =
+            std::collections::HashMap::with_capacity(n);
+        let mut duplicates: Vec<(usize, usize)> = Vec::new();
+        // Representative index → its duplicates, so a worker can fire
+        // their callbacks the moment the one simulation completes
+        // (instead of stalling them behind the whole batch).
+        let mut dups_of: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for i in 0..n {
+            if let Some(ns) = self.cache.get(&keys[i]) {
+                results[i] = ns;
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                on_result(i, ns);
+            } else if let Some(&j) = first_with_key.get(keys[i].as_str()) {
+                duplicates.push((i, j));
+                dups_of.entry(j).or_default().push(i);
+            } else {
+                first_with_key.insert(keys[i].as_str(), i);
+                todo.push(i);
+            }
+        }
+
+        // Phase 2: work-stealing execution of the misses.
+        if !todo.is_empty() {
+            let next = AtomicUsize::new(0);
+            let threads = self.threads.min(todo.len()).max(1);
+            let keys = &keys;
+            let todo = &todo;
+            let next = &next;
+            let on_result = &on_result;
+            let dups_of = &dups_of;
+            let measured: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut local: Vec<(usize, f64)> = Vec::new();
+                            loop {
+                                let t = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&i) = todo.get(t) else { break };
+                                let item = &work[i];
+                                let ns = self.run_one(item, window);
+                                if ns.is_finite() {
+                                    self.cache.put(keys[i].clone(), ns);
+                                    self.cache.maybe_save_batched(SAVE_BATCH);
+                                }
+                                on_result(i, ns);
+                                if let Some(dups) = dups_of.get(&i) {
+                                    for &d in dups {
+                                        on_result(d, ns);
+                                    }
+                                }
+                                local.push((i, ns));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker closures catch panics"))
+                    .collect()
+            });
+
+            // Phase 3: merge.
+            for (i, ns) in measured.into_iter().flatten() {
+                results[i] = ns;
+            }
+        }
+        // Duplicate values (their callbacks already fired from the
+        // worker that resolved the representative).
+        for (i, j) in duplicates {
+            results[i] = results[j];
+        }
+        results
+    }
+
+    /// Runs one simulation, converting a panic (a model bug tripped by
+    /// this particular configuration, e.g. the deadlock detector) into
+    /// NaN so the rest of the batch survives.
+    fn run_one(&self, item: &MeasureItem, window: u64) -> f64 {
+        let machine = item.machine.clone();
+        let reference_loop = self.reference_loop;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut sim = Simulator::new(machine);
+            if reference_loop {
+                sim = sim.use_reference_loop();
+            }
+            sim.run(&mut item.spec.stream(), window).runtime_ns()
+        }));
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        outcome.unwrap_or(f64::NAN)
+    }
+
+    /// Persists the cache immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_cache(&self) -> std::io::Result<()> {
+        self.cache.save()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gals_core::{McdConfig, SyncConfig};
+    use gals_workloads::suite;
+    use std::sync::Mutex;
+
+    fn item(bench: &str, mode: &'static str, machine: MachineConfig, key: &str) -> MeasureItem {
+        MeasureItem {
+            spec: suite::by_name(bench).unwrap(),
+            mode,
+            config_key: key.to_string(),
+            machine,
+        }
+    }
+
+    #[test]
+    fn duplicates_simulated_once_and_streamed() {
+        let engine = SweepEngine::new(ResultCache::in_memory());
+        let sync = MachineConfig::synchronous(SyncConfig::paper_best());
+        let work = vec![
+            item("adpcm_encode", "sync", sync.clone(), "best"),
+            item("adpcm_encode", "sync", sync.clone(), "best"),
+            item("adpcm_encode", "sync", sync, "best"),
+        ];
+        let seen = Mutex::new(Vec::new());
+        let results = engine.measure_with(&work, 1_000, |i, ns| {
+            seen.lock().unwrap().push((i, ns));
+        });
+        assert_eq!(engine.simulated_count(), 1, "batch-internal dedupe");
+        assert!(results.iter().all(|&r| r == results[0] && r > 0.0));
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable_by_key(|&(i, _)| i);
+        assert_eq!(seen.len(), 3, "callback fires once per item");
+        assert!(seen.iter().all(|&(_, ns)| ns == results[0]));
+    }
+
+    #[test]
+    fn cache_hits_skip_simulation() {
+        let engine = SweepEngine::new(ResultCache::in_memory());
+        let work = vec![item(
+            "gzip",
+            "prog",
+            MachineConfig::program_adaptive(McdConfig::smallest()),
+            "small",
+        )];
+        let a = engine.measure(&work, 1_000);
+        let b = engine.measure(&work, 1_000);
+        assert_eq!(a, b);
+        assert_eq!(engine.simulated_count(), 1);
+        assert_eq!(engine.cache_hit_count(), 1);
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        let engine = std::sync::Arc::new(SweepEngine::new(ResultCache::in_memory()));
+        let sync = MachineConfig::synchronous(SyncConfig::paper_best());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = engine.clone();
+                let work = vec![item("adpcm_encode", "sync", sync.clone(), "best")];
+                std::thread::spawn(move || engine.measure(&work, 1_000)[0])
+            })
+            .collect();
+        let results: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        // Concurrent batches may race the first measurement, but a
+        // re-measured key is bit-identical (determinism), so every
+        // caller still observes the same value.
+        assert!(engine.simulated_count() >= 1);
+    }
+}

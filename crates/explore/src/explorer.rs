@@ -1,16 +1,15 @@
 //! The sweep driver.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::io;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use gals_common::stats;
 use gals_core::{ControlPolicy, MachineConfig, McdConfig, SimResult, Simulator, SyncConfig};
 use gals_workloads::BenchmarkSpec;
 
-use crate::cache::{CacheKey, ResultCache};
+use crate::cache::ResultCache;
+use crate::engine::{MeasureItem, SweepEngine};
 
 /// Errors from exploration runs.
 #[derive(Debug)]
@@ -19,6 +18,9 @@ pub enum ExploreError {
     Io(io::Error),
     /// The provided suite was empty.
     EmptySuite,
+    /// Every measurement in a sweep came back unusable (zero,
+    /// non-finite, or from a panicked run), so no ranking exists.
+    NoValidMeasurements,
 }
 
 impl fmt::Display for ExploreError {
@@ -26,6 +28,9 @@ impl fmt::Display for ExploreError {
         match self {
             ExploreError::Io(e) => write!(f, "cache i/o failed: {e}"),
             ExploreError::EmptySuite => f.write_str("benchmark suite is empty"),
+            ExploreError::NoValidMeasurements => {
+                f.write_str("no configuration produced a usable measurement")
+            }
         }
     }
 }
@@ -34,9 +39,24 @@ impl Error for ExploreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ExploreError::Io(e) => Some(e),
-            ExploreError::EmptySuite => None,
+            ExploreError::EmptySuite | ExploreError::NoValidMeasurements => None,
         }
     }
+}
+
+/// A configuration (or benchmark) excluded from a sweep's ranking, with
+/// the offending measurement that disqualified it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedConfig {
+    /// Configuration key (or benchmark name for per-benchmark skips).
+    pub key: String,
+    /// Human-readable reason (which measurement was unusable and why).
+    pub reason: String,
+}
+
+/// True when a measured runtime can participate in rankings and means.
+fn usable(ns: f64) -> bool {
+    ns.is_finite() && ns > 0.0
 }
 
 impl From<io::Error> for ExploreError {
@@ -52,8 +72,12 @@ pub struct SyncSweepOutcome {
     pub best: SyncConfig,
     /// Geometric-mean runtime (ns) of the best configuration.
     pub best_geomean_ns: f64,
-    /// Per-configuration geometric-mean runtimes, in enumeration order.
+    /// Per-configuration geometric-mean runtimes, in enumeration order
+    /// (skipped configurations excluded).
     pub geomeans_ns: Vec<(SyncConfig, f64)>,
+    /// Configurations excluded because a run produced an unusable
+    /// runtime (instead of aborting the whole sweep).
+    pub skipped: Vec<SkippedConfig>,
 }
 
 /// Per-benchmark result of the 256-configuration Program-Adaptive sweep.
@@ -73,10 +97,13 @@ pub struct ProgramChoice {
 pub struct PolicyOutcome {
     /// The control policy compared.
     pub policy: ControlPolicy,
-    /// Geometric-mean runtime (ns) across the suite.
+    /// Geometric-mean runtime (ns) across the usable benchmarks.
     pub geomean_ns: f64,
     /// Per-benchmark runtimes (ns), in suite order.
     pub per_benchmark: Vec<(String, f64)>,
+    /// Benchmarks excluded from the geomean because their run produced
+    /// an unusable runtime.
+    pub skipped: Vec<SkippedConfig>,
 }
 
 /// One Figure 6 bar pair.
@@ -107,14 +134,12 @@ impl Fig6Row {
     }
 }
 
-/// The sweep driver: windows, parallelism, and the persistent cache.
+/// The sweep driver: windows plus the shared measurement engine.
 #[derive(Debug)]
 pub struct Explorer {
     sweep_window: u64,
     final_window: u64,
-    threads: usize,
-    reference_loop: bool,
-    cache: ResultCache,
+    engine: SweepEngine,
 }
 
 impl Explorer {
@@ -150,15 +175,20 @@ impl Explorer {
     /// Builds an explorer with explicit windows and cache (tests use an
     /// in-memory cache).
     pub fn with_cache(sweep_window: u64, final_window: u64, cache: ResultCache) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
         Explorer {
             sweep_window,
             final_window,
-            threads,
-            reference_loop: false,
-            cache,
+            engine: SweepEngine::new(cache),
+        }
+    }
+
+    /// Builds an explorer around an existing engine (shares its cache
+    /// and thread settings — the `gals-serve` path).
+    pub fn with_engine(sweep_window: u64, final_window: u64, engine: SweepEngine) -> Self {
+        Explorer {
+            sweep_window,
+            final_window,
+            engine,
         }
     }
 
@@ -168,7 +198,7 @@ impl Explorer {
     /// reporter and benches can quote honest before/after sweep numbers.
     #[must_use]
     pub fn with_reference_simulator(mut self) -> Self {
-        self.reference_loop = true;
+        self.engine = self.engine.with_reference_simulator();
         self
     }
 
@@ -176,8 +206,13 @@ impl Explorer {
     /// baseline measurements; defaults to the available parallelism).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.engine = self.engine.with_threads(threads);
         self
+    }
+
+    /// The underlying measurement engine.
+    pub fn engine(&self) -> &SweepEngine {
+        &self.engine
     }
 
     /// Sweep window in instructions.
@@ -196,106 +231,16 @@ impl Explorer {
     ///
     /// Propagates filesystem errors.
     pub fn save_cache(&mut self) -> Result<(), ExploreError> {
-        self.cache.save()?;
+        self.engine.save_cache()?;
         Ok(())
     }
 
-    /// How many freshly measured results accumulate before a worker
-    /// flushes the cache file (batched persistence: an interrupted sweep
-    /// loses at most one batch).
-    const SAVE_BATCH: usize = 256;
-
-    /// Work-stealing parallel map over a list of (spec, mode, key,
-    /// machine) tuples. Results keep work-list order.
-    ///
-    /// Three phases:
-    ///
-    /// 1. **Resolve** — cache hits are filled in single-threaded (no
-    ///    locking) and duplicate keys inside the batch are collapsed so
-    ///    each distinct configuration is simulated exactly once.
-    /// 2. **Steal** — worker threads claim outstanding items from a
-    ///    shared atomic index (dynamic load balancing: a thread stuck on
-    ///    a slow phase-adaptive run doesn't hold up the others, unlike a
-    ///    static partition). Each worker accumulates results locally —
-    ///    there is no shared results lock — and records them in the
-    ///    sharded [`ResultCache`] with batched persistence.
-    /// 3. **Merge** — per-worker result lists are folded back into
-    ///    work-list order after the scope joins.
-    fn parallel_measure(
-        &mut self,
-        work: Vec<(BenchmarkSpec, &'static str, String, MachineConfig)>,
-        window: u64,
-    ) -> Vec<f64> {
-        let n = work.len();
-        let mut results = vec![0.0f64; n];
-
-        // Phase 1: resolve hits and dedupe.
-        let keys: Vec<CacheKey> = work
-            .iter()
-            .map(|(spec, mode, key, _)| CacheKey::new(spec.name(), mode, key, window))
-            .collect();
-        let mut todo: Vec<usize> = Vec::new();
-        let mut first_with_key: HashMap<&str, usize> = HashMap::with_capacity(n);
-        let mut duplicates: Vec<(usize, usize)> = Vec::new();
-        for i in 0..n {
-            if let Some(ns) = self.cache.get(&keys[i]) {
-                results[i] = ns;
-            } else if let Some(&j) = first_with_key.get(keys[i].as_str()) {
-                duplicates.push((i, j));
-            } else {
-                first_with_key.insert(keys[i].as_str(), i);
-                todo.push(i);
-            }
-        }
-
-        // Phase 2: work-stealing execution of the misses.
-        if !todo.is_empty() {
-            let next = AtomicUsize::new(0);
-            let threads = self.threads.min(todo.len()).max(1);
-            let reference_loop = self.reference_loop;
-            let work = &work;
-            let keys = &keys;
-            let todo = &todo;
-            let next = &next;
-            let cache = &self.cache;
-            let measured: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        scope.spawn(move || {
-                            let mut local: Vec<(usize, f64)> = Vec::new();
-                            loop {
-                                let t = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(&i) = todo.get(t) else { break };
-                                let (spec, _, _, machine) = &work[i];
-                                let mut sim = Simulator::new(machine.clone());
-                                if reference_loop {
-                                    sim = sim.use_reference_loop();
-                                }
-                                let result = sim.run(&mut spec.stream(), window);
-                                let ns = result.runtime_ns();
-                                cache.put(keys[i].clone(), ns);
-                                cache.maybe_save_batched(Self::SAVE_BATCH);
-                                local.push((i, ns));
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("sweep worker panicked"))
-                    .collect()
-            });
-
-            // Phase 3: merge.
-            for (i, ns) in measured.into_iter().flatten() {
-                results[i] = ns;
-            }
-        }
-        for (i, j) in duplicates {
-            results[i] = results[j];
-        }
-        results
+    /// Measures a work list through the shared [`SweepEngine`]
+    /// (work-stealing parallelism, batch-internal dedupe, sharded cache
+    /// with batched persistence). Returns runtimes in work order; NaN
+    /// marks a run that panicked.
+    fn parallel_measure(&mut self, work: Vec<MeasureItem>, window: u64) -> Vec<f64> {
+        self.engine.measure(&work, window)
     }
 
     /// The 1,024-configuration fully synchronous sweep (§4): finds the
@@ -327,33 +272,42 @@ impl Explorer {
         let mut work = Vec::with_capacity(configs.len() * suite.len());
         for cfg in &configs {
             for spec in suite {
-                work.push((
-                    spec.clone(),
-                    "sync",
-                    cfg.key(),
-                    MachineConfig::synchronous(*cfg),
-                ));
+                work.push(MeasureItem::sync(spec.clone(), *cfg));
             }
         }
         let window = self.sweep_window;
         let runtimes = self.parallel_measure(work, window);
-        self.cache.save()?;
+        self.engine.save_cache()?;
 
         let mut geomeans = Vec::with_capacity(configs.len());
+        let mut skipped = Vec::new();
         for (ci, cfg) in configs.iter().enumerate() {
             let slice = &runtimes[ci * suite.len()..(ci + 1) * suite.len()];
-            let g = stats::geomean(slice).expect("positive runtimes");
-            geomeans.push((*cfg, g));
+            // One unusable run disqualifies the configuration from the
+            // ranking (a geomean over the remainder would flatter it),
+            // but must not abort the other configurations' sweep. The
+            // explicit usable() check matters: geomean's own guard
+            // passes NaN — the engine's marker for a panicked run.
+            if slice.iter().all(|&ns| usable(ns)) {
+                let g = stats::geomean(slice).expect("all-usable slice");
+                geomeans.push((*cfg, g));
+            } else {
+                skipped.push(SkippedConfig {
+                    key: cfg.key(),
+                    reason: bad_slice_reason(suite, slice),
+                });
+            }
         }
         let (best, best_geomean_ns) = geomeans
             .iter()
             .copied()
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("non-empty config space");
+            .ok_or(ExploreError::NoValidMeasurements)?;
         Ok(SyncSweepOutcome {
             best,
             best_geomean_ns,
             geomeans_ns: geomeans,
+            skipped,
         })
     }
 
@@ -374,26 +328,24 @@ impl Explorer {
         let mut work = Vec::with_capacity(configs.len() * suite.len());
         for spec in suite {
             for cfg in &configs {
-                work.push((
-                    spec.clone(),
-                    "prog",
-                    cfg.key(),
-                    MachineConfig::program_adaptive(*cfg),
-                ));
+                work.push(MeasureItem::program(spec.clone(), *cfg));
             }
         }
         let window = self.sweep_window;
         let runtimes = self.parallel_measure(work, window);
-        self.cache.save()?;
+        self.engine.save_cache()?;
 
         let mut out = Vec::with_capacity(suite.len());
         for (bi, spec) in suite.iter().enumerate() {
             let base = bi * configs.len();
+            // Unusable runs drop out of the argmin; a benchmark with no
+            // usable run at all has no defensible choice.
             let (ci, ns) = runtimes[base..base + configs.len()]
                 .iter()
                 .enumerate()
+                .filter(|(_, ns)| usable(**ns))
                 .min_by(|a, b| a.1.total_cmp(b.1))
-                .expect("non-empty config space");
+                .ok_or(ExploreError::NoValidMeasurements)?;
             out.push(ProgramChoice {
                 benchmark: spec.name().to_string(),
                 best: configs[ci],
@@ -408,11 +360,6 @@ impl Explorer {
     pub fn phase_run(&mut self, spec: &BenchmarkSpec) -> SimResult {
         let machine = MachineConfig::phase_adaptive(McdConfig::smallest());
         Simulator::new(machine).run(&mut spec.stream(), self.final_window)
-    }
-
-    /// Cache key for a phase-adaptive run under `policy`.
-    fn phase_key(policy: ControlPolicy) -> String {
-        format!("ctrl-{}", policy.key())
     }
 
     /// The adaptation-policy comparison: runs the Phase-Adaptive machine
@@ -435,34 +382,41 @@ impl Explorer {
         let mut work = Vec::with_capacity(policies.len() * suite.len());
         for &policy in policies {
             for spec in suite {
-                work.push((
-                    spec.clone(),
-                    "phase",
-                    Self::phase_key(policy),
-                    MachineConfig::phase_adaptive(McdConfig::smallest()).with_control(policy),
-                ));
+                work.push(MeasureItem::phase(spec.clone(), policy));
             }
         }
         let window = self.sweep_window;
         let runtimes = self.parallel_measure(work, window);
-        self.cache.save()?;
+        self.engine.save_cache()?;
 
-        Ok(policies
-            .iter()
-            .enumerate()
-            .map(|(pi, &policy)| {
-                let slice = &runtimes[pi * suite.len()..(pi + 1) * suite.len()];
-                PolicyOutcome {
-                    policy,
-                    geomean_ns: stats::geomean(slice).expect("positive runtimes"),
-                    per_benchmark: suite
-                        .iter()
-                        .zip(slice)
-                        .map(|(spec, &ns)| (spec.name().to_string(), ns))
-                        .collect(),
-                }
-            })
-            .collect())
+        let mut out = Vec::with_capacity(policies.len());
+        for (pi, &policy) in policies.iter().enumerate() {
+            let slice = &runtimes[pi * suite.len()..(pi + 1) * suite.len()];
+            let valid: Vec<f64> = slice.iter().copied().filter(|&ns| usable(ns)).collect();
+            let Some(geomean_ns) = stats::geomean(&valid) else {
+                return Err(ExploreError::NoValidMeasurements);
+            };
+            let skipped = suite
+                .iter()
+                .zip(slice)
+                .filter(|(_, &ns)| !usable(ns))
+                .map(|(spec, &ns)| SkippedConfig {
+                    key: spec.name().to_string(),
+                    reason: format!("unusable runtime {ns}"),
+                })
+                .collect();
+            out.push(PolicyOutcome {
+                policy,
+                geomean_ns,
+                per_benchmark: suite
+                    .iter()
+                    .zip(slice)
+                    .map(|(spec, &ns)| (spec.name().to_string(), ns))
+                    .collect(),
+                skipped,
+            });
+        }
+        Ok(out)
     }
 
     /// The full Figure 6 pipeline: sync sweep → program sweep →
@@ -478,29 +432,20 @@ impl Explorer {
 
         let mut work = Vec::with_capacity(suite.len() * 3);
         for (spec, choice) in suite.iter().zip(&program) {
-            work.push((
-                spec.clone(),
-                "sync",
-                sync_best.key(),
-                MachineConfig::synchronous(sync_best),
-            ));
-            work.push((
-                spec.clone(),
-                "prog",
-                choice.best.key(),
-                MachineConfig::program_adaptive(choice.best),
-            ));
-            work.push((
-                spec.clone(),
-                "phase",
-                Self::phase_key(ControlPolicy::default()),
-                MachineConfig::phase_adaptive(McdConfig::smallest()),
-            ));
+            work.push(MeasureItem::sync(spec.clone(), sync_best));
+            work.push(MeasureItem::program(spec.clone(), choice.best));
+            work.push(MeasureItem::phase(spec.clone(), ControlPolicy::default()));
         }
         let window = self.final_window;
         let runtimes = self.parallel_measure(work, window);
-        self.cache.save()?;
+        self.engine.save_cache()?;
 
+        // The figure's improvement percentages divide by these numbers:
+        // an unusable run (panicked simulation) must fail loudly, not
+        // flow NaN into the artifact.
+        if !runtimes.iter().all(|&ns| usable(ns)) {
+            return Err(ExploreError::NoValidMeasurements);
+        }
         Ok(suite
             .iter()
             .zip(&program)
@@ -514,6 +459,16 @@ impl Explorer {
             })
             .collect())
     }
+}
+
+/// Names the first unusable measurement in a per-benchmark slice.
+fn bad_slice_reason(suite: &[BenchmarkSpec], slice: &[f64]) -> String {
+    suite
+        .iter()
+        .zip(slice)
+        .find(|(_, &ns)| !usable(ns))
+        .map(|(spec, &ns)| format!("{}: unusable runtime {ns}", spec.name()))
+        .unwrap_or_else(|| "unusable measurement".to_string())
 }
 
 #[cfg(test)]
@@ -582,6 +537,49 @@ mod tests {
         assert!(matches!(
             ex.policy_compare(&suite, &[]),
             Err(ExploreError::EmptySuite)
+        ));
+    }
+
+    #[test]
+    fn unusable_measurement_skips_policy_not_sweep() {
+        // A zero runtime (injected through the cache, exactly where a
+        // panicked run's absence or a corrupt entry would surface) must
+        // drop that benchmark from the policy's geomean — with a report
+        // — instead of panicking the whole comparison.
+        let cache = ResultCache::in_memory();
+        let window = 1_500;
+        cache.put(
+            crate::cache::CacheKey::new("adpcm_encode", "phase", "ctrl-argmin", window),
+            0.0,
+        );
+        let mut ex = Explorer::with_cache(window, 3_000, cache);
+        let suite = [
+            suite::by_name("adpcm_encode").unwrap(),
+            suite::by_name("gzip").unwrap(),
+        ];
+        let out = ex
+            .policy_compare(&suite, &[ControlPolicy::PaperArgmin, ControlPolicy::Static])
+            .unwrap();
+        let argmin = &out[0];
+        assert_eq!(argmin.skipped.len(), 1);
+        assert_eq!(argmin.skipped[0].key, "adpcm_encode");
+        assert!(argmin.geomean_ns > 0.0, "geomean over the usable rest");
+        assert!(out[1].skipped.is_empty());
+    }
+
+    #[test]
+    fn all_measurements_unusable_is_a_typed_error() {
+        let cache = ResultCache::in_memory();
+        let window = 1_500;
+        cache.put(
+            crate::cache::CacheKey::new("adpcm_encode", "phase", "ctrl-argmin", window),
+            f64::NAN,
+        );
+        let mut ex = Explorer::with_cache(window, 3_000, cache);
+        let suite = [suite::by_name("adpcm_encode").unwrap()];
+        assert!(matches!(
+            ex.policy_compare(&suite, &[ControlPolicy::PaperArgmin]),
+            Err(ExploreError::NoValidMeasurements)
         ));
     }
 

@@ -44,12 +44,15 @@
 
 pub mod ablation;
 mod cache;
+mod engine;
 mod explorer;
+pub mod json;
 
 pub use ablation::AblationPoint;
 pub use cache::{CacheKey, ResultCache};
+pub use engine::{MeasureItem, SweepEngine};
 pub use explorer::{
-    ExploreError, Explorer, Fig6Row, PolicyOutcome, ProgramChoice, SyncSweepOutcome,
+    ExploreError, Explorer, Fig6Row, PolicyOutcome, ProgramChoice, SkippedConfig, SyncSweepOutcome,
 };
 
 pub use gals_core::{ControlPolicy, McdConfig, SyncConfig};

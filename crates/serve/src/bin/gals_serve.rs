@@ -1,0 +1,27 @@
+//! The `gals-serve` server binary.
+//!
+//! Configuration via environment (flags would drag in an argument
+//! parser; the service is config-light by design):
+//!
+//! * `GALS_SERVE_ADDR` — bind address (default `127.0.0.1:7411`).
+//! * `GALS_SERVE_WORKERS` — sweep worker threads (default: all cores).
+//! * `GALS_SERVE_WINDOW` — default instruction window for requests that
+//!   omit one (default 10,000).
+//! * `GALS_SERVE_CACHE` — result-cache file (default
+//!   `target/gals-serve-cache.json`; set empty for in-memory only).
+
+use gals_serve::{ServeConfig, Server};
+
+fn main() -> std::io::Result<()> {
+    let mut cfg = ServeConfig::from_env();
+    if std::env::var("GALS_SERVE_ADDR").is_err() {
+        cfg.addr = "127.0.0.1:7411".to_string();
+    }
+    let server = Server::start(cfg)?;
+    println!("gals-serve listening on {}", server.local_addr());
+    // Serve until killed; the Drop impl persists the cache on the way
+    // out of a clean signal-less exit path (tests use Server::shutdown).
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,92 @@
+//! A small blocking client for the `gals-serve` wire protocol, used by
+//! the CLI, the benchmark harness, and the protocol tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{Request, Response};
+
+/// A blocking connection to a `gals-serve` server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Line-sized messages: Nagle batching only adds latency here.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw line (for malformed-input tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Sends a request without waiting for responses (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn send(&mut self, req: &Request) -> std::io::Result<()> {
+        self.send_raw(&req.to_line())
+    }
+
+    /// Reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, a closed connection, or an unparseable line.
+    pub fn read_response(&mut self) -> std::io::Result<Response> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::parse(&line).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends `req` and collects its full response stream: every result
+    /// line, terminated by the `done` / `status` / `error` line (which
+    /// is included as the last element).
+    ///
+    /// Responses for other pipelined request ids are *not* expected on
+    /// this simple collector; it assumes one request in flight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and parse errors.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Vec<Response>> {
+        self.send(req)?;
+        let mut out = Vec::new();
+        loop {
+            let resp = self.read_response()?;
+            let terminal = resp.is_terminal();
+            out.push(resp);
+            if terminal {
+                return Ok(out);
+            }
+        }
+    }
+}

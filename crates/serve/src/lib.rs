@@ -1,0 +1,52 @@
+//! `gals-serve`: a concurrent, cache-backed experiment service over the
+//! GALS-MCD sweep engine.
+//!
+//! The library-shaped [`Explorer`](gals_explore::Explorer) answers one
+//! caller at a time; this crate turns the same machinery into a
+//! long-lived multi-tenant process. Clients speak a line-delimited
+//! flat-JSON protocol ([`protocol`]) over plain TCP (`std::net`, no
+//! external dependencies): they submit configurations to measure, the
+//! server batches compatible requests from *all* connected clients into
+//! a single work-stealing sweep over the shared
+//! [`SweepEngine`](gals_explore::SweepEngine), serves repeats straight
+//! from the sharded result cache, and streams per-configuration results
+//! back as they complete.
+//!
+//! Determinism invariant: the server builds exactly the same
+//! `(benchmark, mode, config key, window)` work items as the offline
+//! sweeps, so a result served over the wire is bit-identical to the
+//! same configuration run directly through the `Explorer` — and the two
+//! share cache entries.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use gals_serve::{Client, Request, RequestKind, ServeConfig, Server};
+//!
+//! let server = Server::start(ServeConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let responses = client.request(&Request {
+//!     id: "r1".into(),
+//!     kind: RequestKind::RunConfig {
+//!         bench: "gzip".into(),
+//!         mode: "phase".into(),
+//!         cfg: None,
+//!         policy: None,
+//!         window: 2_000,
+//!     },
+//! })?;
+//! println!("{responses:?}");
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+pub mod protocol;
+mod server;
+
+pub use client::Client;
+pub use protocol::{Request, RequestKind, Response};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,463 @@
+//! The `gals-serve` wire protocol: line-delimited flat JSON over TCP.
+//!
+//! Every request and every response is one flat JSON object on one line
+//! (the codec is [`gals_explore::json`], the same hand-rolled
+//! no-dependency codec the result cache persists through). A request
+//! carries a client-chosen `id`; every response line for that request
+//! echoes it, so clients may pipeline requests and match streamed
+//! results as they arrive.
+//!
+//! Requests:
+//!
+//! | `op`             | fields                                              |
+//! |------------------|-----------------------------------------------------|
+//! | `run_config`     | `bench`, `mode` (`sync`/`prog`/`phase`), `cfg` (enumeration index, fixed modes) or `policy` (phase mode), `window` |
+//! | `sweep`          | `bench`, `mode` (`sync`/`prog`), `window` — every configuration of the space, streamed |
+//! | `policy_compare` | `bench`, `policies` (comma-separated keys), `window` |
+//! | `status`         | —                                                   |
+//!
+//! Responses: per-configuration `result` lines
+//! (`key`/`runtime_ns`/`cached`) stream back as simulations complete,
+//! then one `done` line carrying the result count; errors are a single
+//! line with an `error` field. `status` answers with counters and
+//! `done`.
+
+use gals_core::ControlPolicy;
+use gals_explore::json::{parse_flat_object, JsonValue, ObjectWriter};
+
+/// The operation a request asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestKind {
+    /// Measure one benchmark under one machine configuration.
+    RunConfig {
+        /// Benchmark name (see `gals_workloads::suite`).
+        bench: String,
+        /// Machine style: `"sync"`, `"prog"`, or `"phase"`.
+        mode: String,
+        /// Configuration index into the mode's enumeration (`sync`,
+        /// `prog`).
+        cfg: Option<usize>,
+        /// Control-policy key (`phase` mode; default `argmin`).
+        policy: Option<ControlPolicy>,
+        /// Instruction window (0 = server default).
+        window: u64,
+    },
+    /// Measure one benchmark under every configuration of a space.
+    Sweep {
+        /// Benchmark name.
+        bench: String,
+        /// `"sync"` (1,024 configurations) or `"prog"` (256).
+        mode: String,
+        /// Instruction window (0 = server default).
+        window: u64,
+    },
+    /// Measure one benchmark under each listed control policy.
+    PolicyCompare {
+        /// Benchmark name.
+        bench: String,
+        /// Policies to compare.
+        policies: Vec<ControlPolicy>,
+        /// Instruction window (0 = server default).
+        window: u64,
+    },
+    /// Server counters.
+    Status,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on every response line.
+    pub id: String,
+    /// The requested operation.
+    pub kind: RequestKind,
+}
+
+impl Request {
+    /// Parses one request line. The error string is safe to echo to the
+    /// client.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let fields =
+            parse_flat_object(line.trim()).ok_or_else(|| "malformed request json".to_string())?;
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let get_str = |key: &str| get(key).and_then(JsonValue::as_str).map(str::to_string);
+        let id = get_str("id").unwrap_or_default();
+        let op = get_str("op").ok_or_else(|| "missing op".to_string())?;
+        let window = match get("window") {
+            None => 0,
+            Some(v) => {
+                let n = v
+                    .as_num()
+                    .ok_or_else(|| "window must be a number".to_string())?;
+                if !(n.is_finite() && n >= 0.0) {
+                    return Err("window must be a non-negative number".to_string());
+                }
+                n as u64
+            }
+        };
+        let bench = |err: &str| get_str("bench").ok_or_else(|| err.to_string());
+        let kind = match op.as_str() {
+            "run_config" => {
+                let mode = get_str("mode").ok_or_else(|| "missing mode".to_string())?;
+                if !matches!(mode.as_str(), "sync" | "prog" | "phase") {
+                    return Err(format!("unknown mode {mode:?}"));
+                }
+                let cfg = match get("cfg") {
+                    None => None,
+                    Some(v) => Some(
+                        v.as_num()
+                            .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+                            .ok_or_else(|| "cfg must be a non-negative integer".to_string())?
+                            as usize,
+                    ),
+                };
+                let policy = match get_str("policy") {
+                    None => None,
+                    Some(p) => Some(p.parse::<ControlPolicy>().map_err(|e| e.to_string())?),
+                };
+                if mode != "phase" && cfg.is_none() {
+                    return Err(format!("mode {mode:?} requires cfg"));
+                }
+                RequestKind::RunConfig {
+                    bench: bench("missing bench")?,
+                    mode,
+                    cfg,
+                    policy,
+                    window,
+                }
+            }
+            "sweep" => {
+                let mode = get_str("mode").ok_or_else(|| "missing mode".to_string())?;
+                if !matches!(mode.as_str(), "sync" | "prog") {
+                    return Err(format!("sweep mode must be sync or prog, got {mode:?}"));
+                }
+                RequestKind::Sweep {
+                    bench: bench("missing bench")?,
+                    mode,
+                    window,
+                }
+            }
+            "policy_compare" => {
+                let raw = get_str("policies").unwrap_or_else(|| "argmin,static".to_string());
+                let policies = raw
+                    .split(',')
+                    .map(|p| p.trim().parse::<ControlPolicy>().map_err(|e| e.to_string()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if policies.is_empty() {
+                    return Err("empty policy list".to_string());
+                }
+                RequestKind::PolicyCompare {
+                    bench: bench("missing bench")?,
+                    policies,
+                    window,
+                }
+            }
+            "status" => RequestKind::Status,
+            other => return Err(format!("unknown op {other:?}")),
+        };
+        Ok(Request { id, kind })
+    }
+
+    /// Encodes the request as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.field_str("id", &self.id);
+        match &self.kind {
+            RequestKind::RunConfig {
+                bench,
+                mode,
+                cfg,
+                policy,
+                window,
+            } => {
+                w.field_str("op", "run_config")
+                    .field_str("bench", bench)
+                    .field_str("mode", mode);
+                if let Some(cfg) = cfg {
+                    w.field_num("cfg", *cfg as f64);
+                }
+                if let Some(policy) = policy {
+                    w.field_str("policy", &policy.key());
+                }
+                w.field_num("window", *window as f64);
+            }
+            RequestKind::Sweep {
+                bench,
+                mode,
+                window,
+            } => {
+                w.field_str("op", "sweep")
+                    .field_str("bench", bench)
+                    .field_str("mode", mode)
+                    .field_num("window", *window as f64);
+            }
+            RequestKind::PolicyCompare {
+                bench,
+                policies,
+                window,
+            } => {
+                let keys: Vec<String> = policies.iter().map(ControlPolicy::key).collect();
+                w.field_str("op", "policy_compare")
+                    .field_str("bench", bench)
+                    .field_str("policies", &keys.join(","))
+                    .field_num("window", *window as f64);
+            }
+            RequestKind::Status => {
+                w.field_str("op", "status");
+            }
+        }
+        w.finish()
+    }
+}
+
+/// One parsed response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// One configuration's measurement.
+    Result {
+        /// Echoed request id.
+        id: String,
+        /// Configuration key within the request.
+        key: String,
+        /// Measured (deterministic) runtime in nanoseconds.
+        runtime_ns: f64,
+        /// Served from the result cache without re-simulating.
+        cached: bool,
+    },
+    /// Terminal line of a successful request.
+    Done {
+        /// Echoed request id.
+        id: String,
+        /// Result lines that preceded this one.
+        results: u64,
+    },
+    /// Terminal line of a failed request.
+    Error {
+        /// Echoed request id (empty when the line wasn't parseable).
+        id: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// Status counters (`status` requests; terminal).
+    Status {
+        /// Echoed request id.
+        id: String,
+        /// Counter name/value pairs.
+        counters: Vec<(String, f64)>,
+    },
+}
+
+impl Response {
+    /// The echoed request id of any response flavor.
+    pub fn id(&self) -> &str {
+        match self {
+            Response::Result { id, .. }
+            | Response::Done { id, .. }
+            | Response::Error { id, .. }
+            | Response::Status { id, .. } => id,
+        }
+    }
+
+    /// True for the line that terminates a request's response stream.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, Response::Result { .. })
+    }
+
+    /// Parses one response line.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let fields =
+            parse_flat_object(line.trim()).ok_or_else(|| "malformed response json".to_string())?;
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let id = get("id")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_default()
+            .to_string();
+        if let Some(msg) = get("error").and_then(JsonValue::as_str) {
+            return Ok(Response::Error {
+                id,
+                message: msg.to_string(),
+            });
+        }
+        if let Some(key) = get("key").and_then(JsonValue::as_str) {
+            return Ok(Response::Result {
+                id,
+                key: key.to_string(),
+                runtime_ns: get("runtime_ns")
+                    .and_then(JsonValue::as_num)
+                    .ok_or_else(|| "result line missing runtime_ns".to_string())?,
+                cached: matches!(get("cached"), Some(JsonValue::Bool(true))),
+            });
+        }
+        if get("status").is_some() {
+            let counters = fields
+                .iter()
+                .filter_map(|(k, v)| match v {
+                    JsonValue::Num(n) if k != "status" => Some((k.clone(), *n)),
+                    _ => None,
+                })
+                .collect();
+            return Ok(Response::Status { id, counters });
+        }
+        if matches!(get("done"), Some(JsonValue::Bool(true))) {
+            return Ok(Response::Done {
+                id,
+                results: get("results").and_then(JsonValue::as_num).unwrap_or(0.0) as u64,
+            });
+        }
+        Err("unrecognized response line".to_string())
+    }
+
+    /// Encodes the response as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut w = ObjectWriter::new();
+        match self {
+            Response::Result {
+                id,
+                key,
+                runtime_ns,
+                cached,
+            } => {
+                w.field_str("id", id)
+                    .field_str("key", key)
+                    .field_num("runtime_ns", *runtime_ns)
+                    .field_bool("cached", *cached);
+            }
+            Response::Done { id, results } => {
+                w.field_str("id", id)
+                    .field_bool("done", true)
+                    .field_num("results", *results as f64);
+            }
+            Response::Error { id, message } => {
+                w.field_str("id", id).field_str("error", message);
+            }
+            Response::Status { id, counters } => {
+                w.field_str("id", id).field_num("status", 1.0);
+                for (k, v) in counters {
+                    w.field_num(k, *v);
+                }
+                w.field_bool("done", true);
+            }
+        }
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request {
+                id: "a1".into(),
+                kind: RequestKind::RunConfig {
+                    bench: "gzip".into(),
+                    mode: "phase".into(),
+                    cfg: None,
+                    policy: Some(ControlPolicy::PaperArgmin),
+                    window: 2_000,
+                },
+            },
+            Request {
+                id: "a2".into(),
+                kind: RequestKind::RunConfig {
+                    bench: "art".into(),
+                    mode: "sync".into(),
+                    cfg: Some(17),
+                    policy: None,
+                    window: 0,
+                },
+            },
+            Request {
+                id: "a3".into(),
+                kind: RequestKind::Sweep {
+                    bench: "em3d".into(),
+                    mode: "prog".into(),
+                    window: 1_000,
+                },
+            },
+            Request {
+                id: "a4".into(),
+                kind: RequestKind::PolicyCompare {
+                    bench: "apsi".into(),
+                    policies: vec![ControlPolicy::PaperArgmin, ControlPolicy::Static],
+                    window: 500,
+                },
+            },
+            Request {
+                id: "a5".into(),
+                kind: RequestKind::Status,
+            },
+        ];
+        for req in reqs {
+            let line = req.to_line();
+            assert_eq!(Request::parse(&line).expect(&line), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            r#"{"id":"x"}"#,
+            r#"{"op":"run_config","id":"x"}"#,
+            r#"{"op":"run_config","id":"x","bench":"gzip","mode":"warp"}"#,
+            r#"{"op":"run_config","id":"x","bench":"gzip","mode":"sync"}"#,
+            r#"{"op":"run_config","id":"x","bench":"gzip","mode":"sync","cfg":-1}"#,
+            r#"{"op":"run_config","id":"x","bench":"gzip","mode":"phase","policy":"nope"}"#,
+            r#"{"op":"sweep","id":"x","bench":"gzip","mode":"phase"}"#,
+            r#"{"op":"policy_compare","id":"x","bench":"gzip","policies":""}"#,
+            r#"{"op":"teleport","id":"x"}"#,
+            r#"{"op":"run_config","id":"x","bench":"gzip","mode":"sync","cfg":1,"window":"soon"}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Result {
+                id: "r".into(),
+                key: "cfg17".into(),
+                runtime_ns: 12345.678,
+                cached: true,
+            },
+            Response::Done {
+                id: "r".into(),
+                results: 256,
+            },
+            Response::Error {
+                id: String::new(),
+                message: "malformed request json".into(),
+            },
+            Response::Status {
+                id: "s".into(),
+                counters: vec![("requests".into(), 4.0), ("cache_len".into(), 99.0)],
+            },
+        ];
+        for resp in resps {
+            let line = resp.to_line();
+            assert_eq!(Response::parse(&line).expect(&line), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn terminal_flags() {
+        assert!(!Response::Result {
+            id: String::new(),
+            key: String::new(),
+            runtime_ns: 1.0,
+            cached: false
+        }
+        .is_terminal());
+        assert!(Response::Done {
+            id: String::new(),
+            results: 0
+        }
+        .is_terminal());
+    }
+}

@@ -1,0 +1,557 @@
+//! The TCP server: accept loop, per-connection readers, and the
+//! batching dispatcher that maps request streams onto the work-stealing
+//! sweep engine.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gals_core::{McdConfig, SyncConfig};
+use gals_explore::{MeasureItem, ResultCache, SweepEngine};
+use gals_workloads::suite;
+
+use crate::protocol::{Request, RequestKind, Response};
+
+/// Poll granularity for connection readers checking the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// How long one response write may block on a non-reading client before
+/// that client's connection is abandoned (see `connection_loop`).
+const WRITE_STALL_LIMIT: Duration = Duration::from_secs(10);
+
+/// Server configuration (bind address, parallelism, default window).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Sweep worker threads (0 = available parallelism).
+    pub workers: usize,
+    /// Window applied when a request passes `window: 0` or none.
+    pub default_window: u64,
+    /// Result-cache file (`None` = in-memory only).
+    pub cache_path: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            default_window: 10_000,
+            cache_path: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads `GALS_SERVE_ADDR`, `GALS_SERVE_WORKERS`,
+    /// `GALS_SERVE_WINDOW`, and `GALS_SERVE_CACHE` over the defaults.
+    /// An *unset* `GALS_SERVE_CACHE` selects the standard file
+    /// (`target/gals-serve-cache.json`); an *empty* one selects
+    /// in-memory-only operation.
+    pub fn from_env() -> Self {
+        let mut cfg = ServeConfig::default();
+        if let Ok(addr) = std::env::var("GALS_SERVE_ADDR") {
+            cfg.addr = addr;
+        }
+        if let Some(w) = std::env::var("GALS_SERVE_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            cfg.workers = w;
+        }
+        if let Some(w) = std::env::var("GALS_SERVE_WINDOW")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            cfg.default_window = w;
+        }
+        cfg.cache_path = match std::env::var("GALS_SERVE_CACHE") {
+            Ok(path) if path.is_empty() => None,
+            Ok(path) => Some(path),
+            Err(_) => Some("target/gals-serve-cache.json".to_string()),
+        };
+        cfg
+    }
+}
+
+/// One client request expanded into measurable work, plus the channel
+/// back to its connection.
+struct Job {
+    id: String,
+    items: Vec<MeasureItem>,
+    window: u64,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+enum Msg {
+    Job(Job),
+    Shutdown,
+}
+
+/// Shared server state.
+struct Inner {
+    engine: SweepEngine,
+    default_window: u64,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// The `gals-serve` server: a long-lived, multi-tenant front end over
+/// the sweep engine and its sharded result cache.
+///
+/// Concurrency model: each client connection gets a reader thread that
+/// parses request lines and submits expanded work to a single batching
+/// dispatcher. The dispatcher drains everything queued, merges
+/// same-window work from different clients into one work-stealing
+/// sweep (batch-internal duplicates are simulated exactly once), and
+/// streams per-configuration results back to each client's socket as
+/// they complete. Cache hits never re-simulate — and because the
+/// simulator is deterministic, a result served through the server is
+/// bit-identical to the same configuration run directly through
+/// [`gals_explore::Explorer`].
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    tx: Sender<Msg>,
+    accept_handle: Option<JoinHandle<()>>,
+    dispatch_handle: Option<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("default_window", &self.default_window)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds and starts serving in background threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind / cache-open I/O errors.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let cache = match &cfg.cache_path {
+            Some(path) => ResultCache::open(path)?,
+            None => ResultCache::in_memory(),
+        };
+        let mut engine = SweepEngine::new(cache);
+        if cfg.workers > 0 {
+            engine = engine.with_threads(cfg.workers);
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            engine,
+            default_window: cfg.default_window.max(1),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        });
+        let (tx, rx) = channel();
+        let dispatch_handle = {
+            let inner = inner.clone();
+            std::thread::spawn(move || dispatch_loop(&inner, &rx))
+        };
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let accept_handle = {
+            let inner = inner.clone();
+            let tx = tx.clone();
+            let conn_handles = conn_handles.clone();
+            std::thread::spawn(move || accept_loop(&listener, &inner, &tx, &conn_handles))
+        };
+        Ok(Server {
+            addr,
+            inner,
+            tx,
+            accept_handle: Some(accept_handle),
+            dispatch_handle: Some(dispatch_handle),
+            conn_handles,
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Simulations executed so far (excludes cache hits).
+    pub fn simulated_count(&self) -> u64 {
+        self.inner.engine.simulated_count()
+    }
+
+    /// Stops accepting connections, completes in-flight work (results
+    /// already submitted still stream back to their clients), persists
+    /// the cache, and joins every server thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // Connection readers poll the flag and exit; join them so no new
+        // jobs can be enqueued behind the shutdown marker.
+        let handles = std::mem::take(
+            &mut *self
+                .conn_handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(h) = self.dispatch_handle.take() {
+            let _ = h.join();
+        }
+        let _ = self.inner.engine.save_cache();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    inner: &Arc<Inner>,
+    tx: &Sender<Msg>,
+    conn_handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let inner = inner.clone();
+        let tx = tx.clone();
+        let handle = std::thread::spawn(move || connection_loop(stream, &inner, &tx));
+        let mut handles = conn_handles.lock().unwrap_or_else(PoisonError::into_inner);
+        // Reap readers whose clients hung up, so a long-lived server
+        // under connection churn doesn't accumulate handles forever.
+        handles.retain(|h: &JoinHandle<()>| !h.is_finished());
+        handles.push(handle);
+    }
+}
+
+fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) {
+    let mut guard = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = guard.write_all(line.as_bytes());
+    let _ = guard.write_all(b"\n");
+    let _ = guard.flush();
+}
+
+fn connection_loop(stream: TcpStream, inner: &Arc<Inner>, tx: &Sender<Msg>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    // Responses are single lines; send them immediately (Nagle would
+    // stall the request/response round trip by tens of milliseconds).
+    let _ = stream.set_nodelay(true);
+    // The single dispatcher thread streams results through blocking
+    // writes: a client that stops reading must not stall every other
+    // client's batch behind its full send buffer. On timeout the write
+    // fails and that client's stream is the only casualty.
+    let _ = stream.set_write_timeout(Some(WRITE_STALL_LIMIT));
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                // EOF. A partial line with no terminating newline is a
+                // truncated request: tell the peer before hanging up (it
+                // may only have shut down its write half).
+                if !line.trim().is_empty() {
+                    let resp = Response::Error {
+                        id: String::new(),
+                        message: "truncated request line".to_string(),
+                    };
+                    write_line(&writer, &resp.to_line());
+                }
+                return;
+            }
+            Ok(_) if line.ends_with('\n') => {
+                if !line.trim().is_empty() {
+                    handle_request(&line, inner, tx, &writer);
+                }
+                line.clear();
+            }
+            // Mid-line read: keep accumulating.
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_request(
+    line: &str,
+    inner: &Arc<Inner>,
+    tx: &Sender<Msg>,
+    writer: &Arc<Mutex<TcpStream>>,
+) {
+    inner.requests.fetch_add(1, Ordering::Relaxed);
+    let req = match Request::parse(line) {
+        Ok(req) => req,
+        Err(message) => {
+            write_line(
+                writer,
+                &Response::Error {
+                    id: String::new(),
+                    message,
+                }
+                .to_line(),
+            );
+            return;
+        }
+    };
+    match expand(&req.kind, inner.default_window) {
+        Ok(Expanded::Work { items, window }) => {
+            let job = Job {
+                id: req.id.clone(),
+                items,
+                window,
+                writer: writer.clone(),
+            };
+            if tx.send(Msg::Job(job)).is_err() {
+                write_line(
+                    writer,
+                    &Response::Error {
+                        id: req.id,
+                        message: "server shutting down".to_string(),
+                    }
+                    .to_line(),
+                );
+            }
+        }
+        Ok(Expanded::Status) => {
+            let engine = &inner.engine;
+            let resp = Response::Status {
+                id: req.id,
+                counters: vec![
+                    (
+                        "requests".to_string(),
+                        inner.requests.load(Ordering::Relaxed) as f64,
+                    ),
+                    (
+                        "batches".to_string(),
+                        inner.batches.load(Ordering::Relaxed) as f64,
+                    ),
+                    ("simulated".to_string(), engine.simulated_count() as f64),
+                    ("cache_hits".to_string(), engine.cache_hit_count() as f64),
+                    ("cache_len".to_string(), engine.cache().len() as f64),
+                    ("workers".to_string(), engine.threads() as f64),
+                ],
+            };
+            write_line(writer, &resp.to_line());
+        }
+        Err(message) => {
+            write_line(
+                writer,
+                &Response::Error {
+                    id: req.id,
+                    message,
+                }
+                .to_line(),
+            );
+        }
+    }
+}
+
+enum Expanded {
+    Work {
+        items: Vec<MeasureItem>,
+        window: u64,
+    },
+    Status,
+}
+
+/// Expands a request into concrete sweep work (the same
+/// (spec, mode, key, machine) tuples the `Explorer` sweeps build, so
+/// cache entries are shared between the server and offline sweeps).
+fn expand(kind: &RequestKind, default_window: u64) -> Result<Expanded, String> {
+    let lookup =
+        |name: &str| suite::by_name(name).ok_or_else(|| format!("unknown benchmark {name:?}"));
+    let eff = |w: u64| if w == 0 { default_window } else { w };
+    match kind {
+        RequestKind::Status => Ok(Expanded::Status),
+        RequestKind::RunConfig {
+            bench,
+            mode,
+            cfg,
+            policy,
+            window,
+        } => {
+            let spec = lookup(bench)?;
+            let item = match mode.as_str() {
+                "sync" => {
+                    let configs = SyncConfig::enumerate();
+                    let c = *configs
+                        .get(cfg.ok_or("missing cfg")?)
+                        .ok_or_else(|| format!("sync cfg out of range (0..{})", configs.len()))?;
+                    MeasureItem::sync(spec, c)
+                }
+                "prog" => {
+                    let configs = McdConfig::enumerate();
+                    let c = *configs
+                        .get(cfg.ok_or("missing cfg")?)
+                        .ok_or_else(|| format!("prog cfg out of range (0..{})", configs.len()))?;
+                    MeasureItem::program(spec, c)
+                }
+                "phase" => MeasureItem::phase(spec, policy.unwrap_or_default()),
+                other => return Err(format!("unknown mode {other:?}")),
+            };
+            Ok(Expanded::Work {
+                items: vec![item],
+                window: eff(*window),
+            })
+        }
+        RequestKind::Sweep {
+            bench,
+            mode,
+            window,
+        } => {
+            let spec = lookup(bench)?;
+            let items = match mode.as_str() {
+                "sync" => SyncConfig::enumerate()
+                    .into_iter()
+                    .map(|c| MeasureItem::sync(spec.clone(), c))
+                    .collect(),
+                "prog" => McdConfig::enumerate()
+                    .into_iter()
+                    .map(|c| MeasureItem::program(spec.clone(), c))
+                    .collect(),
+                other => return Err(format!("sweep mode must be sync or prog, got {other:?}")),
+            };
+            Ok(Expanded::Work {
+                items,
+                window: eff(*window),
+            })
+        }
+        RequestKind::PolicyCompare {
+            bench,
+            policies,
+            window,
+        } => {
+            let spec = lookup(bench)?;
+            let items = policies
+                .iter()
+                .map(|&policy| MeasureItem::phase(spec.clone(), policy))
+                .collect();
+            Ok(Expanded::Work {
+                items,
+                window: eff(*window),
+            })
+        }
+    }
+}
+
+/// The batching dispatcher: drains everything queued, merges same-window
+/// jobs from different clients into one work-stealing sweep, and streams
+/// results back per client as they complete.
+fn dispatch_loop(inner: &Arc<Inner>, rx: &Receiver<Msg>) {
+    loop {
+        let first = match rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => return,
+        };
+        let mut jobs = Vec::new();
+        let mut shutdown = false;
+        match first {
+            Msg::Job(j) => jobs.push(j),
+            Msg::Shutdown => shutdown = true,
+        }
+        while let Ok(msg) = rx.try_recv() {
+            match msg {
+                Msg::Job(j) => jobs.push(j),
+                Msg::Shutdown => shutdown = true,
+            }
+        }
+        if !jobs.is_empty() {
+            run_batch(inner, jobs);
+        }
+        if shutdown {
+            return;
+        }
+    }
+}
+
+fn run_batch(inner: &Arc<Inner>, jobs: Vec<Job>) {
+    inner.batches.fetch_add(1, Ordering::Relaxed);
+    // One engine call per distinct window; same-window jobs from
+    // different clients share one sweep (and batch-internal dedupe).
+    let mut windows: Vec<u64> = jobs.iter().map(|j| j.window).collect();
+    windows.sort_unstable();
+    windows.dedup();
+    for window in windows {
+        let group: Vec<&Job> = jobs.iter().filter(|j| j.window == window).collect();
+        // Flatten with provenance.
+        let mut work: Vec<MeasureItem> = Vec::new();
+        let mut origin: Vec<(usize, usize)> = Vec::new(); // (job, item-in-job)
+        for (ji, job) in group.iter().enumerate() {
+            for (ii, item) in job.items.iter().enumerate() {
+                work.push(item.clone());
+                origin.push((ji, ii));
+            }
+        }
+        // Pre-probe the cache so result lines can carry an honest
+        // `cached` flag (the engine's resolve phase will hit the same
+        // entries).
+        let cached: Vec<bool> = work
+            .iter()
+            .map(|it| inner.engine.cache().get(&it.cache_key(window)).is_some())
+            .collect();
+        let origin = &origin;
+        let cached = &cached;
+        let group = &group;
+        inner.engine.measure_with(&work, window, |gi, ns| {
+            let (ji, ii) = origin[gi];
+            let job = group[ji];
+            let resp = Response::Result {
+                id: job.id.clone(),
+                key: job.items[ii].config_key.clone(),
+                // A panicked simulation reports 0 (unusable by
+                // convention, matching the explorer's validity rule).
+                runtime_ns: if ns.is_finite() { ns } else { 0.0 },
+                cached: cached[gi],
+            };
+            write_line(&job.writer, &resp.to_line());
+        });
+        for job in group {
+            let resp = Response::Done {
+                id: job.id.clone(),
+                results: job.items.len() as u64,
+            };
+            write_line(&job.writer, &resp.to_line());
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! End-to-end tests of the `gals-serve` wire protocol and server
+//! semantics: malformed input, concurrent clients, batching/dedupe,
+//! determinism against the direct explorer path, and clean shutdown
+//! with in-flight work.
+
+use std::net::{Shutdown, TcpStream};
+
+use gals_core::{ControlPolicy, MachineConfig, McdConfig, Simulator};
+use gals_serve::{Client, Request, RequestKind, Response, ServeConfig, Server};
+use gals_workloads::suite;
+
+fn start_server() -> Server {
+    Server::start(ServeConfig::default()).expect("bind ephemeral port")
+}
+
+fn phase_request(id: &str, bench: &str, window: u64) -> Request {
+    Request {
+        id: id.to_string(),
+        kind: RequestKind::RunConfig {
+            bench: bench.to_string(),
+            mode: "phase".to_string(),
+            cfg: None,
+            policy: Some(ControlPolicy::PaperArgmin),
+            window,
+        },
+    }
+}
+
+#[test]
+fn malformed_requests_get_error_lines() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for bad in [
+        "not json at all",
+        "{\"op\":\"teleport\",\"id\":\"x\"}",
+        "{\"op\":\"run_config\",\"id\":\"x\",\"bench\":\"gzip\",\"mode\":\"sync\"}",
+        "{\"op\":\"run_config\",\"id\":\"x\",\"bench\":\"no_such_bench\",\"mode\":\"phase\"}",
+        "{\"op\":\"run_config\",\"id\":\"x\",\"bench\":\"gzip\",\"mode\":\"sync\",\"cfg\":999999}",
+    ] {
+        client.send_raw(bad).unwrap();
+        match client.read_response().unwrap() {
+            Response::Error { message, .. } => {
+                assert!(!message.is_empty(), "{bad:?} should carry a reason")
+            }
+            other => panic!("{bad:?} should produce an error line, got {other:?}"),
+        }
+    }
+    // The connection survives malformed traffic: a well-formed request
+    // still works.
+    let responses = client
+        .request(&phase_request("ok", "adpcm_encode", 500))
+        .unwrap();
+    assert!(matches!(responses.last(), Some(Response::Done { .. })));
+    server.shutdown();
+}
+
+#[test]
+fn truncated_request_line_is_reported() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let stream = TcpStream::connect(addr).unwrap();
+    use std::io::Write;
+    let mut w = stream.try_clone().unwrap();
+    w.write_all(b"{\"op\":\"run_config\",\"id\":\"t\",\"ben")
+        .unwrap();
+    w.flush().unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    use std::io::Read;
+    let mut buf = String::new();
+    let mut r = stream.try_clone().unwrap();
+    r.read_to_string(&mut buf).unwrap();
+    let resp = Response::parse(buf.trim()).unwrap();
+    match resp {
+        Response::Error { message, .. } => assert!(message.contains("truncated"), "{message}"),
+        other => panic!("expected truncation error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_share_one_simulation() {
+    let server = start_server();
+    let addr = server.local_addr();
+    const CLIENTS: usize = 10;
+    let window = 800;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let responses = client
+                    .request(&phase_request(&format!("c{c}"), "gzip", window))
+                    .unwrap();
+                assert_eq!(responses.len(), 2, "one result + done");
+                match &responses[0] {
+                    Response::Result { runtime_ns, id, .. } => {
+                        assert_eq!(id, &format!("c{c}"));
+                        *runtime_ns
+                    }
+                    other => panic!("expected result, got {other:?}"),
+                }
+            })
+        })
+        .collect();
+    let runtimes: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(
+        runtimes.windows(2).all(|w| w[0] == w[1]),
+        "all clients must see the identical deterministic runtime: {runtimes:?}"
+    );
+    // Ten clients, one distinct configuration: exactly one simulation
+    // ran; everyone else was served by batching dedupe or the cache.
+    assert_eq!(server.simulated_count(), 1);
+
+    // And the status op agrees.
+    let mut client = Client::connect(addr).unwrap();
+    let responses = client
+        .request(&Request {
+            id: "st".into(),
+            kind: RequestKind::Status,
+        })
+        .unwrap();
+    match &responses[0] {
+        Response::Status { counters, .. } => {
+            let get = |name: &str| {
+                counters
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or_else(|| panic!("missing counter {name}"))
+            };
+            assert_eq!(get("simulated"), 1.0);
+            assert!(get("requests") >= CLIENTS as f64);
+            assert!(get("workers") >= 1.0);
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn server_results_bit_identical_to_direct_runs() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let window = 1_500;
+
+    // Through the server.
+    let responses = client
+        .request(&phase_request("d1", "apsi", window))
+        .unwrap();
+    let served = match &responses[0] {
+        Response::Result { runtime_ns, .. } => *runtime_ns,
+        other => panic!("expected result, got {other:?}"),
+    };
+
+    // Directly through the simulator (what Explorer sweeps execute).
+    let spec = suite::by_name("apsi").unwrap();
+    let direct = Simulator::new(
+        MachineConfig::phase_adaptive(McdConfig::smallest())
+            .with_control(ControlPolicy::PaperArgmin),
+    )
+    .run(&mut spec.stream(), window)
+    .runtime_ns();
+
+    assert_eq!(
+        served.to_bits(),
+        direct.to_bits(),
+        "server path must be bit-identical to the direct path"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn sweep_streams_every_config_and_policy_compare_runs() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let responses = client
+        .request(&Request {
+            id: "sw".into(),
+            kind: RequestKind::Sweep {
+                bench: "adpcm_encode".into(),
+                mode: "prog".into(),
+                window: 200,
+            },
+        })
+        .unwrap();
+    assert_eq!(responses.len(), 257, "256 results + done");
+    assert!(matches!(
+        responses.last(),
+        Some(Response::Done { results: 256, .. })
+    ));
+    let mut keys: Vec<&str> = responses
+        .iter()
+        .filter_map(|r| match r {
+            Response::Result { key, .. } => Some(key.as_str()),
+            _ => None,
+        })
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), 256, "every configuration exactly once");
+
+    let responses = client
+        .request(&Request {
+            id: "pc".into(),
+            kind: RequestKind::PolicyCompare {
+                bench: "adpcm_encode".into(),
+                policies: vec![ControlPolicy::PaperArgmin, ControlPolicy::Static],
+                window: 200,
+            },
+        })
+        .unwrap();
+    assert_eq!(responses.len(), 3, "two results + done");
+    server.shutdown();
+}
+
+#[test]
+fn repeat_requests_are_served_from_cache() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let req = phase_request("r1", "art", 600);
+    let first = client.request(&req).unwrap();
+    let again = client.request(&phase_request("r2", "art", 600)).unwrap();
+    let (a, cached_a) = match &first[0] {
+        Response::Result {
+            runtime_ns, cached, ..
+        } => (*runtime_ns, *cached),
+        other => panic!("{other:?}"),
+    };
+    let (b, cached_b) = match &again[0] {
+        Response::Result {
+            runtime_ns, cached, ..
+        } => (*runtime_ns, *cached),
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(a, b);
+    assert!(!cached_a, "first request simulates");
+    assert!(cached_b, "repeat is a cache hit");
+    assert_eq!(server.simulated_count(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn clean_shutdown_completes_in_flight_work() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // A whole program-adaptive sweep is in flight when shutdown begins.
+    client
+        .send(&Request {
+            id: "inflight".into(),
+            kind: RequestKind::Sweep {
+                bench: "gzip".into(),
+                mode: "prog".into(),
+                window: 150,
+            },
+        })
+        .unwrap();
+    // Wait for the batch to start streaming, then shut down mid-stream.
+    let first = client.read_response().unwrap();
+    assert!(matches!(first, Response::Result { .. }));
+    let shutdown_handle = std::thread::spawn(move || server.shutdown());
+    let mut results = 1u64;
+    loop {
+        match client.read_response().unwrap() {
+            Response::Result { .. } => results += 1,
+            Response::Done { results: n, .. } => {
+                assert_eq!(n, 256);
+                break;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(results, 256, "every in-flight result was delivered");
+    shutdown_handle.join().unwrap();
+}
