@@ -1,10 +1,17 @@
-//! `gals-serve` batching benchmark: drives a mixed request stream from
-//! many concurrent clients against an in-process server and compares it
+//! `gals-serve` scheduler benchmark: drives a heterogeneous request
+//! stream — mixed windows, machine styles, policies — from many
+//! concurrent clients against an in-process server and compares it
 //! with the same stream executed as independent `Explorer`-style
 //! invocations (a fresh engine and a cold private cache per request —
 //! what N scripts calling the library would do). Also asserts the
 //! determinism invariant: every served runtime is bit-identical to the
-//! same configuration run directly through the simulator.
+//! same configuration run directly through the simulator, regardless
+//! of scheduling order.
+//!
+//! A second phase saturates a one-worker server with a mixed-priority
+//! stream and measures per-request latency: the scheduler must give
+//! high-priority requests a lower median latency than the low-priority
+//! backlog they overtake.
 //!
 //! Writes `BENCH_serve.json`. Knobs: `GALS_SERVE_BENCH_WINDOW`
 //! (instructions per run, default 3,000), `GALS_SERVE_BENCH_CLIENTS`
@@ -15,7 +22,7 @@ use std::time::Instant;
 
 use gals_core::{ControlPolicy, McdConfig, Simulator, SyncConfig};
 use gals_explore::{MeasureItem, ResultCache, SweepEngine};
-use gals_serve::{Client, Request, RequestKind, Response, ServeConfig, Server};
+use gals_serve::{Client, Priority, Request, RequestKind, Response, ServeConfig, Server};
 use gals_workloads::suite;
 
 /// One logical unit of the mixed stream, in both its wire form and its
@@ -26,6 +33,20 @@ struct Unit {
     item: MeasureItem,
 }
 
+impl Unit {
+    /// The unit's instruction window — single source of truth is the
+    /// wire request, so the direct (library) comparison runs can never
+    /// drift to a different window than the served ones.
+    fn window(&self) -> u64 {
+        match &self.kind {
+            RequestKind::RunConfig { window, .. }
+            | RequestKind::Sweep { window, .. }
+            | RequestKind::PolicyCompare { window, .. } => *window,
+            RequestKind::Status => unreachable!("the pool holds only measurement requests"),
+        }
+    }
+}
+
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
@@ -33,23 +54,47 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-/// A pool of distinct work units mixing machine styles, benchmarks, and
-/// policies — the "mixed request stream" clients draw from (with heavy
-/// overlap, which is what the batching layer exists to exploit).
+fn median(sorted: &mut [f64]) -> f64 {
+    sorted.sort_by(f64::total_cmp);
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    sorted[sorted.len() / 2]
+}
+
+/// A pool of distinct work units mixing machine styles, benchmarks,
+/// policies, *and windows* — the heterogeneous stream the shared
+/// scheduler executes in one pass (with heavy overlap across clients,
+/// which is what in-flight dedupe and the cache exist to exploit).
 fn unit_pool(window: u64) -> Vec<Unit> {
     let benches = ["adpcm_encode", "gzip", "apsi", "crafty", "art"];
     let mut units = Vec::new();
     for (bi, bench) in benches.iter().enumerate() {
         let spec = suite::by_name(bench).expect("benchmark in suite");
+        // Alternate two windows across the pool so no two-request
+        // group is window-homogeneous.
+        // (`max(1)` keeps a tiny smoke window from becoming 0, which
+        // on the wire means "server default" and would diverge from
+        // the direct run.)
+        let w = |salt: usize| {
+            if (bi + salt).is_multiple_of(2) {
+                window
+            } else {
+                (window / 2).max(1)
+            }
+        };
         // Phase-adaptive under two policies.
-        for policy in [ControlPolicy::PaperArgmin, ControlPolicy::Static] {
+        for (pi, policy) in [ControlPolicy::PaperArgmin, ControlPolicy::Static]
+            .into_iter()
+            .enumerate()
+        {
             units.push(Unit {
                 kind: RequestKind::RunConfig {
                     bench: bench.to_string(),
                     mode: "phase".to_string(),
                     cfg: None,
                     policy: Some(policy),
-                    window,
+                    window: w(pi),
                 },
                 item: MeasureItem::phase(spec.clone(), policy),
             });
@@ -64,7 +109,7 @@ fn unit_pool(window: u64) -> Vec<Unit> {
                 mode: "prog".to_string(),
                 cfg: Some(prog_idx),
                 policy: None,
-                window,
+                window: w(2),
             },
             item: MeasureItem::program(spec.clone(), prog_cfgs[prog_idx]),
         });
@@ -76,7 +121,7 @@ fn unit_pool(window: u64) -> Vec<Unit> {
                 mode: "sync".to_string(),
                 cfg: Some(sync_idx),
                 policy: None,
-                window,
+                window: w(3),
             },
             item: MeasureItem::sync(spec.clone(), sync_cfgs[sync_idx]),
         });
@@ -84,12 +129,11 @@ fn unit_pool(window: u64) -> Vec<Unit> {
     units
 }
 
-fn main() {
-    let window = env_u64("GALS_SERVE_BENCH_WINDOW", 3_000);
-    let clients = env_u64("GALS_SERVE_BENCH_CLIENTS", 8) as usize;
-    let out_path =
-        std::env::var("GALS_SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
-
+/// Phase A: the mixed-window stream through the shared scheduler vs
+/// independent library invocations, plus the bit-identity check.
+/// Returns `(serve_ms, independent_ms, simulated, total_requests,
+/// distinct)`.
+fn batching_phase(window: u64, clients: usize) -> (f64, f64, u64, usize, usize) {
     let pool = unit_pool(window);
     // Each client walks the pool from a different offset: every unit is
     // requested by several clients (the multi-tenant overlap case).
@@ -103,7 +147,7 @@ fn main() {
         .collect();
     let total_requests = clients * per_client;
 
-    // --- Batched, through the server. --------------------------------
+    // --- Batched, through the server's shared scheduler. -------------
     let server = Server::start(ServeConfig::default()).expect("start server");
     let addr = server.local_addr();
     let t0 = Instant::now();
@@ -117,13 +161,10 @@ fn main() {
                     let mut results = Vec::new();
                     for (j, unit) in stream.iter().enumerate() {
                         let responses = client
-                            .request(&Request {
-                                id: format!("c{c}-{j}"),
-                                kind: unit.kind.clone(),
-                            })
+                            .request(&Request::new(format!("c{c}-{j}"), unit.kind.clone()))
                             .expect("request");
                         for resp in responses {
-                            if let Response::Result {
+                            if let Response::Partial {
                                 key, runtime_ns, ..
                             } = resp
                             {
@@ -143,23 +184,22 @@ fn main() {
 
     // --- The same stream as independent library invocations. ---------
     let t1 = Instant::now();
-    let mut independent: Vec<f64> = Vec::with_capacity(total_requests);
     for stream in &streams {
         for unit in stream {
             // A fresh engine with a cold private cache per request:
             // nothing shared, nothing batched.
             let engine = SweepEngine::new(ResultCache::in_memory());
-            let ns = engine.measure(std::slice::from_ref(&unit.item), window)[0];
-            independent.push(ns);
+            let ns = engine.measure(std::slice::from_ref(&unit.item), unit.window())[0];
+            assert!(ns > 0.0);
         }
     }
     let independent_ms = t1.elapsed().as_secs_f64() * 1e3;
 
-    // --- Determinism: served ≡ direct. -------------------------------
+    // --- Determinism: served ≡ direct, any scheduling order. ---------
     let mut checked = 0usize;
     for unit in &pool {
         let direct = Simulator::new(unit.item.machine.clone())
-            .run(&mut unit.item.spec.stream(), window)
+            .run(&mut unit.item.spec.stream(), unit.window())
             .runtime_ns();
         // Compare against every served occurrence of this unit.
         let spec_name = unit.item.spec.name();
@@ -168,6 +208,7 @@ fn main() {
                 if u.item.config_key == unit.item.config_key
                     && u.item.spec.name() == spec_name
                     && u.item.mode == unit.item.mode
+                    && u.window() == unit.window()
                 {
                     let (_, ns) = &served[c][j];
                     assert_eq!(
@@ -182,34 +223,150 @@ fn main() {
         }
     }
     assert!(checked >= total_requests, "every request verified");
+    (
+        serve_ms,
+        independent_ms,
+        simulated,
+        total_requests,
+        pool.len(),
+    )
+}
 
+/// Phase B: saturate a one-worker server with a mixed-priority stream
+/// and measure per-request latency (send → `done`). Returns
+/// `(high_median_ms, low_median_ms)`.
+fn priority_phase(window: u64, clients: usize) -> (f64, f64) {
+    const LOW_PER_CLIENT: usize = 10;
+    const HIGH_PER_CLIENT: usize = 3;
+    // One worker guarantees a saturated queue on any host, which is
+    // the regime priorities exist for.
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = server.local_addr();
+    let lat: Vec<(Vec<f64>, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    // Distinct config per request, disjoint across
+                    // clients (modulo the 256-config space): no dedupe
+                    // blurs the latency signal at default fleet sizes.
+                    let cfg = |j: usize| (c * (LOW_PER_CLIENT + HIGH_PER_CLIENT) + j) % 256;
+                    let t0 = Instant::now();
+                    let mut sent: Vec<(String, Priority, f64)> = Vec::new();
+                    // Pipeline the low backlog with highs interleaved
+                    // partway through, before reading anything.
+                    let mut hi = 0;
+                    for j in 0..LOW_PER_CLIENT {
+                        let mut req = Request::new(
+                            format!("c{c}-low{j}"),
+                            RequestKind::RunConfig {
+                                bench: "gzip".into(),
+                                mode: "prog".into(),
+                                cfg: Some(cfg(j)),
+                                policy: None,
+                                window,
+                            },
+                        );
+                        req.priority = Priority::Low;
+                        client.send(&req).expect("send");
+                        sent.push((req.id, Priority::Low, t0.elapsed().as_secs_f64()));
+                        if j % 3 == 2 && hi < HIGH_PER_CLIENT {
+                            let mut req = Request::new(
+                                format!("c{c}-high{hi}"),
+                                RequestKind::RunConfig {
+                                    bench: "gzip".into(),
+                                    mode: "prog".into(),
+                                    cfg: Some(cfg(LOW_PER_CLIENT + hi)),
+                                    policy: None,
+                                    window,
+                                },
+                            );
+                            req.priority = Priority::High;
+                            client.send(&req).expect("send");
+                            sent.push((req.id, Priority::High, t0.elapsed().as_secs_f64()));
+                            hi += 1;
+                        }
+                    }
+                    // Read until every request's done frame arrived.
+                    let mut highs = Vec::new();
+                    let mut lows = Vec::new();
+                    while highs.len() + lows.len() < sent.len() {
+                        let resp = client.read_response().expect("read");
+                        if let Response::Error { message, .. } = &resp {
+                            panic!("server error: {message}");
+                        }
+                        if let Response::Done { .. } = &resp {
+                            let at = t0.elapsed().as_secs_f64();
+                            let (_, prio, sent_at) = sent
+                                .iter()
+                                .find(|(id, _, _)| id == resp.id())
+                                .expect("done for a sent request");
+                            let ms = (at - sent_at) * 1e3;
+                            match prio {
+                                Priority::High => highs.push(ms),
+                                _ => lows.push(ms),
+                            }
+                        }
+                    }
+                    (highs, lows)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    server.shutdown();
+    let mut highs: Vec<f64> = lat.iter().flat_map(|(h, _)| h.iter().copied()).collect();
+    let mut lows: Vec<f64> = lat.iter().flat_map(|(_, l)| l.iter().copied()).collect();
+    (median(&mut highs), median(&mut lows))
+}
+
+fn main() {
+    let window = env_u64("GALS_SERVE_BENCH_WINDOW", 3_000);
+    let clients = env_u64("GALS_SERVE_BENCH_CLIENTS", 8) as usize;
+    let out_path =
+        std::env::var("GALS_SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+
+    let (serve_ms, independent_ms, simulated, total_requests, distinct) =
+        batching_phase(window, clients);
     let speedup = independent_ms / serve_ms;
-    println!("gals-serve batching benchmark");
+    let (high_ms, low_ms) = priority_phase(window, clients);
+
+    println!("gals-serve scheduler benchmark");
     println!("  clients            {clients}");
-    println!(
-        "  requests           {total_requests} ({} distinct configs)",
-        pool.len()
-    );
-    println!("  window             {window} insts");
+    println!("  requests           {total_requests} ({distinct} distinct configs, 2 windows)");
+    println!("  window             {window} insts (and {})", window / 2);
     println!("  simulations run    {simulated}");
     println!("  batched (server)   {serve_ms:.1} ms");
     println!("  independent        {independent_ms:.1} ms");
     println!("  speedup            {speedup:.2}x");
+    println!("  high-pri median    {high_ms:.1} ms (saturated, 1 worker)");
+    println!("  low-pri median     {low_ms:.1} ms");
     assert!(
         speedup > 1.0,
-        "the batched server must beat independent invocations"
+        "the shared scheduler must beat independent invocations"
+    );
+    assert!(
+        high_ms < low_ms,
+        "under saturation, high priority must see lower median latency \
+         ({high_ms:.1} ms vs {low_ms:.1} ms)"
     );
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"gals-mcd-serve-bench-v1\",\n");
+    json.push_str("{\n  \"schema\": \"gals-mcd-serve-bench-v2\",\n");
     let _ = writeln!(json, "  \"window\": {window},");
     let _ = writeln!(json, "  \"clients\": {clients},");
     let _ = writeln!(json, "  \"requests\": {total_requests},");
-    let _ = writeln!(json, "  \"distinct_configs\": {},", pool.len());
+    let _ = writeln!(json, "  \"distinct_configs\": {distinct},");
     let _ = writeln!(json, "  \"simulations_run\": {simulated},");
     let _ = writeln!(json, "  \"batched_ms\": {serve_ms:.1},");
     let _ = writeln!(json, "  \"independent_ms\": {independent_ms:.1},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.2},");
+    let _ = writeln!(json, "  \"high_priority_median_ms\": {high_ms:.1},");
+    let _ = writeln!(json, "  \"low_priority_median_ms\": {low_ms:.1},");
     json.push_str("  \"bit_identical_to_direct\": true\n}\n");
     std::fs::write(&out_path, json).expect("write artifact");
     println!("  wrote {out_path}");

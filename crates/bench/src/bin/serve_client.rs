@@ -3,17 +3,23 @@
 //! ```text
 //! serve_client --addr 127.0.0.1:7411 --op run_config --bench gzip \
 //!     --mode phase --policy argmin --window 2000
-//! serve_client --addr 127.0.0.1:7411 --op sweep --bench art --mode prog
+//! serve_client --addr 127.0.0.1:7411 --op sweep --bench art --mode prog \
+//!     --priority low --window 5000
+//! serve_client --addr 127.0.0.1:7411 --op run_config --bench art \
+//!     --mode prog --cfg 17 --priority high --deadline-ms 250
 //! serve_client --addr 127.0.0.1:7411 --op status
 //! ```
 //!
-//! Prints one response line per streamed result (tab-separated key /
-//! runtime / cache flag) and exits non-zero on protocol errors.
+//! Per-request scheduling flags (`--priority low|normal|high`,
+//! `--deadline-ms N`, `--window N`) let mixed streams be driven by
+//! hand against one server. Prints one line per streamed frame
+//! (tab-separated key / runtime / cache flag, or `key\texpired`) and
+//! exits non-zero on protocol errors.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use gals_serve::{Client, Request, RequestKind, Response};
+use gals_serve::{Client, Priority, Request, RequestKind, Response};
 
 fn parse_args() -> Result<(String, Request), String> {
     let mut flags: HashMap<String, String> = HashMap::new();
@@ -37,6 +43,17 @@ fn parse_args() -> Result<(String, Request), String> {
         Some(w) => w
             .parse::<u64>()
             .map_err(|_| "--window must be an integer")?,
+    };
+    let priority = match flags.remove("priority") {
+        None => Priority::Normal,
+        Some(p) => p.parse::<Priority>()?,
+    };
+    let deadline_ms = match flags.remove("deadline-ms") {
+        None => None,
+        Some(d) => Some(
+            d.parse::<u64>()
+                .map_err(|_| "--deadline-ms must be an integer")?,
+        ),
     };
     let bench = |flags: &mut HashMap<String, String>| {
         flags.remove("bench").ok_or("missing --bench".to_string())
@@ -76,7 +93,15 @@ fn parse_args() -> Result<(String, Request), String> {
     if let Some(stray) = flags.keys().next() {
         return Err(format!("unknown flag --{stray}"));
     }
-    Ok((addr, Request { id, kind }))
+    Ok((
+        addr,
+        Request {
+            id,
+            priority,
+            deadline_ms,
+            kind,
+        },
+    ))
 }
 
 fn main() -> ExitCode {
@@ -103,7 +128,7 @@ fn main() -> ExitCode {
     };
     for resp in &responses {
         match resp {
-            Response::Result {
+            Response::Partial {
                 key,
                 runtime_ns,
                 cached,
@@ -112,7 +137,10 @@ fn main() -> ExitCode {
                 "{key}\t{runtime_ns:.3}\t{}",
                 if *cached { "cached" } else { "simulated" }
             ),
-            Response::Done { results, .. } => println!("done\t{results} results"),
+            Response::Expired { key, .. } => println!("{key}\texpired"),
+            Response::Done {
+                results, expired, ..
+            } => println!("done\t{results} results\t{expired} expired"),
             Response::Status { counters, .. } => {
                 for (k, v) in counters {
                     println!("{k}\t{v}");

@@ -13,8 +13,12 @@
 //! headroom (or slack) the paper's choice left.
 
 use gals_common::{stats, Femtos};
-use gals_core::{ControlPolicy, MachineConfig, McdConfig, Simulator};
+use gals_core::{ControlPolicy, MachineConfig, McdConfig};
 use gals_workloads::BenchmarkSpec;
+
+use crate::cache::ResultCache;
+use crate::engine::{MeasureItem, SweepEngine};
+use crate::sched::Job;
 
 /// One ablation data point.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,16 +33,55 @@ fn phase_machine() -> MachineConfig {
     MachineConfig::phase_adaptive(McdConfig::smallest())
 }
 
-fn geomean_runtime(machine: &MachineConfig, suite: &[BenchmarkSpec], window: u64) -> f64 {
-    let runtimes: Vec<f64> = suite
-        .iter()
-        .map(|spec| {
-            Simulator::new(machine.clone())
-                .run(&mut spec.stream(), window)
+/// Runs every `(setting, machine)` × benchmark combination as one job
+/// batch through a private [`SweepEngine`] (all settings' runs share
+/// one priority queue, so they parallelize together instead of
+/// serializing per setting) and folds each setting's slice into a
+/// geomean point. The `"ablate"` cache namespace keeps these
+/// perturbed-parameter machines out of the shared sweep namespaces;
+/// the cache itself is in-memory and private to the call.
+fn sweep_points(
+    settings: &[(String, MachineConfig)],
+    suite: &[BenchmarkSpec],
+    window: u64,
+) -> Vec<AblationPoint> {
+    let engine = SweepEngine::new(ResultCache::in_memory());
+    let mut jobs = Vec::with_capacity(settings.len() * suite.len());
+    for (si, (key, machine)) in settings.iter().enumerate() {
+        for spec in suite {
+            // The setting index keeps the measurement identity unique
+            // even when two settings' display labels format identically
+            // (the label is cosmetic; the key is what the engine
+            // dedupes and caches on).
+            jobs.push(Job::new(
+                MeasureItem::custom(
+                    spec.clone(),
+                    "ablate",
+                    format!("s{si}:{key}"),
+                    machine.clone(),
+                ),
+                window,
+            ));
+        }
+    }
+    let runtimes: Vec<f64> = engine
+        .run_jobs(jobs, |_, _| {})
+        .into_iter()
+        .map(|outcome| {
+            outcome
                 .runtime_ns()
+                .expect("ablation machines simulate without panicking")
         })
         .collect();
-    stats::geomean(&runtimes).expect("positive runtimes")
+    settings
+        .iter()
+        .enumerate()
+        .map(|(si, (key, _))| AblationPoint {
+            setting: key.clone(),
+            geomean_ns: stats::geomean(&runtimes[si * suite.len()..(si + 1) * suite.len()])
+                .expect("positive runtimes"),
+        })
+        .collect()
 }
 
 /// Sweeps the controller interval (paper: 15K committed instructions).
@@ -50,17 +93,15 @@ pub fn interval_sweep(
     window: u64,
     intervals: &[u64],
 ) -> Vec<AblationPoint> {
-    intervals
+    let settings: Vec<(String, MachineConfig)> = intervals
         .iter()
         .map(|&interval| {
             let mut m = phase_machine();
             m.params.interval_insts = interval;
-            AblationPoint {
-                setting: format!("{interval} insts"),
-                geomean_ns: geomean_runtime(&m, suite, window),
-            }
+            (format!("{interval} insts"), m)
         })
-        .collect()
+        .collect();
+    sweep_points(&settings, suite, window)
 }
 
 /// Sweeps the synchronization setup window (paper: 30% of the faster
@@ -70,50 +111,46 @@ pub fn sync_window_sweep(
     window: u64,
     fracs: &[f64],
 ) -> Vec<AblationPoint> {
-    fracs
+    let settings: Vec<(String, MachineConfig)> = fracs
         .iter()
         .map(|&frac| {
             let mut m = phase_machine();
             m.params.sync_threshold_frac = frac;
-            AblationPoint {
-                setting: format!("{:.0}%", frac * 100.0),
-                geomean_ns: geomean_runtime(&m, suite, window),
-            }
+            (format!("{:.0}%", frac * 100.0), m)
         })
-        .collect()
+        .collect();
+    sweep_points(&settings, suite, window)
 }
 
 /// Sweeps the clock jitter amplitude (the MCD papers assume small
 /// cycle-to-cycle jitter; this quantifies the model's sensitivity).
 pub fn jitter_sweep(suite: &[BenchmarkSpec], window: u64, fracs: &[f64]) -> Vec<AblationPoint> {
-    fracs
+    let settings: Vec<(String, MachineConfig)> = fracs
         .iter()
         .map(|&frac| {
             let mut m = phase_machine();
             m.params.jitter_frac = frac;
-            AblationPoint {
-                setting: format!("{:.1}%", frac * 100.0),
-                geomean_ns: geomean_runtime(&m, suite, window),
-            }
+            (format!("{:.1}%", frac * 100.0), m)
         })
-        .collect()
+        .collect();
+    sweep_points(&settings, suite, window)
 }
 
 /// Compares mispredict-penalty settings: the adaptive machine's 10+9
 /// versus the synchronous machine's 9+7 (quantifies the §2
 /// "over-pipelining" handicap on the adaptive side).
 pub fn penalty_study(suite: &[BenchmarkSpec], window: u64) -> Vec<AblationPoint> {
-    let mut points = Vec::new();
-    for (label, fe, int) in [("adaptive 10+9 (paper)", 10, 9), ("sync-style 9+7", 9, 7)] {
-        let mut m = phase_machine();
-        m.params.mispredict_fe_cycles = fe;
-        m.params.mispredict_int_cycles = int;
-        points.push(AblationPoint {
-            setting: label.to_string(),
-            geomean_ns: geomean_runtime(&m, suite, window),
-        });
-    }
-    points
+    let settings: Vec<(String, MachineConfig)> =
+        [("adaptive 10+9 (paper)", 10, 9), ("sync-style 9+7", 9, 7)]
+            .into_iter()
+            .map(|(label, fe, int)| {
+                let mut m = phase_machine();
+                m.params.mispredict_fe_cycles = fe;
+                m.params.mispredict_int_cycles = int;
+                (label.to_string(), m)
+            })
+            .collect();
+    sweep_points(&settings, suite, window)
 }
 
 /// Sweeps the adaptation-control policy (paper: the §3 argmin
@@ -125,33 +162,26 @@ pub fn policy_sweep(
     window: u64,
     policies: &[ControlPolicy],
 ) -> Vec<AblationPoint> {
-    policies
+    let settings: Vec<(String, MachineConfig)> = policies
         .iter()
-        .map(|&policy| {
-            let m = phase_machine().with_control(policy);
-            AblationPoint {
-                setting: policy.to_string(),
-                geomean_ns: geomean_runtime(&m, suite, window),
-            }
-        })
-        .collect()
+        .map(|&policy| (policy.to_string(), phase_machine().with_control(policy)))
+        .collect();
+    sweep_points(&settings, suite, window)
 }
 
 /// Scales the PLL lock time (paper: mean 15 µs, range 10–20 µs at 1.0).
 /// Slow PLLs delay every reconfiguration; near-instant PLLs measure the
 /// controllers' decision quality in isolation.
 pub fn pll_sweep(suite: &[BenchmarkSpec], window: u64, scales: &[f64]) -> Vec<AblationPoint> {
-    scales
+    let settings: Vec<(String, MachineConfig)> = scales
         .iter()
         .map(|&scale| {
             let mut m = phase_machine();
             m.params.pll_scale = scale;
-            AblationPoint {
-                setting: format!("{scale:.2}x"),
-                geomean_ns: geomean_runtime(&m, suite, window),
-            }
+            (format!("{scale:.2}x"), m)
         })
-        .collect()
+        .collect();
+    sweep_points(&settings, suite, window)
 }
 
 /// Femtosecond view of the default memory latency, exposed for ablation

@@ -1,20 +1,24 @@
-//! The reentrant work-stealing sweep engine.
+//! The reentrant job-driven sweep engine.
 //!
 //! [`SweepEngine`] is the measurement core shared by the batch-oriented
 //! [`Explorer`](crate::Explorer) and the long-lived `gals-serve`
 //! process: every method takes `&self`, so one engine (and its sharded
 //! [`ResultCache`]) can be wrapped in an `Arc` and driven by many
-//! threads concurrently. Results stream back through a callback as they
-//! complete, which is what lets a server push per-configuration
-//! responses to clients while the rest of a batch is still running.
+//! threads concurrently. Work arrives as typed [`Job`]s pulled from a
+//! [`JobScheduler`] — priority-ordered, deadline-aware, deduplicated
+//! in flight — and each job's completion fires as soon as its value is
+//! known, which is what lets a server stream per-job responses to
+//! clients while the rest of the queue is still running.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use gals_core::{ControlPolicy, MachineConfig, McdConfig, Simulator, SyncConfig};
 use gals_workloads::BenchmarkSpec;
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::sched::{Claim, Job, JobOutcome, JobScheduler};
 
 /// One unit of sweep work: a benchmark run under a machine configuration
 /// at some instruction window.
@@ -66,6 +70,26 @@ impl MeasureItem {
         }
     }
 
+    /// An item with an explicit machine and cache namespace — the
+    /// escape hatch for measurements outside the three standard spaces
+    /// (the ablation studies perturb `CoreParams` directly). Callers
+    /// own key uniqueness within `mode`; pick a `mode` distinct from
+    /// `"sync"`/`"prog"`/`"phase"` so custom results never collide with
+    /// the shared sweep namespaces.
+    pub fn custom(
+        spec: BenchmarkSpec,
+        mode: &'static str,
+        config_key: String,
+        machine: MachineConfig,
+    ) -> Self {
+        MeasureItem {
+            spec,
+            mode,
+            config_key,
+            machine,
+        }
+    }
+
     /// The cache key for this item at `window` instructions.
     pub fn cache_key(&self, window: u64) -> CacheKey {
         CacheKey::new(self.spec.name(), self.mode, &self.config_key, window)
@@ -90,6 +114,12 @@ pub struct SweepEngine {
     simulated: AtomicU64,
     /// Requests served straight from the cache.
     cache_hits: AtomicU64,
+    /// Cache keys whose simulation panicked. Panics are model bugs and
+    /// deterministic, so re-running the key would just burn a worker to
+    /// reach the same panic — later jobs for these keys resolve
+    /// [`JobOutcome::Panicked`] immediately. (The result cache can't
+    /// hold this: it persists finite runtimes only.)
+    panicked: std::sync::Mutex<std::collections::HashSet<String>>,
 }
 
 impl SweepEngine {
@@ -104,6 +134,7 @@ impl SweepEngine {
             cache,
             simulated: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            panicked: std::sync::Mutex::new(std::collections::HashSet::new()),
         }
     }
 
@@ -144,120 +175,233 @@ impl SweepEngine {
         self.cache_hits.load(Ordering::Relaxed)
     }
 
-    /// Work-stealing parallel map over `work`. Returns runtimes (ns) in
-    /// work order; [`f64::NAN`] marks an item whose simulation panicked
-    /// (callers skip-and-report those instead of losing the batch).
+    /// Parallel map over `work` at one window and normal priority (the
+    /// homogeneous-batch convenience over [`SweepEngine::run_jobs`]).
+    /// Returns runtimes (ns) in work order; [`f64::NAN`] marks an item
+    /// whose simulation panicked (callers skip-and-report those instead
+    /// of losing the batch).
     pub fn measure(&self, work: &[MeasureItem], window: u64) -> Vec<f64> {
         self.measure_with(work, window, |_, _| {})
     }
 
+    /// [`SweepEngine::measure`] taking ownership of the items — sweep
+    /// builders that construct their work list fresh use this to skip a
+    /// deep clone per item (a `MeasureItem` carries the benchmark spec
+    /// and machine config by value).
+    pub fn measure_owned(&self, work: Vec<MeasureItem>, window: u64) -> Vec<f64> {
+        self.measure_owned_with(work, window, |_, _| {})
+    }
+
     /// [`SweepEngine::measure`] with a streaming callback: `on_result(i,
     /// ns)` fires exactly once per item, from whichever thread resolved
-    /// it, as soon as its value is known — cache hits during the resolve
-    /// phase, fresh measurements as workers finish them, intra-batch
-    /// duplicates when their representative completes.
-    ///
-    /// Three phases:
-    ///
-    /// 1. **Resolve** — cache hits are filled in single-threaded and
-    ///    duplicate keys inside the batch are collapsed so each distinct
-    ///    configuration is simulated exactly once.
-    /// 2. **Steal** — worker threads claim outstanding items from a
-    ///    shared atomic index (dynamic load balancing: a thread stuck on
-    ///    a slow phase-adaptive run doesn't hold up the others). Each
-    ///    worker accumulates results locally — there is no shared
-    ///    results lock — and records them in the sharded cache with
-    ///    batched persistence. A panicking simulation (e.g. a deadlocked
-    ///    model configuration) is caught and reported as NaN; the worker
-    ///    moves on to its next item.
-    /// 3. **Merge** — per-worker result lists are folded back into work
-    ///    order and duplicates copied from their representatives.
+    /// it, as soon as its value is known — cache hits immediately at
+    /// pop, fresh measurements as workers finish them, intra-batch
+    /// duplicates (in-flight followers) when their claimer completes.
     pub fn measure_with(
         &self,
         work: &[MeasureItem],
         window: u64,
         on_result: impl Fn(usize, f64) + Sync,
     ) -> Vec<f64> {
-        let n = work.len();
-        let mut results = vec![0.0f64; n];
+        self.measure_owned_with(work.to_vec(), window, on_result)
+    }
 
-        // Phase 1: resolve hits and dedupe.
-        let keys: Vec<CacheKey> = work.iter().map(|it| it.cache_key(window)).collect();
-        let mut todo: Vec<usize> = Vec::new();
-        let mut first_with_key: std::collections::HashMap<&str, usize> =
-            std::collections::HashMap::with_capacity(n);
-        let mut duplicates: Vec<(usize, usize)> = Vec::new();
-        // Representative index → its duplicates, so a worker can fire
-        // their callbacks the moment the one simulation completes
-        // (instead of stalling them behind the whole batch).
-        let mut dups_of: std::collections::HashMap<usize, Vec<usize>> =
-            std::collections::HashMap::new();
-        for i in 0..n {
-            if let Some(ns) = self.cache.get(&keys[i]) {
-                results[i] = ns;
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                on_result(i, ns);
-            } else if let Some(&j) = first_with_key.get(keys[i].as_str()) {
-                duplicates.push((i, j));
-                dups_of.entry(j).or_default().push(i);
-            } else {
-                first_with_key.insert(keys[i].as_str(), i);
-                todo.push(i);
+    /// The one batch-to-jobs adapter all `measure*` flavors funnel
+    /// through.
+    fn measure_owned_with(
+        &self,
+        work: Vec<MeasureItem>,
+        window: u64,
+        on_result: impl Fn(usize, f64) + Sync,
+    ) -> Vec<f64> {
+        let jobs = work
+            .into_iter()
+            .map(|item| Job::new(item, window))
+            .collect();
+        self.run_jobs(jobs, |i, outcome| {
+            on_result(i, outcome.runtime_ns().unwrap_or(f64::NAN));
+        })
+        .into_iter()
+        .map(|outcome| outcome.runtime_ns().unwrap_or(f64::NAN))
+        .collect()
+    }
+
+    /// Runs a heterogeneous job batch to completion and returns the
+    /// outcomes in submission order. Jobs may mix windows, machine
+    /// styles, priorities, and deadlines freely: workers pull them from
+    /// a private [`JobScheduler`] in priority/aging order, duplicates
+    /// are simulated once (in-flight dedupe plus the shared cache), and
+    /// `on_outcome(i, &outcome)` streams each job's resolution as it
+    /// happens.
+    pub fn run_jobs(
+        &self,
+        jobs: Vec<Job>,
+        on_outcome: impl Fn(usize, &JobOutcome) + Sync,
+    ) -> Vec<JobOutcome> {
+        let n = jobs.len();
+        // Declared before the scheduler so the completion borrows it
+        // holds stay valid for the scheduler's whole lifetime.
+        let slots: Vec<std::sync::Mutex<Option<JobOutcome>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        let sched = JobScheduler::new();
+        let misses;
+        {
+            let slots = &slots;
+            let on_outcome = &on_outcome;
+            let mut batch = Vec::new();
+            for (i, job) in jobs.into_iter().enumerate() {
+                // Cache hits resolve inline — a warm-cache batch (table
+                // regeneration) fills every slot right here and never
+                // spawns a worker thread.
+                if let Some(ns) = self.cache.get(&job.cache_key()) {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    let outcome = JobOutcome::Completed {
+                        runtime_ns: ns,
+                        cached: true,
+                    };
+                    on_outcome(i, &outcome);
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
+                    continue;
+                }
+                let complete = Box::new(move |_job: Job, outcome: JobOutcome| {
+                    on_outcome(i, &outcome);
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
+                }) as crate::sched::Completion<'_>;
+                batch.push((job, complete));
+            }
+            misses = batch.len();
+            if misses > 0 {
+                assert!(sched.submit_batch(batch), "fresh scheduler is open");
             }
         }
-
-        // Phase 2: work-stealing execution of the misses.
-        if !todo.is_empty() {
-            let next = AtomicUsize::new(0);
-            let threads = self.threads.min(todo.len()).max(1);
-            let keys = &keys;
-            let todo = &todo;
-            let next = &next;
-            let on_result = &on_result;
-            let dups_of = &dups_of;
-            let measured: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        scope.spawn(move || {
-                            let mut local: Vec<(usize, f64)> = Vec::new();
-                            loop {
-                                let t = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(&i) = todo.get(t) else { break };
-                                let item = &work[i];
-                                let ns = self.run_one(item, window);
-                                if ns.is_finite() {
-                                    self.cache.put(keys[i].clone(), ns);
-                                    self.cache.maybe_save_batched(SAVE_BATCH);
-                                }
-                                on_result(i, ns);
-                                if let Some(dups) = dups_of.get(&i) {
-                                    for &d in dups {
-                                        on_result(d, ns);
-                                    }
-                                }
-                                local.push((i, ns));
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker closures catch panics"))
-                    .collect()
+        sched.close();
+        if misses > 0 {
+            let threads = self.threads.min(misses);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| self.serve_jobs(&sched));
+                }
             });
+        }
+        // Every completion has fired; release the scheduler's borrows
+        // before consuming the slot buffer.
+        drop(sched);
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("a closed scheduler drains every job")
+            })
+            .collect()
+    }
 
-            // Phase 3: merge.
-            for (i, ns) in measured.into_iter().flatten() {
-                results[i] = ns;
+    /// A worker loop over a shared scheduler: pops jobs until the
+    /// scheduler is closed and drained. This is the body both of
+    /// [`SweepEngine::run_jobs`]'s scoped batch workers and of the
+    /// long-lived `gals-serve` worker threads.
+    ///
+    /// Per popped job, in order:
+    ///
+    /// 1. **Cache** — a hit completes immediately (even past the
+    ///    deadline: it costs nothing).
+    /// 2. **Deadline** — an expired job completes as
+    ///    [`JobOutcome::Expired`] without simulating.
+    /// 3. **Claim** — the job claims its cache key or attaches as a
+    ///    follower of the worker already measuring that key.
+    /// 4. **Run** — a claimer simulates (a panic is caught and becomes
+    ///    [`JobOutcome::Panicked`]), records the cache with batched
+    ///    persistence, then fires its own completion and every
+    ///    follower's.
+    pub fn serve_jobs(&self, sched: &JobScheduler<'_>) {
+        while let Some((job, complete)) = sched.pop() {
+            let key = job.cache_key();
+            if let Some(ns) = self.cache.get(&key) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                complete(
+                    job,
+                    JobOutcome::Completed {
+                        runtime_ns: ns,
+                        cached: true,
+                    },
+                );
+                continue;
+            }
+            if job.expired_at(Instant::now()) {
+                complete(job, JobOutcome::Expired);
+                continue;
+            }
+            if self
+                .panicked
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .contains(key.as_str())
+            {
+                complete(job, JobOutcome::Panicked);
+                continue;
+            }
+            let Claim::Run(job, complete) = sched.claim(key.as_str(), job, complete) else {
+                // A follower: the claiming worker fires its completion.
+                continue;
+            };
+            // Re-probe the cache and the panicked set now that the
+            // claim is ours: a previous claimer of this key may have
+            // finished (populating one of them) between our pop-time
+            // probes and the claim — without this, that window
+            // re-simulates the key and breaks the "simulated exactly
+            // once" accounting.
+            if let Some(ns) = self.cache.get(&key) {
+                let outcome = JobOutcome::Completed {
+                    runtime_ns: ns,
+                    cached: true,
+                };
+                let followers = sched.release(key.as_str());
+                self.cache_hits
+                    .fetch_add(1 + followers.len() as u64, Ordering::Relaxed);
+                complete(job, outcome);
+                for (fjob, fcomplete) in followers {
+                    fcomplete(fjob, outcome);
+                }
+                continue;
+            }
+            if self
+                .panicked
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .contains(key.as_str())
+            {
+                let followers = sched.release(key.as_str());
+                complete(job, JobOutcome::Panicked);
+                for (fjob, fcomplete) in followers {
+                    fcomplete(fjob, JobOutcome::Panicked);
+                }
+                continue;
+            }
+            let ns = self.run_one(&job.item, job.window);
+            let outcome = if ns.is_finite() {
+                self.cache.put(key.clone(), ns);
+                self.cache.maybe_save_batched(SAVE_BATCH);
+                JobOutcome::Completed {
+                    runtime_ns: ns,
+                    cached: false,
+                }
+            } else {
+                self.panicked
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .insert(key.as_str().to_string());
+                JobOutcome::Panicked
+            };
+            let followers = sched.release(key.as_str());
+            complete(job, outcome);
+            for (fjob, fcomplete) in followers {
+                fcomplete(fjob, outcome);
             }
         }
-        // Duplicate values (their callbacks already fired from the
-        // worker that resolved the representative).
-        for (i, j) in duplicates {
-            results[i] = results[j];
-        }
-        results
     }
 
     /// Runs one simulation, converting a panic (a model bug tripped by

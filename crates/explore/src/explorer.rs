@@ -235,12 +235,12 @@ impl Explorer {
         Ok(())
     }
 
-    /// Measures a work list through the shared [`SweepEngine`]
-    /// (work-stealing parallelism, batch-internal dedupe, sharded cache
-    /// with batched persistence). Returns runtimes in work order; NaN
-    /// marks a run that panicked.
+    /// Measures a work list by submitting it as one normal-priority job
+    /// batch to the shared [`SweepEngine`] (priority-queue workers,
+    /// in-flight dedupe, sharded cache with batched persistence).
+    /// Returns runtimes in work order; NaN marks a run that panicked.
     fn parallel_measure(&mut self, work: Vec<MeasureItem>, window: u64) -> Vec<f64> {
-        self.engine.measure(&work, window)
+        self.engine.measure_owned(work, window)
     }
 
     /// The 1,024-configuration fully synchronous sweep (§4): finds the

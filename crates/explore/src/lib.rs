@@ -6,12 +6,13 @@
 //! exhaustive per-application sweep of the 256 adaptive-MCD
 //! configurations — about 300 CPU-months on the authors' cluster.
 //!
-//! This crate reproduces both sweeps at laptop scale: a work-stealing
-//! sweep engine (workers claim configurations from a shared atomic index,
-//! so one slow run never idles the other threads) over a configurable
-//! instruction window, with all measured runtimes recorded in a sharded
-//! result cache with batched persistence so tables and figures can be
-//! regenerated instantly.
+//! This crate reproduces both sweeps at laptop scale: a job-driven
+//! sweep engine (workers pull typed [`Job`]s from a priority-ordered,
+//! deadline-aware [`JobScheduler`], so one slow run never idles the
+//! other threads and heterogeneous work mixes freely in one queue),
+//! with all measured runtimes recorded in a sharded result cache with
+//! batched persistence so tables and figures can be regenerated
+//! instantly.
 //!
 //! Environment knobs (all optional):
 //!
@@ -47,6 +48,7 @@ mod cache;
 mod engine;
 mod explorer;
 pub mod json;
+pub mod sched;
 
 pub use ablation::AblationPoint;
 pub use cache::{CacheKey, ResultCache};
@@ -54,5 +56,6 @@ pub use engine::{MeasureItem, SweepEngine};
 pub use explorer::{
     ExploreError, Explorer, Fig6Row, PolicyOutcome, ProgramChoice, SkippedConfig, SyncSweepOutcome,
 };
+pub use sched::{Job, JobOutcome, JobScheduler, Priority};
 
 pub use gals_core::{ControlPolicy, McdConfig, SyncConfig};

@@ -9,6 +9,8 @@
 //!   omit one (default 10,000).
 //! * `GALS_SERVE_CACHE` — result-cache file (default
 //!   `target/gals-serve-cache.json`; set empty for in-memory only).
+//! * `GALS_SERVE_AGING` — scheduler aging step in admissions per
+//!   priority level (default 1024; see `gals_explore::JobScheduler`).
 
 use gals_serve::{ServeConfig, Server};
 

@@ -67,9 +67,10 @@ impl Client {
         Response::parse(&line).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
-    /// Sends `req` and collects its full response stream: every result
-    /// line, terminated by the `done` / `status` / `error` line (which
-    /// is included as the last element).
+    /// Sends `req` and collects its full response stream: every
+    /// `partial` and `expired` frame, terminated by the `done` /
+    /// `status` / `error` frame (which is included as the last
+    /// element).
     ///
     /// Responses for other pipelined request ids are *not* expected on
     /// this simple collector; it assumes one request in flight.

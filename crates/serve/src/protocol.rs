@@ -3,9 +3,10 @@
 //! Every request and every response is one flat JSON object on one line
 //! (the codec is [`gals_explore::json`], the same hand-rolled
 //! no-dependency codec the result cache persists through). A request
-//! carries a client-chosen `id`; every response line for that request
-//! echoes it, so clients may pipeline requests and match streamed
-//! results as they arrive.
+//! carries a client-chosen `id` — the request tag — plus optional
+//! scheduling attributes; every response line for that request echoes
+//! the tag, so clients may pipeline requests and match streamed frames
+//! as they arrive.
 //!
 //! Requests:
 //!
@@ -16,14 +17,26 @@
 //! | `policy_compare` | `bench`, `policies` (comma-separated keys), `window` |
 //! | `status`         | —                                                   |
 //!
-//! Responses: per-configuration `result` lines
-//! (`key`/`runtime_ns`/`cached`) stream back as simulations complete,
-//! then one `done` line carrying the result count; errors are a single
-//! line with an `error` field. `status` answers with counters and
-//! `done`.
+//! Scheduling attributes (any request): `priority` (`low` / `normal` /
+//! `high`, default `normal`) orders the server's shared job queue;
+//! `deadline_ms` bounds how long each of the request's jobs may wait —
+//! a job the workers don't reach in time resolves as an `expired` frame
+//! instead of simulating. A cached result is served even past the
+//! deadline (it costs nothing), so `deadline_ms: 0` doubles as a
+//! cache-only probe.
+//!
+//! Responses: per-job `partial` frames (`key`/`runtime_ns`/`cached`)
+//! stream back as each job resolves, `expired` frames
+//! (`key`/`expired`) mark jobs that missed their deadline, then one
+//! `done` frame carries the `results`/`expired` counts; errors are a
+//! single line with an `error` field. `status` answers with counters
+//! and `done`.
+
+use std::str::FromStr;
 
 use gals_core::ControlPolicy;
 use gals_explore::json::{parse_flat_object, JsonValue, ObjectWriter};
+use gals_explore::Priority;
 
 /// The operation a request asks for.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,16 +77,34 @@ pub enum RequestKind {
     Status,
 }
 
-/// One parsed request line.
+/// One parsed request line: a tag, scheduling attributes, and the
+/// operation. Every job the request expands into inherits the
+/// priority, the deadline, and the tag.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
-    /// Client-chosen correlation id, echoed on every response line.
+    /// Client-chosen correlation tag, echoed on every response frame.
     pub id: String,
+    /// Scheduling class for this request's jobs.
+    pub priority: Priority,
+    /// Per-job wait bound in milliseconds from admission; `None` = run
+    /// whenever reached.
+    pub deadline_ms: Option<u64>,
     /// The requested operation.
     pub kind: RequestKind,
 }
 
 impl Request {
+    /// A normal-priority, deadline-free request (the common case; set
+    /// the scheduling fields directly for anything else).
+    pub fn new(id: impl Into<String>, kind: RequestKind) -> Request {
+        Request {
+            id: id.into(),
+            priority: Priority::Normal,
+            deadline_ms: None,
+            kind,
+        }
+    }
+
     /// Parses one request line. The error string is safe to echo to the
     /// client.
     pub fn parse(line: &str) -> Result<Request, String> {
@@ -81,20 +112,31 @@ impl Request {
             parse_flat_object(line.trim()).ok_or_else(|| "malformed request json".to_string())?;
         let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
         let get_str = |key: &str| get(key).and_then(JsonValue::as_str).map(str::to_string);
-        let id = get_str("id").unwrap_or_default();
-        let op = get_str("op").ok_or_else(|| "missing op".to_string())?;
-        let window = match get("window") {
-            None => 0,
-            Some(v) => {
-                let n = v
-                    .as_num()
-                    .ok_or_else(|| "window must be a number".to_string())?;
-                if !(n.is_finite() && n >= 0.0) {
-                    return Err("window must be a non-negative number".to_string());
+        let get_u64 = |key: &str| -> Result<Option<u64>, String> {
+            match get(key) {
+                None => Ok(None),
+                Some(v) => {
+                    let n = v
+                        .as_num()
+                        .filter(|n| n.is_finite() && *n >= 0.0)
+                        .ok_or_else(|| format!("{key} must be a non-negative number"))?;
+                    Ok(Some(n as u64))
                 }
-                n as u64
             }
         };
+        let id = get_str("id").unwrap_or_default();
+        let op = get_str("op").ok_or_else(|| "missing op".to_string())?;
+        let priority = match get("priority") {
+            None => Priority::Normal,
+            Some(v) => {
+                let p = v
+                    .as_str()
+                    .ok_or_else(|| "priority must be a string (low|normal|high)".to_string())?;
+                Priority::from_str(p)?
+            }
+        };
+        let deadline_ms = get_u64("deadline_ms")?;
+        let window = get_u64("window")?.unwrap_or(0);
         let bench = |err: &str| get_str("bench").ok_or_else(|| err.to_string());
         let kind = match op.as_str() {
             "run_config" => {
@@ -155,13 +197,26 @@ impl Request {
             "status" => RequestKind::Status,
             other => return Err(format!("unknown op {other:?}")),
         };
-        Ok(Request { id, kind })
+        Ok(Request {
+            id,
+            priority,
+            deadline_ms,
+            kind,
+        })
     }
 
     /// Encodes the request as one wire line (no trailing newline).
+    /// Default scheduling attributes are omitted, so pre-scheduler
+    /// clients' lines are unchanged.
     pub fn to_line(&self) -> String {
         let mut w = ObjectWriter::new();
         w.field_str("id", &self.id);
+        if self.priority != Priority::Normal {
+            w.field_str("priority", self.priority.key());
+        }
+        if let Some(ms) = self.deadline_ms {
+            w.field_num("deadline_ms", ms as f64);
+        }
         match &self.kind {
             RequestKind::RunConfig {
                 bench,
@@ -210,37 +265,47 @@ impl Request {
     }
 }
 
-/// One parsed response line.
+/// One parsed response frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// One configuration's measurement.
-    Result {
-        /// Echoed request id.
+    /// One job's measurement, streamed as soon as it resolves.
+    Partial {
+        /// Echoed request tag.
         id: String,
         /// Configuration key within the request.
         key: String,
-        /// Measured (deterministic) runtime in nanoseconds.
+        /// Measured (deterministic) runtime in nanoseconds (0 marks a
+        /// panicked simulation, by the explorer's validity convention).
         runtime_ns: f64,
         /// Served from the result cache without re-simulating.
         cached: bool,
     },
-    /// Terminal line of a successful request.
-    Done {
-        /// Echoed request id.
+    /// One job that missed its deadline before a worker reached it.
+    Expired {
+        /// Echoed request tag.
         id: String,
-        /// Result lines that preceded this one.
-        results: u64,
+        /// Configuration key within the request.
+        key: String,
     },
-    /// Terminal line of a failed request.
+    /// Terminal frame of a successful request.
+    Done {
+        /// Echoed request tag.
+        id: String,
+        /// `partial` frames that preceded this one.
+        results: u64,
+        /// `expired` frames that preceded this one.
+        expired: u64,
+    },
+    /// Terminal frame of a failed request.
     Error {
-        /// Echoed request id (empty when the line wasn't parseable).
+        /// Echoed request tag (empty when the line wasn't parseable).
         id: String,
         /// What went wrong.
         message: String,
     },
     /// Status counters (`status` requests; terminal).
     Status {
-        /// Echoed request id.
+        /// Echoed request tag.
         id: String,
         /// Counter name/value pairs.
         counters: Vec<(String, f64)>,
@@ -248,19 +313,20 @@ pub enum Response {
 }
 
 impl Response {
-    /// The echoed request id of any response flavor.
+    /// The echoed request tag of any response flavor.
     pub fn id(&self) -> &str {
         match self {
-            Response::Result { id, .. }
+            Response::Partial { id, .. }
+            | Response::Expired { id, .. }
             | Response::Done { id, .. }
             | Response::Error { id, .. }
             | Response::Status { id, .. } => id,
         }
     }
 
-    /// True for the line that terminates a request's response stream.
+    /// True for the frame that terminates a request's response stream.
     pub fn is_terminal(&self) -> bool {
-        !matches!(self, Response::Result { .. })
+        !matches!(self, Response::Partial { .. } | Response::Expired { .. })
     }
 
     /// Parses one response line.
@@ -279,12 +345,18 @@ impl Response {
             });
         }
         if let Some(key) = get("key").and_then(JsonValue::as_str) {
-            return Ok(Response::Result {
+            if matches!(get("expired"), Some(JsonValue::Bool(true))) {
+                return Ok(Response::Expired {
+                    id,
+                    key: key.to_string(),
+                });
+            }
+            return Ok(Response::Partial {
                 id,
                 key: key.to_string(),
                 runtime_ns: get("runtime_ns")
                     .and_then(JsonValue::as_num)
-                    .ok_or_else(|| "result line missing runtime_ns".to_string())?,
+                    .ok_or_else(|| "partial frame missing runtime_ns".to_string())?,
                 cached: matches!(get("cached"), Some(JsonValue::Bool(true))),
             });
         }
@@ -299,9 +371,11 @@ impl Response {
             return Ok(Response::Status { id, counters });
         }
         if matches!(get("done"), Some(JsonValue::Bool(true))) {
+            let num = |key: &str| get(key).and_then(JsonValue::as_num).unwrap_or(0.0) as u64;
             return Ok(Response::Done {
                 id,
-                results: get("results").and_then(JsonValue::as_num).unwrap_or(0.0) as u64,
+                results: num("results"),
+                expired: num("expired"),
             });
         }
         Err("unrecognized response line".to_string())
@@ -311,7 +385,7 @@ impl Response {
     pub fn to_line(&self) -> String {
         let mut w = ObjectWriter::new();
         match self {
-            Response::Result {
+            Response::Partial {
                 id,
                 key,
                 runtime_ns,
@@ -322,10 +396,20 @@ impl Response {
                     .field_num("runtime_ns", *runtime_ns)
                     .field_bool("cached", *cached);
             }
-            Response::Done { id, results } => {
+            Response::Expired { id, key } => {
+                w.field_str("id", id)
+                    .field_str("key", key)
+                    .field_bool("expired", true);
+            }
+            Response::Done {
+                id,
+                results,
+                expired,
+            } => {
                 w.field_str("id", id)
                     .field_bool("done", true)
-                    .field_num("results", *results as f64);
+                    .field_num("results", *results as f64)
+                    .field_num("expired", *expired as f64);
             }
             Response::Error { id, message } => {
                 w.field_str("id", id).field_str("error", message);
@@ -351,6 +435,8 @@ mod tests {
         let reqs = [
             Request {
                 id: "a1".into(),
+                priority: Priority::High,
+                deadline_ms: Some(250),
                 kind: RequestKind::RunConfig {
                     bench: "gzip".into(),
                     mode: "phase".into(),
@@ -359,18 +445,20 @@ mod tests {
                     window: 2_000,
                 },
             },
-            Request {
-                id: "a2".into(),
-                kind: RequestKind::RunConfig {
+            Request::new(
+                "a2",
+                RequestKind::RunConfig {
                     bench: "art".into(),
                     mode: "sync".into(),
                     cfg: Some(17),
                     policy: None,
                     window: 0,
                 },
-            },
+            ),
             Request {
                 id: "a3".into(),
+                priority: Priority::Low,
+                deadline_ms: None,
                 kind: RequestKind::Sweep {
                     bench: "em3d".into(),
                     mode: "prog".into(),
@@ -379,21 +467,32 @@ mod tests {
             },
             Request {
                 id: "a4".into(),
+                priority: Priority::Normal,
+                deadline_ms: Some(0),
                 kind: RequestKind::PolicyCompare {
                     bench: "apsi".into(),
                     policies: vec![ControlPolicy::PaperArgmin, ControlPolicy::Static],
                     window: 500,
                 },
             },
-            Request {
-                id: "a5".into(),
-                kind: RequestKind::Status,
-            },
+            Request::new("a5", RequestKind::Status),
         ];
         for req in reqs {
             let line = req.to_line();
             assert_eq!(Request::parse(&line).expect(&line), req, "{line}");
         }
+    }
+
+    #[test]
+    fn pre_scheduler_request_lines_still_parse() {
+        // A client that predates priorities/deadlines sends neither
+        // field; the parse defaults must match Request::new.
+        let req = Request::parse(
+            r#"{"id":"old","op":"run_config","bench":"gzip","mode":"sync","cfg":3,"window":100}"#,
+        )
+        .unwrap();
+        assert_eq!(req.priority, Priority::Normal);
+        assert_eq!(req.deadline_ms, None);
     }
 
     #[test]
@@ -412,6 +511,10 @@ mod tests {
             r#"{"op":"policy_compare","id":"x","bench":"gzip","policies":""}"#,
             r#"{"op":"teleport","id":"x"}"#,
             r#"{"op":"run_config","id":"x","bench":"gzip","mode":"sync","cfg":1,"window":"soon"}"#,
+            r#"{"op":"status","id":"x","priority":"urgent"}"#,
+            r#"{"op":"status","id":"x","priority":2}"#,
+            r#"{"op":"status","id":"x","deadline_ms":-5}"#,
+            r#"{"op":"status","id":"x","deadline_ms":"never"}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} should be rejected");
         }
@@ -420,15 +523,20 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         let resps = [
-            Response::Result {
+            Response::Partial {
                 id: "r".into(),
                 key: "cfg17".into(),
                 runtime_ns: 12345.678,
                 cached: true,
             },
+            Response::Expired {
+                id: "r".into(),
+                key: "cfg18".into(),
+            },
             Response::Done {
                 id: "r".into(),
-                results: 256,
+                results: 255,
+                expired: 1,
             },
             Response::Error {
                 id: String::new(),
@@ -447,17 +555,136 @@ mod tests {
 
     #[test]
     fn terminal_flags() {
-        assert!(!Response::Result {
+        assert!(!Response::Partial {
             id: String::new(),
             key: String::new(),
             runtime_ns: 1.0,
             cached: false
         }
         .is_terminal());
-        assert!(Response::Done {
+        assert!(!Response::Expired {
             id: String::new(),
-            results: 0
+            key: String::new(),
         }
         .is_terminal());
+        assert!(Response::Done {
+            id: String::new(),
+            results: 0,
+            expired: 0,
+        }
+        .is_terminal());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    //! Property round-trips over the extended frame set: arbitrary
+    //! tags, scheduling attributes, runtimes, and counts must encode to
+    //! one line and parse back identically.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Tags exercising the codec's string escaping.
+    fn tag_pool() -> Vec<String> {
+        vec![
+            String::new(),
+            "r1".into(),
+            "client-7/req 42".into(),
+            "with\"quote".into(),
+            "tab\there".into(),
+            "päth✓".into(),
+        ]
+    }
+
+    fn bench_pool() -> Vec<String> {
+        vec!["gzip".into(), "art".into(), "adpcm_encode".into()]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn run_config_requests_round_trip(
+            id in prop::sample::select(tag_pool()),
+            prio in prop::sample::select(vec![Priority::Low, Priority::Normal, Priority::High]),
+            has_deadline in any::<bool>(),
+            deadline in 0u64..500_000,
+            bench in prop::sample::select(bench_pool()),
+            cfg in 0usize..1024,
+            window in 0u64..1_000_000,
+        ) {
+            let req = Request {
+                id,
+                priority: prio,
+                deadline_ms: has_deadline.then_some(deadline),
+                kind: RequestKind::RunConfig {
+                    bench,
+                    mode: "sync".into(),
+                    cfg: Some(cfg),
+                    policy: None,
+                    window,
+                },
+            };
+            let line = req.to_line();
+            prop_assert_eq!(Request::parse(&line).expect(&line), req);
+        }
+
+        #[test]
+        fn policy_compare_requests_round_trip(
+            id in prop::sample::select(tag_pool()),
+            prio in prop::sample::select(vec![Priority::Low, Priority::Normal, Priority::High]),
+            deadline in 0u64..100_000,
+            n_policies in 1usize..4,
+            window in 0u64..1_000_000,
+        ) {
+            let req = Request {
+                id,
+                priority: prio,
+                deadline_ms: Some(deadline),
+                kind: RequestKind::PolicyCompare {
+                    bench: "apsi".into(),
+                    policies: ControlPolicy::BUILTIN[..n_policies].to_vec(),
+                    window,
+                },
+            };
+            let line = req.to_line();
+            prop_assert_eq!(Request::parse(&line).expect(&line), req);
+        }
+
+        #[test]
+        fn partial_frames_round_trip(
+            id in prop::sample::select(tag_pool()),
+            key in prop::sample::select(tag_pool()),
+            runtime_mantissa in 0u64..1_000_000_000,
+            cached in any::<bool>(),
+        ) {
+            let resp = Response::Partial {
+                id,
+                key,
+                // Exercise fractional runtimes; the codec must carry
+                // them bit-exactly through the f64 formatter.
+                runtime_ns: runtime_mantissa as f64 / 128.0,
+                cached,
+            };
+            let line = resp.to_line();
+            prop_assert_eq!(Response::parse(&line).expect(&line), resp);
+        }
+
+        #[test]
+        fn expired_and_done_frames_round_trip(
+            id in prop::sample::select(tag_pool()),
+            key in prop::sample::select(tag_pool()),
+            results in 0u64..1_000_000,
+            expired in 0u64..1_000_000,
+        ) {
+            let exp = Response::Expired { id: id.clone(), key };
+            let line = exp.to_line();
+            prop_assert_eq!(Response::parse(&line).expect(&line), exp);
+
+            let done = Response::Done { id, results, expired };
+            let line = done.to_line();
+            prop_assert_eq!(Response::parse(&line).expect(&line), done);
+        }
     }
 }

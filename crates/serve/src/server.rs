@@ -1,17 +1,24 @@
-//! The TCP server: accept loop, per-connection readers, and the
-//! batching dispatcher that maps request streams onto the work-stealing
-//! sweep engine.
+//! The TCP server: accept loop, per-connection readers, and the shared
+//! job scheduler + worker pool that executes every client's work.
+//!
+//! There is no batching dispatcher and no per-window grouping: each
+//! connection expands requests into typed [`Job`]s and admits them into
+//! one [`JobScheduler`] shared by every connection; a pool of worker
+//! threads drains it in priority/aging order, streaming each job's
+//! frame back to its requester the moment it resolves. Heterogeneous
+//! work — mixed windows, machine styles, policies, priorities,
+//! deadlines — interleaves freely in a single queue pass.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gals_core::{McdConfig, SyncConfig};
-use gals_explore::{MeasureItem, ResultCache, SweepEngine};
+use gals_explore::sched::Completion;
+use gals_explore::{Job, JobOutcome, JobScheduler, MeasureItem, ResultCache, SweepEngine};
 use gals_workloads::suite;
 
 use crate::protocol::{Request, RequestKind, Response};
@@ -28,12 +35,16 @@ const WRITE_STALL_LIMIT: Duration = Duration::from_secs(10);
 pub struct ServeConfig {
     /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Sweep worker threads (0 = available parallelism).
+    /// Scheduler worker threads (0 = available parallelism).
     pub workers: usize,
     /// Window applied when a request passes `window: 0` or none.
     pub default_window: u64,
     /// Result-cache file (`None` = in-memory only).
     pub cache_path: Option<String>,
+    /// Scheduler aging step: a queued job is bypassed by at most
+    /// `priority_level_difference × aging_step` later admissions
+    /// before it runs (see [`JobScheduler`]).
+    pub aging_step: u64,
 }
 
 impl Default for ServeConfig {
@@ -43,32 +54,31 @@ impl Default for ServeConfig {
             workers: 0,
             default_window: 10_000,
             cache_path: None,
+            aging_step: JobScheduler::DEFAULT_AGING_STEP,
         }
     }
 }
 
 impl ServeConfig {
     /// Reads `GALS_SERVE_ADDR`, `GALS_SERVE_WORKERS`,
-    /// `GALS_SERVE_WINDOW`, and `GALS_SERVE_CACHE` over the defaults.
-    /// An *unset* `GALS_SERVE_CACHE` selects the standard file
-    /// (`target/gals-serve-cache.json`); an *empty* one selects
-    /// in-memory-only operation.
+    /// `GALS_SERVE_WINDOW`, `GALS_SERVE_CACHE`, and `GALS_SERVE_AGING`
+    /// over the defaults. An *unset* `GALS_SERVE_CACHE` selects the
+    /// standard file (`target/gals-serve-cache.json`); an *empty* one
+    /// selects in-memory-only operation.
     pub fn from_env() -> Self {
         let mut cfg = ServeConfig::default();
         if let Ok(addr) = std::env::var("GALS_SERVE_ADDR") {
             cfg.addr = addr;
         }
-        if let Some(w) = std::env::var("GALS_SERVE_WORKERS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-        {
-            cfg.workers = w;
+        let env_u64 = |name: &str| std::env::var(name).ok().and_then(|v| v.parse().ok());
+        if let Some(w) = env_u64("GALS_SERVE_WORKERS") {
+            cfg.workers = w as usize;
         }
-        if let Some(w) = std::env::var("GALS_SERVE_WINDOW")
-            .ok()
-            .and_then(|v| v.parse().ok())
-        {
+        if let Some(w) = env_u64("GALS_SERVE_WINDOW") {
             cfg.default_window = w;
+        }
+        if let Some(a) = env_u64("GALS_SERVE_AGING") {
+            cfg.aging_step = a;
         }
         cfg.cache_path = match std::env::var("GALS_SERVE_CACHE") {
             Ok(path) if path.is_empty() => None,
@@ -79,49 +89,131 @@ impl ServeConfig {
     }
 }
 
-/// One client request expanded into measurable work, plus the channel
-/// back to its connection.
-struct Job {
+/// Per-request progress: counts the request's jobs down to the `done`
+/// frame. Job completions (from any worker) write their frame, bump
+/// the tallies, and whoever resolves the last job emits `done`.
+struct RequestState {
     id: String,
-    items: Vec<MeasureItem>,
-    window: u64,
     writer: Arc<Mutex<TcpStream>>,
+    remaining: AtomicUsize,
+    results: AtomicU64,
+    expired: AtomicU64,
+    /// Shared per *connection* (not per request) and set on the first
+    /// failed frame write (client stalled past `WRITE_STALL_LIMIT` or
+    /// hung up): every later frame to that connection — across all its
+    /// pipelined requests — is skipped, so one dead connection costs
+    /// the worker pool at most one write-stall total.
+    dead: Arc<AtomicBool>,
 }
 
-enum Msg {
-    Job(Job),
-    Shutdown,
+impl RequestState {
+    /// Records one job's outcome: writes its frame, and the `done`
+    /// frame after the request's last job.
+    fn complete_one(&self, key: &str, outcome: JobOutcome, inner: &Inner) {
+        let frame = match outcome {
+            JobOutcome::Completed { runtime_ns, cached } => {
+                self.results.fetch_add(1, Ordering::Relaxed);
+                Response::Partial {
+                    id: self.id.clone(),
+                    key: key.to_string(),
+                    runtime_ns,
+                    cached,
+                }
+            }
+            // A panicked simulation reports 0 (unusable by convention,
+            // matching the explorer's validity rule).
+            JobOutcome::Panicked => {
+                self.results.fetch_add(1, Ordering::Relaxed);
+                Response::Partial {
+                    id: self.id.clone(),
+                    key: key.to_string(),
+                    runtime_ns: 0.0,
+                    cached: false,
+                }
+            }
+            JobOutcome::Expired => {
+                self.expired.fetch_add(1, Ordering::Relaxed);
+                // Keep the operator-facing signals honest: a job that
+                // expired because its connection died is disconnect
+                // churn, not deadline pressure.
+                if self.dead.load(Ordering::Relaxed) {
+                    inner.cancelled.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    inner.expired.fetch_add(1, Ordering::Relaxed);
+                }
+                Response::Expired {
+                    id: self.id.clone(),
+                    key: key.to_string(),
+                }
+            }
+        };
+        self.write_frame(&frame.to_line());
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let done = Response::Done {
+                id: self.id.clone(),
+                results: self.results.load(Ordering::Relaxed),
+                expired: self.expired.load(Ordering::Relaxed),
+            };
+            self.write_frame(&done.to_line());
+        }
+    }
+
+    /// Writes one frame unless the connection is already dead,
+    /// poisoning it on the first failure. The flag is re-checked
+    /// *after* acquiring the writer lock: workers already queued on the
+    /// mutex behind the one discovering the stall must bail out
+    /// immediately instead of each paying `WRITE_STALL_LIMIT` in turn.
+    fn write_frame(&self, line: &str) {
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut guard = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        let ok = guard.write_all(line.as_bytes()).is_ok()
+            && guard.write_all(b"\n").is_ok()
+            && guard.flush().is_ok();
+        if !ok {
+            self.dead.store(true, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Shared server state.
 struct Inner {
     engine: SweepEngine,
+    sched: JobScheduler<'static>,
     default_window: u64,
     shutdown: AtomicBool,
     requests: AtomicU64,
-    batches: AtomicU64,
+    admitted_jobs: AtomicU64,
+    expired: AtomicU64,
+    /// Jobs dropped because their connection died (distinct from
+    /// deadline expiries).
+    cancelled: AtomicU64,
 }
 
 /// The `gals-serve` server: a long-lived, multi-tenant front end over
-/// the sweep engine and its sharded result cache.
+/// the job scheduler and the sweep engine's sharded result cache.
 ///
 /// Concurrency model: each client connection gets a reader thread that
-/// parses request lines and submits expanded work to a single batching
-/// dispatcher. The dispatcher drains everything queued, merges
-/// same-window work from different clients into one work-stealing
-/// sweep (batch-internal duplicates are simulated exactly once), and
-/// streams per-configuration results back to each client's socket as
-/// they complete. Cache hits never re-simulate — and because the
-/// simulator is deterministic, a result served through the server is
-/// bit-identical to the same configuration run directly through
-/// [`gals_explore::Explorer`].
+/// parses request lines, expands them into jobs tagged with the
+/// request id, and admits them — atomically per request — into the
+/// single shared [`JobScheduler`]. Worker threads pull jobs in
+/// priority/aging order regardless of which connection admitted them
+/// and stream `partial` / `expired` frames back per job; the last job
+/// of a request emits its `done` frame. Duplicate configurations are
+/// simulated once (in-flight dedupe plus the shared cache) — and
+/// because the simulator is deterministic, a result served through the
+/// server is bit-identical to the same configuration run directly
+/// through [`gals_explore::Explorer`], regardless of scheduling order.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     inner: Arc<Inner>,
-    tx: Sender<Msg>,
     accept_handle: Option<JoinHandle<()>>,
-    dispatch_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
     conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -129,12 +221,13 @@ impl std::fmt::Debug for Inner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Inner")
             .field("default_window", &self.default_window)
+            .field("queued", &self.sched.len())
             .finish_non_exhaustive()
     }
 }
 
 impl Server {
-    /// Binds and starts serving in background threads.
+    /// Binds, starts the worker pool, and serves in background threads.
     ///
     /// # Errors
     ///
@@ -152,29 +245,31 @@ impl Server {
         let addr = listener.local_addr()?;
         let inner = Arc::new(Inner {
             engine,
+            sched: JobScheduler::with_aging_step(cfg.aging_step),
             default_window: cfg.default_window.max(1),
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
+            admitted_jobs: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
         });
-        let (tx, rx) = channel();
-        let dispatch_handle = {
-            let inner = inner.clone();
-            std::thread::spawn(move || dispatch_loop(&inner, &rx))
-        };
+        let worker_handles = (0..inner.engine.threads())
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || inner.engine.serve_jobs(&inner.sched))
+            })
+            .collect();
         let conn_handles = Arc::new(Mutex::new(Vec::new()));
         let accept_handle = {
             let inner = inner.clone();
-            let tx = tx.clone();
             let conn_handles = conn_handles.clone();
-            std::thread::spawn(move || accept_loop(&listener, &inner, &tx, &conn_handles))
+            std::thread::spawn(move || accept_loop(&listener, &inner, &conn_handles))
         };
         Ok(Server {
             addr,
             inner,
-            tx,
             accept_handle: Some(accept_handle),
-            dispatch_handle: Some(dispatch_handle),
+            worker_handles,
             conn_handles,
         })
     }
@@ -189,9 +284,19 @@ impl Server {
         self.inner.engine.simulated_count()
     }
 
-    /// Stops accepting connections, completes in-flight work (results
-    /// already submitted still stream back to their clients), persists
-    /// the cache, and joins every server thread.
+    /// Jobs that expired at their deadlines so far (jobs dropped for a
+    /// dead connection count separately, in the `cancelled` status
+    /// counter).
+    pub fn expired_count(&self) -> u64 {
+        self.inner.expired.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stops accepting connections and admitting
+    /// requests, then **drains-or-expires** the queue — every admitted
+    /// job still completes (or expires at its deadline) and every
+    /// frame, including each request's `done`, is flushed to its
+    /// client *before* any connection closes — persists the cache, and
+    /// joins every server thread.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -205,8 +310,10 @@ impl Server {
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
-        // Connection readers poll the flag and exit; join them so no new
-        // jobs can be enqueued behind the shutdown marker.
+        // Connection readers poll the flag and exit; join them so no
+        // request can be admitted after the scheduler closes (a reader
+        // mid-request either finishes admitting before it exits or
+        // never admits — requests are admitted atomically).
         let handles = std::mem::take(
             &mut *self
                 .conn_handles
@@ -216,8 +323,14 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
-        let _ = self.tx.send(Msg::Shutdown);
-        if let Some(h) = self.dispatch_handle.take() {
+        // Close the queue and let the workers drain it: every admitted
+        // job's frame — and every request's done frame — is written
+        // before the workers exit. Connections close only after that
+        // (each socket's last writer handle lives in its requests'
+        // states, which the completions drop), so a shutting-down
+        // server can never swallow results it already owes a client.
+        self.inner.sched.close();
+        for h in self.worker_handles.drain(..) {
             let _ = h.join();
         }
         let _ = self.inner.engine.save_cache();
@@ -233,7 +346,6 @@ impl Drop for Server {
 fn accept_loop(
     listener: &TcpListener,
     inner: &Arc<Inner>,
-    tx: &Sender<Msg>,
     conn_handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
     for stream in listener.incoming() {
@@ -242,8 +354,7 @@ fn accept_loop(
         }
         let Ok(stream) = stream else { continue };
         let inner = inner.clone();
-        let tx = tx.clone();
-        let handle = std::thread::spawn(move || connection_loop(stream, &inner, &tx));
+        let handle = std::thread::spawn(move || connection_loop(stream, &inner));
         let mut handles = conn_handles.lock().unwrap_or_else(PoisonError::into_inner);
         // Reap readers whose clients hung up, so a long-lived server
         // under connection churn doesn't accumulate handles forever.
@@ -252,6 +363,9 @@ fn accept_loop(
     }
 }
 
+/// Writes one line from the connection's own thread (parse errors,
+/// status responses); job completions go through
+/// [`RequestState::write_frame`] instead, which tracks dead peers.
 fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) {
     let mut guard = writer.lock().unwrap_or_else(PoisonError::into_inner);
     let _ = guard.write_all(line.as_bytes());
@@ -259,20 +373,21 @@ fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) {
     let _ = guard.flush();
 }
 
-fn connection_loop(stream: TcpStream, inner: &Arc<Inner>, tx: &Sender<Msg>) {
+fn connection_loop(stream: TcpStream, inner: &Arc<Inner>) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
     // Responses are single lines; send them immediately (Nagle would
     // stall the request/response round trip by tens of milliseconds).
     let _ = stream.set_nodelay(true);
-    // The single dispatcher thread streams results through blocking
-    // writes: a client that stops reading must not stall every other
-    // client's batch behind its full send buffer. On timeout the write
-    // fails and that client's stream is the only casualty.
+    // Workers stream results through blocking writes: a client that
+    // stops reading must not stall the worker pool behind its full
+    // send buffer. On timeout the write fails and that client's stream
+    // is the only casualty.
     let _ = stream.set_write_timeout(Some(WRITE_STALL_LIMIT));
     let writer = match stream.try_clone() {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
+    let dead = Arc::new(AtomicBool::new(false));
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
@@ -292,7 +407,7 @@ fn connection_loop(stream: TcpStream, inner: &Arc<Inner>, tx: &Sender<Msg>) {
             }
             Ok(_) if line.ends_with('\n') => {
                 if !line.trim().is_empty() {
-                    handle_request(&line, inner, tx, &writer);
+                    handle_request(&line, inner, &writer, &dead);
                 }
                 line.clear();
             }
@@ -316,8 +431,8 @@ fn connection_loop(stream: TcpStream, inner: &Arc<Inner>, tx: &Sender<Msg>) {
 fn handle_request(
     line: &str,
     inner: &Arc<Inner>,
-    tx: &Sender<Msg>,
     writer: &Arc<Mutex<TcpStream>>,
+    dead: &Arc<AtomicBool>,
 ) {
     inner.requests.fetch_add(1, Ordering::Relaxed);
     let req = match Request::parse(line) {
@@ -336,22 +451,7 @@ fn handle_request(
     };
     match expand(&req.kind, inner.default_window) {
         Ok(Expanded::Work { items, window }) => {
-            let job = Job {
-                id: req.id.clone(),
-                items,
-                window,
-                writer: writer.clone(),
-            };
-            if tx.send(Msg::Job(job)).is_err() {
-                write_line(
-                    writer,
-                    &Response::Error {
-                        id: req.id,
-                        message: "server shutting down".to_string(),
-                    }
-                    .to_line(),
-                );
-            }
+            admit(req, items, window, inner, writer, dead);
         }
         Ok(Expanded::Status) => {
             let engine = &inner.engine;
@@ -363,8 +463,17 @@ fn handle_request(
                         inner.requests.load(Ordering::Relaxed) as f64,
                     ),
                     (
-                        "batches".to_string(),
-                        inner.batches.load(Ordering::Relaxed) as f64,
+                        "admitted_jobs".to_string(),
+                        inner.admitted_jobs.load(Ordering::Relaxed) as f64,
+                    ),
+                    ("queued".to_string(), inner.sched.len() as f64),
+                    (
+                        "expired".to_string(),
+                        inner.expired.load(Ordering::Relaxed) as f64,
+                    ),
+                    (
+                        "cancelled".to_string(),
+                        inner.cancelled.load(Ordering::Relaxed) as f64,
                     ),
                     ("simulated".to_string(), engine.simulated_count() as f64),
                     ("cache_hits".to_string(), engine.cache_hit_count() as f64),
@@ -387,6 +496,66 @@ fn handle_request(
     }
 }
 
+/// Builds one request's jobs and admits them into the shared scheduler
+/// as one atomic batch.
+fn admit(
+    req: Request,
+    items: Vec<MeasureItem>,
+    window: u64,
+    inner: &Arc<Inner>,
+    writer: &Arc<Mutex<TcpStream>>,
+    dead: &Arc<AtomicBool>,
+) {
+    // checked_add: a huge client-supplied deadline_ms must not panic
+    // the connection thread on targets with a narrow Instant; a
+    // deadline too far away to represent is no deadline at all.
+    let deadline = req
+        .deadline_ms
+        .and_then(|ms| Instant::now().checked_add(Duration::from_millis(ms)));
+    let state = Arc::new(RequestState {
+        id: req.id.clone(),
+        writer: writer.clone(),
+        remaining: AtomicUsize::new(items.len()),
+        results: AtomicU64::new(0),
+        expired: AtomicU64::new(0),
+        dead: dead.clone(),
+    });
+    let n_jobs = items.len() as u64;
+    let batch: Vec<(Job, Completion<'static>)> = items
+        .into_iter()
+        .map(|item| {
+            let mut job = Job::new(item, window)
+                .with_priority(req.priority)
+                // The connection's dead flag doubles as the jobs'
+                // cancellation token: once the client is gone, its
+                // queued work expires instead of simulating.
+                .with_cancel_flag(dead.clone())
+                .with_tag(req.id.clone());
+            if let Some(d) = deadline {
+                job = job.with_deadline(d);
+            }
+            let state = state.clone();
+            let inner = inner.clone();
+            let complete = Box::new(move |job: Job, outcome: JobOutcome| {
+                state.complete_one(&job.item.config_key, outcome, &inner);
+            }) as Completion<'static>;
+            (job, complete)
+        })
+        .collect();
+    if inner.sched.submit_batch(batch) {
+        inner.admitted_jobs.fetch_add(n_jobs, Ordering::Relaxed);
+    } else {
+        write_line(
+            writer,
+            &Response::Error {
+                id: req.id,
+                message: "server shutting down".to_string(),
+            }
+            .to_line(),
+        );
+    }
+}
+
 enum Expanded {
     Work {
         items: Vec<MeasureItem>,
@@ -395,7 +564,7 @@ enum Expanded {
     Status,
 }
 
-/// Expands a request into concrete sweep work (the same
+/// Expands a request into concrete measurable items (the same
 /// (spec, mode, key, machine) tuples the `Explorer` sweeps build, so
 /// cache entries are shared between the server and offline sweeps).
 fn expand(kind: &RequestKind, default_window: u64) -> Result<Expanded, String> {
@@ -471,87 +640,6 @@ fn expand(kind: &RequestKind, default_window: u64) -> Result<Expanded, String> {
                 items,
                 window: eff(*window),
             })
-        }
-    }
-}
-
-/// The batching dispatcher: drains everything queued, merges same-window
-/// jobs from different clients into one work-stealing sweep, and streams
-/// results back per client as they complete.
-fn dispatch_loop(inner: &Arc<Inner>, rx: &Receiver<Msg>) {
-    loop {
-        let first = match rx.recv() {
-            Ok(msg) => msg,
-            Err(_) => return,
-        };
-        let mut jobs = Vec::new();
-        let mut shutdown = false;
-        match first {
-            Msg::Job(j) => jobs.push(j),
-            Msg::Shutdown => shutdown = true,
-        }
-        while let Ok(msg) = rx.try_recv() {
-            match msg {
-                Msg::Job(j) => jobs.push(j),
-                Msg::Shutdown => shutdown = true,
-            }
-        }
-        if !jobs.is_empty() {
-            run_batch(inner, jobs);
-        }
-        if shutdown {
-            return;
-        }
-    }
-}
-
-fn run_batch(inner: &Arc<Inner>, jobs: Vec<Job>) {
-    inner.batches.fetch_add(1, Ordering::Relaxed);
-    // One engine call per distinct window; same-window jobs from
-    // different clients share one sweep (and batch-internal dedupe).
-    let mut windows: Vec<u64> = jobs.iter().map(|j| j.window).collect();
-    windows.sort_unstable();
-    windows.dedup();
-    for window in windows {
-        let group: Vec<&Job> = jobs.iter().filter(|j| j.window == window).collect();
-        // Flatten with provenance.
-        let mut work: Vec<MeasureItem> = Vec::new();
-        let mut origin: Vec<(usize, usize)> = Vec::new(); // (job, item-in-job)
-        for (ji, job) in group.iter().enumerate() {
-            for (ii, item) in job.items.iter().enumerate() {
-                work.push(item.clone());
-                origin.push((ji, ii));
-            }
-        }
-        // Pre-probe the cache so result lines can carry an honest
-        // `cached` flag (the engine's resolve phase will hit the same
-        // entries).
-        let cached: Vec<bool> = work
-            .iter()
-            .map(|it| inner.engine.cache().get(&it.cache_key(window)).is_some())
-            .collect();
-        let origin = &origin;
-        let cached = &cached;
-        let group = &group;
-        inner.engine.measure_with(&work, window, |gi, ns| {
-            let (ji, ii) = origin[gi];
-            let job = group[ji];
-            let resp = Response::Result {
-                id: job.id.clone(),
-                key: job.items[ii].config_key.clone(),
-                // A panicked simulation reports 0 (unusable by
-                // convention, matching the explorer's validity rule).
-                runtime_ns: if ns.is_finite() { ns } else { 0.0 },
-                cached: cached[gi],
-            };
-            write_line(&job.writer, &resp.to_line());
-        });
-        for job in group {
-            let resp = Response::Done {
-                id: job.id.clone(),
-                results: job.items.len() as u64,
-            };
-            write_line(&job.writer, &resp.to_line());
         }
     }
 }

@@ -1,12 +1,13 @@
 //! End-to-end tests of the `gals-serve` wire protocol and server
-//! semantics: malformed input, concurrent clients, batching/dedupe,
-//! determinism against the direct explorer path, and clean shutdown
-//! with in-flight work.
+//! semantics: malformed input, concurrent clients, heterogeneous
+//! (mixed-window / mixed-priority) streams through the shared job
+//! scheduler, deadline expiry, determinism against the direct explorer
+//! path, and clean shutdown with in-flight work.
 
 use std::net::{Shutdown, TcpStream};
 
 use gals_core::{ControlPolicy, MachineConfig, McdConfig, Simulator};
-use gals_serve::{Client, Request, RequestKind, Response, ServeConfig, Server};
+use gals_serve::{Client, Priority, Request, RequestKind, Response, ServeConfig, Server};
 use gals_workloads::suite;
 
 fn start_server() -> Server {
@@ -14,16 +15,29 @@ fn start_server() -> Server {
 }
 
 fn phase_request(id: &str, bench: &str, window: u64) -> Request {
-    Request {
-        id: id.to_string(),
-        kind: RequestKind::RunConfig {
+    Request::new(
+        id,
+        RequestKind::RunConfig {
             bench: bench.to_string(),
             mode: "phase".to_string(),
             cfg: None,
             policy: Some(ControlPolicy::PaperArgmin),
             window,
         },
-    }
+    )
+}
+
+fn prog_request(id: &str, bench: &str, cfg: usize, window: u64) -> Request {
+    Request::new(
+        id,
+        RequestKind::RunConfig {
+            bench: bench.to_string(),
+            mode: "prog".to_string(),
+            cfg: Some(cfg),
+            policy: None,
+            window,
+        },
+    )
 }
 
 #[test]
@@ -36,6 +50,8 @@ fn malformed_requests_get_error_lines() {
         "{\"op\":\"run_config\",\"id\":\"x\",\"bench\":\"gzip\",\"mode\":\"sync\"}",
         "{\"op\":\"run_config\",\"id\":\"x\",\"bench\":\"no_such_bench\",\"mode\":\"phase\"}",
         "{\"op\":\"run_config\",\"id\":\"x\",\"bench\":\"gzip\",\"mode\":\"sync\",\"cfg\":999999}",
+        "{\"op\":\"status\",\"id\":\"x\",\"priority\":\"urgent\"}",
+        "{\"op\":\"status\",\"id\":\"x\",\"deadline_ms\":-1}",
     ] {
         client.send_raw(bad).unwrap();
         match client.read_response().unwrap() {
@@ -90,13 +106,13 @@ fn concurrent_clients_share_one_simulation() {
                 let responses = client
                     .request(&phase_request(&format!("c{c}"), "gzip", window))
                     .unwrap();
-                assert_eq!(responses.len(), 2, "one result + done");
+                assert_eq!(responses.len(), 2, "one partial + done");
                 match &responses[0] {
-                    Response::Result { runtime_ns, id, .. } => {
+                    Response::Partial { runtime_ns, id, .. } => {
                         assert_eq!(id, &format!("c{c}"));
                         *runtime_ns
                     }
-                    other => panic!("expected result, got {other:?}"),
+                    other => panic!("expected partial, got {other:?}"),
                 }
             })
         })
@@ -107,16 +123,13 @@ fn concurrent_clients_share_one_simulation() {
         "all clients must see the identical deterministic runtime: {runtimes:?}"
     );
     // Ten clients, one distinct configuration: exactly one simulation
-    // ran; everyone else was served by batching dedupe or the cache.
+    // ran; everyone else was served by in-flight dedupe or the cache.
     assert_eq!(server.simulated_count(), 1);
 
     // And the status op agrees.
     let mut client = Client::connect(addr).unwrap();
     let responses = client
-        .request(&Request {
-            id: "st".into(),
-            kind: RequestKind::Status,
-        })
+        .request(&Request::new("st", RequestKind::Status))
         .unwrap();
     match &responses[0] {
         Response::Status { counters, .. } => {
@@ -129,6 +142,8 @@ fn concurrent_clients_share_one_simulation() {
             };
             assert_eq!(get("simulated"), 1.0);
             assert!(get("requests") >= CLIENTS as f64);
+            assert_eq!(get("admitted_jobs"), CLIENTS as f64);
+            assert_eq!(get("expired"), 0.0);
             assert!(get("workers") >= 1.0);
         }
         other => panic!("expected status, got {other:?}"),
@@ -147,8 +162,8 @@ fn server_results_bit_identical_to_direct_runs() {
         .request(&phase_request("d1", "apsi", window))
         .unwrap();
     let served = match &responses[0] {
-        Response::Result { runtime_ns, .. } => *runtime_ns,
-        other => panic!("expected result, got {other:?}"),
+        Response::Partial { runtime_ns, .. } => *runtime_ns,
+        other => panic!("expected partial, got {other:?}"),
     };
 
     // Directly through the simulator (what Explorer sweeps execute).
@@ -168,29 +183,153 @@ fn server_results_bit_identical_to_direct_runs() {
     server.shutdown();
 }
 
+/// The tentpole acceptance case: one heterogeneous stream — every
+/// client a different window, mixed machine styles and policies, mixed
+/// priorities — goes through the single shared scheduler in one pass
+/// (no per-window serialization), and every result is bit-identical to
+/// the direct simulator run of the same configuration.
+#[test]
+fn mixed_window_mixed_priority_stream_is_one_scheduler_pass() {
+    let server = start_server();
+    let addr = server.local_addr();
+    const CLIENTS: usize = 8;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                // Per-client window and priority: all different, all in
+                // flight at once.
+                let window = 300 + 150 * c as u64;
+                let priority = match c % 3 {
+                    0 => Priority::Low,
+                    1 => Priority::Normal,
+                    _ => Priority::High,
+                };
+                let mut req = if c % 2 == 0 {
+                    phase_request(&format!("m{c}"), "gzip", window)
+                } else {
+                    prog_request(&format!("m{c}"), "art", c * 17, window)
+                };
+                req.priority = priority;
+                let mut client = Client::connect(addr).unwrap();
+                let responses = client.request(&req).unwrap();
+                assert_eq!(responses.len(), 2, "one partial + done");
+                let served = match &responses[0] {
+                    Response::Partial { runtime_ns, .. } => *runtime_ns,
+                    other => panic!("expected partial, got {other:?}"),
+                };
+                match responses.last().unwrap() {
+                    Response::Done {
+                        results, expired, ..
+                    } => {
+                        assert_eq!((*results, *expired), (1, 0));
+                    }
+                    other => panic!("expected done, got {other:?}"),
+                }
+                (c, window, served)
+            })
+        })
+        .collect();
+    let outcomes: Vec<(usize, u64, f64)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Eight distinct (config, window) pairs: no dedupe is possible, so
+    // the scheduler executed all eight as independent jobs of one queue.
+    assert_eq!(server.simulated_count(), CLIENTS as u64);
+    for (c, window, served) in outcomes {
+        let direct = if c % 2 == 0 {
+            Simulator::new(
+                MachineConfig::phase_adaptive(McdConfig::smallest())
+                    .with_control(ControlPolicy::PaperArgmin),
+            )
+            .run(&mut suite::by_name("gzip").unwrap().stream(), window)
+            .runtime_ns()
+        } else {
+            let cfg = McdConfig::enumerate()[c * 17];
+            Simulator::new(MachineConfig::program_adaptive(cfg))
+                .run(&mut suite::by_name("art").unwrap().stream(), window)
+                .runtime_ns()
+        };
+        assert_eq!(
+            served.to_bits(),
+            direct.to_bits(),
+            "client {c} at window {window}: scheduling order must not affect results"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn deadline_zero_expires_uncached_and_serves_cached() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // An uncached configuration with an already-passed deadline: the
+    // worker must not simulate it — typed expiry instead.
+    let mut req = prog_request("e1", "em3d", 42, 700);
+    req.deadline_ms = Some(0);
+    let responses = client.request(&req).unwrap();
+    assert_eq!(responses.len(), 2);
+    assert!(
+        matches!(&responses[0], Response::Expired { id, .. } if id == "e1"),
+        "expected expired frame, got {:?}",
+        responses[0]
+    );
+    assert!(matches!(
+        responses.last(),
+        Some(Response::Done {
+            results: 0,
+            expired: 1,
+            ..
+        })
+    ));
+    assert_eq!(server.simulated_count(), 0);
+    assert_eq!(server.expired_count(), 1);
+
+    // Without a deadline the same job simulates...
+    let responses = client
+        .request(&prog_request("e2", "em3d", 42, 700))
+        .unwrap();
+    assert!(matches!(
+        &responses[0],
+        Response::Partial { cached: false, .. }
+    ));
+    // ...and once cached, even a zero deadline is served (a hit costs
+    // nothing — deadline_ms: 0 is the cache-only probe).
+    let mut req = prog_request("e3", "em3d", 42, 700);
+    req.deadline_ms = Some(0);
+    let responses = client.request(&req).unwrap();
+    assert!(
+        matches!(&responses[0], Response::Partial { cached: true, .. }),
+        "cache hit must beat the deadline, got {:?}",
+        responses[0]
+    );
+    server.shutdown();
+}
+
 #[test]
 fn sweep_streams_every_config_and_policy_compare_runs() {
     let server = start_server();
     let mut client = Client::connect(server.local_addr()).unwrap();
     let responses = client
-        .request(&Request {
-            id: "sw".into(),
-            kind: RequestKind::Sweep {
+        .request(&Request::new(
+            "sw",
+            RequestKind::Sweep {
                 bench: "adpcm_encode".into(),
                 mode: "prog".into(),
                 window: 200,
             },
-        })
+        ))
         .unwrap();
-    assert_eq!(responses.len(), 257, "256 results + done");
+    assert_eq!(responses.len(), 257, "256 partials + done");
     assert!(matches!(
         responses.last(),
-        Some(Response::Done { results: 256, .. })
+        Some(Response::Done {
+            results: 256,
+            expired: 0,
+            ..
+        })
     ));
     let mut keys: Vec<&str> = responses
         .iter()
         .filter_map(|r| match r {
-            Response::Result { key, .. } => Some(key.as_str()),
+            Response::Partial { key, .. } => Some(key.as_str()),
             _ => None,
         })
         .collect();
@@ -199,16 +338,16 @@ fn sweep_streams_every_config_and_policy_compare_runs() {
     assert_eq!(keys.len(), 256, "every configuration exactly once");
 
     let responses = client
-        .request(&Request {
-            id: "pc".into(),
-            kind: RequestKind::PolicyCompare {
+        .request(&Request::new(
+            "pc",
+            RequestKind::PolicyCompare {
                 bench: "adpcm_encode".into(),
                 policies: vec![ControlPolicy::PaperArgmin, ControlPolicy::Static],
                 window: 200,
             },
-        })
+        ))
         .unwrap();
-    assert_eq!(responses.len(), 3, "two results + done");
+    assert_eq!(responses.len(), 3, "two partials + done");
     server.shutdown();
 }
 
@@ -220,13 +359,13 @@ fn repeat_requests_are_served_from_cache() {
     let first = client.request(&req).unwrap();
     let again = client.request(&phase_request("r2", "art", 600)).unwrap();
     let (a, cached_a) = match &first[0] {
-        Response::Result {
+        Response::Partial {
             runtime_ns, cached, ..
         } => (*runtime_ns, *cached),
         other => panic!("{other:?}"),
     };
     let (b, cached_b) = match &again[0] {
-        Response::Result {
+        Response::Partial {
             runtime_ns, cached, ..
         } => (*runtime_ns, *cached),
         other => panic!("{other:?}"),
@@ -244,25 +383,29 @@ fn clean_shutdown_completes_in_flight_work() {
     let mut client = Client::connect(server.local_addr()).unwrap();
     // A whole program-adaptive sweep is in flight when shutdown begins.
     client
-        .send(&Request {
-            id: "inflight".into(),
-            kind: RequestKind::Sweep {
+        .send(&Request::new(
+            "inflight",
+            RequestKind::Sweep {
                 bench: "gzip".into(),
                 mode: "prog".into(),
                 window: 150,
             },
-        })
+        ))
         .unwrap();
-    // Wait for the batch to start streaming, then shut down mid-stream.
+    // Wait for the queue to start streaming, then shut down mid-stream.
     let first = client.read_response().unwrap();
-    assert!(matches!(first, Response::Result { .. }));
+    assert!(matches!(first, Response::Partial { .. }));
     let shutdown_handle = std::thread::spawn(move || server.shutdown());
     let mut results = 1u64;
     loop {
         match client.read_response().unwrap() {
-            Response::Result { .. } => results += 1,
-            Response::Done { results: n, .. } => {
-                assert_eq!(n, 256);
+            Response::Partial { .. } => results += 1,
+            Response::Done {
+                results: n,
+                expired,
+                ..
+            } => {
+                assert_eq!((n, expired), (256, 0));
                 break;
             }
             other => panic!("unexpected response {other:?}"),
@@ -270,4 +413,115 @@ fn clean_shutdown_completes_in_flight_work() {
     }
     assert_eq!(results, 256, "every in-flight result was delivered");
     shutdown_handle.join().unwrap();
+}
+
+/// Regression for the shutdown/socket-close race: results that were
+/// already computed when shutdown began — and every result of every
+/// admitted request, from *multiple* connections — must be flushed to
+/// their clients (through each request's `done` frame) before the
+/// server closes the connections. A dropped socket would surface here
+/// as an `UnexpectedEof` from `read_response`.
+#[test]
+fn shutdown_flushes_admitted_requests_before_closing_connections() {
+    // One worker serializes the queue, so most of the admitted work is
+    // still pending when shutdown begins.
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let mut slow = Client::connect(addr).unwrap();
+    let mut quick = Client::connect(addr).unwrap();
+    // Admit a long sweep on one connection and several singles on
+    // another; begin shutdown as soon as the first partial proves the
+    // queue is being worked.
+    slow.send(&Request::new(
+        "slow",
+        RequestKind::Sweep {
+            bench: "apsi".into(),
+            mode: "prog".into(),
+            window: 150,
+        },
+    ))
+    .unwrap();
+    for j in 0..3 {
+        quick
+            .send(&prog_request(&format!("q{j}"), "crafty", j * 11, 200))
+            .unwrap();
+    }
+    let first = slow.read_response().unwrap();
+    assert!(matches!(first, Response::Partial { .. }));
+    let shutdown_handle = std::thread::spawn(move || server.shutdown());
+
+    // Both connections must receive their complete streams.
+    let mut slow_partials = 1u64;
+    loop {
+        match slow.read_response().expect("no EOF before done") {
+            Response::Partial { .. } => slow_partials += 1,
+            Response::Done { results, .. } => {
+                assert_eq!(results, 256);
+                break;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(slow_partials, 256);
+    let mut quick_done = 0;
+    while quick_done < 3 {
+        match quick.read_response().expect("no EOF before all dones") {
+            Response::Partial { .. } => {}
+            Response::Done { results, .. } => {
+                assert_eq!(results, 1);
+                quick_done += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    shutdown_handle.join().unwrap();
+}
+
+/// High-priority jobs overtake queued low-priority jobs: with a single
+/// worker and the queue pre-loaded, a later high-priority request
+/// completes before earlier low-priority ones.
+#[test]
+fn high_priority_overtakes_queued_low_priority() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Pipeline: a burst of low-priority singles, then one high-priority
+    // request, all before reading anything. Windows are sized so each
+    // simulation takes far longer than admitting the whole pipeline —
+    // the lone worker cannot outrun the reader thread.
+    const LOWS: usize = 8;
+    for j in 0..LOWS {
+        let mut req = prog_request(&format!("low{j}"), "gzip", j * 29, 2_000);
+        req.priority = Priority::Low;
+        client.send(&req).unwrap();
+    }
+    let mut urgent = prog_request("urgent", "gzip", 255, 2_000);
+    urgent.priority = Priority::High;
+    client.send(&urgent).unwrap();
+
+    // Collect done-frame order.
+    let mut done_order = Vec::new();
+    while done_order.len() < LOWS + 1 {
+        let resp = client.read_response().unwrap();
+        if matches!(resp, Response::Done { .. }) {
+            done_order.push(resp.id().to_string());
+        }
+    }
+    let urgent_pos = done_order.iter().position(|id| id == "urgent").unwrap();
+    // The worker may already be a few jobs into the backlog when
+    // "urgent" is admitted (loaded single-core runners deschedule the
+    // reader), but a high-priority job must overtake the still-queued
+    // half of the low backlog; FIFO would leave it last.
+    assert!(
+        urgent_pos <= LOWS / 2,
+        "high priority should overtake the low backlog: {done_order:?}"
+    );
+    server.shutdown();
 }
