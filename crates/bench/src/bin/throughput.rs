@@ -1,13 +1,25 @@
 //! Throughput reporter: measures simulated-instructions/sec for the
 //! three machine styles and sweep configurations/sec for the synchronous
 //! design-space sweep, for both the event-driven fast loop and the
-//! straightforward reference loop, and emits the numbers as JSON.
+//! straightforward reference loop, plus the sweep-wide trace-sharing
+//! speedup (pooled traces vs per-job stream regeneration), and emits the
+//! numbers as JSON.
 //!
-//! This feeds the checked-in `BENCH_sim.json` trajectory:
+//! This feeds the checked-in `BENCH_sim.json` trajectory (schema v2):
 //!
 //! ```text
 //! cargo run --release -p gals-bench --bin throughput -- --out BENCH_sim.json
 //! ```
+//!
+//! CI runs it as a perf-smoke gate:
+//!
+//! ```text
+//! cargo run --release -p gals-bench --bin throughput -- --check BENCH_sim.json
+//! ```
+//!
+//! which exits non-zero when the measured `simulator_geomean_speedup` or
+//! `sweep_trace_shared.speedup` falls more than the tolerance (default
+//! 15%, `--tolerance 0.25` to widen) below the committed artifact.
 //!
 //! Knobs: `GALS_BENCH_SIM_WINDOW` (default 60,000 instructions per
 //! simulator measurement), `GALS_BENCH_SWEEP_WINDOW` (default 4,000
@@ -16,13 +28,21 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use gals_core::{MachineConfig, McdConfig, Simulator};
-use gals_explore::{Explorer, ResultCache};
+use gals_core::{MachineConfig, McdConfig, Simulator, SyncConfig};
+use gals_explore::{in_sync_winner_subset, Explorer, MeasureItem, ResultCache, SweepEngine};
 use gals_workloads::suite;
+
+/// PR 1's committed `sweep_sync.fast_configs_per_sec` (window 4,000,
+/// one thread, the standard CI container class): the fixed baseline the
+/// `speedup_vs_v1_sweep` trajectory metric is quoted against. Absolute
+/// configs/sec only transfer between hosts of the same class — the
+/// perf-smoke gate therefore checks the same-host ratios, and this
+/// number exists to track the sweep-throughput trajectory across PRs.
+const V1_SWEEP_CONFIGS_PER_SEC: f64 = 580.664;
 
 const STYLES: [&str; 3] = ["synchronous", "program_adaptive", "phase_adaptive"];
 const BENCHES: [&str; 3] = ["adpcm_encode", "gcc", "equake"];
-/// Benchmarks for the sweep throughput measurement (a slice of the suite
+/// Benchmarks for the sweep throughput measurements (a slice of the suite
 /// keeps the reporter under a couple of minutes end to end).
 const SWEEP_BENCHES: [&str; 4] = ["adpcm_encode", "gcc", "power", "art"];
 
@@ -77,13 +97,89 @@ fn time_sweep(window: u64, reference: bool) -> (usize, f64) {
     (out.geomeans_ns.len() * suite.len(), dt)
 }
 
-fn main() {
-    let out_path = {
-        let args: Vec<String> = std::env::args().collect();
+/// The 512-run work list for the trace-sharing measurement: the same
+/// 128-configuration synchronous subset `sync_sweep` uses, crossed with
+/// the four sweep benchmarks — exactly the shape where N configurations
+/// share one benchmark stream.
+fn trace_sweep_work() -> Vec<MeasureItem> {
+    let specs: Vec<_> = SWEEP_BENCHES
+        .iter()
+        .map(|n| suite::by_name(n).expect("benchmark in suite"))
+        .collect();
+    let configs: Vec<SyncConfig> = SyncConfig::enumerate()
+        .into_iter()
+        .filter(in_sync_winner_subset)
+        .collect();
+    let mut work = Vec::with_capacity(configs.len() * specs.len());
+    for cfg in &configs {
+        for spec in &specs {
+            work.push(MeasureItem::sync(spec.clone(), *cfg));
+        }
+    }
+    work
+}
+
+/// One timed trace-shared (or per-job-stream) sweep over a fresh
+/// in-memory cache; returns (runs, seconds, pool hits).
+fn time_trace_sweep(window: u64, pooled: bool) -> (usize, f64, u64) {
+    let work = trace_sweep_work();
+    let mut engine = SweepEngine::new(ResultCache::in_memory());
+    if !pooled {
+        engine = engine.without_trace_pool();
+    }
+    let t0 = Instant::now();
+    let out = engine.measure_owned(work, window);
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(
+        out.iter().all(|ns| ns.is_finite() && *ns > 0.0),
+        "trace sweep produced an unusable runtime"
+    );
+    (out.len(), dt, engine.trace_pool_hits())
+}
+
+/// Pulls `"key": <number>` out of a flat-ish JSON text, searching after
+/// the first occurrence of `anchor` (pass `""` to search from the top).
+/// Hand-rolled on purpose: the committed artifact is produced by this
+/// binary, so the shapes are known and no JSON dependency is needed.
+fn extract_number(text: &str, anchor: &str, key: &str) -> Option<f64> {
+    let from = if anchor.is_empty() {
+        0
+    } else {
+        text.find(anchor)? + anchor.len()
+    };
+    let rest = &text[from..];
+    let kpos = rest.find(key)? + key.len();
+    let rest = rest[kpos..].trim_start_matches([':', ' ']);
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+struct Args {
+    out: Option<String>,
+    check: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Args {
+    let args: Vec<String> = std::env::args().collect();
+    let grab = |flag: &str| {
         args.iter()
-            .position(|a| a == "--out")
+            .position(|a| a == flag)
             .and_then(|i| args.get(i + 1).cloned())
     };
+    Args {
+        out: grab("--out"),
+        check: grab("--check"),
+        tolerance: grab("--tolerance")
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(0.15),
+    }
+}
+
+fn main() {
+    let args = parse_args();
     let sim_window = env_u64("GALS_BENCH_SIM_WINDOW", 60_000);
     let sweep_window = env_u64("GALS_BENCH_SWEEP_WINDOW", 4_000);
     // Restrict the sweep to the 128-configuration subset so the reporter
@@ -91,7 +187,7 @@ fn main() {
     std::env::set_var("GALS_MCD_SYNC_SUBSET", "1");
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"gals-mcd-throughput-v1\",\n");
+    json.push_str("{\n  \"schema\": \"gals-mcd-throughput-v2\",\n");
     let _ = writeln!(json, "  \"sim_window\": {sim_window},");
 
     // Simulator throughput matrix.
@@ -127,6 +223,10 @@ fn main() {
     let _ = writeln!(json, "  \"simulator_geomean_speedup\": {geomean:.3},");
     eprintln!("  geomean simulator speedup: {geomean:.2}x");
 
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
     // Sweep throughput (the sweep_sync hot path end to end: work
     // stealing, sharded result cache, and the simulator itself).
     eprintln!("sweep_sync throughput ({sweep_window} instructions per configuration):");
@@ -136,9 +236,6 @@ fn main() {
     let fast_cps = runs as f64 / fast_s;
     let ref_cps = runs as f64 / ref_s;
     let sweep_speedup = ref_s / fast_s;
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     eprintln!(
         "  {runs} runs: fast {fast_cps:.1} configs/s   reference {ref_cps:.1} configs/s   \
          speedup {sweep_speedup:.2}x ({threads} threads)"
@@ -147,13 +244,85 @@ fn main() {
         json,
         "  \"sweep_sync\": {{\"runs\": {runs}, \"window\": {sweep_window}, \
          \"threads\": {threads}, \"fast_configs_per_sec\": {fast_cps:.3}, \
-         \"reference_configs_per_sec\": {ref_cps:.3}, \"speedup\": {sweep_speedup:.3}}}"
+         \"reference_configs_per_sec\": {ref_cps:.3}, \"speedup\": {sweep_speedup:.3}}},"
+    );
+
+    // Trace-sharing speedup: the identical 512-run sweep with the trace
+    // pool on (one stream materialization per benchmark, shared by all
+    // 128 of its configurations) versus off (every job regenerates its
+    // stream from RNG scratch — the pre-pool behaviour).
+    eprintln!("sweep_trace_shared ({sweep_window} instructions per configuration):");
+    let (truns, pooled_s, pool_hits) = time_trace_sweep(sweep_window, true);
+    let (truns_b, perjob_s, _) = time_trace_sweep(sweep_window, false);
+    assert_eq!(truns, truns_b);
+    let pooled_cps = truns as f64 / pooled_s;
+    let perjob_cps = truns as f64 / perjob_s;
+    let trace_speedup = perjob_s / pooled_s;
+    let vs_v1 = pooled_cps / V1_SWEEP_CONFIGS_PER_SEC;
+    eprintln!(
+        "  {truns} runs: pooled {pooled_cps:.1} configs/s   per-job streams {perjob_cps:.1} \
+         configs/s   speedup {trace_speedup:.2}x   vs PR 1 sweep {vs_v1:.2}x \
+         ({pool_hits} pool hits, {threads} threads)"
+    );
+    let _ = writeln!(
+        json,
+        "  \"sweep_trace_shared\": {{\"runs\": {truns}, \"window\": {sweep_window}, \
+         \"threads\": {threads}, \"pool_hits\": {pool_hits}, \
+         \"pooled_configs_per_sec\": {pooled_cps:.3}, \
+         \"per_job_configs_per_sec\": {perjob_cps:.3}, \"speedup\": {trace_speedup:.3}, \
+         \"v1_fast_configs_per_sec\": {V1_SWEEP_CONFIGS_PER_SEC}, \
+         \"speedup_vs_v1_sweep\": {vs_v1:.3}}}"
     );
     json.push_str("}\n");
 
     println!("{json}");
-    if let Some(path) = out_path {
-        std::fs::write(&path, &json).expect("write report");
+    if let Some(path) = &args.out {
+        std::fs::write(path, &json).expect("write report");
         eprintln!("wrote {path}");
+    }
+
+    // Perf-smoke gate: compare the two headline speedups against the
+    // committed artifact. Speedups are ratios of two measurements taken
+    // on the same host seconds apart, so they transfer across machines
+    // far better than absolute configs/sec.
+    if let Some(path) = &args.check {
+        let committed = std::fs::read_to_string(path).expect("read committed artifact");
+        let mut failed = false;
+        let checks = [
+            (
+                "simulator_geomean_speedup",
+                geomean,
+                extract_number(&committed, "", "\"simulator_geomean_speedup\""),
+            ),
+            (
+                "sweep_trace_shared.speedup",
+                trace_speedup,
+                extract_number(&committed, "\"sweep_trace_shared\"", "\"speedup\""),
+            ),
+        ];
+        for (name, measured, committed_val) in checks {
+            let Some(want) = committed_val else {
+                eprintln!("perf-smoke: {name} missing from {path} (schema v2 required)");
+                failed = true;
+                continue;
+            };
+            let floor = want * (1.0 - args.tolerance);
+            if measured < floor {
+                eprintln!(
+                    "perf-smoke FAIL: {name} measured {measured:.3} < floor {floor:.3} \
+                     (committed {want:.3}, tolerance {:.0}%)",
+                    args.tolerance * 100.0
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "perf-smoke ok: {name} measured {measured:.3} >= floor {floor:.3} \
+                     (committed {want:.3})"
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

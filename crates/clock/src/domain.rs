@@ -205,6 +205,50 @@ impl DomainClock {
         edge
     }
 
+    /// Advances past every edge strictly before `horizon`, exactly as if
+    /// [`DomainClock::tick`] had been called once per such edge, and
+    /// returns how many edges were consumed.
+    ///
+    /// When the edge sequence over the span is arithmetically determined
+    /// — zero effective jitter and no relock pending — the jump is O(1):
+    /// edges lie exactly on the ideal grid, so the index arithmetic
+    /// replaces the per-edge loop. This is what makes idle-skipping
+    /// cheap for synchronous machines, whose bulk-skip spans cover
+    /// hundreds of edges per memory stall. Otherwise each edge is
+    /// generated individually, because a jittered edge consumes one RNG
+    /// draw (and a relock re-bases the grid mid-span), and producing
+    /// them one by one is the only way to keep the RNG stream — and
+    /// therefore every downstream result — bit-identical.
+    pub fn fast_forward_to(&mut self, horizon: Femtos) -> u64 {
+        if self.next_edge >= horizon {
+            return 0;
+        }
+        let amp = (self.period.as_fs() as f64 * self.jitter_frac) as u64;
+        if amp != 0 || self.pending.is_some() {
+            // `jittered` draws RNG exactly when amp != 0, so this
+            // condition mirrors the per-edge stream consumption.
+            let mut n = 0;
+            while self.next_edge < horizon {
+                self.tick();
+                n += 1;
+            }
+            return n;
+        }
+        // Jitter-free, relock-free: `next_edge == ideal(grid_index)` and
+        // every future edge sits at `grid_base + period·i`.
+        debug_assert_eq!(self.next_edge, self.ideal(self.grid_index));
+        let p = self.period.as_fs();
+        // Last grid index whose edge time is strictly before `horizon`.
+        let last_i = (horizon.as_fs() - 1 - self.grid_base.as_fs()) / p;
+        debug_assert!(last_i >= self.grid_index);
+        let n = last_i - self.grid_index + 1;
+        self.cycle += n;
+        self.grid_index += n;
+        self.last_edge = self.ideal(self.grid_index - 1);
+        self.next_edge = self.ideal(self.grid_index);
+        n
+    }
+
     /// Begins a frequency change to `target`, sampling a PLL lock time.
     /// Returns the completion time. The clock continues at the current
     /// frequency until then.
@@ -270,6 +314,71 @@ mod tests {
             assert_eq!(c.tick(), Femtos::new(k * 1_000_000));
         }
         assert_eq!(c.cycle(), 100);
+    }
+
+    /// `fast_forward_to` must leave the clock in exactly the state that
+    /// the equivalent number of `tick` calls would — the O(1) arithmetic
+    /// jump for jitter-free clocks and the per-edge loop for jittered
+    /// ones must both be indistinguishable from ticking.
+    #[test]
+    fn fast_forward_is_equivalent_to_ticking() {
+        for (jitter, seed) in [(0.0, 1u64), (0.0, 9), (0.01, 1), (0.05, 7)] {
+            let mut ff = clk(1.6, jitter, seed);
+            let mut tk = clk(1.6, jitter, seed);
+            // Interleave jumps of assorted spans with normal ticks.
+            for (i, span_edges) in [3u64, 1, 250, 17, 1000, 2].iter().enumerate() {
+                // Choose a horizon a fractional period past the span.
+                let horizon =
+                    tk.peek_next_edge() + tk.period() * *span_edges + Femtos::new(137 * i as u64);
+                let mut n_tk = 0;
+                while tk.peek_next_edge() < horizon {
+                    tk.tick();
+                    n_tk += 1;
+                }
+                let n_ff = ff.fast_forward_to(horizon);
+                assert_eq!(n_ff, n_tk, "jitter {jitter}: edge counts diverged");
+                assert_eq!(ff.cycle(), tk.cycle());
+                assert_eq!(ff.last_edge(), tk.last_edge());
+                assert_eq!(ff.peek_next_edge(), tk.peek_next_edge());
+                // A few plain ticks between jumps keep both streams hot.
+                for _ in 0..5 {
+                    assert_eq!(ff.tick(), tk.tick());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_noop_when_horizon_not_reached() {
+        let mut c = clk(1.0, 0.0, 1);
+        let before = c.peek_next_edge();
+        assert_eq!(c.fast_forward_to(before), 0, "strictly-before semantics");
+        assert_eq!(c.peek_next_edge(), before);
+        assert_eq!(c.cycle(), 0);
+    }
+
+    #[test]
+    fn fast_forward_falls_back_during_relock() {
+        let mut c = clk(1.0, 0.0, 3);
+        c.tick();
+        let done = c.begin_frequency_change(Hertz::from_ghz(2.0));
+        let mut tk = clk(1.0, 0.0, 3);
+        tk.tick();
+        let done_tk = tk.begin_frequency_change(Hertz::from_ghz(2.0));
+        assert_eq!(done, done_tk);
+        // Jump across the relock boundary: the grid re-bases mid-span,
+        // so the fallback loop must be taken and match plain ticking.
+        let horizon = done + Femtos::from_ns(10);
+        let n = c.fast_forward_to(horizon);
+        let mut m = 0;
+        while tk.peek_next_edge() < horizon {
+            tk.tick();
+            m += 1;
+        }
+        assert_eq!(n, m);
+        assert_eq!(c.peek_next_edge(), tk.peek_next_edge());
+        assert_eq!(c.frequency(), tk.frequency());
+        assert_eq!(c.cycle(), tk.cycle());
     }
 
     #[test]

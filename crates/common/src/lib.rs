@@ -17,6 +17,9 @@
 //!   reproducible across platforms and dependency upgrades.
 //! * [`stats`] — small statistics helpers (means, geometric means, running
 //!   summaries) used by the experiment harnesses.
+//! * [`fxmap`] — a seedable FxHash-style hasher with map/set aliases for
+//!   the per-instruction hot paths, where SipHash's DoS resistance buys
+//!   nothing on trusted, internally generated keys.
 //!
 //! # Example
 //!
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fxmap;
 mod ids;
 mod rng;
 pub mod stats;

@@ -27,29 +27,39 @@
 //!
 //! The simulator has two run loops producing **bit-identical** results:
 //!
-//! * The **event-driven fast path** (default). Issue-queue and LSQ
-//!   entries carry a memoized earliest-possible-issue time
-//!   (`next_check`); entries whose producer has not issued yet register
-//!   in a per-producer waiter list and are woken by the producer's
-//!   completion broadcast instead of being polled. Each domain maintains
-//!   `next_work`, a sound lower bound on the next edge at which its
-//!   handler can change any state: edges before that bound tick the
-//!   clock (consuming the identical jitter-RNG sequence) but skip the
-//!   handler, and when *every* domain is idle the run loop fast-forwards
-//!   all four clocks to the earliest bound in one batch. Store-to-load
-//!   forwarding consults an address-indexed map of in-flight stores, and
-//!   LSQ commit-time removal is O(1) head popping.
+//! * The **event-driven fast path** (default). All per-instruction state
+//!   lives in a fixed-capacity power-of-two **slab** of [`InstState`]
+//!   indexed by `u32` slot (`slot = seq & mask`; capacity exceeds the
+//!   maximum in-flight window, so slots are unique while an instruction
+//!   is alive and are reclaimed for free at commit). Every pipeline
+//!   queue holds slots, and the issue queues and the pending-LSQ walk
+//!   list are **intrusive doubly-linked lists** threaded through the
+//!   slab, so mid-queue removal at issue is O(1) with no element
+//!   shifting. Issue-queue and LSQ entries carry a memoized
+//!   earliest-possible-issue time (`next_check`); entries whose producer
+//!   has not issued yet register in a per-producer waiter chain and are
+//!   woken by the producer's completion broadcast instead of being
+//!   polled. Each domain maintains `next_work`, a sound lower bound on
+//!   the next edge at which its handler can change any state: edges
+//!   before that bound tick the clock (consuming the identical
+//!   jitter-RNG sequence) but skip the handler, and when *every* domain
+//!   is idle the run loop fast-forwards all four clocks to the earliest
+//!   bound in one batch. Store-to-load forwarding consults an
+//!   [`FxHashMap`]-indexed map from 8-byte line to an intrusive chain of
+//!   in-flight stores (no per-line allocation, no SipHash), and LSQ
+//!   commit-time removal is O(1) head popping.
 //! * The **straightforward reference path**
 //!   ([`Simulator::use_reference_loop`]): every edge of every domain
-//!   runs its full handler, forwarding reverse-scans the LSQ, and
-//!   removal is a linear search — the naive implementation the
-//!   determinism regression tests compare against, and the baseline the
-//!   criterion benches measure speedups from.
+//!   runs its full handler, forwarding reverse-scans the LSQ, and every
+//!   entry is polled — the naive implementation the determinism
+//!   regression tests compare against, and the baseline the criterion
+//!   benches measure speedups from.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use gals_cache::{AccessKind, AccountingCache, ServedBy};
 use gals_clock::{DomainClock, SyncModel};
+use gals_common::fxmap::{fx_map_with_capacity, FxHashMap};
 use gals_common::{DomainId, Femtos, SplitMix64};
 use gals_control::{AdaptationEngine, EngineSetup, IlpDecision};
 use gals_isa::{DynInst, InstructionStream, OpClass};
@@ -64,9 +74,10 @@ const INT: usize = DomainId::Integer.index();
 const FP: usize = DomainId::FloatingPoint.index();
 const LS: usize = DomainId::LoadStore.index();
 
-/// Completion ring size; must exceed the maximum in-flight window (ROB +
-/// fetch queue) by a comfortable margin.
-const RING: usize = 4096;
+/// Minimum completion-ring size; the ring must exceed the maximum
+/// in-flight window by a comfortable margin so a `Src::Pending`
+/// reference can be resolved well after its producer committed.
+const MIN_RING: usize = 4096;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Src {
@@ -91,12 +102,15 @@ enum RenameRef {
     Pending(u64),
 }
 
-/// Sentinel for the intrusive waiter lists: "no waiter".
-const NO_WAITER: u64 = u64::MAX;
+/// Sentinel for every intrusive slot link: "no entry".
+const NO_LINK: u32 = u32::MAX;
 
 #[derive(Debug, Clone)]
 struct InstState {
     inst: DynInst,
+    /// This slot's owner. Slots are reused after commit (`slot = seq &
+    /// mask`), so ordering decisions always read the seq, never the slot.
+    seq: u64,
     srcs: [Src; 2],
     /// Execution domain index; FE for nops/jumps (complete at rename).
     exec_domain: u8,
@@ -109,11 +123,53 @@ struct InstState {
     renamed: bool,
     mispredicted: bool,
     uses_phys: bool,
-    /// Head of this instruction's waiter chain: the seq of the first
+    /// Head of this instruction's waiter chain: the slot of the first
     /// consumer parked on its completion broadcast (fast path only).
-    waiter_head: u64,
+    waiter_head: u32,
     /// Next link when this instruction is itself parked in a chain.
-    waiter_next: u64,
+    waiter_next: u32,
+    /// Intrusive queue links: an instruction sits in at most one of the
+    /// two issue queues or the pending-LSQ list at a time.
+    q_prev: u32,
+    q_next: u32,
+    /// Next in-flight store on the same 8-byte line (fast path only),
+    /// in ascending seq order.
+    line_next: u32,
+}
+
+/// An intrusive doubly-linked list threaded through the slab's
+/// `q_prev`/`q_next` links: O(1) push-back and mid-list removal, age
+/// order preserved (entries enter in dispatch order).
+#[derive(Debug, Clone, Copy)]
+struct QList {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl QList {
+    const EMPTY: QList = QList {
+        head: NO_LINK,
+        tail: NO_LINK,
+        len: 0,
+    };
+
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The in-flight stores on one 8-byte line, as head/tail of the
+/// intrusive `line_next` chain (ascending seq order: inserted at tail on
+/// dispatch, removed at head on commit).
+#[derive(Debug, Clone, Copy)]
+struct LineChain {
+    head: u32,
+    tail: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -168,20 +224,21 @@ pub struct Simulator {
     iq_cap: [usize; 2],
     iq_target: [u32; 2],
 
-    // In-flight window.
+    // In-flight window: a fixed-capacity slab addressed by `seq & mask`.
     head_seq: u64,
     next_seq: u64,
-    window: VecDeque<InstState>,
+    slab: Box<[InstState]>,
+    slab_mask: usize,
     ring: Vec<RingSlot>,
+    ring_mask: usize,
 
     rename_map: [RenameRef; 64],
     free_phys: [i64; 2],
 
-    fetch_q: VecDeque<u64>,
-    rob: VecDeque<u64>,
-    iq: [Vec<u64>; 2],
-    lsq: VecDeque<u64>,
-    lsq_scratch: Vec<u64>,
+    fetch_q: VecDeque<u32>,
+    rob: VecDeque<u32>,
+    iq: [QList; 2],
+    lsq: VecDeque<u32>,
     store_jobs: VecDeque<StoreJob>,
 
     // Event-driven fast-path state (unused in reference mode).
@@ -190,16 +247,17 @@ pub struct Simulator {
     /// Per-domain lower bound on the next edge time at which the
     /// domain's handler can change state. `Femtos::MAX` = fully idle.
     next_work: [Femtos; 4],
-    /// `addr >> 3` → in-flight (LSQ-resident) stores to that 8-byte
-    /// line, in ascending seq order. Gives store-to-load forwarding its
-    /// O(log n) candidate lookup.
-    stores_by_line: HashMap<u64, Vec<u64>>,
+    /// `addr >> 3` → intrusive chain of in-flight (LSQ-resident) stores
+    /// to that 8-byte line. Gives store-to-load forwarding its O(chain)
+    /// candidate lookup with no per-line allocation; chains are one or
+    /// two entries long in practice.
+    stores_by_line: FxHashMap<u64, LineChain>,
     /// Un-issued LSQ entries in age order (the subset the LS edge walk
-    /// actually needs to visit).
-    lsq_pending: VecDeque<u64>,
+    /// actually needs to visit), as an intrusive list.
+    lsq_pending: QList,
 
     fetch_stalled_until: Femtos,
-    fetch_blocked_on: Option<u64>,
+    fetch_blocked_on: Option<u32>,
     cur_fetch_line: u64,
     pending_inst: Option<DynInst>,
 
@@ -332,6 +390,32 @@ impl Simulator {
                 },
             )
         });
+
+        // The slab holds every in-flight instruction at `seq & mask`;
+        // capacity strictly exceeds the architectural in-flight bound so
+        // a live slot is never overwritten. The completion ring is kept
+        // several windows deeper so consumers renamed long after a
+        // producer committed still resolve its completion time.
+        let slab_cap = p.max_in_flight().next_power_of_two();
+        let ring_len = (slab_cap * 4).max(MIN_RING);
+        let vacant = InstState {
+            inst: DynInst::nop(0),
+            seq: u64::MAX,
+            srcs: [Src::Free, Src::Free],
+            exec_domain: FE as u8,
+            arrival: Femtos::ZERO,
+            next_check: Femtos::ZERO,
+            completion: None,
+            issued: false,
+            renamed: false,
+            mispredicted: false,
+            uses_phys: false,
+            waiter_head: NO_LINK,
+            waiter_next: NO_LINK,
+            q_prev: NO_LINK,
+            q_next: NO_LINK,
+            line_next: NO_LINK,
+        };
         Simulator {
             clocks,
             sync,
@@ -346,15 +430,17 @@ impl Simulator {
             iq_target: [iq_int.entries(), iq_fp.entries()],
             head_seq: 0,
             next_seq: 0,
-            window: VecDeque::with_capacity(512),
+            slab: vec![vacant; slab_cap].into_boxed_slice(),
+            slab_mask: slab_cap - 1,
             ring: vec![
                 RingSlot {
                     seq: u64::MAX,
                     at: Femtos::ZERO,
                     domain: 0,
                 };
-                RING
+                ring_len
             ],
+            ring_mask: ring_len - 1,
             rename_map: [RenameRef::Ready {
                 at: Femtos::ZERO,
                 domain: FE as u8,
@@ -363,16 +449,15 @@ impl Simulator {
                 (cfg.params.phys_int as i64) - 32,
                 (cfg.params.phys_fp as i64) - 32,
             ],
-            fetch_q: VecDeque::with_capacity(16),
+            fetch_q: VecDeque::with_capacity(cfg.params.fetch_queue + 1),
             rob: VecDeque::with_capacity(cfg.params.rob_entries),
-            iq: [Vec::with_capacity(64), Vec::with_capacity(64)],
+            iq: [QList::EMPTY; 2],
             lsq: VecDeque::with_capacity(cfg.params.lsq_entries),
-            lsq_scratch: Vec::with_capacity(cfg.params.lsq_entries),
-            store_jobs: VecDeque::new(),
+            store_jobs: VecDeque::with_capacity(2 * cfg.params.lsq_entries),
             event_driven: true,
             next_work: [Femtos::ZERO; 4],
-            stores_by_line: HashMap::with_capacity(64),
-            lsq_pending: VecDeque::with_capacity(cfg.params.lsq_entries),
+            stores_by_line: fx_map_with_capacity(2 * cfg.params.lsq_entries),
+            lsq_pending: QList::EMPTY,
             fetch_stalled_until: Femtos::ZERO,
             fetch_blocked_on: None,
             cur_fetch_line: u64::MAX,
@@ -422,27 +507,77 @@ impl Simulator {
         }
     }
 
-    /// Parks `seq` on `producer`'s completion broadcast: pushes it onto
+    /// The slab slot owning `seq` (valid only while `seq` is in flight).
+    #[inline]
+    fn slot_of(&self, seq: u64) -> u32 {
+        (seq as usize & self.slab_mask) as u32
+    }
+
+    #[inline]
+    fn st(&self, slot: u32) -> &InstState {
+        &self.slab[slot as usize]
+    }
+
+    #[inline]
+    fn st_mut(&mut self, slot: u32) -> &mut InstState {
+        &mut self.slab[slot as usize]
+    }
+
+    /// Appends `slot` to an intrusive queue list (O(1), allocation
+    /// free). An associated function so callers can split-borrow the
+    /// list and the slab out of `self`.
+    #[inline]
+    fn qpush(list: &mut QList, slab: &mut [InstState], slot: u32) {
+        let st = &mut slab[slot as usize];
+        debug_assert!(st.q_prev == NO_LINK && st.q_next == NO_LINK);
+        st.q_prev = list.tail;
+        st.q_next = NO_LINK;
+        if list.tail != NO_LINK {
+            slab[list.tail as usize].q_next = slot;
+        } else {
+            list.head = slot;
+        }
+        list.tail = slot;
+        list.len += 1;
+    }
+
+    /// Unlinks `slot` from an intrusive queue list (O(1) wherever it
+    /// sits — the win over the former `Vec::remove` element shifting).
+    #[inline]
+    fn qunlink(list: &mut QList, slab: &mut [InstState], slot: u32) {
+        let (prev, next) = {
+            let st = &mut slab[slot as usize];
+            let links = (st.q_prev, st.q_next);
+            st.q_prev = NO_LINK;
+            st.q_next = NO_LINK;
+            links
+        };
+        if prev != NO_LINK {
+            slab[prev as usize].q_next = next;
+        } else {
+            list.head = next;
+        }
+        if next != NO_LINK {
+            slab[next as usize].q_prev = prev;
+        } else {
+            list.tail = prev;
+        }
+        debug_assert!(list.len > 0);
+        list.len -= 1;
+    }
+
+    /// Parks `slot` on `producer`'s completion broadcast: pushes it onto
     /// the producer's intrusive waiter chain and freezes its wake time
     /// until [`Simulator::complete_at`] unchains it. O(1), allocation
     /// free.
     #[inline]
-    fn park_on(&mut self, producer: u64, seq: u64) {
-        let head = self.st(producer).waiter_head;
-        self.st_mut(producer).waiter_head = seq;
-        let st = self.st_mut(seq);
+    fn park_on(&mut self, producer_seq: u64, slot: u32) {
+        let pslot = self.slot_of(producer_seq);
+        let head = self.st(pslot).waiter_head;
+        self.st_mut(pslot).waiter_head = slot;
+        let st = self.st_mut(slot);
         st.waiter_next = head;
         st.next_check = Femtos::MAX;
-    }
-
-    #[inline]
-    fn st(&self, seq: u64) -> &InstState {
-        &self.window[(seq - self.head_seq) as usize]
-    }
-
-    #[inline]
-    fn st_mut(&mut self, seq: u64) -> &mut InstState {
-        &mut self.window[(seq - self.head_seq) as usize]
     }
 
     /// Duration of `cycles` cycles in `domain`, minus a jitter guard-band.
@@ -474,35 +609,30 @@ impl Simulator {
 
     /// Time at which a source becomes visible in `domain`, or `None`
     /// while its producer has not yet been scheduled.
-    fn src_visible_at(
-        &mut self,
-        seq_of_consumer: u64,
-        src_idx: usize,
-        domain: usize,
-    ) -> Option<Femtos> {
-        let src = self.st(seq_of_consumer).srcs[src_idx];
+    fn src_visible_at(&mut self, slot: u32, src_idx: usize, domain: usize) -> Option<Femtos> {
+        let src = self.st(slot).srcs[src_idx];
         match src {
             Src::Free => Some(Femtos::ZERO),
             Src::Ready { at, domain: pd } => Some(self.xfer(at, pd as usize, domain)),
             Src::Pending(pseq) => {
-                let slot = self.ring[(pseq as usize) & (RING - 1)];
-                if slot.seq != pseq {
+                let ring_slot = self.ring[(pseq as usize) & self.ring_mask];
+                if ring_slot.seq != pseq {
                     if pseq < self.head_seq {
                         // Producer committed so long ago its ring slot was
                         // reused: its value has been architecturally
                         // visible since before this consumer was fetched.
-                        self.st_mut(seq_of_consumer).srcs[src_idx] = Src::Free;
+                        self.st_mut(slot).srcs[src_idx] = Src::Free;
                         return Some(Femtos::ZERO);
                     }
                     return None; // producer not yet issued
                 }
                 // Cache the resolution so future checks are O(1).
                 let resolved = Src::Ready {
-                    at: slot.at,
-                    domain: slot.domain,
+                    at: ring_slot.at,
+                    domain: ring_slot.domain,
                 };
-                self.st_mut(seq_of_consumer).srcs[src_idx] = resolved;
-                Some(self.xfer(slot.at, slot.domain as usize, domain))
+                self.st_mut(slot).srcs[src_idx] = resolved;
+                Some(self.xfer(ring_slot.at, ring_slot.domain as usize, domain))
             }
         }
     }
@@ -516,17 +646,17 @@ impl Simulator {
     /// a known wake time, so instead of being re-polled every edge it
     /// registers in the producer's waiter list and parks at
     /// `next_check = MAX` until [`Simulator::complete_at`] wakes it.
-    fn entry_ready(&mut self, seq: u64, domain: usize, e: Femtos) -> bool {
-        if self.st(seq).next_check > e {
+    fn entry_ready(&mut self, slot: u32, domain: usize, e: Femtos) -> bool {
+        if self.st(slot).next_check > e {
             return false;
         }
-        let a = self.src_visible_at(seq, 0, domain);
-        let b = self.src_visible_at(seq, 1, domain);
+        let a = self.src_visible_at(slot, 0, domain);
+        let b = self.src_visible_at(slot, 1, domain);
         match (a, b) {
             (Some(ta), Some(tb)) => {
-                let ready = ta.max(tb).max(self.st(seq).arrival);
+                let ready = ta.max(tb).max(self.st(slot).arrival);
                 if ready > e {
-                    self.st_mut(seq).next_check = ready;
+                    self.st_mut(slot).next_check = ready;
                     false
                 } else {
                     true
@@ -537,8 +667,8 @@ impl Simulator {
             _ => {
                 if self.event_driven {
                     let idx = usize::from(a.is_some());
-                    if let Src::Pending(pseq) = self.st(seq).srcs[idx] {
-                        self.park_on(pseq, seq);
+                    if let Src::Pending(pseq) = self.st(slot).srcs[idx] {
+                        self.park_on(pseq, slot);
                     } else {
                         debug_assert!(false, "None visibility only arises from Pending");
                     }
@@ -554,30 +684,31 @@ impl Simulator {
     /// `next_check` lowered to (a sound lower bound on) their new wake
     /// time and their domain's `next_work` follows; if the completing
     /// instruction is the ROB head, the front end is woken for commit.
-    fn complete_at(&mut self, seq: u64, at: Femtos, domain: usize) {
-        let slot = &mut self.ring[(seq as usize) & (RING - 1)];
-        slot.seq = seq;
-        slot.at = at;
-        slot.domain = domain as u8;
-        let st = self.st_mut(seq);
+    fn complete_at(&mut self, slot: u32, at: Femtos, domain: usize) {
+        let seq = self.st(slot).seq;
+        let ring_slot = &mut self.ring[(seq as usize) & self.ring_mask];
+        ring_slot.seq = seq;
+        ring_slot.at = at;
+        ring_slot.domain = domain as u8;
+        let st = self.st_mut(slot);
         st.completion = Some(at);
         st.issued = true;
         if self.event_driven {
-            let mut w = self.st(seq).waiter_head;
-            self.st_mut(seq).waiter_head = NO_WAITER;
-            while w != NO_WAITER {
+            let mut w = self.st(slot).waiter_head;
+            self.st_mut(slot).waiter_head = NO_LINK;
+            while w != NO_LINK {
                 let wake = at.max(self.st(w).arrival);
                 let wdomain = self.st(w).exec_domain as usize;
                 let wst = self.st_mut(w);
                 let next = wst.waiter_next;
-                wst.waiter_next = NO_WAITER;
+                wst.waiter_next = NO_LINK;
                 if wake < wst.next_check {
                     wst.next_check = wake;
                 }
                 self.wake_domain(wdomain, wake);
                 w = next;
             }
-            if self.rob.front() == Some(&seq) {
+            if self.rob.front() == Some(&slot) {
                 self.wake_domain(FE, at);
             }
         }
@@ -643,10 +774,20 @@ impl Simulator {
                 w = w.min(c.max(e));
             }
         }
-        // Rename/dispatch: all blocking conditions are O(1) compares, so
-        // polling while work is queued is cheaper than modelling them.
-        if !self.fetch_q.is_empty() {
-            w = w.min(e);
+        // Rename/dispatch: poll only while the fetch-queue head can
+        // actually move. Every resource that can block it either frees
+        // at commit — ROB slots, physical registers, LSQ entries; the
+        // commit bound above (or the head-completion `complete_at`
+        // hook) covers those, and commit precedes rename within the
+        // same edge — or frees when a saturated issue queue drains,
+        // which [`Simulator::exec_edge`] reports via an explicit wake.
+        // This is what lets the front end go fully idle during long
+        // stalls instead of burning an edge per cycle re-checking
+        // conditions that provably cannot change.
+        if let Some(&head) = self.fetch_q.front() {
+            if self.rob.len() < self.cfg.params.rob_entries && self.head_dispatchable(head) {
+                w = w.min(e);
+            }
         }
         // Fetch: bounded by an I-cache/mispredict stall when one is in
         // force; a mispredict block (fetch_blocked_on) is cleared — and
@@ -655,6 +796,27 @@ impl Simulator {
             w = w.min(self.fetch_stalled_until.max(e));
         }
         self.next_work[FE] = w;
+    }
+
+    /// Whether the fetch-queue head could dispatch right now, given the
+    /// free physical registers and its target queue's occupancy (the
+    /// first-instruction slice of [`Simulator::rename_dispatch`]'s break
+    /// conditions; ROB occupancy is the caller's check).
+    fn head_dispatchable(&self, slot: u32) -> bool {
+        let inst = &self.st(slot).inst;
+        if let Some(d) = inst.dst {
+            if self.free_phys[d.class().index()] <= 0 {
+                return false;
+            }
+        }
+        match inst.op {
+            OpClass::Nop | OpClass::Jump => true,
+            op if op.is_mem() => self.lsq.len() < self.cfg.params.lsq_entries,
+            op => {
+                let qi = usize::from(op.is_fp());
+                self.iq[qi].len() < self.iq_cap[qi]
+            }
+        }
     }
 
     fn apply_pending_fe(&mut self, e: Femtos) {
@@ -680,16 +842,18 @@ impl Simulator {
     fn commit(&mut self, e: Femtos, window: u64) {
         let mut retired = 0;
         while retired < self.cfg.params.retire_width && self.committed < window {
-            let Some(&seq) = self.rob.front() else { break };
-            let st = self.st(seq);
+            let Some(&slot) = self.rob.front() else { break };
+            let st = self.st(slot);
             let Some(c) = st.completion else { break };
             let vis = self.xfer(c, st.exec_domain as usize, FE);
             if vis > e {
                 break;
             }
             // Retire.
-            let st = self.st(seq);
+            let st = self.st(slot);
+            let seq = st.seq;
             let is_store = st.inst.op == OpClass::Store;
+            let is_load = st.inst.op == OpClass::Load;
             let addr = st.inst.mem_addr;
             let dst_class = st.inst.dst.map(|d| d.class());
             let uses_phys = st.uses_phys;
@@ -699,32 +863,44 @@ impl Simulator {
                 // commit signal crosses over.
                 let ready = self.xfer(e, FE, LS);
                 self.store_jobs.push_back(StoreJob { addr, ready });
-                self.remove_lsq_head(seq);
+                self.remove_lsq_head(slot);
                 if self.event_driven {
                     // The store leaves the forwarding window at commit;
                     // being the oldest in-flight instruction it must be
-                    // the oldest store on its line.
+                    // the oldest store on its line, i.e. its chain head.
                     let line = addr >> 3;
-                    if let Some(list) = self.stores_by_line.get_mut(&line) {
-                        debug_assert_eq!(list.first(), Some(&seq));
-                        list.remove(0);
-                        if list.is_empty() {
-                            self.stores_by_line.remove(&line);
-                        }
+                    let next = {
+                        let st = self.st_mut(slot);
+                        let n = st.line_next;
+                        st.line_next = NO_LINK;
+                        n
+                    };
+                    let emptied = {
+                        let chain = self
+                            .stores_by_line
+                            .get_mut(&line)
+                            .expect("committed store is line-indexed");
+                        debug_assert_eq!(chain.head, slot);
+                        chain.head = next;
+                        next == NO_LINK
+                    };
+                    if emptied {
+                        self.stores_by_line.remove(&line);
                     }
                     self.wake_domain(LS, ready);
                 }
-            } else if self.st(seq).inst.op == OpClass::Load {
-                self.remove_lsq_head(seq);
+            } else if is_load {
+                self.remove_lsq_head(slot);
             }
             if uses_phys {
                 if let Some(class) = dst_class {
                     self.free_phys[class.index()] += 1;
                 }
             }
-            // Drop the window entry (head first).
+            // Free the slot (head first): the slab entry is dead the
+            // moment head_seq moves past it; the next fetch reinitializes
+            // it in place.
             debug_assert_eq!(seq, self.head_seq);
-            self.window.pop_front();
             self.head_seq += 1;
             self.committed += 1;
             self.last_commit_at = e;
@@ -739,16 +915,12 @@ impl Simulator {
     }
 
     /// Removes the committing memory instruction from the LSQ. Commit is
-    /// strictly in age order and the LSQ is age-ordered, so in fast mode
-    /// the entry is simply the head; the reference path keeps the
-    /// original linear search.
-    fn remove_lsq_head(&mut self, seq: u64) {
-        if self.event_driven {
-            debug_assert_eq!(self.lsq.front(), Some(&seq));
-            self.lsq.pop_front();
-        } else if let Some(pos) = self.lsq.iter().position(|&s| s == seq) {
-            self.lsq.remove(pos);
-        }
+    /// strictly in age order and the LSQ is age-ordered, so the entry is
+    /// the head in **both** loop modes — the reference loop's former
+    /// linear `position` search always found index 0 and is gone.
+    fn remove_lsq_head(&mut self, slot: u32) {
+        debug_assert_eq!(self.lsq.front(), Some(&slot));
+        self.lsq.pop_front();
     }
 
     /// End-of-interval policy evaluation (§3.1). The decision itself
@@ -867,13 +1039,14 @@ impl Simulator {
 
     fn rename_dispatch(&mut self, e: Femtos) {
         for _ in 0..self.cfg.params.decode_width {
-            let Some(&seq) = self.fetch_q.front() else {
+            let Some(&slot) = self.fetch_q.front() else {
                 break;
             };
             if self.rob.len() >= self.cfg.params.rob_entries {
                 break;
             }
-            let inst = self.st(seq).inst;
+            let inst = self.st(slot).inst;
+            let seq = self.st(slot).seq;
 
             // Structural checks.
             if let Some(d) = inst.dst {
@@ -909,15 +1082,15 @@ impl Simulator {
                     srcs[i] = match self.rename_map[r.packed() as usize] {
                         RenameRef::Ready { at, domain } => Src::Ready { at, domain },
                         RenameRef::Pending(pseq) => {
-                            let slot = self.ring[(pseq as usize) & (RING - 1)];
-                            if slot.seq == pseq {
+                            let ring_slot = self.ring[(pseq as usize) & self.ring_mask];
+                            if ring_slot.seq == pseq {
                                 self.rename_map[r.packed() as usize] = RenameRef::Ready {
-                                    at: slot.at,
-                                    domain: slot.domain,
+                                    at: ring_slot.at,
+                                    domain: ring_slot.domain,
                                 };
                                 Src::Ready {
-                                    at: slot.at,
-                                    domain: slot.domain,
+                                    at: ring_slot.at,
+                                    domain: ring_slot.domain,
                                 }
                             } else if pseq < self.head_seq {
                                 // Committed long ago; ring slot reused.
@@ -943,7 +1116,7 @@ impl Simulator {
             }
             let arrival = self.xfer(e, FE, exec_domain);
             {
-                let st = self.st_mut(seq);
+                let st = self.st_mut(slot);
                 st.srcs = srcs;
                 st.exec_domain = exec_domain as u8;
                 st.arrival = arrival;
@@ -951,28 +1124,40 @@ impl Simulator {
                 st.uses_phys = uses_phys;
             }
             self.fetch_q.pop_front();
-            self.rob.push_back(seq);
+            self.rob.push_back(slot);
 
             match exec_domain {
                 FE => {
                     // Nops and (BTB-resolved) jumps complete at rename.
-                    self.complete_at(seq, e, FE);
+                    self.complete_at(slot, e, FE);
                 }
                 LS => {
-                    self.lsq.push_back(seq);
+                    self.lsq.push_back(slot);
                     if self.event_driven {
-                        self.lsq_pending.push_back(seq);
+                        Self::qpush(&mut self.lsq_pending, &mut self.slab, slot);
                         if inst.op == OpClass::Store {
-                            self.stores_by_line
-                                .entry(inst.mem_addr >> 3)
-                                .or_default()
-                                .push(seq);
+                            // Append to the line's intrusive store chain
+                            // (dispatch order = ascending seq order).
+                            let line = inst.mem_addr >> 3;
+                            match self.stores_by_line.entry(line) {
+                                std::collections::hash_map::Entry::Occupied(mut o) => {
+                                    let chain = o.get_mut();
+                                    self.slab[chain.tail as usize].line_next = slot;
+                                    chain.tail = slot;
+                                }
+                                std::collections::hash_map::Entry::Vacant(v) => {
+                                    v.insert(LineChain {
+                                        head: slot,
+                                        tail: slot,
+                                    });
+                                }
+                            }
                         }
                         self.wake_domain(LS, arrival);
                     }
                 }
                 d => {
-                    self.iq[d - 1].push(seq);
+                    Self::qpush(&mut self.iq[d - 1], &mut self.slab, slot);
                     if self.event_driven {
                         self.wake_domain(d, arrival);
                     }
@@ -1065,11 +1250,18 @@ impl Simulator {
                 }
             }
 
-            // Allocate the window entry.
+            // Allocate the window slot in the slab. The capacity bound
+            // guarantees the masked slot is vacant while `seq` is alive.
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.window.push_back(InstState {
+            debug_assert!(
+                (self.next_seq - self.head_seq) as usize <= self.slab.len(),
+                "in-flight window exceeded the slab capacity"
+            );
+            let slot = self.slot_of(seq);
+            *self.st_mut(slot) = InstState {
                 inst,
+                seq,
                 srcs: [Src::Free, Src::Free],
                 exec_domain: FE as u8,
                 arrival: e,
@@ -1079,10 +1271,13 @@ impl Simulator {
                 renamed: false,
                 mispredicted: false,
                 uses_phys: false,
-                waiter_head: NO_WAITER,
-                waiter_next: NO_WAITER,
-            });
-            self.fetch_q.push_back(seq);
+                waiter_head: NO_LINK,
+                waiter_next: NO_LINK,
+                q_prev: NO_LINK,
+                q_next: NO_LINK,
+                line_next: NO_LINK,
+            };
+            self.fetch_q.push_back(slot);
 
             // Branch prediction.
             if inst.op == OpClass::Branch {
@@ -1098,8 +1293,8 @@ impl Simulator {
                 }
                 if predicted != inst.taken {
                     self.mispredicts += 1;
-                    self.st_mut(seq).mispredicted = true;
-                    self.fetch_blocked_on = Some(seq);
+                    self.st_mut(slot).mispredicted = true;
+                    self.fetch_blocked_on = Some(slot);
                     break;
                 } else if inst.taken {
                     break; // one taken branch per fetch group
@@ -1118,8 +1313,12 @@ impl Simulator {
         let qi = domain - 1;
         if let Some(size) = self.engine.as_mut().and_then(|en| en.take_due_iq(qi, e)) {
             // The engine already tracks the target; only the effective
-            // capacity changes here.
+            // capacity changes here. A grown capacity may unblock a
+            // dispatch the front end had stopped polling for.
             self.iq_cap[qi] = size.entries() as usize;
+            if self.event_driven {
+                self.wake_domain(FE, e);
+            }
         }
 
         if self.iq[qi].is_empty() {
@@ -1129,14 +1328,18 @@ impl Simulator {
             return;
         }
         let width = self.cfg.params.issue_width;
+        // The front end stops polling while this queue is saturated; if
+        // it was and an entry issues below, tell it dispatch can resume.
+        let was_full = self.iq[qi].len() >= self.iq_cap[qi];
         let mut issued = 0;
-        let mut i = 0;
-        while i < self.iq[qi].len() && issued < width {
-            let seq = self.iq[qi][i];
-            let st = self.st(seq);
-            let op = st.inst.op;
-            if !self.entry_ready(seq, domain, e) {
-                i += 1;
+        let mut cur = self.iq[qi].head;
+        while cur != NO_LINK && issued < width {
+            // Snapshot the age-order successor before a potential
+            // unlink; nothing below edits queue links of other entries.
+            let next = self.st(cur).q_next;
+            let op = self.st(cur).inst.op;
+            if !self.entry_ready(cur, domain, e) {
+                cur = next;
                 continue;
             }
             // Functional unit.
@@ -1158,14 +1361,14 @@ impl Simulator {
                 &mut self.fu_fp[pool_idx]
             };
             if !pool.try_acquire(e, busy) {
-                i += 1;
+                cur = next;
                 continue;
             }
 
             let completion = e + self.cycles_in(domain, lat_cycles);
-            self.complete_at(seq, completion, domain);
+            self.complete_at(cur, completion, domain);
             // Mispredicted branch: resolution schedules the refetch.
-            if self.st(seq).mispredicted {
+            if self.st(cur).mispredicted {
                 let p = &self.cfg.params;
                 let resolve_at_fe = self.xfer(completion, domain, FE);
                 let resume = resolve_at_fe
@@ -1179,12 +1382,16 @@ impl Simulator {
                     self.wake_domain(FE, e);
                 }
             }
-            // `remove` (not swap_remove) keeps the queue in age order so
-            // selection stays oldest-first.
-            self.iq[qi].remove(i);
+            // O(1) unlink keeps the list in age order, so selection
+            // stays oldest-first (the former `Vec::remove` shifting).
+            Self::qunlink(&mut self.iq[qi], &mut self.slab, cur);
             issued += 1;
+            cur = next;
         }
         if self.event_driven {
+            if was_full && issued > 0 {
+                self.wake_domain(FE, e);
+            }
             self.recompute_exec_wake(qi, domain, e);
         }
     }
@@ -1202,13 +1409,16 @@ impl Simulator {
         if let Some(at) = self.engine.as_ref().and_then(|en| en.pending_iq_at(qi)) {
             w = w.min(at);
         }
-        for &seq in &self.iq[qi] {
-            w = w.min(self.st(seq).next_check);
+        let mut cur = self.iq[qi].head;
+        while cur != NO_LINK {
+            let st = self.st(cur);
+            w = w.min(st.next_check);
             if w <= e {
                 // Any bound at or below the current edge already means
                 // "run the very next edge"; no need for a tighter min.
                 break;
             }
+            cur = st.q_next;
         }
         self.next_work[domain] = w;
     }
@@ -1234,23 +1444,25 @@ impl Simulator {
         }
     }
 
-    /// Fast-path LS edge: walks only the un-issued LSQ entries, resolves
-    /// store-to-load forwarding through the address-indexed store map,
-    /// and finishes by tightening the domain's `next_work` bound.
+    /// Fast-path LS edge: walks only the un-issued LSQ entries (the
+    /// intrusive pending list), resolves store-to-load forwarding
+    /// through the per-line store chains, and finishes by tightening the
+    /// domain's `next_work` bound.
     fn ls_edge_fast(&mut self, e: Femtos) {
         let mut ports = self.cfg.params.dcache_ports;
-        let mut i = 0;
-        while i < self.lsq_pending.len() {
+        let mut cur = self.lsq_pending.head;
+        while cur != NO_LINK {
             if ports == 0 {
                 break;
             }
-            let seq = self.lsq_pending[i];
-            let st = self.st(seq);
+            let next = self.st(cur).q_next;
+            let st = self.st(cur);
             debug_assert!(st.renamed && !st.issued);
             let op = st.inst.op;
             let addr = st.inst.mem_addr;
-            if !self.entry_ready(seq, LS, e) {
-                i += 1;
+            let seq = st.seq;
+            if !self.entry_ready(cur, LS, e) {
+                cur = next;
                 continue;
             }
             match op {
@@ -1258,60 +1470,71 @@ impl Simulator {
                     // Data and address ready: ready to commit one cycle
                     // later. The actual cache write happens at commit.
                     let done = e + self.cycles_in(LS, 1);
-                    self.complete_at(seq, done, LS);
-                    self.lsq_pending.remove(i);
+                    self.complete_at(cur, done, LS);
+                    Self::qunlink(&mut self.lsq_pending, &mut self.slab, cur);
                 }
                 OpClass::Load => {
                     // Forwarding / conflict detection against the
                     // youngest older in-flight store to the same 8-byte
-                    // line: O(log n) via the per-line store index
-                    // instead of a reverse scan over all older entries.
+                    // line: walk the line's (tiny, seq-ascending) store
+                    // chain instead of reverse-scanning the LSQ.
                     let mut forwarded = false;
                     let mut blocked = false;
-                    if let Some(list) = self.stores_by_line.get(&(addr >> 3)) {
-                        let idx = list.partition_point(|&s| s < seq);
-                        if idx > 0 {
-                            let older = list[idx - 1];
-                            match self.st(older).completion {
-                                Some(c) if c <= e => {
-                                    // Forward from the store buffer.
-                                    let done = e + self.cycles_in(LS, 1);
-                                    self.complete_at(seq, done, LS);
-                                    forwarded = true;
-                                }
-                                Some(c) => {
-                                    self.st_mut(seq).next_check = c;
-                                    blocked = true;
-                                }
-                                None => {
-                                    // The store's own issue time is
-                                    // unknown; park on its completion
-                                    // broadcast.
-                                    self.park_on(older, seq);
-                                    blocked = true;
-                                }
+                    let mut older = NO_LINK;
+                    if let Some(&chain) = self.stores_by_line.get(&(addr >> 3)) {
+                        let mut s = chain.head;
+                        while s != NO_LINK {
+                            let sst = self.st(s);
+                            if sst.seq >= seq {
+                                break;
+                            }
+                            older = s;
+                            s = sst.line_next;
+                        }
+                    }
+                    if older != NO_LINK {
+                        match self.st(older).completion {
+                            Some(c) if c <= e => {
+                                // Forward from the store buffer.
+                                let done = e + self.cycles_in(LS, 1);
+                                self.complete_at(cur, done, LS);
+                                forwarded = true;
+                            }
+                            Some(c) => {
+                                self.st_mut(cur).next_check = c;
+                                blocked = true;
+                            }
+                            None => {
+                                // The store's own issue time is
+                                // unknown; park on its completion
+                                // broadcast.
+                                let oseq = self.st(older).seq;
+                                self.park_on(oseq, cur);
+                                blocked = true;
                             }
                         }
                     }
                     if forwarded {
                         ports -= 1;
-                        self.lsq_pending.remove(i);
+                        Self::qunlink(&mut self.lsq_pending, &mut self.slab, cur);
+                        cur = next;
                         continue;
                     }
                     if blocked {
-                        i += 1;
+                        cur = next;
                         continue;
                     }
-                    let Some(completion) = self.load_dcache_access(seq, addr, e) else {
-                        i += 1;
+                    let Some(completion) = self.load_dcache_access(cur, addr, e) else {
+                        cur = next;
                         continue;
                     };
-                    self.complete_at(seq, completion, LS);
+                    self.complete_at(cur, completion, LS);
                     ports -= 1;
-                    self.lsq_pending.remove(i);
+                    Self::qunlink(&mut self.lsq_pending, &mut self.slab, cur);
                 }
                 _ => unreachable!("only memory ops live in the LSQ"),
             }
+            cur = next;
         }
 
         self.perform_committed_stores(ports, e);
@@ -1329,18 +1552,24 @@ impl Simulator {
         if let Some(job) = self.store_jobs.front() {
             w = w.min(job.ready);
         }
-        for &seq in &self.lsq_pending {
-            w = w.min(self.st(seq).next_check);
+        let mut cur = self.lsq_pending.head;
+        while cur != NO_LINK {
+            let st = self.st(cur);
+            w = w.min(st.next_check);
             if w <= e {
                 break;
             }
+            cur = st.q_next;
         }
         self.next_work[LS] = w;
     }
 
     /// Reference LS edge: the straightforward full-LSQ walk with the
     /// reverse linear forwarding scan (the baseline the fast path is
-    /// benchmarked and determinism-checked against).
+    /// benchmarked and determinism-checked against). Walks the LSQ in
+    /// place by index — dispatch and commit both happen on front-end
+    /// edges, so the queue cannot change mid-walk (the former
+    /// `lsq_scratch` copy rebuilt per edge guarded against nothing).
     fn ls_edge_reference(&mut self, e: Femtos) {
         if self.lsq.is_empty() && self.store_jobs.is_empty() {
             return;
@@ -1350,21 +1579,18 @@ impl Simulator {
 
         // LSQ walk, oldest first: stores become commit-eligible when
         // their operands arrive; loads issue through the cache.
-        // (Reusable scratch buffer keeps this allocation-free.)
-        let mut lsq = std::mem::take(&mut self.lsq_scratch);
-        lsq.clear();
-        lsq.extend(self.lsq.iter().copied());
-        for (pos, &seq) in lsq.iter().enumerate() {
+        for pos in 0..self.lsq.len() {
             if ports == 0 {
                 break;
             }
-            let st = self.st(seq);
+            let slot = self.lsq[pos];
+            let st = self.st(slot);
             if st.issued || !st.renamed {
                 continue;
             }
             let op = st.inst.op;
             let addr = st.inst.mem_addr;
-            if !self.entry_ready(seq, LS, e) {
+            if !self.entry_ready(slot, LS, e) {
                 continue;
             }
             match op {
@@ -1372,7 +1598,7 @@ impl Simulator {
                     // Data and address ready: ready to commit one cycle
                     // later. The actual cache write happens at commit.
                     let done = e + self.cycles_in(LS, 1);
-                    self.complete_at(seq, done, LS);
+                    self.complete_at(slot, done, LS);
                 }
                 OpClass::Load => {
                     // Store-to-load forwarding / conflict detection
@@ -1380,8 +1606,9 @@ impl Simulator {
                     // exact in the trace).
                     let mut forwarded = false;
                     let mut blocked = false;
-                    for &older in lsq[..pos].iter().rev() {
-                        let ost = self.st(older);
+                    for p in (0..pos).rev() {
+                        let oslot = self.lsq[p];
+                        let ost = self.st(oslot);
                         if ost.inst.op != OpClass::Store {
                             continue;
                         }
@@ -1390,11 +1617,11 @@ impl Simulator {
                                 Some(c) if c <= e => {
                                     // Forward from the store buffer.
                                     let done = e + self.cycles_in(LS, 1);
-                                    self.complete_at(seq, done, LS);
+                                    self.complete_at(slot, done, LS);
                                     forwarded = true;
                                 }
                                 Some(c) => {
-                                    self.st_mut(seq).next_check = c;
+                                    self.st_mut(slot).next_check = c;
                                     blocked = true;
                                 }
                                 None => blocked = true,
@@ -1409,24 +1636,23 @@ impl Simulator {
                     if blocked {
                         continue;
                     }
-                    let Some(completion) = self.load_dcache_access(seq, addr, e) else {
+                    let Some(completion) = self.load_dcache_access(slot, addr, e) else {
                         continue;
                     };
-                    self.complete_at(seq, completion, LS);
+                    self.complete_at(slot, completion, LS);
                     ports -= 1;
                 }
                 _ => unreachable!("only memory ops live in the LSQ"),
             }
         }
 
-        self.lsq_scratch = lsq;
         self.perform_committed_stores(ports, e);
     }
 
     /// Issues one load into the D-cache hierarchy, returning its
     /// completion time, or `None` when all MSHRs are occupied (the entry
     /// is put to sleep until the earliest one frees).
-    fn load_dcache_access(&mut self, seq: u64, addr: u64, e: Femtos) -> Option<Femtos> {
+    fn load_dcache_access(&mut self, slot: u32, addr: u64, e: Femtos) -> Option<Femtos> {
         let r = self.l1d.access(addr, AccessKind::Read);
         let p = &self.cfg.params;
         let a_cycles = p.l1_a_cycles;
@@ -1441,7 +1667,7 @@ impl Simulator {
                 if self.mshr.len() >= mshrs {
                     // Sleep until the earliest MSHR frees.
                     if let Some(&wake) = self.mshr.iter().min() {
-                        self.st_mut(seq).next_check = wake;
+                        self.st_mut(slot).next_check = wake;
                     }
                     return None;
                 }
@@ -1517,9 +1743,10 @@ impl Simulator {
                     .min(*self.next_work.iter().min().expect("four domains"));
                 if t < horizon {
                     for clock in &mut self.clocks {
-                        while clock.peek_next_edge() < horizon {
-                            clock.tick();
-                        }
+                        // O(1) for jitter-free clocks (the synchronous
+                        // machines), edge-by-edge otherwise to consume
+                        // the identical jitter-RNG sequence.
+                        clock.fast_forward_to(horizon);
                     }
                     continue;
                 }
@@ -1677,5 +1904,15 @@ mod tests {
         assert!(r.icache.accesses > 0);
         // 256-instruction loop fits the I-cache: only cold misses remain.
         assert!(r.icache.miss_rate() < 0.03, "rate {}", r.icache.miss_rate());
+    }
+
+    #[test]
+    fn slab_capacity_exceeds_in_flight_bound() {
+        let cfg = MachineConfig::best_synchronous();
+        let bound = cfg.params.max_in_flight();
+        let sim = Simulator::new(cfg);
+        assert!(sim.slab.len() >= bound);
+        assert!(sim.slab.len().is_power_of_two());
+        assert!(sim.ring.len() >= 4 * sim.slab.len());
     }
 }

@@ -1,0 +1,96 @@
+//! Steady-state allocation regression test.
+//!
+//! The simulator's hot structures are all preallocated at construction:
+//! the instruction-window slab, the completion ring, every pipeline
+//! queue, the MSHR list, and the store-line map (which reaches its
+//! working capacity during warm-up and then only recycles entries).
+//! This test pins that property with a counting global allocator: after
+//! a warm-up window, simulating additional instructions must perform
+//! **zero** further heap allocations.
+//!
+//! The measurement compares two runs of different lengths over the same
+//! recorded trace. Determinism makes the shorter run's execution an
+//! exact prefix of the longer one's, so construction and warm-up
+//! allocations cancel and any difference is attributable to the extra
+//! instructions alone. This file intentionally holds a single `#[test]`
+//! (plus the allocator plumbing): integration-test files are separate
+//! binaries, so no concurrently running test can pollute the counter.
+
+// The workspace avoids `unsafe` everywhere else; a `GlobalAlloc`
+// implementation is impossible without it, and this one only forwards
+// to `System` after bumping a counter.
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gals_core::{MachineConfig, Simulator};
+use gals_workloads::{suite, SharedTrace};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A growth realloc is as much an allocation as a fresh one.
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn zero_steady_state_heap_allocations_per_instruction() {
+    const WARM: u64 = 10_000;
+    const LONG: u64 = 30_000;
+
+    // gcc mixes loads, stores, branches, and multi-segment data traffic,
+    // so the run exercises the LSQ, the store-line map, forwarding, the
+    // MSHRs, and the predictor — everything that could plausibly
+    // allocate per instruction.
+    let spec = suite::by_name("gcc").expect("benchmark in suite");
+    let machine = MachineConfig::best_synchronous();
+    let slack = machine.params.max_in_flight() as u64;
+    let trace = SharedTrace::capture(&mut spec.stream(), LONG + slack);
+
+    // Dry run: fault in lazy runtime state (thread locals, allocator
+    // size classes) so the measured pair starts from identical ground.
+    let _ = Simulator::new(machine.clone()).run(&mut trace.replay(), WARM);
+
+    let a0 = alloc_calls();
+    let short = Simulator::new(machine.clone()).run(&mut trace.replay(), WARM);
+    let a1 = alloc_calls();
+    let long = Simulator::new(machine).run(&mut trace.replay(), LONG);
+    let a2 = alloc_calls();
+
+    assert_eq!(short.committed, WARM);
+    assert_eq!(long.committed, LONG);
+    assert!(a1 > a0, "the counter must actually be counting");
+
+    // The long run is the short run plus (LONG - WARM) steady-state
+    // instructions; determinism cancels everything else.
+    let short_allocs = a1 - a0;
+    let long_allocs = a2 - a1;
+    assert_eq!(
+        long_allocs,
+        short_allocs,
+        "the {} post-warm-up instructions performed {} heap allocations \
+         (steady state must allocate nothing per instruction)",
+        LONG - WARM,
+        long_allocs - short_allocs,
+    );
+}

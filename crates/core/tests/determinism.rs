@@ -6,7 +6,7 @@
 //! function of its inputs.
 
 use gals_core::{ControlPolicy, MachineConfig, McdConfig, SimResult, Simulator, SyncConfig};
-use gals_workloads::suite;
+use gals_workloads::{suite, SharedTrace};
 
 /// Runs one spec/config pair through both loops and asserts full
 /// `SimResult` equality (committed counts, runtime, per-domain cycles,
@@ -181,6 +181,56 @@ fn alternate_policies_are_path_independent() {
                 "static policy must never reconfigure"
             );
         }
+    }
+}
+
+/// The sweep engine's trace pooling replays a recorded prefix of the
+/// benchmark stream instead of regenerating it per run. That substitution
+/// must be invisible: a simulation fed a [`SharedTrace`] replay must be
+/// bit-identical to one fed the live stream, under both run loops, for
+/// every machine style — including the phase-adaptive style whose
+/// mid-run reconfigurations would expose any divergence as a different
+/// reconfig trace.
+#[test]
+fn shared_trace_replay_is_bit_identical_to_live_streams() {
+    let cases: [(MachineConfig, &str, u64); 3] = [
+        (MachineConfig::best_synchronous(), "gcc", 15_000),
+        (
+            MachineConfig::program_adaptive(McdConfig::smallest()),
+            "equake",
+            12_000,
+        ),
+        (
+            MachineConfig::phase_adaptive(McdConfig::smallest()),
+            "apsi",
+            40_000,
+        ),
+    ];
+    for (machine, bench, window) in cases {
+        let spec = suite::by_name(bench).expect("benchmark in suite");
+        // Record enough to cover the committed window plus everything
+        // the front end can fetch beyond it (same bound the pool uses).
+        let need = window + machine.params.max_in_flight() as u64;
+        let trace = SharedTrace::capture(&mut spec.stream(), need);
+
+        let live_fast = Simulator::new(machine.clone()).run(&mut spec.stream(), window);
+        let replay_fast = Simulator::new(machine.clone()).run(&mut trace.replay(), window);
+        assert_eq!(
+            live_fast, replay_fast,
+            "{bench}: fast loop diverged between live stream and trace replay"
+        );
+
+        let live_ref = Simulator::new(machine.clone())
+            .use_reference_loop()
+            .run(&mut spec.stream(), window);
+        let replay_ref = Simulator::new(machine)
+            .use_reference_loop()
+            .run(&mut trace.replay(), window);
+        assert_eq!(
+            live_ref, replay_ref,
+            "{bench}: reference loop diverged between live stream and trace replay"
+        );
+        assert_eq!(live_fast, live_ref, "{bench}: loops diverged");
     }
 }
 

@@ -1,24 +1,33 @@
 //! Persistent runtime cache for sweep results.
 //!
 //! The cache is sharded: keys hash to one of [`SHARDS`] independent
-//! `Mutex<HashMap>` shards, so concurrent sweep workers recording results
-//! almost never contend. Persistence is batched — workers call
-//! [`ResultCache::maybe_save_batched`] after inserting, and the file is
-//! rewritten at most once per batch, by whichever thread wins the
-//! non-blocking save guard.
+//! `Mutex<FxHashMap>` shards, so concurrent sweep workers recording
+//! results almost never contend. Both the shard selection and the maps
+//! themselves use the seeded Fx hasher from [`gals_common::fxmap`] —
+//! cache keys are trusted, internally generated strings hashed on every
+//! job pop, where SipHash's DoS resistance buys nothing. Persistence is
+//! batched — workers call [`ResultCache::maybe_save_batched`] after
+//! inserting, and the file is rewritten at most once per batch, by
+//! whichever thread wins the non-blocking save guard.
 
-use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError, TryLockError};
 
+use gals_common::fxmap::{fx_hash_bytes, FxHashMap};
+
 use crate::json::{format_json_number, parse_flat_number_map, write_json_string};
 
 /// Number of independently locked shards. A small power of two is plenty:
-/// the critical section is one `HashMap` insert.
+/// the critical section is one map insert.
 const SHARDS: usize = 16;
+
+/// Seed decorrelating shard selection from the in-shard map hashing
+/// (both hash the same key strings with the same algorithm; without a
+/// distinct seed, every key in one shard would share low hash bits).
+const SHARD_SEED: u64 = 0x5AAD_C0DE;
 
 /// Key identifying one measured run: benchmark, machine style, config key,
 /// and instruction window.
@@ -38,15 +47,11 @@ impl CacheKey {
     }
 }
 
-/// FNV-1a over the key string; used only for shard selection so it needs
-/// to be fast and stable, not cryptographic.
+/// Seeded Fx hash over the key string; used only for shard selection so
+/// it needs to be fast and stable, not cryptographic. (Formerly FNV-1a,
+/// which walked the key byte by byte; Fx consumes it a word at a time.)
 fn shard_of(key: &str) -> usize {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in key.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    (h as usize) % SHARDS
+    (fx_hash_bytes(SHARD_SEED, key.as_bytes()) as usize) % SHARDS
 }
 
 /// A JSON-file-backed map from [`CacheKey`] to measured runtime in
@@ -63,7 +68,7 @@ fn shard_of(key: &str) -> usize {
 #[derive(Debug)]
 pub struct ResultCache {
     path: Option<PathBuf>,
-    shards: Vec<Mutex<HashMap<String, f64>>>,
+    shards: Vec<Mutex<FxHashMap<String, f64>>>,
     /// Inserts since the last successful save (drives batched persistence).
     unsaved: AtomicUsize,
     /// Non-blocking guard so only one thread performs file I/O at a time.
@@ -74,7 +79,9 @@ impl Default for ResultCache {
     fn default() -> Self {
         ResultCache {
             path: None,
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
             unsaved: AtomicUsize::new(0),
             save_guard: Mutex::new(()),
         }
@@ -92,7 +99,7 @@ impl ResultCache {
     /// inserting (both plain data, never half-written), so the map is
     /// safe to keep using — and one bad configuration must not abort
     /// every subsequent lookup in a long-lived server process.
-    fn shard(&self, idx: usize) -> MutexGuard<'_, HashMap<String, f64>> {
+    fn shard(&self, idx: usize) -> MutexGuard<'_, FxHashMap<String, f64>> {
         self.shards[idx]
             .lock()
             .unwrap_or_else(PoisonError::into_inner)

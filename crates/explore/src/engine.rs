@@ -9,13 +9,33 @@
 //! in flight — and each job's completion fires as soon as its value is
 //! known, which is what lets a server stream per-job responses to
 //! clients while the rest of the queue is still running.
+//!
+//! # Sweep-wide trace sharing
+//!
+//! A benchmark's instruction stream depends only on its spec (and the
+//! seed inside it) — never on the machine configuration being measured
+//! — yet a naive sweep regenerates the stream from RNG scratch for
+//! every job. The engine therefore keeps an LRU-bounded **trace pool**:
+//! the first job needing a benchmark materializes `window +
+//! max_in_flight` instructions into an `Arc<[DynInst]>`
+//! ([`gals_workloads::SharedTrace`]), and every subsequent job for that
+//! benchmark — across `run_jobs` batches, `serve_jobs` workers, and
+//! `gals-serve` connections sharing the engine — replays the shared
+//! recording instead of regenerating it. Replay is bit-identical to the
+//! live stream by the generator's determinism contract (asserted
+//! instruction-for-instruction by the workloads property tests and
+//! end-to-end by the determinism/pooling integration tests), and a
+//! replay that would read past its recording panics rather than loop,
+//! so a sizing bug can never silently diverge.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
+use gals_common::fxmap::FxHashSet;
 use gals_core::{ControlPolicy, MachineConfig, McdConfig, Simulator, SyncConfig};
-use gals_workloads::BenchmarkSpec;
+use gals_workloads::{BenchmarkSpec, SharedTrace};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::sched::{Claim, Job, JobOutcome, JobScheduler};
@@ -101,6 +121,107 @@ impl MeasureItem {
 /// most one batch).
 const SAVE_BATCH: usize = 256;
 
+/// Default bound on the total instructions the trace pool may hold
+/// (~40 bytes each ⇒ roughly 80 MB); override with
+/// `GALS_MCD_TRACE_POOL_INSTS` (`0` disables pooling entirely).
+const DEFAULT_POOL_INSTS: u64 = 2_000_000;
+
+/// One pooled recording: the spec it was captured from (the identity
+/// key — full structural equality, so distinct specs that happen to
+/// share a name can never alias) and the shared instruction storage.
+#[derive(Debug)]
+struct PoolEntry {
+    spec: BenchmarkSpec,
+    trace: SharedTrace,
+}
+
+/// The LRU-bounded pool of shared benchmark recordings.
+///
+/// The entry list is tiny (a handful to a few dozen benchmarks), so a
+/// linear scan under one mutex beats any clever indexing: the critical
+/// section is a name-first struct compare per entry, and the expensive
+/// part — capturing a missing trace — happens *outside* the lock.
+/// Entries are kept in recency order (most recently used last); when
+/// the total recorded instructions exceed the bound, the
+/// least-recently-used end is evicted.
+#[derive(Debug)]
+struct TracePool {
+    entries: Mutex<Vec<PoolEntry>>,
+    capacity_insts: u64,
+    hits: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl TracePool {
+    fn new(capacity_insts: u64) -> Self {
+        TracePool {
+            entries: Mutex::new(Vec::new()),
+            capacity_insts,
+            hits: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<PoolEntry>> {
+        // A panic while holding the lock can only come from an
+        // allocation failure mid-push; the entry list itself is never
+        // left half-written.
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Returns a recording of at least `need` instructions of `spec`,
+    /// capturing (or extending) it on a miss, or `None` when pooling is
+    /// disabled or the request alone would overflow the pool bound.
+    fn get(&self, spec: &BenchmarkSpec, need: u64) -> Option<SharedTrace> {
+        if need == 0 || need > self.capacity_insts {
+            return None;
+        }
+        {
+            let mut entries = self.lock();
+            if let Some(pos) = entries.iter().position(|e| &e.spec == spec) {
+                if entries[pos].trace.len() as u64 >= need {
+                    // Hit: refresh recency and share the storage.
+                    let e = entries.remove(pos);
+                    let trace = e.trace.clone();
+                    entries.push(e);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(trace);
+                }
+            }
+        }
+        // Miss (or too-short recording): capture outside the lock so
+        // other benchmarks' workers aren't stalled behind stream
+        // generation. Concurrent builders of the same spec may race;
+        // the determinism contract makes their recordings prefixes of
+        // one another, so whichever is longest wins below.
+        let trace = SharedTrace::capture(&mut spec.stream(), need);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.lock();
+        if let Some(pos) = entries.iter().position(|e| &e.spec == spec) {
+            if entries[pos].trace.len() as u64 >= need {
+                let e = entries.remove(pos);
+                let existing = e.trace.clone();
+                entries.push(e);
+                return Some(existing);
+            }
+            entries.remove(pos);
+        }
+        entries.push(PoolEntry {
+            spec: spec.clone(),
+            trace: trace.clone(),
+        });
+        // Evict least-recently-used recordings until under the bound
+        // (the just-inserted entry, at the MRU end, always survives).
+        let mut total: u64 = entries.iter().map(|e| e.trace.len() as u64).sum();
+        while total > self.capacity_insts && entries.len() > 1 {
+            total -= entries.remove(0).trace.len() as u64;
+        }
+        Some(trace)
+    }
+}
+
 /// The work-stealing measurement engine over a sharded result cache.
 ///
 /// All state is interior-mutable behind `&self`; see the
@@ -110,6 +231,9 @@ pub struct SweepEngine {
     threads: usize,
     reference_loop: bool,
     cache: ResultCache,
+    /// Shared benchmark recordings (see "Sweep-wide trace sharing" in
+    /// the [module docs](self)).
+    traces: TracePool,
     /// Simulations actually executed (cache misses), for observability.
     simulated: AtomicU64,
     /// Requests served straight from the cache.
@@ -119,22 +243,28 @@ pub struct SweepEngine {
     /// reach the same panic — later jobs for these keys resolve
     /// [`JobOutcome::Panicked`] immediately. (The result cache can't
     /// hold this: it persists finite runtimes only.)
-    panicked: std::sync::Mutex<std::collections::HashSet<String>>,
+    panicked: std::sync::Mutex<FxHashSet<String>>,
 }
 
 impl SweepEngine {
-    /// Builds an engine over `cache`, sized to the available parallelism.
+    /// Builds an engine over `cache`, sized to the available parallelism,
+    /// with the trace pool at its default (env-overridable) bound.
     pub fn new(cache: ResultCache) -> Self {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
+        let pool_insts = std::env::var("GALS_MCD_TRACE_POOL_INSTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_POOL_INSTS);
         SweepEngine {
             threads,
             reference_loop: false,
             cache,
+            traces: TracePool::new(pool_insts),
             simulated: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
-            panicked: std::sync::Mutex::new(std::collections::HashSet::new()),
+            panicked: std::sync::Mutex::new(FxHashSet::default()),
         }
     }
 
@@ -152,6 +282,26 @@ impl SweepEngine {
     #[must_use]
     pub fn with_reference_simulator(mut self) -> Self {
         self.reference_loop = true;
+        self
+    }
+
+    /// Disables the shared trace pool: every job regenerates its
+    /// instruction stream from RNG scratch. Results are bit-identical
+    /// either way (the pooling integration tests assert it); this exists
+    /// for the throughput reporter's per-job-stream baseline and for
+    /// bounding memory on hosts where even one window's trace is too
+    /// large to keep.
+    #[must_use]
+    pub fn without_trace_pool(mut self) -> Self {
+        self.traces = TracePool::new(0);
+        self
+    }
+
+    /// Caps the trace pool at `insts` total recorded instructions
+    /// (`0` disables pooling; the default is 2M, ≈80 MB).
+    #[must_use]
+    pub fn with_trace_pool_insts(mut self, insts: u64) -> Self {
+        self.traces = TracePool::new(insts);
         self
     }
 
@@ -173,6 +323,18 @@ impl SweepEngine {
     /// Measurements served from the cache since construction.
     pub fn cache_hit_count(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Simulations that replayed a pooled trace instead of regenerating
+    /// their benchmark's stream.
+    pub fn trace_pool_hits(&self) -> u64 {
+        self.traces.hits.load(Ordering::Relaxed)
+    }
+
+    /// Stream captures performed by the trace pool (distinct benchmarks
+    /// materialized, plus any extensions for longer windows).
+    pub fn trace_pool_builds(&self) -> u64 {
+        self.traces.builds.load(Ordering::Relaxed)
     }
 
     /// Parallel map over `work` at one window and normal priority (the
@@ -410,12 +572,21 @@ impl SweepEngine {
     fn run_one(&self, item: &MeasureItem, window: u64) -> f64 {
         let machine = item.machine.clone();
         let reference_loop = self.reference_loop;
+        // A run consumes at most `window` committed instructions plus
+        // the in-flight bound of fetched-but-uncommitted ones, so a
+        // recording of that length fully substitutes for the live
+        // stream (the replay asserts this by refusing to loop).
+        let need = window + machine.params.max_in_flight() as u64;
+        let trace = self.traces.get(&item.spec, need);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut sim = Simulator::new(machine);
             if reference_loop {
                 sim = sim.use_reference_loop();
             }
-            sim.run(&mut item.spec.stream(), window).runtime_ns()
+            match &trace {
+                Some(t) => sim.run(&mut t.replay(), window).runtime_ns(),
+                None => sim.run(&mut item.spec.stream(), window).runtime_ns(),
+            }
         }));
         self.simulated.fetch_add(1, Ordering::Relaxed);
         outcome.unwrap_or(f64::NAN)
@@ -482,6 +653,88 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(engine.simulated_count(), 1);
         assert_eq!(engine.cache_hit_count(), 1);
+    }
+
+    #[test]
+    fn trace_pool_materializes_each_benchmark_once() {
+        // One worker: concurrent workers may race a benchmark's first
+        // capture (by design — capture happens outside the pool lock),
+        // which makes exact build/hit counts nondeterministic.
+        let engine = SweepEngine::new(ResultCache::in_memory()).with_threads(1);
+        let sync = MachineConfig::synchronous(SyncConfig::paper_best());
+        // Four distinct configs over two benchmarks: two captures, the
+        // other six runs replay pooled traces.
+        let mut work = Vec::new();
+        for bench in ["adpcm_encode", "gzip"] {
+            for key in ["a", "b", "c", "d"] {
+                work.push(item(bench, "pooltest", sync.clone(), key));
+            }
+        }
+        let results = engine.measure(&work, 1_000);
+        assert!(results.iter().all(|r| r.is_finite()));
+        assert_eq!(engine.simulated_count(), 8);
+        assert_eq!(engine.trace_pool_builds(), 2, "one capture per benchmark");
+        assert_eq!(engine.trace_pool_hits(), 6);
+    }
+
+    #[test]
+    fn trace_pool_extends_for_longer_windows() {
+        let engine = SweepEngine::new(ResultCache::in_memory());
+        let sync = MachineConfig::synchronous(SyncConfig::paper_best());
+        let short = vec![item("power", "pooltest", sync.clone(), "w")];
+        let long = vec![item("power", "pooltest2", sync, "w")];
+        engine.measure(&short, 500);
+        engine.measure(&long, 2_000);
+        // The second window outgrew the first recording: re-captured.
+        assert_eq!(engine.trace_pool_builds(), 2);
+        // And the longer recording now serves short windows again.
+        let short2 = vec![item("power", "pooltest3", sync_cfg(), "w")];
+        engine.measure(&short2, 500);
+        assert_eq!(engine.trace_pool_builds(), 2);
+        assert!(engine.trace_pool_hits() >= 1);
+    }
+
+    fn sync_cfg() -> MachineConfig {
+        MachineConfig::synchronous(SyncConfig::paper_best())
+    }
+
+    #[test]
+    fn disabled_pool_regenerates_streams_and_matches() {
+        // One worker on the pooled side: exact build counts (asserted
+        // below) are only deterministic without capture races.
+        let pooled = SweepEngine::new(ResultCache::in_memory()).with_threads(1);
+        let unpooled = SweepEngine::new(ResultCache::in_memory()).without_trace_pool();
+        let work = vec![
+            item("art", "pooltest", sync_cfg(), "k1"),
+            item("art", "pooltest", sync_cfg(), "k2"),
+        ];
+        let a = pooled.measure(&work, 1_500);
+        let b = unpooled.measure(&work, 1_500);
+        assert_eq!(a, b, "pooled and per-job-stream runs must be bit-identical");
+        assert_eq!(unpooled.trace_pool_builds(), 0);
+        assert_eq!(unpooled.trace_pool_hits(), 0);
+        assert_eq!(pooled.trace_pool_builds(), 1);
+    }
+
+    #[test]
+    fn trace_pool_evicts_least_recently_used() {
+        let pool = TracePool::new(1_000);
+        let a = suite::by_name("gzip").unwrap();
+        let b = suite::by_name("art").unwrap();
+        let c = suite::by_name("power").unwrap();
+        assert!(pool.get(&a, 400).is_some());
+        assert!(pool.get(&b, 400).is_some());
+        // Touch `a` so `b` is the LRU entry, then overflow with `c`.
+        assert!(pool.get(&a, 400).is_some());
+        assert!(pool.get(&c, 400).is_some());
+        let entries = pool.lock();
+        let names: Vec<&str> = entries.iter().map(|e| e.spec.name()).collect();
+        assert_eq!(names, ["gzip", "power"], "LRU (art) evicted, MRU kept");
+        drop(entries);
+        assert!(
+            pool.get(&a, 2_000).is_none(),
+            "a request beyond the pool bound is declined, not thrashed"
+        );
     }
 
     #[test]

@@ -59,6 +59,21 @@ fn usable(ns: f64) -> bool {
     ns.is_finite() && ns > 0.0
 }
 
+/// The `GALS_MCD_SYNC_SUBSET=1` region of the synchronous space: the
+/// part the full sweep's winner provably lives in (both issue queues
+/// small — larger queues only lower the global clock without enough ILP
+/// to recoup, which partial full sweeps confirm across the suite).
+/// 16 I-cache options × 4 D/L2 × {16,32} int IQ = 128 configurations.
+///
+/// The one definition is shared by [`Explorer::sync_sweep`] and the
+/// throughput reporter's trace-sharing measurement, which quotes its
+/// configs/sec against the PR 1 `sweep_sync` baseline — the two
+/// workloads must never drift apart or that trajectory metric becomes
+/// apples-to-oranges.
+pub fn in_sync_winner_subset(c: &SyncConfig) -> bool {
+    c.iq_fp == gals_core::IqSize::Q16 && c.iq_int <= gals_core::IqSize::Q32
+}
+
 impl From<io::Error> for ExploreError {
     fn from(e: io::Error) -> Self {
         ExploreError::Io(e)
@@ -258,16 +273,11 @@ impl Explorer {
             return Err(ExploreError::EmptySuite);
         }
         // `GALS_MCD_SYNC_SUBSET=1` restricts the sweep to the region the
-        // full space's winner provably lives in (both issue queues small
-        // — larger queues only lower the global clock without enough ILP
-        // to recoup, which partial full sweeps confirm across the suite).
-        // 16 I-cache options × 4 D/L2 × {16,32} int IQ = 128 configs.
+        // full space's winner provably lives in.
         let subset = std::env::var("GALS_MCD_SYNC_SUBSET").is_ok_and(|v| v == "1");
         let configs: Vec<SyncConfig> = SyncConfig::enumerate()
             .into_iter()
-            .filter(|c| {
-                !subset || (c.iq_fp == gals_core::IqSize::Q16 && c.iq_int <= gals_core::IqSize::Q32)
-            })
+            .filter(|c| !subset || in_sync_winner_subset(c))
             .collect();
         let mut work = Vec::with_capacity(configs.len() * suite.len());
         for cfg in &configs {

@@ -54,7 +54,8 @@ pub use ablation::AblationPoint;
 pub use cache::{CacheKey, ResultCache};
 pub use engine::{MeasureItem, SweepEngine};
 pub use explorer::{
-    ExploreError, Explorer, Fig6Row, PolicyOutcome, ProgramChoice, SkippedConfig, SyncSweepOutcome,
+    in_sync_winner_subset, ExploreError, Explorer, Fig6Row, PolicyOutcome, ProgramChoice,
+    SkippedConfig, SyncSweepOutcome,
 };
 pub use sched::{Job, JobOutcome, JobScheduler, Priority};
 

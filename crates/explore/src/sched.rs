@@ -34,7 +34,9 @@
 //! what lets the server stream [`Partial`-frame] responses per job
 //! while the rest of a request is still queued.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
+
+use gals_common::fxmap::FxHashMap;
 use std::str::FromStr;
 use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -248,8 +250,10 @@ impl Ord for Queued<'_> {
 
 struct SchedState<'env> {
     heap: BinaryHeap<Queued<'env>>,
-    /// Cache-key string → followers waiting on the in-flight claimer.
-    inflight: HashMap<String, Vec<(Job, Completion<'env>)>>,
+    /// Cache-key string → followers waiting on the in-flight claimer
+    /// (Fx-hashed: keys are trusted, internally generated strings probed
+    /// on every pop).
+    inflight: FxHashMap<String, Vec<(Job, Completion<'env>)>>,
     /// Next admission sequence number. Lives under the state mutex on
     /// purpose: the FIFO tie-break is only correct because sequence
     /// assignment and heap insertion are one critical section.
@@ -328,7 +332,7 @@ impl<'env> JobScheduler<'env> {
         JobScheduler {
             state: Mutex::new(SchedState {
                 heap: BinaryHeap::new(),
-                inflight: HashMap::new(),
+                inflight: FxHashMap::default(),
                 seq: 0,
                 closed: false,
             }),

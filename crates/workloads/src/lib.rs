@@ -58,4 +58,4 @@ pub use spec::{
     PhaseOverrides, PhaseSpec, SpecError, Suite,
 };
 pub use stream::SyntheticStream;
-pub use trace::{record, TraceReplay};
+pub use trace::{record, SharedReplay, SharedTrace, TraceReplay};

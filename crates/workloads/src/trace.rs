@@ -2,20 +2,31 @@
 //!
 //! The synthetic generator is deterministic, but regenerating a stream
 //! re-runs the whole model per instruction. For repeated sweeps over the
-//! same benchmark — or for importing externally produced traces — a
-//! compact binary trace format is provided:
+//! same benchmark — or for importing externally produced traces — two
+//! complementary mechanisms are provided:
 //!
+//! * [`SharedTrace`] materializes a prefix of any live
+//!   [`InstructionStream`] into an immutable `Arc<[DynInst]>` that many
+//!   simulations (across threads) replay concurrently via
+//!   [`SharedTrace::replay`] — each replay is a cursor over the shared
+//!   storage, so N configurations sweeping one benchmark pay for one
+//!   stream generation instead of N. Replays are **strict**: reading
+//!   past the recorded end panics instead of silently looping, because
+//!   a looped instruction would diverge from the live stream the trace
+//!   stands in for.
 //! * [`record`] serializes the first `n` instructions of any
-//!   [`InstructionStream`] to a writer,
-//! * [`TraceReplay`] streams them back, looping when the simulator asks
-//!   for more instructions than were recorded (matching the generator's
-//!   infinite-stream contract).
+//!   [`InstructionStream`] to a writer, and [`TraceReplay`] streams them
+//!   back, looping when the simulator asks for more instructions than
+//!   were recorded (matching the generator's infinite-stream contract
+//!   for standalone trace files). `TraceReplay` is a looping cursor over
+//!   the same [`SharedTrace`] storage.
 //!
-//! The encoding is a fixed 27-byte little-endian record per instruction
-//! (pc, op, packed registers, address, target, flags) with a small
-//! header carrying a magic, version, and count.
+//! The on-disk encoding is a fixed 27-byte little-endian record per
+//! instruction (pc, op, packed registers, address, target, flags) with a
+//! small header carrying a magic, version, and count.
 
 use std::io::{self, Read, Write};
+use std::sync::Arc;
 
 use gals_isa::{ArchReg, DynInst, InstructionStream, OpClass};
 
@@ -112,12 +123,116 @@ where
     Ok(())
 }
 
+/// An immutable, reference-counted instruction trace shared by many
+/// concurrent replays.
+///
+/// Cloning is an `Arc` bump; the instruction storage is allocated once.
+/// This is the storage layer behind both the strict [`SharedReplay`]
+/// (sweep trace pooling) and the looping [`TraceReplay`] (trace files).
+#[derive(Debug, Clone)]
+pub struct SharedTrace {
+    name: Arc<str>,
+    insts: Arc<[DynInst]>,
+}
+
+impl SharedTrace {
+    /// Materializes the next `n` instructions of a live stream. The
+    /// stream's determinism contract makes the result bit-identical to
+    /// what any identically constructed stream would produce, so a
+    /// replay is a drop-in substitute for the first `n` instructions.
+    pub fn capture<S>(stream: &mut S, n: u64) -> Self
+    where
+        S: InstructionStream + ?Sized,
+    {
+        let insts: Vec<DynInst> = (0..n).map(|_| stream.next_inst()).collect();
+        SharedTrace {
+            name: Arc::from(stream.name()),
+            insts: insts.into(),
+        }
+    }
+
+    /// Wraps an already-decoded instruction sequence.
+    pub fn from_insts(name: impl Into<String>, insts: Vec<DynInst>) -> Self {
+        SharedTrace {
+            name: Arc::from(name.into().as_str()),
+            insts: insts.into(),
+        }
+    }
+
+    /// Benchmark name reported by replays (must match the source
+    /// stream's name for results to be interchangeable).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of recorded instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The recorded instructions.
+    pub fn insts(&self) -> &[DynInst] {
+        &self.insts
+    }
+
+    /// A strict replay cursor from the beginning: bit-identical to the
+    /// source stream for [`SharedTrace::len`] instructions, panicking on
+    /// a read past the end (see the [module docs](self)).
+    pub fn replay(&self) -> SharedReplay {
+        SharedReplay {
+            trace: self.clone(),
+            cursor: 0,
+        }
+    }
+}
+
+/// A strict (non-looping) replay cursor over a [`SharedTrace`].
+///
+/// Construction is allocation-free (two `Arc` bumps), and so is every
+/// [`InstructionStream::next_inst`] call — which is what lets the
+/// steady-state-allocation regression test run the simulator over one.
+#[derive(Debug, Clone)]
+pub struct SharedReplay {
+    trace: SharedTrace,
+    cursor: usize,
+}
+
+impl SharedReplay {
+    /// Instructions consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl InstructionStream for SharedReplay {
+    fn next_inst(&mut self) -> DynInst {
+        assert!(
+            self.cursor < self.trace.insts.len(),
+            "shared trace underrun: {} recorded instructions for {:?} all consumed \
+             (the trace was captured shorter than this run's fetch demand)",
+            self.trace.insts.len(),
+            self.trace.name(),
+        );
+        let inst = self.trace.insts[self.cursor];
+        self.cursor += 1;
+        inst
+    }
+
+    fn name(&self) -> &str {
+        self.trace.name()
+    }
+}
+
 /// Replays a recorded trace as an [`InstructionStream`], looping when
 /// exhausted.
 #[derive(Debug, Clone)]
 pub struct TraceReplay {
-    name: String,
-    insts: Vec<DynInst>,
+    trace: SharedTrace,
     cursor: usize,
 }
 
@@ -157,32 +272,37 @@ impl TraceReplay {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "empty trace"));
         }
         Ok(TraceReplay {
-            name: name.into(),
-            insts,
+            trace: SharedTrace::from_insts(name.into(), insts),
             cursor: 0,
         })
     }
 
     /// Number of recorded instructions (the loop period).
     pub fn len(&self) -> usize {
-        self.insts.len()
+        self.trace.len()
     }
 
     /// Always false — loading rejects empty traces.
     pub fn is_empty(&self) -> bool {
-        self.insts.is_empty()
+        self.trace.is_empty()
+    }
+
+    /// The shared storage backing this replay (e.g. to hand the same
+    /// trace to other threads without re-decoding).
+    pub fn shared(&self) -> &SharedTrace {
+        &self.trace
     }
 }
 
 impl InstructionStream for TraceReplay {
     fn next_inst(&mut self) -> DynInst {
-        let inst = self.insts[self.cursor];
-        self.cursor = (self.cursor + 1) % self.insts.len();
+        let inst = self.trace.insts[self.cursor];
+        self.cursor = (self.cursor + 1) % self.trace.insts.len();
         inst
     }
 
     fn name(&self) -> &str {
-        &self.name
+        self.trace.name()
     }
 }
 
@@ -238,6 +358,59 @@ mod tests {
         let spec = suite::by_name("power").unwrap();
         record(&mut spec.stream(), 0, &mut buf).unwrap();
         assert!(TraceReplay::load("x", buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn shared_capture_matches_live_stream() {
+        let spec = suite::by_name("gzip").unwrap();
+        let trace = SharedTrace::capture(&mut spec.stream(), 2_000);
+        assert_eq!(trace.len(), 2_000);
+        assert_eq!(trace.name(), "gzip");
+        let mut live = spec.stream();
+        let mut replay = trace.replay();
+        assert_eq!(replay.name(), live.name());
+        for i in 0..2_000 {
+            assert_eq!(replay.next_inst(), live.next_inst(), "inst {i}");
+        }
+        assert_eq!(replay.consumed(), 2_000);
+    }
+
+    #[test]
+    fn shared_replays_are_independent_cursors() {
+        let spec = suite::by_name("power").unwrap();
+        let trace = SharedTrace::capture(&mut spec.stream(), 64);
+        let mut a = trace.replay();
+        let mut b = trace.replay();
+        a.next_inst();
+        a.next_inst();
+        // b is unaffected by a's progress and matches a fresh stream.
+        assert_eq!(b.next_inst(), spec.stream().next_inst());
+    }
+
+    #[test]
+    #[should_panic(expected = "shared trace underrun")]
+    fn shared_replay_refuses_to_loop() {
+        let spec = suite::by_name("power").unwrap();
+        let trace = SharedTrace::capture(&mut spec.stream(), 10);
+        let mut replay = trace.replay();
+        for _ in 0..11 {
+            replay.next_inst();
+        }
+    }
+
+    #[test]
+    fn trace_replay_exposes_shared_storage() {
+        let spec = suite::by_name("power").unwrap();
+        let mut buf = Vec::new();
+        record(&mut spec.stream(), 50, &mut buf).unwrap();
+        let replay = TraceReplay::load("power", buf.as_slice()).unwrap();
+        let shared = replay.shared().clone();
+        assert_eq!(shared.len(), 50);
+        let mut strict = shared.replay();
+        let mut live = spec.stream();
+        for _ in 0..50 {
+            assert_eq!(strict.next_inst(), live.next_inst());
+        }
     }
 
     #[test]

@@ -74,6 +74,57 @@ proptest! {
         }
     }
 
+    /// A recorded-and-reloaded trace replays instruction-for-instruction
+    /// identically to the live stream it was captured from — including
+    /// its looping contract: instruction `n + i` of the replay equals
+    /// instruction `i`. This is the substrate guarantee the sweep trace
+    /// pool's bit-identity rests on.
+    #[test]
+    fn trace_replay_is_instruction_identical_to_live_stream(
+        n in 16u64..600,
+        bench_idx in 0usize..8,
+    ) {
+        let spec = suite::all().into_iter().nth(bench_idx * 4).unwrap();
+        let mut buf = Vec::new();
+        gals_workloads::record(&mut spec.stream(), n, &mut buf).unwrap();
+        let mut replay = gals_workloads::TraceReplay::load(spec.name(), buf.as_slice()).unwrap();
+        prop_assert_eq!(replay.len() as u64, n);
+
+        let mut live = spec.stream();
+        let mut prefix = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let inst = live.next_inst();
+            prop_assert_eq!(replay.next_inst(), inst, "inst {} diverged", i);
+            prefix.push(inst);
+        }
+        // Past the end, TraceReplay loops back to the recorded prefix.
+        for i in 0..n.min(64) {
+            prop_assert_eq!(replay.next_inst(), prefix[i as usize], "loop inst {}", i);
+        }
+    }
+
+    /// A `SharedTrace` captured from a live stream is bit-identical to
+    /// that stream for its whole recorded length, from any number of
+    /// independent replay cursors.
+    #[test]
+    fn shared_trace_is_instruction_identical_to_live_stream(
+        n in 1u64..800,
+        bench_idx in 0usize..8,
+    ) {
+        let spec = suite::all().into_iter().nth(bench_idx * 3 + 1).unwrap();
+        let trace = gals_workloads::SharedTrace::capture(&mut spec.stream(), n);
+        prop_assert_eq!(trace.len() as u64, n);
+        prop_assert_eq!(trace.name(), spec.name());
+        let mut live = spec.stream();
+        let mut a = trace.replay();
+        let mut b = trace.replay();
+        for i in 0..n {
+            let inst = live.next_inst();
+            prop_assert_eq!(a.next_inst(), inst, "cursor a inst {}", i);
+            prop_assert_eq!(b.next_inst(), inst, "cursor b inst {}", i);
+        }
+    }
+
     /// Branch density matches the code model: exactly one control
     /// transfer per `block_len` instructions.
     #[test]
