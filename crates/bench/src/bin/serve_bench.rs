@@ -9,7 +9,8 @@
 //! of scheduling order.
 //!
 //! A second phase saturates a one-worker server with a mixed-priority
-//! stream and measures per-request latency: the scheduler must give
+//! stream and measures per-request latency (reported as nearest-rank
+//! p50/p95/p99 per priority class): the scheduler must give
 //! high-priority requests a lower median latency than the low-priority
 //! backlog they overtake.
 //!
@@ -60,6 +61,15 @@ fn median(sorted: &mut [f64]) -> f64 {
         return f64::NAN;
     }
     sorted[sorted.len() / 2]
+}
+
+/// Nearest-rank percentile (`p` in 0..=100) of an already-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// A pool of distinct work units mixing machine styles, benchmarks,
@@ -233,9 +243,9 @@ fn batching_phase(window: u64, clients: usize) -> (f64, f64, u64, usize, usize) 
 }
 
 /// Phase B: saturate a one-worker server with a mixed-priority stream
-/// and measure per-request latency (send → `done`). Returns
-/// `(high_median_ms, low_median_ms)`.
-fn priority_phase(window: u64, clients: usize) -> (f64, f64) {
+/// and measure per-request latency (send → `done`). Returns the raw
+/// per-class latency samples in milliseconds: `(highs, lows)`.
+fn priority_phase(window: u64, clients: usize) -> (Vec<f64>, Vec<f64>) {
     const LOW_PER_CLIENT: usize = 10;
     const HIGH_PER_CLIENT: usize = 3;
     // One worker guarantees a saturated queue on any host, which is
@@ -319,9 +329,9 @@ fn priority_phase(window: u64, clients: usize) -> (f64, f64) {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     server.shutdown();
-    let mut highs: Vec<f64> = lat.iter().flat_map(|(h, _)| h.iter().copied()).collect();
-    let mut lows: Vec<f64> = lat.iter().flat_map(|(_, l)| l.iter().copied()).collect();
-    (median(&mut highs), median(&mut lows))
+    let highs: Vec<f64> = lat.iter().flat_map(|(h, _)| h.iter().copied()).collect();
+    let lows: Vec<f64> = lat.iter().flat_map(|(_, l)| l.iter().copied()).collect();
+    (highs, lows)
 }
 
 fn main() {
@@ -333,7 +343,24 @@ fn main() {
     let (serve_ms, independent_ms, simulated, total_requests, distinct) =
         batching_phase(window, clients);
     let speedup = independent_ms / serve_ms;
-    let (high_ms, low_ms) = priority_phase(window, clients);
+    let (mut highs, mut lows) = priority_phase(window, clients);
+    let high_ms = median(&mut highs);
+    let low_ms = median(&mut lows);
+    // `median` leaves the slices sorted, which is what `percentile`
+    // requires. Tail percentiles are the serving metric that matters
+    // under saturation: a priority scheme that only helps the median
+    // can still strand individual high-priority requests behind the
+    // backlog, and p95/p99 is where that shows.
+    let (high_p50, high_p95, high_p99) = (
+        percentile(&highs, 50.0),
+        percentile(&highs, 95.0),
+        percentile(&highs, 99.0),
+    );
+    let (low_p50, low_p95, low_p99) = (
+        percentile(&lows, 50.0),
+        percentile(&lows, 95.0),
+        percentile(&lows, 99.0),
+    );
 
     println!("gals-serve scheduler benchmark");
     println!("  clients            {clients}");
@@ -343,8 +370,11 @@ fn main() {
     println!("  batched (server)   {serve_ms:.1} ms");
     println!("  independent        {independent_ms:.1} ms");
     println!("  speedup            {speedup:.2}x");
-    println!("  high-pri median    {high_ms:.1} ms (saturated, 1 worker)");
-    println!("  low-pri median     {low_ms:.1} ms");
+    println!(
+        "  high-pri latency   p50 {high_p50:.1} / p95 {high_p95:.1} / p99 {high_p99:.1} ms \
+         (saturated, 1 worker)"
+    );
+    println!("  low-pri latency    p50 {low_p50:.1} / p95 {low_p95:.1} / p99 {low_p99:.1} ms");
     assert!(
         speedup > 1.0,
         "the shared scheduler must beat independent invocations"
@@ -356,7 +386,7 @@ fn main() {
     );
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"gals-mcd-serve-bench-v2\",\n");
+    json.push_str("{\n  \"schema\": \"gals-mcd-serve-bench-v3\",\n");
     let _ = writeln!(json, "  \"window\": {window},");
     let _ = writeln!(json, "  \"clients\": {clients},");
     let _ = writeln!(json, "  \"requests\": {total_requests},");
@@ -367,6 +397,16 @@ fn main() {
     let _ = writeln!(json, "  \"speedup\": {speedup:.2},");
     let _ = writeln!(json, "  \"high_priority_median_ms\": {high_ms:.1},");
     let _ = writeln!(json, "  \"low_priority_median_ms\": {low_ms:.1},");
+    let _ = writeln!(
+        json,
+        "  \"high_priority_latency_ms\": {{\"p50\": {high_p50:.1}, \"p95\": {high_p95:.1}, \
+         \"p99\": {high_p99:.1}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"low_priority_latency_ms\": {{\"p50\": {low_p50:.1}, \"p95\": {low_p95:.1}, \
+         \"p99\": {low_p99:.1}}},"
+    );
     json.push_str("  \"bit_identical_to_direct\": true\n}\n");
     std::fs::write(&out_path, json).expect("write artifact");
     println!("  wrote {out_path}");

@@ -65,6 +65,7 @@ use gals_control::{AdaptationEngine, EngineSetup, IlpDecision};
 use gals_isa::{DynInst, InstructionStream, OpClass};
 use gals_predictor::{HybridPredictor, PredictorGeometry};
 use gals_timing::{Dl2Config, ICacheConfig, Variant};
+use gals_workloads::PreparedTrace;
 
 use crate::config::{MachineConfig, MachineKind};
 use crate::stats::{CacheSummary, ReconfigEvent, ReconfigKind, SimResult};
@@ -260,6 +261,15 @@ pub struct Simulator {
     fetch_blocked_on: Option<u32>,
     cur_fetch_line: u64,
     pending_inst: Option<DynInst>,
+
+    // Chunked-stepping state (persists across `run_chunk` calls; also
+    // used by `run` so both loops share the deadlock detector).
+    /// Next unconsumed index into the prepared trace.
+    trace_pos: u64,
+    /// Simulated time of the most recent commit-count increase.
+    last_progress_time: Femtos,
+    /// Commit count at `last_progress_time`.
+    last_progress_count: u64,
 
     fu_int: [FuPool; 2],
     fu_fp: [FuPool; 2],
@@ -462,6 +472,9 @@ impl Simulator {
             fetch_blocked_on: None,
             cur_fetch_line: u64::MAX,
             pending_inst: None,
+            trace_pos: 0,
+            last_progress_time: Femtos::ZERO,
+            last_progress_count: 0,
             fu_int: [
                 FuPool::new(cfg.params.int_alus),
                 FuPool::new(cfg.params.int_muldiv),
@@ -750,6 +763,18 @@ impl Simulator {
         self.commit(e, window);
         self.rename_dispatch(e);
         self.fetch(e, stream);
+        if self.event_driven {
+            self.recompute_fe_wake(e);
+        }
+    }
+
+    /// [`Simulator::fe_edge`] with fetch fed from a [`PreparedTrace`]
+    /// (the chunked-stepping path).
+    fn fe_edge_prepared(&mut self, e: Femtos, prep: &PreparedTrace, window: u64) {
+        self.apply_pending_fe(e);
+        self.commit(e, window);
+        self.rename_dispatch(e);
+        self.fetch_prepared(e, prep);
         if self.event_driven {
             self.recompute_fe_wake(e);
         }
@@ -1305,6 +1330,116 @@ impl Simulator {
         }
     }
 
+    /// [`Simulator::fetch`] reading the shared prepared trace at
+    /// `self.trace_pos` instead of pulling an owned stream.
+    ///
+    /// Bit-identity with the stream path: where `fetch` stashes the
+    /// in-hand instruction in `pending_inst` across an I-cache stall,
+    /// this path simply leaves `trace_pos` unadvanced — the retry reads
+    /// the same index, finds `line == cur_fetch_line` (set before the
+    /// stall return, exactly as in `fetch`), and skips the already-
+    /// performed I-cache access, so the access sequence every model
+    /// structure observes is identical.
+    fn fetch_prepared(&mut self, e: Femtos, prep: &PreparedTrace) {
+        if self.fetch_blocked_on.is_some() || e < self.fetch_stalled_until {
+            return;
+        }
+        let width = self.cfg.params.decode_width;
+        for _ in 0..width {
+            if self.fetch_q.len() >= self.cfg.params.fetch_queue {
+                break;
+            }
+            let i = self.trace_pos as usize;
+            assert!(
+                i < prep.len(),
+                "prepared trace underrun: position {i} of {}",
+                prep.len()
+            );
+
+            // I-cache: access on line crossings (line index precomputed).
+            let line = prep.fetch_line(i);
+            let inst = prep.inst(i);
+            if line != self.cur_fetch_line {
+                let r = self.icache.access(inst.pc, AccessKind::Read);
+                self.cur_fetch_line = line;
+                match r.served {
+                    ServedBy::APartition => {}
+                    ServedBy::BPartition => {
+                        let extra = self.l1_b_latency(self.ic_idx) - self.cfg.params.l1_a_cycles;
+                        self.fetch_stalled_until = e + self.clocks[FE].period() * extra;
+                        return;
+                    }
+                    ServedBy::Miss => {
+                        // Fill from the unified L2 (load/store domain).
+                        let req = self.xfer(e, FE, LS);
+                        let delay = self.l2_access(inst.pc, AccessKind::Read);
+                        let done = req + delay;
+                        let vis = self.xfer(done, LS, FE);
+                        if let Some(en) = self.engine.as_mut() {
+                            en.note_l2_service((vis - e).as_ns());
+                        }
+                        self.fetch_stalled_until = vis;
+                        return;
+                    }
+                }
+            }
+            self.trace_pos += 1;
+
+            // Allocate the window slot in the slab. The capacity bound
+            // guarantees the masked slot is vacant while `seq` is alive.
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            debug_assert!(
+                (self.next_seq - self.head_seq) as usize <= self.slab.len(),
+                "in-flight window exceeded the slab capacity"
+            );
+            let slot = self.slot_of(seq);
+            *self.st_mut(slot) = InstState {
+                inst,
+                seq,
+                srcs: [Src::Free, Src::Free],
+                exec_domain: FE as u8,
+                arrival: e,
+                next_check: Femtos::ZERO,
+                completion: None,
+                issued: false,
+                renamed: false,
+                mispredicted: false,
+                uses_phys: false,
+                waiter_head: NO_LINK,
+                waiter_next: NO_LINK,
+                q_prev: NO_LINK,
+                q_next: NO_LINK,
+                line_next: NO_LINK,
+            };
+            self.fetch_q.push_back(slot);
+
+            // Branch prediction.
+            if inst.op == OpClass::Branch {
+                self.branches += 1;
+                let predicted = self.predictors[self.active_pred].predict(inst.pc).taken;
+                // Train: phase mode keeps all geometries warm.
+                if self.predictors.len() > 1 {
+                    for p in &mut self.predictors {
+                        p.update(inst.pc, inst.taken);
+                    }
+                } else {
+                    self.predictors[0].update(inst.pc, inst.taken);
+                }
+                if predicted != inst.taken {
+                    self.mispredicts += 1;
+                    self.st_mut(slot).mispredicted = true;
+                    self.fetch_blocked_on = Some(slot);
+                    break;
+                } else if inst.taken {
+                    break; // one taken branch per fetch group
+                }
+            } else if inst.op == OpClass::Jump {
+                break; // taken: end of fetch group
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Execution-domain edges (integer / floating point)
     // ------------------------------------------------------------------
@@ -1704,6 +1839,74 @@ impl Simulator {
     // Run loop
     // ------------------------------------------------------------------
 
+    /// The span of simulated time with no commits that trips the
+    /// deadlock detector (a model-bug backstop, far beyond any real
+    /// stall).
+    const DEADLOCK_SPAN: Femtos = Femtos::from_us(200);
+
+    /// Earliest next edge across the four domains (ties broken by
+    /// domain index, front end first).
+    #[inline]
+    fn earliest_edge(&self) -> (usize, Femtos) {
+        let mut d = 0;
+        let mut t = self.clocks[0].peek_next_edge();
+        for i in 1..4 {
+            let ti = self.clocks[i].peek_next_edge();
+            if ti < t {
+                t = ti;
+                d = i;
+            }
+        }
+        (d, t)
+    }
+
+    /// Updates the deadlock detector after an edge at `e`; panics when a
+    /// long span of simulated time passes with no commits (a model bug).
+    /// State lives on `self` so detection spans `run_chunk` calls
+    /// exactly as it spans one continuous `run`.
+    #[inline]
+    fn note_progress(&mut self, e: Femtos) {
+        if self.committed > self.last_progress_count {
+            self.last_progress_count = self.committed;
+            self.last_progress_time = e;
+        } else if e > self.last_progress_time + Self::DEADLOCK_SPAN {
+            panic!(
+                "pipeline deadlock at {} ({} committed, rob={}, iq=[{},{}], lsq={}, fq={})",
+                e,
+                self.committed,
+                self.rob.len(),
+                self.iq[0].len(),
+                self.iq[1].len(),
+                self.lsq.len(),
+                self.fetch_q.len(),
+            );
+        }
+    }
+
+    /// Bulk idle-edge skip (fast path): any edge strictly before every
+    /// domain's next-work bound provably runs a no-op handler, so
+    /// fast-forward all four clocks to the earliest bound at once. Each
+    /// skipped edge still ticks its clock (consuming the identical
+    /// jitter/relock RNG sequence), which is what keeps results
+    /// bit-identical to the reference loop. The deadlock span caps the
+    /// jump so a buggy bound still trips the detector. Returns true when
+    /// the edge at `t` was skipped over.
+    #[inline]
+    fn try_fast_forward(&mut self, t: Femtos) -> bool {
+        let horizon = (self.last_progress_time + Self::DEADLOCK_SPAN)
+            .min(*self.next_work.iter().min().expect("four domains"));
+        if t >= horizon {
+            return false;
+        }
+        for clock in &mut self.clocks {
+            // O(1) for jitter-free clocks (the synchronous machines),
+            // edge-by-edge otherwise to consume the identical
+            // jitter-RNG sequence.
+            clock.fast_forward_to(horizon);
+        }
+        true
+    }
+
     /// Runs the machine until `window` instructions have committed and
     /// returns the measured result.
     ///
@@ -1713,45 +1916,12 @@ impl Simulator {
     /// span of simulated time with no commits.
     pub fn run<S: InstructionStream>(mut self, stream: &mut S, window: u64) -> SimResult {
         assert!(window > 0, "window must be positive");
-        let deadlock_span = Femtos::from_us(200);
-        let mut last_progress_time = Femtos::ZERO;
-        let mut last_progress_count = 0u64;
 
         while self.committed < window {
-            // Earliest next edge across the four domains (ties broken by
-            // domain index, front end first).
-            let mut d = 0;
-            let mut t = self.clocks[0].peek_next_edge();
-            for i in 1..4 {
-                let ti = self.clocks[i].peek_next_edge();
-                if ti < t {
-                    t = ti;
-                    d = i;
-                }
+            let (d, t) = self.earliest_edge();
+            if self.event_driven && self.try_fast_forward(t) {
+                continue;
             }
-
-            if self.event_driven {
-                // Bulk idle-edge skip: any edge strictly before every
-                // domain's next-work bound provably runs a no-op
-                // handler, so fast-forward all four clocks to the
-                // earliest bound at once. Each skipped edge still ticks
-                // its clock (consuming the identical jitter/relock RNG
-                // sequence), which is what keeps results bit-identical
-                // to the reference loop. The deadlock span caps the jump
-                // so a buggy bound still trips the detector below.
-                let horizon = (last_progress_time + deadlock_span)
-                    .min(*self.next_work.iter().min().expect("four domains"));
-                if t < horizon {
-                    for clock in &mut self.clocks {
-                        // O(1) for jitter-free clocks (the synchronous
-                        // machines), edge-by-edge otherwise to consume
-                        // the identical jitter-RNG sequence.
-                        clock.fast_forward_to(horizon);
-                    }
-                    continue;
-                }
-            }
-
             let e = self.clocks[d].tick();
             if !self.event_driven || e >= self.next_work[d] {
                 match d {
@@ -1761,24 +1931,85 @@ impl Simulator {
                     _ => unreachable!(),
                 }
             }
-
-            if self.committed > last_progress_count {
-                last_progress_count = self.committed;
-                last_progress_time = e;
-            } else if e > last_progress_time + deadlock_span {
-                panic!(
-                    "pipeline deadlock at {} ({} committed, rob={}, iq=[{},{}], lsq={}, fq={})",
-                    e,
-                    self.committed,
-                    self.rob.len(),
-                    self.iq[0].len(),
-                    self.iq[1].len(),
-                    self.lsq.len(),
-                    self.fetch_q.len(),
-                );
-            }
+            self.note_progress(e);
         }
 
+        let name = stream.name().to_string();
+        self.finish(&name)
+    }
+
+    /// Advances the machine until it either commits its `window`-th
+    /// instruction (returns `true` — harvest with [`Simulator::finish`])
+    /// or reaches the trace pacing bound `upto` (returns `false`), with
+    /// every piece of pipeline state preserved between calls. This is
+    /// the lockstep-cohort primitive: K simulators over one shared
+    /// [`PreparedTrace`] take turns advancing through the same chunk of
+    /// trace positions while that chunk's fact columns are cache-hot.
+    ///
+    /// The pacing bound pauses the machine *before ticking* at a
+    /// front-end edge that is open to fetch at or past trace index
+    /// `upto`. The pause mutates nothing, so resuming with a larger
+    /// `upto` re-evaluates the identical edge and the state evolution is
+    /// bit-identical under every chunking schedule — including the
+    /// degenerate `upto = u64::MAX` single chunk, which is exactly
+    /// [`Simulator::run`] over the same instructions (the determinism
+    /// suite asserts all of this). `window` must be the same value on
+    /// every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero, if the prepared trace was densified
+    /// for a different I-cache line size than this machine's, if the
+    /// trace runs out before the window commits (capture at least
+    /// `window + max_in_flight()` instructions), or on pipeline
+    /// deadlock.
+    pub fn run_chunk(&mut self, prep: &PreparedTrace, window: u64, upto: u64) -> bool {
+        assert!(window > 0, "window must be positive");
+        assert_eq!(
+            prep.line_bytes(),
+            self.cfg.params.line_bytes,
+            "prepared trace line size must match the machine configuration"
+        );
+
+        while self.committed < window {
+            let (d, t) = self.earliest_edge();
+
+            // Pacing gate. Fetch is about to run (and consume trace) iff
+            // this is a handled front-end edge with fetch un-blocked and
+            // un-stalled; `recompute_fe_wake` keeps `next_work[FE]` at
+            // or below `max(fetch_stalled_until, e)` whenever fetch is
+            // open, so an eligible fetch edge can never be fast-
+            // forwarded over and this gate is always reached.
+            if d == FE
+                && self.trace_pos >= upto
+                && self.fetch_blocked_on.is_none()
+                && t >= self.fetch_stalled_until
+                && (!self.event_driven || t >= self.next_work[FE])
+            {
+                return false;
+            }
+
+            if self.event_driven && self.try_fast_forward(t) {
+                continue;
+            }
+            let e = self.clocks[d].tick();
+            if !self.event_driven || e >= self.next_work[d] {
+                match d {
+                    0 => self.fe_edge_prepared(e, prep, window),
+                    1 | 2 => self.exec_edge(d, e),
+                    3 => self.ls_edge(e),
+                    _ => unreachable!(),
+                }
+            }
+            self.note_progress(e);
+        }
+        true
+    }
+
+    /// Folds outstanding statistics and produces the [`SimResult`] for a
+    /// machine whose run has completed (the chunked-stepping harvest;
+    /// [`Simulator::run`] goes through this too).
+    pub fn finish(mut self, benchmark: &str) -> SimResult {
         // Fold any un-drained interval statistics into the totals.
         let ic = self.icache.take_stats();
         self.accumulate_ic(&ic);
@@ -1787,7 +2018,7 @@ impl Simulator {
         self.accumulate_dl2(&l1, &l2);
 
         SimResult {
-            benchmark: stream.name().to_string(),
+            benchmark: benchmark.to_string(),
             committed: self.committed,
             runtime: self.last_commit_at,
             final_freqs: [

@@ -6,7 +6,7 @@
 //! function of its inputs.
 
 use gals_core::{ControlPolicy, MachineConfig, McdConfig, SimResult, Simulator, SyncConfig};
-use gals_workloads::{suite, SharedTrace};
+use gals_workloads::{suite, PreparedTrace, SharedTrace};
 
 /// Runs one spec/config pair through both loops and asserts full
 /// `SimResult` equality (committed counts, runtime, per-domain cycles,
@@ -231,6 +231,74 @@ fn shared_trace_replay_is_bit_identical_to_live_streams() {
             "{bench}: reference loop diverged between live stream and trace replay"
         );
         assert_eq!(live_fast, live_ref, "{bench}: loops diverged");
+    }
+}
+
+/// Chunked stepping over a [`PreparedTrace`] is the lockstep-cohort
+/// primitive: `run_chunk(prep, window, upto)` pauses the machine at its
+/// trace pacing bound and resumes with all state preserved. The pause
+/// must be architecturally invisible — the final `SimResult` must be
+/// bit-identical to one continuous `run()` over the live stream for
+/// *every* chunking schedule, every machine style, and both run loops,
+/// or cohort composition would leak into sweep results.
+#[test]
+fn chunked_stepping_is_bit_identical_to_run() {
+    let cases: [(MachineConfig, &str, u64); 3] = [
+        (MachineConfig::best_synchronous(), "gcc", 12_000),
+        (
+            MachineConfig::program_adaptive(McdConfig::smallest()),
+            "equake",
+            10_000,
+        ),
+        (
+            MachineConfig::phase_adaptive(McdConfig::smallest()),
+            "apsi",
+            40_000,
+        ),
+    ];
+    for (machine, bench, window) in cases {
+        let spec = suite::by_name(bench).expect("benchmark in suite");
+        let need = window + machine.params.max_in_flight() as u64;
+        let trace = SharedTrace::capture(&mut spec.stream(), need);
+        let prep = PreparedTrace::new(&trace, machine.params.line_bytes);
+
+        let baseline = Simulator::new(machine.clone()).run(&mut spec.stream(), window);
+
+        // Chunk sizes from pathological (7) through typical (2048) to
+        // the degenerate single chunk (u64::MAX disables the gate).
+        for chunk in [7u64, 256, 2_048, u64::MAX] {
+            let mut sim = Simulator::new(machine.clone());
+            let mut upto = 0u64;
+            let mut turns = 0u64;
+            loop {
+                upto = upto.saturating_add(chunk);
+                if sim.run_chunk(&prep, window, upto) {
+                    break;
+                }
+                turns += 1;
+                assert!(turns < 1_000_000, "{bench}: chunked run never finished");
+            }
+            let chunked = sim.finish(bench);
+            assert_eq!(
+                baseline, chunked,
+                "{bench}: chunk size {chunk} diverged from continuous run"
+            );
+        }
+
+        // Reference loop through the same chunked schedule.
+        let mut sim = Simulator::new(machine.clone()).use_reference_loop();
+        let mut upto = 0u64;
+        loop {
+            upto = upto.saturating_add(512);
+            if sim.run_chunk(&prep, window, upto) {
+                break;
+            }
+        }
+        let chunked_ref = sim.finish(bench);
+        assert_eq!(
+            baseline, chunked_ref,
+            "{bench}: chunked reference loop diverged"
+        );
     }
 }
 

@@ -35,10 +35,10 @@ use std::time::Instant;
 
 use gals_common::fxmap::FxHashSet;
 use gals_core::{ControlPolicy, MachineConfig, McdConfig, Simulator, SyncConfig};
-use gals_workloads::{BenchmarkSpec, SharedTrace};
+use gals_workloads::{BenchmarkSpec, PreparedTrace, SharedTrace};
 
 use crate::cache::{CacheKey, ResultCache};
-use crate::sched::{Claim, Job, JobOutcome, JobScheduler};
+use crate::sched::{Claim, Completion, Job, JobOutcome, JobScheduler};
 
 /// One unit of sweep work: a benchmark run under a machine configuration
 /// at some instruction window.
@@ -126,13 +126,30 @@ const SAVE_BATCH: usize = 256;
 /// `GALS_MCD_TRACE_POOL_INSTS` (`0` disables pooling entirely).
 const DEFAULT_POOL_INSTS: u64 = 2_000_000;
 
+/// Default lockstep cohort width (simulators advancing over one shared
+/// prepared trace); override with `GALS_MCD_COHORT_WIDTH` (`0` or `1`
+/// selects the legacy one-job-at-a-time path).
+const DEFAULT_COHORT_WIDTH: usize = 8;
+
+/// Default trace-chunk size (instructions) each cohort member advances
+/// per turn — the best-measured balance between keeping a chunk's
+/// prepared-fact columns cache-resident across the cohort's pass and
+/// not thrashing each member's own microarchitectural state on the
+/// turn switches; override with `GALS_MCD_COHORT_CHUNK`.
+const DEFAULT_COHORT_CHUNK: u64 = 4_096;
+
 /// One pooled recording: the spec it was captured from (the identity
 /// key — full structural equality, so distinct specs that happen to
-/// share a name can never alias) and the shared instruction storage.
+/// share a name can never alias), the shared instruction storage, and
+/// (once some cohort needed it) the structure-of-arrays densification.
 #[derive(Debug)]
 struct PoolEntry {
     spec: BenchmarkSpec,
     trace: SharedTrace,
+    /// Lazily built by the first cohort run over this recording; the
+    /// LRU instruction bound covers the raw recording only (the
+    /// densification is a constant factor on top).
+    prepared: Option<PreparedTrace>,
 }
 
 /// The LRU-bounded pool of shared benchmark recordings.
@@ -211,6 +228,7 @@ impl TracePool {
         entries.push(PoolEntry {
             spec: spec.clone(),
             trace: trace.clone(),
+            prepared: None,
         });
         // Evict least-recently-used recordings until under the bound
         // (the just-inserted entry, at the MRU end, always survives).
@@ -220,6 +238,70 @@ impl TracePool {
         }
         Some(trace)
     }
+
+    /// Like [`TracePool::get`], but returns the recording's
+    /// structure-of-arrays densification for machines with `line_bytes`
+    /// I-cache lines, building and caching it beside the raw trace on
+    /// first use. `None` under exactly the same conditions as `get`
+    /// (pooling disabled or the request exceeds the pool bound) —
+    /// cohort callers fall back to the per-job stream path then.
+    fn get_prepared(
+        &self,
+        spec: &BenchmarkSpec,
+        need: u64,
+        line_bytes: u64,
+    ) -> Option<PreparedTrace> {
+        if need == 0 || need > self.capacity_insts {
+            return None;
+        }
+        {
+            let mut entries = self.lock();
+            if let Some(pos) = entries.iter().position(|e| &e.spec == spec) {
+                let usable = entries[pos]
+                    .prepared
+                    .as_ref()
+                    .is_some_and(|p| p.line_bytes() == line_bytes && p.len() as u64 >= need);
+                if usable {
+                    // Hit: refresh recency and share the columns.
+                    let e = entries.remove(pos);
+                    let prep = e.prepared.clone().expect("probed above");
+                    entries.push(e);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(prep);
+                }
+            }
+        }
+        // No usable densification yet: obtain the raw recording through
+        // the normal pooling path (which counts the hit/build), then
+        // densify outside the lock and publish the result. A concurrent
+        // densifier of the same spec may race; keep whichever covers
+        // the other (same line size and at least as long).
+        let trace = self.get(spec, need)?;
+        let prep = PreparedTrace::new(&trace, line_bytes);
+        let mut entries = self.lock();
+        if let Some(pos) = entries.iter().position(|e| &e.spec == spec) {
+            let keep = entries[pos]
+                .prepared
+                .as_ref()
+                .is_some_and(|p| p.line_bytes() == line_bytes && p.len() >= prep.len());
+            if !keep {
+                entries[pos].prepared = Some(prep.clone());
+            }
+        }
+        Some(prep)
+    }
+}
+
+/// One member of a lockstep cohort: an admitted (claimed) job, its
+/// live simulator, the shared prepared trace, and the member's current
+/// pacing bound.
+struct CohortMember<'env> {
+    job: Job,
+    complete: Completion<'env>,
+    prep: PreparedTrace,
+    sim: Simulator,
+    /// Trace position this member's next turn advances to.
+    chunk_end: u64,
 }
 
 /// The work-stealing measurement engine over a sharded result cache.
@@ -230,6 +312,12 @@ impl TracePool {
 pub struct SweepEngine {
     threads: usize,
     reference_loop: bool,
+    /// Lockstep cohort width: how many same-benchmark simulators one
+    /// worker advances over a shared prepared trace (`<2` = legacy
+    /// one-job-at-a-time execution).
+    cohort_width: usize,
+    /// Trace-chunk size (instructions) per cohort member turn.
+    chunk_insts: u64,
     cache: ResultCache,
     /// Shared benchmark recordings (see "Sweep-wide trace sharing" in
     /// the [module docs](self)).
@@ -257,9 +345,20 @@ impl SweepEngine {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(DEFAULT_POOL_INSTS);
+        let cohort_width = std::env::var("GALS_MCD_COHORT_WIDTH")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_COHORT_WIDTH);
+        let chunk_insts = std::env::var("GALS_MCD_COHORT_CHUNK")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_COHORT_CHUNK);
         SweepEngine {
             threads,
             reference_loop: false,
+            cohort_width,
+            chunk_insts,
             cache,
             traces: TracePool::new(pool_insts),
             simulated: AtomicU64::new(0),
@@ -303,6 +402,37 @@ impl SweepEngine {
     pub fn with_trace_pool_insts(mut self, insts: u64) -> Self {
         self.traces = TracePool::new(insts);
         self
+    }
+
+    /// Sets the lockstep cohort width: up to `width` same-benchmark
+    /// jobs advance over one shared prepared trace per worker. `0` or
+    /// `1` selects the legacy one-job-at-a-time path (results are
+    /// bit-identical either way — the cohort integration tests assert
+    /// it); the default is 8, env-overridable via
+    /// `GALS_MCD_COHORT_WIDTH`.
+    #[must_use]
+    pub fn with_cohort_width(mut self, width: usize) -> Self {
+        self.cohort_width = width;
+        self
+    }
+
+    /// Sets the per-turn trace-chunk size in instructions (minimum 1;
+    /// default 4096, env-overridable via `GALS_MCD_COHORT_CHUNK`).
+    /// Chunking affects only cache residency, never results.
+    #[must_use]
+    pub fn with_cohort_chunk(mut self, insts: u64) -> Self {
+        self.chunk_insts = insts.max(1);
+        self
+    }
+
+    /// The lockstep cohort width (`<2` = legacy path).
+    pub fn cohort_width(&self) -> usize {
+        self.cohort_width
+    }
+
+    /// The per-turn trace-chunk size in instructions.
+    pub fn cohort_chunk(&self) -> u64 {
+        self.chunk_insts
     }
 
     /// The worker thread count.
@@ -478,90 +608,273 @@ impl SweepEngine {
     /// 4. **Run** — a claimer simulates (a panic is caught and becomes
     ///    [`JobOutcome::Panicked`]), records the cache with batched
     ///    persistence, then fires its own completion and every
-    ///    follower's.
-    pub fn serve_jobs(&self, sched: &JobScheduler<'_>) {
+    ///    follower's. With `cohort_width ≥ 2` the claimed job anchors a
+    ///    lockstep **cohort**: affine jobs are pulled from the queue
+    ///    ([`JobScheduler::pop_affine`]), admitted through the same
+    ///    steps 1–3, and advanced together over one shared prepared
+    ///    trace, each harvesting — and its slot backfilling — as it
+    ///    finishes. Cohort execution is bit-identical to one-at-a-time
+    ///    (asserted by the cohort integration tests).
+    pub fn serve_jobs<'env>(&self, sched: &JobScheduler<'env>) {
         while let Some((job, complete)) = sched.pop() {
-            let key = job.cache_key();
-            if let Some(ns) = self.cache.get(&key) {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                complete(
-                    job,
-                    JobOutcome::Completed {
-                        runtime_ns: ns,
-                        cached: true,
-                    },
-                );
-                continue;
-            }
-            if job.expired_at(Instant::now()) {
-                complete(job, JobOutcome::Expired);
-                continue;
-            }
-            if self
-                .panicked
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .contains(key.as_str())
-            {
-                complete(job, JobOutcome::Panicked);
-                continue;
-            }
-            let Claim::Run(job, complete) = sched.claim(key.as_str(), job, complete) else {
-                // A follower: the claiming worker fires its completion.
+            let Some((job, complete)) = self.admit(job, complete, sched) else {
                 continue;
             };
-            // Re-probe the cache and the panicked set now that the
-            // claim is ours: a previous claimer of this key may have
-            // finished (populating one of them) between our pop-time
-            // probes and the claim — without this, that window
-            // re-simulates the key and breaks the "simulated exactly
-            // once" accounting.
-            if let Some(ns) = self.cache.get(&key) {
-                let outcome = JobOutcome::Completed {
-                    runtime_ns: ns,
-                    cached: true,
-                };
-                let followers = sched.release(key.as_str());
-                self.cache_hits
-                    .fetch_add(1 + followers.len() as u64, Ordering::Relaxed);
-                complete(job, outcome);
-                for (fjob, fcomplete) in followers {
-                    fcomplete(fjob, outcome);
-                }
-                continue;
+            if self.cohort_width >= 2 {
+                self.run_cohort(job, complete, sched);
+            } else {
+                let ns = self.run_one(&job.item, job.window);
+                self.finalize(job.cache_key(), ns, job, complete, sched);
             }
-            if self
-                .panicked
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .contains(key.as_str())
-            {
-                let followers = sched.release(key.as_str());
-                complete(job, JobOutcome::Panicked);
-                for (fjob, fcomplete) in followers {
-                    fcomplete(fjob, JobOutcome::Panicked);
-                }
-                continue;
-            }
-            let ns = self.run_one(&job.item, job.window);
-            let outcome = if ns.is_finite() {
-                self.cache.put(key.clone(), ns);
-                self.cache.maybe_save_batched(SAVE_BATCH);
+        }
+    }
+
+    /// Admission steps 1–3 of [`SweepEngine::serve_jobs`] plus the
+    /// post-claim re-probe, for one popped job. Returns the job back
+    /// when the caller owns its cache key and must simulate; `None`
+    /// when the job already resolved (cache hit, expiry, known-panic
+    /// key, or attached as an in-flight follower).
+    fn admit<'env>(
+        &self,
+        job: Job,
+        complete: Completion<'env>,
+        sched: &JobScheduler<'env>,
+    ) -> Option<(Job, Completion<'env>)> {
+        let key = job.cache_key();
+        if let Some(ns) = self.cache.get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            complete(
+                job,
                 JobOutcome::Completed {
                     runtime_ns: ns,
-                    cached: false,
-                }
-            } else {
-                self.panicked
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .insert(key.as_str().to_string());
-                JobOutcome::Panicked
+                    cached: true,
+                },
+            );
+            return None;
+        }
+        if job.expired_at(Instant::now()) {
+            complete(job, JobOutcome::Expired);
+            return None;
+        }
+        if self
+            .panicked
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .contains(key.as_str())
+        {
+            complete(job, JobOutcome::Panicked);
+            return None;
+        }
+        let Claim::Run(job, complete) = sched.claim(key.as_str(), job, complete) else {
+            // A follower: the claiming worker fires its completion.
+            return None;
+        };
+        // Re-probe the cache and the panicked set now that the
+        // claim is ours: a previous claimer of this key may have
+        // finished (populating one of them) between our pop-time
+        // probes and the claim — without this, that window
+        // re-simulates the key and breaks the "simulated exactly
+        // once" accounting.
+        if let Some(ns) = self.cache.get(&key) {
+            let outcome = JobOutcome::Completed {
+                runtime_ns: ns,
+                cached: true,
             };
             let followers = sched.release(key.as_str());
+            self.cache_hits
+                .fetch_add(1 + followers.len() as u64, Ordering::Relaxed);
             complete(job, outcome);
             for (fjob, fcomplete) in followers {
                 fcomplete(fjob, outcome);
+            }
+            return None;
+        }
+        if self
+            .panicked
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .contains(key.as_str())
+        {
+            let followers = sched.release(key.as_str());
+            complete(job, JobOutcome::Panicked);
+            for (fjob, fcomplete) in followers {
+                fcomplete(fjob, JobOutcome::Panicked);
+            }
+            return None;
+        }
+        Some((job, complete))
+    }
+
+    /// Step 4's resolution tail: records `ns` (NaN = panicked) for an
+    /// admitted job, releases its claim, and fires its completion and
+    /// every follower's.
+    fn finalize<'env>(
+        &self,
+        key: CacheKey,
+        ns: f64,
+        job: Job,
+        complete: Completion<'env>,
+        sched: &JobScheduler<'env>,
+    ) {
+        let outcome = if ns.is_finite() {
+            self.cache.put(key.clone(), ns);
+            self.cache.maybe_save_batched(SAVE_BATCH);
+            JobOutcome::Completed {
+                runtime_ns: ns,
+                cached: false,
+            }
+        } else {
+            self.panicked
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(key.as_str().to_string());
+            JobOutcome::Panicked
+        };
+        let followers = sched.release(key.as_str());
+        complete(job, outcome);
+        for (fjob, fcomplete) in followers {
+            fcomplete(fjob, outcome);
+        }
+    }
+
+    /// Runs an admitted job as the anchor of a lockstep cohort: same-
+    /// benchmark jobs pulled from the queue advance round-robin over
+    /// one shared [`PreparedTrace`] in chunks of `chunk_insts`, so the
+    /// chunk's fact columns stay cache-resident while every member
+    /// crosses them. A member that commits its window (or panics) is
+    /// harvested immediately and its slot backfilled from the queue.
+    ///
+    /// Chunking and cohort composition affect wall clock only: each
+    /// member's architectural outcome is bit-identical to a solo
+    /// [`SweepEngine::run_one`] (the pacing pause in
+    /// [`Simulator::run_chunk`] is stateless), which the determinism
+    /// and cohort integration suites assert.
+    fn run_cohort<'env>(&self, job: Job, complete: Completion<'env>, sched: &JobScheduler<'env>) {
+        let spec = job.item.spec.clone();
+        let mut members = Vec::with_capacity(self.cohort_width);
+        self.enroll(job, complete, sched, &mut members);
+        if members.is_empty() {
+            // Pooling unavailable for this job: it already ran solo.
+            return;
+        }
+        self.backfill(&spec, sched, &mut members);
+
+        let chunk = self.chunk_insts.max(1);
+        let mut i = 0;
+        while !members.is_empty() {
+            if i >= members.len() {
+                i = 0;
+            }
+            let m = &mut members[i];
+            m.chunk_end = m.chunk_end.saturating_add(chunk);
+            // Once the pacing bound passes the recording's end the
+            // capture contract (window + max_in_flight) guarantees the
+            // run finishes without it: disable the gate and let the
+            // member run to its window.
+            let upto = if m.chunk_end >= m.prep.len() as u64 {
+                u64::MAX
+            } else {
+                m.chunk_end
+            };
+            let window = m.job.window;
+            let stepped = {
+                let sim = &mut m.sim;
+                let prep = &m.prep;
+                catch_unwind(AssertUnwindSafe(|| sim.run_chunk(prep, window, upto)))
+            };
+            match stepped {
+                Ok(false) => i += 1,
+                Ok(true) => {
+                    let m = members.swap_remove(i);
+                    self.simulated.fetch_add(1, Ordering::Relaxed);
+                    let key = m.job.cache_key();
+                    let (sim, prep) = (m.sim, m.prep);
+                    let ns = catch_unwind(AssertUnwindSafe(move || {
+                        sim.finish(prep.name()).runtime_ns()
+                    }))
+                    .unwrap_or(f64::NAN);
+                    self.finalize(key, ns, m.job, m.complete, sched);
+                    self.backfill(&spec, sched, &mut members);
+                }
+                Err(_) => {
+                    // A model bug tripped by this member's config; the
+                    // rest of the cohort is unaffected.
+                    let m = members.swap_remove(i);
+                    self.simulated.fetch_add(1, Ordering::Relaxed);
+                    self.finalize(m.job.cache_key(), f64::NAN, m.job, m.complete, sched);
+                    self.backfill(&spec, sched, &mut members);
+                }
+            }
+        }
+    }
+
+    /// Builds an admitted job's cohort membership (prepared trace +
+    /// fresh simulator). When the pool can't serve a prepared trace
+    /// (pooling disabled, or the recording would exceed the bound) the
+    /// job runs solo right here instead — the legacy path, identical
+    /// results.
+    fn enroll<'env>(
+        &self,
+        job: Job,
+        complete: Completion<'env>,
+        sched: &JobScheduler<'env>,
+        members: &mut Vec<CohortMember<'env>>,
+    ) {
+        let machine = job.item.machine.clone();
+        let need = job.window + machine.params.max_in_flight() as u64;
+        let Some(prep) = self
+            .traces
+            .get_prepared(&job.item.spec, need, machine.params.line_bytes)
+        else {
+            let ns = self.run_one(&job.item, job.window);
+            self.finalize(job.cache_key(), ns, job, complete, sched);
+            return;
+        };
+        let reference_loop = self.reference_loop;
+        match catch_unwind(AssertUnwindSafe(|| {
+            let mut sim = Simulator::new(machine);
+            if reference_loop {
+                sim = sim.use_reference_loop();
+            }
+            sim
+        })) {
+            Ok(sim) => members.push(CohortMember {
+                job,
+                complete,
+                prep,
+                sim,
+                chunk_end: 0,
+            }),
+            Err(_) => {
+                // Construction panicked (a custom-machine model bug):
+                // resolve exactly as a panicking solo run would.
+                self.simulated.fetch_add(1, Ordering::Relaxed);
+                self.finalize(job.cache_key(), f64::NAN, job, complete, sched);
+            }
+        }
+    }
+
+    /// Refills a cohort to `cohort_width` with benchmark-affine jobs
+    /// from the queue, admitting each through the standard steps. A
+    /// late joiner starts from trace position zero and catches up in
+    /// chunk-sized turns — identical state evolution, it just trails
+    /// the others through the (still warm) early columns.
+    fn backfill<'env>(
+        &self,
+        spec: &BenchmarkSpec,
+        sched: &JobScheduler<'env>,
+        members: &mut Vec<CohortMember<'env>>,
+    ) {
+        while members.len() < self.cohort_width {
+            let want = self.cohort_width - members.len();
+            let batch = sched.pop_affine(spec, want);
+            if batch.is_empty() {
+                break;
+            }
+            for (job, complete) in batch {
+                if let Some((job, complete)) = self.admit(job, complete, sched) {
+                    self.enroll(job, complete, sched, members);
+                }
             }
         }
     }

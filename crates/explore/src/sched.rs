@@ -316,6 +316,10 @@ impl<'env> JobScheduler<'env> {
     /// `level_difference × 1024` later admissions before it runs.
     pub const DEFAULT_AGING_STEP: u64 = 1024;
 
+    /// Maximum entries one [`pop_affine`](Self::pop_affine) call skips
+    /// over while hunting for affine jobs.
+    pub const AFFINE_SCAN_LIMIT: usize = 256;
+
     /// A scheduler with the default aging step.
     pub fn new() -> Self {
         Self::with_aging_step(Self::DEFAULT_AGING_STEP)
@@ -402,6 +406,49 @@ impl<'env> JobScheduler<'env> {
         }
     }
 
+    /// Pops up to `max_k` queued jobs whose measurement targets `spec`
+    /// — the benchmark-affinity pop the cohort runner uses to fill a
+    /// lockstep batch. Non-blocking: returns what is immediately
+    /// available, possibly nothing.
+    ///
+    /// Ordering contract: affinity may reorder jobs only *within* one
+    /// priority class. The scan walks the heap in rank order, fixes the
+    /// **leading class** to the class of the current queue head, skips
+    /// (and restores, ranks untouched) same-class jobs on other
+    /// benchmarks, and stops cold at the first job of a different class
+    /// — so a job never jumps a class boundary it would not already
+    /// cross under the documented aging bypass, and the relative order
+    /// of everything not taken is unchanged. The scan is additionally
+    /// capped at [`Self::AFFINE_SCAN_LIMIT`] entries so a worker never
+    /// holds the queue lock for an O(queue) walk.
+    pub fn pop_affine(
+        &self,
+        spec: &gals_workloads::BenchmarkSpec,
+        max_k: usize,
+    ) -> Vec<(Job, Completion<'env>)> {
+        let mut st = self.lock();
+        let mut taken = Vec::new();
+        let mut put_back = Vec::new();
+        let mut leading: Option<Priority> = None;
+        while taken.len() < max_k && put_back.len() < Self::AFFINE_SCAN_LIMIT {
+            let Some(q) = st.heap.pop() else { break };
+            let class = *leading.get_or_insert(q.job.priority);
+            if q.job.priority != class {
+                st.heap.push(q);
+                break;
+            }
+            if q.job.item.spec == *spec {
+                taken.push((q.job, q.complete));
+            } else {
+                put_back.push(q);
+            }
+        }
+        for q in put_back {
+            st.heap.push(q);
+        }
+        taken
+    }
+
     /// Claims `key` for execution, or attaches the job as a follower of
     /// the worker already measuring it.
     pub fn claim(&self, key: &str, job: Job, complete: Completion<'env>) -> Claim<'env> {
@@ -442,10 +489,11 @@ mod tests {
     use gals_workloads::suite;
 
     fn job(tag: &str, priority: Priority) -> Job {
-        let item = MeasureItem::sync(
-            suite::by_name("adpcm_encode").unwrap(),
-            SyncConfig::paper_best(),
-        );
+        job_on("adpcm_encode", tag, priority)
+    }
+
+    fn job_on(bench: &str, tag: &str, priority: Priority) -> Job {
+        let item = MeasureItem::sync(suite::by_name(bench).unwrap(), SyncConfig::paper_best());
         Job::new(item, 1_000).with_priority(priority).with_tag(tag)
     }
 
@@ -514,6 +562,67 @@ mod tests {
         )]));
         // The pre-close job still drains.
         assert_eq!(pop_tags(&sched), ["a"]);
+    }
+
+    #[test]
+    fn pop_affine_reorders_only_within_the_leading_class() {
+        let sched = JobScheduler::new();
+        for (bench, tag, p) in [
+            ("gcc", "n1", Priority::Normal),
+            ("adpcm_encode", "n2", Priority::Normal),
+            ("gcc", "n3", Priority::Normal),
+            ("adpcm_encode", "n4", Priority::Normal),
+            ("adpcm_encode", "l1", Priority::Low),
+        ] {
+            assert!(sched.submit(job_on(bench, tag, p), |_, _| {}));
+        }
+        let spec = suite::by_name("adpcm_encode").unwrap();
+        let taken: Vec<_> = sched
+            .pop_affine(&spec, 8)
+            .into_iter()
+            .map(|(j, _)| j.tag)
+            .collect();
+        // Takes the Normal-class matches in FIFO order; stops at the Low
+        // job even though it matches the benchmark.
+        assert_eq!(taken, ["n2", "n4"]);
+        // Everything skipped or beyond the class boundary drains in the
+        // original order.
+        assert_eq!(pop_tags(&sched), ["n1", "n3", "l1"]);
+    }
+
+    #[test]
+    fn pop_affine_respects_max_k_and_restores_the_rest() {
+        let sched = JobScheduler::new();
+        for tag in ["a", "b", "c", "d"] {
+            assert!(sched.submit(job(tag, Priority::Normal), |_, _| {}));
+        }
+        let spec = suite::by_name("adpcm_encode").unwrap();
+        let taken: Vec<_> = sched
+            .pop_affine(&spec, 2)
+            .into_iter()
+            .map(|(j, _)| j.tag)
+            .collect();
+        assert_eq!(taken, ["a", "b"]);
+        assert_eq!(pop_tags(&sched), ["c", "d"]);
+    }
+
+    #[test]
+    fn pop_affine_never_bypasses_the_aging_bound() {
+        // Mirror of `aging_bounds_how_long_a_low_job_waits`: with step
+        // 4, seven aged High jobs outrank the early Low job. An affine
+        // pop for the Low job's benchmark must come back empty — taking
+        // it would bypass the High class beyond the documented aging
+        // bound — and must leave the drain order untouched.
+        let sched = JobScheduler::with_aging_step(4);
+        assert!(sched.submit(job_on("adpcm_encode", "low", Priority::Low), |_, _| {}));
+        for i in 0..12 {
+            assert!(sched.submit(job_on("gcc", &format!("h{i}"), Priority::High), |_, _| {}));
+        }
+        let spec = suite::by_name("adpcm_encode").unwrap();
+        assert!(sched.pop_affine(&spec, 8).is_empty());
+        let tags = pop_tags(&sched);
+        let low_pos = tags.iter().position(|t| t == "low").unwrap();
+        assert_eq!(low_pos, 7, "affinity altered the aged order: {tags:?}");
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Integration tests for batched lockstep sweep execution: a cohort of
+//! K same-benchmark configs advancing over one shared prepared trace
+//! must produce **bit-identical** results to solo one-job-at-a-time
+//! runs, for every cohort width, chunk size, and job order — because
+//! cohort composition is a wall-clock concern and a (benchmark, config,
+//! window) runtime is a pure function of its inputs.
+
+use std::collections::BTreeMap;
+
+use gals_core::MachineConfig;
+use gals_explore::{
+    Job, JobOutcome, JobScheduler, MeasureItem, Priority, ResultCache, SweepEngine,
+};
+use gals_explore::{McdConfig, SyncConfig};
+use gals_workloads::suite;
+
+/// A mixed work list over three benchmarks: a spread of sync configs
+/// plus one program-adaptive config each, so cohorts form, drain, and
+/// backfill across benchmark switches.
+fn work_list() -> Vec<MeasureItem> {
+    let configs: Vec<SyncConfig> = SyncConfig::enumerate().into_iter().step_by(131).collect();
+    let mut work = Vec::new();
+    for bench in ["adpcm_encode", "gzip", "art"] {
+        let spec = suite::by_name(bench).expect("benchmark in suite");
+        for cfg in &configs {
+            work.push(MeasureItem::sync(spec.clone(), *cfg));
+        }
+        work.push(MeasureItem::program(spec.clone(), McdConfig::smallest()));
+    }
+    work
+}
+
+/// Measures `work`, returning runtimes keyed by cache key (comparable
+/// across different submission orders).
+fn measure_keyed(
+    engine: &SweepEngine,
+    work: Vec<MeasureItem>,
+    window: u64,
+) -> BTreeMap<String, f64> {
+    let keys: Vec<String> = work
+        .iter()
+        .map(|item| item.cache_key(window).as_str().to_string())
+        .collect();
+    let ns = engine.measure_owned(work, window);
+    keys.into_iter().zip(ns).collect()
+}
+
+#[test]
+fn cohort_composition_never_changes_results() {
+    const WINDOW: u64 = 900;
+    // Solo baseline: cohort disabled, one worker, plain pooled path.
+    let solo = SweepEngine::new(ResultCache::in_memory())
+        .with_threads(1)
+        .with_cohort_width(0);
+    let baseline = measure_keyed(&solo, work_list(), WINDOW);
+    assert!(baseline.values().all(|ns| ns.is_finite() && *ns > 0.0));
+
+    // Shuffle the composition axes: cohort width K, chunk size C, and
+    // job order (rotation mixes which jobs anchor and which backfill).
+    for (k, chunk, rotate) in [
+        (2usize, 64u64, 0usize),
+        (3, striding_chunk(), 5),
+        (8, 257, 9),
+        (16, 4_096, 13),
+    ] {
+        let engine = SweepEngine::new(ResultCache::in_memory())
+            .with_threads(1)
+            .with_cohort_width(k)
+            .with_cohort_chunk(chunk);
+        let mut work = work_list();
+        let n = work.len();
+        work.rotate_left(rotate % n);
+        let got = measure_keyed(&engine, work, WINDOW);
+        assert_eq!(
+            baseline, got,
+            "cohort (K={k}, C={chunk}, rot={rotate}) diverged from solo runs"
+        );
+        assert!(
+            engine.trace_pool_hits() > 0,
+            "cohort path never shared a prepared trace"
+        );
+    }
+}
+
+/// An awkward prime chunk size exercising pause/resume misalignment
+/// with fetch groups and adaptation intervals.
+fn striding_chunk() -> u64 {
+    641
+}
+
+#[test]
+fn cohorts_match_solo_under_the_reference_loop() {
+    const WINDOW: u64 = 700;
+    let work: Vec<MeasureItem> = work_list().into_iter().step_by(4).collect();
+    let solo = SweepEngine::new(ResultCache::in_memory())
+        .with_threads(1)
+        .with_cohort_width(0)
+        .with_reference_simulator();
+    let cohort = SweepEngine::new(ResultCache::in_memory())
+        .with_threads(1)
+        .with_cohort_width(4)
+        .with_cohort_chunk(128)
+        .with_reference_simulator();
+    let a = measure_keyed(&solo, work.clone(), WINDOW);
+    let b = measure_keyed(&cohort, work, WINDOW);
+    assert_eq!(a, b, "reference-loop cohorts diverged from solo runs");
+}
+
+#[test]
+fn serve_jobs_forms_cohorts_from_mixed_batches() {
+    // The long-lived server path: heterogeneous jobs (mixed benchmarks,
+    // windows, priorities) admitted through one scheduler, drained by
+    // `serve_jobs` with cohorts on, must resolve identically to a
+    // cohort-free engine — including duplicate keys resolving through
+    // in-flight dedupe with one simulation.
+    let spec_a = suite::by_name("power").expect("in suite");
+    let spec_b = suite::by_name("equake").expect("in suite");
+    let jobs = || {
+        let mut v = Vec::new();
+        for (i, cfg) in SyncConfig::enumerate().into_iter().step_by(211).enumerate() {
+            let window = 600 + 300 * (i as u64 % 3);
+            let prio = [Priority::Low, Priority::Normal, Priority::High][i % 3];
+            v.push(Job::new(MeasureItem::sync(spec_a.clone(), cfg), window).with_priority(prio));
+            v.push(Job::new(MeasureItem::sync(spec_b.clone(), cfg), window).with_priority(prio));
+        }
+        // Duplicate keys: same item + window twice.
+        let dup = MeasureItem::sync(spec_a.clone(), SyncConfig::paper_best());
+        v.push(Job::new(dup.clone(), 600));
+        v.push(Job::new(dup, 600));
+        v
+    };
+    let run = |engine: &SweepEngine| -> Vec<Option<f64>> {
+        engine
+            .run_jobs(jobs(), |_, _| {})
+            .into_iter()
+            .map(|o| o.runtime_ns())
+            .collect()
+    };
+    let cohort = SweepEngine::new(ResultCache::in_memory())
+        .with_threads(1)
+        .with_cohort_width(4)
+        .with_cohort_chunk(200);
+    let solo = SweepEngine::new(ResultCache::in_memory())
+        .with_threads(1)
+        .with_cohort_width(0);
+    let a = run(&cohort);
+    let b = run(&solo);
+    assert_eq!(a, b, "served cohort outcomes diverged from solo outcomes");
+    assert!(a.iter().all(|ns| ns.is_some()));
+    assert_eq!(
+        cohort.simulated_count(),
+        solo.simulated_count(),
+        "cohorts must preserve exactly-once simulation per distinct key"
+    );
+}
+
+#[test]
+fn cohort_survives_disabled_trace_pool() {
+    // With pooling off, `get_prepared` declines and every job falls
+    // back to the solo stream path inside the cohort runner — results
+    // unchanged, no pool traffic.
+    let engine = SweepEngine::new(ResultCache::in_memory())
+        .with_threads(1)
+        .with_cohort_width(8)
+        .without_trace_pool();
+    let baseline = SweepEngine::new(ResultCache::in_memory())
+        .with_threads(1)
+        .with_cohort_width(0);
+    let work: Vec<MeasureItem> = work_list().into_iter().take(6).collect();
+    let a = measure_keyed(&engine, work.clone(), 800);
+    let b = measure_keyed(&baseline, work, 800);
+    assert_eq!(a, b);
+    assert_eq!(engine.trace_pool_builds(), 0);
+    assert_eq!(engine.trace_pool_hits(), 0);
+}
+
+#[test]
+fn expired_and_cancelled_jobs_resolve_inside_cohort_backfill() {
+    // A job already expired when the cohort backfill admits it must
+    // resolve Expired without joining the cohort.
+    let spec = suite::by_name("power").expect("in suite");
+    let engine = SweepEngine::new(ResultCache::in_memory())
+        .with_threads(1)
+        .with_cohort_width(4);
+    // Declared before the scheduler: completions borrow it until the
+    // scheduler (declared later, dropped first) goes away.
+    let outcomes = std::sync::Mutex::new(BTreeMap::new());
+    let sched = JobScheduler::new();
+    let mk = |key: &str| {
+        Job::new(
+            MeasureItem::custom(
+                spec.clone(),
+                "cohort-exp",
+                key.to_string(),
+                MachineConfig::best_synchronous(),
+            ),
+            600,
+        )
+        .with_tag(key)
+    };
+    let live = mk("live");
+    let dead = mk("dead").with_deadline(std::time::Instant::now());
+    for job in [live, dead] {
+        let outcomes = &outcomes;
+        let ok = sched.submit(job, move |job: Job, outcome: JobOutcome| {
+            outcomes.lock().unwrap().insert(job.tag.clone(), outcome);
+        });
+        assert!(ok);
+    }
+    sched.close();
+    engine.serve_jobs(&sched);
+    drop(sched);
+    let outcomes = outcomes.into_inner().unwrap();
+    assert!(matches!(
+        outcomes["live"],
+        JobOutcome::Completed { cached: false, .. }
+    ));
+    assert_eq!(outcomes["dead"], JobOutcome::Expired);
+}

@@ -48,11 +48,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod prepared;
 mod spec;
 mod stream;
 pub mod suite;
 mod trace;
 
+pub use prepared::{flags as prepared_flags, PreparedTrace, NO_REG};
 pub use spec::{
     AccessPattern, BenchmarkSpec, BranchModel, CodeModel, DataSegment, IlpModel, OpMix,
     PhaseOverrides, PhaseSpec, SpecError, Suite,

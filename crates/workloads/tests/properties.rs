@@ -1,7 +1,9 @@
 //! Property tests for the synthetic workload substrate.
 
-use gals_isa::InstructionStream;
-use gals_workloads::{suite, AccessPattern, BenchmarkSpec, DataSegment, Suite};
+use gals_isa::{InstructionStream, OpClass};
+use gals_workloads::{
+    prepared_flags, suite, AccessPattern, BenchmarkSpec, DataSegment, PreparedTrace, Suite, NO_REG,
+};
 use proptest::prelude::*;
 
 fn any_suite() -> impl Strategy<Value = Suite> {
@@ -122,6 +124,54 @@ proptest! {
             let inst = live.next_inst();
             prop_assert_eq!(a.next_inst(), inst, "cursor a inst {}", i);
             prop_assert_eq!(b.next_inst(), inst, "cursor b inst {}", i);
+        }
+    }
+
+    /// Every fact column of a [`PreparedTrace`] agrees with deriving the
+    /// same fact on the fly from the replay cursor — for arbitrary
+    /// recording lengths, line sizes, and benchmarks. The cohort fetch
+    /// path reads these columns instead of the `DynInst`s, so a stale or
+    /// misindexed column would silently change sweep results.
+    #[test]
+    fn prepared_trace_columns_match_on_the_fly_derivation(
+        n in 16u64..800,
+        line_shift in 4u32..8,
+        bench_idx in 0usize..8,
+    ) {
+        let line_bytes = 1u64 << line_shift; // 16..=128 bytes
+        let spec = suite::all().into_iter().nth(bench_idx * 3 + 2).unwrap();
+        let trace = gals_workloads::SharedTrace::capture(&mut spec.stream(), n);
+        let prep = PreparedTrace::new(&trace, line_bytes);
+        prop_assert_eq!(prep.len() as u64, n);
+        prop_assert_eq!(prep.line_bytes(), line_bytes);
+        prop_assert_eq!(prep.name(), spec.name());
+
+        let mut replay = trace.replay();
+        for i in 0..n as usize {
+            let inst = replay.next_inst();
+            prop_assert_eq!(prep.inst(i), inst, "inst {} differs from replay", i);
+            prop_assert_eq!(prep.fetch_line(i), inst.pc / line_bytes, "inst {}", i);
+
+            let f = prep.flags(i);
+            prop_assert_eq!(f & prepared_flags::BRANCH != 0, inst.op == OpClass::Branch);
+            prop_assert_eq!(
+                f & prepared_flags::TAKEN != 0,
+                inst.op == OpClass::Branch && inst.taken,
+                "inst {}: taken flag only records branch outcomes", i
+            );
+            prop_assert_eq!(f & prepared_flags::JUMP != 0, inst.op == OpClass::Jump);
+            prop_assert_eq!(f & prepared_flags::MEM != 0, inst.op.is_mem());
+            prop_assert_eq!(f & prepared_flags::STORE != 0, inst.op == OpClass::Store);
+            prop_assert_eq!(f & prepared_flags::FP != 0, inst.op.is_fp());
+
+            prop_assert_eq!(OpClass::ALL[prep.op_index(i) as usize], inst.op);
+            let mem_line = if inst.op.is_mem() { inst.mem_addr >> 3 } else { 0 };
+            prop_assert_eq!(prep.mem_line(i), mem_line, "inst {}", i);
+
+            let srcs = inst.srcs.map(|s| s.map(|r| r.packed()).unwrap_or(NO_REG));
+            prop_assert_eq!(prep.srcs_packed(i), srcs, "inst {}", i);
+            let dst = inst.dst.map(|r| r.packed()).unwrap_or(NO_REG);
+            prop_assert_eq!(prep.dst_packed(i), dst, "inst {}", i);
         }
     }
 
