@@ -2,11 +2,15 @@
 //! three machine styles and sweep configurations/sec for the synchronous
 //! design-space sweep, for both the event-driven fast loop and the
 //! straightforward reference loop, plus the sweep-wide trace-sharing
-//! speedup (pooled traces vs per-job stream regeneration) and the
-//! batched lockstep-cohort speedup (K simulators advancing over one
-//! prepared trace vs one job at a time), and emits the numbers as JSON.
+//! speedup (pooled traces vs per-job stream regeneration), the batched
+//! lockstep-cohort speedup with cross-cohort interval memoization (every
+//! configuration measured at two windows — the convergence-study shape —
+//! vs solo one-job-at-a-time runs of the identical jobs), and the
+//! cache-model residency (bytes the packed lazy tag arrays actually
+//! allocate after a real run vs the old eager per-geometry layout), and
+//! emits the numbers as JSON.
 //!
-//! This feeds the checked-in `BENCH_sim.json` trajectory (schema v3):
+//! This feeds the checked-in `BENCH_sim.json` trajectory (schema v4):
 //!
 //! ```text
 //! cargo run --release -p gals-bench --bin throughput -- --out BENCH_sim.json
@@ -23,19 +27,29 @@
 //! pins the adpcm_encode synchronous corner, the one workload where the
 //! event-driven loop has nothing to skip), `sweep_trace_shared.speedup`,
 //! or `sweep_batched.speedup` falls more than the tolerance (default
-//! 15%, `--tolerance 0.25` to widen) below the committed artifact.
+//! 15%, `--tolerance 0.25` to widen) below the committed artifact, or
+//! when `cache_model_bytes_per_sim` (lower is better — resident bytes
+//! are deterministic for a fixed trace) grows more than the tolerance
+//! above it.
+//!
+//! `--mem` prints only the per-style cache-model residency table (old
+//! eager layout vs packed lazy layout) and exits.
 //!
 //! Knobs: `GALS_BENCH_SIM_WINDOW` (default 60,000 instructions per
 //! simulator measurement), `GALS_BENCH_SWEEP_WINDOW` (default 4,000
 //! instructions per sweep run), plus the engine's `GALS_MCD_COHORT_WIDTH`
-//! / `GALS_MCD_COHORT_CHUNK` for the batched section.
+//! / `GALS_MCD_INTERVAL_MEMO_SNAPS` for the batched section (the batched
+//! section pins its cohort chunk to the half window so half-window jobs
+//! pause exactly where the full-window jobs probe — the condition for
+//! memoized snapshots to splice).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use gals_common::env::parse_env_or;
 use gals_core::{MachineConfig, McdConfig, Simulator, SyncConfig};
-use gals_explore::{in_sync_winner_subset, Explorer, MeasureItem, ResultCache, SweepEngine};
-use gals_workloads::suite;
+use gals_explore::{in_sync_winner_subset, Explorer, Job, MeasureItem, ResultCache, SweepEngine};
+use gals_workloads::{suite, PreparedTrace, SharedTrace};
 
 /// PR 1's committed `sweep_sync.fast_configs_per_sec` (window 4,000,
 /// one thread, the standard CI container class): the fixed baseline the
@@ -50,13 +64,6 @@ const BENCHES: [&str; 3] = ["adpcm_encode", "gcc", "equake"];
 /// Benchmarks for the sweep throughput measurements (a slice of the suite
 /// keeps the reporter under a couple of minutes end to end).
 const SWEEP_BENCHES: [&str; 4] = ["adpcm_encode", "gcc", "power", "art"];
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn machine_for(style: &str) -> MachineConfig {
     match style {
@@ -84,6 +91,28 @@ fn time_run(machine: &MachineConfig, bench: &str, window: u64, reference: bool, 
         best = best.min(dt);
     }
     best
+}
+
+/// Post-run cache-model footprint for one style: the bytes the packed
+/// lazy tag arrays actually hold after a real `window`-instruction run
+/// of gcc (the most set-hungry sweep benchmark), next to the bytes the
+/// old eager layout allocated up front for the same geometry. Both are
+/// deterministic: same trace, same machine, same touched sets.
+fn cache_model_bytes(style: &str, window: u64) -> (usize, usize) {
+    let machine = machine_for(style);
+    let spec = suite::by_name("gcc").expect("benchmark in suite");
+    let slack = machine.params.max_in_flight() as u64 + 64;
+    let trace = SharedTrace::capture(&mut spec.stream(), window + slack);
+    let prep = PreparedTrace::new(&trace, machine.params.line_bytes);
+    let mut sim = Simulator::new(machine);
+    assert!(
+        sim.run_chunk(&prep, window, u64::MAX),
+        "residency run did not complete its window"
+    );
+    (
+        sim.cache_model_resident_bytes(),
+        sim.cache_model_eager_bytes(),
+    )
 }
 
 /// One timed synchronous-subset sweep; returns (runs, seconds).
@@ -143,20 +172,66 @@ fn time_trace_sweep(window: u64, pooled: bool) -> (usize, f64, u64) {
     (out.len(), dt, engine.trace_pool_hits())
 }
 
-/// The same 512-run sweep through the default batched lockstep-cohort
-/// engine; returns (runs, seconds, cohort width, chunk insts).
-fn time_batched_sweep(window: u64) -> (usize, f64, usize, u64) {
-    let work = trace_sweep_work();
-    let engine = SweepEngine::new(ResultCache::in_memory());
-    let (k, chunk) = (engine.cohort_width(), engine.cohort_chunk());
-    let t0 = Instant::now();
-    let out = engine.measure_owned(work, window);
-    let dt = t0.elapsed().as_secs_f64();
+/// The memoization shape for the batched section: every trace-sweep
+/// configuration measured at two windows (W/2 and W) — the convergence
+/// study every real sweep campaign runs — interleaved so one
+/// configuration's two jobs land in the same cohort and share their
+/// whole simulation prefix.
+fn batched_sweep_jobs(window: u64) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for item in trace_sweep_work() {
+        jobs.push(Job::new(item.clone(), window / 2));
+        jobs.push(Job::new(item, window));
+    }
+    jobs
+}
+
+struct BatchedSweep {
+    runs: usize,
+    solo_s: f64,
+    batched_s: f64,
+    cohort_width: usize,
+    chunk: u64,
+    memo_hits: u64,
+    memo_stores: u64,
+}
+
+/// Times the mixed-window job list through the batched lockstep-cohort
+/// engine (chunk pinned to the half window, so a half-window job's one
+/// pause lands exactly where a full-window job can splice its whole
+/// shared prefix from the interval memo in a single snapshot) against a
+/// cohort-free solo engine over the identical jobs — and asserts the
+/// outcomes are bit-identical.
+fn time_batched_sweep(window: u64) -> BatchedSweep {
+    let chunk = (window / 2).max(64);
+    let run = |engine: &SweepEngine| -> (Vec<Option<f64>>, f64) {
+        let jobs = batched_sweep_jobs(window);
+        let t0 = Instant::now();
+        let out = engine.run_jobs(jobs, |_, _| {});
+        let dt = t0.elapsed().as_secs_f64();
+        (out.into_iter().map(|o| o.runtime_ns()).collect(), dt)
+    };
+    let solo = SweepEngine::new(ResultCache::in_memory()).with_cohort_width(0);
+    let batched = SweepEngine::new(ResultCache::in_memory()).with_cohort_chunk(chunk);
+    let (solo_out, solo_s) = run(&solo);
+    let (batched_out, batched_s) = run(&batched);
     assert!(
-        out.iter().all(|ns| ns.is_finite() && *ns > 0.0),
+        solo_out.iter().all(|ns| ns.is_some()),
         "batched sweep produced an unusable runtime"
     );
-    (out.len(), dt, k, chunk)
+    assert_eq!(
+        solo_out, batched_out,
+        "batched cohort outcomes diverged from solo outcomes"
+    );
+    BatchedSweep {
+        runs: solo_out.len(),
+        solo_s,
+        batched_s,
+        cohort_width: batched.cohort_width(),
+        chunk,
+        memo_hits: batched.interval_memo_hits(),
+        memo_stores: batched.interval_memo_stores(),
+    }
 }
 
 /// Pulls `"key": <number>` out of a flat-ish JSON text, searching after
@@ -181,6 +256,7 @@ fn extract_number(text: &str, anchor: &str, key: &str) -> Option<f64> {
 struct Args {
     out: Option<String>,
     check: Option<String>,
+    mem: bool,
     tolerance: f64,
 }
 
@@ -194,22 +270,59 @@ fn parse_args() -> Args {
     Args {
         out: grab("--out"),
         check: grab("--check"),
+        mem: args.iter().any(|a| a == "--mem"),
         tolerance: grab("--tolerance")
             .and_then(|t| t.parse().ok())
             .unwrap_or(0.15),
     }
 }
 
+/// Measures and prints the per-style cache-model residency table;
+/// returns (mean resident bytes, mean eager-layout bytes) per sim.
+fn report_cache_model(window: u64) -> (usize, usize, String) {
+    eprintln!("cache model residency ({window} instructions of gcc per style):");
+    let mut resident_sum = 0usize;
+    let mut eager_sum = 0usize;
+    let mut rows = String::new();
+    for (i, style) in STYLES.iter().enumerate() {
+        let (resident, eager) = cache_model_bytes(style, window);
+        resident_sum += resident;
+        eager_sum += eager;
+        let reduction = eager as f64 / resident as f64;
+        eprintln!(
+            "  {style:>16} packed lazy {resident:>9} B   eager layout {eager:>9} B   \
+             {reduction:5.1}x smaller"
+        );
+        let _ = write!(
+            rows,
+            "    {{\"style\": \"{style}\", \"resident_bytes\": {resident}, \
+             \"eager_layout_bytes\": {eager}, \"reduction\": {reduction:.2}}}"
+        );
+        rows.push_str(if i == STYLES.len() - 1 { "\n" } else { ",\n" });
+    }
+    (resident_sum / STYLES.len(), eager_sum / STYLES.len(), rows)
+}
+
 fn main() {
     let args = parse_args();
-    let sim_window = env_u64("GALS_BENCH_SIM_WINDOW", 60_000);
-    let sweep_window = env_u64("GALS_BENCH_SWEEP_WINDOW", 4_000);
+    let sim_window: u64 = parse_env_or("GALS_BENCH_SIM_WINDOW", 60_000u64);
+    let sweep_window: u64 = parse_env_or("GALS_BENCH_SWEEP_WINDOW", 4_000u64);
     // Restrict the sweep to the 128-configuration subset so the reporter
     // stays fast; throughput per configuration is what matters here.
     std::env::set_var("GALS_MCD_SYNC_SUBSET", "1");
 
+    if args.mem {
+        let (bytes_per_sim, eager_per_sim, _) = report_cache_model(sweep_window);
+        let reduction = eager_per_sim as f64 / bytes_per_sim as f64;
+        eprintln!(
+            "  mean per sim: {bytes_per_sim} B resident vs {eager_per_sim} B eager \
+             ({reduction:.1}x smaller)"
+        );
+        return;
+    }
+
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"gals-mcd-throughput-v3\",\n");
+    json.push_str("{\n  \"schema\": \"gals-mcd-throughput-v4\",\n");
     let _ = writeln!(json, "  \"sim_window\": {sim_window},");
 
     // Simulator throughput matrix.
@@ -246,6 +359,24 @@ fn main() {
     let _ = writeln!(json, "  \"simulator_geomean_speedup\": {geomean:.3},");
     let _ = writeln!(json, "  \"simulator_min_speedup\": {min_speedup:.3},");
     eprintln!("  geomean simulator speedup: {geomean:.2}x (min {min_speedup:.2}x)");
+
+    // Cache-model residency: what a sweep pays per live simulator in tag
+    // metadata, packed lazy layout vs the old eager one. Resident bytes
+    // after a fixed trace are deterministic, so the gate can pin them.
+    let (bytes_per_sim, eager_per_sim, cm_rows) = report_cache_model(sweep_window);
+    let cm_reduction = eager_per_sim as f64 / bytes_per_sim as f64;
+    eprintln!(
+        "  mean per sim: {bytes_per_sim} B resident vs {eager_per_sim} B eager \
+         ({cm_reduction:.1}x smaller)"
+    );
+    let _ = writeln!(
+        json,
+        "  \"cache_model\": {{\"window\": {sweep_window}, \"benchmark\": \"gcc\", \
+         \"styles\": [\n{cm_rows}  ], \
+         \"cache_model_bytes_per_sim\": {bytes_per_sim}, \
+         \"eager_layout_bytes_per_sim\": {eager_per_sim}, \
+         \"reduction\": {cm_reduction:.2}}},"
+    );
 
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -298,28 +429,37 @@ fn main() {
          \"speedup_vs_v1_sweep\": {vs_v1:.3}}},"
     );
 
-    // Batched lockstep cohorts: the identical 512-run sweep driven K
-    // configurations at a time over one shared prepared trace, in
-    // cache-resident chunks, versus the one-job-at-a-time pooled path
-    // (the `pooled_s` measurement above, same host seconds apart).
-    eprintln!("sweep_batched ({sweep_window} instructions per configuration):");
-    let (bruns, batched_s, cohort_width, chunk) = time_batched_sweep(sweep_window);
-    assert_eq!(bruns, truns);
-    let batched_cps = bruns as f64 / batched_s;
-    let batched_speedup = pooled_s / batched_s;
-    let batched_vs_v1 = batched_cps / V1_SWEEP_CONFIGS_PER_SEC;
+    // Batched lockstep cohorts + interval memoization: every sweep
+    // configuration at two windows (W/2 and W), driven K at a time over
+    // one shared prepared trace with paused-snapshot splicing, versus a
+    // cohort-free solo engine resolving the identical job list.
     eprintln!(
-        "  {bruns} runs: batched {batched_cps:.1} configs/s (K={cohort_width}, chunk {chunk})   \
-         vs solo pooled {pooled_cps:.1} configs/s   speedup {batched_speedup:.2}x   \
-         vs PR 1 sweep {batched_vs_v1:.2}x ({threads} threads)"
+        "sweep_batched ({} + {sweep_window} instructions per configuration):",
+        sweep_window / 2
+    );
+    let b = time_batched_sweep(sweep_window);
+    let batched_cps = b.runs as f64 / b.batched_s;
+    let solo_cps = b.runs as f64 / b.solo_s;
+    let batched_speedup = b.solo_s / b.batched_s;
+    eprintln!(
+        "  {} runs: batched {batched_cps:.1} configs/s (K={}, chunk {}, {} memo hits / {} \
+         stores)   vs solo {solo_cps:.1} configs/s   speedup {batched_speedup:.2}x \
+         ({threads} threads)",
+        b.runs, b.cohort_width, b.chunk, b.memo_hits, b.memo_stores
     );
     let _ = writeln!(
         json,
-        "  \"sweep_batched\": {{\"runs\": {bruns}, \"window\": {sweep_window}, \
-         \"threads\": {threads}, \"cohort_width\": {cohort_width}, \
-         \"chunk_insts\": {chunk}, \"batched_configs_per_sec\": {batched_cps:.3}, \
-         \"solo_configs_per_sec\": {pooled_cps:.3}, \"speedup\": {batched_speedup:.3}, \
-         \"speedup_vs_v1_sweep\": {batched_vs_v1:.3}}}"
+        "  \"sweep_batched\": {{\"runs\": {}, \"window_full\": {sweep_window}, \
+         \"window_half\": {}, \"threads\": {threads}, \"cohort_width\": {}, \
+         \"chunk_insts\": {}, \"memo_hits\": {}, \"memo_stores\": {}, \
+         \"batched_configs_per_sec\": {batched_cps:.3}, \
+         \"solo_configs_per_sec\": {solo_cps:.3}, \"speedup\": {batched_speedup:.3}}}",
+        b.runs,
+        sweep_window / 2,
+        b.cohort_width,
+        b.chunk,
+        b.memo_hits,
+        b.memo_stores
     );
     json.push_str("}\n");
 
@@ -329,10 +469,11 @@ fn main() {
         eprintln!("wrote {path}");
     }
 
-    // Perf-smoke gate: compare the two headline speedups against the
-    // committed artifact. Speedups are ratios of two measurements taken
-    // on the same host seconds apart, so they transfer across machines
-    // far better than absolute configs/sec.
+    // Perf-smoke gate: compare the headline ratios against the committed
+    // artifact. Speedups are ratios of two measurements taken on the
+    // same host seconds apart, so they transfer across machines far
+    // better than absolute configs/sec; resident bytes are deterministic
+    // outright. `lower_is_better` flips the gate for byte counts.
     if let Some(path) = &args.check {
         let committed = std::fs::read_to_string(path).expect("read committed artifact");
         let mut failed = false;
@@ -341,29 +482,56 @@ fn main() {
                 "simulator_geomean_speedup",
                 geomean,
                 extract_number(&committed, "", "\"simulator_geomean_speedup\""),
+                false,
             ),
             (
                 "simulator_min_speedup",
                 min_speedup,
                 extract_number(&committed, "", "\"simulator_min_speedup\""),
+                false,
             ),
             (
                 "sweep_trace_shared.speedup",
                 trace_speedup,
                 extract_number(&committed, "\"sweep_trace_shared\"", "\"speedup\""),
+                false,
             ),
             (
                 "sweep_batched.speedup",
                 batched_speedup,
                 extract_number(&committed, "\"sweep_batched\"", "\"speedup\""),
+                false,
+            ),
+            (
+                "cache_model_bytes_per_sim",
+                bytes_per_sim as f64,
+                extract_number(&committed, "", "\"cache_model_bytes_per_sim\""),
+                true,
             ),
         ];
-        for (name, measured, committed_val) in checks {
+        for (name, measured, committed_val, lower_is_better) in checks {
             let Some(want) = committed_val else {
-                eprintln!("perf-smoke: {name} missing from {path} (schema v3 required)");
+                eprintln!("perf-smoke: {name} missing from {path} (schema v4 required)");
                 failed = true;
                 continue;
             };
+            if lower_is_better {
+                let ceiling = want * (1.0 + args.tolerance);
+                if measured > ceiling {
+                    eprintln!(
+                        "perf-smoke FAIL: {name} measured {measured:.0} > ceiling {ceiling:.0} \
+                         (committed {want:.0}, tolerance {:.0}%)",
+                        args.tolerance * 100.0
+                    );
+                    failed = true;
+                } else {
+                    eprintln!(
+                        "perf-smoke ok: {name} measured {measured:.0} <= ceiling {ceiling:.0} \
+                         (committed {want:.0})"
+                    );
+                }
+                continue;
+            }
             let floor = want * (1.0 - args.tolerance);
             if measured < floor {
                 eprintln!(

@@ -128,11 +128,69 @@ impl AccountingStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
+/// Sentinel in `set_index` for a set that has never been accessed.
+const NO_SET: u32 = u32::MAX;
+
+/// Identity MRU permutation: nibble `p` holds slot `p` (`0x7654_3210`).
+const MRU_IDENTITY: u32 = 0x7654_3210;
+
+/// Per-set recency and state record, 8 bytes:
+///
+/// * `mru` — the recency permutation as 4-bit slot nibbles; nibble `p`
+///   (bits `4p..4p+4`) is the slot at MRU position `p`. Only the low
+///   `physical_ways` nibbles are meaningful.
+/// * `valid` / `dirty` — per-slot bitmasks.
+///
+/// The tag words live in separate flat arrays strided by the *physical*
+/// associativity (not [`MAX_WAYS`]), so a direct-mapped cache pays 4 B of
+/// partial tag per set instead of 32.
+#[derive(Debug, Clone, Copy)]
+struct SetMeta {
+    mru: u32,
+    valid: u8,
+    dirty: u8,
+}
+
+impl SetMeta {
+    fn fresh(physical_ways: usize) -> Self {
+        // Nibbles at positions >= physical_ways are never read or moved
+        // (promotion only permutes the prefix up to the hit position), so
+        // masking the identity keeps the permutation check simple.
+        let used_bits = 4 * physical_ways;
+        let mask = if used_bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << used_bits) - 1
+        };
+        SetMeta {
+            mru: MRU_IDENTITY & mask,
+            valid: 0,
+            dirty: 0,
+        }
+    }
+
+    /// Slot at MRU position `pos`.
+    #[inline]
+    fn slot_at(self, pos: usize) -> u32 {
+        (self.mru >> (4 * pos)) & 0xF
+    }
+
+    /// Moves the slot at `pos` to MRU position 0, shifting positions
+    /// `0..pos` up by one — the nibble-packed equivalent of the old
+    /// `mru.copy_within(base..base + pos, base + 1)` byte rotate.
+    #[inline]
+    fn promote(&mut self, pos: usize) {
+        let slot = self.slot_at(pos);
+        let low_mask = (1u32 << (4 * pos)) - 1;
+        let shifted = (self.mru & low_mask) << 4;
+        let kept_shift = 4 * (pos + 1);
+        let kept = if kept_shift >= 32 {
+            0
+        } else {
+            (self.mru >> kept_shift) << kept_shift
+        };
+        self.mru = kept | shifted | slot;
+    }
 }
 
 /// A way-partitioned set-associative cache with full-MRU accounting.
@@ -142,6 +200,15 @@ struct Line {
 /// boundary movable at run time) or **fixed mode** (`b_enabled = false`:
 /// only `a_ways` ways exist; an A miss goes straight to the next level —
 /// used for the fully synchronous and program-adaptive machines, §3).
+///
+/// Storage is struct-of-arrays and lazily allocated per set: `set_index`
+/// maps a set to its dense record (or [`NO_SET`]), so a 32K-set L2 model
+/// only pays resident bytes for sets the run actually touches. Tags are
+/// split into a hot packed-u32 partial array and a cold high-bits array
+/// consulted only on partial match — exact, not probabilistic — and both
+/// arrays are strided by the physical associativity, so a direct-mapped
+/// cache pays 1 tag word per set, not [`MAX_WAYS`].
+#[derive(Clone)]
 pub struct AccountingCache {
     sets: usize,
     set_mask: u64,
@@ -149,10 +216,15 @@ pub struct AccountingCache {
     physical_ways: usize,
     a_ways: usize,
     b_enabled: bool,
-    /// `lines[set * physical_ways + slot]`; slot order is arbitrary.
-    lines: Vec<Line>,
-    /// `mru[set * physical_ways + pos]` = slot index at recency pos.
-    mru: Vec<u8>,
+    /// Set → index into `meta` (and × `physical_ways` into the tag
+    /// arrays), or [`NO_SET`] until first touch.
+    set_index: Box<[u32]>,
+    /// Dense per-set MRU/valid/dirty records, in first-touch order.
+    meta: Vec<SetMeta>,
+    /// Hot low 32 tag bits, `physical_ways` words per touched set.
+    partial: Vec<u32>,
+    /// Cold high 32 tag bits, parallel to `partial`.
+    hi: Vec<u32>,
     stats: AccountingStats,
 }
 
@@ -217,12 +289,6 @@ impl AccountingCache {
             )));
         }
         let physical_ways = ways as usize;
-        let mut mru = vec![0u8; sets * physical_ways];
-        for set in 0..sets {
-            for pos in 0..physical_ways {
-                mru[set * physical_ways + pos] = pos as u8;
-            }
-        }
         Ok(AccountingCache {
             sets,
             set_mask: sets as u64 - 1,
@@ -230,8 +296,10 @@ impl AccountingCache {
             physical_ways,
             a_ways: a_ways as usize,
             b_enabled,
-            lines: vec![Line::default(); sets * physical_ways],
-            mru,
+            set_index: vec![NO_SET; sets].into_boxed_slice(),
+            meta: Vec::new(),
+            partial: Vec::new(),
+            hi: Vec::new(),
             stats: AccountingStats::default(),
         })
     }
@@ -289,23 +357,47 @@ impl AccountingCache {
         Ok(())
     }
 
+    /// Dense index of `set`, allocating its records on first touch.
+    #[inline]
+    fn touch_set(&mut self, set: usize) -> usize {
+        let si = self.set_index[set];
+        if si != NO_SET {
+            return si as usize;
+        }
+        let si = self.meta.len();
+        self.meta.push(SetMeta::fresh(self.physical_ways));
+        self.partial
+            .resize(self.partial.len() + self.physical_ways, 0);
+        self.hi.resize(self.hi.len() + self.physical_ways, 0);
+        self.set_index[set] = si as u32;
+        si
+    }
+
     /// Performs one access, updating contents, MRU state, and accounting.
     pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessResult {
         let line_addr = addr >> self.line_shift;
         let set = (line_addr & self.set_mask) as usize;
         let tag = line_addr >> self.sets.trailing_zeros();
+        let partial = tag as u32;
+        let high = (tag >> 32) as u32;
         let ways = self.active_ways();
-        let base = set * self.physical_ways;
+        let si = self.touch_set(set);
 
         self.stats.accesses += 1;
 
         // Search the active ways in MRU order so the hit position falls
-        // out of the search itself.
+        // out of the search itself. The packed partial tags keep the whole
+        // scan inside one `physical_ways`-word stripe; the cold high bits
+        // are consulted only to confirm a partial match.
+        let base = si * self.physical_ways;
+        let rec = &mut self.meta[si];
         let mut hit_pos: Option<usize> = None;
         for pos in 0..ways {
-            let slot = self.mru[base + pos] as usize;
-            let line = &self.lines[base + slot];
-            if line.valid && line.tag == tag {
+            let slot = rec.slot_at(pos) as usize;
+            if rec.valid & (1 << slot) != 0
+                && self.partial[base + slot] == partial
+                && self.hi[base + slot] == high
+            {
                 hit_pos = Some(pos);
                 break;
             }
@@ -314,12 +406,11 @@ impl AccountingCache {
         match hit_pos {
             Some(pos) => {
                 self.stats.pos_hits[pos] += 1;
-                let slot = self.mru[base + pos];
+                let slot = rec.slot_at(pos);
                 // Move to MRU front (models the A<->B swap on B hits).
-                self.mru.copy_within(base..base + pos, base + 1);
-                self.mru[base] = slot;
+                rec.promote(pos);
                 if kind == AccessKind::Write {
-                    self.lines[base + slot as usize].dirty = true;
+                    rec.dirty |= 1 << slot;
                 }
                 let served = if pos < self.a_ways {
                     ServedBy::APartition
@@ -336,19 +427,21 @@ impl AccountingCache {
                 self.stats.misses += 1;
                 // Victim: LRU among the active ways.
                 let victim_pos = ways - 1;
-                let slot = self.mru[base + victim_pos];
-                let line = &mut self.lines[base + slot as usize];
-                let victim_writeback = line.valid && line.dirty;
+                let slot = rec.slot_at(victim_pos);
+                let bit = 1u8 << slot;
+                let victim_writeback = rec.valid & rec.dirty & bit != 0;
                 if victim_writeback {
                     self.stats.writebacks += 1;
                 }
-                *line = Line {
-                    tag,
-                    valid: true,
-                    dirty: kind == AccessKind::Write,
-                };
-                self.mru.copy_within(base..base + victim_pos, base + 1);
-                self.mru[base] = slot;
+                self.partial[base + slot as usize] = partial;
+                self.hi[base + slot as usize] = high;
+                rec.valid |= bit;
+                if kind == AccessKind::Write {
+                    rec.dirty |= bit;
+                } else {
+                    rec.dirty &= !bit;
+                }
+                rec.promote(victim_pos);
                 AccessResult {
                     served: ServedBy::Miss,
                     victim_writeback,
@@ -364,11 +457,18 @@ impl AccountingCache {
         let line_addr = addr >> self.line_shift;
         let set = (line_addr & self.set_mask) as usize;
         let tag = line_addr >> self.sets.trailing_zeros();
-        let base = set * self.physical_ways;
+        let si = self.set_index[set];
+        if si == NO_SET {
+            return false;
+        }
+        let si = si as usize;
+        let base = si * self.physical_ways;
+        let rec = self.meta[si];
         (0..self.active_ways()).any(|pos| {
-            let slot = self.mru[base + pos] as usize;
-            let line = &self.lines[base + slot];
-            line.valid && line.tag == tag
+            let slot = rec.slot_at(pos) as usize;
+            rec.valid & (1 << slot) != 0
+                && self.partial[base + slot] == tag as u32
+                && self.hi[base + slot] == (tag >> 32) as u32
         })
     }
 
@@ -383,14 +483,14 @@ impl AccountingCache {
         std::mem::take(&mut self.stats)
     }
 
-    /// Invariant check used by property tests: every set's MRU vector is a
-    /// permutation of the physical slots.
+    /// Invariant check used by property tests: every touched set's MRU
+    /// nibbles are a permutation of the physical slots (untouched sets
+    /// hold the identity by construction).
     pub fn mru_is_permutation(&self) -> bool {
-        (0..self.sets).all(|set| {
-            let base = set * self.physical_ways;
+        self.meta.iter().all(|rec| {
             let mut seen = [false; MAX_WAYS];
             for pos in 0..self.physical_ways {
-                let slot = self.mru[base + pos] as usize;
+                let slot = rec.slot_at(pos) as usize;
                 if slot >= self.physical_ways || seen[slot] {
                     return false;
                 }
@@ -398,6 +498,29 @@ impl AccountingCache {
             }
             true
         })
+    }
+
+    /// Number of sets that have been touched (lazily allocated).
+    pub fn touched_sets(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Heap bytes currently resident for this cache's content model
+    /// (set index + per-set records + both strided tag arrays; excludes
+    /// `self` and the interval counters).
+    pub fn resident_bytes(&self) -> usize {
+        self.set_index.len() * size_of::<u32>()
+            + self.meta.capacity() * size_of::<SetMeta>()
+            + (self.partial.capacity() + self.hi.capacity()) * size_of::<u32>()
+    }
+
+    /// Heap bytes the pre-PR 7 eager AoS layout would hold resident for
+    /// the same geometry (`sets × ways` 16-byte `Line { tag: u64, valid,
+    /// dirty }` slots plus one MRU byte per line), for the `--mem` bench
+    /// comparison.
+    pub fn eager_layout_bytes(&self) -> usize {
+        // Line was { tag: u64, valid: bool, dirty: bool } -> 16 B padded.
+        self.sets * self.physical_ways * (16 + 1)
     }
 }
 

@@ -1,0 +1,255 @@
+//! Equivalence suite pinning the packed lazy SoA `AccountingCache` to the
+//! pre-PR 7 eager array-of-structs implementation.
+//!
+//! `reference::AosCache` below is a faithful port of the old layout
+//! (`Vec<Line { tag: u64, valid, dirty }>` plus a byte-per-line MRU
+//! vector, eagerly allocated). Every property drives both models with the
+//! same access stream — random geometries, fixed and phase modes,
+//! mid-stream `set_a_ways` repartitions, and tags wider than 32 bits so
+//! the partial-tag/high-bits split is exercised — and demands the exact
+//! same `AccessResult` stream and `AccountingStats`.
+
+use gals_cache::{AccessKind, AccessResult, AccountingCache, AccountingStats, ServedBy};
+use proptest::prelude::*;
+
+/// Faithful port of the pre-PR 7 eager AoS implementation.
+mod reference {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, Default)]
+    struct Line {
+        tag: u64,
+        valid: bool,
+        dirty: bool,
+    }
+
+    pub struct AosCache {
+        sets: usize,
+        set_mask: u64,
+        line_shift: u32,
+        physical_ways: usize,
+        a_ways: usize,
+        b_enabled: bool,
+        lines: Vec<Line>,
+        mru: Vec<u8>,
+        stats: AccountingStats,
+    }
+
+    impl AosCache {
+        pub fn new(
+            total_bytes: u64,
+            ways: u32,
+            line_bytes: u64,
+            a_ways: u32,
+            b_enabled: bool,
+        ) -> Self {
+            let way_bytes = total_bytes / ways as u64;
+            let sets = (way_bytes / line_bytes) as usize;
+            assert!(sets.is_power_of_two());
+            let physical_ways = ways as usize;
+            let mut mru = vec![0u8; sets * physical_ways];
+            for set in 0..sets {
+                for pos in 0..physical_ways {
+                    mru[set * physical_ways + pos] = pos as u8;
+                }
+            }
+            AosCache {
+                sets,
+                set_mask: sets as u64 - 1,
+                line_shift: line_bytes.trailing_zeros(),
+                physical_ways,
+                a_ways: a_ways as usize,
+                b_enabled,
+                lines: vec![Line::default(); sets * physical_ways],
+                mru,
+                stats: AccountingStats::default(),
+            }
+        }
+
+        fn active_ways(&self) -> usize {
+            if self.b_enabled {
+                self.physical_ways
+            } else {
+                self.a_ways
+            }
+        }
+
+        pub fn set_a_ways(&mut self, a_ways: u32) {
+            assert!(self.b_enabled);
+            assert!(a_ways >= 1 && a_ways as usize <= self.physical_ways);
+            self.a_ways = a_ways as usize;
+        }
+
+        pub fn stats(&self) -> &AccountingStats {
+            &self.stats
+        }
+
+        pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessResult {
+            let line_addr = addr >> self.line_shift;
+            let set = (line_addr & self.set_mask) as usize;
+            let tag = line_addr >> self.sets.trailing_zeros();
+            let ways = self.active_ways();
+            let base = set * self.physical_ways;
+
+            self.stats.accesses += 1;
+
+            let mut hit_pos: Option<usize> = None;
+            for pos in 0..ways {
+                let slot = self.mru[base + pos] as usize;
+                let line = &self.lines[base + slot];
+                if line.valid && line.tag == tag {
+                    hit_pos = Some(pos);
+                    break;
+                }
+            }
+
+            match hit_pos {
+                Some(pos) => {
+                    self.stats.pos_hits[pos] += 1;
+                    let slot = self.mru[base + pos];
+                    self.mru.copy_within(base..base + pos, base + 1);
+                    self.mru[base] = slot;
+                    if kind == AccessKind::Write {
+                        self.lines[base + slot as usize].dirty = true;
+                    }
+                    let served = if pos < self.a_ways {
+                        ServedBy::APartition
+                    } else {
+                        ServedBy::BPartition
+                    };
+                    AccessResult {
+                        served,
+                        victim_writeback: false,
+                        mru_position: Some(pos as u8),
+                    }
+                }
+                None => {
+                    self.stats.misses += 1;
+                    let victim_pos = ways - 1;
+                    let slot = self.mru[base + victim_pos];
+                    let line = &mut self.lines[base + slot as usize];
+                    let victim_writeback = line.valid && line.dirty;
+                    if victim_writeback {
+                        self.stats.writebacks += 1;
+                    }
+                    *line = Line {
+                        tag,
+                        valid: true,
+                        dirty: kind == AccessKind::Write,
+                    };
+                    self.mru.copy_within(base..base + victim_pos, base + 1);
+                    self.mru[base] = slot;
+                    AccessResult {
+                        served: ServedBy::Miss,
+                        victim_writeback,
+                        mru_position: None,
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn kind_of(write: bool) -> AccessKind {
+    if write {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Phase mode with mid-stream repartitions: identical result stream
+    /// and stats across random geometries.
+    #[test]
+    fn phase_mode_equivalent_with_resizes(
+        trace in prop::collection::vec((0u64..8192, any::<bool>()), 1..2000),
+        ways in prop::sample::select(vec![2u32, 4, 8]),
+        sets_per_way in prop::sample::select(vec![2u64, 4, 16]),
+        a0 in 1u32..8,
+        repartition_every in 1usize..96,
+    ) {
+        let a0 = a0.min(ways);
+        let total_bytes = 64 * sets_per_way * ways as u64;
+        let mut packed = AccountingCache::new(total_bytes, ways, 64, a0, true).unwrap();
+        let mut aos = reference::AosCache::new(total_bytes, ways, 64, a0, true);
+        for (i, &(addr, write)) in trace.iter().enumerate() {
+            let k = kind_of(write);
+            prop_assert_eq!(packed.access(addr, k), aos.access(addr, k), "inst {}", i);
+            if i % repartition_every == 0 {
+                let target = (i as u32 % ways) + 1;
+                packed.set_a_ways(target).unwrap();
+                aos.set_a_ways(target);
+            }
+        }
+        prop_assert_eq!(packed.stats(), aos.stats());
+    }
+
+    /// Fixed mode (B disabled, only `a_ways` active) equivalence.
+    #[test]
+    fn fixed_mode_equivalent(
+        trace in prop::collection::vec((0u64..8192, any::<bool>()), 1..2000),
+        ways in prop::sample::select(vec![1u32, 2, 4, 8]),
+        a in 1u32..8,
+    ) {
+        let a = a.min(ways);
+        let total_bytes = 64 * 8 * ways as u64;
+        let mut packed = AccountingCache::new(total_bytes, ways, 64, a, false).unwrap();
+        let mut aos = reference::AosCache::new(total_bytes, ways, 64, a, false);
+        for (i, &(addr, write)) in trace.iter().enumerate() {
+            let k = kind_of(write);
+            prop_assert_eq!(packed.access(addr, k), aos.access(addr, k), "inst {}", i);
+        }
+        prop_assert_eq!(packed.stats(), aos.stats());
+    }
+
+    /// Tags wider than 32 bits: addresses drawn from widely separated
+    /// 4 GiB+ aliasing regions force partial-tag collisions that only the
+    /// cold high-bits array can disambiguate.
+    #[test]
+    fn wide_tags_disambiguated_exactly(
+        trace in prop::collection::vec((0u64..16, any::<u64>(), any::<bool>()), 1..1500),
+        ways in prop::sample::select(vec![2u32, 4, 8]),
+    ) {
+        // Each access aliases to one of 16 low-address lines, displaced by
+        // a multiple of 2^38 bytes: identical partial (low-32) tag bits,
+        // distinct high bits.
+        let total_bytes = 64 * 4 * ways as u64;
+        let mut packed = AccountingCache::new(total_bytes, ways, 64, 1, true).unwrap();
+        let mut aos = reference::AosCache::new(total_bytes, ways, 64, 1, true);
+        for (i, &(low, salt, write)) in trace.iter().enumerate() {
+            let addr = (low * 64) + ((salt & 0xF) << 38);
+            let k = kind_of(write);
+            prop_assert_eq!(packed.access(addr, k), aos.access(addr, k), "inst {}", i);
+        }
+        prop_assert_eq!(packed.stats(), aos.stats());
+    }
+}
+
+/// Lazy allocation bookkeeping: resident bytes grow only with touched
+/// sets and stay far below the eager layout for sparse footprints.
+#[test]
+fn lazy_allocation_tracks_touched_sets() {
+    // 2 MB / 8 ways / 64 B lines = 4096 sets — the L2 geometry.
+    let mut c = AccountingCache::new(2 << 20, 8, 64, 4, true).unwrap();
+    assert_eq!(c.touched_sets(), 0);
+    let index_only = c.resident_bytes();
+    assert_eq!(index_only, 4096 * 4);
+
+    // Touch 64 distinct sets.
+    for set in 0..64u64 {
+        c.access(set * 64, AccessKind::Read);
+    }
+    assert_eq!(c.touched_sets(), 64);
+    assert!(c.resident_bytes() < c.eager_layout_bytes() / 2);
+
+    // Re-touching allocated sets does not grow anything.
+    let resident = c.resident_bytes();
+    for set in 0..64u64 {
+        c.access(set * 64, AccessKind::Write);
+    }
+    assert_eq!(c.touched_sets(), 64);
+    assert_eq!(c.resident_bytes(), resident);
+}

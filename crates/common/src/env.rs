@@ -1,0 +1,78 @@
+//! Environment-variable tuning knobs with loud failure reporting.
+//!
+//! The sweep engine reads a handful of `GALS_MCD_*` variables at
+//! construction. Historically a malformed value (`GALS_MCD_COHORT_WIDTH=eight`)
+//! was silently swallowed by `.ok().and_then(|v| v.parse().ok())` and the
+//! default used — the worst failure mode for a tuning knob, because the
+//! operator believes the override took effect. [`parse_env_or`] keeps the
+//! fall-back-to-default behavior but prints one warning to stderr naming
+//! the variable, the rejected value, and the default actually used.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Reads `name` from the environment and parses it as `T`.
+///
+/// * Unset (or non-unicode) variable → `default`, silently: absence is
+///   the normal state for a tuning knob.
+/// * Present and parseable → the parsed value.
+/// * Present but malformed → `default`, with one loud warning line on
+///   stderr. A malformed override is an operator error and must never
+///   be indistinguishable from a successful one.
+pub fn parse_env_or<T>(name: &str, default: T) -> T
+where
+    T: FromStr + Display,
+{
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(raw) => parse_value_or(name, &raw, default),
+    }
+}
+
+/// The value-level half of [`parse_env_or`], split out so unit tests can
+/// exercise the malformed-value path without mutating the process
+/// environment (test binaries run threads concurrently; `set_var` races).
+pub fn parse_value_or<T>(name: &str, raw: &str, default: T) -> T
+where
+    T: FromStr + Display,
+{
+    match raw.trim().parse::<T>() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring malformed {name}={raw:?}: expected a value like \
+                 {default}; using default {default}"
+            );
+            default
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_values() {
+        assert_eq!(parse_value_or("X", "12", 7u64), 12);
+        assert_eq!(parse_value_or("X", " 12 ", 7u64), 12);
+        assert_eq!(parse_value_or("X", "0", 7usize), 0);
+    }
+
+    #[test]
+    fn malformed_values_fall_back_to_default() {
+        assert_eq!(parse_value_or("X", "eight", 7u64), 7);
+        assert_eq!(parse_value_or("X", "", 7u64), 7);
+        assert_eq!(parse_value_or("X", "-3", 7u64), 7);
+        assert_eq!(parse_value_or("X", "1e6", 7u64), 7);
+        assert_eq!(parse_value_or("X", "4096k", 7usize), 7);
+    }
+
+    #[test]
+    fn unset_variable_is_silent_default() {
+        assert_eq!(
+            parse_env_or("GALS_MCD_TEST_KNOB_THAT_IS_NEVER_SET", 42u64),
+            42
+        );
+    }
+}

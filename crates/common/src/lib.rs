@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod env;
 pub mod fxmap;
 mod ids;
 mod rng;

@@ -128,6 +128,10 @@ impl DomainController for ArgminCacheController {
         "argmin"
     }
 
+    fn box_clone(&self) -> Box<dyn DomainController> {
+        Box::new(self.clone())
+    }
+
     fn decide(&mut self, stats: &IntervalStats<'_>) -> Decision {
         if !matches!(stats, IntervalStats::Cache { .. }) {
             debug_assert!(false, "cache controller fed non-cache stats");
@@ -193,6 +197,10 @@ impl ArgminIqController {
 impl DomainController for ArgminIqController {
     fn name(&self) -> &'static str {
         "argmin-ilp"
+    }
+
+    fn box_clone(&self) -> Box<dyn DomainController> {
+        Box::new(self.clone())
     }
 
     fn decide(&mut self, stats: &IntervalStats<'_>) -> Decision {

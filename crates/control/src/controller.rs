@@ -86,9 +86,14 @@ pub enum Decision {
 ///   so policies should return [`Decision::Stay`] and treat the interval
 ///   as a hold (reset streaks, freeze integrators) rather than let state
 ///   accumulate toward a move they cannot make.
-pub trait DomainController: std::fmt::Debug {
+pub trait DomainController: std::fmt::Debug + Send + Sync {
     /// Short policy name, used in decision traces and artifacts.
     fn name(&self) -> &'static str;
+
+    /// Clones the controller behind the trait object. Simulator snapshots
+    /// (cohort interval memoization) clone whole machines, so every policy
+    /// must be deep-copyable mid-run with its streaks/integrators intact.
+    fn box_clone(&self) -> Box<dyn DomainController>;
 
     /// End-of-interval decision.
     fn decide(&mut self, stats: &IntervalStats<'_>) -> Decision;
@@ -104,4 +109,10 @@ pub trait DomainController: std::fmt::Debug {
 
     /// Number of candidate configurations.
     fn candidates(&self) -> usize;
+}
+
+impl Clone for Box<dyn DomainController> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
 }

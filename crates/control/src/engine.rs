@@ -88,7 +88,7 @@ struct PendingIq {
 /// pending-resize bookkeeping); the simulator executes *how* (PLL
 /// frequency changes, A-partition moves, predictor swaps, capacity
 /// clamps) because those touch pipeline state the engine must not own.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AdaptationEngine {
     policy: ControlPolicy,
     ic: BoxedController,

@@ -17,7 +17,7 @@ use crate::controller::{Decision, DomainController, IntervalStats};
 /// A `threshold` of 1 degenerates to the inner policy with lock-gating
 /// only; the paper's issue-queue controller is `threshold == 3`
 /// ([`Hysteresis::PAPER_IQ_STICKINESS`]) around the raw ILP argmax.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Hysteresis {
     inner: Box<dyn DomainController>,
     threshold: u32,
@@ -51,6 +51,10 @@ impl Hysteresis {
 impl DomainController for Hysteresis {
     fn name(&self) -> &'static str {
         "hysteresis"
+    }
+
+    fn box_clone(&self) -> Box<dyn DomainController> {
+        Box::new(self.clone())
     }
 
     fn decide(&mut self, stats: &IntervalStats<'_>) -> Decision {

@@ -115,6 +115,10 @@ impl DomainController for PiController {
         "pi"
     }
 
+    fn box_clone(&self) -> Box<dyn DomainController> {
+        Box::new(self.clone())
+    }
+
     fn decide(&mut self, stats: &IntervalStats<'_>) -> Decision {
         if stats.locked() {
             return Decision::Stay;

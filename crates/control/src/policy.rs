@@ -161,6 +161,10 @@ impl DomainController for StaticController {
         "static"
     }
 
+    fn box_clone(&self) -> Box<dyn DomainController> {
+        Box::new(self.clone())
+    }
+
     fn decide(&mut self, _stats: &IntervalStats<'_>) -> Decision {
         Decision::Stay
     }

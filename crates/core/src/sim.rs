@@ -61,7 +61,7 @@ use gals_cache::{AccessKind, AccountingCache, ServedBy};
 use gals_clock::{DomainClock, SyncModel};
 use gals_common::fxmap::{fx_map_with_capacity, FxHashMap};
 use gals_common::{DomainId, Femtos, SplitMix64};
-use gals_control::{AdaptationEngine, EngineSetup, IlpDecision};
+use gals_control::{AdaptationEngine, ControlPolicy, EngineSetup, IlpDecision};
 use gals_isa::{DynInst, InstructionStream, OpClass};
 use gals_predictor::{HybridPredictor, PredictorGeometry};
 use gals_timing::{Dl2Config, ICacheConfig, Variant};
@@ -207,7 +207,12 @@ impl FuPool {
 /// The simulator: construct with a [`MachineConfig`], run one stream.
 ///
 /// See the [crate docs](crate) for an example.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the whole machine mid-run — every queue, clock,
+/// cache, predictor, and controller. The sweep engine's interval
+/// memoization uses this to snapshot a paused simulator at a chunk
+/// boundary and splice it into a later job over the same prefix.
+#[derive(Debug, Clone)]
 pub struct Simulator {
     cfg: MachineConfig,
 
@@ -361,14 +366,19 @@ impl Simulator {
         };
 
         // Predictors: phase mode trains all four jointly-resized
-        // geometries so a configuration switch has warm state.
-        let (predictors, active_pred) = if phase {
+        // geometries so a configuration switch has warm state. Under the
+        // Static policy the machine can never switch, so the three
+        // shadow geometries would be trained and thrown away — build
+        // only the active one.
+        let (predictors, active_pred) = if phase && cfg.control != ControlPolicy::Static {
             let preds: Vec<_> = ICacheConfig::ALL
                 .iter()
                 .map(|c| HybridPredictor::new(PredictorGeometry::for_capacity_kb(c.kb()).unwrap()))
                 .collect();
             (preds, ic_ways as usize - 1)
         } else {
+            // Fixed-geometry machines and Static-policy phase machines
+            // alike predict with the one live geometry.
             (
                 vec![HybridPredictor::new(
                     PredictorGeometry::for_capacity_kb(ic_kb).unwrap(),
@@ -866,6 +876,17 @@ impl Simulator {
 
     fn commit(&mut self, e: Femtos, window: u64) {
         let mut retired = 0;
+        // Per-group caches: every store retiring on this edge becomes
+        // visible in LS at the same `xfer(e, FE, LS)` instant, so the
+        // crossing is computed once per retire group and the LS wake is
+        // folded into a single `wake_domain` call after the loop
+        // (`wake_domain` is a pure min, so one call with the group
+        // minimum is bit-identical to one call per store). The cached
+        // crossing is invalidated when `interval_decision` fires mid-
+        // group: a frequency change rewrites clock periods and with them
+        // the synchronization cost.
+        let mut store_ready: Option<Femtos> = None;
+        let mut ls_wake: Option<Femtos> = None;
         while retired < self.cfg.params.retire_width && self.committed < window {
             let Some(&slot) = self.rob.front() else { break };
             let st = self.st(slot);
@@ -886,7 +907,14 @@ impl Simulator {
             if is_store {
                 // Perform the write in the load/store domain after the
                 // commit signal crosses over.
-                let ready = self.xfer(e, FE, LS);
+                let ready = match store_ready {
+                    Some(r) => r,
+                    None => {
+                        let r = self.xfer(e, FE, LS);
+                        store_ready = Some(r);
+                        r
+                    }
+                };
                 self.store_jobs.push_back(StoreJob { addr, ready });
                 self.remove_lsq_head(slot);
                 if self.event_driven {
@@ -912,7 +940,7 @@ impl Simulator {
                     if emptied {
                         self.stores_by_line.remove(&line);
                     }
-                    self.wake_domain(LS, ready);
+                    ls_wake = Some(ls_wake.map_or(ready, |w: Femtos| w.min(ready)));
                 }
             } else if is_load {
                 self.remove_lsq_head(slot);
@@ -934,8 +962,12 @@ impl Simulator {
             if let Some(en) = self.engine.as_mut() {
                 if en.commit_tick() {
                     self.interval_decision(e);
+                    store_ready = None;
                 }
             }
+        }
+        if let Some(w) = ls_wake {
+            self.wake_domain(LS, w);
         }
     }
 
@@ -1063,6 +1095,15 @@ impl Simulator {
     }
 
     fn rename_dispatch(&mut self, e: Femtos) {
+        // Per-group caches: nothing inside the dispatch loop changes
+        // clock periods, so `xfer(e, FE, d)` is a per-domain constant
+        // for the whole fetch group. Compute each crossing at most once
+        // and fold the per-instruction execution-domain wakes into one
+        // `wake_domain` call per domain after the loop (bit-identical:
+        // the deferred values are equal and `wake_domain` is a pure
+        // min that nothing inside the loop reads back).
+        let mut arrival_cache: [Option<Femtos>; 4] = [None; 4];
+        let mut deferred_wake: [Option<Femtos>; 4] = [None; 4];
         for _ in 0..self.cfg.params.decode_width {
             let Some(&slot) = self.fetch_q.front() else {
                 break;
@@ -1139,7 +1180,14 @@ impl Simulator {
                 uses_phys = true;
                 self.rename_map[d.packed() as usize] = RenameRef::Pending(seq);
             }
-            let arrival = self.xfer(e, FE, exec_domain);
+            let arrival = match arrival_cache[exec_domain] {
+                Some(a) => a,
+                None => {
+                    let a = self.xfer(e, FE, exec_domain);
+                    arrival_cache[exec_domain] = Some(a);
+                    a
+                }
+            };
             {
                 let st = self.st_mut(slot);
                 st.srcs = srcs;
@@ -1178,13 +1226,13 @@ impl Simulator {
                                 }
                             }
                         }
-                        self.wake_domain(LS, arrival);
+                        deferred_wake[LS] = Some(arrival);
                     }
                 }
                 d => {
                     Self::qpush(&mut self.iq[d - 1], &mut self.slab, slot);
                     if self.event_driven {
-                        self.wake_domain(d, arrival);
+                        deferred_wake[d] = Some(arrival);
                     }
                 }
             }
@@ -1194,6 +1242,11 @@ impl Simulator {
             // boundaries (see `interval_decision`).
             if let Some(en) = self.engine.as_mut() {
                 en.observe_rename(&inst);
+            }
+        }
+        for d in [INT, FP, LS] {
+            if let Some(w) = deferred_wake[d] {
+                self.wake_domain(d, w);
             }
         }
     }
@@ -1963,6 +2016,35 @@ impl Simulator {
     /// trace runs out before the window commits (capture at least
     /// `window + max_in_flight()` instructions), or on pipeline
     /// deadlock.
+    /// Instructions committed so far. A memoized snapshot taken at a
+    /// pacing pause is only spliceable into a job whose commit window
+    /// strictly exceeds this count (commit stops exactly at the window,
+    /// so a paused machine with `committed < window` evolved identically
+    /// under every larger window).
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Cache-model bytes actually resident for this machine (the three
+    /// accounting caches' lazily allocated storage plus set indices).
+    pub fn cache_model_resident_bytes(&self) -> usize {
+        self.icache.resident_bytes() + self.l1d.resident_bytes() + self.l2.resident_bytes()
+    }
+
+    /// Cache-model bytes the pre-PR 7 eager array-of-structs layout
+    /// would hold resident for the same geometries.
+    pub fn cache_model_eager_bytes(&self) -> usize {
+        self.icache.eager_layout_bytes()
+            + self.l1d.eager_layout_bytes()
+            + self.l2.eager_layout_bytes()
+    }
+
+    /// Advances the machine over `prep` until either `window`
+    /// instructions have committed (returns `true`) or fetch is about
+    /// to consume trace index `upto` (returns `false`; resume by
+    /// calling again with a larger bound). The pause mutates nothing,
+    /// so the paused state is independent of the chunking schedule
+    /// that reached it.
     pub fn run_chunk(&mut self, prep: &PreparedTrace, window: u64, upto: u64) -> bool {
         assert!(window > 0, "window must be positive");
         assert_eq!(

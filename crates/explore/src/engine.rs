@@ -28,12 +28,14 @@
 //! replay that would read past its recording panics rather than loop,
 //! so a sizing bug can never silently diverge.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use gals_common::fxmap::FxHashSet;
+use gals_common::env::parse_env_or;
+use gals_common::fxmap::{FxHashMap, FxHashSet};
 use gals_core::{ControlPolicy, MachineConfig, McdConfig, Simulator, SyncConfig};
 use gals_workloads::{BenchmarkSpec, PreparedTrace, SharedTrace};
 
@@ -113,6 +115,13 @@ impl MeasureItem {
     /// The cache key for this item at `window` instructions.
     pub fn cache_key(&self, window: u64) -> CacheKey {
         CacheKey::new(self.spec.name(), self.mode, &self.config_key, window)
+    }
+
+    /// The window-independent identity the interval memo keys on:
+    /// everything that determines the machine and its input except the
+    /// window (mirrors the [`CacheKey`] component contract).
+    fn memo_identity(&self) -> String {
+        format!("{}|{}|{}", self.spec.name(), self.mode, self.config_key)
     }
 }
 
@@ -292,6 +301,155 @@ impl TracePool {
     }
 }
 
+/// Default bound on retained interval-memo snapshots (cloned paused
+/// simulators, roughly 50–300 KB each); override with
+/// `GALS_MCD_INTERVAL_MEMO_SNAPS` (`0` disables memoization).
+const DEFAULT_MEMO_SNAPS: usize = 64;
+
+/// Cross-cohort interval memoization (see
+/// [`SweepEngine::run_cohort`]).
+///
+/// Jobs that share a `(benchmark, mode, config_key)` identity but
+/// differ in window simulate the **same machine over the same trace
+/// prefix** — determinism makes the paused state at a chunk boundary a
+/// pure function of that identity and the boundary, and the pacing
+/// pause mutates nothing, so the state is also independent of the
+/// chunking schedule that reached it. The memo therefore snapshots
+/// (clones) a paused member at each chunk boundary and lets any other
+/// member with the same identity — in this cohort, another worker's
+/// cohort, or a later batch — splice the snapshot instead of
+/// re-stepping the interval.
+///
+/// Two guards keep a splice sound:
+///
+/// * the prepared trace's rolling [`PreparedTrace::prefix_digest`] at
+///   the boundary is part of the snapshot key, so identities that
+///   collide across different recordings (or line sizes) can never
+///   alias;
+/// * a snapshot is spliced only into a job whose window strictly
+///   exceeds the snapshot's committed count — commit clamps exactly at
+///   the window, so below it the evolution is window-independent.
+///
+/// Snapshots are only taken for identities registered at two or more
+/// distinct windows (`windows`): a sweep of all-distinct configurations
+/// pays one map probe per member turn and zero clones.
+#[derive(Debug)]
+struct IntervalMemo {
+    inner: Mutex<MemoInner>,
+    /// Maximum retained snapshots (FIFO eviction); `0` disables.
+    capacity: usize,
+    hits: AtomicU64,
+    stores: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct MemoInner {
+    /// Distinct windows enrolled per identity; ≥ 2 marks the identity
+    /// as shareable (an identical window re-run is the result cache's
+    /// job, not ours).
+    windows: FxHashMap<String, Vec<u64>>,
+    /// `(identity, chunk boundary, prefix digest)` → paused machine.
+    snaps: FxHashMap<(String, u64, u64), Arc<Simulator>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<(String, u64, u64)>,
+}
+
+impl IntervalMemo {
+    fn new(capacity: usize) -> Self {
+        IntervalMemo {
+            inner: Mutex::new(MemoInner::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemoInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Records that `identity` is being simulated at `window`.
+    fn register(&self, identity: &str, window: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        let windows = inner.windows.entry(identity.to_string()).or_default();
+        if !windows.contains(&window) {
+            windows.push(window);
+        }
+    }
+
+    /// Returns a deep copy of the memoized paused machine for
+    /// `identity` at trace boundary `chunk_end`, if one exists, its
+    /// trace prefix digest matches, and it is spliceable into a run
+    /// committing up to `window`.
+    fn probe(&self, identity: &str, chunk_end: u64, digest: u64, window: u64) -> Option<Simulator> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let shared = {
+            let inner = self.lock();
+            inner
+                .snaps
+                .get(&(identity.to_string(), chunk_end, digest))?
+                .clone()
+        };
+        if shared.committed() >= window {
+            // The shorter-window run would have finished before this
+            // pause; it must simulate its own ending.
+            return None;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        // The deep copy happens outside the lock; only the Arc bump is
+        // inside the critical section.
+        Some((*shared).clone())
+    }
+
+    /// Offers a paused machine for retention. No-op unless some *other*
+    /// registered window of `identity` strictly exceeds the paused
+    /// commit count — only such a job can ever splice the snapshot (a
+    /// same-window re-run is the result cache's business, and a shorter
+    /// window must simulate its own ending) — and the boundary is not
+    /// already held. The deep clone happens outside the lock, and only
+    /// for snapshots that passed the usefulness gate.
+    fn store(&self, identity: &str, chunk_end: u64, digest: u64, sim: &Simulator, window: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let committed = sim.committed();
+        {
+            let inner = self.lock();
+            let useful = inner
+                .windows
+                .get(identity)
+                .is_some_and(|ws| ws.iter().any(|&w| w != window && w > committed));
+            if !useful
+                || inner
+                    .snaps
+                    .contains_key(&(identity.to_string(), chunk_end, digest))
+            {
+                return;
+            }
+        }
+        let snap = Arc::new(sim.clone());
+        let mut inner = self.lock();
+        let key = (identity.to_string(), chunk_end, digest);
+        if inner.snaps.contains_key(&key) {
+            return;
+        }
+        inner.snaps.insert(key.clone(), snap);
+        inner.order.push_back(key);
+        while inner.order.len() > self.capacity {
+            let evicted = inner.order.pop_front().expect("len checked");
+            inner.snaps.remove(&evicted);
+        }
+        self.stores.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// One member of a lockstep cohort: an admitted (claimed) job, its
 /// live simulator, the shared prepared trace, and the member's current
 /// pacing bound.
@@ -302,6 +460,9 @@ struct CohortMember<'env> {
     sim: Simulator,
     /// Trace position this member's next turn advances to.
     chunk_end: u64,
+    /// Interval-memo identity: `benchmark|mode|config_key` (everything
+    /// that determines the machine and its input except the window).
+    identity: String,
 }
 
 /// The work-stealing measurement engine over a sharded result cache.
@@ -322,6 +483,8 @@ pub struct SweepEngine {
     /// Shared benchmark recordings (see "Sweep-wide trace sharing" in
     /// the [module docs](self)).
     traces: TracePool,
+    /// Cross-cohort interval memoization (see [`IntervalMemo`]).
+    memo: IntervalMemo,
     /// Simulations actually executed (cache misses), for observability.
     simulated: AtomicU64,
     /// Requests served straight from the cache.
@@ -341,19 +504,16 @@ impl SweepEngine {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let pool_insts = std::env::var("GALS_MCD_TRACE_POOL_INSTS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(DEFAULT_POOL_INSTS);
-        let cohort_width = std::env::var("GALS_MCD_COHORT_WIDTH")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(DEFAULT_COHORT_WIDTH);
-        let chunk_insts = std::env::var("GALS_MCD_COHORT_CHUNK")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&c| c > 0)
-            .unwrap_or(DEFAULT_COHORT_CHUNK);
+        // A malformed override warns loudly and falls back (see
+        // `gals_common::env`); silently ignoring an operator's tuning
+        // knob was a bug.
+        let pool_insts = parse_env_or("GALS_MCD_TRACE_POOL_INSTS", DEFAULT_POOL_INSTS);
+        let cohort_width = parse_env_or("GALS_MCD_COHORT_WIDTH", DEFAULT_COHORT_WIDTH);
+        let chunk_insts = match parse_env_or("GALS_MCD_COHORT_CHUNK", DEFAULT_COHORT_CHUNK) {
+            0 => DEFAULT_COHORT_CHUNK,
+            c => c,
+        };
+        let memo_snaps = parse_env_or("GALS_MCD_INTERVAL_MEMO_SNAPS", DEFAULT_MEMO_SNAPS);
         SweepEngine {
             threads,
             reference_loop: false,
@@ -361,6 +521,7 @@ impl SweepEngine {
             chunk_insts,
             cache,
             traces: TracePool::new(pool_insts),
+            memo: IntervalMemo::new(memo_snaps),
             simulated: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             panicked: std::sync::Mutex::new(FxHashSet::default()),
@@ -425,6 +586,18 @@ impl SweepEngine {
         self
     }
 
+    /// Caps the interval memo at `snaps` retained snapshots (`0`
+    /// disables memoization; the default is 64, env-overridable via
+    /// `GALS_MCD_INTERVAL_MEMO_SNAPS`). Memoization affects wall clock
+    /// only, never results — a spliced snapshot is bit-identical to
+    /// re-stepping the interval (the cohort integration tests assert
+    /// it).
+    #[must_use]
+    pub fn with_interval_memo_snaps(mut self, snaps: usize) -> Self {
+        self.memo = IntervalMemo::new(snaps);
+        self
+    }
+
     /// The lockstep cohort width (`<2` = legacy path).
     pub fn cohort_width(&self) -> usize {
         self.cohort_width
@@ -465,6 +638,17 @@ impl SweepEngine {
     /// materialized, plus any extensions for longer windows).
     pub fn trace_pool_builds(&self) -> u64 {
         self.traces.builds.load(Ordering::Relaxed)
+    }
+
+    /// Chunk turns answered by splicing a memoized interval snapshot
+    /// instead of re-stepping the interval.
+    pub fn interval_memo_hits(&self) -> u64 {
+        self.memo.hits.load(Ordering::Relaxed)
+    }
+
+    /// Interval snapshots retained by the memo.
+    pub fn interval_memo_stores(&self) -> u64 {
+        self.memo.stores.load(Ordering::Relaxed)
     }
 
     /// Parallel map over `work` at one window and normal priority (the
@@ -556,6 +740,14 @@ impl SweepEngine {
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
                     continue;
+                }
+                // Register the job's memo identity before any worker
+                // starts: a batch mixing windows of one configuration
+                // must mark the identity shareable *before* the first
+                // window's cohort runs (and discards) the shared
+                // prefix, or sequentially formed cohorts never hit.
+                if self.cohort_width >= 2 {
+                    self.memo.register(&job.item.memo_identity(), job.window);
                 }
                 let complete = Box::new(move |_job: Job, outcome: JobOutcome| {
                     on_outcome(i, &outcome);
@@ -766,7 +958,22 @@ impl SweepEngine {
                 i = 0;
             }
             let m = &mut members[i];
-            m.chunk_end = m.chunk_end.saturating_add(chunk);
+            let next_end = m.chunk_end.saturating_add(chunk);
+            // Interval memoization: if another member (any cohort, any
+            // worker, any batch) already simulated this identity up to
+            // the next chunk boundary, splice its paused state instead
+            // of re-stepping the interval. See [`IntervalMemo`] for the
+            // soundness argument.
+            if next_end < m.prep.len() as u64 {
+                let digest = m.prep.prefix_digest(next_end as usize);
+                if let Some(sim) = self.memo.probe(&m.identity, next_end, digest, m.job.window) {
+                    m.sim = sim;
+                    m.chunk_end = next_end;
+                    i += 1;
+                    continue;
+                }
+            }
+            m.chunk_end = next_end;
             // Once the pacing bound passes the recording's end the
             // capture contract (window + max_in_flight) guarantees the
             // run finishes without it: disable the gate and let the
@@ -783,7 +990,16 @@ impl SweepEngine {
                 catch_unwind(AssertUnwindSafe(|| sim.run_chunk(prep, window, upto)))
             };
             match stepped {
-                Ok(false) => i += 1,
+                Ok(false) => {
+                    // Paused exactly at `chunk_end`: offer the state to
+                    // the memo (cheap no-op unless another window of
+                    // this identity, enrolled somewhere, can still
+                    // splice it).
+                    let digest = m.prep.prefix_digest(m.chunk_end as usize);
+                    self.memo
+                        .store(&m.identity, m.chunk_end, digest, &m.sim, window);
+                    i += 1;
+                }
                 Ok(true) => {
                     let m = members.swap_remove(i);
                     self.simulated.fetch_add(1, Ordering::Relaxed);
@@ -838,13 +1054,18 @@ impl SweepEngine {
             }
             sim
         })) {
-            Ok(sim) => members.push(CohortMember {
-                job,
-                complete,
-                prep,
-                sim,
-                chunk_end: 0,
-            }),
+            Ok(sim) => {
+                let identity = job.item.memo_identity();
+                self.memo.register(&identity, job.window);
+                members.push(CohortMember {
+                    job,
+                    complete,
+                    prep,
+                    sim,
+                    chunk_end: 0,
+                    identity,
+                });
+            }
             Err(_) => {
                 // Construction panicked (a custom-machine model bug):
                 // resolve exactly as a panicking solo run would.

@@ -155,6 +155,73 @@ fn serve_jobs_forms_cohorts_from_mixed_batches() {
 }
 
 #[test]
+fn interval_memo_splices_are_bit_identical() {
+    // The memoization scenario: the same configurations measured at two
+    // windows share their whole simulation prefix. The memoizing engine
+    // must splice snapshots (hits > 0) and still produce results
+    // bit-identical to a solo engine and to a memo-disabled cohort
+    // engine — and every distinct key still simulates exactly once.
+    const W1: u64 = 800;
+    const W2: u64 = 1_600;
+    let spec = suite::by_name("gzip").expect("benchmark in suite");
+    let configs: Vec<SyncConfig> = SyncConfig::enumerate()
+        .into_iter()
+        .step_by(179)
+        .take(4)
+        .collect();
+    let jobs = || -> Vec<Job> {
+        let mut v = Vec::new();
+        for w in [W1, W2] {
+            for cfg in &configs {
+                v.push(Job::new(MeasureItem::sync(spec.clone(), *cfg), w));
+            }
+        }
+        v
+    };
+    let run = |engine: &SweepEngine| -> Vec<Option<f64>> {
+        engine
+            .run_jobs(jobs(), |_, _| {})
+            .into_iter()
+            .map(|o| o.runtime_ns())
+            .collect()
+    };
+
+    let solo = SweepEngine::new(ResultCache::in_memory())
+        .with_threads(1)
+        .with_cohort_width(0);
+    let memoized = SweepEngine::new(ResultCache::in_memory())
+        .with_threads(1)
+        .with_cohort_width(8)
+        .with_cohort_chunk(128)
+        .with_interval_memo_snaps(64);
+    let unmemoized = SweepEngine::new(ResultCache::in_memory())
+        .with_threads(1)
+        .with_cohort_width(8)
+        .with_cohort_chunk(128)
+        .with_interval_memo_snaps(0);
+
+    let a = run(&solo);
+    let b = run(&memoized);
+    let c = run(&unmemoized);
+    assert!(a.iter().all(|ns| ns.is_some()));
+    assert_eq!(a, b, "memoized cohort diverged from solo runs");
+    assert_eq!(a, c, "memo-disabled cohort diverged from solo runs");
+    assert!(
+        memoized.interval_memo_hits() > 0,
+        "two windows per config over chunked cohorts must splice \
+         (got {} hits, {} stores)",
+        memoized.interval_memo_hits(),
+        memoized.interval_memo_stores(),
+    );
+    assert_eq!(unmemoized.interval_memo_hits(), 0);
+    assert_eq!(
+        memoized.simulated_count(),
+        solo.simulated_count(),
+        "memoization must not change the exactly-once accounting"
+    );
+}
+
+#[test]
 fn cohort_survives_disabled_trace_pool() {
     // With pooling off, `get_prepared` declines and every job falls
     // back to the solo stream path inside the cohort runner — results

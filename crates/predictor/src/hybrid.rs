@@ -72,6 +72,7 @@ fn counter_taken(c: u8) -> bool {
 /// immediately after (trace-driven style); history corruption by wrong-path
 /// execution is not modeled, which is the standard approximation when the
 /// wrong path is not simulated.
+#[derive(Clone)]
 pub struct HybridPredictor {
     geometry: PredictorGeometry,
     gshare_bht: Vec<u8>,

@@ -62,6 +62,22 @@ struct Facts {
     srcs: Box<[[u8; 2]]>,
     /// Packed destination register ([`NO_REG`] = absent).
     dst: Box<[u8]>,
+    /// Cumulative rolling hash over every preceding fact column entry:
+    /// `digest[i]` summarizes instructions `0..=i`. Cross-cohort
+    /// interval memoization keys snapshots on
+    /// [`PreparedTrace::prefix_digest`] so a memoized machine state is
+    /// only ever spliced onto the exact trace prefix it was simulated
+    /// over.
+    digest: Box<[u64]>,
+}
+
+/// One splitmix64 scramble round — the per-instruction mixing step of
+/// the rolling prefix digest.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// A [`SharedTrace`] plus its one-time structure-of-arrays
@@ -90,6 +106,8 @@ impl PreparedTrace {
         let mut mem_line = Vec::with_capacity(n);
         let mut srcs = Vec::with_capacity(n);
         let mut dst = Vec::with_capacity(n);
+        let mut digest = Vec::with_capacity(n);
+        let mut rolling = mix(line_bytes ^ 0x9E37_79B9_7F4A_7C15);
         for inst in insts {
             fetch_line.push(inst.pc / line_bytes);
             let mut f = 0u8;
@@ -124,8 +142,19 @@ impl PreparedTrace {
             } else {
                 0
             });
-            srcs.push(inst.srcs.map(|s| s.map(|r| r.packed()).unwrap_or(NO_REG)));
-            dst.push(inst.dst.map(|r| r.packed()).unwrap_or(NO_REG));
+            let sp = inst.srcs.map(|s| s.map(|r| r.packed()).unwrap_or(NO_REG));
+            let dp = inst.dst.map(|r| r.packed()).unwrap_or(NO_REG);
+            srcs.push(sp);
+            dst.push(dp);
+            let packed_regs = u64::from(sp[0]) | (u64::from(sp[1]) << 8) | (u64::from(dp) << 16);
+            let packed_class = u64::from(*fl.last().expect("just pushed"))
+                | (u64::from(*op.last().expect("just pushed")) << 8);
+            rolling = mix(rolling
+                ^ mix(inst.pc)
+                ^ mix(*mem_line.last().expect("just pushed"))
+                ^ (packed_regs << 32)
+                ^ (packed_class << 24));
+            digest.push(rolling);
         }
         PreparedTrace {
             trace: trace.clone(),
@@ -137,6 +166,7 @@ impl PreparedTrace {
                 mem_line: mem_line.into(),
                 srcs: srcs.into(),
                 dst: dst.into(),
+                digest: digest.into(),
             }),
         }
     }
@@ -209,5 +239,23 @@ impl PreparedTrace {
     #[inline]
     pub fn dst_packed(&self, i: usize) -> u8 {
         self.facts.dst[i]
+    }
+
+    /// Rolling digest of the first `n` prepared instructions (0 for
+    /// `n == 0`). Two prepared traces agreeing on `prefix_digest(n)`
+    /// carry the same first `n` instructions' fact columns (up to hash
+    /// collision), so a simulator state reached over one prefix can be
+    /// memoized and spliced onto the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    #[inline]
+    pub fn prefix_digest(&self, n: usize) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.facts.digest[n - 1]
+        }
     }
 }
