@@ -5,10 +5,7 @@ use gals_explore::{ablation, ControlPolicy};
 use gals_workloads::suite;
 
 fn main() {
-    let window: u64 = std::env::var("GALS_MCD_ABLATION_WINDOW")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(40_000);
+    let window: u64 = gals_common::env::parse_env_or("GALS_MCD_ABLATION_WINDOW", 40_000);
     let subset: Vec<_> = ["adpcm_encode", "gzip", "apsi", "em3d", "crafty", "art"]
         .iter()
         .map(|n| suite::by_name(n).expect("subset benchmark"))

@@ -38,9 +38,9 @@ fn parse_policies(spec: &str) -> Vec<ControlPolicy> {
 }
 
 fn bench_subset() -> Vec<BenchmarkSpec> {
-    let names = std::env::var("GALS_MCD_POLICY_BENCHES")
+    let names = gals_common::env::var("GALS_MCD_POLICY_BENCHES")
         .map(|v| v.split(',').map(str::to_string).collect::<Vec<_>>())
-        .unwrap_or_else(|_| DEFAULT_BENCHES.iter().map(|s| s.to_string()).collect());
+        .unwrap_or_else(|| DEFAULT_BENCHES.iter().map(|s| s.to_string()).collect());
     names
         .iter()
         .map(|n| {
@@ -87,10 +87,7 @@ fn artifact_json(window: u64, subset: &[BenchmarkSpec], outcomes: &[PolicyOutcom
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let window: u64 = std::env::var("GALS_MCD_POLICY_WINDOW")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(40_000);
+    let window: u64 = gals_common::env::parse_env_or("GALS_MCD_POLICY_WINDOW", 40_000);
     let policies = arg_value(&args, "--policies")
         .map(|spec| parse_policies(&spec))
         .unwrap_or_else(|| ControlPolicy::BUILTIN.to_vec());
@@ -98,8 +95,8 @@ fn main() {
         arg_value(&args, "--out").unwrap_or_else(|| "target/policy_compare.json".to_string());
 
     let subset = bench_subset();
-    let cache_path = std::env::var("GALS_MCD_CACHE")
-        .unwrap_or_else(|_| "target/gals-sweep-cache.json".to_string());
+    let cache_path = gals_common::env::var("GALS_MCD_CACHE")
+        .unwrap_or_else(|| "target/gals-sweep-cache.json".to_string());
     let cache = ResultCache::open(&cache_path).expect("open result cache");
     let mut ex = Explorer::with_cache(window, window, cache);
 

@@ -49,10 +49,7 @@ impl Unit {
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    gals_common::env::parse_env_or(name, default)
 }
 
 fn median(sorted: &mut [f64]) -> f64 {
@@ -337,8 +334,8 @@ fn priority_phase(window: u64, clients: usize) -> (Vec<f64>, Vec<f64>) {
 fn main() {
     let window = env_u64("GALS_SERVE_BENCH_WINDOW", 3_000);
     let clients = env_u64("GALS_SERVE_BENCH_CLIENTS", 8) as usize;
-    let out_path =
-        std::env::var("GALS_SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let out_path = gals_common::env::var("GALS_SERVE_BENCH_OUT")
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
 
     let (serve_ms, independent_ms, simulated, total_requests, distinct) =
         batching_phase(window, clients);

@@ -16,13 +16,13 @@
 //! (tab-separated key / runtime / cache flag, or `key\texpired`) and
 //! exits non-zero on protocol errors.
 
-use std::collections::HashMap;
 use std::process::ExitCode;
 
+use gals_common::fxmap::FxHashMap;
 use gals_serve::{Client, Priority, Request, RequestKind, Response};
 
 fn parse_args() -> Result<(String, Request), String> {
-    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut flags: FxHashMap<String, String> = FxHashMap::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let key = flag
@@ -55,7 +55,7 @@ fn parse_args() -> Result<(String, Request), String> {
                 .map_err(|_| "--deadline-ms must be an integer")?,
         ),
     };
-    let bench = |flags: &mut HashMap<String, String>| {
+    let bench = |flags: &mut FxHashMap<String, String>| {
         flags.remove("bench").ok_or("missing --bench".to_string())
     };
     let kind = match op.as_str() {

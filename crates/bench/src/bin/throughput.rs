@@ -309,7 +309,9 @@ fn main() {
     let sweep_window: u64 = parse_env_or("GALS_BENCH_SWEEP_WINDOW", 4_000u64);
     // Restrict the sweep to the 128-configuration subset so the reporter
     // stays fast; throughput per configuration is what matters here.
-    std::env::set_var("GALS_MCD_SYNC_SUBSET", "1");
+    // Set on the main thread before the sweep pool exists (the soundness
+    // condition gals_common::env::set_var documents).
+    gals_common::env::set_var("GALS_MCD_SYNC_SUBSET", "1");
 
     if args.mem {
         let (bytes_per_sim, eager_per_sim, _) = report_cache_model(sweep_window);

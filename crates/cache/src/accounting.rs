@@ -357,6 +357,11 @@ impl AccountingCache {
         Ok(())
     }
 
+    // lint:hot — `access` runs once per icache fetch group, load, store,
+    // and L2 fill in the simulator's per-edge loop. The lazy set arrays
+    // (PR 7) grow through amortized `push`/`resize` doubling, O(log sets)
+    // events per run; nothing in the access path may allocate per call.
+
     /// Dense index of `set`, allocating its records on first touch.
     #[inline]
     fn touch_set(&mut self, set: usize) -> usize {
@@ -450,6 +455,8 @@ impl AccountingCache {
             }
         }
     }
+
+    // lint:endhot
 
     /// Probes for presence without updating any state (for tests and
     /// assertions).

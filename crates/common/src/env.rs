@@ -8,8 +8,40 @@
 //! fall-back-to-default behavior but prints one warning to stderr naming
 //! the variable, the rejected value, and the default actually used.
 
+//! This module is also the only place in the workspace allowed to touch
+//! `std::env` directly (the `env-discipline` lint rule enforces it):
+//! every knob read goes through [`parse_env_or`] (typed) or [`var`]
+//! (strings), so a grep for `GALS_` here and in the bin docs is the
+//! complete override surface.
+
 use std::fmt::Display;
 use std::str::FromStr;
+
+/// Reads a string-valued variable (`None` when unset or non-unicode).
+///
+/// The sanctioned raw accessor for the handful of knobs that are paths
+/// or addresses rather than parseable numbers; prefer [`parse_env_or`]
+/// wherever a parse is involved so malformed overrides fail loudly.
+pub fn var(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+/// True when `name` is set to exactly `"1"` (the workspace's boolean
+/// knob convention, e.g. `GALS_MCD_SYNC_SUBSET=1`).
+pub fn flag(name: &str) -> bool {
+    var(name).is_some_and(|v| v == "1")
+}
+
+/// Sets a process-environment variable.
+///
+/// Mutating the environment is only sound before any thread that might
+/// concurrently read it exists; the single caller (the throughput
+/// reporter pinning `GALS_MCD_SYNC_SUBSET` at startup) runs on the main
+/// thread before the sweep pool spawns. Centralized here so the
+/// `env-discipline` rule keeps new call sites reviewable.
+pub fn set_var(name: &str, value: &str) {
+    std::env::set_var(name, value);
+}
 
 /// Reads `name` from the environment and parses it as `T`.
 ///

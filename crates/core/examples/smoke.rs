@@ -1,4 +1,8 @@
 //! Dev smoke test: run a few benchmarks through all three machine styles.
+//
+// lint:allow-file(determinism-wallclock): this example *measures* host
+// simulation throughput (inst/s), which is inherently wall-clock; the
+// timing never feeds back into simulated state.
 use gals_core::{MachineConfig, McdConfig, Simulator};
 use std::time::Instant;
 

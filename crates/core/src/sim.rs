@@ -521,6 +521,10 @@ impl Simulator {
     // Helpers
     // ------------------------------------------------------------------
 
+    // lint:hot — slab/queue bookkeeping runs for every instruction in
+    // flight; the whole point of the u32-slot slab (PR 5) is that none
+    // of it ever touches the allocator.
+
     /// Lowers a domain's next-work bound (fast path bookkeeping; no-op
     /// in reference mode where the bound is never consulted).
     #[inline]
@@ -1987,6 +1991,7 @@ impl Simulator {
             self.note_progress(e);
         }
 
+        // lint:allow(hot-path-alloc): one name copy per completed run, after the stepping loop exits
         let name = stream.name().to_string();
         self.finish(&name)
     }
@@ -2087,6 +2092,9 @@ impl Simulator {
         }
         true
     }
+
+    // lint:endhot — everything below runs once per completed simulation
+    // (result harvest), not per instruction or per edge.
 
     /// Folds outstanding statistics and produces the [`SimResult`] for a
     /// machine whose run has completed (the chunked-stepping harvest;

@@ -24,16 +24,22 @@ struct CountingAlloc;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method forwards verbatim to `System`, whose contract is
+// upheld unchanged; the only added work is a lock-free atomic increment,
+// which cannot allocate or unwind.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards `layout` untouched to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: forwards the (ptr, layout) pair untouched to `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: forwards all three arguments untouched to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // A growth realloc is as much an allocation as a fresh one.
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);

@@ -1163,7 +1163,9 @@ mod tests {
         ];
         let seen = Mutex::new(Vec::new());
         let results = engine.measure_with(&work, 1_000, |i, ns| {
-            seen.lock().unwrap().push((i, ns));
+            seen.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push((i, ns));
         });
         assert_eq!(engine.simulated_count(), 1, "batch-internal dedupe");
         assert!(results.iter().all(|&r| r == results[0] && r > 0.0));

@@ -173,16 +173,12 @@ impl Explorer {
     ///
     /// Fails only on cache-file I/O errors.
     pub fn from_env() -> Result<Self, ExploreError> {
-        let env_u64 = |name: &str, default: u64| {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(default)
-        };
-        let sweep_window = env_u64("GALS_MCD_SWEEP_WINDOW", Self::DEFAULT_SWEEP_WINDOW);
-        let final_window = env_u64("GALS_MCD_FINAL_WINDOW", Self::DEFAULT_FINAL_WINDOW);
-        let cache_path = std::env::var("GALS_MCD_CACHE")
-            .unwrap_or_else(|_| "target/gals-sweep-cache.json".to_string());
+        let sweep_window =
+            gals_common::env::parse_env_or("GALS_MCD_SWEEP_WINDOW", Self::DEFAULT_SWEEP_WINDOW);
+        let final_window =
+            gals_common::env::parse_env_or("GALS_MCD_FINAL_WINDOW", Self::DEFAULT_FINAL_WINDOW);
+        let cache_path = gals_common::env::var("GALS_MCD_CACHE")
+            .unwrap_or_else(|| "target/gals-sweep-cache.json".to_string());
         let cache = ResultCache::open(cache_path)?;
         Ok(Explorer::with_cache(sweep_window, final_window, cache))
     }
@@ -274,7 +270,7 @@ impl Explorer {
         }
         // `GALS_MCD_SYNC_SUBSET=1` restricts the sweep to the region the
         // full space's winner provably lives in.
-        let subset = std::env::var("GALS_MCD_SYNC_SUBSET").is_ok_and(|v| v == "1");
+        let subset = gals_common::env::flag("GALS_MCD_SYNC_SUBSET");
         let configs: Vec<SyncConfig> = SyncConfig::enumerate()
             .into_iter()
             .filter(|c| !subset || in_sync_winner_subset(c))

@@ -270,7 +270,10 @@ fn expired_and_cancelled_jobs_resolve_inside_cohort_backfill() {
     for job in [live, dead] {
         let outcomes = &outcomes;
         let ok = sched.submit(job, move |job: Job, outcome: JobOutcome| {
-            outcomes.lock().unwrap().insert(job.tag.clone(), outcome);
+            outcomes
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(job.tag.clone(), outcome);
         });
         assert!(ok);
     }

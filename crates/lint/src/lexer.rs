@@ -1,0 +1,529 @@
+//! A hand-rolled Rust lexer, just deep enough to be trustworthy.
+//!
+//! The rule engine in [`crate::rules`] matches on *token* sequences, so
+//! the one job of this module is to never mistake the inside of a string
+//! literal, a character literal, or a (possibly nested) comment for
+//! code. The full grammar it understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and block comments (`/* */`,
+//!   nested to arbitrary depth, `/** */`, `/*! */`);
+//! * string literals with escapes (`"a\"b"`), byte strings (`b"..."`),
+//!   C strings (`c"..."`), and raw strings of every hash depth
+//!   (`r"..."`, `r#"..."#`, `br##"..."##`, `cr#"..."#`);
+//! * character and byte-character literals (`'x'`, `'\''`, `'\u{1F4A9}'`,
+//!   `b'\n'`) disambiguated from lifetimes (`'a`, `'static`, `'_`);
+//! * identifiers and keywords (one token kind — the rules match on
+//!   text), raw identifiers (`r#match`), numeric literals (enough to not
+//!   split `1_000u64` or glue `x.0.clone()` together), and single-byte
+//!   punctuation.
+//!
+//! Every token carries its 1-based line and column so violations point
+//! at real source coordinates. The lexer never fails: unterminated
+//! literals and comments degrade into a token that runs to end of file,
+//! which is the right behavior for a linter (rustc will reject the file
+//! anyway; we must still not misread the rest as code).
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`) — *not* a char literal.
+    Lifetime,
+    /// Character or byte-character literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// String, byte-string, or C-string literal with escapes.
+    StrLit,
+    /// Raw (or raw-byte / raw-C) string literal, any hash depth.
+    RawStrLit,
+    /// Numeric literal (`42`, `1_000u64`, `0xFF`, `1.5e-3`).
+    NumLit,
+    /// One byte of punctuation (`:`, `.`, `!`, `(`, …).
+    Punct,
+    /// `//…` comment, text *without* the leading slashes.
+    LineComment,
+    /// `/*…*/` comment (nesting folded in), text without delimiters.
+    BlockComment,
+}
+
+/// One lexed token: kind, source text, and 1-based position.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    /// For comments, the *interior* text; for everything else, the full
+    /// source slice of the token.
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte within its line.
+    pub col: u32,
+}
+
+impl Tok<'_> {
+    /// True for the comment kinds (the rule engine reads directives from
+    /// these and skips them when matching code).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    /// Advances one byte, tracking line/col. Multi-byte UTF-8
+    /// continuation bytes do not bump the column, so columns count
+    /// characters-ish on ASCII (exact where it matters: rule keywords
+    /// are ASCII).
+    fn bump(&mut self) {
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            self.col += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if !self.eof() {
+                self.bump();
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a flat token stream (whitespace dropped, comments
+/// kept — the rule engine needs them for directives and `SAFETY:`
+/// audits).
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let mut c = Cursor {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+
+    while !c.eof() {
+        let b = c.peek(0);
+
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+
+        let (line, col, start) = (c.line, c.col, c.pos);
+
+        // Comments.
+        if b == b'/' && c.peek(1) == b'/' {
+            c.bump_n(2);
+            let text_start = c.pos;
+            while !c.eof() && c.peek(0) != b'\n' {
+                c.bump();
+            }
+            out.push(Tok {
+                kind: TokKind::LineComment,
+                text: &c.src[text_start..c.pos],
+                line,
+                col,
+            });
+            continue;
+        }
+        if b == b'/' && c.peek(1) == b'*' {
+            c.bump_n(2);
+            let text_start = c.pos;
+            let mut depth = 1usize;
+            let mut text_end = c.pos;
+            while !c.eof() {
+                if c.peek(0) == b'/' && c.peek(1) == b'*' {
+                    depth += 1;
+                    c.bump_n(2);
+                } else if c.peek(0) == b'*' && c.peek(1) == b'/' {
+                    depth -= 1;
+                    c.bump_n(2);
+                    if depth == 0 {
+                        text_end = c.pos - 2;
+                        break;
+                    }
+                } else {
+                    c.bump();
+                }
+                text_end = c.pos;
+            }
+            out.push(Tok {
+                kind: TokKind::BlockComment,
+                text: &c.src[text_start..text_end],
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Raw strings / raw identifiers / byte strings / C strings.
+        // Prefixes: r" r#" r#ident  b" b' br" br#"  c" cr" cr#"
+        if is_ident_start(b) {
+            // Look ahead for a literal prefix before treating this as a
+            // plain identifier.
+            let p1 = c.peek(1);
+            let p2 = c.peek(2);
+            match b {
+                b'r' | b'b' | b'c' if p1 == b'"' => {
+                    // r"…" / b"…" / c"…" — b and c cook escapes like a
+                    // normal string; r is raw with zero hashes.
+                    c.bump(); // prefix
+                    if b == b'r' {
+                        lex_raw_str(&mut c, 0);
+                        out.push(tok_at(&c, start, line, col, TokKind::RawStrLit));
+                    } else {
+                        lex_cooked_str(&mut c);
+                        out.push(tok_at(&c, start, line, col, TokKind::StrLit));
+                    }
+                    continue;
+                }
+                b'r' if p1 == b'#' && is_ident_start(p2) && p2 != b'"' => {
+                    // Raw identifier r#foo: token text includes r#.
+                    c.bump_n(2);
+                    while is_ident_continue(c.peek(0)) {
+                        c.bump();
+                    }
+                    out.push(tok_at(&c, start, line, col, TokKind::Ident));
+                    continue;
+                }
+                b'r' | b'c' if p1 == b'#' && (p2 == b'"' || p2 == b'#') => {
+                    // r#"…"# and deeper; cr#"…"# reaches here via 'c'
+                    // only when followed by #" — but c#ident is not
+                    // valid Rust, so hashes after c always mean a raw C
+                    // string. For r, hashes may instead start a raw
+                    // identifier (r#match); those have an ident char
+                    // after the single hash, handled below.
+                    let mut hashes = 0usize;
+                    while c.peek(1 + hashes) == b'#' {
+                        hashes += 1;
+                    }
+                    if c.peek(1 + hashes) == b'"' {
+                        c.bump(); // prefix
+                        c.bump_n(hashes);
+                        lex_raw_str(&mut c, hashes);
+                        out.push(tok_at(&c, start, line, col, TokKind::RawStrLit));
+                        continue;
+                    }
+                    // Not a raw string (e.g. r##x): fall through to a
+                    // plain identifier; raw identifiers were handled by
+                    // the arm above.
+                }
+                b'b' if p1 == b'\'' => {
+                    // Byte char b'x'.
+                    c.bump(); // b
+                    c.bump(); // '
+                    lex_char_body(&mut c);
+                    out.push(tok_at(&c, start, line, col, TokKind::CharLit));
+                    continue;
+                }
+                b'b' if p1 == b'r' && (p2 == b'"' || p2 == b'#') => {
+                    // Raw byte string br"…" / br#"…"#.
+                    let mut hashes = 0usize;
+                    while c.peek(2 + hashes) == b'#' {
+                        hashes += 1;
+                    }
+                    if c.peek(2 + hashes) == b'"' {
+                        c.bump_n(2 + hashes);
+                        lex_raw_str(&mut c, hashes);
+                        out.push(tok_at(&c, start, line, col, TokKind::RawStrLit));
+                        continue;
+                    }
+                    // br not followed by a string: plain identifier.
+                }
+                b'c' if p1 == b'r' && (p2 == b'"' || p2 == b'#') => {
+                    let mut hashes = 0usize;
+                    while c.peek(2 + hashes) == b'#' {
+                        hashes += 1;
+                    }
+                    if c.peek(2 + hashes) == b'"' {
+                        c.bump_n(2 + hashes);
+                        lex_raw_str(&mut c, hashes);
+                        out.push(tok_at(&c, start, line, col, TokKind::RawStrLit));
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+
+            // Plain identifier / keyword.
+            while is_ident_continue(c.peek(0)) {
+                c.bump();
+            }
+            out.push(tok_at(&c, start, line, col, TokKind::Ident));
+            continue;
+        }
+
+        // Cooked string literal.
+        if b == b'"' {
+            lex_cooked_str(&mut c);
+            out.push(tok_at(&c, start, line, col, TokKind::StrLit));
+            continue;
+        }
+
+        // Lifetime vs char literal.
+        if b == b'\'' {
+            // Lifetime: 'ident NOT closed by another quote ('a, 'static,
+            // '_). Char literal otherwise ('x', '\n', '\u{…}'; also the
+            // pathological 'a' where an ident-looking body *is* closed
+            // by a quote).
+            if is_ident_start(c.peek(1)) && c.peek(1) != b'\'' {
+                // Scan the ident run to see whether a quote closes it.
+                let mut k = 2;
+                while is_ident_continue(c.peek(k)) {
+                    k += 1;
+                }
+                if c.peek(k) != b'\'' {
+                    // Lifetime.
+                    c.bump(); // '
+                    while is_ident_continue(c.peek(0)) {
+                        c.bump();
+                    }
+                    out.push(tok_at(&c, start, line, col, TokKind::Lifetime));
+                    continue;
+                }
+            }
+            c.bump(); // '
+            lex_char_body(&mut c);
+            out.push(tok_at(&c, start, line, col, TokKind::CharLit));
+            continue;
+        }
+
+        // Numeric literal. Consume the alnum/underscore run (covers
+        // 0xFF, 1_000u64, suffixed forms); take a `.` only when a digit
+        // follows, so tuple access `x.0.clone()` still yields a `.`
+        // punct before `clone`. An exponent sign (1e-5) is left as
+        // separate punct+number — no rule cares.
+        if b.is_ascii_digit() {
+            while is_ident_continue(c.peek(0)) {
+                c.bump();
+            }
+            if c.peek(0) == b'.' && c.peek(1).is_ascii_digit() {
+                c.bump();
+                while is_ident_continue(c.peek(0)) {
+                    c.bump();
+                }
+            }
+            out.push(tok_at(&c, start, line, col, TokKind::NumLit));
+            continue;
+        }
+
+        // Everything else: one byte of punctuation.
+        c.bump();
+        out.push(tok_at(&c, start, line, col, TokKind::Punct));
+    }
+
+    out
+}
+
+fn tok_at<'a>(c: &Cursor<'a>, start: usize, line: u32, col: u32, kind: TokKind) -> Tok<'a> {
+    Tok {
+        kind,
+        text: &c.src[start..c.pos],
+        line,
+        col,
+    }
+}
+
+/// Consumes a cooked string body starting at the opening quote.
+fn lex_cooked_str(c: &mut Cursor<'_>) {
+    debug_assert_eq!(c.peek(0), b'"');
+    c.bump(); // opening quote
+    while !c.eof() {
+        match c.peek(0) {
+            b'\\' => c.bump_n(2),
+            b'"' => {
+                c.bump();
+                return;
+            }
+            _ => c.bump(),
+        }
+    }
+}
+
+/// Consumes a raw string body (cursor just past `r##…"`’s opening
+/// quote position — i.e. pointing at the quote).
+fn lex_raw_str(c: &mut Cursor<'_>, hashes: usize) {
+    debug_assert_eq!(c.peek(0), b'"');
+    c.bump(); // opening quote
+    while !c.eof() {
+        if c.peek(0) == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if c.peek(1 + k) != b'#' {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                c.bump_n(1 + hashes);
+                return;
+            }
+        }
+        c.bump();
+    }
+}
+
+/// Consumes a char-literal body (cursor just past the opening quote).
+fn lex_char_body(c: &mut Cursor<'_>) {
+    while !c.eof() {
+        match c.peek(0) {
+            b'\\' => c.bump_n(2),
+            b'\'' => {
+                c.bump();
+                return;
+            }
+            b'\n' => return, // unterminated; don't eat the next line
+            _ => c.bump(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let ts = kinds("let x: u64 = 42;");
+        assert_eq!(ts[0], (TokKind::Ident, "let"));
+        assert_eq!(ts[1], (TokKind::Ident, "x"));
+        assert_eq!(ts[2], (TokKind::Punct, ":"));
+        assert_eq!(ts[3], (TokKind::Ident, "u64"));
+        assert_eq!(ts[4], (TokKind::Punct, "="));
+        assert_eq!(ts[5], (TokKind::NumLit, "42"));
+        assert_eq!(ts[6], (TokKind::Punct, ";"));
+    }
+
+    #[test]
+    fn strings_hide_keywords() {
+        assert_eq!(idents(r#"let s = "HashMap::new unsafe";"#), ["let", "s"]);
+        assert_eq!(idents(r#"let s = b"Instant::now";"#), ["let", "s"]);
+        assert_eq!(idents("let s = \"esc \\\" HashMap\";"), ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_all_depths() {
+        assert_eq!(idents(r###"let s = r"HashMap";"###), ["let", "s"]);
+        assert_eq!(idents(r###"let s = r#"un"safe"#;"###), ["let", "s"]);
+        assert_eq!(
+            idents("let s = r##\"quote \"# still inside\"##;"),
+            ["let", "s"]
+        );
+        assert_eq!(idents(r###"let s = br#"env::var"#;"###), ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_ident_is_ident() {
+        let ts = kinds("let r#match = 1;");
+        assert_eq!(ts[1], (TokKind::Ident, "r#match"));
+    }
+
+    #[test]
+    fn line_and_block_comments() {
+        let ts = kinds("a // HashMap trailing\nb");
+        assert_eq!(ts[0], (TokKind::Ident, "a"));
+        assert_eq!(ts[1], (TokKind::LineComment, " HashMap trailing"));
+        assert_eq!(ts[2], (TokKind::Ident, "b"));
+
+        let ts = kinds("a /* outer /* nested HashMap */ still */ b");
+        assert_eq!(ts[0].0, TokKind::Ident);
+        assert_eq!(ts[1].0, TokKind::BlockComment);
+        assert!(ts[1].1.contains("nested HashMap"));
+        assert_eq!(ts[2], (TokKind::Ident, "b"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = ts.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        let chars: Vec<_> = ts.iter().filter(|(k, _)| *k == TokKind::CharLit).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'a'");
+        assert_eq!(chars[1].1, "'\\n'");
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let ts = kinds("&'static str; &'_ str; 'x'");
+        assert_eq!(
+            ts.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokKind::CharLit).count(), 1);
+    }
+
+    #[test]
+    fn char_escapes() {
+        // '\'' and '\u{1F4A9}' must not derail the stream.
+        let ts = kinds(r"let a = '\''; let b = '\u{1F4A9}'; done");
+        assert_eq!(ts.last().unwrap(), &(TokKind::Ident, "done"));
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokKind::CharLit).count(), 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let ts = kinds("x.0.clone()");
+        let texts: Vec<&str> = ts.iter().map(|(_, t)| *t).collect();
+        assert_eq!(texts, ["x", ".", "0", ".", "clone", "(", ")"]);
+        let ts = kinds("1.5e-3 + 0xFFu64 + 1_000");
+        assert_eq!(ts[0].0, TokKind::NumLit);
+        assert_eq!(ts[0].1, "1.5e");
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let ts = lex("ab\n  cd");
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        lex("let s = \"never closed");
+        lex("let s = r#\"never closed");
+        lex("/* never closed");
+        lex("let c = '");
+    }
+}

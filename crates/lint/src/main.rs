@@ -1,0 +1,78 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! gals-lint --check [PATH]    lint every .rs file under PATH (default .)
+//!           --json            machine-readable report on stdout
+//!           --list-rules      print the rule table and exit
+//! ```
+//!
+//! Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut list_rules = false;
+    let mut check: Option<PathBuf> = None;
+    let mut expect_path = false;
+
+    for arg in &args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--check" => {
+                check = Some(PathBuf::from("."));
+                expect_path = true;
+            }
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if expect_path && !other.starts_with('-') => {
+                check = Some(PathBuf::from(other));
+                expect_path = false;
+            }
+            other => {
+                eprintln!("gals-lint: unknown argument {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for r in gals_lint::rules::RULES {
+            println!("{:<22} {}", r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(root) = check else {
+        eprintln!("gals-lint: nothing to do\n{}", usage());
+        return ExitCode::from(2);
+    };
+
+    match gals_lint::lint_workspace(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("gals-lint: {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: gals-lint [--json] [--list-rules] --check [PATH]\n"
+}

@@ -1,0 +1,555 @@
+//! The rule engine: token-sequence matchers for the six invariant
+//! rules, plus the suppression / hot-fence directive grammar.
+//!
+//! # Rules
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | `determinism-hashmap` | no `std` `HashMap`/`HashSet` outside `gals_common::fxmap` — unseeded `RandomState` iteration order is a determinism hazard |
+//! | `determinism-wallclock` | no `Instant`/`SystemTime` inside `gals-core`/`gals-control`/`gals-workloads`/`gals-cache` |
+//! | `env-discipline` | no raw `std::env::var` family outside `gals_common::env` |
+//! | `lock-poison` | no `.lock().unwrap()` — recover with `PoisonError::into_inner` |
+//! | `unsafe-audit` | every `unsafe` carries a `// SAFETY:` comment (same line or ≤ 3 lines above) |
+//! | `hot-path-alloc` | no allocating calls inside `// lint:hot` … `// lint:endhot` fences |
+//!
+//! `suppression-hygiene` is the engine's meta-rule: malformed or
+//! unjustified directives are themselves violations, and it cannot be
+//! suppressed.
+//!
+//! # Directives (comments)
+//!
+//! * `lint:allow(rule[, rule…]): <justification>` — suppresses the named
+//!   rules on the directive's line *and the next line* (so both trailing
+//!   and line-above placement work). The justification is mandatory.
+//! * `lint:allow-file(rule[, rule…]): <justification>` — suppresses the
+//!   named rules for the whole file; by convention placed in the header.
+//! * `lint:hot` / `lint:endhot` — fence an allocation-free hot region.
+//!   Markers live on their own lines; the fenced region is the lines
+//!   strictly between them.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// Static description of one rule (drives `--list-rules` and the README
+/// table).
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub hint: &'static str,
+}
+
+/// The six source-level rules, in reporting-priority order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "determinism-hashmap",
+        summary: "std HashMap/HashSet outside gals_common::fxmap (unseeded \
+                  RandomState iteration order is a determinism hazard)",
+        hint: "use gals_common::fxmap::{FxHashMap, FxHashSet} (seeded, \
+               deterministic) or a BTreeMap for ordered iteration",
+    },
+    RuleInfo {
+        id: "determinism-wallclock",
+        summary: "wall-clock time (Instant/SystemTime) in a determinism-critical \
+                  crate (gals-core/-control/-workloads/-cache)",
+        hint: "simulated time is Femtos; thread wall-clock in from the \
+               caller (explore/serve/bench own the real clocks)",
+    },
+    RuleInfo {
+        id: "env-discipline",
+        summary: "raw std::env access outside gals_common::env (malformed \
+                  overrides get silently swallowed)",
+        hint: "use gals_common::env::parse_env_or (typed, loud on malformed \
+               values) or gals_common::env::var for strings",
+    },
+    RuleInfo {
+        id: "lock-poison",
+        summary: ".lock().unwrap() propagates poison panics across threads",
+        hint: "recover the guard: .lock().unwrap_or_else(std::sync::PoisonError::into_inner)",
+    },
+    RuleInfo {
+        id: "unsafe-audit",
+        summary: "unsafe without a // SAFETY: comment on the same line or \
+                  within 3 lines above",
+        hint: "state the invariant that makes this sound in a // SAFETY: comment",
+    },
+    RuleInfo {
+        id: "hot-path-alloc",
+        summary: "allocating construct inside a lint:hot fence (the static \
+                  twin of alloc_steady_state.rs)",
+        hint: "preallocate at construction and reuse; if the allocation is \
+               provably off the steady-state path, lint:allow it with the proof",
+    },
+];
+
+/// The meta-rule id for malformed/unjustified directives.
+pub const SUPPRESSION_HYGIENE: &str = "suppression-hygiene";
+
+fn rule_info(id: &'static str) -> &'static RuleInfo {
+    RULES.iter().find(|r| r.id == id).expect("known rule id")
+}
+
+/// One reported violation, pointing at a source coordinate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (one of [`RULES`] or [`SUPPRESSION_HYGIENE`]).
+    pub rule: &'static str,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+    pub hint: &'static str,
+}
+
+/// Crates whose sources must stay free of wall-clock reads: the
+/// simulation result must be a pure function of (config, trace, seed).
+const WALLCLOCK_SCOPED: &[&str] = &[
+    "crates/core/",
+    "crates/control/",
+    "crates/workloads/",
+    "crates/cache/",
+];
+
+/// The sanctioned homes of the primitives the rules ban elsewhere.
+const FXMAP_HOME: &str = "crates/common/src/fxmap.rs";
+const ENV_HOME: &str = "crates/common/src/env.rs";
+
+/// Parsed suppression / fence state for one file.
+struct Directives {
+    /// Rules allowed file-wide.
+    file_allows: Vec<&'static str>,
+    /// (line, rule): allowed on `line` and `line + 1`.
+    line_allows: Vec<(u32, &'static str)>,
+    /// Closed hot fences as (start_line, end_line), exclusive bounds.
+    fences: Vec<(u32, u32)>,
+    /// Directive-grammar violations (unjustified allow, unknown rule,
+    /// unbalanced fence, unknown directive).
+    hygiene: Vec<Violation>,
+}
+
+fn parse_directives(toks: &[Tok<'_>]) -> Directives {
+    let mut file_allows: Vec<&'static str> = Vec::new();
+    let mut line_allows: Vec<(u32, &'static str)> = Vec::new();
+    let mut fences: Vec<(u32, u32)> = Vec::new();
+    let mut hygiene: Vec<Violation> = Vec::new();
+    let mut open_fence: Option<(u32, u32)> = None; // (line, col)
+
+    for t in toks.iter().filter(|t| t.is_comment()) {
+        // Strip the doc-comment markers (`///x` lexes to "/x", `//!x`
+        // to "!x") before looking for the directive prefix.
+        let text = t.text.trim_start_matches(['/', '!', '*']).trim();
+        let Some(rest) = text.strip_prefix("lint:") else {
+            // Not a directive comment. A "lint:" deeper inside a
+            // sentence is prose, not a directive; requiring the prefix
+            // keeps e.g. "see the lint:allow syntax" documentation legal.
+            continue;
+        };
+        let mut bad = |msg: String| {
+            hygiene.push(Violation {
+                rule: SUPPRESSION_HYGIENE,
+                line: t.line,
+                col: t.col,
+                message: msg,
+                hint: "directives: lint:allow(rule): why | lint:allow-file(rule): why \
+                       | lint:hot | lint:endhot",
+            });
+        };
+        if rest == "hot" || rest.starts_with("hot ") || rest.starts_with("hot:") {
+            if let Some((line, _)) = open_fence {
+                bad(format!(
+                    "lint:hot while the fence opened on line {line} is still open"
+                ));
+            } else {
+                open_fence = Some((t.line, t.col));
+            }
+        } else if rest == "endhot" || rest.starts_with("endhot ") || rest.starts_with("endhot:") {
+            match open_fence.take() {
+                Some((start, _)) => fences.push((start, t.line)),
+                None => bad("lint:endhot without an open lint:hot fence".to_string()),
+            }
+        } else if let Some(args) = rest.strip_prefix("allow-file(") {
+            parse_allow(args, true, &mut file_allows, &mut bad);
+        } else if let Some(args) = rest.strip_prefix("allow(") {
+            let mut here: Vec<&'static str> = Vec::new();
+            parse_allow(args, false, &mut here, &mut bad);
+            line_allows.extend(here.into_iter().map(|r| (t.line, r)));
+        } else {
+            bad(format!(
+                "unknown lint directive \"lint:{}\"",
+                rest.split_whitespace().next().unwrap_or("")
+            ));
+        }
+    }
+
+    if let Some((line, col)) = open_fence {
+        hygiene.push(Violation {
+            rule: SUPPRESSION_HYGIENE,
+            line,
+            col,
+            message: "lint:hot fence is never closed (missing lint:endhot)".to_string(),
+            hint: "close the fence at the bottom of the hot region",
+        });
+    }
+
+    Directives {
+        file_allows,
+        line_allows,
+        fences,
+        hygiene,
+    }
+}
+
+/// Parses the `rule[, rule…]): justification` tail of an allow
+/// directive into `allows`, reporting grammar problems through `bad`.
+fn parse_allow(
+    args: &str,
+    file_wide: bool,
+    allows: &mut Vec<&'static str>,
+    bad: &mut impl FnMut(String),
+) {
+    let Some(close) = args.find(')') else {
+        bad("lint:allow missing closing parenthesis".to_string());
+        return;
+    };
+    let (list, tail) = args.split_at(close);
+    let justification = tail[1..].trim_start_matches([':', '-', ' ']).trim();
+    if list.trim().is_empty() {
+        bad("lint:allow with an empty rule list".to_string());
+    }
+    for raw in list.split(',') {
+        let id = raw.trim();
+        if id.is_empty() {
+            continue;
+        }
+        match RULES.iter().find(|r| r.id == id) {
+            Some(r) => allows.push(r.id),
+            None => bad(format!("lint:allow names unknown rule \"{id}\"")),
+        }
+    }
+    if justification
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .count()
+        < 3
+    {
+        bad(format!(
+            "suppression without a justification — every lint:allow{} must say why",
+            if file_wide { "-file" } else { "" }
+        ));
+    }
+}
+
+/// Matches on the non-comment token stream.
+struct Matcher<'a> {
+    code: Vec<Tok<'a>>,
+}
+
+impl<'a> Matcher<'a> {
+    fn ident(&self, i: usize, text: &str) -> bool {
+        self.code
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+    }
+
+    fn any_ident(&self, i: usize, texts: &[&str]) -> bool {
+        self.code
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && texts.contains(&t.text))
+    }
+
+    fn punct(&self, i: usize, ch: &str) -> bool {
+        self.code
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == ch)
+    }
+
+    fn path_sep(&self, i: usize) -> bool {
+        self.punct(i, ":") && self.punct(i + 1, ":")
+    }
+
+    /// `.name()` with no arguments starting at `i` (the dot).
+    fn nullary_method(&self, i: usize, name: &str) -> bool {
+        self.punct(i, ".")
+            && self.ident(i + 1, name)
+            && self.punct(i + 2, "(")
+            && self.punct(i + 3, ")")
+    }
+}
+
+/// Lints one file's source. `rel_path` is the workspace-relative path
+/// with `/` separators — rule scoping (wall-clock crates, the fxmap/env
+/// exemptions) keys off it.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
+    let toks = lex(src);
+    let d = parse_directives(&toks);
+
+    // Comment lines that satisfy the SAFETY audit.
+    let safety_lines: Vec<u32> = toks
+        .iter()
+        .filter(|t| t.is_comment() && t.text.contains("SAFETY:"))
+        .map(|t| t.line)
+        .collect();
+
+    let m = Matcher {
+        code: toks.iter().filter(|t| !t.is_comment()).copied().collect(),
+    };
+
+    let in_wallclock_scope = WALLCLOCK_SCOPED.iter().any(|p| rel_path.starts_with(p));
+    let is_fxmap_home = rel_path == FXMAP_HOME;
+    let is_env_home = rel_path == ENV_HOME;
+    let in_fence = |line: u32| d.fences.iter().any(|&(s, e)| line > s && line < e);
+
+    let mut out: Vec<Violation> = Vec::new();
+    let mut push = |id: &'static str, t: &Tok<'_>, message: String| {
+        out.push(Violation {
+            rule: id,
+            line: t.line,
+            col: t.col,
+            message,
+            hint: rule_info(id).hint,
+        });
+    };
+
+    for i in 0..m.code.len() {
+        let t = &m.code[i];
+
+        // determinism-hashmap
+        if !is_fxmap_home
+            && t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+        {
+            push(
+                "determinism-hashmap",
+                t,
+                format!("{} has unseeded RandomState iteration order", t.text),
+            );
+        }
+
+        // determinism-wallclock
+        if in_wallclock_scope
+            && t.kind == TokKind::Ident
+            && (t.text == "Instant" || t.text == "SystemTime")
+        {
+            push(
+                "determinism-wallclock",
+                t,
+                format!("{} read in a determinism-critical crate", t.text),
+            );
+        }
+
+        // env-discipline: `env :: var…`, unless the path is
+        // `gals_common::env::…` (the sanctioned module itself).
+        if !is_env_home
+            && t.kind == TokKind::Ident
+            && t.text == "env"
+            && m.path_sep(i + 1)
+            && m.any_ident(
+                i + 3,
+                &["var", "var_os", "vars", "vars_os", "set_var", "remove_var"],
+            )
+        {
+            let via_gals_common = i >= 3 && m.ident(i - 3, "gals_common") && m.path_sep(i - 2);
+            if !via_gals_common {
+                push(
+                    "env-discipline",
+                    t,
+                    format!(
+                        "raw std::env::{} bypasses gals_common::env",
+                        m.code[i + 3].text
+                    ),
+                );
+            }
+        }
+
+        // lock-poison: `. lock ( ) . unwrap ( )`
+        if m.nullary_method(i, "lock") && m.nullary_method(i + 4, "unwrap") {
+            push(
+                "lock-poison",
+                &m.code[i + 5],
+                ".lock().unwrap() panics forever after one poisoned lock".to_string(),
+            );
+        }
+
+        // unsafe-audit
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            let covered = safety_lines.iter().any(|&l| l <= t.line && t.line - l <= 3);
+            if !covered {
+                push(
+                    "unsafe-audit",
+                    t,
+                    "unsafe without a // SAFETY: comment".to_string(),
+                );
+            }
+        }
+
+        // hot-path-alloc
+        if in_fence(t.line) {
+            let flagged: Option<String> = if t.kind == TokKind::Ident
+                && ["Vec", "Box", "Rc", "Arc", "String", "VecDeque", "BTreeMap"].contains(&t.text)
+                && m.path_sep(i + 1)
+                && m.any_ident(i + 3, &["new", "with_capacity", "from"])
+            {
+                Some(format!("{}::{}", t.text, m.code[i + 3].text))
+            } else if t.kind == TokKind::Ident
+                && (t.text == "vec" || t.text == "format")
+                && m.punct(i + 1, "!")
+            {
+                Some(format!("{}!", t.text))
+            } else if m.nullary_method(i, "to_string")
+                || m.nullary_method(i, "to_owned")
+                || m.nullary_method(i, "to_vec")
+                || m.nullary_method(i, "clone")
+            {
+                Some(format!(".{}()", m.code[i + 1].text))
+            } else if m.punct(i, ".") && m.ident(i + 1, "collect") {
+                Some(".collect".to_string())
+            } else {
+                None
+            };
+            if let Some(what) = flagged {
+                push(
+                    "hot-path-alloc",
+                    t,
+                    format!("{what} allocates inside a lint:hot region"),
+                );
+            }
+        }
+    }
+
+    // Apply suppressions (hygiene violations are never suppressible).
+    let allowed = |v: &Violation| {
+        d.file_allows.contains(&v.rule)
+            || d.line_allows
+                .iter()
+                .any(|&(l, r)| r == v.rule && (v.line == l || v.line == l + 1))
+    };
+    let mut all: Vec<Violation> = out.into_iter().filter(|v| !allowed(v)).collect();
+    all.extend(d.hygiene);
+    all.sort_by_key(|v| (v.line, v.col, v.rule));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(rel: &str, src: &str) -> Vec<&'static str> {
+        lint_source(rel, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn hashmap_flagged_everywhere_but_fxmap_home() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_hit("crates/serve/src/x.rs", src),
+            ["determinism-hashmap"]
+        );
+        assert!(rules_hit(FXMAP_HOME, src).is_empty());
+    }
+
+    #[test]
+    fn wallclock_scoped_to_simulation_crates() {
+        let src = "let t = Instant::now();\n";
+        assert_eq!(
+            rules_hit("crates/core/src/sim.rs", src),
+            ["determinism-wallclock"]
+        );
+        assert!(rules_hit("crates/bench/src/bin/throughput.rs", src).is_empty());
+    }
+
+    #[test]
+    fn env_via_gals_common_is_sanctioned() {
+        assert_eq!(
+            rules_hit("crates/serve/src/server.rs", "std::env::var(\"X\");"),
+            ["env-discipline"]
+        );
+        assert!(rules_hit(
+            "crates/serve/src/server.rs",
+            "gals_common::env::var(\"X\");"
+        )
+        .is_empty());
+        assert!(rules_hit(ENV_HOME, "std::env::var(name)").is_empty());
+    }
+
+    #[test]
+    fn lock_unwrap_multiline_still_caught() {
+        assert_eq!(
+            rules_hit("crates/x/src/a.rs", "m\n  .lock()\n  .unwrap();"),
+            ["lock-poison"]
+        );
+        assert!(rules_hit(
+            "crates/x/src/a.rs",
+            "m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unsafe_needs_nearby_safety_comment() {
+        assert_eq!(
+            rules_hit("crates/x/src/a.rs", "unsafe { go() }"),
+            ["unsafe-audit"]
+        );
+        assert!(rules_hit(
+            "crates/x/src/a.rs",
+            "// SAFETY: slot is in bounds by construction\nunsafe { go() }"
+        )
+        .is_empty());
+        // Too far away does not count.
+        assert_eq!(
+            rules_hit(
+                "crates/x/src/a.rs",
+                "// SAFETY: stale\n\n\n\n\nunsafe { go() }"
+            ),
+            ["unsafe-audit"]
+        );
+    }
+
+    #[test]
+    fn hot_fence_flags_allocs_only_inside() {
+        let src = "let a = Vec::new();\n// lint:hot\nlet b = Vec::new();\nlet c = x.clone();\n// lint:endhot\nlet d = format!(\"x\");\n";
+        let v = lint_source("crates/x/src/a.rs", src);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 3);
+        assert_eq!(v[1].line, 4);
+    }
+
+    #[test]
+    fn allow_requires_justification() {
+        let src = "// lint:allow(determinism-hashmap)\nuse std::collections::HashMap;\n";
+        assert_eq!(rules_hit("crates/x/src/a.rs", src), [SUPPRESSION_HYGIENE]);
+        let src =
+            "// lint:allow(determinism-hashmap): CLI flag table, order never observed\nuse std::collections::HashMap;\n";
+        assert!(rules_hit("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_file_and_trailing_allow() {
+        let src = "//! lint:allow-file(determinism-wallclock): example measures wall time\nuse std::time::Instant;\nlet t = Instant::now();\n";
+        assert!(rules_hit("crates/core/examples/e.rs", src).is_empty());
+        let src = "let m = x.lock().unwrap(); // lint:allow(lock-poison): single-threaded test\n";
+        assert!(rules_hit("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_and_unbalanced_fence_are_hygiene() {
+        assert_eq!(
+            rules_hit(
+                "crates/x/src/a.rs",
+                "// lint:allow(no-such-rule): because\n"
+            ),
+            [SUPPRESSION_HYGIENE]
+        );
+        assert_eq!(
+            rules_hit("crates/x/src/a.rs", "// lint:hot\nlet x = 1;\n"),
+            [SUPPRESSION_HYGIENE]
+        );
+        assert_eq!(
+            rules_hit("crates/x/src/a.rs", "// lint:endhot\n"),
+            [SUPPRESSION_HYGIENE]
+        );
+    }
+
+    #[test]
+    fn directives_inside_strings_are_inert() {
+        let src = "let s = \"// lint:allow(determinism-hashmap): nope\";\nuse std::collections::HashMap;\n";
+        assert_eq!(rules_hit("crates/x/src/a.rs", src), ["determinism-hashmap"]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Golden tests over the fixture corpus under `tests/fixtures/`.
+//!
+//! Each rule has one clean fixture (the engine must stay silent) and one
+//! violating fixture whose `.expected` sidecar pins the exact
+//! `line:col rule` set the engine must report. Fixtures are linted under
+//! a *pretend* workspace-relative path so the path-scoped rules
+//! (wall-clock crates, the fxmap/env home exemptions) engage exactly as
+//! they would on real sources; the workspace walker skips this directory,
+//! so the deliberate violations never pollute a real `--check` run.
+
+use gals_lint::rules::lint_source;
+use std::fs;
+use std::path::PathBuf;
+
+/// (fixture file, pretend workspace-relative path it is linted under).
+/// The paths put each fixture where its rule actually bites: wall-clock
+/// fixtures inside `crates/core/`, the rest anywhere outside the
+/// exempted home modules.
+const GOOD: &[(&str, &str)] = &[
+    ("determinism_hashmap_good.rs", "crates/serve/src/fixture.rs"),
+    (
+        "determinism_wallclock_good.rs",
+        "crates/core/src/fixture.rs",
+    ),
+    ("env_discipline_good.rs", "crates/explore/src/fixture.rs"),
+    ("lock_poison_good.rs", "crates/explore/src/fixture.rs"),
+    ("unsafe_audit_good.rs", "crates/core/tests/fixture.rs"),
+    ("hot_path_alloc_good.rs", "crates/core/src/fixture.rs"),
+    ("suppression_hygiene_good.rs", "crates/serve/src/fixture.rs"),
+];
+
+const BAD: &[(&str, &str)] = &[
+    ("determinism_hashmap_bad.rs", "crates/serve/src/fixture.rs"),
+    ("determinism_wallclock_bad.rs", "crates/core/src/fixture.rs"),
+    ("env_discipline_bad.rs", "crates/explore/src/fixture.rs"),
+    ("lock_poison_bad.rs", "crates/explore/src/fixture.rs"),
+    ("unsafe_audit_bad.rs", "crates/core/tests/fixture.rs"),
+    ("hot_path_alloc_bad.rs", "crates/core/src/fixture.rs"),
+    ("suppression_hygiene_bad.rs", "crates/serve/src/fixture.rs"),
+];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn lint_fixture(file: &str, pretend: &str) -> String {
+    let src = fs::read_to_string(fixture_dir().join(file))
+        .unwrap_or_else(|e| panic!("read fixture {file}: {e}"));
+    let mut out = String::new();
+    for v in lint_source(pretend, &src) {
+        out.push_str(&format!("{}:{} {}\n", v.line, v.col, v.rule));
+    }
+    out
+}
+
+#[test]
+fn good_fixtures_are_clean() {
+    for (file, pretend) in GOOD {
+        let got = lint_fixture(file, pretend);
+        assert!(
+            got.is_empty(),
+            "{file} (as {pretend}) should be clean but reported:\n{got}"
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_match_goldens() {
+    for (file, pretend) in BAD {
+        let got = lint_fixture(file, pretend);
+        assert!(!got.is_empty(), "{file} (as {pretend}) reported nothing");
+        let golden_path = fixture_dir().join(file.replace(".rs", ".expected"));
+        let want = fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("read golden {}: {e}", golden_path.display()));
+        assert_eq!(
+            got, want,
+            "{file} (as {pretend}) diverged from its golden; actual output:\n{got}"
+        );
+    }
+}
+
+/// The same bad fixtures linted under paths where their rule does not
+/// apply must be clean: scoping is as much a part of each rule as the
+/// match itself.
+#[test]
+fn path_scoping_neutralizes_scoped_rules() {
+    for (file, exempt) in [
+        // Wall-clock reads are legal outside the simulation crates.
+        (
+            "determinism_wallclock_bad.rs",
+            "crates/bench/src/fixture.rs",
+        ),
+        // The seeded-map module itself must name HashMap to wrap it.
+        ("determinism_hashmap_bad.rs", "crates/common/src/fxmap.rs"),
+        // The env wrapper is the one sanctioned std::env call site.
+        ("env_discipline_bad.rs", "crates/common/src/env.rs"),
+    ] {
+        let got = lint_fixture(file, exempt);
+        assert!(
+            got.is_empty(),
+            "{file} under exempt path {exempt} should be clean but reported:\n{got}"
+        );
+    }
+}

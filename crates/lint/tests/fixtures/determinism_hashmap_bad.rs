@@ -1,0 +1,7 @@
+// Fixture: unseeded std maps — every identifier occurrence is flagged.
+use std::collections::{HashMap, HashSet};
+
+pub fn build() -> HashMap<String, u32> {
+    let _dedup: HashSet<u32> = HashSet::new();
+    HashMap::new()
+}

@@ -1,0 +1,19 @@
+// Fixture: seeded FxHash maps everywhere — the engine must stay silent.
+use gals_common::fxmap::{FxHashMap, FxHashSet};
+
+pub fn histogram(xs: &[u32]) -> FxHashMap<u32, u32> {
+    let mut h = FxHashMap::default();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}
+
+pub fn members(xs: &[u32]) -> FxHashSet<u32> {
+    xs.iter().copied().collect()
+}
+
+pub fn prose() -> &'static str {
+    // A HashMap mentioned in a comment is documentation, not code.
+    "HashMap and HashSet inside string literals are data"
+}

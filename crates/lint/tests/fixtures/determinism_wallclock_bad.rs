@@ -1,0 +1,6 @@
+// Fixture: host wall-clock reads inside a determinism-critical crate.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

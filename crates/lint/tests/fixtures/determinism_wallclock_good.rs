@@ -1,0 +1,10 @@
+// Fixture: simulated time only — femtosecond counters, no host clocks.
+
+pub type Femtos = u64;
+
+pub fn advance(now: Femtos, step: Femtos) -> Femtos {
+    // Instant and SystemTime in prose must not trip the scoped rule.
+    now + step
+}
+
+pub const DOC: &str = "Instant::now() spelled inside a string is inert";

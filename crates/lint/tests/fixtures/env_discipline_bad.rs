@@ -1,0 +1,12 @@
+// Fixture: raw std::env reads silently swallow malformed overrides.
+
+pub fn window() -> u64 {
+    std::env::var("GALS_FIXTURE_WINDOW")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000)
+}
+
+pub fn poke() {
+    std::env::set_var("GALS_FIXTURE_FLAG", "1");
+}

@@ -1,0 +1,13 @@
+// Fixture: all environment access flows through gals_common::env.
+
+pub fn window() -> u64 {
+    gals_common::env::parse_env_or("GALS_FIXTURE_WINDOW", 40_000)
+}
+
+pub fn cache_path() -> Option<String> {
+    gals_common::env::var("GALS_FIXTURE_CACHE")
+}
+
+pub fn subset() -> bool {
+    gals_common::env::flag("GALS_FIXTURE_SUBSET")
+}

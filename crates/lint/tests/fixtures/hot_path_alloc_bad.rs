@@ -1,0 +1,12 @@
+// Fixture: allocating constructs inside the hot fence — all flagged.
+
+pub fn step(names: &[&str]) -> usize {
+    let mut total = 0;
+    // lint:hot
+    let scratch: Vec<u32> = Vec::new();
+    let copies: Vec<String> = names.iter().map(|n| n.to_string()).collect();
+    let label = format!("{} entries", copies.len());
+    total += scratch.len() + label.len();
+    // lint:endhot
+    total
+}

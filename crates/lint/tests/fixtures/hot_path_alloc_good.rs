@@ -1,0 +1,28 @@
+// Fixture: the fenced region only reuses preallocated storage;
+// allocation before the fence (construction) is legal.
+
+pub struct Ring {
+    slots: Vec<u32>,
+    head: usize,
+}
+
+impl Ring {
+    pub fn with_capacity(cap: usize) -> Ring {
+        Ring {
+            slots: vec![0; cap],
+            head: 0,
+        }
+    }
+
+    // lint:hot — steady-state stepping must not touch the allocator.
+    pub fn push(&mut self, x: u32) {
+        let i = self.head % self.slots.len();
+        self.slots[i] = x;
+        self.head += 1;
+    }
+    // lint:endhot
+
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.slots.clone()
+    }
+}

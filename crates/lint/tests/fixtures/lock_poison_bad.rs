@@ -1,0 +1,12 @@
+// Fixture: .lock().unwrap() panics forever after one poisoned lock.
+use std::sync::Mutex;
+
+pub fn push(m: &Mutex<Vec<u32>>, x: u32) {
+    m.lock().unwrap().push(x);
+}
+
+pub fn len(m: &Mutex<Vec<u32>>) -> usize {
+    m.lock()
+        .unwrap()
+        .len()
+}

@@ -1,0 +1,7 @@
+// Fixture: poisoned locks are recovered, not propagated.
+use std::sync::{Mutex, PoisonError};
+
+pub fn drain(m: &Mutex<Vec<u32>>) -> Vec<u32> {
+    let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    std::mem::take(&mut *g)
+}

@@ -1,0 +1,5 @@
+// Fixture: malformed directives are violations in their own right.
+// lint:allow(determinism-hashmap)
+// lint:allow(no-such-rule): the rule name is wrong
+// lint:frobnicate
+// lint:endhot

@@ -1,0 +1,7 @@
+// Fixture: a well-formed suppression with a justification is silent.
+// lint:allow-file(determinism-hashmap): fixture demonstrates the allow grammar
+use std::collections::HashMap;
+
+pub fn flags() -> HashMap<String, String> {
+    HashMap::new()
+}

@@ -1,0 +1,5 @@
+// Fixture: unchecked access with no SAFETY justification anywhere near.
+
+pub fn first(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(0) }
+}

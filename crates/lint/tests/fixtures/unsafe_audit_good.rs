@@ -1,0 +1,7 @@
+// Fixture: every unsafe block states the invariant that makes it sound.
+
+pub fn first(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}

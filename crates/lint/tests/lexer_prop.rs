@@ -1,0 +1,92 @@
+//! Property test: rule keywords hidden inside comments, strings, and raw
+//! strings must never tokenize as code.
+//!
+//! Every rule matcher keys off `Ident` tokens, so the lexer's whole job
+//! is to keep `HashMap` inside a nested block comment (or `Instant`
+//! inside a raw string) from ever *becoming* an `Ident`. The property
+//! embeds each keyword in every hiding construct with random padding and
+//! asserts (a) no identifier token carries the keyword and (b) the rule
+//! engine stays silent on a path where the keyword would otherwise fire.
+//! A positive control asserts the same keyword in plain code *does*
+//! tokenize, so a lexer that swallowed everything could not pass.
+
+use gals_lint::lexer::{lex, TokKind};
+use gals_lint::rules::lint_source;
+use proptest::prelude::*;
+
+/// Identifiers at least one rule matcher keys off.
+const KEYWORDS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "Instant",
+    "SystemTime",
+    "unsafe",
+    "format",
+    "collect",
+    "to_string",
+];
+
+/// Wraps `kw` (with `pad` junk identifiers around it) in hiding
+/// construct `mode`, inside an otherwise-clean code scaffold.
+fn hide(kw: &str, mode: usize, pad: u8) -> String {
+    let p = "x".repeat(1 + (pad % 5) as usize);
+    let body = format!("{p} {kw} {p}");
+    let hidden = match mode {
+        0 => format!("// {body}\n"),
+        1 => format!("/// {body}\n"),
+        2 => format!("/* {body} */\n"),
+        3 => format!("/* {p} /* {body} */ {p} */\n"),
+        4 => format!("let s = \"{body}\";\n"),
+        5 => {
+            let hashes = "#".repeat((pad % 4) as usize);
+            format!("let s = r{hashes}\"{body}\"{hashes};\n")
+        }
+        _ => format!("let s = b\"{body}\";\n"),
+    };
+    format!("let before = 1;\n{hidden}let after = 2;\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn hidden_keywords_never_tokenize_as_code(
+        kw in prop::sample::select(KEYWORDS.to_vec()),
+        mode in 0usize..7,
+        pad in 0u8..255,
+    ) {
+        let src = hide(kw, mode, pad);
+        let leaked: Vec<_> = lex(&src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text == kw)
+            .collect();
+        prop_assert!(
+            leaked.is_empty(),
+            "keyword {kw:?} leaked out of hiding mode {mode} in {src:?}: {leaked:?}"
+        );
+        // The scoped path makes every keyword rule-relevant: a mis-lex
+        // would surface as a violation.
+        let violations = lint_source("crates/core/src/prop_fixture.rs", &src);
+        prop_assert!(
+            violations.is_empty(),
+            "hidden {kw:?} (mode {mode}) tripped rules in {src:?}: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn plain_keywords_do_tokenize(
+        kw in prop::sample::select(KEYWORDS.to_vec()),
+        pad in 0u8..255,
+    ) {
+        // Positive control: outside any hiding construct the keyword
+        // must come back as an identifier token.
+        let p = "y".repeat(1 + (pad % 5) as usize);
+        let src = format!("let {p} = {kw};\n");
+        prop_assert!(
+            lex(&src)
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == kw),
+            "keyword {kw:?} failed to tokenize in plain code {src:?}"
+        );
+    }
+}

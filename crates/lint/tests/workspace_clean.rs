@@ -1,0 +1,27 @@
+//! The self-audit: the workspace that ships this linter must itself be
+//! lint-clean. Running this as an ordinary integration test makes
+//! `cargo test` enforce the invariant even where the dedicated CI job
+//! does not run (local development, downstream forks).
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    // crates/lint/../.. is the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/lint")
+        .to_path_buf();
+    let report = gals_lint::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report.render_text()
+    );
+}

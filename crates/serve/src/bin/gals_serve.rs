@@ -16,7 +16,7 @@ use gals_serve::{ServeConfig, Server};
 
 fn main() -> std::io::Result<()> {
     let mut cfg = ServeConfig::from_env();
-    if std::env::var("GALS_SERVE_ADDR").is_err() {
+    if gals_common::env::var("GALS_SERVE_ADDR").is_none() {
         cfg.addr = "127.0.0.1:7411".to_string();
     }
     let server = Server::start(cfg)?;

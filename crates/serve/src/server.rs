@@ -66,24 +66,18 @@ impl ServeConfig {
     /// standard file (`target/gals-serve-cache.json`); an *empty* one
     /// selects in-memory-only operation.
     pub fn from_env() -> Self {
+        use gals_common::env::{parse_env_or, var};
         let mut cfg = ServeConfig::default();
-        if let Ok(addr) = std::env::var("GALS_SERVE_ADDR") {
+        if let Some(addr) = var("GALS_SERVE_ADDR") {
             cfg.addr = addr;
         }
-        let env_u64 = |name: &str| std::env::var(name).ok().and_then(|v| v.parse().ok());
-        if let Some(w) = env_u64("GALS_SERVE_WORKERS") {
-            cfg.workers = w as usize;
-        }
-        if let Some(w) = env_u64("GALS_SERVE_WINDOW") {
-            cfg.default_window = w;
-        }
-        if let Some(a) = env_u64("GALS_SERVE_AGING") {
-            cfg.aging_step = a;
-        }
-        cfg.cache_path = match std::env::var("GALS_SERVE_CACHE") {
-            Ok(path) if path.is_empty() => None,
-            Ok(path) => Some(path),
-            Err(_) => Some("target/gals-serve-cache.json".to_string()),
+        cfg.workers = parse_env_or("GALS_SERVE_WORKERS", cfg.workers);
+        cfg.default_window = parse_env_or("GALS_SERVE_WINDOW", cfg.default_window);
+        cfg.aging_step = parse_env_or("GALS_SERVE_AGING", cfg.aging_step);
+        cfg.cache_path = match var("GALS_SERVE_CACHE") {
+            Some(path) if path.is_empty() => None,
+            Some(path) => Some(path),
+            None => Some("target/gals-serve-cache.json".to_string()),
         };
         cfg
     }
