@@ -15,13 +15,40 @@
 //! hand against one server. Prints one line per streamed frame
 //! (tab-separated key / runtime / cache flag, or `key\texpired`) and
 //! exits non-zero on protocol errors.
+//!
+//! # Load-generator mode
+//!
+//! `--connections N` switches to connection-scale load generation: N
+//! concurrent connections each issue `--requests R` copies of the
+//! request (unique ids), keeping up to `--inflight K` pipelined per
+//! connection, and the summary reports throughput plus
+//! p50/p95/p99/p99.9 send→done latency:
+//!
+//! ```text
+//! serve_client --addr 127.0.0.1:7411 --op run_config --bench gzip \
+//!     --mode prog --cfg 7 --window 2000 \
+//!     --connections 64 --inflight 4 --requests 8
+//! ```
+//!
+//! Exit is non-zero if any connection fails to open, any request loses
+//! its `done`, or any frame violates the protocol — so CI can use a
+//! load run as a smoke gate.
 
+use std::net::ToSocketAddrs;
 use std::process::ExitCode;
 
+use gals_bench::loadgen::{run_load, LoadSpec};
 use gals_common::fxmap::FxHashMap;
 use gals_serve::{Client, Priority, Request, RequestKind, Response};
 
-fn parse_args() -> Result<(String, Request), String> {
+/// `--connections N --inflight K --requests R`, when in load-gen mode.
+struct LoadFlags {
+    connections: usize,
+    inflight: usize,
+    requests: usize,
+}
+
+fn parse_args() -> Result<(String, Request, Option<LoadFlags>), String> {
     let mut flags: FxHashMap<String, String> = FxHashMap::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -54,6 +81,36 @@ fn parse_args() -> Result<(String, Request), String> {
             d.parse::<u64>()
                 .map_err(|_| "--deadline-ms must be an integer")?,
         ),
+    };
+    let count = |flags: &mut FxHashMap<String, String>, key: &str, default: usize| match flags
+        .remove(key)
+    {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--{key} must be a positive integer")),
+    };
+    let load = match flags.remove("connections") {
+        None => {
+            if flags.contains_key("inflight") || flags.contains_key("requests") {
+                return Err("--inflight/--requests need --connections".to_string());
+            }
+            None
+        }
+        Some(c) => {
+            let connections = c
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or("--connections must be a positive integer")?;
+            Some(LoadFlags {
+                connections,
+                inflight: count(&mut flags, "inflight", 1)?,
+                requests: count(&mut flags, "requests", 8)?,
+            })
+        }
     };
     let bench = |flags: &mut FxHashMap<String, String>| {
         flags.remove("bench").ok_or("missing --bench".to_string())
@@ -101,17 +158,72 @@ fn parse_args() -> Result<(String, Request), String> {
             deadline_ms,
             kind,
         },
+        load,
     ))
 }
 
+/// Connection-scale load generation (`--connections`): the parsed
+/// request becomes the template every connection replays.
+fn run_load_mode(addr: &str, request: Request, load: &LoadFlags) -> ExitCode {
+    if matches!(request.kind, RequestKind::Status) {
+        eprintln!("serve_client: --connections needs a work request, not --op status");
+        return ExitCode::FAILURE;
+    }
+    let Some(sock_addr) = addr.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+        eprintln!("serve_client: cannot resolve {addr}");
+        return ExitCode::FAILURE;
+    };
+    let expected = load.connections * load.requests;
+    let report = run_load(&LoadSpec {
+        addr: sock_addr,
+        connections: load.connections,
+        inflight: load.inflight,
+        requests_per_conn: load.requests,
+        kinds: vec![request.kind],
+        priority: request.priority,
+        deadline_ms: request.deadline_ms,
+        id_prefix: request.id,
+    });
+    println!(
+        "connections\t{}\tinflight\t{}\trequests\t{expected}",
+        load.connections, load.inflight
+    );
+    println!(
+        "completed\t{}\tframes\t{}\twall_s\t{:.3}\tthroughput_rps\t{:.1}",
+        report.completed,
+        report.frames,
+        report.wall_s,
+        report.throughput_rps()
+    );
+    println!(
+        "latency_ms\tp50\t{:.2}\tp95\t{:.2}\tp99\t{:.2}\tp99.9\t{:.2}",
+        report.percentile_ms(50.0),
+        report.percentile_ms(95.0),
+        report.percentile_ms(99.0),
+        report.percentile_ms(99.9)
+    );
+    if !report.clean(expected) {
+        eprintln!(
+            "serve_client: load run failed: {} protocol errors, {} connect failures, \
+             {}/{expected} completed",
+            report.protocol_errors, report.connect_failures, report.completed
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    let (addr, request) = match parse_args() {
+    let (addr, request, load) = match parse_args() {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("serve_client: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(load) = load {
+        return run_load_mode(&addr, request, &load);
+    }
     let mut client = match Client::connect(&addr) {
         Ok(c) => c,
         Err(e) => {

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod artifacts;
+pub mod loadgen;
 
 use std::fmt::Display;
 

@@ -1,0 +1,233 @@
+//! Connection-scale load generation against a `gals-serve` server.
+//!
+//! One machinery for both entry points: `serve_client
+//! --connections N --inflight K` (ad-hoc load from the CLI) and
+//! `serve_bench`'s connection-scaling phase (the committed artifact).
+//! Each of N worker threads owns one TCP connection and keeps up to K
+//! requests in flight on it, measuring every request's send→`done`
+//! latency; the report aggregates throughput, nearest-rank latency
+//! percentiles (p50/p95/p99/p99.9 — the tails are where a
+//! thread-per-connection transport drowns first), and a strict
+//! protocol-error count (error frames, frames for unknown ids, I/O
+//! failures, lost `done`s). A run with a nonzero error count is not a
+//! slower run — it is a failed one, and callers gate on it.
+
+use std::net::SocketAddr;
+use std::sync::Barrier;
+use std::time::Instant;
+
+use gals_common::fxmap::FxHashMap;
+use gals_serve::{Client, Priority, Request, RequestKind, Response};
+
+/// What to drive at the server: the request mix and the shape of the
+/// connection fleet.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent connections (threads), at least 1.
+    pub connections: usize,
+    /// Max requests in flight per connection, at least 1.
+    pub inflight: usize,
+    /// Requests issued per connection.
+    pub requests_per_conn: usize,
+    /// Request kinds, cycled per request (index `j % kinds.len()` on
+    /// every connection — so the mix is identical across connections).
+    pub kinds: Vec<RequestKind>,
+    /// Priority applied to every request.
+    pub priority: Priority,
+    /// Deadline applied to every request.
+    pub deadline_ms: Option<u64>,
+    /// Id prefix (ids are `"{prefix}-c{conn}-{j}"`, unique per run as
+    /// long as the prefix is).
+    pub id_prefix: String,
+}
+
+/// Aggregated outcome of one load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests that completed with a `done` frame.
+    pub completed: usize,
+    /// Total `partial`/`expired` frames received.
+    pub frames: usize,
+    /// Protocol violations: `error` frames, frames for unknown ids,
+    /// I/O errors, connections lost with requests still owed.
+    pub protocol_errors: usize,
+    /// Connections that failed to open.
+    pub connect_failures: usize,
+    /// Wall time for the whole fleet, seconds.
+    pub wall_s: f64,
+    /// Per-request send→`done` latency in milliseconds, sorted.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl LoadReport {
+    /// Completed requests per second of wall time.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.wall_s
+    }
+
+    /// Nearest-rank latency percentile in milliseconds.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        percentile(&self.latencies_ms, p)
+    }
+
+    /// True when every request completed and nothing violated the
+    /// protocol — the bar a transport must clear for a configuration
+    /// to count as *viable* at this connection count.
+    pub fn clean(&self, expected: usize) -> bool {
+        self.protocol_errors == 0 && self.connect_failures == 0 && self.completed == expected
+    }
+}
+
+/// Nearest-rank percentile (`p` in 0..=100) of an already-sorted slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Outcome of one connection's stream.
+struct ConnOutcome {
+    completed: usize,
+    frames: usize,
+    protocol_errors: usize,
+    latencies_ms: Vec<f64>,
+}
+
+/// Runs the load and blocks until every connection finishes.
+///
+/// # Panics
+///
+/// Panics if `spec.kinds` is empty.
+pub fn run_load(spec: &LoadSpec) -> LoadReport {
+    assert!(!spec.kinds.is_empty(), "load spec needs at least one kind");
+    let connections = spec.connections.max(1);
+    let inflight = spec.inflight.max(1);
+    // Open every connection before the clock starts: a C-sized connect
+    // storm can overflow the listen backlog, and the resulting SYN
+    // retransmits (≈1 s) would be billed to request throughput even
+    // though no request was in flight. Every connection thread —
+    // including ones that failed to connect — meets the barrier, then
+    // the coordinator takes t0 and the fleet starts sending.
+    let start = Barrier::new(connections + 1);
+    let start = &start;
+    let (outcomes, wall_s) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                scope.spawn(move || {
+                    let client = Client::connect(spec.addr).ok();
+                    start.wait();
+                    client.map(|client| drive_connection(spec, client, c, inflight))
+                })
+            })
+            .collect();
+        start.wait();
+        let t0 = Instant::now();
+        let outcomes: Vec<Option<ConnOutcome>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (outcomes, t0.elapsed().as_secs_f64())
+    });
+
+    let mut report = LoadReport {
+        completed: 0,
+        frames: 0,
+        protocol_errors: 0,
+        connect_failures: 0,
+        wall_s,
+        latencies_ms: Vec::new(),
+    };
+    for outcome in outcomes {
+        match outcome {
+            None => report.connect_failures += 1,
+            Some(o) => {
+                report.completed += o.completed;
+                report.frames += o.frames;
+                report.protocol_errors += o.protocol_errors;
+                report.latencies_ms.extend(o.latencies_ms);
+            }
+        }
+    }
+    report.latencies_ms.sort_by(f64::total_cmp);
+    report
+}
+
+/// One connection: pipeline up to `inflight` requests, account every
+/// frame against its in-flight id, record send→`done` latencies.
+fn drive_connection(
+    spec: &LoadSpec,
+    mut client: Client,
+    conn: usize,
+    inflight: usize,
+) -> ConnOutcome {
+    let mut out = ConnOutcome {
+        completed: 0,
+        frames: 0,
+        protocol_errors: 0,
+        latencies_ms: Vec::new(),
+    };
+    let mut sent_at: FxHashMap<String, Instant> = FxHashMap::default();
+    let mut next = 0usize;
+    let total = spec.requests_per_conn;
+    let send_one = |client: &mut Client, sent_at: &mut FxHashMap<String, Instant>, j: usize| {
+        let mut req = Request::new(
+            format!("{}-c{conn}-{j}", spec.id_prefix),
+            spec.kinds[j % spec.kinds.len()].clone(),
+        );
+        req.priority = spec.priority;
+        req.deadline_ms = spec.deadline_ms;
+        let ok = client.send(&req).is_ok();
+        if ok {
+            sent_at.insert(req.id, Instant::now());
+        }
+        ok
+    };
+    while next < total && next < inflight {
+        if !send_one(&mut client, &mut sent_at, next) {
+            out.protocol_errors += 1;
+            return out;
+        }
+        next += 1;
+    }
+    while !sent_at.is_empty() {
+        let resp = match client.read_response() {
+            Ok(resp) => resp,
+            Err(_) => {
+                // Requests still owed frames: each is a violation.
+                out.protocol_errors += sent_at.len();
+                return out;
+            }
+        };
+        let id = resp.id().to_string();
+        if !sent_at.contains_key(&id) {
+            out.protocol_errors += 1;
+            continue;
+        }
+        match resp {
+            Response::Partial { .. } | Response::Expired { .. } => out.frames += 1,
+            Response::Done { .. } => {
+                let started = sent_at.remove(&id).expect("checked above");
+                out.latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+                out.completed += 1;
+                if next < total {
+                    if !send_one(&mut client, &mut sent_at, next) {
+                        out.protocol_errors += 1;
+                        return out;
+                    }
+                    next += 1;
+                }
+            }
+            Response::Error { .. } | Response::Status { .. } => {
+                // Neither belongs in a work stream.
+                sent_at.remove(&id);
+                out.protocol_errors += 1;
+            }
+        }
+    }
+    out
+}

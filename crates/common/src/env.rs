@@ -80,6 +80,48 @@ where
     }
 }
 
+/// Reads `name` as a comma-separated list of `T` (e.g.
+/// `GALS_SERVE_BENCH_CONNS=8,64,256`).
+///
+/// Same contract as [`parse_env_or`], applied to the whole list: unset
+/// → `default` silently; any malformed or empty element rejects the
+/// entire override with one loud warning (a half-applied list would be
+/// worse than either extreme — the operator would get a grid they
+/// never asked for).
+pub fn parse_list_or<T>(name: &str, default: &[T]) -> Vec<T>
+where
+    T: FromStr + Display + Clone,
+{
+    match std::env::var(name) {
+        Err(_) => default.to_vec(),
+        Ok(raw) => parse_list_value_or(name, &raw, default),
+    }
+}
+
+/// The value-level half of [`parse_list_or`] (see [`parse_value_or`]
+/// for why the split exists).
+pub fn parse_list_value_or<T>(name: &str, raw: &str, default: &[T]) -> Vec<T>
+where
+    T: FromStr + Display + Clone,
+{
+    let parsed: Result<Vec<T>, ()> = raw
+        .split(',')
+        .map(|part| part.trim().parse::<T>().map_err(|_| ()))
+        .collect();
+    match parsed {
+        Ok(values) if !values.is_empty() => values,
+        _ => {
+            let shown: Vec<String> = default.iter().map(ToString::to_string).collect();
+            eprintln!(
+                "warning: ignoring malformed {name}={raw:?}: expected a comma-separated \
+                 list like {}; using default",
+                shown.join(",")
+            );
+            default.to_vec()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +140,20 @@ mod tests {
         assert_eq!(parse_value_or("X", "-3", 7u64), 7);
         assert_eq!(parse_value_or("X", "1e6", 7u64), 7);
         assert_eq!(parse_value_or("X", "4096k", 7usize), 7);
+    }
+
+    #[test]
+    fn parses_well_formed_lists() {
+        assert_eq!(parse_list_value_or("X", "8,64,256", &[1u64]), [8, 64, 256]);
+        assert_eq!(parse_list_value_or("X", " 8 , 64 ", &[1u64]), [8, 64]);
+        assert_eq!(parse_list_value_or("X", "42", &[1u64]), [42]);
+    }
+
+    #[test]
+    fn malformed_lists_fall_back_whole() {
+        assert_eq!(parse_list_value_or("X", "8,sixty,256", &[1u64, 2]), [1, 2]);
+        assert_eq!(parse_list_value_or("X", "8,,256", &[1u64, 2]), [1, 2]);
+        assert_eq!(parse_list_value_or("X", "", &[1u64, 2]), [1, 2]);
     }
 
     #[test]

@@ -640,6 +640,19 @@ impl SweepEngine {
         self.traces.builds.load(Ordering::Relaxed)
     }
 
+    /// Names of the benchmarks currently resident in the trace pool,
+    /// least-recently-used first. Residency introspection for the
+    /// serve fleet's shard-disjointness assertions and observability;
+    /// the entry list is tiny (see [`TracePool`]), so snapshotting it
+    /// under the lock is cheap.
+    pub fn trace_pool_benchmarks(&self) -> Vec<String> {
+        self.traces
+            .lock()
+            .iter()
+            .map(|e| e.spec.name().to_string())
+            .collect()
+    }
+
     /// Chunk turns answered by splicing a memoized interval snapshot
     /// instead of re-stepping the interval.
     pub fn interval_memo_hits(&self) -> u64 {

@@ -25,6 +25,7 @@ const GOOD: &[(&str, &str)] = &[
     ("env_discipline_good.rs", "crates/explore/src/fixture.rs"),
     ("lock_poison_good.rs", "crates/explore/src/fixture.rs"),
     ("unsafe_audit_good.rs", "crates/core/tests/fixture.rs"),
+    ("unsafe_extern_good.rs", "crates/serve/src/fixture.rs"),
     ("hot_path_alloc_good.rs", "crates/core/src/fixture.rs"),
     ("suppression_hygiene_good.rs", "crates/serve/src/fixture.rs"),
 ];
@@ -35,6 +36,7 @@ const BAD: &[(&str, &str)] = &[
     ("env_discipline_bad.rs", "crates/explore/src/fixture.rs"),
     ("lock_poison_bad.rs", "crates/explore/src/fixture.rs"),
     ("unsafe_audit_bad.rs", "crates/core/tests/fixture.rs"),
+    ("unsafe_extern_bad.rs", "crates/serve/src/fixture.rs"),
     ("hot_path_alloc_bad.rs", "crates/core/src/fixture.rs"),
     ("suppression_hygiene_bad.rs", "crates/serve/src/fixture.rs"),
 ];

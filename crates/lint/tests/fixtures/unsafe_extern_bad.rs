@@ -1,0 +1,17 @@
+// Fixture: the same FFI surface with no justification anywhere — the
+// `unsafe extern` block and both call sites must each be flagged.
+
+use std::os::raw::c_int;
+
+unsafe extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+pub fn poller() -> i32 {
+    unsafe { epoll_create1(0) }
+}
+
+pub fn close_fd(fd: i32) {
+    unsafe { close(fd) };
+}

@@ -1,0 +1,32 @@
+// Fixture: a raw-syscall FFI surface in the serve sys-module idiom —
+// the `unsafe extern` declaration block and every call site each carry
+// a SAFETY comment stating the invariant that makes them sound.
+
+use std::os::raw::{c_int, c_void};
+
+// SAFETY: signatures mirror the kernel ABI for these syscalls exactly
+// (checked against the man pages); linking them is sound and each
+// call site below upholds its per-call contract.
+unsafe extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+pub fn poller() -> Option<i32> {
+    // SAFETY: epoll_create1 has no memory preconditions; the returned
+    // fd is owned by the caller, who is responsible for closing it.
+    let fd = unsafe { epoll_create1(0) };
+    (fd >= 0).then_some(fd)
+}
+
+pub fn read_some(fd: i32, buf: &mut [u8]) -> isize {
+    // SAFETY: the pointer and length come from a live, exclusively
+    // borrowed slice, so the kernel writes only into owned memory.
+    unsafe { read(fd, buf.as_mut_ptr().cast(), buf.len()) }
+}
+
+pub fn close_fd(fd: i32) {
+    // SAFETY: the caller owns fd and never uses it after this call.
+    unsafe { close(fd) };
+}

@@ -1,16 +1,20 @@
 //! A small blocking client for the `gals-serve` wire protocol, used by
 //! the CLI, the benchmark harness, and the protocol tests.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{BoundedLineReader, LineRead, Request, Response, MAX_LINE_LEN};
 
 /// A blocking connection to a `gals-serve` server.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Reused across responses (no per-line `String` allocation) and
+    /// length-bounded: a malformed giant line from a confused server
+    /// errors out instead of growing memory without bound.
+    lines: BoundedLineReader,
 }
 
 impl Client {
@@ -27,6 +31,7 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            lines: BoundedLineReader::new(),
         })
     }
 
@@ -56,15 +61,18 @@ impl Client {
     ///
     /// I/O errors, a closed connection, or an unparseable line.
     pub fn read_response(&mut self) -> std::io::Result<Response> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
+        match self.lines.read_line(&mut self.reader)? {
+            LineRead::Eof => Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
-            ));
+            )),
+            LineRead::TooLong => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("response line exceeds {MAX_LINE_LEN} bytes"),
+            )),
+            LineRead::Line => Response::parse(&self.lines.line())
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
         }
-        Response::parse(&line).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
     /// Sends `req` and collects its full response stream: every

@@ -51,9 +51,15 @@
 
 mod client;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+mod reactor;
+pub mod router;
 mod server;
+#[cfg(target_os = "linux")]
+mod sys;
 
 pub use client::Client;
 pub use gals_explore::Priority;
 pub use protocol::{Request, RequestKind, Response};
-pub use server::{ServeConfig, Server};
+pub use router::{RoutedClient, ShardRouter, ShardedFleet};
+pub use server::{ServeConfig, Server, Transport};

@@ -32,11 +32,133 @@
 //! single line with an `error` field. `status` answers with counters
 //! and `done`.
 
+use std::borrow::Cow;
+use std::io::BufRead;
 use std::str::FromStr;
 
 use gals_core::ControlPolicy;
 use gals_explore::json::{parse_flat_object, JsonValue, ObjectWriter};
 use gals_explore::Priority;
+
+/// Upper bound on one wire line, enforced on both ends: the server
+/// rejects longer request lines with an error frame (and a client
+/// refuses longer response lines) instead of buffering them
+/// unboundedly. Generously above the largest legitimate frame — a
+/// `partial` line is ~100 bytes and request lines are smaller still.
+pub const MAX_LINE_LEN: usize = 64 * 1024;
+
+/// Outcome of one [`BoundedLineReader::read_line`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineRead {
+    /// A complete line is available via [`BoundedLineReader::line`].
+    Line,
+    /// A line exceeded [`MAX_LINE_LEN`] and was discarded whole (its
+    /// bytes were dropped through the terminating newline).
+    TooLong,
+    /// The stream ended. Bytes of an unterminated final line, if any,
+    /// remain readable via [`BoundedLineReader::partial`].
+    Eof,
+}
+
+/// A reusable, length-bounded line reader for the wire protocol.
+///
+/// Replaces per-line `String::new()` + `read_line` on both wire ends:
+/// the internal buffer is reused across lines (steady-state reads
+/// allocate nothing once it has grown to the working line length), and
+/// a line longer than [`MAX_LINE_LEN`] is discarded — never buffered —
+/// so a malformed or malicious peer cannot grow memory unboundedly.
+///
+/// Safe on nonblocking or read-timeout streams: a `WouldBlock` /
+/// `TimedOut` error from the underlying reader surfaces as `Err` with
+/// all accumulation state intact, and the next call resumes mid-line.
+#[derive(Debug, Default)]
+pub struct BoundedLineReader {
+    buf: Vec<u8>,
+    /// Inside an over-long line, dropping bytes until its newline.
+    discarding: bool,
+    /// `buf` holds a line already delivered to the caller; clear it on
+    /// the next call rather than at return so `line()` can borrow.
+    delivered: bool,
+}
+
+impl BoundedLineReader {
+    /// An empty reader.
+    pub fn new() -> BoundedLineReader {
+        BoundedLineReader::default()
+    }
+
+    /// Reads the next line (without its newline) into the internal
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors, including `WouldBlock`/`TimedOut` on
+    /// nonblocking streams (accumulation state survives; call again).
+    pub fn read_line(&mut self, r: &mut impl BufRead) -> std::io::Result<LineRead> {
+        if self.delivered {
+            self.buf.clear();
+            self.delivered = false;
+        }
+        loop {
+            let mut outcome = None;
+            let consumed;
+            {
+                let avail = r.fill_buf()?;
+                if avail.is_empty() {
+                    return Ok(LineRead::Eof);
+                }
+                match avail.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        consumed = pos + 1;
+                        if self.discarding {
+                            self.discarding = false;
+                            outcome = Some(LineRead::TooLong);
+                        } else if self.buf.len() + pos > MAX_LINE_LEN {
+                            self.buf.clear();
+                            outcome = Some(LineRead::TooLong);
+                        } else {
+                            self.buf.extend_from_slice(&avail[..pos]);
+                            self.delivered = true;
+                            outcome = Some(LineRead::Line);
+                        }
+                    }
+                    None => {
+                        consumed = avail.len();
+                        if !self.discarding {
+                            if self.buf.len() + avail.len() > MAX_LINE_LEN {
+                                self.buf.clear();
+                                self.discarding = true;
+                            } else {
+                                self.buf.extend_from_slice(avail);
+                            }
+                        }
+                    }
+                }
+            }
+            r.consume(consumed);
+            if let Some(outcome) = outcome {
+                return Ok(outcome);
+            }
+        }
+    }
+
+    /// The line delivered by the last [`LineRead::Line`] return
+    /// (invalid UTF-8 is replaced, so a binary-garbage line fails
+    /// request parsing rather than killing the connection).
+    pub fn line(&self) -> Cow<'_, str> {
+        String::from_utf8_lossy(&self.buf)
+    }
+
+    /// Bytes of an unterminated final line after [`LineRead::Eof`]
+    /// (empty when the stream ended cleanly on a line boundary).
+    pub fn partial(&self) -> &[u8] {
+        if self.delivered {
+            &[]
+        } else {
+            &self.buf
+        }
+    }
+}
 
 /// The operation a request asks for.
 #[derive(Debug, Clone, PartialEq)]
@@ -551,6 +673,46 @@ mod tests {
             let line = resp.to_line();
             assert_eq!(Response::parse(&line).expect(&line), resp, "{line}");
         }
+    }
+
+    #[test]
+    fn bounded_reader_reuses_buffer_and_splits_lines() {
+        let data = b"first\nsecond line\n\nlast-no-newline";
+        let mut r = std::io::BufReader::new(&data[..]);
+        let mut lines = BoundedLineReader::new();
+        assert_eq!(lines.read_line(&mut r).unwrap(), LineRead::Line);
+        assert_eq!(lines.line(), "first");
+        assert_eq!(lines.read_line(&mut r).unwrap(), LineRead::Line);
+        assert_eq!(lines.line(), "second line");
+        assert_eq!(lines.read_line(&mut r).unwrap(), LineRead::Line);
+        assert_eq!(lines.line(), "");
+        assert_eq!(lines.read_line(&mut r).unwrap(), LineRead::Eof);
+        assert_eq!(lines.partial(), b"last-no-newline");
+    }
+
+    #[test]
+    fn bounded_reader_discards_oversize_lines_whole() {
+        let mut data = vec![b'x'; MAX_LINE_LEN + 10];
+        data.push(b'\n');
+        data.extend_from_slice(b"after\n");
+        // A tiny BufRead buffer forces the no-newline-in-view path.
+        let mut r = std::io::BufReader::with_capacity(64, &data[..]);
+        let mut lines = BoundedLineReader::new();
+        assert_eq!(lines.read_line(&mut r).unwrap(), LineRead::TooLong);
+        assert_eq!(lines.read_line(&mut r).unwrap(), LineRead::Line);
+        assert_eq!(lines.line(), "after");
+        assert_eq!(lines.read_line(&mut r).unwrap(), LineRead::Eof);
+        assert!(lines.partial().is_empty());
+    }
+
+    #[test]
+    fn bounded_reader_accepts_lines_at_the_limit() {
+        let mut data = vec![b'y'; MAX_LINE_LEN];
+        data.push(b'\n');
+        let mut r = std::io::BufReader::new(&data[..]);
+        let mut lines = BoundedLineReader::new();
+        assert_eq!(lines.read_line(&mut r).unwrap(), LineRead::Line);
+        assert_eq!(lines.line().len(), MAX_LINE_LEN);
     }
 
     #[test]

@@ -1,0 +1,671 @@
+//! The epoll-backed serve reactor: one event-loop thread multiplexing
+//! every client connection (Linux only; see [`crate::sys`] for the raw
+//! bindings).
+//!
+//! Design, mio-style but hand-rolled:
+//!
+//! * **One thread, edge-triggered.** The reactor owns the listener,
+//!   a wake eventfd, and every connection, all registered
+//!   edge-triggered (`EPOLLET`). Each readiness edge is drained to
+//!   `WouldBlock` before the next `epoll_wait`, the classic ET
+//!   contract. Connections are keyed by a monotonically increasing
+//!   token (never the fd), so a stale event for a closed-then-reused
+//!   fd can't touch the wrong connection.
+//! * **Line framing in place.** Inbound bytes accumulate per
+//!   connection; complete lines are parsed and expanded exactly as the
+//!   threads transport does (same [`crate::server::expand`] /
+//!   [`crate::server::admit`] code paths, so served results stay
+//!   bit-identical across transports). A line over
+//!   [`MAX_LINE_LEN`](crate::protocol::MAX_LINE_LEN) earns an error
+//!   frame and is discarded through its newline, never buffered.
+//! * **Bounded outbound queues, vectored flushes.** Workers resolve
+//!   jobs on their own threads and enqueue encoded frames into the
+//!   owning connection's byte-bounded queue ([`ConnSink`]), then wake
+//!   the reactor, which flushes with nonblocking vectored writes. A
+//!   slow reader's queue hitting its bound kills *that* connection
+//!   (its queued jobs cancel via the shared dead flag) and nobody
+//!   else; a reader making no progress for
+//!   [`WRITE_STALL_LIMIT`](crate::server::WRITE_STALL_LIMIT) dies the
+//!   same way.
+//! * **Fairness quotas = real backpressure.** Each connection may
+//!   have at most `conn_inflight_limit` jobs admitted-but-unresolved;
+//!   requests beyond that wait parsed-but-unadmitted, and the reactor
+//!   stops *reading* that socket until completions free quota — the
+//!   kernel buffer fills and the client blocks, while other
+//!   connections' requests keep flowing into the shared scheduler
+//!   (priority classes still order the queue itself).
+//! * **Drains-or-expires shutdown.** On the shutdown flag the reactor
+//!   stops parsing, fails still-queued requests with error frames,
+//!   closes the scheduler (it is the sole admitter), and keeps
+//!   flushing until every admitted job has resolved and every owed
+//!   frame — including each request's `done` — reached its socket or
+//!   that socket is provably dead.
+
+use std::collections::VecDeque;
+use std::io::{IoSlice, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use gals_common::fxmap::FxHashMap;
+
+use crate::protocol::{Request, Response, MAX_LINE_LEN};
+use crate::server::{
+    admit, expand, status_response, Expanded, FrameSink, Inner, WRITE_STALL_LIMIT,
+};
+use crate::sys::{
+    Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+
+/// Token reserved for the listener.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Token reserved for the wake eventfd.
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+/// Bytes read from a socket per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+/// At most this many frames per vectored write.
+const WRITE_BATCH: usize = 32;
+/// `epoll_wait` timeout while any connection has unflushed output
+/// (drives the write-stall clock); otherwise the reactor sleeps until
+/// an event or a wake.
+const STALL_TICK_MS: i32 = 250;
+
+/// Reactor tuning, from [`crate::ServeConfig`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReactorOptions {
+    pub(crate) max_outbound_bytes: usize,
+    pub(crate) conn_inflight_limit: usize,
+}
+
+/// Cross-thread reactor state: the wake fd workers signal after
+/// queueing frames, and the global count of admitted-but-unresolved
+/// jobs (the shutdown drain barrier).
+#[derive(Debug)]
+pub(crate) struct Shared {
+    wake: WakeFd,
+    outstanding: AtomicI64,
+}
+
+/// The running reactor, owned by the [`crate::Server`].
+#[derive(Debug)]
+pub(crate) struct ReactorHandle {
+    shared: Arc<Shared>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ReactorHandle {
+    /// Kicks the reactor out of `epoll_wait` (shutdown notification).
+    pub(crate) fn wake(&self) {
+        self.shared.wake.wake();
+    }
+
+    /// Joins the event-loop thread.
+    pub(crate) fn join(&mut self) {
+        if let Some(h) = self.join.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Starts the reactor thread over an already-bound listener.
+pub(crate) fn spawn(
+    listener: TcpListener,
+    inner: Arc<Inner>,
+    opts: ReactorOptions,
+) -> std::io::Result<ReactorHandle> {
+    listener.set_nonblocking(true)?;
+    let epoll = Epoll::new()?;
+    let wake = WakeFd::new()?;
+    epoll.add(wake.raw(), EPOLLIN | EPOLLET, TOKEN_WAKE)?;
+    epoll.add(listener.as_raw_fd(), EPOLLIN | EPOLLET, TOKEN_LISTENER)?;
+    let shared = Arc::new(Shared {
+        wake,
+        outstanding: AtomicI64::new(0),
+    });
+    let thread_shared = shared.clone();
+    let join = std::thread::spawn(move || {
+        Reactor {
+            epoll,
+            listener: Some(listener),
+            inner,
+            shared: thread_shared,
+            opts,
+            conns: FxHashMap::default(),
+            next_token: 0,
+            closing: false,
+        }
+        .run();
+    });
+    Ok(ReactorHandle {
+        shared,
+        join: Some(join),
+    })
+}
+
+/// One connection's bounded outbound queue of encoded frames.
+struct Outbound {
+    frames: VecDeque<Vec<u8>>,
+    /// Bytes of `frames[0]` already written to the socket.
+    head: usize,
+    /// Total unwritten bytes across the queue (minus `head`).
+    bytes: usize,
+}
+
+/// The reactor transport's [`FrameSink`]: workers push encoded frames
+/// under a short lock and wake the reactor; the reactor flushes. The
+/// byte bound is the slow-reader backstop — crossing it marks the
+/// connection dead (which also cancels its queued jobs via the shared
+/// flag) and drops everything queued.
+struct ConnSink {
+    outbound: Mutex<Outbound>,
+    dead: Arc<AtomicBool>,
+    limit: usize,
+    shared: Arc<Shared>,
+}
+
+impl ConnSink {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Outbound> {
+        self.outbound.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl FrameSink for ConnSink {
+    fn send_frame(&self, line: &str) {
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        {
+            let mut q = self.lock();
+            if q.bytes + line.len() + 1 > self.limit {
+                // Slow reader: bound the memory, kill the connection.
+                self.dead.store(true, Ordering::Relaxed);
+                q.frames.clear();
+                q.head = 0;
+                q.bytes = 0;
+            } else {
+                let mut frame = Vec::with_capacity(line.len() + 1);
+                frame.extend_from_slice(line.as_bytes());
+                frame.push(b'\n');
+                q.bytes += frame.len();
+                q.frames.push_back(frame);
+            }
+        }
+        self.shared.wake.wake();
+    }
+}
+
+/// Parsed work waiting for the connection's fairness quota.
+struct PendingWork {
+    req: Request,
+    items: Vec<gals_explore::MeasureItem>,
+    window: u64,
+}
+
+/// One multiplexed client connection.
+struct Conn {
+    stream: TcpStream,
+    sink: Arc<ConnSink>,
+    /// As `Arc<dyn FrameSink>` for the shared admission path (same
+    /// allocation as `sink`).
+    dyn_sink: Arc<dyn FrameSink>,
+    dead: Arc<AtomicBool>,
+    /// This connection's admitted-but-unresolved jobs (fairness
+    /// quota); shared with the per-job resolution hook.
+    inflight: Arc<AtomicI64>,
+    /// Unparsed inbound bytes.
+    buf: Vec<u8>,
+    /// Inside an over-long line, dropping bytes until its newline.
+    discarding: bool,
+    /// The read edge is live: keep reading until `WouldBlock`.
+    readable: bool,
+    /// Peer closed its write half (EOF / RDHUP): serve what was
+    /// admitted, flush, then close.
+    read_closed: bool,
+    /// Parsed requests waiting for quota, admitted FIFO.
+    pending: VecDeque<PendingWork>,
+    /// Last instant flushing made progress (or had nothing to do);
+    /// the write-stall clock.
+    last_progress: Instant,
+    /// A flush hit `WouldBlock`: the socket buffer is full and only
+    /// an `EPOLLOUT` edge (or stall expiry) moves it forward.
+    write_blocked: bool,
+}
+
+impl Conn {
+    /// True when every owed byte is out and no more can ever be owed.
+    ///
+    /// Order matters: `inflight` must be observed zero *before* the
+    /// outbound queue is observed empty. A job's completion queues its
+    /// frames first and decrements `inflight` last (release ordering),
+    /// so inflight==0 (acquire) guarantees every owed frame is already
+    /// in the queue the subsequent `bytes` read sees — the reverse
+    /// order could close a connection between a completion's frame
+    /// push and its counter decrement, swallowing the frame.
+    fn drained(&self) -> bool {
+        if !self.read_closed || !self.pending.is_empty() {
+            return false;
+        }
+        if self.inflight.load(Ordering::Acquire) > 0 {
+            return false;
+        }
+        self.sink.lock().bytes == 0
+    }
+}
+
+/// The event loop state.
+struct Reactor {
+    epoll: Epoll,
+    listener: Option<TcpListener>,
+    inner: Arc<Inner>,
+    shared: Arc<Shared>,
+    opts: ReactorOptions,
+    conns: FxHashMap<u64, Conn>,
+    next_token: u64,
+    /// Shutdown observed: listener dropped, scheduler closed, draining.
+    closing: bool,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = vec![EpollEvent::zeroed(); 256];
+        loop {
+            // Tick while output is unflushed (stall clock) or we are
+            // draining for shutdown; otherwise sleep for events.
+            let timeout = if self.closing || self.any_unflushed() {
+                STALL_TICK_MS
+            } else {
+                -1
+            };
+            let n = match self.epoll.wait(&mut events, timeout) {
+                Ok(n) => n,
+                // epoll_wait failing outright is unrecoverable for the
+                // event loop; shut the transport down.
+                Err(_) => break,
+            };
+            for ev in &events[..n] {
+                // Copy fields out of the (packed-on-x86) record.
+                let (bits, token) = (ev.events, ev.data);
+                match token {
+                    TOKEN_WAKE => self.shared.wake.drain(),
+                    TOKEN_LISTENER => self.accept_ready(),
+                    t => {
+                        if let Some(conn) = self.conns.get_mut(&t) {
+                            if bits & (EPOLLERR | EPOLLHUP) != 0 {
+                                conn.dead.store(true, Ordering::Relaxed);
+                            }
+                            if bits & (EPOLLIN | EPOLLRDHUP) != 0 {
+                                conn.readable = true;
+                            }
+                            if bits & EPOLLOUT != 0 {
+                                conn.write_blocked = false;
+                            }
+                        }
+                    }
+                }
+            }
+            if self.inner.shutdown.load(Ordering::SeqCst) && !self.closing {
+                self.begin_close();
+            }
+            self.service_all();
+            if self.closing
+                && self.shared.outstanding.load(Ordering::Acquire) <= 0
+                && self.conns.is_empty()
+            {
+                break;
+            }
+        }
+    }
+
+    fn any_unflushed(&self) -> bool {
+        self.conns.values().any(|c| c.sink.lock().bytes > 0)
+    }
+
+    /// Shutdown transition: stop accepting and parsing, fail queued
+    /// requests, close the scheduler (no other admitter exists), and
+    /// switch to drain-and-flush mode.
+    fn begin_close(&mut self) {
+        self.closing = true;
+        if let Some(listener) = self.listener.take() {
+            self.epoll.del(listener.as_raw_fd());
+        }
+        for conn in self.conns.values_mut() {
+            for work in conn.pending.drain(..) {
+                let err = Response::Error {
+                    id: work.req.id,
+                    message: "server shutting down".to_string(),
+                };
+                conn.sink.send_frame(&err.to_line());
+            }
+            conn.read_closed = true;
+            conn.buf.clear();
+        }
+        self.inner.sched.close();
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => self.register_conn(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                // Transient per-connection accept failures (e.g. the
+                // peer reset before we got to it): keep accepting.
+                Err(_) => continue,
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        // Line-sized responses: send immediately, Nagle only adds
+        // round-trip latency.
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += 1;
+        let dead = Arc::new(AtomicBool::new(false));
+        let sink = Arc::new(ConnSink {
+            outbound: Mutex::new(Outbound {
+                frames: VecDeque::new(),
+                head: 0,
+                bytes: 0,
+            }),
+            dead: dead.clone(),
+            limit: self.opts.max_outbound_bytes,
+            shared: self.shared.clone(),
+        });
+        if self
+            .epoll
+            .add(
+                stream.as_raw_fd(),
+                EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET,
+                token,
+            )
+            .is_err()
+        {
+            return;
+        }
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                dyn_sink: sink.clone(),
+                sink,
+                dead,
+                inflight: Arc::new(AtomicI64::new(0)),
+                buf: Vec::new(),
+                discarding: false,
+                readable: true,
+                read_closed: false,
+                pending: VecDeque::new(),
+                last_progress: Instant::now(),
+                write_blocked: false,
+            },
+        );
+    }
+
+    /// Runs every connection's read → admit → flush → lifecycle pass.
+    /// A full scan per wake is deliberate: the map is at most a few
+    /// hundred entries and the per-connection no-op path is a couple
+    /// of atomic loads — far cheaper than tracking dirty sets would
+    /// be worth at this scale.
+    fn service_all(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let mut conn = match self.conns.remove(&token) {
+                Some(c) => c,
+                None => continue,
+            };
+            if !self.closing {
+                self.pump_input(&mut conn);
+            }
+            self.drain_pending(&mut conn);
+            flush(&mut conn);
+            // Write-stall: no flush progress while bytes are owed for
+            // too long means the peer stopped reading; abandon it.
+            if conn.write_blocked
+                && conn.sink.lock().bytes > 0
+                && conn.last_progress.elapsed() >= WRITE_STALL_LIMIT
+            {
+                conn.dead.store(true, Ordering::Relaxed);
+            }
+            if conn.dead.load(Ordering::Relaxed) || conn.drained() {
+                self.epoll.del(conn.stream.as_raw_fd());
+                // Dropping the Conn closes the socket; its queued jobs
+                // cancel through the shared dead flag (set here for
+                // the drained case too — harmless, nothing is queued).
+                conn.dead.store(true, Ordering::Relaxed);
+            } else {
+                self.conns.insert(token, conn);
+            }
+        }
+    }
+
+    /// Reads and parses as much as flow control allows: stops at
+    /// `WouldBlock` (edge exhausted), EOF, a quota-blocked request
+    /// (real backpressure: the socket goes unread), or connection
+    /// death.
+    fn pump_input(&mut self, conn: &mut Conn) {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            self.extract_lines(conn);
+            if !conn.pending.is_empty()
+                || conn.read_closed
+                || !conn.readable
+                || conn.dead.load(Ordering::Relaxed)
+            {
+                return;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    self.extract_lines(conn);
+                    // A partial line with no terminating newline is a
+                    // truncated request: tell the peer before the
+                    // connection winds down (it may only have shut
+                    // down its write half).
+                    if !conn.discarding && !conn.buf.iter().all(u8::is_ascii_whitespace) {
+                        let resp = Response::Error {
+                            id: String::new(),
+                            message: "truncated request line".to_string(),
+                        };
+                        conn.sink.send_frame(&resp.to_line());
+                    }
+                    conn.buf.clear();
+                    return;
+                }
+                Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    conn.readable = false;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Splits complete lines out of the inbound buffer and processes
+    /// them; enforces the line-length bound with whole-line discard.
+    fn extract_lines(&mut self, conn: &mut Conn) {
+        loop {
+            match conn.buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if conn.discarding {
+                        conn.discarding = false;
+                        conn.buf.drain(..=pos);
+                        continue;
+                    }
+                    if pos > MAX_LINE_LEN {
+                        // Over-long even though its newline already
+                        // arrived: same whole-line rejection as the
+                        // buffered (no-newline-yet) case below.
+                        conn.buf.drain(..=pos);
+                        let resp = Response::Error {
+                            id: String::new(),
+                            message: format!("request line exceeds {MAX_LINE_LEN} bytes"),
+                        };
+                        conn.sink.send_frame(&resp.to_line());
+                        continue;
+                    }
+                    // Take the line without reallocating the tail more
+                    // than once per line (tails are small: the peer's
+                    // unread pipeline).
+                    let line_bytes: Vec<u8> = conn.buf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line_bytes[..pos]);
+                    if !line.trim().is_empty() {
+                        self.process_line(conn, &line);
+                    }
+                }
+                None => {
+                    if !conn.discarding && conn.buf.len() > MAX_LINE_LEN {
+                        conn.discarding = true;
+                        conn.buf.clear();
+                        let resp = Response::Error {
+                            id: String::new(),
+                            message: format!("request line exceeds {MAX_LINE_LEN} bytes"),
+                        };
+                        conn.sink.send_frame(&resp.to_line());
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Parses one request line and either answers it directly
+    /// (status/errors) or queues its expanded work for admission.
+    fn process_line(&mut self, conn: &mut Conn, line: &str) {
+        self.inner.requests.fetch_add(1, Ordering::Relaxed);
+        let req = match Request::parse(line) {
+            Ok(req) => req,
+            Err(message) => {
+                let resp = Response::Error {
+                    id: String::new(),
+                    message,
+                };
+                conn.sink.send_frame(&resp.to_line());
+                return;
+            }
+        };
+        match expand(&req.kind, self.inner.default_window) {
+            Ok(Expanded::Work { items, window }) => {
+                conn.pending.push_back(PendingWork { req, items, window });
+            }
+            Ok(Expanded::Status) => {
+                let resp = status_response(req.id, &self.inner);
+                conn.sink.send_frame(&resp.to_line());
+            }
+            Err(message) => {
+                let resp = Response::Error {
+                    id: req.id,
+                    message,
+                };
+                conn.sink.send_frame(&resp.to_line());
+            }
+        }
+    }
+
+    /// Admits queued requests FIFO while the connection's fairness
+    /// quota allows. A request bigger than the whole quota admits when
+    /// the connection is otherwise idle (the quota bounds concurrency,
+    /// not request size), so oversized sweeps still make progress.
+    fn drain_pending(&mut self, conn: &mut Conn) {
+        if self.closing {
+            return;
+        }
+        let limit = self.opts.conn_inflight_limit as i64;
+        while let Some(front) = conn.pending.front() {
+            let n = front.items.len() as i64;
+            let inflight = conn.inflight.load(Ordering::Acquire);
+            if inflight > 0 && inflight + n > limit {
+                return;
+            }
+            let work = conn.pending.pop_front().expect("front checked above");
+            // Account *before* admission: completions may fire on
+            // worker threads before `admit` returns.
+            conn.inflight.fetch_add(n, Ordering::AcqRel);
+            self.shared.outstanding.fetch_add(n, Ordering::AcqRel);
+            let resolved: Arc<dyn Fn() + Send + Sync> = {
+                let shared = self.shared.clone();
+                let inflight = conn.inflight.clone();
+                Arc::new(move || {
+                    inflight.fetch_sub(1, Ordering::AcqRel);
+                    shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+                    shared.wake.wake();
+                })
+            };
+            if !admit(
+                work.req,
+                work.items,
+                work.window,
+                &self.inner,
+                &conn.dyn_sink,
+                &conn.dead,
+                Some(resolved),
+            ) {
+                conn.inflight.fetch_sub(n, Ordering::AcqRel);
+                self.shared.outstanding.fetch_sub(n, Ordering::AcqRel);
+            }
+        }
+    }
+}
+
+/// Flushes a connection's outbound queue with nonblocking vectored
+/// writes until empty or `WouldBlock`.
+fn flush(conn: &mut Conn) {
+    if conn.dead.load(Ordering::Relaxed) || conn.write_blocked {
+        return;
+    }
+    let sink = conn.sink.clone();
+    let mut q = sink.lock();
+    while !q.frames.is_empty() {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(WRITE_BATCH.min(q.frames.len()));
+        for (i, frame) in q.frames.iter().take(WRITE_BATCH).enumerate() {
+            let start = if i == 0 { q.head } else { 0 };
+            slices.push(IoSlice::new(&frame[start..]));
+        }
+        match (&conn.stream).write_vectored(&slices) {
+            Ok(0) => {
+                conn.dead.store(true, Ordering::Relaxed);
+                break;
+            }
+            Ok(mut n) => {
+                conn.last_progress = Instant::now();
+                q.bytes = q.bytes.saturating_sub(n);
+                while n > 0 {
+                    let rem = q.frames[0].len() - q.head;
+                    if n >= rem {
+                        n -= rem;
+                        q.head = 0;
+                        q.frames.pop_front();
+                    } else {
+                        q.head += n;
+                        n = 0;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                conn.write_blocked = true;
+                break;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+    if q.frames.is_empty() {
+        // Nothing owed: the stall clock measures owed-but-stuck time.
+        conn.last_progress = Instant::now();
+    }
+}

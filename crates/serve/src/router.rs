@@ -1,0 +1,267 @@
+//! Consistent-hash sharding of the serve fleet by benchmark.
+//!
+//! Trace-pool and result-cache residency is the serving layer's
+//! dominant locality lever (the same cache-residency discipline the
+//! simulator's packed tag arrays exploit): a shard that has already
+//! captured a benchmark's instruction recording answers further work
+//! on that benchmark from warm state. The [`ShardRouter`] therefore
+//! keys placement on the *benchmark name* — every request for a given
+//! benchmark, whatever its mode, window, or policy, lands on the same
+//! shard, so per-shard trace pools partition the suite instead of
+//! replicating it.
+//!
+//! The hash ring is the classic consistent-hash construction with
+//! virtual nodes: each shard owns [`VNODES_PER_SHARD`] points placed
+//! by [`fnv1a64`] (hand-rolled, dependency-free, and — critically —
+//! deterministic across processes and runs, unlike `DefaultHasher`'s
+//! random SipHash keys), and a benchmark routes to the first point at
+//! or after its own hash. Adding or removing one shard therefore
+//! remaps only ~1/N of the benchmarks; every other shard's pool
+//! residency survives a fleet resize.
+//!
+//! Because the simulator is deterministic and shards share nothing,
+//! results served through a fleet are bit-identical to single-server
+//! (and direct) execution — the router changes *where* a benchmark's
+//! work runs, never *what* it computes. [`ShardedFleet`] runs N
+//! in-process shard servers for tests and benchmarks; production
+//! deployments run one `gals_serve` process per shard and any client
+//! that embeds a [`ShardRouter`] over the same shard count routes
+//! identically.
+
+use std::net::SocketAddr;
+
+use crate::client::Client;
+use crate::protocol::{Request, RequestKind, Response};
+use crate::server::{ServeConfig, Server};
+
+/// Virtual nodes per shard on the hash ring. 64 keeps the placement
+/// spread tight (the suite's ~10 benchmarks land on every shard for
+/// small N with high probability) while the ring stays a trivially
+/// searchable few hundred entries.
+pub const VNODES_PER_SHARD: usize = 64;
+
+/// 64-bit FNV-1a. Deterministic across processes, runs, and builds —
+/// the property the ring needs so that independently constructed
+/// routers (server side, client side, next week's process) agree on
+/// every placement.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// A consistent-hash ring mapping benchmark names to shard indices.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    /// `(point, shard)` sorted by point; ties (astronomically
+    /// unlikely) break by shard index, keeping construction
+    /// deterministic regardless of insertion order.
+    ring: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Builds the ring for `shards` shards (at least 1).
+    pub fn new(shards: usize) -> ShardRouter {
+        let shards = shards.max(1);
+        let mut ring = Vec::with_capacity(shards * VNODES_PER_SHARD);
+        for shard in 0..shards {
+            for vnode in 0..VNODES_PER_SHARD {
+                let point = fnv1a64(format!("shard{shard}/vnode{vnode}").as_bytes());
+                ring.push((point, shard));
+            }
+        }
+        ring.sort_unstable();
+        ShardRouter { ring, shards }
+    }
+
+    /// Number of shards the ring covers.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `bench`: the first ring point at or after the
+    /// benchmark's hash, wrapping at the top of the ring.
+    pub fn route(&self, bench: &str) -> usize {
+        let h = fnv1a64(bench.as_bytes());
+        let idx = match self.ring.binary_search(&(h, 0)) {
+            Ok(i) | Err(i) => i,
+        };
+        self.ring[idx % self.ring.len()].1
+    }
+
+    /// The shard for a request: by benchmark for work requests, `None`
+    /// for `status` (which is per-shard state; callers pick a shard —
+    /// [`RoutedClient`] uses shard 0).
+    pub fn route_kind(&self, kind: &RequestKind) -> Option<usize> {
+        match kind {
+            RequestKind::RunConfig { bench, .. }
+            | RequestKind::Sweep { bench, .. }
+            | RequestKind::PolicyCompare { bench, .. } => Some(self.route(bench)),
+            RequestKind::Status => None,
+        }
+    }
+}
+
+/// N in-process shard [`Server`]s behind one [`ShardRouter`] (the
+/// test/bench harness shape of the production one-process-per-shard
+/// deployment).
+#[derive(Debug)]
+pub struct ShardedFleet {
+    shards: Vec<Server>,
+    router: ShardRouter,
+}
+
+impl ShardedFleet {
+    /// Starts `n` shard servers from `base` (each on its own ephemeral
+    /// port; a configured cache path gets a per-shard suffix so shards
+    /// share nothing on disk either).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any shard's startup failure (already-started shards
+    /// shut down cleanly on drop).
+    pub fn start(base: &ServeConfig, n: usize) -> std::io::Result<ShardedFleet> {
+        let n = n.max(1);
+        let mut shards = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut cfg = base.clone();
+            cfg.addr = "127.0.0.1:0".to_string();
+            cfg.cache_path = base.cache_path.as_ref().map(|p| format!("{p}.shard{i}"));
+            shards.push(Server::start(cfg)?);
+        }
+        Ok(ShardedFleet {
+            shards,
+            router: ShardRouter::new(n),
+        })
+    }
+
+    /// The fleet's router.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Shard `i`'s server (counters, trace-pool introspection).
+    pub fn shard(&self, i: usize) -> &Server {
+        &self.shards[i]
+    }
+
+    /// Every shard's bound address, indexed by shard.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.shards.iter().map(Server::local_addr).collect()
+    }
+
+    /// Gracefully shuts down every shard (drains-or-expires each).
+    pub fn shutdown(self) {
+        for shard in self.shards {
+            shard.shutdown();
+        }
+    }
+}
+
+/// A client over a sharded fleet: one connection per shard, each
+/// request routed by its benchmark.
+#[derive(Debug)]
+pub struct RoutedClient {
+    router: ShardRouter,
+    conns: Vec<Client>,
+}
+
+impl RoutedClient {
+    /// Connects to every shard (`addrs` indexed by shard, as returned
+    /// by [`ShardedFleet::addrs`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addrs: &[SocketAddr]) -> std::io::Result<RoutedClient> {
+        let mut conns = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            conns.push(Client::connect(addr)?);
+        }
+        Ok(RoutedClient {
+            router: ShardRouter::new(addrs.len()),
+            conns,
+        })
+    }
+
+    /// The shard `req` routes to (`status` pins to shard 0).
+    pub fn route(&self, req: &Request) -> usize {
+        self.router.route_kind(&req.kind).unwrap_or(0)
+    }
+
+    /// Sends `req` to its shard and collects the full response stream
+    /// (see [`Client::request`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and parse errors.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Vec<Response>> {
+        let shard = self.route(req);
+        self.conns[shard].request(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for shards in 1..=8 {
+            let a = ShardRouter::new(shards);
+            let b = ShardRouter::new(shards);
+            for bench in gals_workloads::suite::names() {
+                let s = a.route(&bench);
+                assert_eq!(s, b.route(&bench), "{bench} under {shards} shards");
+                assert!(s < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn resizing_remaps_only_a_fraction() {
+        // Consistent hashing's point: going from N to N+1 shards must
+        // keep most benchmarks where they were.
+        let before = ShardRouter::new(3);
+        let after = ShardRouter::new(4);
+        let names = gals_workloads::suite::names();
+        let moved = names
+            .iter()
+            .filter(|b| {
+                let s = after.route(b);
+                s != before.route(b) && s != 3
+            })
+            .count();
+        assert_eq!(
+            moved, 0,
+            "benchmarks moved between surviving shards on resize"
+        );
+    }
+
+    #[test]
+    fn status_routes_nowhere() {
+        let router = ShardRouter::new(4);
+        assert_eq!(router.route_kind(&RequestKind::Status), None);
+        assert!(router
+            .route_kind(&RequestKind::Sweep {
+                bench: "gzip".into(),
+                mode: "prog".into(),
+                window: 0,
+            })
+            .is_some());
+    }
+}

@@ -1,5 +1,6 @@
-//! The TCP server: accept loop, per-connection readers, and the shared
-//! job scheduler + worker pool that executes every client's work.
+//! The TCP server: transport front ends (epoll reactor or
+//! thread-per-connection) over the shared job scheduler + worker pool
+//! that executes every client's work.
 //!
 //! There is no batching dispatcher and no per-window grouping: each
 //! connection expands requests into typed [`Job`]s and admits them into
@@ -8,8 +9,25 @@
 //! frame back to its requester the moment it resolves. Heterogeneous
 //! work — mixed windows, machine styles, policies, priorities,
 //! deadlines — interleaves freely in a single queue pass.
+//!
+//! Two transports feed that queue (selected by
+//! [`ServeConfig::transport`], default [`Transport::Reactor`] on
+//! Linux):
+//!
+//! * **Reactor** — one event-loop thread multiplexes every connection
+//!   over epoll (see [`crate::reactor`]): nonblocking sockets,
+//!   edge-triggered readiness, bounded per-connection outbound queues,
+//!   per-connection in-flight quotas. Scales to hundreds of mostly
+//!   idle connections without a thread per socket.
+//! * **Threads** — the original blocking model: one reader thread per
+//!   connection, blocking writes with stall timeouts. Kept as the
+//!   portable fallback (`GALS_MCD_SERVE_TRANSPORT=threads`).
+//!
+//! Both transports share the request expansion, admission, and
+//! completion paths below, so the wire contract — including the
+//! drains-or-expires shutdown guarantee — is transport-independent.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -21,14 +39,37 @@ use gals_explore::sched::Completion;
 use gals_explore::{Job, JobOutcome, JobScheduler, MeasureItem, ResultCache, SweepEngine};
 use gals_workloads::suite;
 
-use crate::protocol::{Request, RequestKind, Response};
+use crate::protocol::{BoundedLineReader, LineRead, Request, RequestKind, Response, MAX_LINE_LEN};
 
-/// Poll granularity for connection readers checking the shutdown flag.
+/// Poll granularity for connection readers checking the shutdown flag
+/// (threads transport).
 const READ_POLL: Duration = Duration::from_millis(100);
 
-/// How long one response write may block on a non-reading client before
-/// that client's connection is abandoned (see `connection_loop`).
-const WRITE_STALL_LIMIT: Duration = Duration::from_secs(10);
+/// How long one response write may stall on a non-reading client before
+/// that client's connection is abandoned (both transports; the reactor
+/// measures it as time-since-last-flush-progress).
+pub(crate) const WRITE_STALL_LIMIT: Duration = Duration::from_secs(10);
+
+/// Which connection front end moves bytes for the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// One epoll event-loop thread multiplexing every connection
+    /// (Linux; the default there).
+    Reactor,
+    /// One blocking reader thread per connection (portable fallback).
+    Threads,
+}
+
+impl Transport {
+    /// The platform default: the reactor on Linux, threads elsewhere.
+    pub fn default_for_target() -> Transport {
+        if cfg!(target_os = "linux") {
+            Transport::Reactor
+        } else {
+            Transport::Threads
+        }
+    }
+}
 
 /// Server configuration (bind address, parallelism, default window).
 #[derive(Debug, Clone)]
@@ -45,6 +86,18 @@ pub struct ServeConfig {
     /// `priority_level_difference × aging_step` later admissions
     /// before it runs (see [`JobScheduler`]).
     pub aging_step: u64,
+    /// Connection front end (see [`Transport`]).
+    pub transport: Transport,
+    /// Reactor backpressure bound: bytes of un-flushed response frames
+    /// one connection may queue before it is declared dead (a slow
+    /// reader must not buffer unboundedly).
+    pub max_outbound_bytes: usize,
+    /// Reactor fairness quota: jobs one connection may have admitted
+    /// but unresolved before its further requests wait (and, with its
+    /// socket unread, backpressure the client). A single request
+    /// larger than the quota still admits alone — the quota bounds
+    /// concurrency, not request size.
+    pub conn_inflight_limit: usize,
 }
 
 impl Default for ServeConfig {
@@ -55,14 +108,19 @@ impl Default for ServeConfig {
             default_window: 10_000,
             cache_path: None,
             aging_step: JobScheduler::DEFAULT_AGING_STEP,
+            transport: Transport::default_for_target(),
+            max_outbound_bytes: 4 << 20,
+            conn_inflight_limit: 2048,
         }
     }
 }
 
 impl ServeConfig {
     /// Reads `GALS_SERVE_ADDR`, `GALS_SERVE_WORKERS`,
-    /// `GALS_SERVE_WINDOW`, `GALS_SERVE_CACHE`, and `GALS_SERVE_AGING`
-    /// over the defaults. An *unset* `GALS_SERVE_CACHE` selects the
+    /// `GALS_SERVE_WINDOW`, `GALS_SERVE_CACHE`, `GALS_SERVE_AGING`,
+    /// `GALS_MCD_SERVE_TRANSPORT` (`reactor` / `threads`),
+    /// `GALS_SERVE_MAX_OUTBOUND`, and `GALS_SERVE_CONN_INFLIGHT` over
+    /// the defaults. An *unset* `GALS_SERVE_CACHE` selects the
     /// standard file (`target/gals-serve-cache.json`); an *empty* one
     /// selects in-memory-only operation.
     pub fn from_env() -> Self {
@@ -79,29 +137,83 @@ impl ServeConfig {
             Some(path) => Some(path),
             None => Some("target/gals-serve-cache.json".to_string()),
         };
+        match var("GALS_MCD_SERVE_TRANSPORT").as_deref() {
+            None => {}
+            Some("reactor") => cfg.transport = Transport::Reactor,
+            Some("threads") => cfg.transport = Transport::Threads,
+            Some(other) => eprintln!(
+                "warning: ignoring GALS_MCD_SERVE_TRANSPORT={other:?}: \
+                 expected reactor or threads; using default"
+            ),
+        }
+        cfg.max_outbound_bytes = parse_env_or("GALS_SERVE_MAX_OUTBOUND", cfg.max_outbound_bytes);
+        cfg.conn_inflight_limit = parse_env_or("GALS_SERVE_CONN_INFLIGHT", cfg.conn_inflight_limit);
         cfg
     }
 }
 
+/// Where one connection's response frames go. The worker pool resolves
+/// jobs for every connection; each transport supplies its own sink —
+/// blocking mutex-guarded writes (threads) or a bounded queue the
+/// reactor flushes (reactor). A sink never blocks the caller beyond
+/// the threads transport's bounded write stall.
+pub(crate) trait FrameSink: Send + Sync {
+    /// Queues or writes one encoded frame line (without the newline).
+    fn send_frame(&self, line: &str);
+}
+
+/// The threads transport's sink: a mutex-serialized blocking writer
+/// with the connection's dead flag.
+pub(crate) struct ThreadsSink {
+    writer: Mutex<TcpStream>,
+    /// Shared per connection and set on the first failed frame write
+    /// (client stalled past `WRITE_STALL_LIMIT` or hung up): every
+    /// later frame to that connection — across all its pipelined
+    /// requests — is skipped, so one dead connection costs the worker
+    /// pool at most one write-stall total.
+    dead: Arc<AtomicBool>,
+}
+
+impl FrameSink for ThreadsSink {
+    /// Writes one frame unless the connection is already dead,
+    /// poisoning it on the first failure. The flag is re-checked
+    /// *after* acquiring the writer lock: workers already queued on the
+    /// mutex behind the one discovering the stall must bail out
+    /// immediately instead of each paying `WRITE_STALL_LIMIT` in turn.
+    fn send_frame(&self, line: &str) {
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut guard = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        let ok = guard.write_all(line.as_bytes()).is_ok()
+            && guard.write_all(b"\n").is_ok()
+            && guard.flush().is_ok();
+        if !ok {
+            self.dead.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Per-request progress: counts the request's jobs down to the `done`
-/// frame. Job completions (from any worker) write their frame, bump
+/// frame. Job completions (from any worker) send their frame, bump
 /// the tallies, and whoever resolves the last job emits `done`.
 struct RequestState {
     id: String,
-    writer: Arc<Mutex<TcpStream>>,
+    sink: Arc<dyn FrameSink>,
     remaining: AtomicUsize,
     results: AtomicU64,
     expired: AtomicU64,
-    /// Shared per *connection* (not per request) and set on the first
-    /// failed frame write (client stalled past `WRITE_STALL_LIMIT` or
-    /// hung up): every later frame to that connection — across all its
-    /// pipelined requests — is skipped, so one dead connection costs
-    /// the worker pool at most one write-stall total.
+    /// The owning connection's dead flag (shared with its jobs as the
+    /// cancellation token; see [`ThreadsSink::dead`] for the threads
+    /// transport's write-failure semantics).
     dead: Arc<AtomicBool>,
 }
 
 impl RequestState {
-    /// Records one job's outcome: writes its frame, and the `done`
+    /// Records one job's outcome: sends its frame, and the `done`
     /// frame after the request's last job.
     fn complete_one(&self, key: &str, outcome: JobOutcome, inner: &Inner) {
         let frame = match outcome {
@@ -141,74 +253,57 @@ impl RequestState {
                 }
             }
         };
-        self.write_frame(&frame.to_line());
+        self.sink.send_frame(&frame.to_line());
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let done = Response::Done {
                 id: self.id.clone(),
                 results: self.results.load(Ordering::Relaxed),
                 expired: self.expired.load(Ordering::Relaxed),
             };
-            self.write_frame(&done.to_line());
-        }
-    }
-
-    /// Writes one frame unless the connection is already dead,
-    /// poisoning it on the first failure. The flag is re-checked
-    /// *after* acquiring the writer lock: workers already queued on the
-    /// mutex behind the one discovering the stall must bail out
-    /// immediately instead of each paying `WRITE_STALL_LIMIT` in turn.
-    fn write_frame(&self, line: &str) {
-        if self.dead.load(Ordering::Relaxed) {
-            return;
-        }
-        let mut guard = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        if self.dead.load(Ordering::Relaxed) {
-            return;
-        }
-        let ok = guard.write_all(line.as_bytes()).is_ok()
-            && guard.write_all(b"\n").is_ok()
-            && guard.flush().is_ok();
-        if !ok {
-            self.dead.store(true, Ordering::Relaxed);
+            self.sink.send_frame(&done.to_line());
         }
     }
 }
 
 /// Shared server state.
-struct Inner {
-    engine: SweepEngine,
-    sched: JobScheduler<'static>,
-    default_window: u64,
-    shutdown: AtomicBool,
-    requests: AtomicU64,
-    admitted_jobs: AtomicU64,
-    expired: AtomicU64,
+pub(crate) struct Inner {
+    pub(crate) engine: SweepEngine,
+    pub(crate) sched: JobScheduler<'static>,
+    pub(crate) default_window: u64,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) requests: AtomicU64,
+    pub(crate) admitted_jobs: AtomicU64,
+    pub(crate) expired: AtomicU64,
     /// Jobs dropped because their connection died (distinct from
     /// deadline expiries).
-    cancelled: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
 }
 
 /// The `gals-serve` server: a long-lived, multi-tenant front end over
 /// the job scheduler and the sweep engine's sharded result cache.
 ///
-/// Concurrency model: each client connection gets a reader thread that
-/// parses request lines, expands them into jobs tagged with the
-/// request id, and admits them — atomically per request — into the
-/// single shared [`JobScheduler`]. Worker threads pull jobs in
-/// priority/aging order regardless of which connection admitted them
-/// and stream `partial` / `expired` frames back per job; the last job
-/// of a request emits its `done` frame. Duplicate configurations are
-/// simulated once (in-flight dedupe plus the shared cache) — and
-/// because the simulator is deterministic, a result served through the
-/// server is bit-identical to the same configuration run directly
-/// through [`gals_explore::Explorer`], regardless of scheduling order.
+/// Concurrency model: a transport front end (epoll reactor or
+/// per-connection reader threads) parses request lines, expands them
+/// into jobs tagged with the request id, and admits them — atomically
+/// per request — into the single shared [`JobScheduler`]. Worker
+/// threads pull jobs in priority/aging order regardless of which
+/// connection admitted them and stream `partial` / `expired` frames
+/// back per job; the last job of a request emits its `done` frame.
+/// Duplicate configurations are simulated once (in-flight dedupe plus
+/// the shared cache) — and because the simulator is deterministic, a
+/// result served through the server is bit-identical to the same
+/// configuration run directly through [`gals_explore::Explorer`],
+/// regardless of scheduling order or transport.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     inner: Arc<Inner>,
+    transport: Transport,
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
     conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    #[cfg(target_os = "linux")]
+    reactor: Option<crate::reactor::ReactorHandle>,
 }
 
 impl std::fmt::Debug for Inner {
@@ -221,11 +316,12 @@ impl std::fmt::Debug for Inner {
 }
 
 impl Server {
-    /// Binds, starts the worker pool, and serves in background threads.
+    /// Binds, starts the worker pool and the configured transport, and
+    /// serves in background threads.
     ///
     /// # Errors
     ///
-    /// Propagates bind / cache-open I/O errors.
+    /// Propagates bind / cache-open / epoll-setup I/O errors.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         let cache = match &cfg.cache_path {
             Some(path) => ResultCache::open(path)?,
@@ -247,30 +343,63 @@ impl Server {
             expired: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
         });
-        let worker_handles = (0..inner.engine.threads())
+        let worker_handles: Vec<JoinHandle<()>> = (0..inner.engine.threads())
             .map(|_| {
                 let inner = inner.clone();
                 std::thread::spawn(move || inner.engine.serve_jobs(&inner.sched))
             })
             .collect();
-        let conn_handles = Arc::new(Mutex::new(Vec::new()));
-        let accept_handle = {
-            let inner = inner.clone();
-            let conn_handles = conn_handles.clone();
-            std::thread::spawn(move || accept_loop(&listener, &inner, &conn_handles))
+        // The reactor requires Linux epoll; elsewhere every config
+        // falls back to the portable threads transport.
+        let transport = if cfg!(target_os = "linux") {
+            cfg.transport
+        } else {
+            Transport::Threads
         };
-        Ok(Server {
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let mut server = Server {
             addr,
             inner,
-            accept_handle: Some(accept_handle),
+            transport,
+            accept_handle: None,
             worker_handles,
             conn_handles,
-        })
+            #[cfg(target_os = "linux")]
+            reactor: None,
+        };
+        match transport {
+            #[cfg(target_os = "linux")]
+            Transport::Reactor => {
+                server.reactor = Some(crate::reactor::spawn(
+                    listener,
+                    server.inner.clone(),
+                    crate::reactor::ReactorOptions {
+                        max_outbound_bytes: cfg.max_outbound_bytes.max(MAX_LINE_LEN + 1),
+                        conn_inflight_limit: cfg.conn_inflight_limit.max(1),
+                    },
+                )?);
+            }
+            #[cfg(not(target_os = "linux"))]
+            Transport::Reactor => unreachable!("reactor transport forced off above"),
+            Transport::Threads => {
+                let inner = server.inner.clone();
+                let conn_handles = server.conn_handles.clone();
+                server.accept_handle = Some(std::thread::spawn(move || {
+                    accept_loop(&listener, &inner, &conn_handles)
+                }));
+            }
+        }
+        Ok(server)
     }
 
     /// The bound address (with the resolved port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The transport actually serving connections.
+    pub fn transport(&self) -> Transport {
+        self.transport
     }
 
     /// Simulations executed so far (excludes cache hits).
@@ -283,6 +412,17 @@ impl Server {
     /// counter).
     pub fn expired_count(&self) -> u64 {
         self.inner.expired.load(Ordering::Relaxed)
+    }
+
+    /// Jobs dropped because their connection died.
+    pub fn cancelled_count(&self) -> u64 {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Benchmarks currently resident in this server's trace pool
+    /// (shard-residency introspection for the router tests and bench).
+    pub fn trace_pool_benchmarks(&self) -> Vec<String> {
+        self.inner.engine.trace_pool_benchmarks()
     }
 
     /// Graceful shutdown: stops accepting connections and admitting
@@ -299,7 +439,21 @@ impl Server {
         if self.inner.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop.
+        #[cfg(target_os = "linux")]
+        if let Some(mut reactor) = self.reactor.take() {
+            // The reactor notices the flag, stops admitting, closes the
+            // scheduler itself (it is the sole admitter), and exits
+            // only after every owed frame is flushed or its connection
+            // is provably dead.
+            reactor.wake();
+            reactor.join();
+            for h in self.worker_handles.drain(..) {
+                let _ = h.join();
+            }
+            let _ = self.inner.engine.save_cache();
+            return;
+        }
+        // Threads transport. Unblock the accept loop.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
@@ -357,16 +511,6 @@ fn accept_loop(
     }
 }
 
-/// Writes one line from the connection's own thread (parse errors,
-/// status responses); job completions go through
-/// [`RequestState::write_frame`] instead, which tracks dead peers.
-fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) {
-    let mut guard = writer.lock().unwrap_or_else(PoisonError::into_inner);
-    let _ = guard.write_all(line.as_bytes());
-    let _ = guard.write_all(b"\n");
-    let _ = guard.flush();
-}
-
 fn connection_loop(stream: TcpStream, inner: &Arc<Inner>) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
     // Responses are single lines; send them immediately (Nagle would
@@ -378,35 +522,44 @@ fn connection_loop(stream: TcpStream, inner: &Arc<Inner>) {
     // is the only casualty.
     let _ = stream.set_write_timeout(Some(WRITE_STALL_LIMIT));
     let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
+        Ok(w) => w,
         Err(_) => return,
     };
     let dead = Arc::new(AtomicBool::new(false));
+    let sink: Arc<dyn FrameSink> = Arc::new(ThreadsSink {
+        writer: Mutex::new(writer),
+        dead: dead.clone(),
+    });
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut lines = BoundedLineReader::new();
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => {
+        match lines.read_line(&mut reader) {
+            Ok(LineRead::Line) => {
+                let line = lines.line();
+                if !line.trim().is_empty() {
+                    handle_request(&line, inner, &sink, &dead);
+                }
+            }
+            Ok(LineRead::TooLong) => {
+                let resp = Response::Error {
+                    id: String::new(),
+                    message: format!("request line exceeds {MAX_LINE_LEN} bytes"),
+                };
+                sink.send_frame(&resp.to_line());
+            }
+            Ok(LineRead::Eof) => {
                 // EOF. A partial line with no terminating newline is a
                 // truncated request: tell the peer before hanging up (it
                 // may only have shut down its write half).
-                if !line.trim().is_empty() {
+                if !lines.partial().is_empty() {
                     let resp = Response::Error {
                         id: String::new(),
                         message: "truncated request line".to_string(),
                     };
-                    write_line(&writer, &resp.to_line());
+                    sink.send_frame(&resp.to_line());
                 }
                 return;
             }
-            Ok(_) if line.ends_with('\n') => {
-                if !line.trim().is_empty() {
-                    handle_request(&line, inner, &writer, &dead);
-                }
-                line.clear();
-            }
-            // Mid-line read: keep accumulating.
-            Ok(_) => {}
             Err(e)
                 if matches!(
                     e.kind(),
@@ -422,18 +575,51 @@ fn connection_loop(stream: TcpStream, inner: &Arc<Inner>) {
     }
 }
 
+/// Assembles the `status` response's counters (both transports).
+pub(crate) fn status_response(id: String, inner: &Inner) -> Response {
+    let engine = &inner.engine;
+    Response::Status {
+        id,
+        counters: vec![
+            (
+                "requests".to_string(),
+                inner.requests.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "admitted_jobs".to_string(),
+                inner.admitted_jobs.load(Ordering::Relaxed) as f64,
+            ),
+            ("queued".to_string(), inner.sched.len() as f64),
+            (
+                "expired".to_string(),
+                inner.expired.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "cancelled".to_string(),
+                inner.cancelled.load(Ordering::Relaxed) as f64,
+            ),
+            ("simulated".to_string(), engine.simulated_count() as f64),
+            ("cache_hits".to_string(), engine.cache_hit_count() as f64),
+            ("cache_len".to_string(), engine.cache().len() as f64),
+            ("workers".to_string(), engine.threads() as f64),
+        ],
+    }
+}
+
+/// Parses and dispatches one request line (threads transport; the
+/// reactor drives [`expand`]/[`admit`] itself so it can apply its
+/// fairness quota between the two).
 fn handle_request(
     line: &str,
     inner: &Arc<Inner>,
-    writer: &Arc<Mutex<TcpStream>>,
+    sink: &Arc<dyn FrameSink>,
     dead: &Arc<AtomicBool>,
 ) {
     inner.requests.fetch_add(1, Ordering::Relaxed);
     let req = match Request::parse(line) {
         Ok(req) => req,
         Err(message) => {
-            write_line(
-                writer,
+            sink.send_frame(
                 &Response::Error {
                     id: String::new(),
                     message,
@@ -445,41 +631,13 @@ fn handle_request(
     };
     match expand(&req.kind, inner.default_window) {
         Ok(Expanded::Work { items, window }) => {
-            admit(req, items, window, inner, writer, dead);
+            admit(req, items, window, inner, sink, dead, None);
         }
         Ok(Expanded::Status) => {
-            let engine = &inner.engine;
-            let resp = Response::Status {
-                id: req.id,
-                counters: vec![
-                    (
-                        "requests".to_string(),
-                        inner.requests.load(Ordering::Relaxed) as f64,
-                    ),
-                    (
-                        "admitted_jobs".to_string(),
-                        inner.admitted_jobs.load(Ordering::Relaxed) as f64,
-                    ),
-                    ("queued".to_string(), inner.sched.len() as f64),
-                    (
-                        "expired".to_string(),
-                        inner.expired.load(Ordering::Relaxed) as f64,
-                    ),
-                    (
-                        "cancelled".to_string(),
-                        inner.cancelled.load(Ordering::Relaxed) as f64,
-                    ),
-                    ("simulated".to_string(), engine.simulated_count() as f64),
-                    ("cache_hits".to_string(), engine.cache_hit_count() as f64),
-                    ("cache_len".to_string(), engine.cache().len() as f64),
-                    ("workers".to_string(), engine.threads() as f64),
-                ],
-            };
-            write_line(writer, &resp.to_line());
+            sink.send_frame(&status_response(req.id, inner).to_line());
         }
         Err(message) => {
-            write_line(
-                writer,
+            sink.send_frame(
                 &Response::Error {
                     id: req.id,
                     message,
@@ -491,15 +649,23 @@ fn handle_request(
 }
 
 /// Builds one request's jobs and admits them into the shared scheduler
-/// as one atomic batch.
-fn admit(
+/// as one atomic batch, returning whether admission succeeded (it
+/// fails only against a closed, shutting-down scheduler — the peer
+/// gets an error frame then).
+///
+/// `resolved`, when supplied (reactor transport), runs after *each*
+/// job's completion frame is queued — the reactor's accounting hook
+/// for its global outstanding-jobs count and the connection's
+/// fairness quota.
+pub(crate) fn admit(
     req: Request,
     items: Vec<MeasureItem>,
     window: u64,
     inner: &Arc<Inner>,
-    writer: &Arc<Mutex<TcpStream>>,
+    sink: &Arc<dyn FrameSink>,
     dead: &Arc<AtomicBool>,
-) {
+    resolved: Option<Arc<dyn Fn() + Send + Sync>>,
+) -> bool {
     // checked_add: a huge client-supplied deadline_ms must not panic
     // the connection thread on targets with a narrow Instant; a
     // deadline too far away to represent is no deadline at all.
@@ -508,7 +674,7 @@ fn admit(
         .and_then(|ms| Instant::now().checked_add(Duration::from_millis(ms)));
     let state = Arc::new(RequestState {
         id: req.id.clone(),
-        writer: writer.clone(),
+        sink: sink.clone(),
         remaining: AtomicUsize::new(items.len()),
         results: AtomicU64::new(0),
         expired: AtomicU64::new(0),
@@ -530,27 +696,32 @@ fn admit(
             }
             let state = state.clone();
             let inner = inner.clone();
+            let resolved = resolved.clone();
             let complete = Box::new(move |job: Job, outcome: JobOutcome| {
                 state.complete_one(&job.item.config_key, outcome, &inner);
+                if let Some(resolved) = &resolved {
+                    resolved();
+                }
             }) as Completion<'static>;
             (job, complete)
         })
         .collect();
     if inner.sched.submit_batch(batch) {
         inner.admitted_jobs.fetch_add(n_jobs, Ordering::Relaxed);
+        true
     } else {
-        write_line(
-            writer,
+        sink.send_frame(
             &Response::Error {
                 id: req.id,
                 message: "server shutting down".to_string(),
             }
             .to_line(),
         );
+        false
     }
 }
 
-enum Expanded {
+pub(crate) enum Expanded {
     Work {
         items: Vec<MeasureItem>,
         window: u64,
@@ -561,7 +732,7 @@ enum Expanded {
 /// Expands a request into concrete measurable items (the same
 /// (spec, mode, key, machine) tuples the `Explorer` sweeps build, so
 /// cache entries are shared between the server and offline sweeps).
-fn expand(kind: &RequestKind, default_window: u64) -> Result<Expanded, String> {
+pub(crate) fn expand(kind: &RequestKind, default_window: u64) -> Result<Expanded, String> {
     let lookup =
         |name: &str| suite::by_name(name).ok_or_else(|| format!("unknown benchmark {name:?}"));
     let eff = |w: u64| if w == 0 { default_window } else { w };

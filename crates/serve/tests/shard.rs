@@ -1,0 +1,134 @@
+//! Integration tests of the consistent-hash sharded fleet: router
+//! determinism, per-shard trace-pool disjointness, and fleet ≡
+//! single-server ≡ direct bit-identity.
+
+use std::collections::BTreeMap;
+
+use gals_core::{MachineConfig, McdConfig, Simulator};
+use gals_serve::{
+    Request, RequestKind, RoutedClient, ServeConfig, Server, ShardRouter, ShardedFleet,
+};
+use gals_workloads::suite;
+
+const BENCHES: [&str; 6] = ["gzip", "art", "em3d", "health", "bisort", "equake"];
+
+fn prog_request(id: &str, bench: &str, cfg: usize, window: u64) -> Request {
+    Request::new(
+        id,
+        RequestKind::RunConfig {
+            bench: bench.to_string(),
+            mode: "prog".to_string(),
+            cfg: Some(cfg),
+            policy: None,
+            window,
+        },
+    )
+}
+
+#[test]
+fn router_spreads_the_suite() {
+    // Not a tautology: with too few virtual nodes a small fleet can
+    // leave a shard empty. The suite is ~30 benchmarks; every shard of
+    // a small fleet must own at least one.
+    for shards in 2..=4 {
+        let router = ShardRouter::new(shards);
+        let mut owned = vec![0usize; shards];
+        for bench in suite::names() {
+            owned[router.route(&bench)] += 1;
+        }
+        assert!(
+            owned.iter().all(|&n| n > 0),
+            "{shards} shards, ownership {owned:?}: empty shard"
+        );
+    }
+}
+
+/// The acceptance case: an N ≥ 2 fleet serves bit-identically to a
+/// single server (and to the direct simulator), while each shard's
+/// trace pool holds exactly the benchmarks the router assigned it —
+/// provably disjoint residency.
+#[test]
+fn fleet_is_bit_identical_with_disjoint_trace_pools() {
+    const SHARDS: usize = 3;
+    let window = 500;
+    let fleet = ShardedFleet::start(&ServeConfig::default(), SHARDS).unwrap();
+    let mut routed = RoutedClient::connect(&fleet.addrs()).unwrap();
+    assert_eq!(routed.route(&Request::new("s", RequestKind::Status)), 0);
+
+    // Collect served runtimes per (bench, cfg) through the fleet.
+    let mut fleet_results: BTreeMap<(String, usize), f64> = BTreeMap::new();
+    for (i, bench) in BENCHES.iter().enumerate() {
+        for r in 0..2 {
+            let cfg = (i * 29 + r * 7) % McdConfig::enumerate().len();
+            let id = format!("f{i}-{r}");
+            let responses = routed
+                .request(&prog_request(&id, bench, cfg, window))
+                .unwrap();
+            match &responses[0] {
+                gals_serve::Response::Partial { runtime_ns, .. } => {
+                    fleet_results.insert((bench.to_string(), cfg), *runtime_ns);
+                }
+                other => panic!("{id}: expected partial, got {other:?}"),
+            }
+        }
+    }
+
+    // Residency: each shard's trace pool must hold exactly the
+    // benchmarks the router sent it — no overlap, nothing foreign.
+    let router = fleet.router().clone();
+    let mut expected: Vec<Vec<&str>> = vec![Vec::new(); SHARDS];
+    for bench in BENCHES {
+        expected[router.route(bench)].push(bench);
+    }
+    let mut seen_anywhere: Vec<String> = Vec::new();
+    for (s, shard_benches) in expected.iter().enumerate() {
+        let mut resident = fleet.shard(s).trace_pool_benchmarks();
+        resident.sort();
+        let mut exp: Vec<String> = shard_benches.iter().map(|b| b.to_string()).collect();
+        exp.sort();
+        assert_eq!(
+            resident, exp,
+            "shard {s} pool must hold exactly its routed benchmarks"
+        );
+        for bench in &resident {
+            assert!(
+                !seen_anywhere.contains(bench),
+                "{bench} resident on two shards"
+            );
+            seen_anywhere.push(bench.clone());
+        }
+    }
+    // The fleet actually sharded: with 6 benchmarks over 3 shards,
+    // no shard simulated everything.
+    assert!(
+        (0..SHARDS).filter(|&s| !expected[s].is_empty()).count() >= 2,
+        "routing degenerated to one shard"
+    );
+    fleet.shutdown();
+
+    // Single-server pass over the same work.
+    let single = Server::start(ServeConfig::default()).unwrap();
+    let mut client = gals_serve::Client::connect(single.local_addr()).unwrap();
+    for ((bench, cfg), fleet_runtime) in &fleet_results {
+        let responses = client
+            .request(&prog_request("s", bench, *cfg, window))
+            .unwrap();
+        let served = match &responses[0] {
+            gals_serve::Response::Partial { runtime_ns, .. } => *runtime_ns,
+            other => panic!("expected partial, got {other:?}"),
+        };
+        assert_eq!(
+            fleet_runtime.to_bits(),
+            served.to_bits(),
+            "{bench}/{cfg}: fleet and single-server results must be bit-identical"
+        );
+        // And both match the direct simulator.
+        let direct = Simulator::new(MachineConfig::program_adaptive(
+            McdConfig::enumerate()[*cfg],
+        ))
+        .run(&mut suite::by_name(bench).unwrap().stream(), window)
+        .runtime_ns();
+        assert_eq!(fleet_runtime.to_bits(), direct.to_bits(), "{bench}/{cfg}");
+    }
+    single.shutdown();
+}
