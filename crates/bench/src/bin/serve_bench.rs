@@ -10,7 +10,7 @@
 //!
 //! A second phase saturates a one-worker server with a mixed-priority
 //! stream and measures per-request latency (reported as nearest-rank
-//! p50/p95/p99 per priority class): the scheduler must give
+//! p50/p95/p99/p99.9 per priority class): the scheduler must give
 //! high-priority requests a lower median latency than the low-priority
 //! backlog they overtake.
 //!
@@ -24,7 +24,7 @@
 //! as its *viable* ceiling, and the reactor's tail at C_max is
 //! compared against the threads tail at that ceiling.
 //!
-//! Writes `BENCH_serve.json` (schema v4). Knobs:
+//! Writes `BENCH_serve.json` (schema v5). Knobs:
 //! `GALS_SERVE_BENCH_WINDOW` (instructions per run, default 3,000),
 //! `GALS_SERVE_BENCH_CLIENTS` (default 8), `GALS_SERVE_BENCH_CONNS`
 //! (connection grid, default `8,64,256`), `GALS_SERVE_BENCH_OUT`
@@ -491,16 +491,18 @@ fn main() {
     // requires. Tail percentiles are the serving metric that matters
     // under saturation: a priority scheme that only helps the median
     // can still strand individual high-priority requests behind the
-    // backlog, and p95/p99 is where that shows.
-    let (high_p50, high_p95, high_p99) = (
+    // backlog, and p95/p99/p99.9 is where that shows.
+    let (high_p50, high_p95, high_p99, high_p999) = (
         percentile(&highs, 50.0),
         percentile(&highs, 95.0),
         percentile(&highs, 99.0),
+        percentile(&highs, 99.9),
     );
-    let (low_p50, low_p95, low_p99) = (
+    let (low_p50, low_p95, low_p99, low_p999) = (
         percentile(&lows, 50.0),
         percentile(&lows, 95.0),
         percentile(&lows, 99.0),
+        percentile(&lows, 99.9),
     );
 
     // --- Phase C: connection scaling, reactor vs threads. -------------
@@ -570,10 +572,13 @@ fn main() {
     println!("  independent        {independent_ms:.1} ms");
     println!("  speedup            {speedup:.2}x");
     println!(
-        "  high-pri latency   p50 {high_p50:.1} / p95 {high_p95:.1} / p99 {high_p99:.1} ms \
-         (saturated, 1 worker)"
+        "  high-pri latency   p50 {high_p50:.1} / p95 {high_p95:.1} / p99 {high_p99:.1} / \
+         p99.9 {high_p999:.1} ms (saturated, 1 worker)"
     );
-    println!("  low-pri latency    p50 {low_p50:.1} / p95 {low_p95:.1} / p99 {low_p99:.1} ms");
+    println!(
+        "  low-pri latency    p50 {low_p50:.1} / p95 {low_p95:.1} / p99 {low_p99:.1} / \
+         p99.9 {low_p999:.1} ms"
+    );
     for (label, scale) in [("reactor", &reactor_scale), ("threads", &threads_scale)] {
         for (conns, r) in scale.iter() {
             println!(
@@ -613,7 +618,7 @@ fn main() {
     );
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"gals-mcd-serve-bench-v4\",\n");
+    json.push_str("{\n  \"schema\": \"gals-mcd-serve-bench-v5\",\n");
     let _ = writeln!(json, "  \"window\": {window},");
     let _ = writeln!(json, "  \"clients\": {clients},");
     let _ = writeln!(json, "  \"requests\": {total_requests},");
@@ -627,12 +632,12 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"high_priority_latency_ms\": {{\"p50\": {high_p50:.1}, \"p95\": {high_p95:.1}, \
-         \"p99\": {high_p99:.1}}},"
+         \"p99\": {high_p99:.1}, \"p999\": {high_p999:.1}}},"
     );
     let _ = writeln!(
         json,
         "  \"low_priority_latency_ms\": {{\"p50\": {low_p50:.1}, \"p95\": {low_p95:.1}, \
-         \"p99\": {low_p99:.1}}},"
+         \"p99\": {low_p99:.1}, \"p999\": {low_p999:.1}}},"
     );
     json.push_str("  \"reactor\": {\n");
     let grid: Vec<String> = conn_grid.iter().map(ToString::to_string).collect();
@@ -712,7 +717,7 @@ fn main() {
         ];
         for (name, measured, committed_val) in checks {
             let Some(want) = committed_val else {
-                eprintln!("serve-smoke: {name} missing from {path} (schema v4 required)");
+                eprintln!("serve-smoke: {name} missing from {path} (schema v5 required)");
                 failed = true;
                 continue;
             };

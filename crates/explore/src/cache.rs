@@ -1,24 +1,37 @@
-//! Persistent runtime cache for sweep results.
+//! Persistent runtime cache for sweep results — the system of record
+//! for every measured (benchmark, config, window) runtime.
 //!
-//! The cache is sharded: keys hash to one of [`SHARDS`] independent
-//! `Mutex<FxHashMap>` shards, so concurrent sweep workers recording
-//! results almost never contend. Both the shard selection and the maps
-//! themselves use the seeded Fx hasher from [`gals_common::fxmap`] —
-//! cache keys are trusted, internally generated strings hashed on every
-//! job pop, where SipHash's DoS resistance buys nothing. Persistence is
-//! batched — workers call [`ResultCache::maybe_save_batched`] after
-//! inserting, and the file is rewritten at most once per batch, by
-//! whichever thread wins the non-blocking save guard.
+//! The in-memory side is sharded: keys hash to one of [`SHARDS`]
+//! independent `Mutex<FxHashMap>` shards, so concurrent sweep workers
+//! recording results almost never contend. Both the shard selection and
+//! the maps themselves use the seeded Fx hasher from
+//! [`gals_common::fxmap`] — cache keys are trusted, internally
+//! generated strings hashed on every job pop, where SipHash's DoS
+//! resistance buys nothing.
+//!
+//! Persistence is a durable log-structured store (see [`crate::wal`]):
+//! every [`ResultCache::put`] appends one checksummed record to an
+//! append-only WAL sidecar (`<path>.wal`), and batched checkpoints
+//! rewrite the sorted flat-JSON snapshot at `<path>` via atomic
+//! tmp-file + rename, truncating the WAL only once the checkpoint is
+//! durable. Opening replays checkpoint + WAL tail, stopping cleanly at
+//! the first torn record and reporting what it recovered — a crash at
+//! any instant (including `kill -9` mid-append or mid-checkpoint) loses
+//! at most the records the sync policy had not yet acknowledged,
+//! never the store. The [`RecoveryReport`] surfaces recovered/discarded
+//! counts to callers, and every damage path warns loudly on stderr with
+//! the byte offset where trust ended.
 
 use std::fs;
-use std::io;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError, TryLockError};
 
 use gals_common::fxmap::{fx_hash_bytes, FxHashMap};
 
-use crate::json::{format_json_number, parse_flat_number_map, write_json_string};
+use crate::json::{format_json_number, parse_flat_number_map_prefix, write_json_string};
+use crate::wal::{scan_wal, FileSink, SyncPolicy, Wal};
 
 /// Number of independently locked shards. A small power of two is plenty:
 /// the critical section is one map insert.
@@ -41,7 +54,7 @@ impl CacheKey {
     }
 
     /// The underlying string (stable across versions; used as the JSON
-    /// map key).
+    /// map key and the WAL record key).
     pub fn as_str(&self) -> &str {
         &self.0
     }
@@ -54,8 +67,68 @@ fn shard_of(key: &str) -> usize {
     (fx_hash_bytes(SHARD_SEED, key.as_bytes()) as usize) % SHARDS
 }
 
-/// A JSON-file-backed map from [`CacheKey`] to measured runtime in
-/// nanoseconds.
+/// The checkpoint temp path for a cache at `path` (`<path>.tmp`).
+/// Checkpoints write here, fsync, then atomically rename over `path`.
+pub fn tmp_path_of(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// The WAL sidecar path for a cache at `path` (`<path>.wal`).
+pub fn wal_path_of(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".wal");
+    PathBuf::from(os)
+}
+
+/// What [`ResultCache::open`] found and salvaged: how many records came
+/// from the checkpoint and the WAL tail, and where (if anywhere) each
+/// file stopped being trustworthy. Callers that care about durability
+/// (the serve layer, the crash harness, the durability bench) read this
+/// instead of grepping stderr.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Entries recovered from the checkpoint file.
+    pub checkpoint_entries: usize,
+    /// Byte offset of the first checkpoint parse failure (`None` when
+    /// the checkpoint was fully valid or absent).
+    pub checkpoint_malformed_at: Option<usize>,
+    /// Checkpoint bytes discarded past the first parse failure.
+    pub checkpoint_discarded_bytes: usize,
+    /// A stale `<path>.tmp` from an interrupted checkpoint was found
+    /// (and ignored — the rename never happened, so it is untrusted).
+    pub stale_tmp_ignored: bool,
+    /// Records replayed from the WAL tail.
+    pub wal_records_replayed: usize,
+    /// Byte offset of the first torn/corrupt WAL frame (`None` when the
+    /// WAL ended cleanly).
+    pub wal_torn_at: Option<u64>,
+    /// Which check the first bad WAL frame failed.
+    pub wal_torn_reason: Option<&'static str>,
+    /// WAL bytes discarded past the tear.
+    pub wal_discarded_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// Total records recovered (checkpoint entries + WAL replays; the
+    /// two may overlap on keys, so this counts records, not final map
+    /// size).
+    pub fn recovered_records(&self) -> usize {
+        self.checkpoint_entries + self.wal_records_replayed
+    }
+
+    /// True when anything on disk was damaged or left over — i.e. the
+    /// previous process did not shut down cleanly.
+    pub fn had_damage(&self) -> bool {
+        self.stale_tmp_ignored
+            || self.checkpoint_malformed_at.is_some()
+            || self.wal_torn_at.is_some()
+    }
+}
+
+/// A durable map from [`CacheKey`] to measured runtime in nanoseconds,
+/// backed by a flat-JSON checkpoint plus an append-only WAL.
 ///
 /// The sweeps are embarrassingly cacheable: a (benchmark, config, window)
 /// runtime never changes because everything in the simulator is
@@ -69,10 +142,23 @@ fn shard_of(key: &str) -> usize {
 pub struct ResultCache {
     path: Option<PathBuf>,
     shards: Vec<Mutex<FxHashMap<String, f64>>>,
-    /// Inserts since the last successful save (drives batched persistence).
+    /// Inserts since the last successful checkpoint (drives batched
+    /// checkpointing).
     unsaved: AtomicUsize,
-    /// Non-blocking guard so only one thread performs file I/O at a time.
+    /// Non-blocking guard so only one thread performs checkpoint I/O at
+    /// a time.
     save_guard: Mutex<()>,
+    /// The append-only log (file-backed caches only). Lock ordering:
+    /// never taken while a shard lock is held *except* by the
+    /// checkpointer, which takes `wal` first and shards second — `put`
+    /// drops its shard guard before touching the WAL, so the two cannot
+    /// deadlock.
+    wal: Option<Mutex<Wal>>,
+    /// Sequence source for in-memory caches (keeps `put`'s contract
+    /// uniform when there is no WAL).
+    mem_seq: AtomicU64,
+    /// What recovery found when this cache was opened.
+    recovery: RecoveryReport,
 }
 
 impl Default for ResultCache {
@@ -84,12 +170,16 @@ impl Default for ResultCache {
                 .collect(),
             unsaved: AtomicUsize::new(0),
             save_guard: Mutex::new(()),
+            wal: None,
+            mem_seq: AtomicU64::new(0),
+            recovery: RecoveryReport::default(),
         }
     }
 }
 
 impl ResultCache {
-    /// An in-memory cache (tests).
+    /// An in-memory cache (tests). No WAL; every sequence number is
+    /// trivially "durable" in the only store that exists.
     pub fn in_memory() -> Self {
         ResultCache::default()
     }
@@ -105,29 +195,143 @@ impl ResultCache {
             .unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Opens (or initializes) a cache at `path`.
+    /// Locks the WAL (file-backed caches only), recovering from
+    /// poisoning: the WAL tracks its own degraded state, and a thread
+    /// that panicked mid-append leaves at worst a torn frame that the
+    /// next recovery truncates.
+    fn wal_guard(&self) -> Option<MutexGuard<'_, Wal>> {
+        self.wal
+            .as_ref()
+            .map(|w| w.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Opens (or initializes) a cache at `path`, with the sync policy
+    /// from `GALS_MCD_WAL_SYNC` (default `batch:64`).
+    ///
+    /// Recovery replays the checkpoint file, then the WAL tail,
+    /// stopping cleanly at the first torn/corrupt record in either;
+    /// damage is warned loudly on stderr with its byte offset and
+    /// surfaced via [`ResultCache::recovery`].
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors other than "file not found"; a malformed
-    /// cache file is treated as empty rather than fatal.
+    /// Propagates I/O errors other than "file not found"; damaged file
+    /// *contents* are recovered-and-reported, never fatal.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_with_policy(path, SyncPolicy::from_env())
+    }
+
+    /// [`ResultCache::open`] with an explicit WAL sync policy (the
+    /// crash harness and the durability bench sweep policies without
+    /// touching the environment).
+    ///
+    /// # Errors
+    ///
+    /// See [`ResultCache::open`].
+    pub fn open_with_policy(path: impl AsRef<Path>, policy: SyncPolicy) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
         let mut cache = ResultCache::default();
-        cache.path = Some(path.clone());
-        match fs::read_to_string(&path) {
-            Ok(text) => {
-                if let Some(entries) = parse_flat_number_map(&text) {
-                    for (k, v) in entries {
-                        let shard = shard_of(&k);
-                        cache.shard(shard).insert(k, v);
+        let mut report = RecoveryReport::default();
+
+        // A stale temp file is an interrupted checkpoint: the rename
+        // never happened, so its contents are untrusted — the real
+        // checkpoint + WAL are authoritative.
+        let tmp = tmp_path_of(&path);
+        if tmp.exists() {
+            eprintln!(
+                "warning: result cache: ignoring stale checkpoint temp file {} \
+                 (interrupted checkpoint; recovering from checkpoint + WAL instead)",
+                tmp.display()
+            );
+            let _ = fs::remove_file(&tmp);
+            report.stale_tmp_ignored = true;
+        }
+
+        // Checkpoint: replay the longest valid prefix. Non-UTF-8 bytes
+        // (a torn write through a multi-byte char, or plain corruption)
+        // truncate the text at the first invalid byte and count as the
+        // parse failure offset.
+        let mut file_len = 0usize;
+        let (text, utf8_fail) = match fs::read(&path) {
+            Ok(bytes) => {
+                file_len = bytes.len();
+                match String::from_utf8(bytes) {
+                    Ok(text) => (text, None),
+                    Err(e) => {
+                        let valid = e.utf8_error().valid_up_to();
+                        let mut bytes = e.into_bytes();
+                        bytes.truncate(valid);
+                        let text = String::from_utf8(bytes).expect("valid prefix");
+                        (text, Some(valid))
                     }
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => (String::new(), None),
             Err(e) => return Err(e),
+        };
+        if file_len > 0 {
+            let (entries, parse_fail) = parse_flat_number_map_prefix(&text);
+            report.checkpoint_entries = entries.len();
+            if let Some(off) = parse_fail.or(utf8_fail) {
+                report.checkpoint_malformed_at = Some(off);
+                report.checkpoint_discarded_bytes = file_len - off;
+                eprintln!(
+                    "warning: result cache {}: malformed at byte {off}; recovered {} \
+                     entries, discarded {} trailing bytes",
+                    path.display(),
+                    entries.len(),
+                    file_len - off
+                );
+            }
+            for (k, v) in entries {
+                cache.shard(shard_of(&k)).insert(k, v);
+            }
         }
+
+        // WAL tail: replay records appended after the last checkpoint,
+        // stopping cleanly at the first torn frame. The writer below is
+        // opened at the valid prefix length, which truncates the torn
+        // tail so new appends never land after garbage.
+        let wal_file = wal_path_of(&path);
+        let wal_bytes = match fs::read(&wal_file) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let scan = scan_wal(&wal_bytes);
+        report.wal_records_replayed = scan.records.len();
+        if let (Some(off), Some(reason)) = (scan.corrupt_at, scan.corrupt_reason) {
+            report.wal_torn_at = Some(off);
+            report.wal_torn_reason = Some(reason);
+            report.wal_discarded_bytes = wal_bytes.len() as u64 - scan.valid_len;
+            eprintln!(
+                "warning: result cache WAL {}: {reason} at byte {off}; replayed {} \
+                 records, truncating {} bytes of torn tail",
+                wal_file.display(),
+                scan.records.len(),
+                report.wal_discarded_bytes
+            );
+        }
+        let last_seq = scan.records.last().map(|r| r.seq).unwrap_or(0);
+        for rec in scan.records {
+            cache.shard(shard_of(&rec.key)).insert(rec.key, rec.value);
+        }
+        let sink = FileSink::open_at(&wal_file, scan.valid_len)?;
+        cache.wal = Some(Mutex::new(Wal::new(Box::new(sink), policy, last_seq)));
+        cache.path = Some(path);
+        cache.recovery = report;
         Ok(cache)
+    }
+
+    /// What recovery found when this cache was opened (all zeroes for
+    /// in-memory caches and fresh files).
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     /// Number of cached measurements.
@@ -145,16 +349,64 @@ impl ResultCache {
         self.shard(shard_of(&key.0)).get(key.as_str()).copied()
     }
 
-    /// Stores a measured runtime (ns).
-    pub fn put(&self, key: CacheKey, runtime_ns: f64) {
-        self.shard(shard_of(&key.0)).insert(key.0, runtime_ns);
+    /// Stores a measured runtime (ns) and returns its WAL sequence
+    /// number. The record is *acknowledged-durable* only once
+    /// [`ResultCache::durable_seq`] reaches that sequence — immediately
+    /// under `GALS_MCD_WAL_SYNC=always`, at the next batch boundary /
+    /// [`ResultCache::sync_wal`] / checkpoint otherwise.
+    pub fn put(&self, key: CacheKey, runtime_ns: f64) -> u64 {
+        // Shard map first, WAL second: the checkpointer snapshots the
+        // maps while holding the WAL lock, so every WAL record is also
+        // in memory — truncating the log after a checkpoint can never
+        // drop a record the checkpoint missed. (The shard guard is a
+        // statement temporary, released before the WAL lock is taken.)
+        self.shard(shard_of(&key.0))
+            .insert(key.0.clone(), runtime_ns);
         self.unsaved.fetch_add(1, Ordering::Relaxed);
+        match self.wal_guard() {
+            Some(mut wal) => wal.append(&key.0, runtime_ns),
+            None => self.mem_seq.fetch_add(1, Ordering::Relaxed) + 1,
+        }
     }
 
-    /// Batched persistence: saves when at least `batch` results were
-    /// recorded since the last save and no other thread is already
-    /// saving. Sweep workers call this after every insert; at most one of
-    /// them pays the file-write cost per batch.
+    /// Highest sequence number guaranteed to survive a crash right now
+    /// (the WAL sync watermark; for in-memory caches, simply the last
+    /// sequence issued).
+    pub fn durable_seq(&self) -> u64 {
+        match self.wal_guard() {
+            Some(wal) => wal.synced_seq(),
+            None => self.mem_seq.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Last sequence number issued by [`ResultCache::put`].
+    pub fn last_seq(&self) -> u64 {
+        match self.wal_guard() {
+            Some(wal) => wal.last_seq(),
+            None => self.mem_seq.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Forces every appended WAL record durable (fsync) without paying
+    /// for a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the WAL is degraded by an earlier storage fault; the
+    /// records are still in memory and persist at the next successful
+    /// checkpoint.
+    pub fn sync_wal(&self) -> io::Result<()> {
+        match self.wal_guard() {
+            Some(mut wal) => wal.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Batched checkpointing: checkpoints when at least `batch` results
+    /// were recorded since the last checkpoint and no other thread is
+    /// already doing it. Sweep workers call this after every insert; at
+    /// most one of them pays the file-write cost per batch. (Durability
+    /// does not wait for this — `put` already appended to the WAL.)
     pub fn maybe_save_batched(&self, batch: usize) {
         if self.path.is_none() || self.unsaved.load(Ordering::Relaxed) < batch {
             return;
@@ -169,12 +421,13 @@ impl ResultCache {
         if let Some(_guard) = guard {
             // Re-check under the guard; a concurrent save may have run.
             if self.unsaved.load(Ordering::Relaxed) >= batch {
-                let _ = self.write_file();
+                let _ = self.checkpoint();
             }
         }
     }
 
-    /// Writes the cache back to disk if it changed.
+    /// Checkpoints the cache to disk if it changed since the last
+    /// checkpoint (graceful-shutdown path; also truncates the WAL).
     ///
     /// # Errors
     ///
@@ -187,16 +440,29 @@ impl ResultCache {
             .save_guard
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        self.write_file()
+        self.checkpoint()
     }
 
-    fn write_file(&self) -> io::Result<()> {
+    /// Writes the sorted snapshot durably — tmp file, fsync, atomic
+    /// rename, directory fsync — then truncates the WAL, whose records
+    /// the checkpoint now covers. A crash at any point leaves either
+    /// the old checkpoint + full WAL (before the rename lands) or the
+    /// new checkpoint (+ a WAL whose replay is idempotent, if the
+    /// truncate never ran): nothing acknowledged is ever lost.
+    fn checkpoint(&self) -> io::Result<()> {
         let Some(path) = self.path.clone() else {
             return Ok(());
         };
         if let Some(dir) = path.parent() {
-            fs::create_dir_all(dir)?;
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
         }
+        // Hold the WAL lock for the whole checkpoint: concurrent `put`s
+        // stall briefly (they are per-sweep-result, nowhere near the
+        // simulator hot path), the snapshot is a superset of the log,
+        // and the truncation below cannot race a fresh append.
+        let mut wal_guard = self.wal_guard();
         // Snapshot the unsaved count *before* reading the shards:
         // results inserted concurrently during the snapshot may or may
         // not make this file, so their increments must survive (an
@@ -222,7 +488,31 @@ impl ResultCache {
             text.push_str(&format_json_number(*v));
         }
         text.push('}');
-        fs::write(&path, text)?;
+        let tmp = tmp_path_of(&path);
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            // The rename below publishes this file as the checkpoint;
+            // its contents must be on the platter first, or a crash
+            // could leave a published-but-hollow checkpoint *and* a
+            // truncated WAL.
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        // Make the rename itself durable before truncating the WAL: until
+        // the directory entry is flushed, the WAL is still the only copy.
+        // Best-effort — on platforms where a directory cannot be opened
+        // or synced, the window is the OS flush interval.
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Ok(d) = fs::File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+        }
+        if let Some(wal) = wal_guard.as_mut() {
+            wal.truncate_after_checkpoint()?;
+        }
         self.unsaved.fetch_sub(drained, Ordering::Relaxed);
         Ok(())
     }
@@ -230,7 +520,7 @@ impl ResultCache {
 
 impl Drop for ResultCache {
     fn drop(&mut self) {
-        // Best-effort persistence; explicit save() reports errors.
+        // Best-effort final checkpoint; explicit save() reports errors.
         let _ = self.save();
     }
 }
@@ -253,9 +543,10 @@ mod tests {
         let c = ResultCache::in_memory();
         let k = CacheKey::new("x", "sync", "cfg", 100);
         assert!(c.get(&k).is_none());
-        c.put(k.clone(), 42.5);
+        assert_eq!(c.put(k.clone(), 42.5), 1, "sequences start at 1");
         assert_eq!(c.get(&k), Some(42.5));
         assert_eq!(c.len(), 1);
+        assert_eq!(c.durable_seq(), 1, "in-memory: every seq is durable");
         assert!(c.save().is_ok(), "in-memory save is a no-op");
     }
 
@@ -272,18 +563,33 @@ mod tests {
         }
         let c = ResultCache::open(&path).unwrap();
         assert_eq!(c.get(&CacheKey::new("b", "phase", "k", 7)), Some(9.25));
+        assert!(!c.recovery().had_damage(), "clean shutdown, clean open");
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn malformed_cache_treated_as_empty() {
+    fn malformed_cache_recovers_valid_prefix() {
         let dir = std::env::temp_dir().join("gals-cache-test-bad");
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("cache.json");
         fs::write(&path, "not json at all").unwrap();
         let c = ResultCache::open(&path).unwrap();
-        assert!(c.is_empty());
+        assert!(c.is_empty(), "no valid prefix to recover here");
+        assert_eq!(c.recovery().checkpoint_malformed_at, Some(0));
+        // A checkpoint torn mid-write keeps its complete entries.
+        let torn = r#"{"a|sync|k|1":1.5,"b|sync|k|2":2.5,"c|sy"#;
+        fs::write(&path, torn).unwrap();
+        fs::remove_file(wal_path_of(&path)).unwrap();
+        let c = ResultCache::open(&path).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.recovery().checkpoint_entries, 2);
+        assert_eq!(
+            c.recovery().checkpoint_malformed_at,
+            Some(torn.find(r#""c|sy"#).unwrap())
+        );
+        assert!(c.recovery().checkpoint_discarded_bytes > 0);
+        drop(c);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -325,12 +631,12 @@ mod tests {
         let c = ResultCache::open(&path).unwrap();
         c.put(CacheKey::new("b", "sync", "k0", 1), 1.0);
         c.maybe_save_batched(8);
-        assert!(!path.exists(), "below batch threshold: no file yet");
+        assert!(!path.exists(), "below batch threshold: no checkpoint yet");
         for i in 1..8 {
             c.put(CacheKey::new("b", "sync", &format!("k{i}"), 1), 1.0);
         }
         c.maybe_save_batched(8);
-        assert!(path.exists(), "batch threshold reached: file written");
+        assert!(path.exists(), "batch threshold reached: checkpoint written");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -347,6 +653,76 @@ mod tests {
         }
         let c = ResultCache::open(&path).unwrap();
         assert_eq!(c.get(&weird), Some(2.5));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_is_atomic_and_truncates_wal() {
+        let dir = std::env::temp_dir().join("gals-cache-test-ckpt");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("cache.json");
+        let c = ResultCache::open_with_policy(&path, SyncPolicy::Always).unwrap();
+        for i in 0..10 {
+            c.put(CacheKey::new("b", "sync", &format!("k{i}"), 1), i as f64);
+        }
+        assert!(
+            fs::metadata(wal_path_of(&path)).unwrap().len() > 0,
+            "puts land in the WAL before any checkpoint"
+        );
+        c.save().unwrap();
+        assert!(!tmp_path_of(&path).exists(), "tmp renamed away");
+        assert_eq!(
+            fs::metadata(wal_path_of(&path)).unwrap().len(),
+            0,
+            "durable checkpoint truncates the WAL"
+        );
+        // Reopen: all 10 come from the checkpoint, none from the WAL.
+        drop(c);
+        let c = ResultCache::open(&path).unwrap();
+        assert_eq!(c.recovery().checkpoint_entries, 10);
+        assert_eq!(c.recovery().wal_records_replayed, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn puts_survive_without_any_checkpoint() {
+        // Simulate a crash before the first checkpoint: leak the cache
+        // so Drop's save() never runs, then recover from the WAL alone.
+        let dir = std::env::temp_dir().join("gals-cache-test-walonly");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("cache.json");
+        let c = ResultCache::open_with_policy(&path, SyncPolicy::Always).unwrap();
+        c.put(CacheKey::new("b", "sync", "k", 9), 0.1 + 0.2);
+        c.put(CacheKey::new("b", "prog", "k", 9), 1.0 / 3.0);
+        assert_eq!(c.durable_seq(), 2);
+        std::mem::forget(c);
+        assert!(!path.exists(), "no checkpoint was ever written");
+        let c = ResultCache::open(&path).unwrap();
+        assert_eq!(c.recovery().wal_records_replayed, 2);
+        assert_eq!(c.get(&CacheKey::new("b", "sync", "k", 9)), Some(0.1 + 0.2));
+        assert_eq!(c.get(&CacheKey::new("b", "prog", "k", 9)), Some(1.0 / 3.0));
+        drop(c);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_file_is_ignored_on_open() {
+        let dir = std::env::temp_dir().join("gals-cache-test-tmp");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("cache.json");
+        {
+            let c = ResultCache::open(&path).unwrap();
+            c.put(CacheKey::new("b", "sync", "real", 1), 7.0);
+            c.save().unwrap();
+        }
+        // An interrupted checkpoint left a half-written temp file.
+        fs::write(tmp_path_of(&path), r#"{"b|sync|bogus|1":99"#).unwrap();
+        let c = ResultCache::open(&path).unwrap();
+        assert!(c.recovery().stale_tmp_ignored);
+        assert_eq!(c.get(&CacheKey::new("b", "sync", "real", 1)), Some(7.0));
+        assert!(c.get(&CacheKey::new("b", "sync", "bogus", 1)).is_none());
+        assert!(!tmp_path_of(&path).exists(), "stale tmp cleaned up");
+        drop(c);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -22,6 +22,8 @@
 //!   comparison runs (default 120,000).
 //! * `GALS_MCD_CACHE` — cache file path (default
 //!   `target/gals-sweep-cache.json`).
+//! * `GALS_MCD_WAL_SYNC` — result-store WAL sync policy, `always` |
+//!   `batch:N` | `none` (default `batch:64`; see [`wal`]).
 //!
 //! # Example
 //!
@@ -49,9 +51,10 @@ mod engine;
 mod explorer;
 pub mod json;
 pub mod sched;
+pub mod wal;
 
 pub use ablation::AblationPoint;
-pub use cache::{CacheKey, ResultCache};
+pub use cache::{tmp_path_of, wal_path_of, CacheKey, RecoveryReport, ResultCache};
 pub use engine::{MeasureItem, SweepEngine};
 pub use explorer::{
     in_sync_winner_subset, ExploreError, Explorer, Fig6Row, PolicyOutcome, ProgramChoice,

@@ -324,7 +324,24 @@ impl Server {
     /// Propagates bind / cache-open / epoll-setup I/O errors.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         let cache = match &cfg.cache_path {
-            Some(path) => ResultCache::open(path)?,
+            Some(path) => {
+                let cache = ResultCache::open(path)?;
+                let report = cache.recovery();
+                if report.had_damage() {
+                    eprintln!(
+                        "gals-serve: result cache {path} recovered after unclean shutdown: \
+                         {} checkpoint entries + {} WAL records replayed ({:?})",
+                        report.checkpoint_entries, report.wal_records_replayed, report
+                    );
+                } else if report.wal_records_replayed > 0 {
+                    eprintln!(
+                        "gals-serve: result cache {path}: replayed {} WAL records past the \
+                         last checkpoint",
+                        report.wal_records_replayed
+                    );
+                }
+                cache
+            }
             None => ResultCache::in_memory(),
         };
         let mut engine = SweepEngine::new(cache);
@@ -450,7 +467,13 @@ impl Server {
             for h in self.worker_handles.drain(..) {
                 let _ = h.join();
             }
-            let _ = self.inner.engine.save_cache();
+            // Final durable checkpoint; a failure here means restart
+            // will replay from the WAL instead, so warn, don't panic.
+            if let Err(e) = self.inner.engine.save_cache() {
+                eprintln!(
+                    "gals-serve: final cache checkpoint failed ({e}); results remain in the WAL"
+                );
+            }
             return;
         }
         // Threads transport. Unblock the accept loop.
@@ -481,7 +504,11 @@ impl Server {
         for h in self.worker_handles.drain(..) {
             let _ = h.join();
         }
-        let _ = self.inner.engine.save_cache();
+        // Final durable checkpoint; a failure here means restart will
+        // replay from the WAL instead, so warn, don't panic.
+        if let Err(e) = self.inner.engine.save_cache() {
+            eprintln!("gals-serve: final cache checkpoint failed ({e}); results remain in the WAL");
+        }
     }
 }
 
